@@ -1,0 +1,135 @@
+// Ablation bench (not a paper artifact): isolates the two design choices
+// DESIGN.md calls out.
+//
+//  A. v/f rule ablation — with the *same* correlation-aware placement, how
+//     much of the Table II(a) saving comes from Eqn. 4 vs. worst-case
+//     provisioning, and how close Eqn. 4 gets to the perfect-foresight
+//     static floor (oracle).
+//
+//  B. Migration/stability ablation — the paper re-solves placement every
+//     hour and never prices the implied live migrations. Wrapping the
+//     policies in StickyPlacement shows the migration-count vs.
+//     energy/QoS trade, with migration energy charged explicitly.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/migration.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cava;
+
+sim::SimConfig base_config(sim::VfMode mode) {
+  sim::SimConfig cfg;
+  cfg.max_servers = 20;
+  cfg.vf_mode = mode;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const trace::TraceSet traces =
+      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{});
+
+  // ---- A: v/f rule ablation under the proposed placement. ----
+  std::cout << "=== Ablation A: v/f rule (correlation-aware placement held "
+               "fixed) ===\n\n";
+  util::TextTable vf_table(
+      {"v/f rule", "normalized power", "max violations (%)"});
+  double base_energy = 0.0;
+  {
+    alloc::CorrelationAwarePlacement placement;
+    dvfs::WorstCaseVf worst;
+    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kStatic))
+                       .run(traces, placement, &worst);
+    base_energy = r.total_energy_joules;
+    vf_table.add_row("worst-case (sum of u^)",
+                     {1.0, 100.0 * r.max_violation_ratio});
+  }
+  {
+    alloc::CorrelationAwarePlacement placement;
+    dvfs::CorrelationAwareVf eqn4;
+    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kStatic))
+                       .run(traces, placement, &eqn4);
+    vf_table.add_row("Eqn. 4 (cost-discounted)",
+                     {r.total_energy_joules / base_energy,
+                      100.0 * r.max_violation_ratio});
+  }
+  {
+    alloc::CorrelationAwarePlacement placement;
+    const auto r =
+        sim::DatacenterSimulator(base_config(sim::VfMode::kOracleStatic))
+            .run(traces, placement, nullptr);
+    vf_table.add_row("oracle static (perfect foresight)",
+                     {r.total_energy_joules / base_energy,
+                      100.0 * r.max_violation_ratio});
+  }
+  {
+    alloc::CorrelationAwarePlacement placement;
+    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kNone))
+                       .run(traces, placement, nullptr);
+    vf_table.add_row("always fmax",
+                     {r.total_energy_joules / base_energy,
+                      100.0 * r.max_violation_ratio});
+  }
+  vf_table.print(std::cout);
+  std::printf(
+      "\nReading: Eqn. 4 recovers most of the gap between worst-case\n"
+      "provisioning and the perfect-foresight static floor.\n\n");
+
+  // ---- B: migration/stability ablation. ----
+  std::cout << "=== Ablation B: placement stability (migration cost priced "
+               "in) ===\n\n";
+  util::TextTable mig_table({"policy", "normalized power", "max viol (%)",
+                             "migrations/day", "migrated cores/day"});
+  sim::SimConfig mig_cfg = base_config(sim::VfMode::kStatic);
+  // ~100 J per migrated fmax-core: a few seconds of pre-copy at full tilt.
+  mig_cfg.migration_energy_joules_per_core = 100.0;
+  const sim::DatacenterSimulator simulator(mig_cfg);
+
+  double bfd_energy = 0.0;
+  {
+    alloc::BestFitDecreasing bfd;
+    dvfs::WorstCaseVf worst;
+    const auto r = simulator.run(traces, bfd, &worst);
+    bfd_energy = r.total_energy_joules;
+    mig_table.add_row("BFD", {1.0, 100.0 * r.max_violation_ratio,
+                              static_cast<double>(r.total_migrated_vms),
+                              r.total_migrated_cores});
+  }
+  {
+    alloc::CorrelationAwarePlacement proposed;
+    dvfs::CorrelationAwareVf eqn4;
+    const auto r = simulator.run(traces, proposed, &eqn4);
+    mig_table.add_row("Proposed", {r.total_energy_joules / bfd_energy,
+                                   100.0 * r.max_violation_ratio,
+                                   static_cast<double>(r.total_migrated_vms),
+                                   r.total_migrated_cores});
+  }
+  for (std::size_t refresh : {4u, 12u}) {
+    alloc::StickyConfig scfg;
+    scfg.refresh_every = refresh;
+    alloc::StickyPlacement sticky(
+        std::make_unique<alloc::CorrelationAwarePlacement>(), scfg);
+    dvfs::CorrelationAwareVf eqn4;
+    const auto r = simulator.run(traces, sticky, &eqn4);
+    mig_table.add_row(
+        "Sticky(Proposed) refresh=" + std::to_string(refresh),
+        {r.total_energy_joules / bfd_energy, 100.0 * r.max_violation_ratio,
+         static_cast<double>(r.total_migrated_vms), r.total_migrated_cores});
+  }
+  mig_table.print(std::cout);
+  std::printf(
+      "\nReading: hourly re-optimization (the paper's setting) moves many\n"
+      "VMs; keeping placements sticky between periodic refreshes removes\n"
+      "most migrations at a modest energy/violation cost.\n");
+  return 0;
+}

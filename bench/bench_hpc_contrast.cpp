@@ -1,0 +1,86 @@
+// Contrast bench (supports Sec. II/III's scoping claim, not a paper table):
+// on *stationary HPC-style* traces, PCP's envelope clustering works exactly
+// as Verma et al. designed it — it recovers the distinct busy-phase classes
+// and spreads them — whereas on scale-out traces (Table II) it collapses to
+// a single cluster and degenerates to BFD.
+//
+// Prints, for HPC-style and scale-out trace populations side by side:
+// PCP's recovered cluster count, and the power/violations of BFD, PCP and
+// the proposed policy.
+#include <cstdio>
+#include <iostream>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/pcp.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cava;
+
+void run_population(const char* label, const trace::TraceSet& traces,
+                    std::size_t max_servers, double period_seconds) {
+  sim::SimConfig cfg;
+  cfg.max_servers = max_servers;
+  cfg.period_seconds = period_seconds;
+  cfg.vf_mode = sim::VfMode::kStatic;
+  const sim::DatacenterSimulator simulator(cfg);
+
+  alloc::BestFitDecreasing bfd;
+  alloc::PeakClusteringPlacement pcp;
+  alloc::CorrelationAwarePlacement proposed;
+  dvfs::WorstCaseVf worst;
+  dvfs::CorrelationAwareVf eqn4;
+
+  const auto r_bfd = simulator.run(traces, bfd, &worst);
+  const auto r_pcp = simulator.run(traces, pcp, &worst);
+  const auto r_prop = simulator.run(traces, proposed, &eqn4);
+
+  int min_clusters = 1 << 20, max_clusters = 0;
+  for (const auto& p : r_pcp.periods) {
+    min_clusters = std::min(min_clusters, p.placement_clusters);
+    max_clusters = std::max(max_clusters, p.placement_clusters);
+  }
+
+  std::printf("--- %s ---\n", label);
+  std::printf("PCP cluster count across periods: %d..%d\n\n", min_clusters,
+              max_clusters);
+  util::TextTable table(
+      {"policy", "normalized power", "max violations (%)", "active servers"});
+  const double base = r_bfd.total_energy_joules;
+  for (const auto* r : {&r_bfd, &r_pcp, &r_prop}) {
+    table.add_row(r->policy_name,
+                  {r->total_energy_joules / base,
+                   100.0 * r->max_violation_ratio, r->mean_active_servers});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== PCP contrast: stationary HPC traces vs scale-out traces "
+               "===\n\n";
+
+  // HPC envelopes are a *daily* pattern: give PCP a full-day history
+  // window (Verma clusters over long-term workload profiles).
+  trace::HpcTraceConfig hpc;
+  run_population("HPC-style (stationary phase-class envelopes)",
+                 trace::generate_hpc_traces(hpc), 16, 86400.0);
+
+  trace::DatacenterTraceConfig scale_out;
+  run_population("Scale-out (fast-changing correlated load)",
+                 trace::generate_datacenter_traces(scale_out), 20, 3600.0);
+
+  std::printf(
+      "Reading: on HPC traces PCP recovers multiple envelope clusters and\n"
+      "benefits from spreading them; on scale-out traces it finds a single\n"
+      "cluster and matches BFD exactly — the degeneracy the paper reports\n"
+      "and the gap the proposed correlation measure closes.\n");
+  return 0;
+}

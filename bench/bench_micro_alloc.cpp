@@ -1,0 +1,82 @@
+// Microbenchmarks of the placement heuristics: scaling of FFD/BFD/PCP and
+// the proposed correlation-aware algorithm with the VM population size.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "alloc/pcp.h"
+#include "trace/synthesis.h"
+
+namespace {
+
+using namespace cava;
+
+struct Instance {
+  trace::TraceSet traces;
+  corr::CostMatrix matrix;
+  std::vector<model::VmDemand> demands;
+  alloc::PlacementContext ctx;
+
+  explicit Instance(int n_vms)
+      : matrix(1, trace::ReferenceSpec::peak()) {
+    trace::DatacenterTraceConfig cfg;
+    cfg.num_vms = n_vms;
+    cfg.num_groups = std::max(2, n_vms / 5);
+    cfg.day_seconds = 1800.0;
+    cfg.fine_dt = 10.0;
+    traces = trace::generate_datacenter_traces(cfg);
+    matrix = corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+    }
+    ctx.server = model::ServerSpec::xeon_e5410();
+    ctx.max_servers = static_cast<std::size_t>(n_vms);
+    ctx.cost_matrix = &matrix;
+    ctx.history = &traces;
+  }
+};
+
+void BM_Ffd(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::FirstFitDecreasing policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Ffd)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_Bfd(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::BestFitDecreasing policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Bfd)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_Pcp(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::PeakClusteringPlacement policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Pcp)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_Proposed(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::CorrelationAwarePlacement policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Proposed)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Microbenchmarks for the correlation machinery, substantiating the paper's
+// Sec. IV-A efficiency argument: the Eqn.-1 cost is O(1) per sample with
+// O(1) state and spreads its work across the period, whereas Pearson-style
+// metrics either store all samples or concentrate computation at period end.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "corr/peak_cost.h"
+#include "trace/streaming_stats.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cava;
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(0.0, 4.0);
+  return v;
+}
+
+void BM_PairCostStreamingUpdate(benchmark::State& state) {
+  corr::PairCostEstimator est(trace::ReferenceSpec::peak());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    est.add(rng.uniform(), rng.uniform());
+    benchmark::DoNotOptimize(est.cost());
+  }
+}
+BENCHMARK(BM_PairCostStreamingUpdate);
+
+void BM_StreamingPearsonUpdate(benchmark::State& state) {
+  trace::StreamingPearson p;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    p.add(rng.uniform(), rng.uniform());
+    benchmark::DoNotOptimize(p.correlation());
+  }
+}
+BENCHMARK(BM_StreamingPearsonUpdate);
+
+/// The end-of-period batch Pearson the paper criticizes: all samples stored,
+/// computation concentrated when the result is needed.
+void BM_BatchPearsonAtPeriodEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_signal(n, 3);
+  const auto b = random_signal(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::pearson(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BatchPearsonAtPeriodEnd)->Range(256, 65536)->Complexity();
+
+/// Full cost-matrix tick for N VMs (the per-sample UPDATE work).
+void BM_CostMatrixTick(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+  const auto tick = random_signal(n, 5);
+  for (auto _ : state) {
+    m.add_sample(tick);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CostMatrixTick)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+/// Eqn.-2 server-cost evaluation for a co-location group.
+void BM_ServerCostEvaluation(benchmark::State& state) {
+  const std::size_t n = 64;
+  corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+  util::Rng rng(6);
+  std::vector<double> tick(n);
+  for (int s = 0; s < 512; ++s) {
+    for (auto& x : tick) x = rng.uniform(0.0, 4.0);
+    m.add_sample(tick);
+  }
+  std::vector<std::size_t> group;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    group.push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.server_cost(group));
+  }
+}
+BENCHMARK(BM_ServerCostEvaluation)->DenseRange(2, 10, 2);
+
+/// P2 percentile estimator vs. exact percentile with stored samples.
+void BM_P2QuantileUpdate(benchmark::State& state) {
+  trace::P2Quantile q(0.9);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    q.add(rng.uniform());
+    benchmark::DoNotOptimize(q.value());
+  }
+}
+BENCHMARK(BM_P2QuantileUpdate);
+
+void BM_ExactPercentileStoredSamples(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_signal(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::percentile(v, 90.0));
+  }
+}
+BENCHMARK(BM_ExactPercentileStoredSamples)->Range(256, 65536);
+
+}  // namespace

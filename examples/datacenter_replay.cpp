@@ -1,0 +1,86 @@
+// Example: replaying a datacenter trace population through the full
+// consolidation + DVFS pipeline, with trace export/import via CSV.
+//
+// Demonstrates the typical integration a datacenter operator would use:
+//   1. collect (here: synthesize) coarse 5-minute utilization samples,
+//   2. refine them to 5-second samples (lognormal, Benson-style),
+//   3. archive to CSV and reload (the monitoring-pipeline boundary),
+//   4. replay through DatacenterSimulator under several policies,
+//   5. inspect energy, violation and frequency-residency results.
+//
+//   ./examples/datacenter_replay
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "alloc/pcp.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cava;
+
+  // 1+2: synthesize a small population (12 VMs, 6 hours) for a fast demo.
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = 12;
+  tcfg.num_groups = 3;
+  tcfg.day_seconds = 6.0 * 3600.0;
+  tcfg.fine_dt = 5.0;
+  const trace::TraceSet synthesized = trace::generate_datacenter_traces(tcfg);
+
+  // 3: archive + reload, as a monitoring pipeline would.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cava_replay.csv").string();
+  synthesized.save_csv(path);
+  const trace::TraceSet traces = trace::TraceSet::load_csv(path);
+  std::printf("replayed %zu VM traces (%zu samples each) from %s\n\n",
+              traces.size(), traces.samples_per_trace(), path.c_str());
+
+  // 4: run four policies through the simulator.
+  sim::SimConfig scfg;
+  scfg.max_servers = 6;
+  scfg.vf_mode = sim::VfMode::kStatic;
+  const sim::DatacenterSimulator simulator(scfg);
+
+  alloc::FirstFitDecreasing ffd;
+  alloc::BestFitDecreasing bfd;
+  alloc::PeakClusteringPlacement pcp;
+  alloc::CorrelationAwarePlacement proposed;
+  dvfs::WorstCaseVf worst;
+  dvfs::CorrelationAwareVf eqn4;
+
+  struct Row {
+    alloc::PlacementPolicy* policy;
+    const dvfs::VfPolicy* vf;
+  };
+  const Row rows[] = {{&ffd, &worst}, {&bfd, &worst}, {&pcp, &worst},
+                      {&proposed, &eqn4}};
+
+  util::TextTable table({"policy", "energy (kJ)", "max viol (%)",
+                         "mean active servers", "time at fmin (%)"});
+  for (const Row& row : rows) {
+    const sim::SimResult r = simulator.run(traces, *row.policy, row.vf);
+    double fmin_time = 0.0, total_time = 0.0;
+    for (const auto& server : r.freq_residency_seconds) {
+      fmin_time += server.front();
+      for (double s : server) total_time += s;
+    }
+    table.add_row(r.policy_name,
+                  {r.total_energy_joules / 1000.0,
+                   100.0 * r.max_violation_ratio, r.mean_active_servers,
+                   total_time > 0 ? 100.0 * fmin_time / total_time : 0.0});
+  }
+  table.print(std::cout);
+  std::remove(path.c_str());
+
+  std::printf(
+      "\nThe proposed policy spends far more time at the low frequency bin\n"
+      "(last column) by co-locating decorrelated VMs, which is where its\n"
+      "energy saving comes from.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: from IT power to facility power — the free-cooling extension.
+//
+// Runs the Setup-2 comparison (BFD vs the proposed policy), converts each
+// run's per-period IT power into facility power under a diurnal outside-
+// temperature profile with a free-cooling threshold, and shows how the
+// consolidation/DVFS savings are amplified at the facility level on warm
+// days (the theme of the paper's own reference [15]).
+//
+//   ./examples/facility_energy
+#include <cstdio>
+#include <iostream>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "dvfs/vf_policy.h"
+#include "model/cooling.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cava;
+
+/// Per-period mean IT power as an hourly time series.
+trace::TimeSeries it_power_profile(const sim::SimResult& r,
+                                   double period_seconds) {
+  std::vector<double> watts;
+  watts.reserve(r.periods.size());
+  for (const auto& p : r.periods) {
+    watts.push_back(p.energy_joules / period_seconds);
+  }
+  return trace::TimeSeries(period_seconds, std::move(watts));
+}
+
+}  // namespace
+
+int main() {
+  const trace::TraceSet traces =
+      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{});
+
+  sim::SimConfig cfg;
+  cfg.max_servers = 20;
+  cfg.vf_mode = sim::VfMode::kStatic;
+  const sim::DatacenterSimulator simulator(cfg);
+
+  alloc::BestFitDecreasing bfd;
+  alloc::CorrelationAwarePlacement proposed;
+  dvfs::WorstCaseVf worst;
+  dvfs::CorrelationAwareVf eqn4;
+  const auto r_bfd = simulator.run(traces, bfd, &worst);
+  const auto r_prop = simulator.run(traces, proposed, &eqn4);
+
+  const model::CoolingModel cooling;
+  util::TextTable table({"scenario", "BFD facility (kWh)",
+                         "Proposed facility (kWh)", "saving (%)"});
+
+  struct Climate {
+    const char* name;
+    double night_c, day_c;
+  };
+  for (const Climate& c : {Climate{"cool climate (8-14 C)", 8.0, 14.0},
+                           Climate{"temperate (12-26 C)", 12.0, 26.0},
+                           Climate{"hot (24-38 C)", 24.0, 38.0}}) {
+    const auto temp = model::diurnal_temperature(c.night_c, c.day_c,
+                                          cfg.period_seconds,
+                                          r_bfd.periods.size());
+    const double e_bfd = cooling.facility_energy(
+        it_power_profile(r_bfd, cfg.period_seconds), temp);
+    const double e_prop = cooling.facility_energy(
+        it_power_profile(r_prop, cfg.period_seconds), temp);
+    table.add_row(c.name, {e_bfd / 3.6e6, e_prop / 3.6e6,
+                           100.0 * (1.0 - e_prop / e_bfd)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nIT-level saving of the proposed policy: %.1f%%. In a cool climate\n"
+      "free cooling keeps the overhead flat; the hotter the climate, the\n"
+      "larger the absolute facility saving, because every saved IT watt\n"
+      "also spares chiller work (PUE > 1).\n",
+      100.0 * (1.0 - r_prop.total_energy_joules / r_bfd.total_energy_joules));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Example: exploring the design space — predictors, reference statistics,
+// correlation thresholds and cost horizons.
+//
+// Sweeps the knobs the paper leaves implicit and prints how each affects the
+// energy/QoS trade of the proposed policy. Useful as a template for running
+// your own ablations.
+//
+//   ./examples/policy_playground
+#include <cstdio>
+#include <iostream>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cava;
+
+trace::TraceSet make_traces() {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = 24;
+  cfg.num_groups = 4;
+  cfg.day_seconds = 12.0 * 3600.0;
+  cfg.fine_dt = 10.0;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+sim::SimResult run_proposed(const trace::TraceSet& traces, sim::SimConfig cfg,
+                            alloc::CorrelationAwareConfig policy_cfg) {
+  const sim::DatacenterSimulator simulator(cfg);
+  alloc::CorrelationAwarePlacement policy(policy_cfg);
+  dvfs::CorrelationAwareVf eqn4;
+  return simulator.run(traces, policy, &eqn4);
+}
+
+}  // namespace
+
+int main() {
+  const trace::TraceSet traces = make_traces();
+
+  sim::SimConfig base;
+  base.max_servers = 12;
+  base.vf_mode = sim::VfMode::kStatic;
+
+  // Baseline for normalization.
+  const sim::DatacenterSimulator simulator(base);
+  alloc::BestFitDecreasing bfd;
+  dvfs::WorstCaseVf worst;
+  const double bfd_energy =
+      simulator.run(traces, bfd, &worst).total_energy_joules;
+
+  std::cout << "--- Predictor sweep (proposed policy, static v/f) ---\n";
+  util::TextTable predictors({"predictor", "norm power", "max viol (%)"});
+  for (const char* name : {"last-value", "moving-average", "ewma", "ar1"}) {
+    sim::SimConfig cfg = base;
+    cfg.predictor = name;
+    const auto r = run_proposed(traces, cfg, {});
+    predictors.add_row(name, {r.total_energy_joules / bfd_energy,
+                              100.0 * r.max_violation_ratio});
+  }
+  predictors.print(std::cout);
+
+  std::cout << "\n--- Reference statistic sweep (peak vs. percentiles) ---\n";
+  util::TextTable refs({"reference u^", "norm power", "max viol (%)"});
+  for (double p : {90.0, 95.0, 99.0}) {
+    sim::SimConfig cfg = base;
+    cfg.reference = trace::ReferenceSpec::nth(p);
+    const auto r = run_proposed(traces, cfg, {});
+    refs.add_row("p" + util::TextTable::format(p, 0),
+                 {r.total_energy_joules / bfd_energy,
+                  100.0 * r.max_violation_ratio});
+  }
+  {
+    const auto r = run_proposed(traces, base, {});
+    refs.add_row("peak", {r.total_energy_joules / bfd_energy,
+                          100.0 * r.max_violation_ratio});
+  }
+  refs.print(std::cout);
+
+  std::cout << "\n--- Correlation threshold sweep (TH_cost, alpha) ---\n";
+  util::TextTable thresholds({"TH_cost", "alpha", "norm power", "max viol (%)"});
+  for (double th : {1.05, 1.15, 1.3, 1.5}) {
+    alloc::CorrelationAwareConfig pc;
+    pc.initial_threshold = th;
+    const auto r = run_proposed(traces, base, pc);
+    thresholds.add_row(util::TextTable::format(th, 2),
+                       {pc.alpha, r.total_energy_joules / bfd_energy,
+                        100.0 * r.max_violation_ratio});
+  }
+  thresholds.print(std::cout);
+
+  std::cout << "\n--- Cost horizon (per-period vs cumulative statistics) ---\n";
+  util::TextTable horizons({"horizon", "norm power", "max viol (%)"});
+  for (auto h : {sim::CostHorizon::kPreviousPeriod, sim::CostHorizon::kCumulative}) {
+    sim::SimConfig cfg = base;
+    cfg.cost_horizon = h;
+    const auto r = run_proposed(traces, cfg, {});
+    horizons.add_row(h == sim::CostHorizon::kPreviousPeriod ? "previous-period"
+                                                            : "cumulative",
+                     {r.total_energy_joules / bfd_energy,
+                      100.0 * r.max_violation_ratio});
+  }
+  horizons.print(std::cout);
+  return 0;
+}

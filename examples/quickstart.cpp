@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end use of the CAVA library.
+//
+// Builds four tiny synthetic VM utilization traces (two correlated pairs in
+// antiphase), measures the paper's pairwise correlation cost (Eqn. 1),
+// places the VMs with the correlation-aware allocator (Fig. 2), and picks a
+// per-server frequency with the Eqn.-4 rule.
+//
+//   ./examples/quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "alloc/correlation_aware.h"
+#include "corr/cost_matrix.h"
+#include "dvfs/vf_policy.h"
+#include "model/power.h"
+
+int main() {
+  using namespace cava;
+  constexpr double kPi = 3.14159265358979323846;
+
+  // 1. Four VMs: {0,1} peak together; {2,3} peak half a period later.
+  const std::size_t samples = 600;
+  trace::TraceSet traces;
+  for (int v = 0; v < 4; ++v) {
+    const double phase = v < 2 ? 0.0 : kPi;
+    std::vector<double> s(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = 2.0 * (1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                       static_cast<double>(samples) +
+                                   phase));
+    }
+    traces.add({"vm" + std::to_string(v), v < 2 ? 0 : 1,
+                trace::TimeSeries(1.0, std::move(s))});
+  }
+
+  // 2. Pairwise correlation costs (Eqn. 1), streaming over the traces.
+  const corr::CostMatrix matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  std::printf("Cost(vm0, vm1) = %.3f  (same phase -> fully correlated)\n",
+              matrix.cost(0, 1));
+  std::printf("Cost(vm0, vm2) = %.3f  (antiphase  -> decorrelated)\n\n",
+              matrix.cost(0, 2));
+
+  // 3. Correlation-aware placement onto 8-core servers.
+  std::vector<model::VmDemand> demands;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    demands.push_back({i, traces[i].series.peak()});
+  }
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec::xeon_e5410();
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+  alloc::CorrelationAwarePlacement policy;
+  const alloc::Placement placement = policy.place(demands, ctx);
+
+  for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+    const auto vms = placement.vms_on(s);
+    if (vms.empty()) continue;
+    std::printf("server %zu hosts:", s);
+    for (std::size_t vm : vms) std::printf(" %s", traces[vm].name.c_str());
+
+    // 4. Eqn.-4 frequency for this server.
+    dvfs::ServerView view;
+    for (std::size_t vm : vms) view.total_reference += demands[vm].reference;
+    view.correlation_cost = matrix.server_cost(vms);
+    view.num_vms = vms.size();
+    const double f = dvfs::CorrelationAwareVf{}.decide(view, ctx.server);
+    const double f_worst = dvfs::WorstCaseVf{}.decide(view, ctx.server);
+    std::printf("  | sum u^=%.1f cost=%.2f -> f=%.1f GHz (worst-case: %.1f)\n",
+                view.total_reference, view.correlation_cost, f, f_worst);
+  }
+
+  std::printf(
+      "\nThe allocator paired each in-phase VM with an antiphase partner,\n"
+      "and the Eqn.-4 rule exploits the lowered actual peak to run at a\n"
+      "lower frequency than worst-case provisioning would.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Example: consolidating two distributed web-search clusters (Setup-1).
+//
+// Runs the fluid web-search simulator under the paper's three placements,
+// reports 90th-percentile response times, server utilization peaks and the
+// estimated wall power, and shows the frequency-scaling trade enabled by the
+// correlation-aware placement.
+//
+//   ./examples/websearch_consolidation
+#include <cstdio>
+#include <iostream>
+
+#include "model/power.h"
+#include "util/table.h"
+#include "websearch/experiment.h"
+
+int main() {
+  using namespace cava;
+  using websearch::Setup1Placement;
+
+  websearch::Setup1Options opt;
+  opt.duration_seconds = 900.0;
+
+  const model::PowerModel power = model::PowerModel::dell_r815();
+  util::TextTable table({"placement", "f (GHz)", "p90 C1 (s)", "p90 C2 (s)",
+                         "max server util", "power (W)"});
+
+  for (auto placement :
+       {Setup1Placement::kSegregated, Setup1Placement::kSharedUnCorr,
+        Setup1Placement::kSharedCorr}) {
+    for (double f : {2.1, 1.9}) {
+      // The paper evaluates the lower bin only for Shared-Corr; we show all.
+      websearch::Setup1Options o = opt;
+      o.frequency_ghz = f;
+      const auto cfg = websearch::make_setup1_config(placement, o);
+      const auto r = websearch::WebSearchSimulator(cfg).run();
+      double watts = 0.0;
+      for (double busy : r.server_busy_fraction) watts += power.power(f, busy);
+      const double util_peak = std::max(r.server_utilization[0].peak(),
+                                        r.server_utilization[1].peak());
+      table.add_row(websearch::to_string(placement) + " @" +
+                        util::TextTable::format(f, 1),
+                    {f, r.response_percentile(0, 90.0),
+                     r.response_percentile(1, 90.0), util_peak, watts});
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading the table: sharing cores beats segregation; pairing ISNs\n"
+      "from *different* clusters (Shared-Corr) lowers the co-located peak,\n"
+      "which keeps the tail latency acceptable even at the 1.9 GHz bin --\n"
+      "that frequency drop is the power saving the paper reports (~12%%).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "alloc/bfd.h"
+
+namespace cava::alloc {
+
+Placement BestFitDecreasing::place(const std::vector<model::VmDemand>& demands,
+                                   const PlacementContext& context) {
+  Placement placement(demands.size(), context.max_servers);
+  std::vector<double> remaining(context.max_servers,
+                                context.server.max_capacity());
+  for (std::size_t idx : sort_descending(demands)) {
+    const double need = demands[idx].reference;
+    int best = -1;
+    for (std::size_t s = 0; s < context.max_servers; ++s) {
+      if (remaining[s] < need - 1e-12) continue;
+      if (best < 0 || remaining[s] < remaining[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) {
+      // Overflow: least-loaded server (violations will be accounted).
+      best = 0;
+      for (std::size_t s = 1; s < context.max_servers; ++s) {
+        if (remaining[s] > remaining[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(s);
+        }
+      }
+    }
+    placement.assign(demands[idx].vm, static_cast<std::size_t>(best));
+    remaining[static_cast<std::size_t>(best)] -= need;
+  }
+  return placement;
+}
+
+}  // namespace cava::alloc

@@ -1,0 +1,18 @@
+// Best-Fit-Decreasing consolidation — the paper's primary baseline in
+// Setup-2 ("BFD: a conventional best-fit-decreasing heuristic approach").
+// VMs in descending demand order; each goes to the feasible server with the
+// least remaining capacity (tightest fit), which empties servers fastest.
+#pragma once
+
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+class BestFitDecreasing final : public PlacementPolicy {
+ public:
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "BFD"; }
+};
+
+}  // namespace cava::alloc

@@ -1,0 +1,144 @@
+#include "alloc/correlation_aware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cava::alloc {
+
+CorrelationAwarePlacement::CorrelationAwarePlacement(
+    CorrelationAwareConfig config)
+    : config_(config) {
+  if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
+    throw std::invalid_argument("CorrelationAware: alpha must be in (0,1)");
+  }
+  if (config_.initial_threshold < 1.0) {
+    throw std::invalid_argument("CorrelationAware: threshold below 1 is inert");
+  }
+}
+
+Placement CorrelationAwarePlacement::place(
+    const std::vector<model::VmDemand>& demands,
+    const PlacementContext& context) {
+  const corr::CostMatrix* matrix = context.cost_matrix;
+  if (matrix == nullptr || matrix->size() < demands.size()) {
+    throw std::invalid_argument(
+        "CorrelationAware::place: cost matrix missing or too small");
+  }
+
+  const std::size_t n = demands.size();
+  // ---- UPDATE phase tail: sort, Eqn. 3 estimate. ----
+  std::vector<std::size_t> order = sort_descending(demands);
+  std::size_t active =
+      std::min(estimate_min_servers(demands, context.server),
+               context.max_servers);
+  if (active == 0 && n > 0) active = 1;
+  last_estimate_ = active;
+
+  Placement placement(n, context.max_servers);
+  std::vector<double> remaining(context.max_servers,
+                                context.server.max_capacity());
+  std::vector<std::vector<std::size_t>> groups(context.max_servers);
+  // Unallocated VMs kept in descending-u^ order.
+  std::vector<std::size_t> unalloc = order;
+
+  double threshold = config_.initial_threshold;
+
+  auto fits = [&](std::size_t vm, std::size_t server) {
+    return demands[vm].reference <= remaining[server] + 1e-12;
+  };
+
+  auto assign = [&](std::size_t pos_in_unalloc, std::size_t server) {
+    const std::size_t vm_idx = unalloc[pos_in_unalloc];
+    placement.assign(demands[vm_idx].vm, server);
+    groups[server].push_back(demands[vm_idx].vm);
+    remaining[server] -= demands[vm_idx].reference;
+    unalloc.erase(unalloc.begin() +
+                  static_cast<std::ptrdiff_t>(pos_in_unalloc));
+  };
+
+  while (!unalloc.empty()) {
+    bool progress = false;
+
+    // Line 10 / 18: sweep servers in descending remaining capacity.
+    std::vector<std::size_t> server_order(active);
+    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
+    std::sort(server_order.begin(), server_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (remaining[a] != remaining[b]) {
+                  return remaining[a] > remaining[b];
+                }
+                return a < b;
+              });
+
+    for (std::size_t server : server_order) {
+      // Lines 11~16: keep pulling VMs into this server while one qualifies.
+      for (;;) {
+        if (unalloc.empty()) break;
+        int chosen = -1;
+        if (groups[server].empty()) {
+          // Seed with the largest unallocated VM that fits.
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (fits(unalloc[p], server)) {
+              chosen = static_cast<int>(p);
+              break;
+            }
+          }
+        } else {
+          // Highest tentative Eqn.-2 cost above threshold.
+          double best_cost = threshold;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            const std::size_t vm = demands[unalloc[p]].vm;
+            if (!fits(unalloc[p], server)) continue;
+            const double c =
+                matrix->server_cost_with(groups[server], vm);
+            if (c > best_cost) {
+              best_cost = c;
+              chosen = static_cast<int>(p);
+            }
+          }
+        }
+        if (chosen < 0) break;
+        assign(static_cast<std::size_t>(chosen), server);
+        progress = true;
+      }
+    }
+
+    if (unalloc.empty()) break;
+    if (!progress) {
+      // Did correlation or capacity block the sweep? If some stranded VM
+      // still fits somewhere, relaxing the threshold (line 17) will unblock;
+      // otherwise only more servers can.
+      bool capacity_bound = true;
+      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
+        for (std::size_t s = 0; s < active; ++s) {
+          if (fits(unalloc[p], s)) {
+            capacity_bound = false;
+            break;
+          }
+        }
+      }
+      if (capacity_bound) {
+        if (active < context.max_servers) {
+          ++active;
+        } else {
+          // Overflow: dump remaining VMs onto least-loaded servers.
+          while (!unalloc.empty()) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < context.max_servers; ++s) {
+              if (remaining[s] > remaining[best]) best = s;
+            }
+            assign(0, best);
+          }
+          break;
+        }
+      } else {
+        threshold *= config_.alpha;
+      }
+    }
+  }
+
+  last_threshold_ = threshold;
+  return placement;
+}
+
+}  // namespace cava::alloc

@@ -1,0 +1,57 @@
+// The paper's correlation-aware VM allocation (Sec. IV-B, Fig. 2).
+//
+// The caller is responsible for the UPDATE phase bookkeeping that lives
+// outside the policy (feeding utilization samples into the CostMatrix and
+// predicting next-period references); this class implements the rest of
+// UPDATE (sorting, Eqn. 3 server estimate) and the full ALLOCATE phase:
+//
+//   * estimate N~ = ceil(sum u^ / Ncore) active servers (Eqn. 3);
+//   * sort VMs by descending predicted u^ (FFD-style, reduces fragmentation);
+//   * repeatedly pick the server with the largest remaining capacity and
+//     pull in the unallocated VM that maximizes the tentative server cost
+//     (Eqn. 2) — i.e. the *least* correlated with the VMs already there —
+//     subject to Cost_server > TH_cost and fitting in the remainder;
+//   * when a full sweep strands VMs, relax TH_cost by the factor alpha and
+//     sweep again over servers in descending remaining capacity; since
+//     Cost >= 1 by construction and TH_cost decays geometrically, the
+//     algorithm terminates, growing the active set only when capacity (not
+//     correlation) is the binding constraint.
+//
+// An empty server has no pairwise information (Eqn. 2 is defined over pairs),
+// so it is seeded with the largest unallocated VM that fits, mirroring the
+// FFD backbone.
+#pragma once
+
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+struct CorrelationAwareConfig {
+  /// Initial correlation threshold TH_cost. Costs lie in [1, 2]; requiring
+  /// > 1.15 means "only co-locate VMs whose pairing sheds at least ~15% of
+  /// the coincident worst-case peak".
+  double initial_threshold = 1.15;
+  /// Geometric relaxation factor alpha applied when a sweep strands VMs.
+  double alpha = 0.90;
+};
+
+class CorrelationAwarePlacement final : public PlacementPolicy {
+ public:
+  explicit CorrelationAwarePlacement(CorrelationAwareConfig config = {});
+
+  /// context.cost_matrix must be non-null and cover all VMs.
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "Proposed"; }
+
+  /// Diagnostics from the most recent place() call.
+  std::size_t last_estimated_servers() const { return last_estimate_; }
+  double last_final_threshold() const { return last_threshold_; }
+
+ private:
+  CorrelationAwareConfig config_;
+  std::size_t last_estimate_ = 0;
+  double last_threshold_ = 0.0;
+};
+
+}  // namespace cava::alloc

@@ -1,0 +1,111 @@
+#include "alloc/effective_sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cava::alloc {
+
+EffectiveSizingPlacement::EffectiveSizingPlacement(EffectiveSizingConfig config)
+    : config_(config) {}
+
+Placement EffectiveSizingPlacement::place(
+    const std::vector<model::VmDemand>& demands,
+    const PlacementContext& context) {
+  const corr::MomentMatrix* moments = context.moments;
+  const std::size_t n = demands.size();
+  Placement placement(n, context.max_servers);
+  const double cap = context.server.max_capacity();
+
+  if (moments == nullptr || moments->size() < n || moments->samples() < 2) {
+    // No statistics: plain best-fit-decreasing on the given demands.
+    std::vector<double> remaining(context.max_servers, cap);
+    for (std::size_t idx : sort_descending(demands)) {
+      const double need = demands[idx].reference;
+      int best = -1;
+      for (std::size_t s = 0; s < context.max_servers; ++s) {
+        if (remaining[s] < need - 1e-12) continue;
+        if (best < 0 || remaining[s] < remaining[static_cast<std::size_t>(best)]) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best < 0) {
+        best = 0;
+        for (std::size_t s = 1; s < context.max_servers; ++s) {
+          if (remaining[s] > remaining[static_cast<std::size_t>(best)]) {
+            best = static_cast<int>(s);
+          }
+        }
+      }
+      placement.assign(demands[idx].vm, static_cast<std::size_t>(best));
+      remaining[static_cast<std::size_t>(best)] -= need;
+    }
+    return placement;
+  }
+
+  // Effective-size placement. Track each server's aggregate mean and
+  // variance incrementally; the covariance of the candidate with the
+  // current group updates Var(sum) as Var += var_i + 2 * sum_j cov(i, j).
+  std::vector<double> server_mean(context.max_servers, 0.0);
+  std::vector<double> server_var(context.max_servers, 0.0);
+  std::vector<std::vector<std::size_t>> groups(context.max_servers);
+
+  auto effective_total = [&](std::size_t s) {
+    return server_mean[s] + config_.z * std::sqrt(std::max(server_var[s], 0.0));
+  };
+
+  // Order by standalone effective size, decreasing.
+  std::vector<model::VmDemand> standalone(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t vm = demands[i].vm;
+    standalone[i] = {vm, moments->mean(vm) + config_.z * moments->stddev(vm)};
+  }
+
+  for (std::size_t idx : sort_descending(standalone)) {
+    const std::size_t vm = standalone[idx].vm;
+    int best = -1;
+    double best_increment = 0.0;
+    for (std::size_t s = 0; s < context.max_servers; ++s) {
+      double cov_sum = 0.0;
+      for (std::size_t other : groups[s]) {
+        cov_sum += moments->covariance(vm, other);
+      }
+      const double new_mean = server_mean[s] + moments->mean(vm);
+      const double new_var =
+          server_var[s] + moments->variance(vm) + 2.0 * cov_sum;
+      const double new_total =
+          new_mean + config_.z * std::sqrt(std::max(new_var, 0.0));
+      if (new_total > cap + 1e-12) continue;
+      // Chen's rule: place where the *incremental* effective size is
+      // smallest — covariance discounts make anti-correlated partners
+      // cheap, and consolidation follows because an empty server always
+      // charges the full standalone effective size.
+      const double increment = new_total - effective_total(s);
+      if (best < 0 || increment < best_increment) {
+        best = static_cast<int>(s);
+        best_increment = increment;
+      }
+    }
+    if (best < 0) {
+      // Nothing fits: overflow onto the server with the smallest effective
+      // aggregate.
+      best = 0;
+      for (std::size_t s = 1; s < context.max_servers; ++s) {
+        if (effective_total(s) < effective_total(static_cast<std::size_t>(best))) {
+          best = static_cast<int>(s);
+        }
+      }
+    }
+    const auto b = static_cast<std::size_t>(best);
+    double cov_sum = 0.0;
+    for (std::size_t other : groups[b]) {
+      cov_sum += moments->covariance(vm, other);
+    }
+    server_mean[b] += moments->mean(vm);
+    server_var[b] += moments->variance(vm) + 2.0 * cov_sum;
+    groups[b].push_back(vm);
+    placement.assign(vm, b);
+  }
+  return placement;
+}
+
+}  // namespace cava::alloc

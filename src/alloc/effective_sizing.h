@@ -1,0 +1,45 @@
+// Effective-sizing placement, after Chen et al., "Effective VM sizing in
+// virtualized data centers" (IM 2011) — the paper's reference [8] and the
+// classical Pearson/covariance-based alternative to the Eqn.-1 cost.
+//
+// A VM's *effective size* on a server already hosting group G is the
+// increment of mu + z * sigma of the aggregate when the VM joins:
+//
+//   ES(i | G) = ES(G + i) - ES(G),   ES(G) = mu_G + z * sqrt(Var(sum_G))
+//
+// with Var of the sum expanding through the pairwise covariances, so a VM
+// positively correlated with its co-residents looks bigger and one that is
+// anti-correlated looks smaller. z encodes the QoS target (z = 2.33 caps
+// the normal-approximation overflow probability at ~1%).
+//
+// Limitations the paper (Sec. II) calls out for this family — normality
+// assumptions and mean/variance stationarity — are faithfully inherited:
+// the policy sees only second moments, not the (off-)peak structure Eqn. 1
+// captures.
+#pragma once
+
+#include "alloc/placement.h"
+#include "corr/moments.h"
+
+namespace cava::alloc {
+
+struct EffectiveSizingConfig {
+  /// Safety multiplier on the aggregate standard deviation.
+  double z = 2.33;
+};
+
+class EffectiveSizingPlacement final : public PlacementPolicy {
+ public:
+  explicit EffectiveSizingPlacement(EffectiveSizingConfig config = {});
+
+  /// Uses context.moments when available; falls back to best-fit on the
+  /// supplied (peak) demands otherwise.
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "EffSize"; }
+
+ private:
+  EffectiveSizingConfig config_;
+};
+
+}  // namespace cava::alloc

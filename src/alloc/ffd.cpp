@@ -1,0 +1,37 @@
+#include "alloc/ffd.h"
+
+#include <stdexcept>
+
+namespace cava::alloc {
+
+Placement FirstFitDecreasing::place(const std::vector<model::VmDemand>& demands,
+                                    const PlacementContext& context) {
+  Placement placement(demands.size(), context.max_servers);
+  std::vector<double> remaining(context.max_servers,
+                                context.server.max_capacity());
+  for (std::size_t idx : sort_descending(demands)) {
+    const double need = demands[idx].reference;
+    bool placed = false;
+    for (std::size_t s = 0; s < context.max_servers; ++s) {
+      if (remaining[s] >= need - 1e-12) {
+        placement.assign(demands[idx].vm, s);
+        remaining[s] -= need;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // Capacity exhausted everywhere: overflow onto the least-loaded server
+      // rather than dropping the VM (the simulator will record violations).
+      std::size_t best = 0;
+      for (std::size_t s = 1; s < context.max_servers; ++s) {
+        if (remaining[s] > remaining[best]) best = s;
+      }
+      placement.assign(demands[idx].vm, best);
+      remaining[best] -= need;
+    }
+  }
+  return placement;
+}
+
+}  // namespace cava::alloc

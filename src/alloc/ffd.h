@@ -1,0 +1,17 @@
+// First-Fit-Decreasing consolidation: VMs in descending demand order, each
+// placed on the lowest-indexed server with room. The classical bin-packing
+// heuristic the paper's own algorithm is derived from.
+#pragma once
+
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+class FirstFitDecreasing final : public PlacementPolicy {
+ public:
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "FFD"; }
+};
+
+}  // namespace cava::alloc

@@ -1,0 +1,120 @@
+#include "alloc/migration.h"
+
+#include <stdexcept>
+
+namespace cava::alloc {
+
+MigrationStats count_migrations(const Placement& prev, const Placement& next,
+                                std::span<const double> demands) {
+  if (prev.num_vms() != next.num_vms()) {
+    throw std::invalid_argument("count_migrations: VM universe mismatch");
+  }
+  MigrationStats stats;
+  for (std::size_t vm = 0; vm < next.num_vms(); ++vm) {
+    const int before = prev.server_of(vm);
+    const int after = next.server_of(vm);
+    if (after < 0) continue;  // unplaced in the new round
+    if (before < 0) {
+      ++stats.newly_placed;
+    } else if (before != after) {
+      ++stats.migrated_vms;
+      if (vm < demands.size()) stats.migrated_cores += demands[vm];
+    }
+  }
+  return stats;
+}
+
+StickyPlacement::StickyPlacement(std::unique_ptr<PlacementPolicy> inner,
+                                 StickyConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  if (!inner_) throw std::invalid_argument("StickyPlacement: null inner policy");
+  if (config_.refresh_every == 0) {
+    throw std::invalid_argument("StickyPlacement: refresh_every must be >= 1");
+  }
+  if (config_.keep_capacity_fraction <= 0.0) {
+    throw std::invalid_argument("StickyPlacement: keep fraction must be > 0");
+  }
+}
+
+std::string StickyPlacement::name() const {
+  return "Sticky(" + inner_->name() + ")";
+}
+
+Placement StickyPlacement::place(const std::vector<model::VmDemand>& demands,
+                                 const PlacementContext& context) {
+  ++rounds_;
+  const bool refresh = (rounds_ - 1) % config_.refresh_every == 0;
+  const bool have_prev =
+      previous_.has_value() && previous_->num_vms() == demands.size() &&
+      previous_->num_servers() == context.max_servers;
+
+  Placement result(demands.size(), context.max_servers);
+  if (refresh || !have_prev) {
+    result = inner_->place(demands, context);
+  } else {
+    // Keep VMs on their previous servers while the *new* demand estimates
+    // still fit; displaced VMs go through the inner policy against the
+    // remaining capacity (approximated by handing it a reduced universe is
+    // complex, so we first-fit them into remaining room and only fall back
+    // to the inner policy on a full re-pack if anything is still stranded).
+    const double cap =
+        context.server.max_capacity() * config_.keep_capacity_fraction;
+    std::vector<double> load(context.max_servers, 0.0);
+    std::vector<std::size_t> displaced;
+
+    for (std::size_t idx : sort_descending(demands)) {
+      const std::size_t vm = demands[idx].vm;
+      const int prev_server = previous_->server_of(vm);
+      if (prev_server >= 0 &&
+          load[static_cast<std::size_t>(prev_server)] + demands[idx].reference <=
+              cap + 1e-12) {
+        result.assign(vm, static_cast<std::size_t>(prev_server));
+        load[static_cast<std::size_t>(prev_server)] += demands[idx].reference;
+      } else {
+        displaced.push_back(idx);
+      }
+    }
+    bool stranded = false;
+    for (std::size_t idx : displaced) {
+      const double need = demands[idx].reference;
+      // Prefer already-active servers (first fit over loaded ones).
+      int chosen = -1;
+      for (std::size_t s = 0; s < context.max_servers; ++s) {
+        if (load[s] > 0.0 && load[s] + need <= cap + 1e-12) {
+          chosen = static_cast<int>(s);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        for (std::size_t s = 0; s < context.max_servers; ++s) {
+          if (load[s] == 0.0 && need <= cap + 1e-12) {
+            chosen = static_cast<int>(s);
+            break;
+          }
+        }
+      }
+      if (chosen < 0) {
+        stranded = true;
+        break;
+      }
+      result.assign(demands[idx].vm, static_cast<std::size_t>(chosen));
+      load[static_cast<std::size_t>(chosen)] += need;
+    }
+    if (stranded) {
+      // Capacity shifted too much under us: give up on stickiness this
+      // round and re-optimize.
+      result = inner_->place(demands, context);
+    }
+  }
+
+  std::vector<double> demand_by_vm(demands.size(), 0.0);
+  for (const auto& d : demands) {
+    if (d.vm < demand_by_vm.size()) demand_by_vm[d.vm] = d.reference;
+  }
+  last_stats_ = have_prev ? count_migrations(*previous_, result, demand_by_vm)
+                          : MigrationStats{};
+  previous_ = result;
+  return result;
+}
+
+}  // namespace cava::alloc

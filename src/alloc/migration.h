@@ -1,0 +1,70 @@
+// VM migration accounting and stability-aware placement.
+//
+// The paper re-solves placement every tperiod without pricing the moves
+// that implies; production consolidation managers (e.g. pMapper, the
+// paper's reference [2]) must account for migration cost. This module adds
+// both sides of that story:
+//
+//   * count_migrations — diff two placements and quantify the live-migration
+//     work between them (moved VMs and moved fmax-core demand);
+//   * StickyPlacement — a decorator that keeps every VM on its previous
+//     server while it still fits the new demand estimate, delegating only
+//     displaced/new VMs to the wrapped policy, and fully re-optimizing every
+//     `refresh_every` periods. This trades a little packing/correlation
+//     quality for dramatically fewer migrations.
+#pragma once
+
+#include "alloc/placement.h"
+
+#include <memory>
+#include <optional>
+
+namespace cava::alloc {
+
+struct MigrationStats {
+  std::size_t migrated_vms = 0;
+  /// Sum of the demands (fmax-equivalent cores) of migrated VMs — a proxy
+  /// for the memory/dirty-page volume a live migration must copy.
+  double migrated_cores = 0.0;
+  /// VMs assigned in `next` but not in `prev` (new arrivals, not counted as
+  /// migrations).
+  std::size_t newly_placed = 0;
+};
+
+/// Diff two placements over the same VM universe. `demands` is indexed by
+/// VM id and sizes migrated_cores; it may be empty (then only counts are
+/// filled).
+MigrationStats count_migrations(const Placement& prev, const Placement& next,
+                                std::span<const double> demands);
+
+struct StickyConfig {
+  /// Full re-optimization cadence: every Nth call delegates the whole
+  /// instance to the inner policy (1 = always re-optimize = no stickiness).
+  std::size_t refresh_every = 6;
+  /// A kept VM may not push its server's packed demand beyond this fraction
+  /// of capacity (guards against creeping overload between refreshes).
+  double keep_capacity_fraction = 1.0;
+};
+
+class StickyPlacement final : public PlacementPolicy {
+ public:
+  StickyPlacement(std::unique_ptr<PlacementPolicy> inner, StickyConfig config);
+
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override;
+
+  /// Placement rounds since construction (drives the refresh cadence).
+  std::size_t rounds() const { return rounds_; }
+  /// Stats of the most recent round vs. the one before it.
+  const MigrationStats& last_migrations() const { return last_stats_; }
+
+ private:
+  std::unique_ptr<PlacementPolicy> inner_;
+  StickyConfig config_;
+  std::size_t rounds_ = 0;
+  std::optional<Placement> previous_;
+  MigrationStats last_stats_;
+};
+
+}  // namespace cava::alloc

@@ -1,0 +1,52 @@
+// Peak Clustering-based Placement (PCP) — the correlation-aware baseline,
+// after Verma et al., USENIX ATC 2009 (the paper's reference [6]).
+//
+// PCP classifies VMs by their binary utilization envelopes (1 when above the
+// VM's own off-peak percentile) and clusters them so that envelopes in
+// different clusters do not overlap. Placement then spreads cluster members
+// across servers: co-locating VMs from *different* clusters is safe because
+// their above-off-peak excursions are disjoint, so a shared peak buffer per
+// server absorbs them one at a time.
+//
+// Degenerate behaviour reproduced from the paper (Sec. V-B): on traces where
+// all VMs are mutually correlated, every envelope overlaps every other, the
+// whole population lands in one cluster, and PCP "behaves exactly same with
+// BFD".
+#pragma once
+
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+struct PcpConfig {
+  /// Percentile defining each VM's envelope threshold (Verma uses ~90).
+  double envelope_percentile = 90.0;
+  /// Envelope overlap above this fraction marks two VMs as correlated.
+  double overlap_tolerance = 0.10;
+  /// When true, provision VMs by their off-peak (envelope_percentile)
+  /// demand and reserve `peak_buffer_cores` per server. When false, use the
+  /// caller-supplied (peak) demands directly — the configuration the paper
+  /// compares against in Table II ("we allocated VMs based on their peak
+  /// utilizations").
+  bool offpeak_provisioning = false;
+  double peak_buffer_cores = 1.0;
+};
+
+class PeakClusteringPlacement final : public PlacementPolicy {
+ public:
+  explicit PeakClusteringPlacement(PcpConfig config = {});
+
+  Placement place(const std::vector<model::VmDemand>& demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "PCP"; }
+
+  /// Cluster count decided at the most recent place() call (diagnostic used
+  /// to reproduce the "only 1 cluster in 22 of 24 periods" observation).
+  int last_cluster_count() const { return last_cluster_count_; }
+
+ private:
+  PcpConfig config_;
+  int last_cluster_count_ = 0;
+};
+
+}  // namespace cava::alloc

@@ -1,0 +1,80 @@
+#include "alloc/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cava::alloc {
+
+Placement::Placement(std::size_t num_vms, std::size_t num_servers)
+    : server_of_(num_vms, -1), servers_(num_servers) {}
+
+void Placement::assign(std::size_t vm, std::size_t server) {
+  if (vm >= server_of_.size()) throw std::out_of_range("Placement::assign: vm");
+  if (server >= servers_.size()) {
+    throw std::out_of_range("Placement::assign: server");
+  }
+  if (server_of_[vm] != -1) {
+    throw std::logic_error("Placement::assign: VM already placed");
+  }
+  server_of_[vm] = static_cast<int>(server);
+  servers_[server].push_back(vm);
+}
+
+int Placement::server_of(std::size_t vm) const {
+  if (vm >= server_of_.size()) throw std::out_of_range("Placement::server_of");
+  return server_of_[vm];
+}
+
+std::span<const std::size_t> Placement::vms_on(std::size_t server) const {
+  if (server >= servers_.size()) throw std::out_of_range("Placement::vms_on");
+  return servers_[server];
+}
+
+std::size_t Placement::active_servers() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) {
+    if (!s.empty()) ++n;
+  }
+  return n;
+}
+
+bool Placement::complete() const {
+  return std::all_of(server_of_.begin(), server_of_.end(),
+                     [](int s) { return s >= 0; });
+}
+
+double Placement::load_on(std::size_t server,
+                          std::span<const double> demand) const {
+  double load = 0.0;
+  for (std::size_t vm : vms_on(server)) {
+    if (vm >= demand.size()) throw std::out_of_range("Placement::load_on");
+    load += demand[vm];
+  }
+  return load;
+}
+
+std::size_t estimate_min_servers(const std::vector<model::VmDemand>& demands,
+                                 const model::ServerSpec& server) {
+  double total = 0.0;
+  for (const auto& d : demands) total += d.reference;
+  const double raw = total / server.max_capacity();
+  const auto n = static_cast<std::size_t>(std::ceil(raw - 1e-9));
+  return std::max<std::size_t>(n, demands.empty() ? 0 : 1);
+}
+
+std::vector<std::size_t> sort_descending(
+    const std::vector<model::VmDemand>& demands) {
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].reference != demands[b].reference) {
+      return demands[a].reference > demands[b].reference;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace cava::alloc

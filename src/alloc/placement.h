@@ -1,0 +1,88 @@
+// Placement abstractions: the result type shared by all allocation policies
+// and the policy interface itself.
+#pragma once
+
+#include "corr/cost_matrix.h"
+#include "corr/moments.h"
+#include "model/server.h"
+#include "model/vm.h"
+#include "trace/time_series.h"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::alloc {
+
+/// Result of one placement round: which VMs live on which server.
+class Placement {
+ public:
+  Placement(std::size_t num_vms, std::size_t num_servers);
+
+  std::size_t num_vms() const { return server_of_.size(); }
+  std::size_t num_servers() const { return servers_.size(); }
+
+  /// Assign VM -> server. Throws if the VM is already assigned.
+  void assign(std::size_t vm, std::size_t server);
+
+  /// Server hosting a VM, or -1 if unassigned.
+  int server_of(std::size_t vm) const;
+  /// VMs hosted by a server.
+  std::span<const std::size_t> vms_on(std::size_t server) const;
+
+  /// Number of servers hosting at least one VM.
+  std::size_t active_servers() const;
+  /// True if every VM has a server.
+  bool complete() const;
+
+  /// Sum of the given demands on one server (demands indexed by VM id).
+  double load_on(std::size_t server, std::span<const double> demand) const;
+
+ private:
+  std::vector<int> server_of_;
+  std::vector<std::vector<std::size_t>> servers_;
+};
+
+/// Everything a policy may consult beyond the demand vector.
+struct PlacementContext {
+  model::ServerSpec server = model::ServerSpec("generic", 8, {1.0});
+  std::size_t max_servers = 0;
+
+  /// Pairwise correlation costs (Eqn. 1), maintained over the previous
+  /// period. Null for correlation-oblivious policies.
+  const corr::CostMatrix* cost_matrix = nullptr;
+
+  /// Utilization history of the previous period (for envelope clustering in
+  /// PCP). Null when unavailable.
+  const trace::TraceSet* history = nullptr;
+
+  /// Second-moment statistics (means/variances/covariances) over the same
+  /// horizon as cost_matrix, for Pearson/covariance-based policies
+  /// (EffectiveSizingPlacement). Null for policies that do not need it.
+  const corr::MomentMatrix* moments = nullptr;
+};
+
+/// A VM placement policy. Demands are the predicted reference utilizations
+/// u^ for the upcoming period, in fmax-equivalent cores, one per VM
+/// (demands[i].vm must equal i).
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual Placement place(const std::vector<model::VmDemand>& demands,
+                          const PlacementContext& context) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Eqn. 3: minimum number of active servers to hold the aggregate demand.
+std::size_t estimate_min_servers(const std::vector<model::VmDemand>& demands,
+                                 const model::ServerSpec& server);
+
+/// Indices of `demands` sorted by descending reference (ties by VM id, so
+/// results are deterministic).
+std::vector<std::size_t> sort_descending(
+    const std::vector<model::VmDemand>& demands);
+
+}  // namespace cava::alloc

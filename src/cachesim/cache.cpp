@@ -1,0 +1,60 @@
+#include "cachesim/cache.h"
+
+#include <stdexcept>
+
+namespace cava::cachesim {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t x) { return x && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(CacheConfig config)
+    : config_(config) {
+  if (!is_power_of_two(config.size_bytes) || !is_power_of_two(config.line_bytes)) {
+    throw std::invalid_argument("SetAssociativeCache: sizes must be powers of 2");
+  }
+  if (config.ways == 0) {
+    throw std::invalid_argument("SetAssociativeCache: ways must be > 0");
+  }
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  if (lines % config.ways != 0) {
+    throw std::invalid_argument("SetAssociativeCache: lines not divisible by ways");
+  }
+  num_sets_ = static_cast<std::uint32_t>(lines / config.ways);
+  if (!is_power_of_two(num_sets_)) {
+    throw std::invalid_argument("SetAssociativeCache: set count must be a power of 2");
+  }
+  lines_.assign(lines, Line{});
+}
+
+bool SetAssociativeCache::access(std::uint64_t address) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::uint64_t block = address / config_.line_bytes;
+  const std::uint64_t set = block & (num_sets_ - 1);
+  const std::uint64_t tag = block;  // full block id as tag (no aliasing)
+  Line* base = &lines_[set * config_.ways];
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = clock_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  return false;
+}
+
+}  // namespace cava::cachesim

@@ -1,0 +1,53 @@
+// Set-associative cache with LRU replacement — the substrate behind the
+// Table I reproduction (shared-L2 interference between a web-search VM and
+// PARSEC-like co-runners).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cava::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 2ULL * 1024 * 1024;  ///< 2 MiB L2 per module
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 16;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class SetAssociativeCache {
+ public:
+  explicit SetAssociativeCache(CacheConfig config);
+
+  /// Access a byte address; returns true on hit. Allocates on miss.
+  bool access(std::uint64_t address);
+
+  void reset_stats() { stats_ = {}; }
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+  std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< access timestamp
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  std::uint32_t num_sets_;
+  std::uint64_t clock_ = 0;
+  std::vector<Line> lines_;  ///< [set * ways + way]
+  CacheStats stats_;
+};
+
+}  // namespace cava::cachesim

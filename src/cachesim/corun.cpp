@@ -1,0 +1,75 @@
+#include "cachesim/corun.h"
+
+namespace cava::cachesim {
+
+namespace {
+
+struct VmState {
+  ReferenceStream stream;
+  SetAssociativeCache l1;
+  std::uint64_t instructions = 0;
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+
+  VmState(const StreamConfig& cfg, const CacheConfig& l1_cfg, std::uint64_t seed)
+      : stream(cfg, seed), l1(l1_cfg) {}
+};
+
+void step(VmState& vm, SetAssociativeCache& l2) {
+  ++vm.instructions;
+  std::uint64_t addr = 0;
+  if (!vm.stream.next_instruction(&addr)) return;
+  if (vm.l1.access(addr)) return;  // L1 hit: free
+  ++vm.l2_accesses;
+  if (!l2.access(addr)) ++vm.l2_misses;
+}
+
+WorkloadMetrics metrics_of(const VmState& vm, const CorunConfig& cfg) {
+  WorkloadMetrics m;
+  m.name = vm.stream.config().name;
+  const auto instr = static_cast<double>(vm.instructions);
+  const auto l2_hits = static_cast<double>(vm.l2_accesses - vm.l2_misses);
+  const double stall_cycles = l2_hits * cfg.l2_hit_latency +
+                              static_cast<double>(vm.l2_misses) * cfg.memory_latency;
+  const double cpi = cfg.cpi_base + stall_cycles / instr;
+  m.ipc = 1.0 / cpi;
+  m.l2_mpki = static_cast<double>(vm.l2_misses) / instr * 1000.0;
+  m.l2_miss_rate = vm.l2_accesses
+                       ? static_cast<double>(vm.l2_misses) /
+                             static_cast<double>(vm.l2_accesses)
+                       : 0.0;
+  return m;
+}
+
+}  // namespace
+
+CorunResult run_solo(const StreamConfig& primary, const CorunConfig& config) {
+  VmState vm(primary, config.l1, config.seed);
+  SetAssociativeCache l2(config.l2);
+  for (std::uint64_t i = 0; i < config.instructions_per_stream; ++i) {
+    step(vm, l2);
+  }
+  CorunResult result;
+  result.primary = metrics_of(vm, config);
+  return result;
+}
+
+CorunResult run_corun(const StreamConfig& primary, const StreamConfig& partner,
+                      const CorunConfig& config) {
+  StreamConfig partner_cfg = partner;
+  // Disjoint address spaces: the VMs share the cache, not the data.
+  partner_cfg.base_address = 1ULL << 40;
+  VmState a(primary, config.l1, config.seed);
+  VmState b(partner_cfg, config.l1, config.seed + 1);
+  SetAssociativeCache l2(config.l2);
+  for (std::uint64_t i = 0; i < config.instructions_per_stream; ++i) {
+    step(a, l2);
+    step(b, l2);
+  }
+  CorunResult result;
+  result.primary = metrics_of(a, config);
+  result.partner = metrics_of(b, config);
+  return result;
+}
+
+}  // namespace cava::cachesim

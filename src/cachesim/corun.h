@@ -1,0 +1,52 @@
+// Co-run interference simulation (Table I): two VMs with private L1 data
+// caches sharing one L2. Instructions from the two streams interleave
+// round-robin (the co-located VMs timeshare/occupy sibling cores), and a
+// simple in-order latency model converts hit/miss counts into IPC:
+//
+//   CPI = CPI_base + (L1 misses * L2_hit_latency
+//                     + L2 misses * memory_latency) / instructions
+//
+// Reported per workload: IPC, L2 MPKI and L2 miss rate — the three columns
+// of Table I.
+#pragma once
+
+#include "cachesim/cache.h"
+#include "cachesim/streams.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cava::cachesim {
+
+struct CorunConfig {
+  CacheConfig l1{32ULL * 1024, 64, 8};          ///< private, per VM
+  CacheConfig l2{2ULL * 1024 * 1024, 64, 16};   ///< shared
+  double cpi_base = 0.62;        ///< issue-limited CPI with perfect caches
+  double l2_hit_latency = 12.0;  ///< cycles
+  double memory_latency = 180.0; ///< cycles
+  std::uint64_t instructions_per_stream = 2'000'000;
+  std::uint64_t seed = 7;
+};
+
+/// Per-workload outcome of a (co-)run.
+struct WorkloadMetrics {
+  std::string name;
+  double ipc = 0.0;
+  double l2_mpki = 0.0;
+  double l2_miss_rate = 0.0;  ///< fraction in [0,1]
+};
+
+struct CorunResult {
+  WorkloadMetrics primary;
+  std::optional<WorkloadMetrics> partner;
+};
+
+/// Run `primary` alone (no partner contending for the L2).
+CorunResult run_solo(const StreamConfig& primary, const CorunConfig& config);
+
+/// Run `primary` and `partner` with a shared L2, interleaving instructions.
+CorunResult run_corun(const StreamConfig& primary, const StreamConfig& partner,
+                      const CorunConfig& config);
+
+}  // namespace cava::cachesim

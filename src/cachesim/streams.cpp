@@ -1,0 +1,102 @@
+#include "cachesim/streams.h"
+
+namespace cava::cachesim {
+
+ReferenceStream::ReferenceStream(StreamConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+std::uint64_t ReferenceStream::pick_offset(std::uint64_t region_bytes,
+                                           std::uint64_t* cursor) {
+  if (rng_.bernoulli(config_.random_fraction)) {
+    return rng_.uniform_int(region_bytes);
+  }
+  *cursor = (*cursor + 64) % region_bytes;
+  return *cursor;
+}
+
+bool ReferenceStream::next_instruction(std::uint64_t* address) {
+  if (!rng_.bernoulli(config_.mem_ref_per_instr)) return false;
+  const double tier = rng_.uniform();
+  std::uint64_t offset;
+  std::uint64_t region_base;
+  if (config_.cold_bytes > 0 && tier < config_.cold_fraction) {
+    offset = pick_offset(config_.cold_bytes, &cold_cursor_);
+    region_base = config_.hot_bytes + config_.warm_bytes;
+  } else if (tier < config_.cold_fraction + config_.warm_fraction) {
+    offset = pick_offset(config_.warm_bytes, &warm_cursor_);
+    region_base = config_.hot_bytes;
+  } else {
+    // Hot tier: uniform within a region small enough for the L1.
+    offset = rng_.uniform_int(config_.hot_bytes);
+    region_base = 0;
+  }
+  *address = config_.base_address + region_base + offset;
+  return true;
+}
+
+StreamConfig web_search_stream() {
+  StreamConfig cfg;
+  cfg.name = "websearch";
+  cfg.mem_ref_per_instr = 0.30;
+  cfg.hot_bytes = 16ULL << 10;
+  cfg.warm_bytes = 256ULL << 10;     // per-query scratch, L2-resident
+  cfg.cold_bytes = 512ULL << 20;     // index shards dwarf the L2
+  cfg.warm_fraction = 0.064;
+  cfg.cold_fraction = 0.0055;
+  cfg.random_fraction = 0.7;
+  return cfg;
+}
+
+StreamConfig blackscholes_stream() {
+  StreamConfig cfg;
+  cfg.name = "blackscholes";
+  cfg.mem_ref_per_instr = 0.22;
+  cfg.hot_bytes = 16ULL << 10;
+  cfg.warm_bytes = 512ULL << 10;  // option portfolio, streams through L2
+  cfg.cold_bytes = 0;
+  cfg.warm_fraction = 0.04;
+  cfg.cold_fraction = 0.0;
+  cfg.random_fraction = 0.05;
+  return cfg;
+}
+
+StreamConfig swaptions_stream() {
+  StreamConfig cfg;
+  cfg.name = "swaptions";
+  cfg.mem_ref_per_instr = 0.20;
+  cfg.hot_bytes = 16ULL << 10;
+  cfg.warm_bytes = 256ULL << 10;  // tiny per-thread simulation state
+  cfg.cold_bytes = 0;
+  cfg.warm_fraction = 0.03;
+  cfg.cold_fraction = 0.0;
+  cfg.random_fraction = 0.1;
+  return cfg;
+}
+
+StreamConfig facesim_stream() {
+  StreamConfig cfg;
+  cfg.name = "facesim";
+  cfg.mem_ref_per_instr = 0.35;
+  cfg.hot_bytes = 32ULL << 10;
+  cfg.warm_bytes = 512ULL << 10;
+  cfg.cold_bytes = 64ULL << 20;  // large mesh, streaming sweeps
+  cfg.warm_fraction = 0.05;
+  cfg.cold_fraction = 0.01;
+  cfg.random_fraction = 0.15;
+  return cfg;
+}
+
+StreamConfig canneal_stream() {
+  StreamConfig cfg;
+  cfg.name = "canneal";
+  cfg.mem_ref_per_instr = 0.28;
+  cfg.hot_bytes = 16ULL << 10;
+  cfg.warm_bytes = 512ULL << 10;
+  cfg.cold_bytes = 256ULL << 20;  // netlist, random swaps
+  cfg.warm_fraction = 0.04;
+  cfg.cold_fraction = 0.02;
+  cfg.random_fraction = 0.85;
+  return cfg;
+}
+
+}  // namespace cava::cachesim

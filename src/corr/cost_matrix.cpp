@@ -1,0 +1,99 @@
+#include "corr/cost_matrix.h"
+
+#include <stdexcept>
+
+namespace cava::corr {
+
+CostMatrix::CostMatrix(std::size_t num_vms, trace::ReferenceSpec spec)
+    : n_(num_vms), spec_(spec) {
+  if (num_vms == 0) throw std::invalid_argument("CostMatrix: zero VMs");
+  refs_.assign(n_, trace::ReferenceEstimator(spec));
+  pair_sums_.assign(n_ * (n_ - 1) / 2, trace::ReferenceEstimator(spec));
+}
+
+std::size_t CostMatrix::pair_index(std::size_t i, std::size_t j) const {
+  if (i == j || i >= n_ || j >= n_) {
+    throw std::out_of_range("CostMatrix: bad pair index");
+  }
+  if (i > j) std::swap(i, j);
+  // Row-major upper triangle (i < j): offset of row i plus column.
+  return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+}
+
+void CostMatrix::add_sample(std::span<const double> u) {
+  if (u.size() != n_) {
+    throw std::invalid_argument("CostMatrix::add_sample: size mismatch");
+  }
+  for (std::size_t i = 0; i < n_; ++i) refs_[i].add(u[i]);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      pair_sums_[pair_index(i, j)].add(u[i] + u[j]);
+    }
+  }
+  ++samples_;
+}
+
+void CostMatrix::reset() {
+  for (auto& r : refs_) r.reset();
+  for (auto& p : pair_sums_) p.reset();
+  samples_ = 0;
+}
+
+double CostMatrix::reference(std::size_t i) const {
+  if (i >= n_) throw std::out_of_range("CostMatrix::reference");
+  return refs_[i].value();
+}
+
+double CostMatrix::cost(std::size_t i, std::size_t j) const {
+  if (i == j) return 1.0;
+  const double denom = pair_sums_[pair_index(i, j)].value();
+  if (denom <= 0.0) return 1.0;
+  return (refs_[i].value() + refs_[j].value()) / denom;
+}
+
+double CostMatrix::server_cost_of(const std::vector<std::size_t>& group) const {
+  if (group.size() < 2) return 1.0;
+  double total_ref = 0.0;
+  for (std::size_t idx : group) total_ref += reference(idx);
+  if (total_ref <= 0.0) return 1.0;
+
+  double result = 0.0;
+  for (std::size_t j : group) {
+    double mean_cost = 0.0;
+    for (std::size_t k : group) {
+      if (k == j) continue;
+      mean_cost += cost(j, k);
+    }
+    mean_cost /= static_cast<double>(group.size() - 1);
+    const double weight = reference(j) / total_ref;
+    result += weight * mean_cost;
+  }
+  return result;
+}
+
+double CostMatrix::server_cost(std::span<const std::size_t> group) const {
+  return server_cost_of(std::vector<std::size_t>(group.begin(), group.end()));
+}
+
+double CostMatrix::server_cost_with(std::span<const std::size_t> group,
+                                    std::size_t candidate) const {
+  std::vector<std::size_t> extended(group.begin(), group.end());
+  extended.push_back(candidate);
+  return server_cost_of(extended);
+}
+
+CostMatrix CostMatrix::from_traces(const trace::TraceSet& traces,
+                                   trace::ReferenceSpec spec) {
+  CostMatrix m(traces.size(), spec);
+  const std::size_t samples = traces.samples_per_trace();
+  std::vector<double> tick(traces.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t v = 0; v < traces.size(); ++v) {
+      tick[v] = traces[v].series[s];
+    }
+    m.add_sample(tick);
+  }
+  return m;
+}
+
+}  // namespace cava::corr

@@ -1,0 +1,68 @@
+// The pairwise correlation-cost matrix M_vm_cost (Sec. IV-A) and the
+// server-level weighted cost (Eqn. 2):
+//
+//   Cost_server_i = sum_j w_ij * ( sum_{k != j, co-located} Cost_vm(j,k)
+//                                  / (n_i - 1) )
+//
+// with w_ij = u^(VM_ij) / sum of co-located u^'s. The matrix is maintained
+// streaming: each utilization sampling tick updates all N reference
+// estimators and the N(N-1)/2 pair-sum estimators, evenly spreading the
+// computational effort across the period as the paper prescribes.
+#pragma once
+
+#include "corr/peak_cost.h"
+#include "trace/reference.h"
+#include "trace/time_series.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cava::corr {
+
+class CostMatrix {
+ public:
+  CostMatrix(std::size_t num_vms, trace::ReferenceSpec spec);
+
+  std::size_t size() const { return n_; }
+
+  /// Feed one simultaneous utilization sample for every VM
+  /// (u.size() == size()). O(N^2) work per tick, O(1) per pair.
+  void add_sample(std::span<const double> u);
+
+  /// Start a fresh measurement period, discarding accumulated statistics.
+  void reset();
+
+  std::size_t samples() const { return samples_; }
+
+  /// Current reference utilization u^ of VM i.
+  double reference(std::size_t i) const;
+
+  /// Cost_vm(i, j); symmetric; 1.0 on the diagonal by convention.
+  double cost(std::size_t i, std::size_t j) const;
+
+  /// Eqn. 2 over an arbitrary co-location group (indices into this matrix).
+  /// Groups of size < 2 have no pairwise information: returns 1.0 (neutral).
+  double server_cost(std::span<const std::size_t> group) const;
+
+  /// Eqn. 2 for `group` with `candidate` tentatively added — the quantity the
+  /// ALLOCATE phase maximizes when choosing the next VM for a server.
+  double server_cost_with(std::span<const std::size_t> group,
+                          std::size_t candidate) const;
+
+  /// Build a fully-populated matrix from stored traces in one pass.
+  static CostMatrix from_traces(const trace::TraceSet& traces,
+                                trace::ReferenceSpec spec);
+
+ private:
+  double server_cost_of(const std::vector<std::size_t>& group) const;
+  std::size_t pair_index(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::size_t samples_ = 0;
+  trace::ReferenceSpec spec_;
+  std::vector<trace::ReferenceEstimator> refs_;
+  std::vector<trace::ReferenceEstimator> pair_sums_;  // upper triangle
+};
+
+}  // namespace cava::corr

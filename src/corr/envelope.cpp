@@ -1,0 +1,107 @@
+#include "corr/envelope.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace cava::corr {
+
+Envelope::Envelope(std::span<const double> samples, double threshold)
+    : threshold_(threshold) {
+  bits_.reserve(samples.size());
+  for (double s : samples) bits_.push_back(s > threshold ? 1 : 0);
+}
+
+Envelope Envelope::from_percentile(std::span<const double> samples,
+                                   double percentile) {
+  return Envelope(samples, util::percentile(samples, percentile));
+}
+
+double Envelope::duty_cycle() const {
+  if (bits_.empty()) return 0.0;
+  const auto high = static_cast<double>(
+      std::accumulate(bits_.begin(), bits_.end(), std::size_t{0}));
+  return high / static_cast<double>(bits_.size());
+}
+
+double Envelope::overlap(const Envelope& other) const {
+  if (bits_.size() != other.bits_.size()) {
+    throw std::invalid_argument("Envelope::overlap: length mismatch");
+  }
+  std::size_t both = 0, mine = 0, theirs = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    mine += bits_[i];
+    theirs += other.bits_[i];
+    both += static_cast<std::size_t>(bits_[i] & other.bits_[i]);
+  }
+  const std::size_t smaller = std::min(mine, theirs);
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(both) / static_cast<double>(smaller);
+}
+
+namespace {
+
+/// Union-find over VM indices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int> cluster_by_envelope(const trace::TraceSet& traces,
+                                     double envelope_percentile,
+                                     double overlap_tolerance) {
+  const std::size_t n = traces.size();
+  std::vector<Envelope> envelopes;
+  envelopes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    envelopes.push_back(Envelope::from_percentile(traces[i].series.samples(),
+                                                  envelope_percentile));
+  }
+  DisjointSet ds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (envelopes[i].overlap(envelopes[j]) > overlap_tolerance) {
+        ds.unite(i, j);
+      }
+    }
+  }
+  // Relabel roots to contiguous ids.
+  std::vector<int> ids(n, -1);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = ds.find(i);
+    auto it = std::find(roots.begin(), roots.end(), r);
+    if (it == roots.end()) {
+      roots.push_back(r);
+      ids[i] = static_cast<int>(roots.size() - 1);
+    } else {
+      ids[i] = static_cast<int>(it - roots.begin());
+    }
+  }
+  return ids;
+}
+
+int cluster_count(std::span<const int> cluster_ids) {
+  int max_id = -1;
+  for (int id : cluster_ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+}  // namespace cava::corr

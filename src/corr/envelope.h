@@ -1,0 +1,63 @@
+// Envelope-based correlation classification, as used by the PCP baseline
+// (Verma et al., "Server workload analysis for power minimization using
+// consolidation", USENIX ATC 2009; the paper's reference [6]).
+//
+// The envelope of a VM is a binary sequence that is 1 whenever the VM's CPU
+// utilization exceeds its own off-peak value (e.g. its 90th percentile).
+// PCP clusters VMs so that envelopes of VMs in *different* clusters do not
+// overlap; members of different clusters are then safe to co-locate with
+// off-peak provisioning plus a shared peak buffer.
+#pragma once
+
+#include "trace/time_series.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cava::corr {
+
+/// Binary envelope of a signal.
+class Envelope {
+ public:
+  Envelope() = default;
+
+  /// Build from samples: bit i = (samples[i] > threshold).
+  Envelope(std::span<const double> samples, double threshold);
+
+  /// Build using the signal's own percentile as threshold (Verma's choice).
+  static Envelope from_percentile(std::span<const double> samples,
+                                  double percentile);
+
+  std::size_t size() const { return bits_.size(); }
+  bool operator[](std::size_t i) const { return bits_[i] != 0; }
+  double threshold() const { return threshold_; }
+
+  /// Fraction of samples where the envelope is high.
+  double duty_cycle() const;
+
+  /// Fraction of positions where both envelopes are high, relative to the
+  /// smaller of the two high-counts (so identical envelopes overlap 1.0 and
+  /// disjoint ones 0.0). Both must have the same length.
+  double overlap(const Envelope& other) const;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  double threshold_ = 0.0;
+};
+
+/// Partition VMs into clusters such that any two VMs whose envelope overlap
+/// exceeds `overlap_tolerance` land in the same cluster (connected components
+/// of the conflict graph). Returns cluster id per VM, ids contiguous from 0.
+///
+/// On highly correlated scale-out traces every envelope overlaps every
+/// other, the graph is connected, and the whole population collapses into a
+/// single cluster — the degenerate behaviour Sec. V-B reports for PCP.
+std::vector<int> cluster_by_envelope(const trace::TraceSet& traces,
+                                     double envelope_percentile,
+                                     double overlap_tolerance);
+
+/// Number of distinct clusters in a cluster-id assignment.
+int cluster_count(std::span<const int> cluster_ids);
+
+}  // namespace cava::corr

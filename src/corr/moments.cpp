@@ -1,0 +1,97 @@
+#include "corr/moments.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::corr {
+
+MomentMatrix::MomentMatrix(std::size_t num_vms) : n_(num_vms) {
+  if (num_vms == 0) throw std::invalid_argument("MomentMatrix: zero VMs");
+  mean_.assign(n_, 0.0);
+  comoment_.assign(n_ * (n_ + 1) / 2, 0.0);
+}
+
+std::size_t MomentMatrix::index(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("MomentMatrix: index");
+  if (i > j) std::swap(i, j);
+  // Row-major upper triangle including diagonal.
+  return i * (2 * n_ - i + 1) / 2 + (j - i);
+}
+
+void MomentMatrix::add_sample(std::span<const double> u) {
+  if (u.size() != n_) {
+    throw std::invalid_argument("MomentMatrix::add_sample: size mismatch");
+  }
+  ++samples_;
+  const double inv_n = 1.0 / static_cast<double>(samples_);
+  // One-pass co-moment update (generalization of Welford): using the
+  // pre-update deltas for i and post-update deltas for j keeps the
+  // accumulator exact.
+  std::vector<double> delta_pre(n_);
+  for (std::size_t i = 0; i < n_; ++i) delta_pre[i] = u[i] - mean_[i];
+  for (std::size_t i = 0; i < n_; ++i) mean_[i] += delta_pre[i] * inv_n;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double post_i = u[i] - mean_[i];
+    for (std::size_t j = i; j < n_; ++j) {
+      comoment_[index(i, j)] += delta_pre[j] * post_i;
+    }
+  }
+}
+
+void MomentMatrix::reset() {
+  samples_ = 0;
+  mean_.assign(n_, 0.0);
+  comoment_.assign(comoment_.size(), 0.0);
+}
+
+double MomentMatrix::mean(std::size_t i) const {
+  if (i >= n_) throw std::out_of_range("MomentMatrix::mean");
+  return samples_ ? mean_[i] : 0.0;
+}
+
+double MomentMatrix::variance(std::size_t i) const {
+  return covariance(i, i);
+}
+
+double MomentMatrix::stddev(std::size_t i) const {
+  return std::sqrt(variance(i));
+}
+
+double MomentMatrix::covariance(std::size_t i, std::size_t j) const {
+  const std::size_t idx = index(i, j);  // validates the indices regardless
+  if (samples_ < 2) return 0.0;
+  return comoment_[idx] / static_cast<double>(samples_);
+}
+
+double MomentMatrix::correlation(std::size_t i, std::size_t j) const {
+  const double denom = stddev(i) * stddev(j);
+  if (denom <= 0.0) return 0.0;
+  return covariance(i, j) / denom;
+}
+
+double MomentMatrix::group_variance(
+    std::span<const std::size_t> group) const {
+  double var = 0.0;
+  for (std::size_t i : group) {
+    for (std::size_t j : group) var += covariance(i, j);
+  }
+  return var;
+}
+
+double MomentMatrix::group_mean(std::span<const std::size_t> group) const {
+  double m = 0.0;
+  for (std::size_t i : group) m += mean(i);
+  return m;
+}
+
+MomentMatrix MomentMatrix::from_traces(const trace::TraceSet& traces) {
+  MomentMatrix m(traces.size());
+  std::vector<double> tick(traces.size());
+  for (std::size_t s = 0; s < traces.samples_per_trace(); ++s) {
+    for (std::size_t v = 0; v < traces.size(); ++v) tick[v] = traces[v].series[s];
+    m.add_sample(tick);
+  }
+  return m;
+}
+
+}  // namespace cava::corr

@@ -1,0 +1,59 @@
+// Streaming second-moment statistics across a VM population: per-VM means
+// and variances plus the full pairwise covariance matrix, updated one
+// utilization sample at a time.
+//
+// This is the statistical machinery behind Pearson-style consolidation
+// baselines (Chen et al., "Effective VM sizing in virtualized data
+// centers", IM 2011 — the paper's reference [8]): a VM's *effective size*
+// on a server is its mean plus a safety term driven by its variance and its
+// covariance with the VMs already placed there.
+#pragma once
+
+#include "trace/time_series.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cava::corr {
+
+class MomentMatrix {
+ public:
+  explicit MomentMatrix(std::size_t num_vms);
+
+  std::size_t size() const { return n_; }
+  std::size_t samples() const { return samples_; }
+
+  /// Feed one simultaneous utilization sample for every VM.
+  void add_sample(std::span<const double> u);
+  void reset();
+
+  double mean(std::size_t i) const;
+  /// Population variance.
+  double variance(std::size_t i) const;
+  double stddev(std::size_t i) const;
+  /// Population covariance; variance on the diagonal.
+  double covariance(std::size_t i, std::size_t j) const;
+  /// Pearson correlation coefficient; 0 when either signal is constant.
+  double correlation(std::size_t i, std::size_t j) const;
+
+  /// Variance of the sum of a group of VMs:
+  ///   Var(sum) = sum_i sum_j Cov(i, j).
+  double group_variance(std::span<const std::size_t> group) const;
+  /// Mean of the sum of a group.
+  double group_mean(std::span<const std::size_t> group) const;
+
+  static MomentMatrix from_traces(const trace::TraceSet& traces);
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::size_t samples_ = 0;
+  std::vector<double> mean_;
+  /// Co-moment accumulators: sum of (x_i - mean_i)(x_j - mean_j), upper
+  /// triangle including the diagonal.
+  std::vector<double> comoment_;
+};
+
+}  // namespace cava::corr

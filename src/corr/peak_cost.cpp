@@ -1,0 +1,39 @@
+#include "corr/peak_cost.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cava::corr {
+
+PairCostEstimator::PairCostEstimator(trace::ReferenceSpec spec)
+    : ref_i_(spec), ref_j_(spec), ref_sum_(spec) {}
+
+void PairCostEstimator::add(double u_i, double u_j) {
+  ref_i_.add(u_i);
+  ref_j_.add(u_j);
+  ref_sum_.add(u_i + u_j);
+}
+
+void PairCostEstimator::reset() {
+  ref_i_.reset();
+  ref_j_.reset();
+  ref_sum_.reset();
+}
+
+double PairCostEstimator::cost() const {
+  const double denom = ref_sum_.value();
+  if (denom <= 0.0) return 1.0;
+  return (ref_i_.value() + ref_j_.value()) / denom;
+}
+
+double pair_cost(std::span<const double> a, std::span<const double> b,
+                 trace::ReferenceSpec spec) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pair_cost: signals must have equal length");
+  }
+  PairCostEstimator est(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) est.add(a[i], b[i]);
+  return est.cost();
+}
+
+}  // namespace cava::corr

@@ -1,0 +1,52 @@
+// The paper's correlation cost function (Eqn. 1):
+//
+//   Cost_vm(i,j) = (u^(VMi) + u^(VMj)) / u^(VMi + VMj)
+//
+// u^ is the peak or Nth-percentile reference utilization. The numerator is
+// the worst-case coincident peak; the denominator the actual peak of the
+// co-located pair. Cost is >= 1; larger means *less* correlated at the peaks
+// and therefore a better co-location. Perfectly synchronized signals give
+// cost 1 (numerator equals denominator); anti-correlated signals approach
+// (for equal peaks) 2.
+//
+// Unlike Pearson's r the statistic is updatable in O(1) per sample with O(1)
+// state, and only reflects behaviour at the (off-)peaks, which is what
+// placement decisions consume (Sec. IV-A).
+#pragma once
+
+#include "trace/reference.h"
+
+#include <span>
+
+namespace cava::corr {
+
+/// Streaming estimator of Cost_vm between two signals.
+class PairCostEstimator {
+ public:
+  explicit PairCostEstimator(trace::ReferenceSpec spec);
+
+  /// Feed one simultaneous utilization sample of both VMs.
+  void add(double u_i, double u_j);
+  void reset();
+
+  std::size_t count() const { return ref_sum_.count(); }
+
+  double reference_i() const { return ref_i_.value(); }
+  double reference_j() const { return ref_j_.value(); }
+  double reference_sum() const { return ref_sum_.value(); }
+
+  /// Current Cost_vm estimate. Defined as 1 (neutral) until both signals have
+  /// shown non-zero activity, so an idle VM neither attracts nor repels.
+  double cost() const;
+
+ private:
+  trace::ReferenceEstimator ref_i_;
+  trace::ReferenceEstimator ref_j_;
+  trace::ReferenceEstimator ref_sum_;
+};
+
+/// One-shot Cost_vm over stored sample vectors (equal length).
+double pair_cost(std::span<const double> a, std::span<const double> b,
+                 trace::ReferenceSpec spec);
+
+}  // namespace cava::corr

@@ -1,0 +1,69 @@
+#include "dvfs/vf_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cava::dvfs {
+
+double MaxFrequency::decide(const ServerView&,
+                            const model::ServerSpec& server) const {
+  return server.fmax();
+}
+
+double WorstCaseVf::decide(const ServerView& view,
+                           const model::ServerSpec& server) const {
+  const double target =
+      server.fmax() * view.total_reference / server.max_capacity();
+  return server.quantize_up(target);
+}
+
+double CorrelationAwareVf::decide(const ServerView& view,
+                                  const model::ServerSpec& server) const {
+  const double cost = std::max(view.correlation_cost, 1.0);
+  const double worst_case =
+      server.fmax() * view.total_reference / server.max_capacity();
+  // Eqn. 4: scale the coincident-peak requirement by 1/Cost_server.
+  return server.quantize_up(worst_case / cost);
+}
+
+DynamicVfController::DynamicVfController(const model::ServerSpec& server,
+                                         std::size_t interval_samples,
+                                         double headroom)
+    : server_(server),
+      interval_(interval_samples),
+      headroom_(headroom),
+      current_f_(server.fmax()) {
+  if (interval_samples == 0) {
+    throw std::invalid_argument("DynamicVfController: interval 0");
+  }
+  if (headroom < 1.0) {
+    throw std::invalid_argument("DynamicVfController: headroom < 1 starves");
+  }
+}
+
+void DynamicVfController::reset(double initial_frequency) {
+  current_f_ = initial_frequency;
+  window_peak_ = 0.0;
+  seen_ = 0;
+}
+
+double DynamicVfController::on_sample(double aggregated_utilization) {
+  window_peak_ = std::max(window_peak_, aggregated_utilization);
+  if (++seen_ >= interval_) {
+    const double target = server_.fmax() * window_peak_ * headroom_ /
+                          server_.max_capacity();
+    current_f_ = server_.quantize_up(target);
+    window_peak_ = 0.0;
+    seen_ = 0;
+  }
+  return current_f_;
+}
+
+std::unique_ptr<VfPolicy> make_vf_policy(const std::string& name) {
+  if (name == "fmax") return std::make_unique<MaxFrequency>();
+  if (name == "worst-case") return std::make_unique<WorstCaseVf>();
+  if (name == "eqn4") return std::make_unique<CorrelationAwareVf>();
+  throw std::invalid_argument("make_vf_policy: unknown policy '" + name + "'");
+}
+
+}  // namespace cava::dvfs

@@ -1,0 +1,95 @@
+// Voltage/frequency selection policies (Sec. IV-C).
+//
+// The static decision is taken once per placement period from predicted
+// references; the dynamic controller re-decides every k utilization samples
+// from measured load (Sec. V-B runs it at every 12 samples = 1 min "to
+// prevent frequent oscillations of v/f level").
+#pragma once
+
+#include "model/server.h"
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace cava::dvfs {
+
+/// What a per-server static v/f decision may consult.
+struct ServerView {
+  /// Sum of (predicted) reference utilizations of co-located VMs, in
+  /// fmax-equivalent cores.
+  double total_reference = 0.0;
+  /// Eqn.-2 weighted correlation cost of the co-location group (>= 1).
+  double correlation_cost = 1.0;
+  /// Number of VMs on the server.
+  std::size_t num_vms = 0;
+};
+
+/// Static (per-period) frequency policy.
+class VfPolicy {
+ public:
+  virtual ~VfPolicy() = default;
+
+  /// Chosen ladder frequency for a server hosting `view`.
+  virtual double decide(const ServerView& view,
+                        const model::ServerSpec& server) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Always fmax — the no-DVFS baseline.
+class MaxFrequency final : public VfPolicy {
+ public:
+  double decide(const ServerView& view,
+                const model::ServerSpec& server) const override;
+  std::string name() const override { return "fmax"; }
+};
+
+/// Provision for the coincident worst case: the smallest ladder frequency
+/// whose capacity covers the *sum* of reference utilizations,
+/// f = quantize_up(fmax * sum(u^)/Ncore). What BFD/PCP pair with in the
+/// static experiment (no correlation information to exploit).
+class WorstCaseVf final : public VfPolicy {
+ public:
+  double decide(const ServerView& view,
+                const model::ServerSpec& server) const override;
+  std::string name() const override { return "worst-case"; }
+};
+
+/// The paper's Eqn. 4: the worst-case frequency lowered by the factor
+/// 1/Cost_server — the empirically safe slack bought by de-correlated
+/// co-location (Fig. 3's linear lower bound).
+class CorrelationAwareVf final : public VfPolicy {
+ public:
+  double decide(const ServerView& view,
+                const model::ServerSpec& server) const override;
+  std::string name() const override { return "eqn4"; }
+};
+
+/// Dynamic controller: tracks the measured aggregated utilization and
+/// re-quantizes the frequency every `interval_samples` samples so the
+/// capacity covers the recent peak plus headroom.
+class DynamicVfController {
+ public:
+  DynamicVfController(const model::ServerSpec& server,
+                      std::size_t interval_samples, double headroom = 1.0);
+
+  /// Feed one aggregated-utilization sample (fmax-equivalent cores).
+  /// Returns the frequency to run the *next* sample at.
+  double on_sample(double aggregated_utilization);
+
+  double current_frequency() const { return current_f_; }
+  void reset(double initial_frequency);
+
+ private:
+  model::ServerSpec server_;
+  std::size_t interval_;
+  double headroom_;
+  double current_f_;
+  double window_peak_ = 0.0;
+  std::size_t seen_ = 0;
+};
+
+/// Factory by name: "fmax", "worst-case", "eqn4".
+std::unique_ptr<VfPolicy> make_vf_policy(const std::string& name);
+
+}  // namespace cava::dvfs

@@ -1,0 +1,78 @@
+#include "model/cooling.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cava::model {
+
+CoolingModel::CoolingModel(CoolingConfig config) : config_(config) {
+  if (config_.fan_overhead_fraction < 0.0) {
+    throw std::invalid_argument("CoolingModel: negative fan overhead");
+  }
+  if (config_.cop_at_threshold <= 0.0 || config_.cop_floor <= 0.0) {
+    throw std::invalid_argument("CoolingModel: COP must be positive");
+  }
+  if (config_.cop_floor > config_.cop_at_threshold) {
+    throw std::invalid_argument("CoolingModel: COP floor above threshold COP");
+  }
+}
+
+double CoolingModel::cop(double outside_temp_c) const {
+  if (outside_temp_c <= config_.free_cooling_threshold_c) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double delta = outside_temp_c - config_.free_cooling_threshold_c;
+  const double c = config_.cop_at_threshold - config_.cop_slope_per_c * delta;
+  return std::max(c, config_.cop_floor);
+}
+
+double CoolingModel::cooling_watts(double it_watts,
+                                   double outside_temp_c) const {
+  if (it_watts < 0.0) {
+    throw std::invalid_argument("CoolingModel: negative IT power");
+  }
+  double overhead = config_.fan_overhead_fraction * it_watts;
+  const double c = cop(outside_temp_c);
+  if (std::isfinite(c)) overhead += it_watts / c;
+  return overhead;
+}
+
+double CoolingModel::pue(double it_watts, double outside_temp_c) const {
+  if (it_watts <= 0.0) return 1.0;
+  return 1.0 + cooling_watts(it_watts, outside_temp_c) / it_watts;
+}
+
+double CoolingModel::facility_energy(
+    const trace::TimeSeries& it_watts,
+    const trace::TimeSeries& outside_temp_c) const {
+  if (it_watts.size() != outside_temp_c.size() ||
+      it_watts.dt() != outside_temp_c.dt()) {
+    throw std::invalid_argument("CoolingModel: mismatched profiles");
+  }
+  double joules = 0.0;
+  for (std::size_t i = 0; i < it_watts.size(); ++i) {
+    joules += (it_watts[i] + cooling_watts(it_watts[i], outside_temp_c[i])) *
+              it_watts.dt();
+  }
+  return joules;
+}
+
+trace::TimeSeries diurnal_temperature(double night_c, double day_c, double dt,
+                                      std::size_t samples) {
+  if (day_c < night_c) {
+    throw std::invalid_argument("diurnal_temperature: day below night");
+  }
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double mid = 0.5 * (day_c + night_c);
+  const double amp = 0.5 * (day_c - night_c);
+  std::vector<double> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    // Peak at 15:00, trough at 03:00.
+    out[i] = mid + amp * std::sin(kTwoPi * (t - 9.0 * 3600.0) / 86400.0);
+  }
+  return trace::TimeSeries(dt, std::move(out));
+}
+
+}  // namespace cava::model

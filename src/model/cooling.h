@@ -1,0 +1,63 @@
+// Datacenter cooling / facility-power model — the extension the paper's own
+// prior work (Kim et al., "Free cooling-aware dynamic power management for
+// green datacenters", HPCS 2012, reference [15]) builds on. Server
+// consolidation's IT-power savings are amplified at the facility level
+// because chiller work scales with the heat to remove and with the outside
+// temperature ("free cooling" uses outside air whenever it is cold enough).
+//
+// Model:
+//   * below free_cooling_threshold_c, only fans run: facility overhead is
+//     fan_overhead_fraction of IT power;
+//   * above it, a chiller with temperature-dependent COP removes the heat:
+//     overhead = IT / COP(T), with COP falling linearly as the outside
+//     temperature rises (typical chilled-water behaviour);
+//   * PUE(T, IT) = 1 + overhead/IT.
+#pragma once
+
+#include "trace/time_series.h"
+
+namespace cava::model {
+
+struct CoolingConfig {
+  double free_cooling_threshold_c = 15.0;
+  /// Fan/air-handling overhead as a fraction of IT power (always paid).
+  double fan_overhead_fraction = 0.08;
+  /// Chiller coefficient of performance at the threshold temperature...
+  double cop_at_threshold = 7.0;
+  /// ...dropping linearly by this much per degree C above the threshold.
+  double cop_slope_per_c = 0.15;
+  /// COP never falls below this floor (equipment limit).
+  double cop_floor = 2.0;
+};
+
+class CoolingModel {
+ public:
+  explicit CoolingModel(CoolingConfig config = {});
+
+  /// Chiller coefficient of performance at the given outside temperature
+  /// (infinite — i.e. unused — below the free-cooling threshold).
+  double cop(double outside_temp_c) const;
+
+  /// Facility (non-IT) power drawn to cool `it_watts` at temperature T.
+  double cooling_watts(double it_watts, double outside_temp_c) const;
+
+  /// Power-usage-effectiveness at this operating point (>= 1).
+  double pue(double it_watts, double outside_temp_c) const;
+
+  /// Total facility energy (J) for an IT-power profile sampled on the same
+  /// grid as the temperature profile.
+  double facility_energy(const trace::TimeSeries& it_watts,
+                         const trace::TimeSeries& outside_temp_c) const;
+
+  const CoolingConfig& config() const { return config_; }
+
+ private:
+  CoolingConfig config_;
+};
+
+/// A simple diurnal outside-temperature profile: sinusoid between night_c
+/// and day_c peaking mid-afternoon.
+trace::TimeSeries diurnal_temperature(double night_c, double day_c, double dt,
+                                      std::size_t samples);
+
+}  // namespace cava::model

@@ -1,0 +1,52 @@
+#include "model/power.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace cava::model {
+
+PowerModel::PowerModel(PowerModelConfig config, double fmax_ghz)
+    : config_(config), fmax_ghz_(fmax_ghz) {
+  if (fmax_ghz <= 0.0) throw std::invalid_argument("PowerModel: fmax <= 0");
+  if (config.peak_watts_at_fmax < config.idle_watts_at_fmax) {
+    throw std::invalid_argument("PowerModel: peak watts below idle watts");
+  }
+  if (config.static_fraction < 0.0 || config.static_fraction > 1.0) {
+    throw std::invalid_argument("PowerModel: static_fraction outside [0,1]");
+  }
+}
+
+double PowerModel::power(double f_ghz, double busy_fraction) const {
+  const double u = util::clamp(busy_fraction, 0.0, 1.0);
+  const double ratio = f_ghz / fmax_ghz_;
+  const double scale = std::pow(ratio, config_.freq_exponent);
+  const double p_static = config_.static_fraction * config_.idle_watts_at_fmax;
+  const double k_idle = (1.0 - config_.static_fraction) * config_.idle_watts_at_fmax;
+  const double k_dyn = config_.peak_watts_at_fmax - config_.idle_watts_at_fmax;
+  return p_static + k_idle * scale + k_dyn * scale * u;
+}
+
+double PowerModel::energy(double f_ghz, double busy_fraction,
+                          double dt_seconds) const {
+  return power(f_ghz, busy_fraction) * dt_seconds;
+}
+
+PowerModel PowerModel::xeon_e5410() {
+  // Harpertown-era 2S server: ~165 W idle, ~245 W loaded at top bin.
+  PowerModelConfig cfg;
+  cfg.idle_watts_at_fmax = 165.0;
+  cfg.peak_watts_at_fmax = 245.0;
+  return PowerModel(cfg, ServerSpec::xeon_e5410().fmax());
+}
+
+PowerModel PowerModel::dell_r815() {
+  // 4-socket Opteron 6174 box: substantially higher wall power.
+  PowerModelConfig cfg;
+  cfg.idle_watts_at_fmax = 260.0;
+  cfg.peak_watts_at_fmax = 440.0;
+  return PowerModel(cfg, ServerSpec::dell_r815().fmax());
+}
+
+}  // namespace cava::model

@@ -1,0 +1,59 @@
+// Virtualized-server power model, after Pedram & Hwang, "Power and
+// performance modeling in a virtualized server system" (ICPPW 2010) — the
+// paper's reference [13] for Setup-2.
+//
+// The model decomposes server power into:
+//   * a frequency-independent static part (fans, disks, leakage floor),
+//   * a frequency-dependent idle part scaling with C*V^2*f ~ f^3 under the
+//     usual assumption that voltage tracks frequency linearly over the
+//     ladder, and
+//   * a dynamic part proportional to core busy-fraction, also scaling ~ f^3.
+//
+//   P(f, u) = P_static + k_idle * (f/fmax)^3 + k_dyn * (f/fmax)^3 * u
+//
+// where u in [0,1] is the fraction of busy cycles at frequency f. Calibrated
+// so that P(fmax, 0) and P(fmax, 1) match published idle/full-load wall power
+// of the paper's machines.
+#pragma once
+
+#include "model/server.h"
+
+namespace cava::model {
+
+struct PowerModelConfig {
+  double idle_watts_at_fmax = 165.0;   ///< P(fmax, 0)
+  double peak_watts_at_fmax = 245.0;   ///< P(fmax, 1)
+  /// Fraction of idle power that does not scale with frequency.
+  double static_fraction = 0.6;
+  /// Exponent of the frequency scaling of the non-static parts (3 for the
+  /// classical CV^2f law with V proportional to f).
+  double freq_exponent = 3.0;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelConfig config, double fmax_ghz);
+
+  /// Instantaneous power draw at frequency f with busy-fraction u in [0,1].
+  /// u is clamped into [0,1]; a server cannot be busier than saturated.
+  double power(double f_ghz, double busy_fraction) const;
+
+  /// Energy in joules over dt seconds at constant (f, u).
+  double energy(double f_ghz, double busy_fraction, double dt_seconds) const;
+
+  /// Power of a powered-down (inactive) server. Consolidation's whole point:
+  /// an idle-but-on server still burns P(f, 0), an off server burns ~0.
+  double off_watts() const { return 0.0; }
+
+  const PowerModelConfig& config() const { return config_; }
+
+  /// Calibrations for the paper's platforms (vendor-typical wall power).
+  static PowerModel xeon_e5410();
+  static PowerModel dell_r815();
+
+ private:
+  PowerModelConfig config_;
+  double fmax_ghz_;
+};
+
+}  // namespace cava::model

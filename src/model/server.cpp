@@ -1,0 +1,56 @@
+#include "model/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cava::model {
+
+ServerSpec::ServerSpec(std::string name, int cores, std::vector<double> freq_ghz)
+    : name_(std::move(name)), cores_(cores), freq_ghz_(std::move(freq_ghz)) {
+  if (cores_ <= 0) throw std::invalid_argument("ServerSpec: cores must be > 0");
+  if (freq_ghz_.empty()) {
+    throw std::invalid_argument("ServerSpec: need at least one frequency");
+  }
+  if (!std::is_sorted(freq_ghz_.begin(), freq_ghz_.end())) {
+    throw std::invalid_argument("ServerSpec: frequencies must be ascending");
+  }
+  if (freq_ghz_.front() <= 0.0) {
+    throw std::invalid_argument("ServerSpec: frequencies must be positive");
+  }
+}
+
+double ServerSpec::capacity_at(double f_ghz) const {
+  return static_cast<double>(cores_) * f_ghz / fmax();
+}
+
+double ServerSpec::quantize_up(double f_ghz) const {
+  for (double f : freq_ghz_) {
+    if (f >= f_ghz - 1e-12) return f;
+  }
+  return fmax();
+}
+
+double ServerSpec::quantize_down(double f_ghz) const {
+  double best = fmin();
+  for (double f : freq_ghz_) {
+    if (f <= f_ghz + 1e-12) best = f;
+  }
+  return best;
+}
+
+std::size_t ServerSpec::level_index(double f_ghz) const {
+  for (std::size_t i = 0; i < freq_ghz_.size(); ++i) {
+    if (std::fabs(freq_ghz_[i] - f_ghz) < 1e-9) return i;
+  }
+  throw std::invalid_argument("ServerSpec::level_index: not a ladder level");
+}
+
+ServerSpec ServerSpec::dell_r815() {
+  return ServerSpec("DELL-PowerEdge-R815", 8, {1.9, 2.1});
+}
+
+ServerSpec ServerSpec::xeon_e5410() {
+  return ServerSpec("Intel-Xeon-E5410", 8, {2.0, 2.3});
+}
+
+}  // namespace cava::model

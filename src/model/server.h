@@ -1,0 +1,55 @@
+// Homogeneous server model (Sec. IV: "we assume that servers are
+// homogeneous, and each of them consists of Ncore cores with multiple
+// frequency levels").
+//
+// Utilization and capacity are expressed in *fmax-equivalent cores*: a VM
+// whose demand is 3.0 needs three cores running at fmax. Running a server at
+// frequency f shrinks its effective capacity to Ncore * f / fmax, which is
+// exactly the headroom Eqn. 4 trades against the correlation cost.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cava::model {
+
+class ServerSpec {
+ public:
+  /// freq_ghz must be non-empty, ascending, positive.
+  ServerSpec(std::string name, int cores, std::vector<double> freq_ghz);
+
+  const std::string& name() const { return name_; }
+  int cores() const { return cores_; }
+
+  const std::vector<double>& frequencies() const { return freq_ghz_; }
+  double fmin() const { return freq_ghz_.front(); }
+  double fmax() const { return freq_ghz_.back(); }
+  std::size_t num_levels() const { return freq_ghz_.size(); }
+
+  /// Effective capacity in fmax-equivalent cores at frequency f.
+  double capacity_at(double f_ghz) const;
+  /// Capacity at fmax (== cores()).
+  double max_capacity() const { return static_cast<double>(cores_); }
+
+  /// Smallest ladder frequency >= f (clamped to fmax). This is how a
+  /// continuous Eqn.-4 target is mapped onto discrete hardware levels
+  /// without violating the capacity the target guarantees.
+  double quantize_up(double f_ghz) const;
+  /// Largest ladder frequency <= f (clamped to fmin).
+  double quantize_down(double f_ghz) const;
+  /// Index of a ladder frequency; throws if f is not a ladder level.
+  std::size_t level_index(double f_ghz) const;
+
+  /// The paper's two experimental platforms.
+  static ServerSpec dell_r815();    ///< 8 cores, {1.9, 2.1} GHz (Setup-1)
+  static ServerSpec xeon_e5410();   ///< 8 cores, {2.0, 2.3} GHz (Setup-2)
+
+ private:
+  std::string name_;
+  int cores_;
+  std::vector<double> freq_ghz_;
+};
+
+}  // namespace cava::model

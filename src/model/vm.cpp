@@ -1,0 +1,11 @@
+#include "model/vm.h"
+
+namespace cava::model {
+
+double total_demand(const std::vector<VmDemand>& demands) {
+  double s = 0.0;
+  for (const auto& d : demands) s += d.reference;
+  return s;
+}
+
+}  // namespace cava::model

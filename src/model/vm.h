@@ -1,0 +1,27 @@
+// VM descriptors shared by the placement and simulation layers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cava::model {
+
+/// Static identity of a VM.
+struct VmSpec {
+  std::size_t id = 0;     ///< index into the trace set / cost matrix
+  std::string name;
+  int cluster_id = -1;    ///< service cluster; -1 when unknown
+};
+
+/// A VM's resource demand as seen by one placement round: the (predicted)
+/// reference utilization u^ in fmax-equivalent cores.
+struct VmDemand {
+  std::size_t vm = 0;      ///< VmSpec::id
+  double reference = 0.0;  ///< predicted u^ for the upcoming period
+};
+
+/// Sum of demands.
+double total_demand(const std::vector<VmDemand>& demands);
+
+}  // namespace cava::model

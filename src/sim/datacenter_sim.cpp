@@ -1,0 +1,272 @@
+#include "sim/datacenter_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "alloc/migration.h"
+#include "alloc/pcp.h"
+#include "util/math_util.h"
+
+namespace cava::sim {
+
+DatacenterSimulator::DatacenterSimulator(SimConfig config)
+    : config_(std::move(config)) {
+  if (config_.max_servers == 0) {
+    throw std::invalid_argument("DatacenterSimulator: max_servers 0");
+  }
+  if (config_.period_seconds <= 0.0) {
+    throw std::invalid_argument("DatacenterSimulator: period <= 0");
+  }
+}
+
+SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
+                                   alloc::PlacementPolicy& policy,
+                                   const dvfs::VfPolicy* static_vf) const {
+  const std::size_t n = traces.size();
+  if (n == 0) throw std::invalid_argument("DatacenterSimulator: no traces");
+  const double dt = traces.dt();
+  const auto samples_per_period =
+      static_cast<std::size_t>(std::llround(config_.period_seconds / dt));
+  if (samples_per_period == 0) {
+    throw std::invalid_argument("DatacenterSimulator: period shorter than dt");
+  }
+  const std::size_t total_samples = traces.samples_per_trace();
+  const std::size_t num_periods = total_samples / samples_per_period;
+  if (num_periods == 0) {
+    throw std::invalid_argument("DatacenterSimulator: trace shorter than one period");
+  }
+  if (config_.vf_mode == VfMode::kStatic && static_vf == nullptr) {
+    throw std::invalid_argument("DatacenterSimulator: static mode needs a VfPolicy");
+  }
+
+  SimResult result;
+  result.policy_name = policy.name();
+  result.freq_residency_seconds.assign(
+      config_.max_servers,
+      std::vector<double>(config_.server.num_levels(), 0.0));
+
+  // Per-VM predictors of next-period reference utilization.
+  std::vector<std::unique_ptr<trace::Predictor>> predictors;
+  predictors.reserve(n);
+  const auto prototype = trace::make_predictor(config_.predictor);
+  for (std::size_t i = 0; i < n; ++i) {
+    predictors.push_back(prototype->clone_fresh());
+  }
+
+  // Correlation statistics of the *previous* period, consumed by placement
+  // and the static v/f decision of the current one.
+  corr::CostMatrix prev_matrix(n, config_.reference);
+  corr::CostMatrix curr_matrix(n, config_.reference);
+  corr::MomentMatrix prev_moments(n);
+  corr::MomentMatrix curr_moments(n);
+
+  std::size_t violated_instances = 0;
+  std::size_t active_instances = 0;
+  double active_servers_sum = 0.0;
+  std::optional<alloc::Placement> prev_placement;
+
+  std::vector<double> tick(n);
+
+  for (std::size_t p = 0; p < num_periods; ++p) {
+    const std::size_t first = p * samples_per_period;
+
+    // ---- UPDATE: reference predictions. ----
+    std::vector<model::VmDemand> demands(n);
+    if (p == 0) {
+      // Oracle bootstrap: no history exists yet.
+      for (std::size_t i = 0; i < n; ++i) {
+        const trace::TimeSeries window =
+            traces[i].series.slice(first, samples_per_period);
+        demands[i] = {i, trace::reference_of(window.samples(), config_.reference)};
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        demands[i] = {i, predictors[i]->predict()};
+      }
+    }
+
+    // Previous-period history slice for envelope-based policies.
+    trace::TraceSet history;
+    const std::size_t hist_first = p == 0 ? first : first - samples_per_period;
+    for (std::size_t i = 0; i < n; ++i) {
+      trace::VmTrace t;
+      t.name = traces[i].name;
+      t.cluster_id = traces[i].cluster_id;
+      t.series = traces[i].series.slice(hist_first, samples_per_period);
+      history.add(std::move(t));
+    }
+    if (p == 0) {
+      // Bootstrap the matrix from the same oracle window.
+      prev_matrix.reset();
+      prev_moments.reset();
+      for (std::size_t s = 0; s < samples_per_period; ++s) {
+        for (std::size_t i = 0; i < n; ++i) tick[i] = traces[i].series[first + s];
+        prev_matrix.add_sample(tick);
+        prev_moments.add_sample(tick);
+      }
+    }
+
+    // ---- ALLOCATE. ----
+    alloc::PlacementContext ctx;
+    ctx.server = config_.server;
+    ctx.max_servers = config_.max_servers;
+    ctx.cost_matrix = &prev_matrix;
+    ctx.moments = &prev_moments;
+    ctx.history = &history;
+    const alloc::Placement placement = policy.place(demands, ctx);
+
+    PeriodRecord record;
+    record.active_servers = placement.active_servers();
+    if (auto* pcp = dynamic_cast<alloc::PeakClusteringPlacement*>(&policy)) {
+      record.placement_clusters = pcp->last_cluster_count();
+    }
+    active_servers_sum += static_cast<double>(record.active_servers);
+
+    // Migration accounting against the previous period's placement.
+    if (prev_placement.has_value()) {
+      std::vector<double> demand_by_vm(n, 0.0);
+      for (const auto& d : demands) demand_by_vm[d.vm] = d.reference;
+      const alloc::MigrationStats moves =
+          alloc::count_migrations(*prev_placement, placement, demand_by_vm);
+      record.migrated_vms = moves.migrated_vms;
+      record.migrated_cores = moves.migrated_cores;
+      result.total_migrated_vms += moves.migrated_vms;
+      result.total_migrated_cores += moves.migrated_cores;
+    }
+    prev_placement = placement;
+
+    // ---- Static v/f decision per server. ----
+    std::vector<double> static_f(config_.max_servers, config_.server.fmax());
+    std::vector<dvfs::DynamicVfController> controllers;
+    if (config_.vf_mode == VfMode::kDynamic) {
+      controllers.assign(config_.max_servers,
+                         dvfs::DynamicVfController(
+                             config_.server, config_.dynamic_interval_samples,
+                             config_.dynamic_headroom));
+    }
+    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      const auto vms = placement.vms_on(s);
+      if (vms.empty()) continue;
+      if (config_.vf_mode == VfMode::kStatic) {
+        dvfs::ServerView view;
+        for (std::size_t vm : vms) view.total_reference += demands[vm].reference;
+        view.correlation_cost = prev_matrix.server_cost(vms);
+        view.num_vms = vms.size();
+        static_f[s] = static_vf->decide(view, config_.server);
+      } else if (config_.vf_mode == VfMode::kOracleStatic) {
+        // Perfect foresight: the lowest ladder level whose capacity covers
+        // this period's actual aggregated peak on this server.
+        double peak = 0.0;
+        for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
+          double agg = 0.0;
+          for (std::size_t vm : vms) agg += traces[vm].series[first + s_idx];
+          peak = std::max(peak, agg);
+        }
+        static_f[s] = config_.server.quantize_up(
+            config_.server.fmax() * peak / config_.server.max_capacity());
+      }
+    }
+
+    // ---- REPLAY. ----
+    const bool cumulative = config_.cost_horizon == CostHorizon::kCumulative;
+    // Cumulative horizon: keep integrating into the living matrix (period 0
+    // was already fed by the bootstrap). Per-period horizon: fill a fresh
+    // matrix and roll it over at period end.
+    curr_matrix.reset();
+    curr_moments.reset();
+    corr::CostMatrix& fed_matrix = cumulative ? prev_matrix : curr_matrix;
+    corr::MomentMatrix& fed_moments = cumulative ? prev_moments : curr_moments;
+    const bool feed = !(cumulative && p == 0);
+    double period_energy = 0.0;
+    double freq_weighted_time = 0.0;
+    double active_time = 0.0;
+    std::vector<std::size_t> server_violations(config_.max_servers, 0);
+
+    for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
+      for (std::size_t i = 0; i < n; ++i) {
+        tick[i] = traces[i].series[first + s_idx];
+      }
+      if (feed) {
+        fed_matrix.add_sample(tick);
+        fed_moments.add_sample(tick);
+      }
+
+      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+        const auto vms = placement.vms_on(s);
+        if (vms.empty()) continue;
+        double agg = 0.0;
+        for (std::size_t vm : vms) agg += tick[vm];
+
+        double f = static_f[s];
+        if (config_.vf_mode == VfMode::kDynamic) {
+          f = controllers[s].current_frequency();
+        } else if (config_.vf_mode == VfMode::kNone) {
+          f = config_.server.fmax();
+        }
+
+        const double capacity = config_.server.capacity_at(f);
+        if (agg > capacity + 1e-9) {
+          ++server_violations[s];
+          ++violated_instances;
+        }
+        ++active_instances;
+
+        const double busy_cores =
+            std::min(agg * config_.server.fmax() / f,
+                     static_cast<double>(config_.server.cores()));
+        const double busy_fraction =
+            busy_cores / static_cast<double>(config_.server.cores());
+        period_energy += config_.power.energy(f, busy_fraction, dt);
+        result.freq_residency_seconds[s][config_.server.level_index(f)] += dt;
+        freq_weighted_time += f * dt;
+        active_time += dt;
+
+        if (config_.vf_mode == VfMode::kDynamic) {
+          controllers[s].on_sample(agg);
+        }
+      }
+    }
+
+    // ---- Period wrap-up. ----
+    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      if (placement.vms_on(s).empty()) continue;
+      const double ratio = static_cast<double>(server_violations[s]) /
+                           static_cast<double>(samples_per_period);
+      record.max_server_violation_ratio =
+          std::max(record.max_server_violation_ratio, ratio);
+    }
+    period_energy +=
+        config_.migration_energy_joules_per_core * record.migrated_cores;
+    record.energy_joules = period_energy;
+    record.mean_frequency = active_time > 0.0 ? freq_weighted_time / active_time : 0.0;
+    result.periods.push_back(record);
+    result.total_energy_joules += period_energy;
+    result.max_violation_ratio =
+        std::max(result.max_violation_ratio, record.max_server_violation_ratio);
+
+    // Observed references feed the predictors; statistics roll over.
+    for (std::size_t i = 0; i < n; ++i) {
+      const trace::TimeSeries window =
+          traces[i].series.slice(first, samples_per_period);
+      predictors[i]->observe(
+          trace::reference_of(window.samples(), config_.reference));
+    }
+    if (!cumulative) {
+      std::swap(prev_matrix, curr_matrix);
+      std::swap(prev_moments, curr_moments);
+    }
+  }
+
+  result.overall_violation_fraction =
+      active_instances > 0
+          ? static_cast<double>(violated_instances) /
+                static_cast<double>(active_instances)
+          : 0.0;
+  result.mean_active_servers =
+      active_servers_sum / static_cast<double>(num_periods);
+  return result;
+}
+
+}  // namespace cava::sim

@@ -1,0 +1,86 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace cava::sim {
+
+util::Json to_json(const SimResult& result) {
+  util::Json j = util::Json::object();
+  j["policy"] = result.policy_name;
+  j["total_energy_joules"] = result.total_energy_joules;
+  j["max_violation_ratio"] = result.max_violation_ratio;
+  j["overall_violation_fraction"] = result.overall_violation_fraction;
+  j["mean_active_servers"] = result.mean_active_servers;
+  j["total_migrated_vms"] = result.total_migrated_vms;
+  j["total_migrated_cores"] = result.total_migrated_cores;
+
+  util::Json periods = util::Json::array();
+  for (const auto& p : result.periods) {
+    util::Json jp = util::Json::object();
+    jp["active_servers"] = p.active_servers;
+    jp["max_server_violation_ratio"] = p.max_server_violation_ratio;
+    jp["energy_joules"] = p.energy_joules;
+    jp["mean_frequency_ghz"] = p.mean_frequency;
+    if (p.placement_clusters >= 0) jp["placement_clusters"] = p.placement_clusters;
+    jp["migrated_vms"] = p.migrated_vms;
+    jp["migrated_cores"] = p.migrated_cores;
+    periods.push_back(std::move(jp));
+  }
+  j["periods"] = std::move(periods);
+
+  util::Json residency = util::Json::array();
+  for (const auto& server : result.freq_residency_seconds) {
+    util::Json levels = util::Json::array();
+    for (double seconds : server) levels.push_back(seconds);
+    residency.push_back(std::move(levels));
+  }
+  j["freq_residency_seconds"] = std::move(residency);
+  return j;
+}
+
+util::Json comparison_json(const std::vector<SimResult>& results) {
+  util::Json j = util::Json::array();
+  const double base =
+      results.empty() ? 1.0 : results.front().total_energy_joules;
+  for (const auto& r : results) {
+    util::Json entry = util::Json::object();
+    entry["policy"] = r.policy_name;
+    entry["normalized_power"] = base > 0.0 ? r.total_energy_joules / base : 0.0;
+    entry["max_violation_percent"] = 100.0 * r.max_violation_ratio;
+    entry["mean_active_servers"] = r.mean_active_servers;
+    entry["migrated_vms"] = r.total_migrated_vms;
+    j.push_back(std::move(entry));
+  }
+  return j;
+}
+
+std::string summary_line(const SimResult& result) {
+  std::ostringstream ss;
+  ss << result.policy_name << ": "
+     << util::TextTable::format(result.total_energy_joules / 3.6e6, 2)
+     << " kWh, max viol "
+     << util::TextTable::format(100.0 * result.max_violation_ratio, 1)
+     << "%, "
+     << util::TextTable::format(result.mean_active_servers, 1)
+     << " servers, " << result.total_migrated_vms << " migrations";
+  return ss.str();
+}
+
+void print_comparison(const std::vector<SimResult>& results,
+                      std::ostream& out) {
+  util::TextTable table({"policy", "normalized power", "max viol (%)",
+                         "servers", "migrations"});
+  const double base =
+      results.empty() ? 1.0 : results.front().total_energy_joules;
+  for (const auto& r : results) {
+    table.add_row(r.policy_name,
+                  {base > 0.0 ? r.total_energy_joules / base : 0.0,
+                   100.0 * r.max_violation_ratio, r.mean_active_servers,
+                   static_cast<double>(r.total_migrated_vms)});
+  }
+  table.print(out);
+}
+
+}  // namespace cava::sim

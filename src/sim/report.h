@@ -1,0 +1,30 @@
+// Result reporting: serialize SimResult (and policy comparisons) to JSON
+// for downstream analysis, and render quick console summaries.
+#pragma once
+
+#include "sim/datacenter_sim.h"
+#include "util/json.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cava::sim {
+
+/// Full JSON export of one simulation result, including per-period records
+/// and frequency residency.
+util::Json to_json(const SimResult& result);
+
+/// Compact JSON comparing several runs: one entry per policy with power
+/// normalized to the first run.
+util::Json comparison_json(const std::vector<SimResult>& results);
+
+/// One-line console summary ("BFD: 12.3 kWh, max viol 18.2%, 12.7 servers").
+std::string summary_line(const SimResult& result);
+
+/// Render a comparison table (normalized power, violations, servers,
+/// migrations) for several runs, normalized to the first.
+void print_comparison(const std::vector<SimResult>& results,
+                      std::ostream& out);
+
+}  // namespace cava::sim

@@ -1,0 +1,96 @@
+#include "trace/predictor.h"
+
+#include <stdexcept>
+
+#include "util/math_util.h"
+#include "util/table.h"
+
+namespace cava::trace {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window)
+    : window_(window) {}
+
+void MovingAveragePredictor::observe(double value) { window_.push(value); }
+
+double MovingAveragePredictor::predict() const {
+  if (window_.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < window_.size(); ++i) s += window_[i];
+  return s / static_cast<double>(window_.size());
+}
+
+std::string MovingAveragePredictor::name() const {
+  return "moving-average(" + std::to_string(window_.capacity()) + ")";
+}
+
+std::unique_ptr<Predictor> MovingAveragePredictor::clone_fresh() const {
+  return std::make_unique<MovingAveragePredictor>(window_.capacity());
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("EwmaPredictor: alpha must be in (0,1]");
+  }
+}
+
+void EwmaPredictor::observe(double value) {
+  if (!seen_) {
+    ewma_ = value;
+    seen_ = true;
+  } else {
+    ewma_ = alpha_ * value + (1.0 - alpha_) * ewma_;
+  }
+}
+
+std::string EwmaPredictor::name() const {
+  return "ewma(" + util::TextTable::format(alpha_, 2) + ")";
+}
+
+std::unique_ptr<Predictor> EwmaPredictor::clone_fresh() const {
+  return std::make_unique<EwmaPredictor>(alpha_);
+}
+
+Ar1Predictor::Ar1Predictor(std::size_t history) : history_(history) {
+  if (history < 3) {
+    throw std::invalid_argument("Ar1Predictor: need history >= 3");
+  }
+}
+
+void Ar1Predictor::observe(double value) { history_.push(value); }
+
+double Ar1Predictor::predict() const {
+  const std::size_t n = history_.size();
+  if (n == 0) return 0.0;
+  if (n < 3) return history_.back();
+  // Least-squares fit of consecutive pairs (y_t, y_{t+1}).
+  std::vector<double> xs, ys;
+  xs.reserve(n - 1);
+  ys.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    xs.push_back(history_[i]);
+    ys.push_back(history_[i + 1]);
+  }
+  try {
+    const util::LineFit fit = util::fit_line(xs, ys);
+    const double pred = fit.slope * history_.back() + fit.intercept;
+    // A wildly extrapolating fit on a short, noisy history is worse than
+    // falling back to persistence.
+    return pred >= 0.0 ? pred : history_.back();
+  } catch (const std::invalid_argument&) {
+    return history_.back();
+  }
+}
+
+std::unique_ptr<Predictor> Ar1Predictor::clone_fresh() const {
+  return std::make_unique<Ar1Predictor>(history_.capacity());
+}
+
+std::unique_ptr<Predictor> make_predictor(const std::string& name) {
+  if (name == "last-value") return std::make_unique<LastValuePredictor>();
+  if (name == "moving-average") return std::make_unique<MovingAveragePredictor>(4);
+  if (name == "ewma") return std::make_unique<EwmaPredictor>(0.5);
+  if (name == "ar1") return std::make_unique<Ar1Predictor>();
+  throw std::invalid_argument("make_predictor: unknown predictor '" + name + "'");
+}
+
+}  // namespace cava::trace

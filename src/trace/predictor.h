@@ -1,0 +1,102 @@
+// Per-period workload predictors.
+//
+// The placement algorithm's UPDATE phase "predicts the workload based on
+// history" (Fig. 2, line 5); the paper's Setup-2 uses a last-value predictor.
+// We provide that plus common alternatives so the prediction error's effect
+// on violations (discussed in Sec. V-B) can be studied.
+#pragma once
+
+#include "util/ring_buffer.h"
+
+#include <memory>
+#include <string>
+
+namespace cava::trace {
+
+/// Predicts the next period's reference utilization from the sequence of
+/// past per-period observations. One instance per VM.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Record the reference utilization observed over the period that just
+  /// ended.
+  virtual void observe(double value) = 0;
+
+  /// Predict the next period's reference utilization. Implementations must
+  /// return 0 when no observation has been made yet.
+  virtual double predict() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Fresh instance with the same configuration (for per-VM replication).
+  virtual std::unique_ptr<Predictor> clone_fresh() const = 0;
+};
+
+/// y(t+1) = y(t). The paper's choice.
+class LastValuePredictor final : public Predictor {
+ public:
+  void observe(double value) override {
+    last_ = value;
+    seen_ = true;
+  }
+  double predict() const override { return seen_ ? last_ : 0.0; }
+  std::string name() const override { return "last-value"; }
+  std::unique_ptr<Predictor> clone_fresh() const override {
+    return std::make_unique<LastValuePredictor>();
+  }
+
+ private:
+  double last_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Mean of the last k observations.
+class MovingAveragePredictor final : public Predictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t window);
+
+  void observe(double value) override;
+  double predict() const override;
+  std::string name() const override;
+  std::unique_ptr<Predictor> clone_fresh() const override;
+
+ private:
+  util::RingBuffer<double> window_;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha.
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha);
+
+  void observe(double value) override;
+  double predict() const override { return seen_ ? ewma_ : 0.0; }
+  std::string name() const override;
+  std::unique_ptr<Predictor> clone_fresh() const override;
+
+ private:
+  double alpha_;
+  double ewma_ = 0.0;
+  bool seen_ = false;
+};
+
+/// AR(1) predictor: fits y(t+1) = a*y(t) + b over the retained history by
+/// least squares and extrapolates one step.
+class Ar1Predictor final : public Predictor {
+ public:
+  explicit Ar1Predictor(std::size_t history = 24);
+
+  void observe(double value) override;
+  double predict() const override;
+  std::string name() const override { return "ar1"; }
+  std::unique_ptr<Predictor> clone_fresh() const override;
+
+ private:
+  util::RingBuffer<double> history_;
+};
+
+/// Factory by name: "last-value", "moving-average", "ewma", "ar1".
+std::unique_ptr<Predictor> make_predictor(const std::string& name);
+
+}  // namespace cava::trace

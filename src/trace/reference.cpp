@@ -1,0 +1,51 @@
+#include "trace/reference.h"
+
+#include "util/math_util.h"
+
+namespace cava::trace {
+
+ReferenceEstimator::ReferenceEstimator(ReferenceSpec spec) : spec_(spec) {
+  if (spec_.kind == ReferenceSpec::Kind::kPercentile) {
+    quantile_ = std::make_unique<P2Quantile>(spec_.percentile / 100.0);
+  }
+}
+
+ReferenceEstimator::ReferenceEstimator(const ReferenceEstimator& other)
+    : spec_(other.spec_), stats_(other.stats_) {
+  if (other.quantile_) quantile_ = std::make_unique<P2Quantile>(*other.quantile_);
+}
+
+ReferenceEstimator& ReferenceEstimator::operator=(
+    const ReferenceEstimator& other) {
+  if (this == &other) return *this;
+  spec_ = other.spec_;
+  stats_ = other.stats_;
+  quantile_ = other.quantile_ ? std::make_unique<P2Quantile>(*other.quantile_)
+                              : nullptr;
+  return *this;
+}
+
+void ReferenceEstimator::add(double u) {
+  stats_.add(u);
+  if (quantile_) quantile_->add(u);
+}
+
+void ReferenceEstimator::reset() {
+  stats_.reset();
+  if (quantile_) quantile_->reset();
+}
+
+double ReferenceEstimator::value() const {
+  if (stats_.count() == 0) return 0.0;
+  if (spec_.kind == ReferenceSpec::Kind::kPeak) return stats_.max();
+  return quantile_->value();
+}
+
+double reference_of(std::span<const double> samples, ReferenceSpec spec) {
+  if (spec.kind == ReferenceSpec::Kind::kPeak) {
+    return util::max_value(samples);
+  }
+  return util::percentile(samples, spec.percentile);
+}
+
+}  // namespace cava::trace

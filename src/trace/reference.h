@@ -1,0 +1,55 @@
+// Reference utilization u^ (Eqn. 1 of the paper): "either the peak or the
+// Nth percentile value depending on QoS requirement", estimated streaming
+// over a measurement period.
+#pragma once
+
+#include "trace/streaming_stats.h"
+
+#include <memory>
+#include <span>
+
+namespace cava::trace {
+
+/// Which statistic defines a VM's reference utilization u^.
+struct ReferenceSpec {
+  enum class Kind { kPeak, kPercentile };
+
+  Kind kind = Kind::kPeak;
+  /// Percentile in (0,100); only meaningful for kPercentile.
+  double percentile = 95.0;
+
+  static ReferenceSpec peak() { return {Kind::kPeak, 0.0}; }
+  static ReferenceSpec nth(double p) { return {Kind::kPercentile, p}; }
+};
+
+/// Streaming estimator of u^ for one signal over one period: O(1) memory,
+/// updated at every utilization sample (the property Sec. IV-A claims over
+/// Pearson-based metrics).
+class ReferenceEstimator {
+ public:
+  explicit ReferenceEstimator(ReferenceSpec spec);
+  ReferenceEstimator(const ReferenceEstimator& other);
+  ReferenceEstimator& operator=(const ReferenceEstimator& other);
+  ReferenceEstimator(ReferenceEstimator&&) noexcept = default;
+  ReferenceEstimator& operator=(ReferenceEstimator&&) noexcept = default;
+  ~ReferenceEstimator() = default;
+
+  void add(double u);
+  void reset();
+
+  std::size_t count() const { return stats_.count(); }
+  /// Current u^ estimate (0 when no samples seen).
+  double value() const;
+
+  const ReferenceSpec& spec() const { return spec_; }
+
+ private:
+  ReferenceSpec spec_;
+  StreamingStats stats_;                   // always tracks max
+  std::unique_ptr<P2Quantile> quantile_;   // only for kPercentile
+};
+
+/// One-shot u^ of a whole sample vector under the given spec.
+double reference_of(std::span<const double> samples, ReferenceSpec spec);
+
+}  // namespace cava::trace

@@ -1,0 +1,145 @@
+#include "trace/streaming_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::trace {
+
+void StreamingStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::reset() { *this = StreamingStats{}; }
+
+double StreamingStats::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingPearson::add(double x, double y) {
+  ++n_;
+  const double dx = x - mean_x_;
+  mean_x_ += dx / static_cast<double>(n_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / static_cast<double>(n_);
+  // Note: cov update uses the pre-update dx and post-update mean_y_,
+  // the standard one-pass co-moment recurrence.
+  cov_ += dx * (y - mean_y_);
+  m2_x_ += dx * (x - mean_x_);
+  m2_y_ += dy * (y - mean_y_);
+}
+
+void StreamingPearson::reset() { *this = StreamingPearson{}; }
+
+double StreamingPearson::correlation() const {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2_x_ * m2_y_);
+  if (denom <= 0.0) return 0.0;
+  return cov_ / denom;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0) {
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  }
+  reset();
+}
+
+void P2Quantile::reset() {
+  n_ = 0;
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  heights_.fill(0.0);
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[static_cast<std::size_t>(i)];
+  const double qm = heights_[static_cast<std::size_t>(i - 1)];
+  const double qp = heights_[static_cast<std::size_t>(i + 1)];
+  const double ni = positions_[static_cast<std::size_t>(i)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  return qi + d / (np - nm) *
+                  ((ni - nm + d) * (qp - qi) / (np - ni) +
+                   (np - ni - d) * (qi - qm) / (ni - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto ui = static_cast<std::size_t>(i);
+  const auto uj = static_cast<std::size_t>(i + static_cast<int>(d));
+  return heights_[ui] + d * (heights_[uj] - heights_[ui]) /
+                            (positions_[uj] - positions_[ui]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++n_;
+  // Locate cell k such that heights_[k] <= x < heights_[k+1].
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[static_cast<std::size_t>(k + 1)]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<std::size_t>(i)] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[static_cast<std::size_t>(i)] += increments_[static_cast<std::size_t>(i)];
+
+  // Adjust interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double d = desired_[ui] - positions_[ui];
+    const double np = positions_[ui + 1];
+    const double nm = positions_[ui - 1];
+    if ((d >= 1.0 && np - positions_[ui] > 1.0) ||
+        (d <= -1.0 && nm - positions_[ui] < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, sign);
+      if (heights_[ui - 1] < candidate && candidate < heights_[ui + 1]) {
+        heights_[ui] = candidate;
+      } else {
+        heights_[ui] = linear(i, sign);
+      }
+      positions_[ui] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample percentile over the first n_ entries.
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(n_));
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, n_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return tmp[lo] + frac * (tmp[hi] - tmp[lo]);
+  }
+  return heights_[2];
+}
+
+}  // namespace cava::trace

@@ -1,0 +1,83 @@
+// Streaming (single-pass, O(1)-memory) statistics.
+//
+// Section IV-A of the paper motivates the new correlation cost by the expense
+// of end-of-period Pearson computation and sample storage; these estimators
+// are the building blocks that let every metric be refreshed per sample.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace cava::trace {
+
+/// Welford online mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Streaming Pearson correlation of a pair of signals observed sample by
+/// sample. Serves as the baseline the paper's Cost_vm replaces.
+class StreamingPearson {
+ public:
+  void add(double x, double y);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  /// Pearson's r; 0 when undefined (fewer than 2 samples or constant input).
+  double correlation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double cov_ = 0.0;
+};
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory, no sample
+/// retention. Used for Nth-percentile reference utilizations when QoS is
+/// defined off-peak.
+class P2Quantile {
+ public:
+  /// q in (0,1), e.g. 0.9 for the 90th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace cava::trace

@@ -1,0 +1,220 @@
+#include "trace/synthesis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+
+namespace cava::trace {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+TimeSeries synthesize_fine(const TimeSeries& coarse, double fine_dt, double cv,
+                           util::Rng& rng) {
+  if (fine_dt <= 0.0 || fine_dt > coarse.dt()) {
+    throw std::invalid_argument("synthesize_fine: fine_dt must be in (0, coarse dt]");
+  }
+  const auto per_coarse =
+      static_cast<std::size_t>(std::llround(coarse.dt() / fine_dt));
+  std::vector<double> fine;
+  fine.reserve(coarse.size() * per_coarse);
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    const double mean = coarse[i];
+    for (std::size_t j = 0; j < per_coarse; ++j) {
+      fine.push_back(mean <= 0.0 ? 0.0 : rng.lognormal_mean_cv(mean, cv));
+    }
+  }
+  return TimeSeries(fine_dt, std::move(fine));
+}
+
+namespace {
+
+/// Smooth driver signal in [0,1]: diurnal sinusoid plus a slower secondary
+/// harmonic, with a per-driver phase. Models the aggregate client activity
+/// a scale-out service sees.
+double driver_value(double t, double day, double phase, double harmonic_phase) {
+  const double main_wave = 0.5 + 0.5 * std::sin(kTwoPi * t / day + phase);
+  const double second = 0.5 + 0.5 * std::sin(2.0 * kTwoPi * t / day + harmonic_phase);
+  return 0.7 * main_wave + 0.3 * second;
+}
+
+}  // namespace
+
+TraceSet generate_datacenter_coarse_traces(const DatacenterTraceConfig& config) {
+  if (config.num_vms <= 0 || config.num_groups <= 0) {
+    throw std::invalid_argument("generate_datacenter_traces: need vms/groups > 0");
+  }
+  util::Rng rng(config.seed);
+  const auto n_samples = static_cast<std::size_t>(
+      std::llround(config.day_seconds / config.coarse_dt));
+
+  // Global and per-group driver phases. All groups share the global diurnal
+  // rhythm (this is what defeats PCP's envelope clustering) but differ in
+  // their group-specific component.
+  const double global_phase = rng.uniform(0.0, kTwoPi);
+  const double global_h_phase = rng.uniform(0.0, kTwoPi);
+  std::vector<double> group_phase(static_cast<std::size_t>(config.num_groups));
+  std::vector<double> group_h_phase(static_cast<std::size_t>(config.num_groups));
+  for (int g = 0; g < config.num_groups; ++g) {
+    // Services peak at staggered times of day (different user populations,
+    // batch windows, time zones): spread the group phases evenly with a
+    // little jitter rather than drawing them independently, which would
+    // leave some group pairs accidentally in phase and indistinguishable.
+    group_phase[static_cast<std::size_t>(g)] =
+        kTwoPi * static_cast<double>(g) / static_cast<double>(config.num_groups) +
+        rng.uniform(-0.2, 0.2);
+    group_h_phase[static_cast<std::size_t>(g)] = rng.uniform(0.0, kTwoPi);
+  }
+
+  // Group-wide burst schedule: every VM of a group surges together.
+  struct Burst {
+    double start, end, multiplier;
+  };
+  std::vector<std::vector<Burst>> group_bursts(
+      static_cast<std::size_t>(config.num_groups));
+  for (int g = 0; g < config.num_groups; ++g) {
+    const std::uint64_t count = rng.poisson(config.bursts_per_group_per_day *
+                                            config.day_seconds / 86400.0);
+    for (std::uint64_t b = 0; b < count; ++b) {
+      Burst burst;
+      burst.start = rng.uniform(0.0, config.day_seconds);
+      burst.end = burst.start + rng.uniform(config.burst_duration_min_s,
+                                            config.burst_duration_max_s);
+      burst.multiplier =
+          rng.uniform(config.burst_multiplier_min, config.burst_multiplier_max);
+      group_bursts[static_cast<std::size_t>(g)].push_back(burst);
+    }
+  }
+  auto burst_factor = [&](int g, double t) {
+    double factor = 1.0;
+    for (const Burst& b : group_bursts[static_cast<std::size_t>(g)]) {
+      if (t >= b.start && t < b.end) factor = std::max(factor, b.multiplier);
+    }
+    return factor;
+  };
+
+  // Same-service VMs are near-identical replicas (e.g. ISNs of one search
+  // cluster): magnitudes are drawn per group with only small per-VM jitter.
+  // This is what makes size-sorted heuristics (FFD/BFD) co-locate correlated
+  // VMs, which the correlation-aware policy then avoids.
+  std::vector<double> group_base(static_cast<std::size_t>(config.num_groups));
+  std::vector<double> group_amp(static_cast<std::size_t>(config.num_groups));
+  for (int g = 0; g < config.num_groups; ++g) {
+    group_base[static_cast<std::size_t>(g)] =
+        rng.uniform(config.base_min, config.base_max);
+    group_amp[static_cast<std::size_t>(g)] =
+        rng.uniform(config.amp_min, config.amp_max);
+  }
+
+  TraceSet set;
+  for (int v = 0; v < config.num_vms; ++v) {
+    const int g = v % config.num_groups;
+    const double base =
+        group_base[static_cast<std::size_t>(g)] * rng.uniform(0.95, 1.05);
+    const double amp =
+        group_amp[static_cast<std::size_t>(g)] * rng.uniform(0.95, 1.05);
+    std::vector<double> samples;
+    samples.reserve(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const double t = static_cast<double>(i) * config.coarse_dt;
+      const double global_d =
+          driver_value(t, config.day_seconds, global_phase, global_h_phase);
+      double group_d =
+          driver_value(t, config.day_seconds, group_phase[static_cast<std::size_t>(g)],
+                       group_h_phase[static_cast<std::size_t>(g)]);
+      if (config.group_steepness > 0.0) {
+        group_d = 1.0 / (1.0 + std::exp(-config.group_steepness *
+                                        (group_d - 0.5)));
+      }
+      const double mix = (1.0 - config.group_weight) * global_d +
+                         config.group_weight * group_d;
+      double u = base + amp * mix + rng.normal(0.0, config.coarse_noise);
+      u *= burst_factor(g, t);
+      u = util::clamp(u, 0.0, config.max_cores);
+      samples.push_back(u);
+    }
+    VmTrace trace;
+    trace.name = "vm" + std::to_string(v);
+    trace.cluster_id = g;
+    trace.series = TimeSeries(config.coarse_dt, std::move(samples));
+    set.add(std::move(trace));
+  }
+  return set;
+}
+
+TraceSet generate_datacenter_traces(const DatacenterTraceConfig& config) {
+  const TraceSet coarse = generate_datacenter_coarse_traces(config);
+  util::Rng rng(config.seed ^ 0x5DEECE66DULL);
+  TraceSet fine;
+  for (const auto& t : coarse.traces()) {
+    VmTrace out;
+    out.name = t.name;
+    out.cluster_id = t.cluster_id;
+    out.series = synthesize_fine(t.series, config.fine_dt, config.fine_cv, rng);
+    // Respect the physical cap after jitter.
+    for (double& v : out.series.mutable_samples()) {
+      v = util::clamp(v, 0.0, config.max_cores);
+    }
+    fine.add(std::move(out));
+  }
+  return fine;
+}
+
+TraceSet generate_hpc_traces(const HpcTraceConfig& config) {
+  if (config.num_vms <= 0 || config.num_phases <= 0) {
+    throw std::invalid_argument("generate_hpc_traces: need vms/phases > 0");
+  }
+  if (config.duty_cycle <= 0.0 || config.duty_cycle > 1.0) {
+    throw std::invalid_argument("generate_hpc_traces: duty cycle in (0,1]");
+  }
+  util::Rng rng(config.seed);
+  const auto n_samples =
+      static_cast<std::size_t>(std::llround(config.day_seconds / config.dt));
+  TraceSet set;
+  for (int v = 0; v < config.num_vms; ++v) {
+    const int phase = v % config.num_phases;
+    // The class's busy window, plus a tiny per-VM start jitter so envelopes
+    // within a class overlap strongly but not bit-identically.
+    const double window = config.duty_cycle * config.day_seconds;
+    const double start =
+        config.day_seconds * static_cast<double>(phase) /
+            static_cast<double>(config.num_phases) +
+        rng.uniform(0.0, 0.02 * config.day_seconds);
+    std::vector<double> samples;
+    samples.reserve(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const double t = static_cast<double>(i) * config.dt;
+      const double offset = std::fmod(t - start + config.day_seconds,
+                                      config.day_seconds);
+      const bool busy = offset < window;
+      double u = (busy ? config.busy_cores : config.idle_cores) +
+                 rng.normal(0.0, config.noise);
+      samples.push_back(util::clamp(u, 0.0, 8.0));
+    }
+    VmTrace trace;
+    trace.name = "hpc" + std::to_string(v);
+    trace.cluster_id = phase;
+    trace.series = TimeSeries(config.dt, std::move(samples));
+    set.add(std::move(trace));
+  }
+  return set;
+}
+
+TimeSeries client_wave(const ClientWaveConfig& config, double dt,
+                       std::size_t samples) {
+  const double mid = 0.5 * (config.max_clients + config.min_clients);
+  const double amp = 0.5 * (config.max_clients - config.min_clients);
+  std::vector<double> out;
+  out.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    out.push_back(mid + amp * std::sin(kTwoPi * t / config.period_seconds +
+                                       config.phase_radians));
+  }
+  return TimeSeries(dt, std::move(out));
+}
+
+}  // namespace cava::trace

@@ -1,0 +1,120 @@
+// Utilization-trace synthesis.
+//
+// The paper's Setup-2 uses proprietary datacenter traces: 5-minute CPU
+// samples of the top-40 VMs over one day, refined to 5-second samples with a
+// lognormal generator whose mean matches each 5-minute sample (citing Benson
+// et al., "Understanding data center traffic characteristics"). We implement
+// exactly that refinement step, plus a generator for the coarse traces
+// themselves that preserves the two statistical properties the paper's
+// results depend on: pervasive fast-changing correlation between VMs (driven
+// by shared client load) and peaks well above percentile values.
+#pragma once
+
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cava::trace {
+
+/// Refine a coarse trace (e.g. 5-min samples) to fine samples (e.g. 5-sec)
+/// drawn lognormal with the coarse value as mean and the given coefficient
+/// of variation. Output has coarse.size() * round(coarse.dt/fine_dt) samples.
+TimeSeries synthesize_fine(const TimeSeries& coarse, double fine_dt, double cv,
+                           util::Rng& rng);
+
+/// Configuration for the synthetic "real datacenter" trace population.
+struct DatacenterTraceConfig {
+  int num_vms = 40;        ///< paper: top-40 VMs by CPU utilization
+  int num_groups = 4;      ///< service clusters sharing a load driver
+  double day_seconds = 86400.0;
+  double coarse_dt = 300.0;  ///< 5-minute collection granularity
+  double fine_dt = 5.0;      ///< 5-second synthesized granularity
+  double fine_cv = 0.08;     ///< lognormal jitter of fine samples
+
+  /// Mean utilization scale, in cores. Per-VM base demand is drawn uniform
+  /// in [base_min, base_max]; the diurnal swing multiplies amp_min..amp_max.
+  double base_min = 0.7;
+  double base_max = 1.1;
+  double amp_min = 0.8;
+  double amp_max = 1.8;
+
+  /// Weight of the group-specific driver vs. the global diurnal driver in a
+  /// VM's mean profile (0 = all VMs perfectly co-moving; 1 = group-only).
+  double group_weight = 0.7;
+  /// Logistic sharpening of the group driver: 0 leaves the smooth sinusoid;
+  /// larger values square it up into day/night plateaus with steep ramps.
+  /// Steep staggered ramps are the "abrupt workload changes" of Sec. V-B:
+  /// a last-value predictor misses a whole group's ramp at once, which is
+  /// harmless when the group is spread across servers but fatal when a
+  /// size-sorted heuristic stacked the group onto one server.
+  double group_steepness = 8.0;
+  /// Std-dev of per-VM idiosyncratic coarse noise, in cores.
+  double coarse_noise = 0.15;
+  /// Cap on instantaneous per-VM utilization, in cores (a VM cannot exceed
+  /// the cores of one host).
+  double max_cores = 8.0;
+
+  /// Abrupt group-wide load surges ("abrupt workload changes", Sec. V-B):
+  /// every VM of the affected group is multiplied by the burst factor for
+  /// the burst's duration. These are what a last-value predictor misses and
+  /// what makes co-locating same-group VMs risky.
+  double bursts_per_group_per_day = 4.0;
+  double burst_duration_min_s = 600.0;
+  double burst_duration_max_s = 1200.0;
+  double burst_multiplier_min = 1.2;
+  double burst_multiplier_max = 1.4;
+
+  std::uint64_t seed = 3;  ///< arbitrary but fixed for reproducibility
+};
+
+/// Generate the full fine-grained trace population described above. Each VM
+/// is tagged with its group as cluster_id.
+TraceSet generate_datacenter_traces(const DatacenterTraceConfig& config);
+
+/// Generate only the coarse (5-minute) traces. Useful to test the refinement
+/// separately and to emulate the monitoring-collection stage.
+TraceSet generate_datacenter_coarse_traces(const DatacenterTraceConfig& config);
+
+/// Configuration for HPC-style trace populations — the contrast case the
+/// paper positions itself against. Traditional HPC/enterprise VMs have
+/// *stationary* utilization envelopes: each VM is busy in its own stable
+/// recurring window (batch jobs, nightly reports) with little cross-VM
+/// synchronization. On such traces PCP's envelope clustering works as
+/// designed (it finds the distinct phases), whereas on scale-out traces it
+/// collapses to one cluster.
+struct HpcTraceConfig {
+  int num_vms = 24;
+  /// Number of distinct busy-phase classes (PCP should recover this many
+  /// clusters when the phases are well separated).
+  int num_phases = 4;
+  double day_seconds = 86400.0;
+  double dt = 60.0;
+  /// Busy-window duty cycle per VM (fraction of the period the VM is hot).
+  double duty_cycle = 0.2;
+  double idle_cores = 0.4;  ///< utilization outside the busy window
+  double busy_cores = 4.0;  ///< utilization inside the busy window
+  double noise = 0.1;       ///< additive Gaussian noise, cores
+  std::uint64_t seed = 17;
+};
+
+/// Generate stationary HPC-style traces: VM i belongs to phase class
+/// (i % num_phases) and is busy in that class's fixed window each period.
+TraceSet generate_hpc_traces(const HpcTraceConfig& config);
+
+/// Client-count wave shapes used by the web-search experiment (Setup-1):
+/// "varied the number of clients from 0~300 with the form of sine and cosine
+/// waves for Cluster1 and Cluster2".
+struct ClientWaveConfig {
+  double min_clients = 0.0;
+  double max_clients = 300.0;
+  double period_seconds = 1200.0;
+  double phase_radians = 0.0;  ///< 0 for sine; pi/2 turns it into cosine
+};
+
+/// Sample a client wave on a fixed grid: c(t) = mid + amp*sin(2pi t/T + phase).
+TimeSeries client_wave(const ClientWaveConfig& config, double dt,
+                       std::size_t samples);
+
+}  // namespace cava::trace

@@ -1,0 +1,144 @@
+#include "trace/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/math_util.h"
+
+namespace cava::trace {
+
+TimeSeries::TimeSeries(double dt_seconds, std::vector<double> samples)
+    : dt_(dt_seconds), samples_(std::move(samples)) {
+  if (dt_seconds <= 0.0) {
+    throw std::invalid_argument("TimeSeries: dt must be positive");
+  }
+}
+
+double TimeSeries::at_time(double t) const {
+  if (samples_.empty()) return 0.0;
+  if (t <= 0.0) return samples_.front();
+  auto idx = static_cast<std::size_t>(t / dt_);
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+double TimeSeries::peak() const { return util::max_value(samples_); }
+
+double TimeSeries::mean() const { return util::mean(samples_); }
+
+double TimeSeries::percentile(double p) const {
+  return util::percentile(samples_, p);
+}
+
+TimeSeries TimeSeries::sum(const TimeSeries& a, const TimeSeries& b) {
+  const TimeSeries pair[2] = {a, b};
+  return sum(std::span<const TimeSeries>(pair, 2));
+}
+
+TimeSeries TimeSeries::sum(std::span<const TimeSeries> series) {
+  if (series.empty()) return {};
+  const double dt = series.front().dt();
+  const std::size_t n = series.front().size();
+  for (const auto& s : series) {
+    if (s.dt() != dt || s.size() != n) {
+      throw std::invalid_argument("TimeSeries::sum: mismatched grids");
+    }
+  }
+  std::vector<double> out(n, 0.0);
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < n; ++i) out[i] += s[i];
+  }
+  return TimeSeries(dt, std::move(out));
+}
+
+TimeSeries TimeSeries::scaled(double factor) const {
+  std::vector<double> out(samples_);
+  for (double& v : out) v *= factor;
+  return TimeSeries(dt_, std::move(out));
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  if (first > samples_.size()) {
+    throw std::out_of_range("TimeSeries::slice: first beyond end");
+  }
+  const std::size_t avail = samples_.size() - first;
+  const std::size_t n = std::min(count, avail);
+  std::vector<double> out(samples_.begin() + static_cast<std::ptrdiff_t>(first),
+                          samples_.begin() + static_cast<std::ptrdiff_t>(first + n));
+  return TimeSeries(dt_, std::move(out));
+}
+
+TimeSeries TimeSeries::downsample_mean(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("downsample_mean: factor 0");
+  std::vector<double> out;
+  out.reserve((samples_.size() + factor - 1) / factor);
+  for (std::size_t i = 0; i < samples_.size(); i += factor) {
+    const std::size_t end = std::min(i + factor, samples_.size());
+    double s = 0.0;
+    for (std::size_t j = i; j < end; ++j) s += samples_[j];
+    out.push_back(s / static_cast<double>(end - i));
+  }
+  return TimeSeries(dt_ * static_cast<double>(factor), std::move(out));
+}
+
+void TraceSet::add(VmTrace trace) {
+  if (!traces_.empty()) {
+    const auto& first = traces_.front().series;
+    if (trace.series.dt() != first.dt() ||
+        trace.series.size() != first.size()) {
+      throw std::invalid_argument("TraceSet::add: mismatched sampling grid");
+    }
+  }
+  traces_.push_back(std::move(trace));
+}
+
+std::size_t TraceSet::samples_per_trace() const {
+  return traces_.empty() ? 0 : traces_.front().series.size();
+}
+
+double TraceSet::dt() const {
+  return traces_.empty() ? 1.0 : traces_.front().series.dt();
+}
+
+TimeSeries TraceSet::aggregate() const {
+  std::vector<TimeSeries> all;
+  all.reserve(traces_.size());
+  for (const auto& t : traces_) all.push_back(t.series);
+  return TimeSeries::sum(all);
+}
+
+void TraceSet::save_csv(const std::string& path) const {
+  std::vector<std::string> header{"t"};
+  std::vector<std::vector<double>> cols;
+  const std::size_t n = samples_per_trace();
+  std::vector<double> time(n);
+  for (std::size_t i = 0; i < n; ++i) time[i] = static_cast<double>(i) * dt();
+  cols.push_back(std::move(time));
+  for (const auto& t : traces_) {
+    header.push_back(t.name);
+    cols.emplace_back(t.series.samples().begin(), t.series.samples().end());
+  }
+  util::save_csv(path, header, cols);
+}
+
+TraceSet TraceSet::load_csv(const std::string& path) {
+  const util::CsvTable table = util::load_csv(path);
+  if (table.header.empty() || table.header.front() != "t") {
+    throw std::runtime_error("TraceSet::load_csv: expected leading 't' column");
+  }
+  const std::vector<double> time = table.numeric_column("t");
+  double dt = 1.0;
+  if (time.size() >= 2) dt = time[1] - time[0];
+  TraceSet set;
+  for (std::size_t c = 1; c < table.header.size(); ++c) {
+    VmTrace t;
+    t.name = table.header[c];
+    t.series = TimeSeries(dt, table.numeric_column(t.name));
+    set.add(std::move(t));
+  }
+  return set;
+}
+
+}  // namespace cava::trace

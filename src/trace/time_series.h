@@ -1,0 +1,98 @@
+// Uniformly-sampled time series of CPU utilization (or any scalar signal).
+//
+// Utilization is expressed in *cores* throughout the library: a VM using 3.2
+// of a server's 8 cores has utilization 3.2. This matches the paper's capacity
+// check (sum of co-located utilizations vs. Ncore) and makes Eqn. 1/3 direct.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::trace {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// dt_seconds: sampling interval; samples: the signal values.
+  TimeSeries(double dt_seconds, std::vector<double> samples);
+
+  double dt() const { return dt_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double duration() const { return dt_ * static_cast<double>(size()); }
+
+  double operator[](std::size_t i) const { return samples_[i]; }
+  std::span<const double> samples() const { return samples_; }
+  std::vector<double>& mutable_samples() { return samples_; }
+
+  void push(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Value at time t (seconds), zero-order hold; clamps to the last sample.
+  double at_time(double t) const;
+
+  double peak() const;
+  double mean() const;
+  /// Linear-interpolated percentile, p in [0,100].
+  double percentile(double p) const;
+
+  /// Element-wise sum; both series must share dt and length.
+  static TimeSeries sum(const TimeSeries& a, const TimeSeries& b);
+  /// Element-wise sum over any number of series (all same dt/length).
+  static TimeSeries sum(std::span<const TimeSeries> series);
+
+  /// Returns this series scaled by a constant factor.
+  TimeSeries scaled(double factor) const;
+
+  /// Contiguous sub-series of [first, first+count) samples.
+  TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  /// Downsample by averaging consecutive groups of `factor` samples
+  /// (trailing partial group is averaged over its actual size).
+  TimeSeries downsample_mean(std::size_t factor) const;
+
+ private:
+  double dt_ = 1.0;
+  std::vector<double> samples_;
+};
+
+/// A named VM utilization trace, optionally tagged with the service cluster
+/// the VM belongs to (scale-out apps exhibit *intra-cluster* correlation).
+struct VmTrace {
+  std::string name;
+  int cluster_id = -1;  ///< -1 when the VM is not part of a known cluster.
+  TimeSeries series;
+};
+
+/// A coherent set of VM traces sharing one sampling grid.
+class TraceSet {
+ public:
+  TraceSet() = default;
+
+  void add(VmTrace trace);
+
+  std::size_t size() const { return traces_.size(); }
+  bool empty() const { return traces_.empty(); }
+  const VmTrace& operator[](std::size_t i) const { return traces_[i]; }
+  const std::vector<VmTrace>& traces() const { return traces_; }
+
+  /// Number of samples per trace (0 if empty). All traces must agree.
+  std::size_t samples_per_trace() const;
+  double dt() const;
+
+  /// Sum of all member series (the datacenter-wide load).
+  TimeSeries aggregate() const;
+
+  /// Serialize to CSV: column "t" plus one column per VM.
+  void save_csv(const std::string& path) const;
+  /// Load from the CSV format written by save_csv (cluster ids are not
+  /// persisted; they default to -1).
+  static TraceSet load_csv(const std::string& path);
+
+ private:
+  std::vector<VmTrace> traces_;
+};
+
+}  // namespace cava::trace

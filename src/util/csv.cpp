@@ -1,0 +1,114 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cava::util {
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + std::string(name) + "'");
+}
+
+std::vector<double> CsvTable::numeric_column(std::string_view name) const {
+  const std::size_t col = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (col >= row.size()) {
+      throw std::runtime_error("CsvTable: ragged row while reading column");
+    }
+    out.push_back(std::stod(row[col]));
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      table.header = split_csv_line(line);
+      saw_header = true;
+    } else {
+      table.rows.push_back(split_csv_line(line));
+    }
+  }
+  return table;
+}
+
+CsvTable load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& columns) {
+  if (header.size() != columns.size()) {
+    throw std::runtime_error("save_csv: header/column count mismatch");
+  }
+  const std::size_t n = columns.empty() ? 0 : columns.front().size();
+  for (const auto& c : columns) {
+    if (c.size() != n) throw std::runtime_error("save_csv: ragged columns");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  CsvWriter w(out);
+  w.write_header(header);
+  std::vector<double> row(columns.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) row[c] = columns[c][r];
+    w.write_row(row);
+  }
+}
+
+}  // namespace cava::util

@@ -1,0 +1,50 @@
+// Minimal CSV reading/writing for utilization traces and benchmark output.
+// Handles the simple numeric CSVs this project produces; fields never contain
+// embedded commas or quotes, so no quoting support is needed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cava::util {
+
+/// An in-memory CSV table: one header row plus numeric/text data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(std::string_view name) const;  ///< throws if absent
+  /// Column as doubles (throws on parse failure).
+  std::vector<double> numeric_column(std::string_view name) const;
+};
+
+/// Split one CSV line into fields (no quoting).
+std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Parse CSV text (first line = header). Skips blank lines.
+CsvTable parse_csv(std::string_view text);
+
+/// Load a CSV file from disk; throws std::runtime_error on I/O failure.
+CsvTable load_csv(const std::string& path);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_header(const std::vector<std::string>& names);
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& values);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Serialize a table of named columns of equal length to a CSV file.
+/// Throws std::runtime_error on I/O failure or ragged columns.
+void save_csv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& columns);
+
+}  // namespace cava::util

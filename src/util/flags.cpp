@@ -1,0 +1,87 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cava::util {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty() || body[0] == '-') {
+      throw std::invalid_argument("FlagParser: malformed flag '" + arg + "'");
+    }
+    std::string value;
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      if (body.empty()) {
+        throw std::invalid_argument("FlagParser: empty flag name in '" + arg + "'");
+      }
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    values_[body] = value;
+    names_.push_back(body);
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::get_string(const std::string& name,
+                                   const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double FlagParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FlagParser: --" + name +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+long FlagParser::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FlagParser: --" + name +
+                                " expects an integer, got '" + it->second + "'");
+  }
+}
+
+bool FlagParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("FlagParser: --" + name +
+                              " expects a boolean, got '" + v + "'");
+}
+
+void FlagParser::require_known(const std::vector<std::string>& known) const {
+  for (const auto& name : names_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("FlagParser: unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace cava::util

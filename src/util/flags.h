@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for the CLI tools: supports --key=value,
+// --key value, bare boolean --key, and positional arguments. No external
+// dependency, deliberately minimal.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+
+class FlagParser {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input
+  /// (e.g. "---x" or empty flag names).
+  FlagParser(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  /// True if the flag is present with no value or a truthy value
+  /// ("1", "true", "yes", "on").
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags seen, in order (for unknown-flag validation).
+  const std::vector<std::string>& flag_names() const { return names_; }
+
+  /// Throws std::invalid_argument if any parsed flag is not in `known`.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> names_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cava::util

@@ -1,0 +1,158 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cava::util {
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::array(std::initializer_list<Json> items) {
+  Json j = array();
+  for (const auto& item : items) j.array_.push_back(item);
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push_back on non-array");
+  }
+  array_.push_back(std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::operator[] on non-object");
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(key, Json{});
+  return object_.back().second;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out += buf;
+  }
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      append_number(out, number_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        indent_to(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) indent_to(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        indent_to(out, indent, depth + 1);
+        out += '"';
+        out += escape(object_[i].first);
+        out += "\":";
+        if (indent >= 0) out += ' ';
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) indent_to(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace cava::util

@@ -1,0 +1,62 @@
+// Minimal JSON serialization: enough to export simulation results and
+// configurations for downstream analysis (plotting, dashboards) without an
+// external dependency. Write-only by design.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+
+/// A JSON value: null, bool, number, string, array or object. Build with
+/// the static factories / implicit constructors, serialize with dump().
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                    // NOLINT
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}              // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                     // NOLINT
+  Json(std::size_t v) : Json(static_cast<double>(v)) {}             // NOLINT
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}         // NOLINT
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json array();
+  static Json array(std::initializer_list<Json> items);
+  static Json object();
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Array append (value must be an array).
+  void push_back(Json v);
+  /// Object insert/overwrite (value must be an object).
+  Json& operator[](const std::string& key);
+
+  std::size_t size() const;
+
+  /// Serialize. indent < 0: compact; otherwise pretty-print with that many
+  /// spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Escape a string per JSON rules (quotes not included).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  // Insertion-ordered object representation.
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace cava::util

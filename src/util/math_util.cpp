@@ -1,0 +1,138 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::util {
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, p);
+}
+
+double sorted_percentile(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pc = clamp(p, 0.0, 100.0);
+  const double rank = pc / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double max_value(std::span<const double> xs) {
+  double m = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    if (first || x > m) m = x;
+    first = false;
+  }
+  return m;
+}
+
+double min_value(std::span<const double> xs) {
+  double m = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    if (first || x < m) m = x;
+    first = false;
+  }
+  return m;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom <= 0.0) return 0.0;
+  return sxy / denom;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 paired samples");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  LineFit fit;
+  if (sxx <= 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy <= 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+bool almost_equal(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double x, double weight) {
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+}  // namespace cava::util

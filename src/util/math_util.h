@@ -1,0 +1,78 @@
+// Small numeric helpers shared across the library: percentiles on sample
+// vectors, descriptive statistics, and least-squares line fitting (used to
+// verify the Fig. 3 linear lower-bound relationship).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cava::util {
+
+/// Linear-interpolated percentile of a sample set; p in [0, 100].
+/// Copies and sorts internally; use SortedPercentile for repeated queries.
+double percentile(std::span<const double> samples, double p);
+
+/// Percentile over an already ascending-sorted vector (no copy).
+double sorted_percentile(std::span<const double> sorted, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Maximum; 0 for empty input (utilizations are non-negative).
+double max_value(std::span<const double> xs);
+
+/// Minimum; 0 for empty input.
+double min_value(std::span<const double> xs);
+
+/// Pearson product-moment correlation of two equal-length sample vectors.
+/// Returns 0 when either vector is (numerically) constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of an ordinary least-squares fit y = slope*x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< Coefficient of determination.
+};
+
+/// Least-squares line fit; requires xs.size() == ys.size() >= 2.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Clamp x into [lo, hi].
+double clamp(double x, double lo, double hi);
+
+/// True if |a-b| <= tol (absolute comparison; our quantities are O(1)).
+bool almost_equal(double a, double b, double tol = 1e-9);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the first/last bin. Used for frequency-residency reporting (Fig. 6).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  /// Bin index a value falls into.
+  std::size_t bin_of(double x) const;
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+  std::size_t bins() const { return counts_.size(); }
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  /// Fraction of total weight in bin i (0 when empty).
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace cava::util

@@ -1,0 +1,65 @@
+// Fixed-capacity ring buffer used for sliding-window statistics (e.g. the
+// windowed peak/percentile reference utilization u^ in Eqn. 1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace cava::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity 0");
+  }
+
+  /// Append a value, evicting the oldest when full.
+  void push(const T& v) {
+    buf_[head_] = v;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Element i, where 0 is the OLDEST retained element.
+  const T& operator[](std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer: index");
+    const std::size_t start = full() ? head_ : 0;
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Most recently pushed element.
+  const T& back() const {
+    if (empty()) throw std::out_of_range("RingBuffer: empty");
+    return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+  }
+
+  /// Oldest retained element.
+  const T& front() const { return (*this)[0]; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copy retained elements oldest-first into a vector.
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cava::util

@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic components of the library (trace synthesis, query arrivals,
+// service-time draws, address streams) draw from cava::util::Rng so a run is
+// fully determined by its seeds. The engine is xoshiro256**, seeded through
+// SplitMix64 so that small, human-friendly seeds still fill the full state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace cava::util {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into engine state.
+/// Passes through every 64-bit value exactly once over its period.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
+/// with <random> distributions, though the member helpers below avoid the
+/// libstdc++ distributions to keep results identical across standard
+/// libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 random mantissa bits -> uniform in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (polar-free, deterministic draw count: 2).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Lognormal parameterized by its own mean and coefficient of variation
+  /// (cv = stddev/mean). This is the form used for fine-grained utilization
+  /// synthesis: "mean is the same as the collected 5-minute sample" (paper
+  /// Sec. V-B, citing Benson et al.).
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Exponential with given rate (events per unit time).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with given mean (Knuth for small, normal
+  /// approximation for large means).
+  std::uint64_t poisson(double mean);
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cava::util

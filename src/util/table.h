@@ -1,0 +1,31 @@
+// Fixed-width console table printer used by the benchmark harness to emit
+// the same rows the paper's tables/figures report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: first cell is a label, remaining cells are formatted doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render with a rule under the header.
+  void print(std::ostream& out) const;
+
+  static std::string format(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cava::util

@@ -1,0 +1,215 @@
+#include "websearch/des_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cava::websearch {
+
+EventDrivenWebSearchSimulator::EventDrivenWebSearchSimulator(
+    WebSearchConfig config)
+    : config_(std::move(config)) {
+  // Reuse the fluid simulator's validation by constructing one.
+  WebSearchSimulator validator(config_);
+  (void)validator;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double wave_clients(const trace::ClientWaveConfig& w, double t) {
+  const double mid = 0.5 * (w.max_clients + w.min_clients);
+  const double amp = 0.5 * (w.max_clients - w.min_clients);
+  return std::max(0.0, mid + amp * std::sin(kTwoPi * t / w.period_seconds +
+                                            w.phase_radians));
+}
+
+struct QueryState {
+  double start_time = 0.0;
+  int cluster = 0;
+  int outstanding = 0;
+};
+
+struct Task {
+  std::size_t query;
+  double service_seconds;  ///< wall time on one core at the server's f
+};
+
+enum class EventKind { kArrival, kCompletion };
+
+struct Event {
+  double time;
+  EventKind kind;
+  std::size_t cluster = 0;  ///< arrivals
+  std::size_t isn = 0;      ///< completions
+  std::size_t query = 0;    ///< completions
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+WebSearchResult EventDrivenWebSearchSimulator::run() const {
+  util::Rng rng(config_.seed);
+  const std::size_t n_isns = config_.isns.size();
+  const std::size_t n_clusters = config_.cluster_waves.size();
+  const double fmax = config_.server.fmax();
+
+  std::vector<double> freq(config_.num_servers, fmax);
+  if (!config_.server_freq_ghz.empty()) freq = config_.server_freq_ghz;
+
+  std::vector<std::vector<std::size_t>> cluster_isns(n_clusters);
+  std::vector<std::vector<std::size_t>> server_isns(config_.num_servers);
+  for (std::size_t i = 0; i < n_isns; ++i) {
+    cluster_isns[static_cast<std::size_t>(config_.isns[i].cluster)].push_back(i);
+    server_isns[config_.isns[i].server].push_back(i);
+  }
+
+  // State.
+  std::vector<QueryState> queries;
+  std::vector<std::deque<Task>> waiting(n_isns);   // per-VM FIFO
+  std::vector<int> running(n_isns, 0);             // tasks on cores, per VM
+  std::vector<int> server_busy_cores(config_.num_servers, 0);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  // Pre-generate arrival events with a thinning-free direct method: step
+  // through time in small slices and draw Poisson counts (slice << wave
+  // period, so the rate is effectively constant within a slice).
+  const double slice = 0.25;
+  for (double t = 0.0; t < config_.duration_seconds; t += slice) {
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      const double lambda = wave_clients(config_.cluster_waves[c], t) *
+                            config_.queries_per_client_per_sec;
+      const std::uint64_t k = rng.poisson(lambda * slice);
+      for (std::uint64_t i = 0; i < k; ++i) {
+        events.push({t + rng.uniform() * slice, EventKind::kArrival, c, 0, 0});
+      }
+    }
+  }
+
+  WebSearchResult result;
+  result.response_times.resize(n_clusters);
+
+  // Utilization buckets (busy-core integral per VM / server).
+  const auto n_buckets = static_cast<std::size_t>(
+      std::ceil(config_.duration_seconds / config_.util_sample_dt));
+  std::vector<std::vector<double>> vm_busy(n_isns,
+                                           std::vector<double>(n_buckets, 0.0));
+  std::vector<std::vector<double>> server_busy(
+      config_.num_servers, std::vector<double>(n_buckets, 0.0));
+  std::vector<double> server_busy_total(config_.num_servers, 0.0);
+  std::vector<double> last_update(n_isns, 0.0);
+
+  auto account = [&](std::size_t isn, double until) {
+    // Integrate running-core time for this VM since its last update,
+    // splitting across buckets.
+    double t = last_update[isn];
+    last_update[isn] = until;
+    if (running[isn] == 0 || until <= t) return;
+    const std::size_t server = config_.isns[isn].server;
+    while (t < until) {
+      const auto bucket = std::min(
+          static_cast<std::size_t>(t / config_.util_sample_dt), n_buckets - 1);
+      const double bucket_end =
+          std::min(until, (static_cast<double>(bucket) + 1.0) *
+                              config_.util_sample_dt);
+      const double span = bucket_end - t;
+      vm_busy[isn][bucket] += span * running[isn];
+      server_busy[server][bucket] += span * running[isn];
+      server_busy_total[server] += span * running[isn];
+      t = bucket_end;
+    }
+  };
+
+  auto dispatch = [&](std::size_t isn, double now) {
+    const std::size_t server = config_.isns[isn].server;
+    const int cap = static_cast<int>(config_.isns[isn].core_cap);
+    while (!waiting[isn].empty() && running[isn] < cap &&
+           server_busy_cores[server] < config_.server.cores()) {
+      Task task = waiting[isn].front();
+      waiting[isn].pop_front();
+      account(isn, now);
+      ++running[isn];
+      ++server_busy_cores[server];
+      const double wall =
+          task.service_seconds * fmax / freq[server];
+      events.push({now + wall, EventKind::kCompletion, 0, isn, task.query});
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time;
+    if (now > config_.duration_seconds) break;
+
+    if (ev.kind == EventKind::kArrival) {
+      const std::size_t qid = queries.size();
+      QueryState q;
+      q.start_time = now;
+      q.cluster = static_cast<int>(ev.cluster);
+      q.outstanding = static_cast<int>(cluster_isns[ev.cluster].size());
+      queries.push_back(q);
+      ++result.queries_issued;
+      for (std::size_t isn : cluster_isns[ev.cluster]) {
+        const double demand = rng.lognormal_mean_cv(
+            config_.demand_mean_core_sec * config_.isns[isn].imbalance,
+            config_.demand_cv);
+        waiting[isn].push_back({qid, demand});
+        dispatch(isn, now);
+      }
+    } else {
+      const std::size_t isn = ev.isn;
+      account(isn, now);
+      --running[isn];
+      --server_busy_cores[config_.isns[isn].server];
+      QueryState& q = queries[ev.query];
+      if (--q.outstanding == 0) {
+        result.response_times[static_cast<std::size_t>(q.cluster)].push_back(
+            now - q.start_time);
+        ++result.queries_completed;
+      }
+      // A freed core can serve this VM's queue or a co-located VM's.
+      for (std::size_t other : server_isns[config_.isns[isn].server]) {
+        dispatch(other, now);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_isns; ++i) {
+    account(i, config_.duration_seconds);
+  }
+
+  // Package traces in the same shapes as the fluid engine.
+  for (std::size_t i = 0; i < n_isns; ++i) {
+    trace::VmTrace vt;
+    vt.name = config_.isns[i].name;
+    vt.cluster_id = config_.isns[i].cluster;
+    std::vector<double> samples(n_buckets);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      samples[b] = vm_busy[i][b] / config_.util_sample_dt;
+    }
+    vt.series = trace::TimeSeries(config_.util_sample_dt, std::move(samples));
+    result.vm_utilization.add(std::move(vt));
+  }
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    std::vector<double> samples(n_buckets);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      samples[b] = server_busy[s][b] / config_.util_sample_dt /
+                   static_cast<double>(config_.server.cores());
+    }
+    result.server_utilization.emplace_back(config_.util_sample_dt,
+                                           std::move(samples));
+    result.server_busy_fraction.push_back(
+        server_busy_total[s] / config_.duration_seconds /
+        static_cast<double>(config_.server.cores()));
+  }
+  return result;
+}
+
+}  // namespace cava::websearch

@@ -1,0 +1,36 @@
+// Event-driven (discrete-event) web-search simulator.
+//
+// A second, independent engine for the Setup-1 experiments, used to check
+// that the fluid processor-sharing model's conclusions are not artifacts of
+// its approximations. Differences from WebSearchSimulator:
+//
+//   * exact event timing (arrivals and completions are events, no
+//     integration step);
+//   * discrete cores with non-preemptive FCFS dispatch: a task occupies one
+//     core from start to finish, queueing per VM while its VM is at its
+//     core cap or the server is out of cores;
+//   * service time fixed at dispatch: demand * fmax / f seconds.
+//
+// Shares WebSearchConfig (step_seconds is ignored). Under moderate load the
+// two engines must agree on the ordering of the three placements and
+// roughly on tail latencies; FCFS slightly favors short queues while PS
+// favors short tasks, so absolute percentiles differ within a small factor.
+#pragma once
+
+#include "websearch/websearch_sim.h"
+
+namespace cava::websearch {
+
+class EventDrivenWebSearchSimulator {
+ public:
+  explicit EventDrivenWebSearchSimulator(WebSearchConfig config);
+
+  WebSearchResult run() const;
+
+  const WebSearchConfig& config() const { return config_; }
+
+ private:
+  WebSearchConfig config_;
+};
+
+}  // namespace cava::websearch

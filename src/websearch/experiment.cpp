@@ -1,0 +1,70 @@
+#include "websearch/experiment.h"
+
+#include <stdexcept>
+
+namespace cava::websearch {
+
+std::string to_string(Setup1Placement placement) {
+  switch (placement) {
+    case Setup1Placement::kSegregated:
+      return "Segregated";
+    case Setup1Placement::kSharedUnCorr:
+      return "Shared-UnCorr";
+    case Setup1Placement::kSharedCorr:
+      return "Shared-Corr";
+  }
+  throw std::invalid_argument("to_string(Setup1Placement)");
+}
+
+WebSearchConfig make_setup1_config(Setup1Placement placement,
+                                   const Setup1Options& options) {
+  WebSearchConfig cfg;
+  cfg.server = model::ServerSpec::dell_r815();
+  cfg.num_servers = 2;
+  cfg.server_freq_ghz = {options.frequency_ghz, options.frequency_ghz};
+  cfg.duration_seconds = options.duration_seconds;
+  cfg.seed = options.seed;
+
+  // Cluster1: sine; Cluster2: cosine (quarter-period phase lead).
+  trace::ClientWaveConfig sine;
+  sine.min_clients = 0.0;
+  sine.max_clients = 300.0;
+  sine.period_seconds = 600.0;
+  sine.phase_radians = 0.0;
+  trace::ClientWaveConfig cosine = sine;
+  cosine.phase_radians = 1.5707963267948966;  // pi/2
+  cfg.cluster_waves = {sine, cosine};
+
+  const double hot = 1.0 + options.imbalance;
+  const double cold = 1.0 - options.imbalance;
+
+  // ISN order: VM1,1  VM1,2  VM2,1  VM2,2.
+  IsnSpec vm11{"VM1,1", 0, 0, 8.0, cold};
+  IsnSpec vm12{"VM1,2", 0, 0, 8.0, hot};
+  IsnSpec vm21{"VM2,1", 1, 1, 8.0, hot};
+  IsnSpec vm22{"VM2,2", 1, 1, 8.0, cold};
+
+  switch (placement) {
+    case Setup1Placement::kSegregated:
+      // Fig. 4(a): each ISN on its own static 4-core partition.
+      vm11.server = 0; vm11.core_cap = 4.0;
+      vm12.server = 0; vm12.core_cap = 4.0;
+      vm21.server = 1; vm21.core_cap = 4.0;
+      vm22.server = 1; vm22.core_cap = 4.0;
+      break;
+    case Setup1Placement::kSharedUnCorr:
+      // Fig. 4(b): same-cluster pairs share a server's 8 cores.
+      vm11.server = 0; vm12.server = 0;
+      vm21.server = 1; vm22.server = 1;
+      break;
+    case Setup1Placement::kSharedCorr:
+      // Fig. 4(c): cross-cluster pairs share a server's 8 cores.
+      vm11.server = 0; vm21.server = 0;
+      vm12.server = 1; vm22.server = 1;
+      break;
+  }
+  cfg.isns = {vm11, vm12, vm21, vm22};
+  return cfg;
+}
+
+}  // namespace cava::websearch

@@ -1,0 +1,41 @@
+// Setup-1 experiment definitions (Sec. V-A): two web-search clusters of two
+// ISNs each, hosted on two 8-core DELL R815 servers, compared under the
+// three placements of Fig. 4:
+//
+//   (a) Segregated    — each ISN pinned to its own 4 cores;
+//   (b) Shared-UnCorr — the two ISNs of the SAME cluster share one server's
+//                       8 cores (core sharing without correlation awareness);
+//   (c) Shared-Corr   — each server hosts one ISN from EACH cluster, so the
+//                       co-located pair is driven by different (phase-
+//                       shifted) client waves.
+//
+// Cluster1's client population follows a sine wave and Cluster2's a cosine
+// wave, both in [0, 300]. Within each cluster one ISN runs hot and one cold
+// ("loads between VMs in a cluster are not perfectly balanced"): the hot
+// ISNs (VM1,2 and VM2,1) are the ones the paper shows saturating their 4-core
+// partitions in the Segregated placement.
+#pragma once
+
+#include "websearch/websearch_sim.h"
+
+#include <string>
+
+namespace cava::websearch {
+
+enum class Setup1Placement { kSegregated, kSharedUnCorr, kSharedCorr };
+
+std::string to_string(Setup1Placement placement);
+
+struct Setup1Options {
+  double frequency_ghz = 2.1;  ///< both servers (ladder: 1.9 / 2.1)
+  double duration_seconds = 1200.0;
+  std::uint64_t seed = 42;
+  /// Hot/cold imbalance multiplier (hot = 1 + x, cold = 1 - x).
+  double imbalance = 0.15;
+};
+
+/// Build the full simulator configuration for one placement.
+WebSearchConfig make_setup1_config(Setup1Placement placement,
+                                   const Setup1Options& options = {});
+
+}  // namespace cava::websearch

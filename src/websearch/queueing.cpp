@@ -1,0 +1,101 @@
+#include "websearch/queueing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::websearch {
+
+namespace {
+
+void check_stable(double lambda, double mu, unsigned c) {
+  if (lambda < 0.0 || mu <= 0.0 || c == 0) {
+    throw std::invalid_argument("queueing: need lambda >= 0, mu > 0, c >= 1");
+  }
+  if (lambda >= static_cast<double>(c) * mu) {
+    throw std::invalid_argument("queueing: unstable (rho >= 1)");
+  }
+}
+
+}  // namespace
+
+double offered_utilization(double lambda, double mu, unsigned c) {
+  if (mu <= 0.0 || c == 0) {
+    throw std::invalid_argument("offered_utilization: mu > 0, c >= 1");
+  }
+  return lambda / (static_cast<double>(c) * mu);
+}
+
+double erlang_c(double lambda, double mu, unsigned c) {
+  check_stable(lambda, mu, c);
+  const double a = lambda / mu;  // offered load in Erlangs
+  // Iterative Erlang-B, then convert to Erlang-C.
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / static_cast<double>(c);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double mmc_mean_wait(double lambda, double mu, unsigned c) {
+  check_stable(lambda, mu, c);
+  const double pw = erlang_c(lambda, mu, c);
+  return pw / (static_cast<double>(c) * mu - lambda);
+}
+
+double mmc_mean_response(double lambda, double mu, unsigned c) {
+  return mmc_mean_wait(lambda, mu, c) + 1.0 / mu;
+}
+
+double mmc_response_percentile(double lambda, double mu, unsigned c,
+                               double p) {
+  check_stable(lambda, mu, c);
+  if (p <= 0.0 || p >= 100.0) {
+    throw std::invalid_argument("mmc_response_percentile: p in (0,100)");
+  }
+  const double q = 1.0 - p / 100.0;
+  if (c == 1) {
+    // Exact: M/M/1 sojourn is exponential with rate mu - lambda.
+    return -std::log(q) / (mu - lambda);
+  }
+  // Tail approximation: T = S + W with S ~ Exp(mu) and
+  // P(W > t) = Pw * exp(-(c mu - lambda) t). Invert the dominant tail.
+  const double pw = erlang_c(lambda, mu, c);
+  const double theta = static_cast<double>(c) * mu - lambda;
+  // Search t such that P(T > t) = q using the two-term tail bound
+  // P(T > t) ~ exp(-mu t) + pw/(1 - theta/mu) * (exp(-theta t) - exp(-mu t))
+  // (valid for theta != mu; fall back to bisection otherwise).
+  auto tail = [&](double t) {
+    const double s_term = std::exp(-mu * t);
+    if (std::fabs(theta - mu) < 1e-9) {
+      return s_term * (1.0 + pw * mu * t);
+    }
+    const double w_term = pw * mu / (mu - theta) *
+                          (std::exp(-theta * t) - s_term);
+    return s_term + w_term;
+  };
+  double lo = 0.0, hi = 1.0 / mu;
+  while (tail(hi) > q) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (tail(mid) > q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double mg1ps_mean_response(double lambda, double mean_service) {
+  if (mean_service <= 0.0 || lambda < 0.0) {
+    throw std::invalid_argument("mg1ps: need mean_service > 0, lambda >= 0");
+  }
+  const double rho = lambda * mean_service;
+  if (rho >= 1.0) {
+    throw std::invalid_argument("mg1ps: unstable (rho >= 1)");
+  }
+  return mean_service / (1.0 - rho);
+}
+
+}  // namespace cava::websearch

@@ -1,0 +1,43 @@
+// Analytical queueing models used to cross-validate the fluid web-search
+// simulator and to reason about the latency/utilization trade that Fig. 5
+// exercises.
+//
+//   * M/M/c (Erlang-C): waiting probability, mean waiting/response time and
+//     response-time percentiles for a c-core server with Poisson arrivals;
+//   * M/G/1-PS: mean sojourn time E[S]/(1-rho), which is insensitive to the
+//     service distribution — the natural sanity check for the simulator's
+//     processor-sharing discipline under lognormal demands.
+//
+// All times are in the same unit as 1/lambda and 1/mu.
+#pragma once
+
+#include <cstddef>
+
+namespace cava::websearch {
+
+/// Offered load per server, rho = lambda / (c * mu). Stability needs < 1.
+double offered_utilization(double lambda, double mu, unsigned c);
+
+/// Erlang-C: probability an arriving job must wait in an M/M/c queue.
+/// Computed with the numerically stable iterative form. Requires rho < 1.
+double erlang_c(double lambda, double mu, unsigned c);
+
+/// Mean waiting time (excluding service) in M/M/c.
+double mmc_mean_wait(double lambda, double mu, unsigned c);
+
+/// Mean response (sojourn) time in M/M/c.
+double mmc_mean_response(double lambda, double mu, unsigned c);
+
+/// p-th percentile (p in (0,100)) of the M/M/c response time under the
+/// classical exponential-tail approximation:
+///   P(T > t) ~ exp(-mu t) for the service part combined with the
+///   conditional-wait exponential of rate (c mu - lambda).
+/// Exact for c = 1 (M/M/1: T ~ Exp(mu - lambda)); a good approximation for
+/// moderate c and rho.
+double mmc_response_percentile(double lambda, double mu, unsigned c, double p);
+
+/// Mean sojourn time in an M/G/1 processor-sharing queue: E[S] / (1 - rho),
+/// insensitive to the service-time distribution beyond its mean.
+double mg1ps_mean_response(double lambda, double mean_service);
+
+}  // namespace cava::websearch

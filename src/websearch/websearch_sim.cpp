@@ -1,0 +1,217 @@
+#include "websearch/websearch_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cava::websearch {
+
+WebSearchSimulator::WebSearchSimulator(WebSearchConfig config)
+    : config_(std::move(config)) {
+  if (config_.cluster_waves.empty()) {
+    throw std::invalid_argument("WebSearchSimulator: no cluster waves");
+  }
+  if (config_.isns.empty()) {
+    throw std::invalid_argument("WebSearchSimulator: no ISNs");
+  }
+  for (const auto& isn : config_.isns) {
+    if (isn.server >= config_.num_servers) {
+      throw std::invalid_argument("WebSearchSimulator: ISN on missing server");
+    }
+    if (isn.cluster < 0 ||
+        static_cast<std::size_t>(isn.cluster) >= config_.cluster_waves.size()) {
+      throw std::invalid_argument("WebSearchSimulator: ISN in missing cluster");
+    }
+  }
+  if (!config_.server_freq_ghz.empty() &&
+      config_.server_freq_ghz.size() != config_.num_servers) {
+    throw std::invalid_argument(
+        "WebSearchSimulator: server_freq_ghz size mismatch");
+  }
+  if (config_.step_seconds <= 0.0 || config_.duration_seconds <= 0.0) {
+    throw std::invalid_argument("WebSearchSimulator: bad timing");
+  }
+}
+
+namespace {
+
+struct Task {
+  std::size_t query;
+  double remaining;  ///< fmax core-seconds of work left
+};
+
+struct QueryState {
+  double start_time = 0.0;
+  int cluster = 0;
+  int outstanding = 0;
+};
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double wave_clients(const trace::ClientWaveConfig& w, double t) {
+  const double mid = 0.5 * (w.max_clients + w.min_clients);
+  const double amp = 0.5 * (w.max_clients - w.min_clients);
+  return std::max(0.0, mid + amp * std::sin(kTwoPi * t / w.period_seconds +
+                                            w.phase_radians));
+}
+
+}  // namespace
+
+WebSearchResult WebSearchSimulator::run() const {
+  util::Rng rng(config_.seed);
+  const std::size_t n_isns = config_.isns.size();
+  const std::size_t n_clusters = config_.cluster_waves.size();
+  const double fmax = config_.server.fmax();
+
+  std::vector<double> freq(config_.num_servers, fmax);
+  if (!config_.server_freq_ghz.empty()) freq = config_.server_freq_ghz;
+
+  // Per-ISN run queues.
+  std::vector<std::vector<Task>> queues(n_isns);
+  std::vector<QueryState> queries;
+
+  // ISNs grouped per cluster and per server for the inner loops.
+  std::vector<std::vector<std::size_t>> cluster_isns(n_clusters);
+  std::vector<std::vector<std::size_t>> server_isns(config_.num_servers);
+  for (std::size_t i = 0; i < n_isns; ++i) {
+    cluster_isns[static_cast<std::size_t>(config_.isns[i].cluster)].push_back(i);
+    server_isns[config_.isns[i].server].push_back(i);
+  }
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (cluster_isns[c].empty()) {
+      throw std::invalid_argument("WebSearchSimulator: cluster without ISNs");
+    }
+  }
+
+  WebSearchResult result;
+  result.response_times.resize(n_clusters);
+
+  // Utilization accumulation buckets.
+  const auto n_buckets = static_cast<std::size_t>(
+      std::ceil(config_.duration_seconds / config_.util_sample_dt));
+  std::vector<std::vector<double>> vm_busy(n_isns,
+                                           std::vector<double>(n_buckets, 0.0));
+  std::vector<std::vector<double>> server_busy(
+      config_.num_servers, std::vector<double>(n_buckets, 0.0));
+  std::vector<double> server_busy_total(config_.num_servers, 0.0);
+
+  const double dt = config_.step_seconds;
+  const auto n_steps =
+      static_cast<std::size_t>(std::llround(config_.duration_seconds / dt));
+
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    const std::size_t bucket = std::min(
+        static_cast<std::size_t>(t / config_.util_sample_dt), n_buckets - 1);
+
+    // ---- Arrivals. ----
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      const double clients = wave_clients(config_.cluster_waves[c], t);
+      const double lambda = clients * config_.queries_per_client_per_sec;
+      const std::uint64_t arrivals = rng.poisson(lambda * dt);
+      for (std::uint64_t a = 0; a < arrivals; ++a) {
+        const std::size_t qid = queries.size();
+        QueryState q;
+        q.start_time = t;
+        q.cluster = static_cast<int>(c);
+        q.outstanding = static_cast<int>(cluster_isns[c].size());
+        queries.push_back(q);
+        ++result.queries_issued;
+        for (std::size_t isn : cluster_isns[c]) {
+          const double demand = rng.lognormal_mean_cv(
+              config_.demand_mean_core_sec * config_.isns[isn].imbalance,
+              config_.demand_cv);
+          queues[isn].push_back({qid, demand});
+        }
+      }
+    }
+
+    // ---- Processor-sharing service on each server. ----
+    for (std::size_t s = 0; s < config_.num_servers; ++s) {
+      const double speed = freq[s] / fmax;  // fmax-equivalent rate per core
+      const double capacity =
+          static_cast<double>(config_.server.cores()) * speed;
+      // Each VM wants one core per runnable task, capped by its core cap.
+      double total_want = 0.0;
+      std::vector<double> want(server_isns[s].size(), 0.0);
+      for (std::size_t k = 0; k < server_isns[s].size(); ++k) {
+        const std::size_t isn = server_isns[s][k];
+        const double runnable = static_cast<double>(queues[isn].size());
+        want[k] = std::min(runnable, config_.isns[isn].core_cap) * speed;
+        total_want += want[k];
+      }
+      if (total_want <= 0.0) continue;
+      const double scale = std::min(1.0, capacity / total_want);
+
+      for (std::size_t k = 0; k < server_isns[s].size(); ++k) {
+        const std::size_t isn = server_isns[s][k];
+        auto& q = queues[isn];
+        if (q.empty()) continue;
+        const double grant = want[k] * scale;  // fmax-equiv cores for this VM
+        const double per_task = grant / static_cast<double>(q.size());
+        // Record physical core occupancy.
+        const double physical = grant / speed;
+        vm_busy[isn][bucket] += physical * dt;
+        server_busy[s][bucket] += physical * dt;
+        server_busy_total[s] += physical * dt;
+
+        // Progress tasks; completions finish their query when it was the
+        // last outstanding ISN task.
+        for (std::size_t ti = 0; ti < q.size();) {
+          q[ti].remaining -= per_task * dt;
+          if (q[ti].remaining <= 0.0) {
+            QueryState& query = queries[q[ti].query];
+            if (--query.outstanding == 0) {
+              result.response_times[static_cast<std::size_t>(query.cluster)]
+                  .push_back(t + dt - query.start_time);
+              ++result.queries_completed;
+            }
+            q[ti] = q.back();
+            q.pop_back();
+          } else {
+            ++ti;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Package utilization traces. ----
+  for (std::size_t i = 0; i < n_isns; ++i) {
+    trace::VmTrace vt;
+    vt.name = config_.isns[i].name;
+    vt.cluster_id = config_.isns[i].cluster;
+    std::vector<double> samples(n_buckets);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      samples[b] = vm_busy[i][b] / config_.util_sample_dt;
+    }
+    vt.series = trace::TimeSeries(config_.util_sample_dt, std::move(samples));
+    result.vm_utilization.add(std::move(vt));
+  }
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    std::vector<double> samples(n_buckets);
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      samples[b] = server_busy[s][b] / config_.util_sample_dt /
+                   static_cast<double>(config_.server.cores());
+    }
+    result.server_utilization.emplace_back(config_.util_sample_dt,
+                                           std::move(samples));
+    result.server_busy_fraction.push_back(
+        server_busy_total[s] / config_.duration_seconds /
+        static_cast<double>(config_.server.cores()));
+  }
+  return result;
+}
+
+double WebSearchResult::response_percentile(int cluster, double p) const {
+  const auto c = static_cast<std::size_t>(cluster);
+  if (c >= response_times.size()) {
+    throw std::out_of_range("WebSearchResult::response_percentile");
+  }
+  return util::percentile(response_times[c], p);
+}
+
+}  // namespace cava::websearch

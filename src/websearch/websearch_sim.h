@@ -1,0 +1,104 @@
+// Distributed web-search cluster simulator — the Setup-1 substrate.
+//
+// The paper deploys two CloudSuite web-search clusters (one Tomcat front-end
+// plus two Nutch index-serving nodes each) on Xen/DELL-R815 hardware, drives
+// them with Faban clients whose population follows sine/cosine waves in
+// [0, 300], and measures 90th-percentile response time under three VM
+// placements. We replace that testbed with a fluid (fine time-stepped)
+// processor-sharing model that preserves the properties the experiment
+// exercises:
+//
+//   * query arrivals are Poisson with rate proportional to the momentary
+//     client count, so ISN CPU utilization tracks the client wave (Fig. 1);
+//   * each query fans out one task to every ISN of its cluster and completes
+//     when the *last* task finishes (the front-end gathers all results), so
+//     cluster response time is gated by the slowest/most loaded ISN;
+//   * per-ISN service demands are lognormal and skewed by a per-ISN
+//     imbalance factor ("loads between VMs in a cluster are not perfectly
+//     balanced because the CPU utilization depends on the amount of matched
+//     results");
+//   * each server is a multi-core processor-sharing queue: co-located VMs
+//     flexibly share cores, each VM capped at its allotted cores (4 in the
+//     Segregated placement, 8 when sharing), and server speed scales with
+//     the chosen frequency.
+//
+// Work is measured in fmax-equivalent core-seconds: a core at frequency f
+// retires f/fmax units per second. Tasks are single-threaded (one core max).
+#pragma once
+
+#include "model/server.h"
+#include "trace/synthesis.h"
+#include "trace/time_series.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cava::websearch {
+
+/// One index-serving node (ISN) VM.
+struct IsnSpec {
+  std::string name;
+  int cluster = 0;         ///< which search cluster the ISN belongs to
+  std::size_t server = 0;  ///< hosting server
+  double core_cap = 8.0;   ///< max physical cores the VM may use
+  /// Multiplier on this ISN's share of each query's work (load imbalance).
+  double imbalance = 1.0;
+};
+
+struct WebSearchConfig {
+  /// Client-population wave per cluster (index = cluster id).
+  std::vector<trace::ClientWaveConfig> cluster_waves;
+  /// Query arrival rate contributed by one client (queries/sec). The
+  /// default is calibrated so that at the 300-client wave crest a hot ISN
+  /// demands ~4.1 fmax-cores: just beyond a Segregated 4-core partition
+  /// (reproducing its saturation in Fig. 4a) while two co-located ISNs stay
+  /// within an 8-core server.
+  double queries_per_client_per_sec = 0.13;
+  /// Mean per-query per-ISN service demand, fmax core-seconds.
+  double demand_mean_core_sec = 0.08;
+  /// Coefficient of variation of the lognormal demand.
+  double demand_cv = 0.8;
+
+  std::vector<IsnSpec> isns;
+  model::ServerSpec server = model::ServerSpec::dell_r815();
+  std::size_t num_servers = 2;
+  /// Operating frequency per server (GHz); defaults to fmax when empty.
+  std::vector<double> server_freq_ghz;
+
+  double duration_seconds = 1200.0;
+  double step_seconds = 0.01;      ///< fluid-model integration step
+  double util_sample_dt = 1.0;     ///< granularity of recorded traces
+  std::uint64_t seed = 1;
+};
+
+struct WebSearchResult {
+  /// Completed-query response times, per cluster.
+  std::vector<std::vector<double>> response_times;
+  /// Per-ISN utilization traces (physical cores in use), util_sample_dt grid.
+  trace::TraceSet vm_utilization;
+  /// Per-server utilization traces, normalized to [0,1] by core count.
+  std::vector<trace::TimeSeries> server_utilization;
+  /// Time-averaged busy fraction per server (feeds the power model).
+  std::vector<double> server_busy_fraction;
+  std::size_t queries_issued = 0;
+  std::size_t queries_completed = 0;
+
+  /// Percentile of a cluster's response times (e.g. 90 for the paper's
+  /// metric); counts still-unfinished queries as censored (excluded).
+  double response_percentile(int cluster, double p) const;
+};
+
+class WebSearchSimulator {
+ public:
+  explicit WebSearchSimulator(WebSearchConfig config);
+
+  WebSearchResult run() const;
+
+  const WebSearchConfig& config() const { return config_; }
+
+ private:
+  WebSearchConfig config_;
+};
+
+}  // namespace cava::websearch

@@ -1,0 +1,174 @@
+// Adversarial/edge-case inputs run against EVERY placement policy through a
+// single parameterized harness: a policy must never crash, must place every
+// VM, and must respect capacity whenever a capacity-respecting placement
+// exists.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/effective_sizing.h"
+#include "alloc/ffd.h"
+#include "alloc/migration.h"
+#include "alloc/pcp.h"
+#include "util/rng.h"
+
+namespace cava::alloc {
+namespace {
+
+using PolicyFactory = std::function<std::unique_ptr<PlacementPolicy>()>;
+
+struct NamedFactory {
+  std::string label;
+  PolicyFactory make;
+};
+
+std::vector<NamedFactory> all_policies() {
+  return {
+      {"ffd", [] { return std::make_unique<FirstFitDecreasing>(); }},
+      {"bfd", [] { return std::make_unique<BestFitDecreasing>(); }},
+      {"pcp", [] { return std::make_unique<PeakClusteringPlacement>(); }},
+      {"proposed",
+       [] { return std::make_unique<CorrelationAwarePlacement>(); }},
+      {"sticky_bfd",
+       [] {
+         return std::make_unique<StickyPlacement>(
+             std::make_unique<BestFitDecreasing>(), StickyConfig{});
+       }},
+      {"effsize",
+       [] { return std::make_unique<EffectiveSizingPlacement>(); }},
+  };
+}
+
+/// Fixture building a matching history + cost matrix for N VMs so that
+/// every policy (including the correlation-aware one) can run.
+struct Instance {
+  std::vector<model::VmDemand> demands;
+  trace::TraceSet history;
+  corr::CostMatrix matrix;
+  PlacementContext ctx;
+
+  explicit Instance(const std::vector<double>& refs,
+                    std::size_t max_servers = 8)
+      : matrix(std::max<std::size_t>(refs.size(), 1),
+               trace::ReferenceSpec::peak()) {
+    util::Rng rng(1);
+    const std::size_t samples = 64;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      demands.push_back({i, refs[i]});
+      std::vector<double> s(samples);
+      for (auto& v : s) v = refs[i] * rng.uniform(0.5, 1.0);
+      history.add({"vm" + std::to_string(i), 0,
+                   trace::TimeSeries(1.0, std::move(s))});
+    }
+    if (!refs.empty()) {
+      matrix = corr::CostMatrix::from_traces(history,
+                                             trace::ReferenceSpec::peak());
+    }
+    ctx.server = model::ServerSpec("s", 8, {1.0, 2.0});
+    ctx.max_servers = max_servers;
+    ctx.cost_matrix = &matrix;
+    ctx.history = &history;
+  }
+};
+
+class PolicyEdgeCases : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<PlacementPolicy> policy() const {
+    return all_policies()[GetParam()].make();
+  }
+};
+
+TEST_P(PolicyEdgeCases, AllZeroDemands) {
+  Instance inst({0.0, 0.0, 0.0});
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST_P(PolicyEdgeCases, SingleVm) {
+  Instance inst({5.0});
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 1u);
+}
+
+TEST_P(PolicyEdgeCases, AllEqualDemandsExactFit) {
+  // 8 VMs of 2.0 cores: fits exactly into 2 servers of 8.
+  Instance inst(std::vector<double>(8, 2.0), 8);
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+  std::vector<double> refs(8, 2.0);
+  for (std::size_t s = 0; s < inst.ctx.max_servers; ++s) {
+    EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9);
+  }
+}
+
+TEST_P(PolicyEdgeCases, FullSizeVmsOnePerServer) {
+  Instance inst({8.0, 8.0, 8.0}, 4);
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 3u);
+}
+
+TEST_P(PolicyEdgeCases, SingleServerOnly) {
+  Instance inst({2.0, 2.0, 2.0}, 1);
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 1u);
+}
+
+TEST_P(PolicyEdgeCases, OverflowDoesNotDropVms) {
+  // 3 * 8 cores demanded, 2 servers available: someone must oversubscribe,
+  // but every VM must still be placed.
+  Instance inst({8.0, 8.0, 8.0}, 2);
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST_P(PolicyEdgeCases, TinyFractionalDemands) {
+  Instance inst({0.001, 0.002, 0.003, 0.004}, 4);
+  const auto p = policy()->place(inst.demands, inst.ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 1u);  // they all fit anywhere
+}
+
+TEST_P(PolicyEdgeCases, RandomizedInvariants) {
+  util::Rng rng(77 + GetParam());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> refs;
+    const std::size_t n = 1 + rng.uniform_int(20);
+    for (std::size_t i = 0; i < n; ++i) refs.push_back(rng.uniform(0.1, 8.0));
+    Instance inst(refs, 24);
+    const auto p = policy()->place(inst.demands, inst.ctx);
+    ASSERT_TRUE(p.complete());
+    // Capacity respected whenever the instance trivially fits (n servers).
+    for (std::size_t s = 0; s < inst.ctx.max_servers; ++s) {
+      ASSERT_LE(p.load_on(s, refs), 8.0 + 1e-9)
+          << all_policies()[GetParam()].label << " round " << round;
+    }
+  }
+}
+
+TEST_P(PolicyEdgeCases, DeterministicAcrossCalls) {
+  Instance inst({3.0, 1.5, 4.5, 2.5, 0.5}, 8);
+  auto policy_a = policy();
+  auto policy_b = policy();
+  const auto a = policy_a->place(inst.demands, inst.ctx);
+  const auto b = policy_b->place(inst.demands, inst.ctx);
+  for (std::size_t vm = 0; vm < inst.demands.size(); ++vm) {
+    EXPECT_EQ(a.server_of(vm), b.server_of(vm));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyEdgeCases,
+    ::testing::Range<std::size_t>(0, 6),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return all_policies()[info.param].label;
+    });
+
+}  // namespace
+}  // namespace cava::alloc

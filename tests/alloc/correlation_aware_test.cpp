@@ -1,0 +1,230 @@
+#include "alloc/correlation_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cava::alloc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Build traces with given phases and amplitude, plus the matching matrix.
+struct Fixture {
+  trace::TraceSet traces;
+  corr::CostMatrix matrix;
+
+  explicit Fixture(const std::vector<double>& phases, double amp = 2.0,
+                   std::size_t n = 720)
+      : matrix(1, trace::ReferenceSpec::peak()) {
+    for (std::size_t v = 0; v < phases.size(); ++v) {
+      std::vector<double> s(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s[i] = amp * (1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                         static_cast<double>(n) +
+                                     phases[v]));
+      }
+      traces.add(
+          {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+    }
+    matrix = corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  }
+
+  std::vector<model::VmDemand> demands() const {
+    std::vector<model::VmDemand> d;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      d.push_back({i, traces[i].series.peak()});
+    }
+    return d;
+  }
+
+  PlacementContext context(std::size_t max_servers = 4) const {
+    PlacementContext ctx;
+    ctx.server = model::ServerSpec("s", 8, {2.0});
+    ctx.max_servers = max_servers;
+    ctx.cost_matrix = &matrix;
+    ctx.history = &traces;
+    return ctx;
+  }
+};
+
+TEST(CorrelationAware, ValidatesConfig) {
+  CorrelationAwareConfig bad;
+  bad.alpha = 1.0;
+  EXPECT_THROW(CorrelationAwarePlacement{bad}, std::invalid_argument);
+  bad.alpha = 0.9;
+  bad.initial_threshold = 0.5;
+  EXPECT_THROW(CorrelationAwarePlacement{bad}, std::invalid_argument);
+}
+
+TEST(CorrelationAware, RequiresCostMatrix) {
+  CorrelationAwarePlacement policy;
+  std::vector<model::VmDemand> d{{0, 1.0}};
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 2;
+  ctx.cost_matrix = nullptr;
+  EXPECT_THROW(policy.place(d, ctx), std::invalid_argument);
+}
+
+TEST(CorrelationAware, PairsAntiCorrelatedVms) {
+  // Two synchronized pairs, mutually antiphase: {0,1} peak together,
+  // {2,3} peak together, opposite phase. Each server should get one of each.
+  const Fixture fx({0.0, 0.0, kPi, kPi});
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(fx.demands(), fx.context());
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 2u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto vms = p.vms_on(s);
+    if (vms.empty()) continue;
+    ASSERT_EQ(vms.size(), 2u);
+    const bool a_in_first_group = vms[0] < 2;
+    const bool b_in_first_group = vms[1] < 2;
+    EXPECT_NE(a_in_first_group, b_in_first_group);
+  }
+}
+
+TEST(CorrelationAware, UsesEqnThreeServerEstimate) {
+  const Fixture fx({0.0, kPi});
+  CorrelationAwarePlacement policy;
+  policy.place(fx.demands(), fx.context());
+  // Total peak demand = 4+4 = 8 cores -> exactly 1 server.
+  EXPECT_EQ(policy.last_estimated_servers(), 1u);
+}
+
+TEST(CorrelationAware, CompleteEvenWhenAllVmsAreFullyCorrelated) {
+  // All in phase: every pair cost ~1 < threshold. The threshold must decay
+  // until VMs can still be packed (capacity permitting).
+  const Fixture fx({0.0, 0.0, 0.0, 0.0}, /*amp=*/1.0);
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(fx.demands(), fx.context());
+  EXPECT_TRUE(p.complete());
+  EXPECT_LT(policy.last_final_threshold(),
+            CorrelationAwareConfig{}.initial_threshold);
+}
+
+TEST(CorrelationAware, RespectsCapacity) {
+  const Fixture fx({0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, 2.0);
+  CorrelationAwarePlacement policy;
+  const auto d = fx.demands();
+  const auto p = policy.place(d, fx.context(6));
+  std::vector<double> refs;
+  for (const auto& dd : d) refs.push_back(dd.reference);
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9);
+  }
+}
+
+TEST(CorrelationAware, GrowsActiveSetWhenFragmented) {
+  // Items of size 5 cannot pair in 8-core servers although Eqn. 3 says
+  // ceil(15/8) = 2; a third server must open.
+  corr::CostMatrix m(3, trace::ReferenceSpec::peak());
+  m.add_sample(std::vector<double>{5.0, 5.0, 5.0});
+  std::vector<model::VmDemand> d{{0, 5.0}, {1, 5.0}, {2, 5.0}};
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 5;
+  ctx.cost_matrix = &m;
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(d, ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 3u);
+}
+
+TEST(CorrelationAware, OverflowsWhenNoCapacityAnywhere) {
+  corr::CostMatrix m(3, trace::ReferenceSpec::peak());
+  m.add_sample(std::vector<double>{8.0, 8.0, 8.0});
+  std::vector<model::VmDemand> d{{0, 8.0}, {1, 8.0}, {2, 8.0}};
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 2;
+  ctx.cost_matrix = &m;
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(d, ctx);
+  EXPECT_TRUE(p.complete());  // oversubscribed but nothing dropped
+}
+
+TEST(CorrelationAware, LowerAggregatePeakThanCorrelationObliviousPairing) {
+  // The headline property: the actual peak of each server's aggregated
+  // utilization is lower under correlation-aware pairing.
+  const Fixture fx({0.0, 0.0, kPi, kPi});
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(fx.demands(), fx.context());
+
+  auto server_peak = [&](const Placement& placement, std::size_t server) {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < fx.traces.samples_per_trace(); ++i) {
+      double agg = 0.0;
+      for (std::size_t vm : placement.vms_on(server)) {
+        agg += fx.traces[vm].series[i];
+      }
+      peak = std::max(peak, agg);
+    }
+    return peak;
+  };
+
+  // Correlation-oblivious worst case: {0,1} and {2,3} together.
+  Placement naive(4, 4);
+  naive.assign(0, 0);
+  naive.assign(1, 0);
+  naive.assign(2, 1);
+  naive.assign(3, 1);
+
+  const double aware_peak =
+      std::max(server_peak(p, 0), server_peak(p, 1));
+  const double naive_peak =
+      std::max(server_peak(naive, 0), server_peak(naive, 1));
+  EXPECT_LT(aware_peak, 0.7 * naive_peak);
+}
+
+TEST(CorrelationAware, Name) {
+  EXPECT_EQ(CorrelationAwarePlacement{}.name(), "Proposed");
+}
+
+class RandomizedCompleteness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedCompleteness, AlwaysCompletesWithinCapacity) {
+  util::Rng rng(GetParam());
+  const std::size_t n_vms = 24;
+  const std::size_t samples = 200;
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.3, 1.5);
+    const double amp = rng.uniform(0.2, 2.0);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(0.05 * static_cast<double>(i) + phase)) +
+             rng.uniform(0.0, 0.2);
+    }
+    traces.add({"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  std::vector<model::VmDemand> d;
+  std::vector<double> refs;
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    d.push_back({i, traces[i].series.peak()});
+    refs.push_back(d.back().reference);
+  }
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 20;
+  ctx.cost_matrix = &matrix;
+  CorrelationAwarePlacement policy;
+  const auto p = policy.place(d, ctx);
+  EXPECT_TRUE(p.complete());
+  for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+    EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedCompleteness,
+                         ::testing::Values(2ULL, 4ULL, 6ULL, 10ULL, 12ULL,
+                                           14ULL, 100ULL, 1000ULL));
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,126 @@
+#include "alloc/effective_sizing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/bfd.h"
+#include "util/rng.h"
+
+namespace cava::alloc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Fixture {
+  trace::TraceSet traces;
+  corr::MomentMatrix moments;
+  std::vector<model::VmDemand> demands;
+  PlacementContext ctx;
+
+  /// phases per VM; amplitude 'amp' around mean 'base'.
+  Fixture(const std::vector<double>& phases, double base = 2.0,
+          double amp = 1.5, std::size_t max_servers = 4)
+      : moments(1) {
+    const std::size_t samples = 720;
+    for (std::size_t v = 0; v < phases.size(); ++v) {
+      std::vector<double> s(samples);
+      for (std::size_t i = 0; i < samples; ++i) {
+        s[i] = base + amp * std::sin(2.0 * kPi * static_cast<double>(i) /
+                                         static_cast<double>(samples) +
+                                     phases[v]);
+      }
+      traces.add(
+          {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+    }
+    moments = corr::MomentMatrix::from_traces(traces);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+    }
+    ctx.server = model::ServerSpec("s", 8, {2.0});
+    ctx.max_servers = max_servers;
+    ctx.moments = &moments;
+  }
+};
+
+TEST(EffectiveSizing, FallsBackToBestFitWithoutMoments) {
+  EffectiveSizingPlacement es;
+  BestFitDecreasing bfd;
+  std::vector<model::VmDemand> d{{0, 4.0}, {1, 4.0}, {2, 2.0}};
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 4;
+  ctx.moments = nullptr;
+  const auto a = es.place(d, ctx);
+  const auto b = bfd.place(d, ctx);
+  for (std::size_t vm = 0; vm < d.size(); ++vm) {
+    EXPECT_EQ(a.server_of(vm), b.server_of(vm));
+  }
+}
+
+TEST(EffectiveSizing, PlacesAllVms) {
+  Fixture fx({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  EffectiveSizingPlacement es;
+  EXPECT_TRUE(es.place(fx.demands, fx.ctx).complete());
+}
+
+TEST(EffectiveSizing, PairsAntiCorrelatedVms) {
+  // Two in-phase pairs, antiphase across pairs: the covariance term makes
+  // the anti-correlated partner look small, so cross pairs co-locate.
+  Fixture fx({0.0, 0.0, kPi, kPi});
+  EffectiveSizingPlacement es;
+  const auto p = es.place(fx.demands, fx.ctx);
+  EXPECT_TRUE(p.complete());
+  for (std::size_t s = 0; s < fx.ctx.max_servers; ++s) {
+    const auto vms = p.vms_on(s);
+    if (vms.size() == 2) {
+      const bool a = vms[0] < 2, b = vms[1] < 2;
+      EXPECT_NE(a, b) << "in-phase VMs co-located on server " << s;
+    }
+  }
+}
+
+TEST(EffectiveSizing, AntiCorrelatedPairPacksDenserThanCorrelated) {
+  // 2 anti-phase VMs fit a server whose capacity would reject 2 in-phase
+  // ones under the same z (Var(sum) collapses).
+  Fixture anti({0.0, kPi}, 2.5, 2.0, 2);
+  Fixture corr_fx({0.0, 0.0}, 2.5, 2.0, 2);
+  EffectiveSizingPlacement es;
+  const auto p_anti = es.place(anti.demands, anti.ctx);
+  const auto p_corr = es.place(corr_fx.demands, corr_fx.ctx);
+  EXPECT_EQ(p_anti.active_servers(), 1u);
+  EXPECT_EQ(p_corr.active_servers(), 2u);
+}
+
+TEST(EffectiveSizing, HigherZIsMoreConservative) {
+  Fixture fx({0.0, 2.0, 4.0, 1.0, 3.0, 5.0}, 1.8, 1.5, 8);
+  EffectiveSizingPlacement loose({1.0});
+  EffectiveSizingPlacement tight({4.0});
+  const auto p_loose = loose.place(fx.demands, fx.ctx);
+  const auto p_tight = tight.place(fx.demands, fx.ctx);
+  EXPECT_LE(p_loose.active_servers(), p_tight.active_servers());
+}
+
+TEST(EffectiveSizing, OverflowStillPlacesEverything) {
+  Fixture fx({0.0, 0.0, 0.0, 0.0}, 4.0, 3.5, 2);  // enormous correlated VMs
+  EffectiveSizingPlacement es;
+  const auto p = es.place(fx.demands, fx.ctx);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(EffectiveSizing, Name) {
+  EXPECT_EQ(EffectiveSizingPlacement{}.name(), "EffSize");
+}
+
+TEST(EffectiveSizing, DeterministicAcrossCalls) {
+  Fixture fx({0.5, 1.5, 2.5, 3.5});
+  EffectiveSizingPlacement a, b;
+  const auto pa = a.place(fx.demands, fx.ctx);
+  const auto pb = b.place(fx.demands, fx.ctx);
+  for (std::size_t vm = 0; vm < fx.demands.size(); ++vm) {
+    EXPECT_EQ(pa.server_of(vm), pb.server_of(vm));
+  }
+}
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,158 @@
+// Tests for the FFD and BFD bin-packing baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/bfd.h"
+#include "alloc/ffd.h"
+#include "util/rng.h"
+
+namespace cava::alloc {
+namespace {
+
+PlacementContext make_context(std::size_t max_servers, int cores = 8) {
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", cores, {2.0});
+  ctx.max_servers = max_servers;
+  return ctx;
+}
+
+std::vector<model::VmDemand> demands(std::initializer_list<double> refs) {
+  std::vector<model::VmDemand> d;
+  std::size_t i = 0;
+  for (double r : refs) d.push_back({i++, r});
+  return d;
+}
+
+TEST(Ffd, PacksIntoMinimalServersOnEasyInstance) {
+  FirstFitDecreasing ffd;
+  const auto d = demands({4.0, 4.0, 4.0, 4.0});
+  const auto p = ffd.place(d, make_context(4));
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.active_servers(), 2u);
+}
+
+TEST(Ffd, RespectsCapacity) {
+  FirstFitDecreasing ffd;
+  const auto d = demands({5.0, 5.0, 5.0});
+  const auto p = ffd.place(d, make_context(4));
+  const std::vector<double> refs{5.0, 5.0, 5.0};
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9);
+  }
+  EXPECT_EQ(p.active_servers(), 3u);
+}
+
+TEST(Ffd, LargestItemsSeedServers) {
+  FirstFitDecreasing ffd;
+  const auto d = demands({1.0, 7.0, 2.0});
+  const auto p = ffd.place(d, make_context(3));
+  // Sorted: 7, 2, 1. Server0 gets 7, then 1 fits alongside (7+1=8); 2 -> s1.
+  EXPECT_EQ(p.server_of(1), 0);
+  EXPECT_EQ(p.server_of(0), 0);
+  EXPECT_EQ(p.server_of(2), 1);
+}
+
+TEST(Ffd, OverflowsGracefullyWhenCapacityExhausted) {
+  FirstFitDecreasing ffd;
+  const auto d = demands({8.0, 8.0, 8.0});
+  const auto p = ffd.place(d, make_context(2));
+  EXPECT_TRUE(p.complete());  // nothing dropped; one server oversubscribed
+}
+
+TEST(Bfd, PrefersTightestFit) {
+  BestFitDecreasing bfd;
+  // Sorted: 6, 5, 2. s0 <- 6, s1 <- 5; the 2 fits both (rem 2 vs 3) and
+  // best-fit picks the tighter s0.
+  const auto d = demands({5.0, 6.0, 2.0});
+  const auto p = bfd.place(d, make_context(3));
+  EXPECT_EQ(p.server_of(2), p.server_of(1));
+}
+
+TEST(Bfd, MatchesFfdServerCountOnUniformItems) {
+  BestFitDecreasing bfd;
+  FirstFitDecreasing ffd;
+  const auto d = demands({2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+  EXPECT_EQ(bfd.place(d, make_context(4)).active_servers(),
+            ffd.place(d, make_context(4)).active_servers());
+}
+
+TEST(Bfd, OverflowsToLeastLoaded) {
+  BestFitDecreasing bfd;
+  const auto d = demands({8.0, 8.0, 4.0});
+  const auto p = bfd.place(d, make_context(2));
+  EXPECT_TRUE(p.complete());
+  const std::vector<double> refs{8.0, 8.0, 4.0};
+  // One server carries 12, the other 8: the overflow landed on one of them.
+  const double l0 = p.load_on(0, refs);
+  const double l1 = p.load_on(1, refs);
+  EXPECT_DOUBLE_EQ(l0 + l1, 20.0);
+  EXPECT_DOUBLE_EQ(std::max(l0, l1), 12.0);
+}
+
+TEST(Heuristics, EmptyDemandsYieldEmptyPlacement) {
+  FirstFitDecreasing ffd;
+  BestFitDecreasing bfd;
+  const std::vector<model::VmDemand> d;
+  EXPECT_EQ(ffd.place(d, make_context(2)).active_servers(), 0u);
+  EXPECT_EQ(bfd.place(d, make_context(2)).active_servers(), 0u);
+}
+
+TEST(Heuristics, Names) {
+  EXPECT_EQ(FirstFitDecreasing{}.name(), "FFD");
+  EXPECT_EQ(BestFitDecreasing{}.name(), "BFD");
+}
+
+class RandomInstanceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceSweep, BothHeuristicsProduceValidCompletePackings) {
+  util::Rng rng(GetParam());
+  std::vector<model::VmDemand> d;
+  std::vector<double> refs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double r = rng.uniform(0.2, 6.0);
+    d.push_back({i, r});
+    refs.push_back(r);
+  }
+  const auto ctx = make_context(20);
+  for (PlacementPolicy* policy :
+       std::initializer_list<PlacementPolicy*>{new FirstFitDecreasing,
+                                               new BestFitDecreasing}) {
+    const auto p = policy->place(d, ctx);
+    EXPECT_TRUE(p.complete()) << policy->name();
+    // No server above capacity (the instance always fits in 20 servers).
+    for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+      EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9) << policy->name();
+    }
+    // Uses no more servers than one-VM-per-server.
+    EXPECT_LE(p.active_servers(), d.size());
+    delete policy;
+  }
+}
+
+TEST_P(RandomInstanceSweep, DecreasingHeuristicsNearOptimal) {
+  // FFD is guaranteed <= 11/9 OPT + 1; check against the capacity lower
+  // bound on random instances.
+  util::Rng rng(GetParam() ^ 0xabcdULL);
+  std::vector<model::VmDemand> d;
+  double total = 0.0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double r = rng.uniform(0.5, 4.0);
+    d.push_back({i, r});
+    total += r;
+  }
+  const auto ctx = make_context(60);
+  const auto lower =
+      static_cast<std::size_t>(std::ceil(total / 8.0));
+  FirstFitDecreasing ffd;
+  const auto p = ffd.place(d, ctx);
+  EXPECT_LE(p.active_servers(),
+            static_cast<std::size_t>(std::ceil(1.23 * lower)) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL,
+                                           13ULL, 21ULL, 34ULL));
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,191 @@
+#include "alloc/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/bfd.h"
+#include "alloc/ffd.h"
+
+namespace cava::alloc {
+namespace {
+
+Placement make_placement(std::initializer_list<int> servers) {
+  Placement p(servers.size(), 8);
+  std::size_t vm = 0;
+  for (int s : servers) {
+    if (s >= 0) p.assign(vm, static_cast<std::size_t>(s));
+    ++vm;
+  }
+  return p;
+}
+
+TEST(CountMigrations, NoChangesNoMigrations) {
+  const auto a = make_placement({0, 1, 0});
+  const auto b = make_placement({0, 1, 0});
+  const auto stats = count_migrations(a, b, {});
+  EXPECT_EQ(stats.migrated_vms, 0u);
+  EXPECT_EQ(stats.newly_placed, 0u);
+  EXPECT_EQ(stats.migrated_cores, 0.0);
+}
+
+TEST(CountMigrations, CountsMoves) {
+  const auto a = make_placement({0, 1, 2});
+  const auto b = make_placement({0, 2, 2});
+  const std::vector<double> demands{1.0, 2.5, 4.0};
+  const auto stats = count_migrations(a, b, demands);
+  EXPECT_EQ(stats.migrated_vms, 1u);
+  EXPECT_DOUBLE_EQ(stats.migrated_cores, 2.5);
+}
+
+TEST(CountMigrations, NewArrivalsAreNotMigrations) {
+  const auto a = make_placement({0, -1});
+  const auto b = make_placement({0, 1});
+  const auto stats = count_migrations(a, b, {});
+  EXPECT_EQ(stats.migrated_vms, 0u);
+  EXPECT_EQ(stats.newly_placed, 1u);
+}
+
+TEST(CountMigrations, UnplacedInNextIsIgnored) {
+  const auto a = make_placement({0, 1});
+  const auto b = make_placement({0, -1});
+  const auto stats = count_migrations(a, b, {});
+  EXPECT_EQ(stats.migrated_vms, 0u);
+}
+
+TEST(CountMigrations, MismatchedUniverseThrows) {
+  const auto a = make_placement({0});
+  const auto b = make_placement({0, 1});
+  EXPECT_THROW(count_migrations(a, b, {}), std::invalid_argument);
+}
+
+PlacementContext make_context(std::size_t max_servers = 6) {
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = max_servers;
+  return ctx;
+}
+
+std::vector<model::VmDemand> demands(std::initializer_list<double> refs) {
+  std::vector<model::VmDemand> d;
+  std::size_t i = 0;
+  for (double r : refs) d.push_back({i++, r});
+  return d;
+}
+
+TEST(Sticky, ValidatesConstruction) {
+  EXPECT_THROW(StickyPlacement(nullptr, {}), std::invalid_argument);
+  StickyConfig bad;
+  bad.refresh_every = 0;
+  EXPECT_THROW(StickyPlacement(std::make_unique<FirstFitDecreasing>(), bad),
+               std::invalid_argument);
+  bad = StickyConfig{};
+  bad.keep_capacity_fraction = 0.0;
+  EXPECT_THROW(StickyPlacement(std::make_unique<FirstFitDecreasing>(), bad),
+               std::invalid_argument);
+}
+
+TEST(Sticky, FirstRoundDelegatesToInner) {
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), {});
+  BestFitDecreasing plain;
+  const auto d = demands({4.0, 4.0, 2.0});
+  const auto ctx = make_context();
+  const auto a = sticky.place(d, ctx);
+  const auto b = plain.place(d, ctx);
+  for (std::size_t vm = 0; vm < d.size(); ++vm) {
+    EXPECT_EQ(a.server_of(vm), b.server_of(vm));
+  }
+}
+
+TEST(Sticky, StableDemandsYieldZeroMigrations) {
+  StickyConfig cfg;
+  cfg.refresh_every = 100;  // never refresh within this test
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), cfg);
+  const auto d = demands({4.0, 4.0, 2.0, 1.5});
+  const auto ctx = make_context();
+  sticky.place(d, ctx);
+  for (int round = 0; round < 5; ++round) {
+    sticky.place(d, ctx);
+    EXPECT_EQ(sticky.last_migrations().migrated_vms, 0u) << round;
+  }
+}
+
+TEST(Sticky, SmallDemandShiftKeepsAssignments) {
+  StickyConfig cfg;
+  cfg.refresh_every = 100;
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), cfg);
+  const auto ctx = make_context();
+  auto d = demands({4.0, 3.0, 2.0});
+  const auto first = sticky.place(d, ctx);
+  // Wiggle demands a little: everything still fits where it was.
+  for (auto& dd : d) dd.reference *= 1.05;
+  const auto second = sticky.place(d, ctx);
+  for (std::size_t vm = 0; vm < d.size(); ++vm) {
+    EXPECT_EQ(second.server_of(vm), first.server_of(vm));
+  }
+  EXPECT_EQ(sticky.last_migrations().migrated_vms, 0u);
+}
+
+TEST(Sticky, DisplacesWhenServerOverflows) {
+  StickyConfig cfg;
+  cfg.refresh_every = 100;
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), cfg);
+  const auto ctx = make_context();
+  auto d = demands({4.0, 4.0});
+  sticky.place(d, ctx);  // both fit one server (8 cores)
+  d[0].reference = 6.0;  // now 6+4 = 10 > 8: one VM must move
+  const auto p = sticky.place(d, ctx);
+  EXPECT_TRUE(p.complete());
+  EXPECT_GE(sticky.last_migrations().migrated_vms, 1u);
+  const std::vector<double> refs{6.0, 4.0};
+  for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+    EXPECT_LE(p.load_on(s, refs), 8.0 + 1e-9);
+  }
+}
+
+TEST(Sticky, RefreshCadenceReoptimizes) {
+  StickyConfig cfg;
+  cfg.refresh_every = 2;  // rounds 1, 3, 5... are full re-optimizations
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), cfg);
+  const auto ctx = make_context();
+  const auto d = demands({4.0, 4.0, 4.0, 4.0});
+  sticky.place(d, ctx);
+  EXPECT_EQ(sticky.rounds(), 1u);
+  sticky.place(d, ctx);  // sticky round
+  sticky.place(d, ctx);  // refresh round
+  EXPECT_EQ(sticky.rounds(), 3u);
+  EXPECT_TRUE(sticky.place(d, ctx).complete());
+}
+
+TEST(Sticky, NameWrapsInner) {
+  StickyPlacement sticky(std::make_unique<FirstFitDecreasing>(), {});
+  EXPECT_EQ(sticky.name(), "Sticky(FFD)");
+}
+
+TEST(Sticky, CompleteUnderChurn) {
+  // Randomized demand churn: placements must stay complete and within
+  // capacity every round.
+  StickyConfig cfg;
+  cfg.refresh_every = 4;
+  StickyPlacement sticky(std::make_unique<BestFitDecreasing>(), cfg);
+  const auto ctx = make_context(10);
+  std::vector<model::VmDemand> d = demands({3.0, 2.0, 4.0, 1.0, 2.5, 3.5});
+  unsigned state = 12345;
+  auto next_factor = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return 0.7 + 1.0 * static_cast<double>(state % 1000) / 1000.0;
+  };
+  for (int round = 0; round < 20; ++round) {
+    for (auto& dd : d) {
+      dd.reference = std::min(8.0, std::max(0.2, dd.reference * next_factor()));
+    }
+    const auto p = sticky.place(d, ctx);
+    ASSERT_TRUE(p.complete()) << "round " << round;
+    std::vector<double> refs;
+    for (const auto& dd : d) refs.push_back(dd.reference);
+    for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+      ASSERT_LE(p.load_on(s, refs), 8.0 + 1e-9) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cava::alloc

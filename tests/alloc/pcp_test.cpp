@@ -1,0 +1,133 @@
+#include "alloc/pcp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/bfd.h"
+
+namespace cava::alloc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+trace::TraceSet make_sine_history(const std::vector<double>& phases,
+                                  double amp = 2.0, std::size_t n = 720) {
+  trace::TraceSet set;
+  for (std::size_t v = 0; v < phases.size(); ++v) {
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = amp * (1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                       static_cast<double>(n) +
+                                   phases[v]));
+    }
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return set;
+}
+
+PlacementContext make_context(const trace::TraceSet* history,
+                              std::size_t max_servers = 4) {
+  PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = max_servers;
+  ctx.history = history;
+  return ctx;
+}
+
+std::vector<model::VmDemand> peak_demands(const trace::TraceSet& set) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    d.push_back({i, set[i].series.peak()});
+  }
+  return d;
+}
+
+TEST(Pcp, SynchronizedTracesCollapseToOneCluster) {
+  const auto history = make_sine_history({0.0, 0.02, -0.02, 0.05});
+  PeakClusteringPlacement pcp;
+  const auto d = peak_demands(history);
+  pcp.place(d, make_context(&history));
+  EXPECT_EQ(pcp.last_cluster_count(), 1);
+}
+
+TEST(Pcp, DegenerateCaseMatchesBfdPlacement) {
+  // The paper: "When the number of clusters is '1', PCP behaves exactly same
+  // with BFD". With the same sized active set, placements must agree.
+  const auto history = make_sine_history({0.0, 0.01, -0.01, 0.03, 0.02, 0.04});
+  const auto d = peak_demands(history);
+  PeakClusteringPlacement pcp;
+  BestFitDecreasing bfd;
+  const auto ctx = make_context(&history, 6);
+  const auto p_pcp = pcp.place(d, ctx);
+  const auto p_bfd = bfd.place(d, ctx);
+  ASSERT_EQ(pcp.last_cluster_count(), 1);
+  EXPECT_EQ(p_pcp.active_servers(), p_bfd.active_servers());
+}
+
+TEST(Pcp, AntiphaseClustersAreSeparatedAndSpread) {
+  // Two antiphase groups; PCP should detect 2 clusters and co-locate
+  // across them.
+  const auto history = make_sine_history({0.0, 0.0, kPi, kPi});
+  const auto d = peak_demands(history);
+  PeakClusteringPlacement pcp;
+  const auto p = pcp.place(d, make_context(&history));
+  EXPECT_EQ(pcp.last_cluster_count(), 2);
+  // Each active server should host one VM from each cluster where possible.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto vms = p.vms_on(s);
+    if (vms.size() == 2) {
+      const bool first_group_a = vms[0] < 2;
+      const bool second_group_a = vms[1] < 2;
+      EXPECT_NE(first_group_a, second_group_a)
+          << "same-cluster VMs co-located on server " << s;
+    }
+  }
+}
+
+TEST(Pcp, WithoutHistoryEveryVmIsItsOwnCluster) {
+  PeakClusteringPlacement pcp;
+  std::vector<model::VmDemand> d{{0, 2.0}, {1, 2.0}, {2, 2.0}};
+  const auto p = pcp.place(d, make_context(nullptr));
+  EXPECT_EQ(pcp.last_cluster_count(), 3);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(Pcp, CompleteOnTightInstances) {
+  const auto history = make_sine_history({0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  const auto d = peak_demands(history);
+  PeakClusteringPlacement pcp;
+  const auto p = pcp.place(d, make_context(&history, 4));
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(Pcp, OffpeakProvisioningPacksTighter) {
+  PcpConfig cfg;
+  cfg.offpeak_provisioning = true;
+  cfg.envelope_percentile = 90.0;
+  cfg.peak_buffer_cores = 1.0;
+  PeakClusteringPlacement pcp_off(cfg);
+  PeakClusteringPlacement pcp_peak;
+
+  // Bursty traces: peak 8, 90th percentile ~2.
+  trace::TraceSet history;
+  const std::size_t n = 1000;
+  for (int v = 0; v < 4; ++v) {
+    std::vector<double> s(n, 2.0);
+    for (std::size_t i = static_cast<std::size_t>(v); i < n; i += 97) {
+      s[i] = 8.0;  // rare bursts, offset per VM
+    }
+    history.add({"vm" + std::to_string(v), 0,
+                 trace::TimeSeries(1.0, std::move(s))});
+  }
+  const auto d = peak_demands(history);
+  const auto ctx = make_context(&history, 8);
+  const auto p_off = pcp_off.place(d, ctx);
+  const auto p_peak = pcp_peak.place(d, ctx);
+  EXPECT_LT(p_off.active_servers(), p_peak.active_servers());
+}
+
+TEST(Pcp, Name) { EXPECT_EQ(PeakClusteringPlacement{}.name(), "PCP"); }
+
+}  // namespace
+}  // namespace cava::alloc

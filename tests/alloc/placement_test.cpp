@@ -1,0 +1,92 @@
+#include "alloc/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::alloc {
+namespace {
+
+TEST(PlacementTest, StartsUnassigned) {
+  Placement p(3, 2);
+  EXPECT_EQ(p.num_vms(), 3u);
+  EXPECT_EQ(p.num_servers(), 2u);
+  EXPECT_EQ(p.server_of(0), -1);
+  EXPECT_FALSE(p.complete());
+  EXPECT_EQ(p.active_servers(), 0u);
+}
+
+TEST(PlacementTest, AssignAndQuery) {
+  Placement p(3, 2);
+  p.assign(0, 1);
+  p.assign(2, 1);
+  EXPECT_EQ(p.server_of(0), 1);
+  EXPECT_EQ(p.server_of(2), 1);
+  ASSERT_EQ(p.vms_on(1).size(), 2u);
+  EXPECT_EQ(p.vms_on(0).size(), 0u);
+  EXPECT_EQ(p.active_servers(), 1u);
+}
+
+TEST(PlacementTest, CompleteWhenAllAssigned) {
+  Placement p(2, 2);
+  p.assign(0, 0);
+  EXPECT_FALSE(p.complete());
+  p.assign(1, 0);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(PlacementTest, DoubleAssignThrows) {
+  Placement p(2, 2);
+  p.assign(0, 0);
+  EXPECT_THROW(p.assign(0, 1), std::logic_error);
+}
+
+TEST(PlacementTest, RangeChecks) {
+  Placement p(2, 2);
+  EXPECT_THROW(p.assign(5, 0), std::out_of_range);
+  EXPECT_THROW(p.assign(0, 5), std::out_of_range);
+  EXPECT_THROW(p.server_of(9), std::out_of_range);
+  EXPECT_THROW(p.vms_on(9), std::out_of_range);
+}
+
+TEST(PlacementTest, LoadOnSumsDemands) {
+  Placement p(3, 2);
+  p.assign(0, 0);
+  p.assign(2, 0);
+  const std::vector<double> demand{1.5, 100.0, 2.5};
+  EXPECT_DOUBLE_EQ(p.load_on(0, demand), 4.0);
+  EXPECT_DOUBLE_EQ(p.load_on(1, demand), 0.0);
+}
+
+TEST(EstimateMinServers, CeilOfAggregateOverCapacity) {
+  const model::ServerSpec server("s", 8, {2.0});
+  std::vector<model::VmDemand> d{{0, 8.0}, {1, 8.0}, {2, 0.5}};
+  EXPECT_EQ(estimate_min_servers(d, server), 3u);  // 16.5/8 -> ceil = 3
+  d.pop_back();
+  EXPECT_EQ(estimate_min_servers(d, server), 2u);
+}
+
+TEST(EstimateMinServers, AtLeastOneForNonEmptyInput) {
+  const model::ServerSpec server("s", 8, {2.0});
+  std::vector<model::VmDemand> d{{0, 0.0}};
+  EXPECT_EQ(estimate_min_servers(d, server), 1u);
+  EXPECT_EQ(estimate_min_servers({}, server), 0u);
+}
+
+TEST(SortDescending, OrdersByReference) {
+  std::vector<model::VmDemand> d{{0, 1.0}, {1, 5.0}, {2, 3.0}};
+  const auto order = sort_descending(d);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(SortDescending, TiesBrokenByIndexForDeterminism) {
+  std::vector<model::VmDemand> d{{0, 2.0}, {1, 2.0}, {2, 2.0}};
+  const auto order = sort_descending(d);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,121 @@
+#include "cachesim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::cachesim {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig cfg;
+  cfg.size_bytes = 1024;  // 16 lines
+  cfg.line_bytes = 64;
+  cfg.ways = 4;           // 4 sets
+  return cfg;
+}
+
+TEST(Cache, ValidatesConfig) {
+  CacheConfig bad = tiny_cache();
+  bad.size_bytes = 1000;  // not a power of two
+  EXPECT_THROW(SetAssociativeCache{bad}, std::invalid_argument);
+
+  bad = tiny_cache();
+  bad.ways = 0;
+  EXPECT_THROW(SetAssociativeCache{bad}, std::invalid_argument);
+
+  bad = tiny_cache();
+  bad.ways = 5;  // 16 lines not divisible by 5... (16%5 != 0)
+  EXPECT_THROW(SetAssociativeCache{bad}, std::invalid_argument);
+}
+
+TEST(Cache, GeometryDerivedCorrectly) {
+  SetAssociativeCache c(tiny_cache());
+  EXPECT_EQ(c.num_sets(), 4u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssociativeCache c(tiny_cache());
+  EXPECT_FALSE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x100));
+  EXPECT_TRUE(c.access(0x13F));  // same 64-byte line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately) {
+  SetAssociativeCache c(tiny_cache());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(64));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 4 sets; addresses with the same (block % 4) map to the same set.
+  // Set stride = 4 lines * 64 B = 256 B.
+  SetAssociativeCache c(tiny_cache());
+  // Fill set 0 (4 ways) with blocks 0, 4, 8, 12.
+  for (std::uint64_t b = 0; b < 4; ++b) c.access(b * 256);
+  // Touch block 0 to make it MRU; then insert a 5th conflicting block.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(4 * 256));
+  // LRU victim was block 1 (address 256); block 0 must still be resident.
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(256));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheEventuallyAllHits) {
+  SetAssociativeCache c(tiny_cache());
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t a = 0; a < 1024; a += 64) c.access(a);
+  }
+  // 16 cold misses, then 32 hits.
+  EXPECT_EQ(c.stats().misses, 16u);
+  EXPECT_EQ(c.stats().accesses, 48u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheKeepsMissing) {
+  SetAssociativeCache c(tiny_cache());
+  // Cyclic sweep over 4x the capacity with LRU: every access misses.
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t a = 0; a < 4096; a += 64) c.access(a);
+  }
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 1.0);
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  SetAssociativeCache c(tiny_cache());
+  c.access(0x40);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_TRUE(c.access(0x40));  // still cached
+}
+
+TEST(CacheStats, MissRateOfIdleCacheIsZero) {
+  CacheStats s;
+  EXPECT_EQ(s.miss_rate(), 0.0);
+}
+
+class AssociativitySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AssociativitySweep, FullyCoveredSetNeverEvicts) {
+  CacheConfig cfg;
+  cfg.size_bytes = 4096;
+  cfg.line_bytes = 64;
+  cfg.ways = GetParam();
+  SetAssociativeCache c(cfg);
+  const std::uint64_t set_stride =
+      static_cast<std::uint64_t>(c.num_sets()) * cfg.line_bytes;
+  // Touch exactly `ways` conflicting blocks repeatedly: all fit.
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+      c.access(static_cast<std::uint64_t>(w) * set_stride);
+    }
+  }
+  EXPECT_EQ(c.stats().misses, cfg.ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssociativitySweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace cava::cachesim

@@ -1,0 +1,141 @@
+#include "cachesim/corun.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cava::cachesim {
+namespace {
+
+CorunConfig fast_config() {
+  CorunConfig cfg;
+  cfg.instructions_per_stream = 300'000;
+  return cfg;
+}
+
+TEST(Streams, PresetsHaveExpectedRelativeFootprints) {
+  // Cold tiers: web search and canneal dwarf everything; the pure
+  // cache-resident PARSEC kernels have none.
+  EXPECT_GT(web_search_stream().cold_bytes, 100ULL << 20);
+  EXPECT_GT(canneal_stream().cold_bytes, facesim_stream().cold_bytes);
+  EXPECT_EQ(blackscholes_stream().cold_bytes, 0u);
+  EXPECT_EQ(swaptions_stream().cold_bytes, 0u);
+  EXPECT_LT(swaptions_stream().warm_bytes, blackscholes_stream().warm_bytes);
+}
+
+TEST(Streams, GenerateAddressesWithinFootprint) {
+  StreamConfig cfg = web_search_stream();
+  cfg.base_address = 0x1000000;
+  const std::uint64_t footprint =
+      cfg.hot_bytes + cfg.warm_bytes + cfg.cold_bytes;
+  ReferenceStream s(cfg, 3);
+  int refs = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t addr = 0;
+    if (s.next_instruction(&addr)) {
+      ++refs;
+      ASSERT_GE(addr, cfg.base_address);
+      ASSERT_LT(addr, cfg.base_address + footprint);
+    }
+  }
+  // Memory-reference rate should be near the configured fraction.
+  EXPECT_NEAR(static_cast<double>(refs) / 10000.0, cfg.mem_ref_per_instr, 0.03);
+}
+
+TEST(Streams, TierFrequenciesMatchConfiguredFractions) {
+  StreamConfig cfg = web_search_stream();
+  ReferenceStream s(cfg, 9);
+  std::uint64_t hot = 0, warm = 0, cold = 0, total = 0;
+  for (int i = 0; i < 400000; ++i) {
+    std::uint64_t addr = 0;
+    if (!s.next_instruction(&addr)) continue;
+    ++total;
+    if (addr < cfg.hot_bytes) {
+      ++hot;
+    } else if (addr < cfg.hot_bytes + cfg.warm_bytes) {
+      ++warm;
+    } else {
+      ++cold;
+    }
+  }
+  const auto frac = [&](std::uint64_t n) {
+    return static_cast<double>(n) / static_cast<double>(total);
+  };
+  EXPECT_NEAR(frac(cold), cfg.cold_fraction, 0.002);
+  EXPECT_NEAR(frac(warm), cfg.warm_fraction, 0.005);
+  EXPECT_NEAR(frac(hot), 1.0 - cfg.warm_fraction - cfg.cold_fraction, 0.006);
+}
+
+TEST(RunSolo, SmallWorkingSetHasHighL2HitRate) {
+  // Needs enough instructions to amortize the cold fill of the working set
+  // (cold misses are the only L2 misses once it is resident).
+  CorunConfig cfg = fast_config();
+  cfg.instructions_per_stream = 8'000'000;
+  const auto r = run_solo(swaptions_stream(), cfg);
+  EXPECT_LT(r.primary.l2_miss_rate, 0.10);
+  EXPECT_FALSE(r.partner.has_value());
+}
+
+TEST(RunSolo, WebSearchMissesRegardless) {
+  // The footprint is 256x the L2: the miss rate is structurally high.
+  const auto r = run_solo(web_search_stream(), fast_config());
+  EXPECT_GT(r.primary.l2_miss_rate, 0.05);
+  EXPECT_GT(r.primary.l2_mpki, 1.0);
+}
+
+TEST(RunSolo, IpcDecreasesWithMissRate) {
+  const auto small = run_solo(swaptions_stream(), fast_config());
+  const auto big = run_solo(web_search_stream(), fast_config());
+  EXPECT_GT(small.primary.ipc, big.primary.ipc);
+}
+
+TEST(RunCorun, ReportsBothWorkloads) {
+  const auto r =
+      run_corun(web_search_stream(), blackscholes_stream(), fast_config());
+  ASSERT_TRUE(r.partner.has_value());
+  EXPECT_EQ(r.primary.name, "websearch");
+  EXPECT_EQ(r.partner->name, "blackscholes");
+}
+
+TEST(RunCorun, TableOneProperty_WebSearchBarelyPerturbed) {
+  // The paper's Table I: co-locating web search with any PARSEC app moves
+  // IPC / L2 MPKI / miss rate only marginally.
+  const auto solo = run_solo(web_search_stream(), fast_config());
+  for (const auto& partner :
+       {blackscholes_stream(), swaptions_stream(), facesim_stream(),
+        canneal_stream()}) {
+    const auto co = run_corun(web_search_stream(), partner, fast_config());
+    EXPECT_NEAR(co.primary.ipc, solo.primary.ipc, 0.08 * solo.primary.ipc)
+        << partner.name;
+    EXPECT_NEAR(co.primary.l2_miss_rate, solo.primary.l2_miss_rate,
+                0.15 * solo.primary.l2_miss_rate)
+        << partner.name;
+  }
+}
+
+TEST(RunCorun, CacheResidentPartnerSuffersFromAggressiveCorunner) {
+  // Sanity check of the interference direction: a small-footprint workload
+  // keeps its hit rate against itself but loses cache to canneal.
+  const auto solo = run_solo(blackscholes_stream(), fast_config());
+  const auto with_canneal =
+      run_corun(blackscholes_stream(), canneal_stream(), fast_config());
+  EXPECT_GE(with_canneal.primary.l2_miss_rate, solo.primary.l2_miss_rate);
+}
+
+TEST(RunCorun, DeterministicForSameSeed) {
+  const auto a =
+      run_corun(web_search_stream(), facesim_stream(), fast_config());
+  const auto b =
+      run_corun(web_search_stream(), facesim_stream(), fast_config());
+  EXPECT_DOUBLE_EQ(a.primary.ipc, b.primary.ipc);
+  EXPECT_DOUBLE_EQ(a.primary.l2_mpki, b.primary.l2_mpki);
+}
+
+TEST(Metrics, IpcWithinPhysicalBounds) {
+  const auto r = run_solo(web_search_stream(), fast_config());
+  EXPECT_GT(r.primary.ipc, 0.0);
+  EXPECT_LT(r.primary.ipc, 1.0 / fast_config().cpi_base + 1e-9);
+}
+
+}  // namespace
+}  // namespace cava::cachesim

@@ -1,0 +1,184 @@
+#include "corr/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "corr/peak_cost.h"
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+trace::TraceSet make_phased_traces(std::size_t n_vms, std::size_t n_samples) {
+  trace::TraceSet set;
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    std::vector<double> s(n_samples);
+    const double phase =
+        2.0 * kPi * static_cast<double>(v) / static_cast<double>(n_vms);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      s[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                static_cast<double>(n_samples) +
+                            phase);
+    }
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return set;
+}
+
+TEST(CostMatrixTest, RejectsZeroVms) {
+  EXPECT_THROW(CostMatrix(0, trace::ReferenceSpec::peak()),
+               std::invalid_argument);
+}
+
+TEST(CostMatrixTest, DiagonalIsOne) {
+  CostMatrix m(3, trace::ReferenceSpec::peak());
+  EXPECT_DOUBLE_EQ(m.cost(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.cost(2, 2), 1.0);
+}
+
+TEST(CostMatrixTest, AddSampleValidatesSize) {
+  CostMatrix m(3, trace::ReferenceSpec::peak());
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW(m.add_sample(wrong), std::invalid_argument);
+}
+
+TEST(CostMatrixTest, SymmetricCosts) {
+  CostMatrix m(4, trace::ReferenceSpec::peak());
+  util::Rng rng(1);
+  std::vector<double> tick(4);
+  for (int s = 0; s < 200; ++s) {
+    for (auto& t : tick) t = rng.uniform(0.0, 3.0);
+    m.add_sample(tick);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m.cost(i, j), m.cost(j, i));
+    }
+  }
+}
+
+TEST(CostMatrixTest, MatchesPairCostEstimator) {
+  const trace::TraceSet set = make_phased_traces(3, 400);
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      const double expected =
+          pair_cost(set[i].series.samples(), set[j].series.samples(),
+                    trace::ReferenceSpec::peak());
+      EXPECT_NEAR(m.cost(i, j), expected, 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(CostMatrixTest, ReferenceTracksPerVmPeak) {
+  CostMatrix m(2, trace::ReferenceSpec::peak());
+  m.add_sample(std::vector<double>{1.0, 5.0});
+  m.add_sample(std::vector<double>{3.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.reference(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.reference(1), 5.0);
+}
+
+TEST(CostMatrixTest, ResetClearsStatistics) {
+  CostMatrix m(2, trace::ReferenceSpec::peak());
+  m.add_sample(std::vector<double>{4.0, 4.0});
+  m.reset();
+  EXPECT_EQ(m.samples(), 0u);
+  EXPECT_DOUBLE_EQ(m.reference(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.cost(0, 1), 1.0);
+}
+
+TEST(CostMatrixTest, OutOfRangeThrows) {
+  CostMatrix m(2, trace::ReferenceSpec::peak());
+  EXPECT_THROW(m.reference(2), std::out_of_range);
+  EXPECT_THROW(m.cost(0, 5), std::out_of_range);
+}
+
+TEST(ServerCost, SmallGroupsAreNeutral) {
+  CostMatrix m(3, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> empty{};
+  const std::vector<std::size_t> single{1};
+  EXPECT_DOUBLE_EQ(m.server_cost(empty), 1.0);
+  EXPECT_DOUBLE_EQ(m.server_cost(single), 1.0);
+}
+
+TEST(ServerCost, PairEqualsPairCost) {
+  // For two equally-loaded VMs, Eqn. 2 reduces to their pair cost.
+  const trace::TraceSet set = make_phased_traces(2, 500);
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> group{0, 1};
+  EXPECT_NEAR(m.server_cost(group), m.cost(0, 1), 1e-9);
+}
+
+TEST(ServerCost, WeightedByReference) {
+  // One dominant VM pulls the weighted cost toward its own pair costs.
+  CostMatrix m(3, trace::ReferenceSpec::peak());
+  // vm0 huge, in phase with vm1 (cost ~1), antiphase with vm2 (cost ~2).
+  const std::size_t n = 800;
+  std::vector<double> tick(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = std::sin(2.0 * kPi * static_cast<double>(i) /
+                              static_cast<double>(n));
+    tick[0] = 10.0 * (1.0 + x);
+    tick[1] = 1.0 + x;
+    tick[2] = 1.0 - x;
+    m.add_sample(tick);
+  }
+  const std::vector<std::size_t> g01{0, 1};
+  const std::vector<std::size_t> g02{0, 2};
+  // Pair (0,1) is synchronized: cost ~1. Pair (0,2): peaks 20 and 2, the
+  // sum peaks at 20, so Eqn. 1 gives (20+2)/20 = 1.1 exactly.
+  EXPECT_LT(m.server_cost(g01), 1.02);
+  EXPECT_NEAR(m.server_cost(g02), 1.1, 0.01);
+}
+
+TEST(ServerCost, WithCandidateMatchesExplicitGroup) {
+  const trace::TraceSet set = make_phased_traces(4, 300);
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> group{0, 1};
+  const std::vector<std::size_t> extended{0, 1, 3};
+  EXPECT_NEAR(m.server_cost_with(group, 3), m.server_cost(extended), 1e-12);
+}
+
+TEST(ServerCost, AntiCorrelatedGroupScoresHigherThanCorrelated) {
+  const trace::TraceSet set = make_phased_traces(4, 1000);  // phases 0, pi/2, pi, 3pi/2
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> antiphase{0, 2};   // pi apart
+  const std::vector<std::size_t> quarter{0, 1};     // pi/2 apart
+  EXPECT_GT(m.server_cost(antiphase), m.server_cost(quarter));
+}
+
+TEST(CostMatrixTest, FromTracesCountsSamples) {
+  const trace::TraceSet set = make_phased_traces(2, 123);
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  EXPECT_EQ(m.samples(), 123u);
+}
+
+class MatrixSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixSizeSweep, AllPairCostsWithinBounds) {
+  const std::size_t n = GetParam();
+  const trace::TraceSet set = make_phased_traces(n, 256);
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ASSERT_GE(m.cost(i, j), 1.0);
+      ASSERT_LE(m.cost(i, j), 2.0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSizeSweep,
+                         ::testing::Values(2u, 3u, 5u, 8u, 16u));
+
+}  // namespace
+}  // namespace cava::corr

@@ -1,0 +1,147 @@
+#include "corr/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(EnvelopeTest, ThresholdBinarization) {
+  const std::vector<double> v{0.1, 0.9, 0.5, 0.7};
+  const Envelope e(v, 0.6);
+  EXPECT_EQ(e.size(), 4u);
+  EXPECT_FALSE(e[0]);
+  EXPECT_TRUE(e[1]);
+  EXPECT_FALSE(e[2]);
+  EXPECT_TRUE(e[3]);
+  EXPECT_DOUBLE_EQ(e.threshold(), 0.6);
+}
+
+TEST(EnvelopeTest, FromPercentileUsesOwnDistribution) {
+  std::vector<double> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const Envelope e = Envelope::from_percentile(v, 90.0);
+  // ~10% of samples exceed their own 90th percentile.
+  EXPECT_NEAR(e.duty_cycle(), 0.10, 0.02);
+}
+
+TEST(EnvelopeTest, DutyCycleOfEmptyIsZero) {
+  const Envelope e(std::vector<double>{}, 1.0);
+  EXPECT_EQ(e.duty_cycle(), 0.0);
+}
+
+TEST(EnvelopeTest, OverlapIdenticalIsOne) {
+  const std::vector<double> v{0.0, 1.0, 0.0, 1.0};
+  const Envelope a(v, 0.5), b(v, 0.5);
+  EXPECT_DOUBLE_EQ(a.overlap(b), 1.0);
+}
+
+TEST(EnvelopeTest, OverlapDisjointIsZero) {
+  const std::vector<double> x{1.0, 0.0, 1.0, 0.0};
+  const std::vector<double> y{0.0, 1.0, 0.0, 1.0};
+  const Envelope a(x, 0.5), b(y, 0.5);
+  EXPECT_DOUBLE_EQ(a.overlap(b), 0.0);
+}
+
+TEST(EnvelopeTest, OverlapNormalizedBySmaller) {
+  const std::vector<double> x{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 0.0, 0.0, 0.0};
+  const Envelope a(x, 0.5), b(y, 0.5);
+  // b's single high sample is fully contained in a's highs.
+  EXPECT_DOUBLE_EQ(a.overlap(b), 1.0);
+}
+
+TEST(EnvelopeTest, OverlapLengthMismatchThrows) {
+  const Envelope a(std::vector<double>{1.0}, 0.5);
+  const Envelope b(std::vector<double>{1.0, 1.0}, 0.5);
+  EXPECT_THROW(a.overlap(b), std::invalid_argument);
+}
+
+TEST(EnvelopeTest, OverlapWithAllLowIsZero) {
+  const Envelope a(std::vector<double>{1.0, 1.0}, 0.5);
+  const Envelope b(std::vector<double>{0.0, 0.0}, 0.5);
+  EXPECT_DOUBLE_EQ(a.overlap(b), 0.0);
+}
+
+trace::TraceSet make_sine_set(const std::vector<double>& phases,
+                              std::size_t n = 600) {
+  trace::TraceSet set;
+  for (std::size_t v = 0; v < phases.size(); ++v) {
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                static_cast<double>(n) +
+                            phases[v]);
+    }
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return set;
+}
+
+TEST(ClusterByEnvelope, SynchronizedVmsCollapseToOneCluster) {
+  // All VMs peak together -> envelopes overlap -> single cluster. This is
+  // the degenerate case Sec. V-B reports for PCP on scale-out traces.
+  const trace::TraceSet set = make_sine_set({0.0, 0.05, -0.05, 0.1});
+  const auto ids = cluster_by_envelope(set, 90.0, 0.1);
+  EXPECT_EQ(cluster_count(ids), 1);
+}
+
+TEST(ClusterByEnvelope, AntiphaseVmsSeparate) {
+  const trace::TraceSet set = make_sine_set({0.0, kPi});
+  const auto ids = cluster_by_envelope(set, 90.0, 0.1);
+  EXPECT_EQ(cluster_count(ids), 2);
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(ClusterByEnvelope, FourPhasesFourClusters) {
+  const trace::TraceSet set =
+      make_sine_set({0.0, kPi / 2.0, kPi, 3.0 * kPi / 2.0});
+  const auto ids = cluster_by_envelope(set, 90.0, 0.1);
+  EXPECT_EQ(cluster_count(ids), 4);
+}
+
+TEST(ClusterByEnvelope, TransitivityMergesChains) {
+  // A overlaps B, B overlaps C, A disjoint from C -> all in one cluster
+  // (connected components).
+  trace::TraceSet set;
+  const std::size_t n = 400;
+  auto sine = [&](double phase) {
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                                static_cast<double>(n) +
+                            phase);
+    }
+    return s;
+  };
+  set.add({"a", 0, trace::TimeSeries(1.0, sine(0.0))});
+  set.add({"b", 0, trace::TimeSeries(1.0, sine(0.35))});
+  set.add({"c", 0, trace::TimeSeries(1.0, sine(0.7))});
+  const auto ids = cluster_by_envelope(set, 75.0, 0.05);
+  EXPECT_EQ(cluster_count(ids), 1);
+}
+
+TEST(ClusterByEnvelope, ContiguousIdsFromZero) {
+  const trace::TraceSet set = make_sine_set({0.0, kPi, 0.0, kPi});
+  const auto ids = cluster_by_envelope(set, 90.0, 0.1);
+  EXPECT_EQ(cluster_count(ids), 2);
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 2);
+  }
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[1], ids[3]);
+}
+
+TEST(ClusterCount, EmptyIsZero) {
+  EXPECT_EQ(cluster_count(std::vector<int>{}), 0);
+}
+
+}  // namespace
+}  // namespace cava::corr

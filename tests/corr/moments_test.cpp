@@ -1,0 +1,148 @@
+#include "corr/moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+TEST(MomentMatrixTest, RejectsZeroVms) {
+  EXPECT_THROW(MomentMatrix(0), std::invalid_argument);
+}
+
+TEST(MomentMatrixTest, EmptyIsZero) {
+  MomentMatrix m(3);
+  EXPECT_EQ(m.mean(0), 0.0);
+  EXPECT_EQ(m.variance(1), 0.0);
+  EXPECT_EQ(m.covariance(0, 2), 0.0);
+  EXPECT_EQ(m.correlation(0, 1), 0.0);
+}
+
+TEST(MomentMatrixTest, ValidatesSampleSize) {
+  MomentMatrix m(3);
+  const std::vector<double> wrong{1.0, 2.0};
+  EXPECT_THROW(m.add_sample(wrong), std::invalid_argument);
+}
+
+TEST(MomentMatrixTest, RangeChecks) {
+  MomentMatrix m(2);
+  EXPECT_THROW(m.mean(2), std::out_of_range);
+  EXPECT_THROW(m.covariance(0, 5), std::out_of_range);
+}
+
+TEST(MomentMatrixTest, MatchesBatchStatistics) {
+  util::Rng rng(5);
+  const std::size_t n = 4, samples = 500;
+  std::vector<std::vector<double>> sig(n);
+  MomentMatrix m(n);
+  std::vector<double> tick(n);
+  for (std::size_t t = 0; t < samples; ++t) {
+    for (std::size_t v = 0; v < n; ++v) {
+      tick[v] = rng.uniform(0.0, 4.0) + (v == 0 ? 0.5 * tick[1] : 0.0);
+      sig[v].push_back(tick[v]);
+    }
+    m.add_sample(tick);
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(m.mean(v), util::mean(sig[v]), 1e-10);
+    EXPECT_NEAR(m.variance(v), util::variance(sig[v]), 1e-9);
+  }
+  // Covariance against a two-pass computation.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double cov = 0.0;
+      const double mi = util::mean(sig[i]), mj = util::mean(sig[j]);
+      for (std::size_t t = 0; t < samples; ++t) {
+        cov += (sig[i][t] - mi) * (sig[j][t] - mj);
+      }
+      cov /= static_cast<double>(samples);
+      EXPECT_NEAR(m.covariance(i, j), cov, 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(MomentMatrixTest, CorrelationMatchesPearson) {
+  util::Rng rng(9);
+  const std::size_t samples = 800;
+  std::vector<double> a, b;
+  MomentMatrix m(2);
+  for (std::size_t t = 0; t < samples; ++t) {
+    const double x = rng.uniform();
+    const double y = 0.7 * x + 0.3 * rng.uniform();
+    a.push_back(x);
+    b.push_back(y);
+    m.add_sample(std::vector<double>{x, y});
+  }
+  EXPECT_NEAR(m.correlation(0, 1), util::pearson(a, b), 1e-10);
+}
+
+TEST(MomentMatrixTest, DiagonalCovarianceIsVariance) {
+  util::Rng rng(3);
+  MomentMatrix m(2);
+  for (int t = 0; t < 100; ++t) {
+    m.add_sample(std::vector<double>{rng.uniform(), rng.uniform()});
+  }
+  EXPECT_DOUBLE_EQ(m.covariance(0, 0), m.variance(0));
+}
+
+TEST(MomentMatrixTest, GroupVarianceExpandsCovariances) {
+  // Perfectly correlated pair: Var(sum) = 4 * Var(x).
+  MomentMatrix m(2);
+  util::Rng rng(7);
+  for (int t = 0; t < 1000; ++t) {
+    const double x = rng.uniform();
+    m.add_sample(std::vector<double>{x, x});
+  }
+  const std::vector<std::size_t> group{0, 1};
+  EXPECT_NEAR(m.group_variance(group), 4.0 * m.variance(0), 1e-9);
+}
+
+TEST(MomentMatrixTest, AntiCorrelatedSumHasNearZeroVariance) {
+  MomentMatrix m(2);
+  util::Rng rng(11);
+  for (int t = 0; t < 1000; ++t) {
+    const double x = rng.uniform();
+    m.add_sample(std::vector<double>{x, 1.0 - x});
+  }
+  const std::vector<std::size_t> group{0, 1};
+  EXPECT_NEAR(m.group_variance(group), 0.0, 1e-9);
+  EXPECT_NEAR(m.group_mean(group), 1.0, 1e-9);
+}
+
+TEST(MomentMatrixTest, ResetClears) {
+  MomentMatrix m(2);
+  m.add_sample(std::vector<double>{1.0, 2.0});
+  m.add_sample(std::vector<double>{3.0, 4.0});
+  m.reset();
+  EXPECT_EQ(m.samples(), 0u);
+  EXPECT_EQ(m.mean(0), 0.0);
+}
+
+TEST(MomentMatrixTest, FromTracesMatchesManualFeed) {
+  util::Rng rng(13);
+  trace::TraceSet set;
+  for (int v = 0; v < 3; ++v) {
+    std::vector<double> s(64);
+    for (auto& x : s) x = rng.uniform(0.0, 2.0);
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  const MomentMatrix m = MomentMatrix::from_traces(set);
+  EXPECT_EQ(m.samples(), 64u);
+  EXPECT_NEAR(m.mean(1), set[1].series.mean(), 1e-12);
+}
+
+TEST(MomentMatrixTest, ConstantSignalsHaveZeroCorrelation) {
+  MomentMatrix m(2);
+  for (int t = 0; t < 10; ++t) {
+    m.add_sample(std::vector<double>{2.0, static_cast<double>(t)});
+  }
+  EXPECT_EQ(m.correlation(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace cava::corr

@@ -1,0 +1,147 @@
+#include "corr/peak_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> sine_wave(std::size_t n, double phase) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) /
+                              static_cast<double>(n) +
+                          phase);
+  }
+  return v;
+}
+
+TEST(PairCostEstimator, NeutralBeforeSamples) {
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  EXPECT_DOUBLE_EQ(est.cost(), 1.0);
+  EXPECT_EQ(est.count(), 0u);
+}
+
+TEST(PairCostEstimator, IdenticalSignalsCostOne) {
+  // Perfectly synchronized peaks: numerator == denominator (Eqn. 1).
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  const auto w = sine_wave(100, 0.0);
+  for (double x : w) est.add(x, x);
+  EXPECT_NEAR(est.cost(), 1.0, 1e-12);
+}
+
+TEST(PairCostEstimator, AntiphaseSignalsApproachTwo) {
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  const auto a = sine_wave(1000, 0.0);
+  const auto b = sine_wave(1000, kPi);
+  for (std::size_t i = 0; i < a.size(); ++i) est.add(a[i], b[i]);
+  // Equal individual peaks (2.0 each), sum peaks near 2.0 -> cost near 2.
+  EXPECT_GT(est.cost(), 1.8);
+  EXPECT_LE(est.cost(), 2.0 + 1e-9);
+}
+
+TEST(PairCostEstimator, CostIsAtLeastOneForPeakReference) {
+  // Peak of sum <= sum of peaks, so Eqn. 1 >= 1 under the peak reference.
+  util::Rng rng(3);
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  for (int i = 0; i < 5000; ++i) {
+    est.add(rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0));
+  }
+  EXPECT_GE(est.cost(), 1.0);
+}
+
+TEST(PairCostEstimator, ReferencesExposed) {
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  est.add(1.0, 2.0);
+  est.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(est.reference_i(), 3.0);
+  EXPECT_DOUBLE_EQ(est.reference_j(), 2.0);
+  EXPECT_DOUBLE_EQ(est.reference_sum(), 4.0);
+  EXPECT_DOUBLE_EQ(est.cost(), 5.0 / 4.0);
+}
+
+TEST(PairCostEstimator, ResetClears) {
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  est.add(5.0, 5.0);
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.cost(), 1.0);
+  EXPECT_EQ(est.count(), 0u);
+}
+
+TEST(PairCostEstimator, IdleVmIsNeutral) {
+  // A VM that never runs gives cost exactly 1 (neither attract nor repel).
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  const auto w = sine_wave(50, 0.0);
+  for (double x : w) est.add(x, 0.0);
+  EXPECT_NEAR(est.cost(), 1.0, 1e-12);
+}
+
+TEST(PairCost, OneShotMatchesStreaming) {
+  const auto a = sine_wave(500, 0.3);
+  const auto b = sine_wave(500, 2.1);
+  PairCostEstimator est(trace::ReferenceSpec::peak());
+  for (std::size_t i = 0; i < a.size(); ++i) est.add(a[i], b[i]);
+  EXPECT_NEAR(pair_cost(a, b, trace::ReferenceSpec::peak()), est.cost(), 1e-12);
+}
+
+TEST(PairCost, ThrowsOnLengthMismatch) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pair_cost(a, b, trace::ReferenceSpec::peak()),
+               std::invalid_argument);
+}
+
+TEST(PairCost, SymmetricInArguments) {
+  const auto a = sine_wave(300, 0.0);
+  const auto b = sine_wave(300, 1.0);
+  const auto spec = trace::ReferenceSpec::peak();
+  EXPECT_DOUBLE_EQ(pair_cost(a, b, spec), pair_cost(b, a, spec));
+}
+
+TEST(PairCost, DecreasesWithPhaseAlignment) {
+  // Cost should fall monotonically as the phase offset shrinks: the closer
+  // the peaks, the more correlated, the lower Eqn. 1.
+  const auto base = sine_wave(1000, 0.0);
+  double prev = 3.0;
+  for (double phase : {kPi, kPi / 2.0, kPi / 4.0, 0.0}) {
+    const auto other = sine_wave(1000, phase);
+    const double c = pair_cost(base, other, trace::ReferenceSpec::peak());
+    EXPECT_LT(c, prev + 1e-9) << "phase=" << phase;
+    prev = c;
+  }
+}
+
+TEST(PairCost, PercentileReferenceVariant) {
+  util::Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.lognormal_mean_cv(1.0, 0.4));
+    b.push_back(rng.lognormal_mean_cv(1.0, 0.4));
+  }
+  const double c = pair_cost(a, b, trace::ReferenceSpec::nth(95.0));
+  // Independent signals: percentile of sum < sum of percentiles -> cost > 1.
+  EXPECT_GT(c, 1.0);
+  EXPECT_LT(c, 2.0);
+}
+
+class PhaseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhaseSweep, CostWithinTheoreticalBounds) {
+  const auto a = sine_wave(2000, 0.0);
+  const auto b = sine_wave(2000, GetParam());
+  const double c = pair_cost(a, b, trace::ReferenceSpec::peak());
+  EXPECT_GE(c, 1.0);
+  EXPECT_LE(c, 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, PhaseSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5707, 2.2, kPi));
+
+}  // namespace
+}  // namespace cava::corr

@@ -1,0 +1,196 @@
+// Property-based tests of the correlation machinery: randomized inputs,
+// algebraic invariants, and agreement between the streaming estimators and
+// brute-force recomputation from stored samples.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "corr/envelope.h"
+#include "corr/peak_cost.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+std::vector<double> random_signal(std::size_t n, util::Rng& rng,
+                                  double lo = 0.0, double hi = 4.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+class RandomPairProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPairProperty, CostScaleInvariant) {
+  // Eqn. 1 is a ratio of peaks: scaling both signals by any positive factor
+  // leaves it unchanged.
+  util::Rng rng(GetParam());
+  const auto a = random_signal(200, rng);
+  const auto b = random_signal(200, rng);
+  const double base = pair_cost(a, b, trace::ReferenceSpec::peak());
+  for (double k : {0.1, 2.0, 37.5}) {
+    std::vector<double> ka(a), kb(b);
+    for (auto& x : ka) x *= k;
+    for (auto& x : kb) x *= k;
+    EXPECT_NEAR(pair_cost(ka, kb, trace::ReferenceSpec::peak()), base, 1e-9);
+  }
+}
+
+TEST_P(RandomPairProperty, CostUnchangedByScalingOneSignalAtPeakAlignment) {
+  // Scaling only one signal changes the cost in general, but never pushes
+  // it out of [1, 2] under the peak reference.
+  util::Rng rng(GetParam() ^ 0xbeef);
+  const auto a = random_signal(300, rng);
+  const auto b = random_signal(300, rng);
+  for (double k : {0.25, 0.5, 2.0, 4.0}) {
+    std::vector<double> kb(b);
+    for (auto& x : kb) x *= k;
+    const double c = pair_cost(a, kb, trace::ReferenceSpec::peak());
+    EXPECT_GE(c, 1.0);
+    EXPECT_LE(c, 2.0 + 1e-9);
+  }
+}
+
+TEST_P(RandomPairProperty, StreamingMatchesBruteForce) {
+  util::Rng rng(GetParam() + 17);
+  const auto a = random_signal(257, rng);
+  const auto b = random_signal(257, rng);
+  // Brute force per the definition: peaks of a, b and a+b.
+  double pa = 0.0, pb = 0.0, pab = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa = std::max(pa, a[i]);
+    pb = std::max(pb, b[i]);
+    pab = std::max(pab, a[i] + b[i]);
+  }
+  const double expected = (pa + pb) / pab;
+  EXPECT_NEAR(pair_cost(a, b, trace::ReferenceSpec::peak()), expected, 1e-12);
+}
+
+TEST_P(RandomPairProperty, MatrixAgreesWithPairEstimators) {
+  util::Rng rng(GetParam() + 41);
+  const std::size_t n_vms = 6, samples = 128;
+  std::vector<std::vector<double>> signals(n_vms);
+  for (auto& s : signals) s = random_signal(samples, rng);
+
+  CostMatrix m(n_vms, trace::ReferenceSpec::peak());
+  std::vector<double> tick(n_vms);
+  for (std::size_t t = 0; t < samples; ++t) {
+    for (std::size_t v = 0; v < n_vms; ++v) tick[v] = signals[v][t];
+    m.add_sample(tick);
+  }
+  for (std::size_t i = 0; i < n_vms; ++i) {
+    for (std::size_t j = i + 1; j < n_vms; ++j) {
+      EXPECT_NEAR(m.cost(i, j),
+                  pair_cost(signals[i], signals[j],
+                            trace::ReferenceSpec::peak()),
+                  1e-12);
+    }
+  }
+}
+
+TEST_P(RandomPairProperty, ServerCostWithinPairBounds) {
+  // Eqn. 2 is a convex combination of per-VM mean pair costs, so it lies
+  // within [min pair cost, max pair cost] of the group.
+  util::Rng rng(GetParam() + 99);
+  const std::size_t n_vms = 5, samples = 200;
+  trace::TraceSet set;
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    set.add({"vm" + std::to_string(v), 0,
+             trace::TimeSeries(1.0, random_signal(samples, rng))});
+  }
+  const CostMatrix m =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> group{0, 1, 2, 3, 4};
+  double lo = 1e9, hi = 0.0;
+  for (std::size_t i : group) {
+    for (std::size_t j : group) {
+      if (i == j) continue;
+      lo = std::min(lo, m.cost(i, j));
+      hi = std::max(hi, m.cost(i, j));
+    }
+  }
+  const double sc = m.server_cost(group);
+  EXPECT_GE(sc, lo - 1e-9);
+  EXPECT_LE(sc, hi + 1e-9);
+}
+
+TEST_P(RandomPairProperty, EnvelopeOverlapSymmetric) {
+  util::Rng rng(GetParam() + 3);
+  const auto a = random_signal(300, rng);
+  const auto b = random_signal(300, rng);
+  const Envelope ea = Envelope::from_percentile(a, 90.0);
+  const Envelope eb = Envelope::from_percentile(b, 90.0);
+  EXPECT_DOUBLE_EQ(ea.overlap(eb), eb.overlap(ea));
+}
+
+TEST_P(RandomPairProperty, EnvelopeOverlapInUnitInterval) {
+  util::Rng rng(GetParam() + 5);
+  const auto a = random_signal(300, rng);
+  const auto b = random_signal(300, rng);
+  const Envelope ea = Envelope::from_percentile(a, 85.0);
+  const Envelope eb = Envelope::from_percentile(b, 85.0);
+  const double o = ea.overlap(eb);
+  EXPECT_GE(o, 0.0);
+  EXPECT_LE(o, 1.0);
+}
+
+TEST_P(RandomPairProperty, ClusteringIsAPartition) {
+  util::Rng rng(GetParam() + 7);
+  trace::TraceSet set;
+  for (int v = 0; v < 9; ++v) {
+    set.add({"vm" + std::to_string(v), 0,
+             trace::TimeSeries(1.0, random_signal(256, rng))});
+  }
+  const auto ids = cluster_by_envelope(set, 90.0, 0.1);
+  ASSERT_EQ(ids.size(), set.size());
+  const int k = cluster_count(ids);
+  ASSERT_GE(k, 1);
+  // Ids are exactly 0..k-1 with every value used.
+  std::vector<bool> used(static_cast<std::size_t>(k), false);
+  for (int id : ids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, k);
+    used[static_cast<std::size_t>(id)] = true;
+  }
+  EXPECT_TRUE(std::all_of(used.begin(), used.end(), [](bool b) { return b; }));
+}
+
+TEST_P(RandomPairProperty, CostMatrixResetEqualsFreshMatrix) {
+  util::Rng rng(GetParam() + 11);
+  const std::size_t n = 4;
+  CostMatrix recycled(n, trace::ReferenceSpec::peak());
+  std::vector<double> tick(n);
+  for (int t = 0; t < 50; ++t) {
+    for (auto& x : tick) x = rng.uniform(0.0, 4.0);
+    recycled.add_sample(tick);
+  }
+  recycled.reset();
+
+  CostMatrix fresh(n, trace::ReferenceSpec::peak());
+  util::Rng rng2(12345);
+  for (int t = 0; t < 50; ++t) {
+    for (auto& x : tick) x = rng2.uniform(0.0, 4.0);
+    recycled.add_sample(tick);
+  }
+  rng2.reseed(12345);
+  for (int t = 0; t < 50; ++t) {
+    for (auto& x : tick) x = rng2.uniform(0.0, 4.0);
+    fresh.add_sample(tick);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(recycled.cost(i, j), fresh.cost(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPairProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL,
+                                           13ULL, 21ULL, 34ULL, 55ULL, 89ULL));
+
+}  // namespace
+}  // namespace cava::corr

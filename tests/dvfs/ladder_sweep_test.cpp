@@ -1,0 +1,91 @@
+// Parameterized sweeps of the v/f policies across frequency ladders of
+// different granularity: the policies' guarantees must hold whether the
+// hardware exposes 2 P-states (the paper's machines) or a dense ladder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dvfs/vf_policy.h"
+
+namespace cava::dvfs {
+namespace {
+
+struct LadderCase {
+  std::string label;
+  std::vector<double> ladder;
+};
+
+class LadderSweep : public ::testing::TestWithParam<LadderCase> {
+ protected:
+  model::ServerSpec server() const {
+    return model::ServerSpec("s", 8, GetParam().ladder);
+  }
+};
+
+TEST_P(LadderSweep, WorstCaseAlwaysCoversReferences) {
+  const auto s = server();
+  WorstCaseVf policy;
+  for (double ref = 0.0; ref <= 8.0; ref += 0.23) {
+    const double f = policy.decide({ref, 1.0, 2}, s);
+    EXPECT_GE(s.capacity_at(f), std::min(ref, 8.0) - 1e-9) << "ref=" << ref;
+  }
+}
+
+TEST_P(LadderSweep, Eqn4CoversCostDiscountedDemand) {
+  const auto s = server();
+  CorrelationAwareVf policy;
+  for (double ref = 0.5; ref <= 8.0; ref += 0.5) {
+    for (double cost = 1.0; cost <= 2.0; cost += 0.2) {
+      const double f = policy.decide({ref, cost, 3}, s);
+      EXPECT_GE(s.capacity_at(f), std::min(ref / cost, 8.0) - 1e-9)
+          << "ref=" << ref << " cost=" << cost;
+    }
+  }
+}
+
+TEST_P(LadderSweep, DecisionsAreLadderLevels) {
+  const auto s = server();
+  WorstCaseVf worst;
+  CorrelationAwareVf aware;
+  for (double ref = 0.1; ref <= 8.0; ref += 0.7) {
+    EXPECT_NO_THROW(s.level_index(worst.decide({ref, 1.0, 1}, s)));
+    EXPECT_NO_THROW(s.level_index(aware.decide({ref, 1.4, 2}, s)));
+  }
+}
+
+TEST_P(LadderSweep, DynamicControllerConvergesOnConstantLoad) {
+  const auto s = server();
+  DynamicVfController c(s, 4, 1.0);
+  // Constant aggregated load of 3 cores: after one window the controller
+  // settles on the lowest level covering it and never moves again.
+  double settled = -1.0;
+  for (int i = 0; i < 32; ++i) {
+    c.on_sample(3.0);
+    if (i >= 4) {
+      if (settled < 0.0) settled = c.current_frequency();
+      EXPECT_DOUBLE_EQ(c.current_frequency(), settled);
+    }
+  }
+  EXPECT_GE(s.capacity_at(settled), 3.0 - 1e-9);
+  // And it is the *lowest* adequate level.
+  for (double f : s.frequencies()) {
+    if (f < settled) {
+      EXPECT_LT(s.capacity_at(f), 3.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ladders, LadderSweep,
+    ::testing::Values(
+        LadderCase{"paper_two_level", {2.0, 2.3}},
+        LadderCase{"r815", {1.9, 2.1}},
+        LadderCase{"three_level", {1.0, 1.5, 2.0}},
+        LadderCase{"dense", {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4}},
+        LadderCase{"single_level", {2.0}}),
+    [](const ::testing::TestParamInfo<LadderCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace cava::dvfs

@@ -1,0 +1,148 @@
+#include "dvfs/vf_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::dvfs {
+namespace {
+
+const model::ServerSpec kServer("s", 8, {1.0, 1.5, 2.0});
+
+ServerView view(double total_ref, double cost, std::size_t n = 2) {
+  ServerView v;
+  v.total_reference = total_ref;
+  v.correlation_cost = cost;
+  v.num_vms = n;
+  return v;
+}
+
+TEST(MaxFrequencyPolicy, AlwaysFmax) {
+  MaxFrequency p;
+  EXPECT_DOUBLE_EQ(p.decide(view(0.0, 1.0), kServer), 2.0);
+  EXPECT_DOUBLE_EQ(p.decide(view(8.0, 2.0), kServer), 2.0);
+}
+
+TEST(WorstCase, CoversSumOfReferences) {
+  WorstCaseVf p;
+  // 8 cores at fmax=2.0. total_ref 4 -> target 1.0 exactly.
+  EXPECT_DOUBLE_EQ(p.decide(view(4.0, 1.0), kServer), 1.0);
+  // total_ref 5 -> target 1.25 -> next level up 1.5.
+  EXPECT_DOUBLE_EQ(p.decide(view(5.0, 1.0), kServer), 1.5);
+  // total_ref 8 -> 2.0.
+  EXPECT_DOUBLE_EQ(p.decide(view(8.0, 1.0), kServer), 2.0);
+}
+
+TEST(WorstCase, IgnoresCorrelationCost) {
+  WorstCaseVf p;
+  EXPECT_DOUBLE_EQ(p.decide(view(5.0, 1.9), kServer),
+                   p.decide(view(5.0, 1.0), kServer));
+}
+
+TEST(WorstCase, CapacityAtChosenFrequencyCoversReferences) {
+  WorstCaseVf p;
+  for (double ref = 0.5; ref <= 8.0; ref += 0.25) {
+    const double f = p.decide(view(ref, 1.0), kServer);
+    EXPECT_GE(kServer.capacity_at(f), ref - 1e-9) << "ref=" << ref;
+  }
+}
+
+TEST(Eqn4, DiscountsByCost) {
+  CorrelationAwareVf p;
+  // total_ref 6 -> worst-case target 1.5. With cost 1.5 -> 1.0.
+  EXPECT_DOUBLE_EQ(p.decide(view(6.0, 1.5), kServer), 1.0);
+  // With cost 1.0 it stays at 1.5.
+  EXPECT_DOUBLE_EQ(p.decide(view(6.0, 1.0), kServer), 1.5);
+}
+
+TEST(Eqn4, NeverBelowWorstCaseDividedByCost) {
+  CorrelationAwareVf aware;
+  WorstCaseVf worst;
+  // The Eqn-4 frequency is never above the worst-case one.
+  for (double ref = 1.0; ref <= 8.0; ref += 0.5) {
+    for (double cost = 1.0; cost <= 2.0; cost += 0.25) {
+      EXPECT_LE(aware.decide(view(ref, cost), kServer),
+                worst.decide(view(ref, 1.0), kServer));
+    }
+  }
+}
+
+TEST(Eqn4, SanitizesCostBelowOne) {
+  CorrelationAwareVf p;
+  EXPECT_DOUBLE_EQ(p.decide(view(6.0, 0.5), kServer),
+                   p.decide(view(6.0, 1.0), kServer));
+}
+
+TEST(DynamicController, ValidatesArguments) {
+  EXPECT_THROW(DynamicVfController(kServer, 0), std::invalid_argument);
+  EXPECT_THROW(DynamicVfController(kServer, 12, 0.5), std::invalid_argument);
+}
+
+TEST(DynamicController, StartsAtFmax) {
+  DynamicVfController c(kServer, 4);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 2.0);
+}
+
+TEST(DynamicController, DropsAfterQuietWindow) {
+  DynamicVfController c(kServer, 4, 1.0);
+  for (int i = 0; i < 4; ++i) c.on_sample(2.0);  // 2 of 8 cores
+  // Window peak 2 -> target 0.5 -> quantize to 1.0.
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 1.0);
+}
+
+TEST(DynamicController, RaisesAfterBusyWindow) {
+  DynamicVfController c(kServer, 2, 1.0);
+  c.on_sample(1.0);
+  c.on_sample(1.0);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 1.0);
+  c.on_sample(7.5);
+  c.on_sample(7.5);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 2.0);
+}
+
+TEST(DynamicController, HoldsBetweenDecisions) {
+  DynamicVfController c(kServer, 3, 1.0);
+  c.on_sample(0.5);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 2.0);  // not yet decided
+  c.on_sample(0.5);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 2.0);
+  c.on_sample(0.5);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 1.0);  // decided after 3 samples
+}
+
+TEST(DynamicController, HeadroomRoundsUp) {
+  DynamicVfController plain(kServer, 1, 1.0);
+  DynamicVfController padded(kServer, 1, 1.3);
+  plain.on_sample(4.0);   // target 1.0 exactly
+  padded.on_sample(4.0);  // target 1.3 -> 1.5
+  EXPECT_DOUBLE_EQ(plain.current_frequency(), 1.0);
+  EXPECT_DOUBLE_EQ(padded.current_frequency(), 1.5);
+}
+
+TEST(DynamicController, ResetRestoresState) {
+  DynamicVfController c(kServer, 2);
+  c.on_sample(8.0);
+  c.reset(1.5);
+  EXPECT_DOUBLE_EQ(c.current_frequency(), 1.5);
+}
+
+TEST(Factory, CreatesKnownPolicies) {
+  EXPECT_EQ(make_vf_policy("fmax")->name(), "fmax");
+  EXPECT_EQ(make_vf_policy("worst-case")->name(), "worst-case");
+  EXPECT_EQ(make_vf_policy("eqn4")->name(), "eqn4");
+  EXPECT_THROW(make_vf_policy("turbo"), std::invalid_argument);
+}
+
+class CostSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostSweep, Eqn4FrequencyIsMonotoneDecreasingInCost) {
+  CorrelationAwareVf p;
+  const double cost = GetParam();
+  const double f_now = p.decide(view(7.0, cost), kServer);
+  const double f_more = p.decide(view(7.0, cost + 0.3), kServer);
+  EXPECT_LE(f_more, f_now);
+}
+
+INSTANTIATE_TEST_SUITE_P(Costs, CostSweep,
+                         ::testing::Values(1.0, 1.1, 1.3, 1.5, 1.7));
+
+}  // namespace
+}  // namespace cava::dvfs

@@ -1,0 +1,93 @@
+// Closed-loop integration: the paper's Setup-1 placements were chosen by
+// hand; this test shows the full pipeline discovering the Shared-Corr
+// arrangement automatically.
+//
+//   1. MEASURE: run the web-search workload with each ISN isolated on its
+//      own server and record per-VM utilization traces;
+//   2. LEARN: build the Eqn.-1 cost matrix from those traces;
+//   3. PLACE: run the correlation-aware allocator on the measured peaks;
+//   4. VERIFY: the allocator pairs ISNs from *different* clusters (the
+//      hand-crafted Shared-Corr placement of Fig. 4c), and re-simulating
+//      under the discovered placement beats the same-cluster pairing.
+#include <gtest/gtest.h>
+
+#include "alloc/correlation_aware.h"
+#include "corr/cost_matrix.h"
+#include "websearch/experiment.h"
+
+namespace cava {
+namespace {
+
+TEST(ClosedLoop, AllocatorRediscoversSharedCorrPlacement) {
+  // ---- 1. MEASURE: four ISNs, each alone on a server (no interference).
+  websearch::Setup1Options opt;
+  opt.duration_seconds = 600.0;
+  websearch::WebSearchConfig measure =
+      websearch::make_setup1_config(websearch::Setup1Placement::kSharedCorr,
+                                    opt);
+  measure.num_servers = 4;
+  measure.server_freq_ghz.assign(4, opt.frequency_ghz);
+  for (std::size_t i = 0; i < measure.isns.size(); ++i) {
+    measure.isns[i].server = i;
+    measure.isns[i].core_cap = 8.0;
+  }
+  const auto measured = websearch::WebSearchSimulator(measure).run();
+
+  // ---- 2. LEARN the pairwise costs from the recorded traces.
+  const corr::CostMatrix matrix = corr::CostMatrix::from_traces(
+      measured.vm_utilization, trace::ReferenceSpec::peak());
+
+  // Same-cluster pairs (0,1) and (2,3) must look correlated; cross-cluster
+  // pairs must look cheaper to co-locate.
+  EXPECT_LT(matrix.cost(0, 1), matrix.cost(0, 2));
+  EXPECT_LT(matrix.cost(2, 3), matrix.cost(1, 3));
+
+  // ---- 3. PLACE on two 8-core servers.
+  std::vector<model::VmDemand> demands;
+  for (std::size_t i = 0; i < 4; ++i) {
+    demands.push_back({i, measured.vm_utilization[i].series.peak()});
+  }
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec::dell_r815();
+  ctx.max_servers = 2;
+  ctx.cost_matrix = &matrix;
+  alloc::CorrelationAwarePlacement policy;
+  const alloc::Placement placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+
+  // ---- 4. VERIFY: every server hosts one ISN from each cluster.
+  for (std::size_t s = 0; s < 2; ++s) {
+    const auto vms = placement.vms_on(s);
+    ASSERT_EQ(vms.size(), 2u);
+    const int cluster_a = measure.isns[vms[0]].cluster;
+    const int cluster_b = measure.isns[vms[1]].cluster;
+    EXPECT_NE(cluster_a, cluster_b)
+        << "allocator co-located two ISNs of cluster " << cluster_a;
+  }
+
+  // Re-simulate under the discovered placement and under the correlation-
+  // oblivious (same-cluster) pairing: the discovered one must have lower
+  // aggregated server peaks.
+  websearch::WebSearchConfig discovered = measure;
+  discovered.num_servers = 2;
+  discovered.server_freq_ghz.assign(2, opt.frequency_ghz);
+  for (std::size_t i = 0; i < 4; ++i) {
+    discovered.isns[i].server =
+        static_cast<std::size_t>(placement.server_of(i));
+  }
+  const auto r_discovered = websearch::WebSearchSimulator(discovered).run();
+
+  const auto uncorr = websearch::make_setup1_config(
+      websearch::Setup1Placement::kSharedUnCorr, opt);
+  const auto r_uncorr = websearch::WebSearchSimulator(uncorr).run();
+
+  const double peak_discovered =
+      std::max(r_discovered.server_utilization[0].peak(),
+               r_discovered.server_utilization[1].peak());
+  const double peak_uncorr = std::max(r_uncorr.server_utilization[0].peak(),
+                                      r_uncorr.server_utilization[1].peak());
+  EXPECT_LE(peak_discovered, peak_uncorr + 1e-9);
+}
+
+}  // namespace
+}  // namespace cava

@@ -1,0 +1,112 @@
+#include "model/cooling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cava::model {
+namespace {
+
+TEST(CoolingModelTest, ValidatesConfig) {
+  CoolingConfig bad;
+  bad.fan_overhead_fraction = -0.1;
+  EXPECT_THROW(CoolingModel{bad}, std::invalid_argument);
+  bad = CoolingConfig{};
+  bad.cop_at_threshold = 0.0;
+  EXPECT_THROW(CoolingModel{bad}, std::invalid_argument);
+  bad = CoolingConfig{};
+  bad.cop_floor = 100.0;
+  EXPECT_THROW(CoolingModel{bad}, std::invalid_argument);
+}
+
+TEST(CoolingModelTest, FreeCoolingBelowThreshold) {
+  const CoolingModel m;
+  EXPECT_TRUE(std::isinf(m.cop(10.0)));
+  // Only fan overhead below the threshold.
+  EXPECT_NEAR(m.cooling_watts(1000.0, 10.0), 80.0, 1e-9);
+  EXPECT_NEAR(m.pue(1000.0, 10.0), 1.08, 1e-9);
+}
+
+TEST(CoolingModelTest, ChillerAboveThreshold) {
+  const CoolingModel m;
+  // At threshold + 10C: COP = 7 - 1.5 = 5.5.
+  EXPECT_NEAR(m.cop(25.0), 5.5, 1e-9);
+  const double expected = 0.08 * 1000.0 + 1000.0 / 5.5;
+  EXPECT_NEAR(m.cooling_watts(1000.0, 25.0), expected, 1e-9);
+}
+
+TEST(CoolingModelTest, CopFloorApplies) {
+  const CoolingModel m;
+  EXPECT_NEAR(m.cop(100.0), 2.0, 1e-9);
+}
+
+TEST(CoolingModelTest, PueIncreasesWithTemperature) {
+  const CoolingModel m;
+  double prev = 1.0;
+  for (double t : {5.0, 16.0, 20.0, 30.0, 40.0}) {
+    const double p = m.pue(500.0, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CoolingModelTest, ZeroItPowerHasUnitPue) {
+  const CoolingModel m;
+  EXPECT_DOUBLE_EQ(m.pue(0.0, 30.0), 1.0);
+}
+
+TEST(CoolingModelTest, NegativeItPowerThrows) {
+  const CoolingModel m;
+  EXPECT_THROW(m.cooling_watts(-1.0, 20.0), std::invalid_argument);
+}
+
+TEST(CoolingModelTest, FacilityEnergyIntegrates) {
+  const CoolingModel m;
+  const trace::TimeSeries it(3600.0, std::vector<double>{1000.0, 1000.0});
+  const trace::TimeSeries temp(3600.0, std::vector<double>{10.0, 25.0});
+  // Hour 1: free cooling -> 1080 W; hour 2: chiller -> 1080 + 1000/5.5 W.
+  const double expected =
+      (1080.0 + 1080.0 + 1000.0 / 5.5) * 3600.0;
+  EXPECT_NEAR(m.facility_energy(it, temp), expected, 1e-6);
+}
+
+TEST(CoolingModelTest, FacilityEnergyRejectsMismatchedGrids) {
+  const CoolingModel m;
+  const trace::TimeSeries it(3600.0, std::vector<double>{1.0});
+  const trace::TimeSeries temp(60.0, std::vector<double>{1.0});
+  EXPECT_THROW(m.facility_energy(it, temp), std::invalid_argument);
+}
+
+TEST(DiurnalTemperature, BoundsAndPhase) {
+  const auto temp = diurnal_temperature(8.0, 24.0, 3600.0, 24);
+  double lo = 1e9, hi = -1e9;
+  std::size_t hottest = 0;
+  for (std::size_t i = 0; i < temp.size(); ++i) {
+    lo = std::min(lo, temp[i]);
+    hi = std::max(hi, temp[i]);
+    if (temp[i] > temp[hottest]) hottest = i;
+  }
+  EXPECT_GE(lo, 8.0 - 1e-9);
+  EXPECT_LE(hi, 24.0 + 1e-9);
+  EXPECT_EQ(hottest, 15u);  // peaks at 15:00
+}
+
+TEST(DiurnalTemperature, RejectsInvertedRange) {
+  EXPECT_THROW(diurnal_temperature(20.0, 10.0, 3600.0, 24),
+               std::invalid_argument);
+}
+
+TEST(CoolingModelTest, ConsolidationSavingsAmplifiedOnHotDays) {
+  // The free-cooling story: the same IT-power saving is worth more
+  // facility energy when the chiller must run.
+  const CoolingModel m;
+  const double it_hi = 2000.0, it_lo = 1700.0;  // consolidation saves 300 W IT
+  const double cold_saving = (it_hi + m.cooling_watts(it_hi, 10.0)) -
+                             (it_lo + m.cooling_watts(it_lo, 10.0));
+  const double hot_saving = (it_hi + m.cooling_watts(it_hi, 35.0)) -
+                            (it_lo + m.cooling_watts(it_lo, 35.0));
+  EXPECT_GT(hot_saving, cold_saving);
+}
+
+}  // namespace
+}  // namespace cava::model

@@ -1,0 +1,111 @@
+#include "model/power.h"
+
+#include <gtest/gtest.h>
+
+#include "model/vm.h"
+
+namespace cava::model {
+namespace {
+
+PowerModel simple_model() {
+  PowerModelConfig cfg;
+  cfg.idle_watts_at_fmax = 100.0;
+  cfg.peak_watts_at_fmax = 200.0;
+  cfg.static_fraction = 0.5;
+  cfg.freq_exponent = 3.0;
+  return PowerModel(cfg, 2.0);
+}
+
+TEST(PowerModelTest, ValidatesConfig) {
+  PowerModelConfig bad;
+  bad.idle_watts_at_fmax = 200.0;
+  bad.peak_watts_at_fmax = 100.0;
+  EXPECT_THROW(PowerModel(bad, 2.0), std::invalid_argument);
+
+  PowerModelConfig bad2;
+  bad2.static_fraction = 1.5;
+  EXPECT_THROW(PowerModel(bad2, 2.0), std::invalid_argument);
+
+  EXPECT_THROW(PowerModel(PowerModelConfig{}, 0.0), std::invalid_argument);
+}
+
+TEST(PowerModelTest, CalibrationPointsMatch) {
+  const PowerModel m = simple_model();
+  EXPECT_NEAR(m.power(2.0, 0.0), 100.0, 1e-9);
+  EXPECT_NEAR(m.power(2.0, 1.0), 200.0, 1e-9);
+}
+
+TEST(PowerModelTest, MonotoneInUtilization) {
+  const PowerModel m = simple_model();
+  double prev = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double p = m.power(2.0, u);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModelTest, MonotoneInFrequency) {
+  const PowerModel m = simple_model();
+  EXPECT_LT(m.power(1.8, 0.5), m.power(2.0, 0.5));
+  EXPECT_LT(m.power(1.8, 0.0), m.power(2.0, 0.0));
+}
+
+TEST(PowerModelTest, StaticFloorSurvivesLowFrequency) {
+  const PowerModel m = simple_model();
+  // At f -> 0 only the static half of idle power remains.
+  EXPECT_NEAR(m.power(0.0, 0.0), 50.0, 1e-9);
+}
+
+TEST(PowerModelTest, ClampsUtilization) {
+  const PowerModel m = simple_model();
+  EXPECT_DOUBLE_EQ(m.power(2.0, 1.5), m.power(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(m.power(2.0, -0.5), m.power(2.0, 0.0));
+}
+
+TEST(PowerModelTest, EnergyIntegratesPower) {
+  const PowerModel m = simple_model();
+  EXPECT_NEAR(m.energy(2.0, 0.5, 10.0), m.power(2.0, 0.5) * 10.0, 1e-9);
+}
+
+TEST(PowerModelTest, OffServerDrawsNothing) {
+  EXPECT_EQ(simple_model().off_watts(), 0.0);
+}
+
+TEST(PowerModelTest, CubicLawSavingsAtLowerBin) {
+  // Dropping the E5410 from 2.3 to 2.0 GHz at equal busy fraction should
+  // save on the order of 10% wall power — the magnitude Table II exploits.
+  const PowerModel m = PowerModel::xeon_e5410();
+  const double hi = m.power(2.3, 0.6);
+  const double lo = m.power(2.0, 0.6);
+  const double saving = (hi - lo) / hi;
+  EXPECT_GT(saving, 0.05);
+  EXPECT_LT(saving, 0.30);
+}
+
+TEST(PowerModelTest, PaperPresetsAreOrdered) {
+  // The 4-socket R815 draws more than the 2-socket E5410 at full tilt.
+  const PowerModel r815 = PowerModel::dell_r815();
+  const PowerModel xeon = PowerModel::xeon_e5410();
+  EXPECT_GT(r815.power(2.1, 1.0), xeon.power(2.3, 1.0));
+}
+
+TEST(VmDemandTest, TotalDemand) {
+  std::vector<VmDemand> d{{0, 1.5}, {1, 2.5}, {2, 0.0}};
+  EXPECT_DOUBLE_EQ(total_demand(d), 4.0);
+  EXPECT_DOUBLE_EQ(total_demand({}), 0.0);
+}
+
+class UtilizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweep, LowerFrequencyNeverCostsMore) {
+  const PowerModel m = PowerModel::xeon_e5410();
+  const double u = GetParam();
+  EXPECT_LE(m.power(2.0, u), m.power(2.3, u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UtilizationSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+}  // namespace
+}  // namespace cava::model

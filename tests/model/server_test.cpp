@@ -1,0 +1,75 @@
+#include "model/server.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::model {
+namespace {
+
+TEST(ServerSpecTest, ValidatesArguments) {
+  EXPECT_THROW(ServerSpec("x", 0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ServerSpec("x", 4, {}), std::invalid_argument);
+  EXPECT_THROW(ServerSpec("x", 4, {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(ServerSpec("x", 4, {-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ServerSpecTest, BasicAccessors) {
+  const ServerSpec s("s", 8, {1.9, 2.1});
+  EXPECT_EQ(s.cores(), 8);
+  EXPECT_DOUBLE_EQ(s.fmin(), 1.9);
+  EXPECT_DOUBLE_EQ(s.fmax(), 2.1);
+  EXPECT_EQ(s.num_levels(), 2u);
+  EXPECT_DOUBLE_EQ(s.max_capacity(), 8.0);
+}
+
+TEST(ServerSpecTest, CapacityScalesWithFrequency) {
+  const ServerSpec s("s", 8, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.capacity_at(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.capacity_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.capacity_at(1.5), 6.0);
+}
+
+TEST(ServerSpecTest, QuantizeUp) {
+  const ServerSpec s("s", 8, {1.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantize_up(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantize_up(1.2), 1.5);
+  EXPECT_DOUBLE_EQ(s.quantize_up(1.7), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantize_up(5.0), 2.0);  // clamps to fmax
+}
+
+TEST(ServerSpecTest, QuantizeDown) {
+  const ServerSpec s("s", 8, {1.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(s.quantize_down(1.7), 1.5);
+  EXPECT_DOUBLE_EQ(s.quantize_down(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantize_down(0.2), 1.0);  // clamps to fmin
+}
+
+TEST(ServerSpecTest, LevelIndex) {
+  const ServerSpec s("s", 8, {1.9, 2.1});
+  EXPECT_EQ(s.level_index(1.9), 0u);
+  EXPECT_EQ(s.level_index(2.1), 1u);
+  EXPECT_THROW(s.level_index(2.0), std::invalid_argument);
+}
+
+TEST(ServerSpecTest, PaperPlatforms) {
+  const ServerSpec r815 = ServerSpec::dell_r815();
+  EXPECT_EQ(r815.cores(), 8);
+  EXPECT_DOUBLE_EQ(r815.fmin(), 1.9);
+  EXPECT_DOUBLE_EQ(r815.fmax(), 2.1);
+
+  const ServerSpec xeon = ServerSpec::xeon_e5410();
+  EXPECT_EQ(xeon.cores(), 8);
+  EXPECT_DOUBLE_EQ(xeon.fmin(), 2.0);
+  EXPECT_DOUBLE_EQ(xeon.fmax(), 2.3);
+}
+
+TEST(ServerSpecTest, QuantizeUpNeverLosesCapacity) {
+  const ServerSpec s = ServerSpec::xeon_e5410();
+  for (double target = 0.1; target < 2.3; target += 0.05) {
+    EXPECT_GE(s.capacity_at(s.quantize_up(target)),
+              s.capacity_at(target) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cava::model

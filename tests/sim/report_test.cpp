@@ -1,0 +1,82 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cava::sim {
+namespace {
+
+SimResult sample_result(const std::string& name, double energy) {
+  SimResult r;
+  r.policy_name = name;
+  r.total_energy_joules = energy;
+  r.max_violation_ratio = 0.182;
+  r.overall_violation_fraction = 0.01;
+  r.mean_active_servers = 12.5;
+  r.total_migrated_vms = 42;
+  r.total_migrated_cores = 99.5;
+  PeriodRecord p;
+  p.active_servers = 12;
+  p.energy_joules = energy;
+  p.mean_frequency = 2.1;
+  p.placement_clusters = 1;
+  p.migrated_vms = 42;
+  p.migrated_cores = 99.5;
+  r.periods.push_back(p);
+  r.freq_residency_seconds = {{100.0, 200.0}, {300.0, 0.0}};
+  return r;
+}
+
+TEST(ReportTest, ToJsonContainsAllTopLevelFields) {
+  const auto j = to_json(sample_result("BFD", 3.6e6));
+  const std::string s = j.dump();
+  EXPECT_NE(s.find("\"policy\":\"BFD\""), std::string::npos);
+  EXPECT_NE(s.find("\"total_energy_joules\":3600000"), std::string::npos);
+  EXPECT_NE(s.find("\"max_violation_ratio\":0.182"), std::string::npos);
+  EXPECT_NE(s.find("\"periods\":"), std::string::npos);
+  EXPECT_NE(s.find("\"freq_residency_seconds\":[[100,200],[300,0]]"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"placement_clusters\":1"), std::string::npos);
+}
+
+TEST(ReportTest, ToJsonOmitsMissingClusterDiagnostic) {
+  auto r = sample_result("FFD", 1.0);
+  r.periods[0].placement_clusters = -1;
+  const std::string s = to_json(r).dump();
+  EXPECT_EQ(s.find("placement_clusters"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonNormalizesToFirst) {
+  const std::vector<SimResult> results{sample_result("BFD", 200.0),
+                                       sample_result("Proposed", 150.0)};
+  const auto j = comparison_json(results);
+  const std::string s = j.dump();
+  EXPECT_NE(s.find("\"normalized_power\":1,"), std::string::npos);
+  EXPECT_NE(s.find("\"normalized_power\":0.75"), std::string::npos);
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(ReportTest, ComparisonEmptyIsEmptyArray) {
+  EXPECT_EQ(comparison_json({}).dump(), "[]");
+}
+
+TEST(ReportTest, SummaryLineContents) {
+  const std::string s = summary_line(sample_result("PCP", 7.2e6));
+  EXPECT_NE(s.find("PCP:"), std::string::npos);
+  EXPECT_NE(s.find("2.00 kWh"), std::string::npos);
+  EXPECT_NE(s.find("18.2%"), std::string::npos);
+  EXPECT_NE(s.find("42 migrations"), std::string::npos);
+}
+
+TEST(ReportTest, PrintComparisonRendersTable) {
+  std::ostringstream out;
+  print_comparison({sample_result("BFD", 100.0), sample_result("X", 90.0)},
+                   out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("BFD"), std::string::npos);
+  EXPECT_NE(s.find("0.900"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cava::sim

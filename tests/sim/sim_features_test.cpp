@@ -1,0 +1,179 @@
+// Tests for simulator features beyond the core replay loop: the oracle
+// static v/f floor, migration accounting, migration energy pricing and the
+// cost-horizon options.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/migration.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+
+namespace cava::sim {
+namespace {
+
+trace::TraceSet small_traces(std::uint64_t seed = 1) {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = 10;
+  cfg.num_groups = 3;
+  cfg.day_seconds = 4.0 * 3600.0;
+  cfg.fine_dt = 10.0;
+  cfg.seed = seed;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+SimConfig fast_config(VfMode mode) {
+  SimConfig cfg;
+  cfg.max_servers = 6;
+  cfg.vf_mode = mode;
+  return cfg;
+}
+
+TEST(OracleStatic, ViolatesOnlyWhenPlacementItselfOverloads) {
+  // Perfect foresight picks a capacity covering the actual peak whenever
+  // the hardware allows it; remaining violations are placement overloads
+  // (aggregated demand beyond the physical cores), i.e. exactly the
+  // violations the fmax mode shows.
+  const auto traces = small_traces();
+  alloc::BestFitDecreasing bfd_a, bfd_b;
+  const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
+                          .run(traces, bfd_a, nullptr);
+  const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
+                        .run(traces, bfd_b, nullptr);
+  EXPECT_DOUBLE_EQ(oracle.max_violation_ratio, fmax.max_violation_ratio);
+  EXPECT_DOUBLE_EQ(oracle.overall_violation_fraction,
+                   fmax.overall_violation_fraction);
+}
+
+TEST(OracleStatic, EnergyAtMostFmax) {
+  alloc::BestFitDecreasing bfd;
+  const auto traces = small_traces();
+  const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
+                          .run(traces, bfd, nullptr);
+  const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
+                        .run(traces, bfd, nullptr);
+  EXPECT_LE(oracle.total_energy_joules, fmax.total_energy_joules + 1e-6);
+}
+
+TEST(OracleStatic, LowerBoundsWorstCaseStatic) {
+  // Worst-case provisioning covers the sum of predicted peaks >= actual
+  // aggregated peak of the previous period; the oracle covers exactly the
+  // actual peak, so it cannot burn more energy.
+  alloc::BestFitDecreasing bfd_a, bfd_b;
+  dvfs::WorstCaseVf worst;
+  const auto traces = small_traces(5);
+  const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
+                          .run(traces, bfd_a, nullptr);
+  const auto wc = DatacenterSimulator(fast_config(VfMode::kStatic))
+                      .run(traces, bfd_b, &worst);
+  EXPECT_LE(oracle.total_energy_joules, wc.total_energy_joules * 1.02);
+}
+
+TEST(MigrationAccounting, PeriodsSumToTotals) {
+  DatacenterSimulator sim(fast_config(VfMode::kNone));
+  alloc::BestFitDecreasing bfd;
+  const auto r = sim.run(small_traces(), bfd, nullptr);
+  std::size_t vms = 0;
+  double cores = 0.0;
+  for (const auto& p : r.periods) {
+    vms += p.migrated_vms;
+    cores += p.migrated_cores;
+  }
+  EXPECT_EQ(vms, r.total_migrated_vms);
+  EXPECT_NEAR(cores, r.total_migrated_cores, 1e-9);
+}
+
+TEST(MigrationAccounting, FirstPeriodHasNoMigrations) {
+  DatacenterSimulator sim(fast_config(VfMode::kNone));
+  alloc::BestFitDecreasing bfd;
+  const auto r = sim.run(small_traces(), bfd, nullptr);
+  ASSERT_FALSE(r.periods.empty());
+  EXPECT_EQ(r.periods.front().migrated_vms, 0u);
+}
+
+TEST(MigrationAccounting, StickyReducesMigrations) {
+  const auto traces = small_traces(7);
+  DatacenterSimulator sim(fast_config(VfMode::kNone));
+  alloc::BestFitDecreasing plain;
+  const auto r_plain = sim.run(traces, plain, nullptr);
+
+  alloc::StickyConfig scfg;
+  scfg.refresh_every = 100;
+  alloc::StickyPlacement sticky(std::make_unique<alloc::BestFitDecreasing>(),
+                                scfg);
+  const auto r_sticky = sim.run(traces, sticky, nullptr);
+  EXPECT_LE(r_sticky.total_migrated_vms, r_plain.total_migrated_vms);
+}
+
+TEST(MigrationAccounting, MigrationEnergyIncreasesTotal) {
+  const auto traces = small_traces(9);
+  alloc::BestFitDecreasing a, b;
+  SimConfig free_cfg = fast_config(VfMode::kNone);
+  SimConfig paid_cfg = free_cfg;
+  paid_cfg.migration_energy_joules_per_core = 500.0;
+  const auto r_free = DatacenterSimulator(free_cfg).run(traces, a, nullptr);
+  const auto r_paid = DatacenterSimulator(paid_cfg).run(traces, b, nullptr);
+  if (r_free.total_migrated_cores > 0.0) {
+    EXPECT_NEAR(r_paid.total_energy_joules - r_free.total_energy_joules,
+                500.0 * r_free.total_migrated_cores, 1e-6);
+  } else {
+    EXPECT_DOUBLE_EQ(r_paid.total_energy_joules, r_free.total_energy_joules);
+  }
+}
+
+TEST(CostHorizon, BothModesRunToCompletion) {
+  for (auto h : {CostHorizon::kPreviousPeriod, CostHorizon::kCumulative}) {
+    SimConfig cfg = fast_config(VfMode::kStatic);
+    cfg.cost_horizon = h;
+    DatacenterSimulator sim(cfg);
+    alloc::CorrelationAwarePlacement proposed;
+    dvfs::CorrelationAwareVf eqn4;
+    const auto r = sim.run(small_traces(11), proposed, &eqn4);
+    EXPECT_GT(r.total_energy_joules, 0.0);
+    EXPECT_EQ(r.periods.size(), 4u);
+  }
+}
+
+TEST(CostHorizon, ModesDivergeAfterFirstPeriod) {
+  // Same policy, different statistics horizon: results should differ once
+  // more than one period has elapsed (the matrices diverge).
+  const auto traces = small_traces(13);
+  SimConfig prev_cfg = fast_config(VfMode::kStatic);
+  prev_cfg.cost_horizon = CostHorizon::kPreviousPeriod;
+  SimConfig cum_cfg = fast_config(VfMode::kStatic);
+  cum_cfg.cost_horizon = CostHorizon::kCumulative;
+  alloc::CorrelationAwarePlacement a, b;
+  dvfs::CorrelationAwareVf eqn4;
+  const auto r_prev = DatacenterSimulator(prev_cfg).run(traces, a, &eqn4);
+  const auto r_cum = DatacenterSimulator(cum_cfg).run(traces, b, &eqn4);
+  EXPECT_NE(r_prev.total_energy_joules, r_cum.total_energy_joules);
+}
+
+TEST(SimResult, MeanPowerHelper) {
+  SimResult r;
+  r.total_energy_joules = 3600.0;
+  EXPECT_DOUBLE_EQ(r.mean_power_watts(3600.0), 1.0);
+  EXPECT_EQ(r.mean_power_watts(0.0), 0.0);
+}
+
+class OracleSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSeedSweep, OracleMatchesFmaxViolationsAndIsCheaper) {
+  const auto traces = small_traces(GetParam());
+  alloc::BestFitDecreasing bfd;
+  const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
+                          .run(traces, bfd, nullptr);
+  alloc::BestFitDecreasing bfd2;
+  const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
+                        .run(traces, bfd2, nullptr);
+  EXPECT_DOUBLE_EQ(oracle.max_violation_ratio, fmax.max_violation_ratio);
+  EXPECT_LE(oracle.total_energy_joules, fmax.total_energy_joules + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSeedSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+}  // namespace
+}  // namespace cava::sim

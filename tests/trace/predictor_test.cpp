@@ -1,0 +1,147 @@
+#include "trace/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cava::trace {
+namespace {
+
+TEST(LastValue, PredictsZeroBeforeAnyObservation) {
+  LastValuePredictor p;
+  EXPECT_EQ(p.predict(), 0.0);
+}
+
+TEST(LastValue, EchoesLastObservation) {
+  LastValuePredictor p;
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+}
+
+TEST(LastValue, CloneFreshHasNoState) {
+  LastValuePredictor p;
+  p.observe(5.0);
+  auto c = p.clone_fresh();
+  EXPECT_EQ(c->predict(), 0.0);
+}
+
+TEST(MovingAverage, AveragesWindow) {
+  MovingAveragePredictor p(3);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.5);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+  p.observe(12.0);  // 3 evicted
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+}
+
+TEST(MovingAverage, EmptyPredictsZero) {
+  MovingAveragePredictor p(4);
+  EXPECT_EQ(p.predict(), 0.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaPredictor(1.5), std::invalid_argument);
+}
+
+TEST(Ewma, FirstObservationSeeds) {
+  EwmaPredictor p(0.5);
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  EwmaPredictor p(0.5);
+  p.observe(10.0);
+  p.observe(0.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+  p.observe(0.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.5);
+}
+
+TEST(Ewma, AlphaOneIsLastValue) {
+  EwmaPredictor p(1.0);
+  p.observe(3.0);
+  p.observe(8.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 8.0);
+}
+
+TEST(Ar1, RejectsTinyHistory) {
+  EXPECT_THROW(Ar1Predictor(2), std::invalid_argument);
+}
+
+TEST(Ar1, FallsBackToPersistenceEarly) {
+  Ar1Predictor p;
+  p.observe(4.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(Ar1, LearnsLinearTrend) {
+  Ar1Predictor p(16);
+  // y_{t+1} = y_t + 1 exactly; AR(1) fit recovers slope 1, intercept 1.
+  for (int i = 1; i <= 10; ++i) p.observe(static_cast<double>(i));
+  EXPECT_NEAR(p.predict(), 11.0, 1e-9);
+}
+
+TEST(Ar1, LearnsDecay) {
+  Ar1Predictor p(16);
+  double y = 64.0;
+  for (int i = 0; i < 10; ++i) {
+    p.observe(y);
+    y *= 0.5;
+  }
+  // Last observed: 0.125; fit should predict ~0.0625.
+  EXPECT_NEAR(p.predict(), 0.0625, 0.01);
+}
+
+TEST(Ar1, ConstantHistoryPredictsConstant) {
+  Ar1Predictor p(8);
+  for (int i = 0; i < 8; ++i) p.observe(2.0);
+  EXPECT_NEAR(p.predict(), 2.0, 1e-9);
+}
+
+TEST(Factory, CreatesAllKnownPredictors) {
+  EXPECT_EQ(make_predictor("last-value")->name(), "last-value");
+  EXPECT_NE(make_predictor("moving-average"), nullptr);
+  EXPECT_NE(make_predictor("ewma"), nullptr);
+  EXPECT_EQ(make_predictor("ar1")->name(), "ar1");
+}
+
+TEST(Factory, ThrowsOnUnknown) {
+  EXPECT_THROW(make_predictor("oracle"), std::invalid_argument);
+}
+
+class PredictorContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PredictorContract, ZeroBeforeObservations) {
+  EXPECT_EQ(make_predictor(GetParam())->predict(), 0.0);
+}
+
+TEST_P(PredictorContract, TracksConstantSignalExactly) {
+  auto p = make_predictor(GetParam());
+  for (int i = 0; i < 20; ++i) p->observe(1.75);
+  EXPECT_NEAR(p->predict(), 1.75, 1e-9);
+}
+
+TEST_P(PredictorContract, CloneFreshMatchesFactoryBehaviour) {
+  auto p = make_predictor(GetParam());
+  p->observe(9.0);
+  auto fresh = p->clone_fresh();
+  EXPECT_EQ(fresh->predict(), 0.0);
+  fresh->observe(2.0);
+  EXPECT_NEAR(fresh->predict(), 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PredictorContract,
+                         ::testing::Values("last-value", "moving-average",
+                                           "ewma", "ar1"));
+
+}  // namespace
+}  // namespace cava::trace

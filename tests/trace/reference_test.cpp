@@ -1,0 +1,102 @@
+#include "trace/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cava::trace {
+namespace {
+
+TEST(ReferenceSpecTest, Factories) {
+  const auto p = ReferenceSpec::peak();
+  EXPECT_EQ(p.kind, ReferenceSpec::Kind::kPeak);
+  const auto n = ReferenceSpec::nth(95.0);
+  EXPECT_EQ(n.kind, ReferenceSpec::Kind::kPercentile);
+  EXPECT_DOUBLE_EQ(n.percentile, 95.0);
+}
+
+TEST(ReferenceEstimatorTest, PeakTracksMax) {
+  ReferenceEstimator est(ReferenceSpec::peak());
+  EXPECT_EQ(est.value(), 0.0);
+  est.add(1.0);
+  est.add(5.0);
+  est.add(3.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);
+  EXPECT_EQ(est.count(), 3u);
+}
+
+TEST(ReferenceEstimatorTest, ResetClears) {
+  ReferenceEstimator est(ReferenceSpec::peak());
+  est.add(9.0);
+  est.reset();
+  EXPECT_EQ(est.value(), 0.0);
+  est.add(2.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);
+}
+
+TEST(ReferenceEstimatorTest, PercentileApproximatesBatch) {
+  ReferenceEstimator est(ReferenceSpec::nth(90.0));
+  util::Rng rng(3);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal_mean_cv(1.0, 0.3);
+    est.add(x);
+    all.push_back(x);
+  }
+  EXPECT_NEAR(est.value(), util::percentile(all, 90.0), 0.05);
+}
+
+TEST(ReferenceEstimatorTest, CopyIsIndependent) {
+  ReferenceEstimator a(ReferenceSpec::nth(90.0));
+  for (int i = 0; i < 100; ++i) a.add(static_cast<double>(i));
+  ReferenceEstimator b = a;
+  b.add(1e6);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(ReferenceEstimatorTest, AssignmentCopiesState) {
+  ReferenceEstimator a(ReferenceSpec::peak());
+  a.add(7.0);
+  ReferenceEstimator b(ReferenceSpec::peak());
+  b = a;
+  EXPECT_DOUBLE_EQ(b.value(), 7.0);
+}
+
+TEST(ReferenceOfTest, PeakAndPercentile) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(reference_of(v, ReferenceSpec::peak()), 100.0);
+  EXPECT_LT(reference_of(v, ReferenceSpec::nth(50.0)), 100.0);
+}
+
+TEST(ReferenceOfTest, PercentileIsBelowPeakOnSkewedData) {
+  // The paper's premise: peak >> 95th percentile for bursty utilization.
+  util::Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.lognormal_mean_cv(1.0, 1.0));
+  const double peak = reference_of(v, ReferenceSpec::peak());
+  const double p95 = reference_of(v, ReferenceSpec::nth(95.0));
+  EXPECT_GT(peak, 1.5 * p95);
+}
+
+class ReferenceKindSweep
+    : public ::testing::TestWithParam<ReferenceSpec> {};
+
+TEST_P(ReferenceKindSweep, StreamingMatchesBatchOnConstantSignal) {
+  ReferenceEstimator est(GetParam());
+  std::vector<double> v(200, 2.5);
+  for (double x : v) est.add(x);
+  EXPECT_NEAR(est.value(), 2.5, 1e-9);
+  EXPECT_NEAR(reference_of(v, GetParam()), 2.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ReferenceKindSweep,
+                         ::testing::Values(ReferenceSpec::peak(),
+                                           ReferenceSpec::nth(90.0),
+                                           ReferenceSpec::nth(95.0),
+                                           ReferenceSpec::nth(99.0)));
+
+}  // namespace
+}  // namespace cava::trace

@@ -1,0 +1,178 @@
+#include "trace/streaming_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cava::trace {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleSample) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> v{1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+  StreamingStats s;
+  for (double x : v) s.add(x);
+  EXPECT_NEAR(s.mean(), util::mean(v), 1e-12);
+  EXPECT_NEAR(s.variance(), util::variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.sum(), 27.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, ResetClears) {
+  StreamingStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(StreamingStatsTest, NumericallyStableOnLargeOffsets) {
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(StreamingPearsonTest, FewSamplesGiveZero) {
+  StreamingPearson p;
+  EXPECT_EQ(p.correlation(), 0.0);
+  p.add(1.0, 2.0);
+  EXPECT_EQ(p.correlation(), 0.0);
+}
+
+TEST(StreamingPearsonTest, PerfectCorrelation) {
+  StreamingPearson p;
+  for (int i = 0; i < 10; ++i) p.add(i, 3.0 * i + 1.0);
+  EXPECT_NEAR(p.correlation(), 1.0, 1e-12);
+}
+
+TEST(StreamingPearsonTest, PerfectAntiCorrelation) {
+  StreamingPearson p;
+  for (int i = 0; i < 10; ++i) p.add(i, -2.0 * i);
+  EXPECT_NEAR(p.correlation(), -1.0, 1e-12);
+}
+
+TEST(StreamingPearsonTest, ConstantSignalGivesZero) {
+  StreamingPearson p;
+  for (int i = 0; i < 10; ++i) p.add(4.0, i);
+  EXPECT_EQ(p.correlation(), 0.0);
+}
+
+TEST(StreamingPearsonTest, MatchesBatchPearson) {
+  util::Rng rng(7);
+  std::vector<double> xs, ys;
+  StreamingPearson p;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform();
+    const double y = 0.5 * x + 0.5 * rng.uniform();
+    xs.push_back(x);
+    ys.push_back(y);
+    p.add(x, y);
+  }
+  EXPECT_NEAR(p.correlation(), util::pearson(xs, ys), 1e-10);
+}
+
+TEST(StreamingPearsonTest, ResetClears) {
+  StreamingPearson p;
+  p.add(1.0, 1.0);
+  p.add(2.0, 2.0);
+  p.reset();
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.correlation(), 0.0);
+}
+
+TEST(P2QuantileTest, RejectsBadQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);  // median of {1,3}
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile q(0.9);
+  EXPECT_EQ(q.value(), 0.0);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, ApproximatesUniformQuantile) {
+  const double qv = GetParam();
+  P2Quantile q(qv);
+  util::Rng rng(11);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = util::percentile(all, qv * 100.0);
+  EXPECT_NEAR(q.value(), exact, 0.02) << "q=" << qv;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.5, 0.75, 0.9, 0.95, 0.99));
+
+TEST(P2QuantileTest, ApproximatesLognormalTail) {
+  P2Quantile q(0.9);
+  util::Rng rng(13);
+  std::vector<double> all;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.lognormal_mean_cv(2.0, 0.5);
+    q.add(x);
+    all.push_back(x);
+  }
+  const double exact = util::percentile(all, 90.0);
+  EXPECT_NEAR(q.value() / exact, 1.0, 0.05);
+}
+
+TEST(P2QuantileTest, ResetRestartsEstimation) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.add(1000.0);
+  q.reset();
+  q.add(1.0);
+  EXPECT_DOUBLE_EQ(q.value(), 1.0);
+}
+
+TEST(P2QuantileTest, MonotoneAcrossQuantiles) {
+  P2Quantile low(0.25), mid(0.5), high(0.9);
+  util::Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    low.add(x);
+    mid.add(x);
+    high.add(x);
+  }
+  EXPECT_LT(low.value(), mid.value());
+  EXPECT_LT(mid.value(), high.value());
+}
+
+}  // namespace
+}  // namespace cava::trace

@@ -1,0 +1,245 @@
+#include "trace/synthesis.h"
+
+#include "corr/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace cava::trace {
+namespace {
+
+TEST(SynthesizeFine, ProducesExpectedSampleCount) {
+  util::Rng rng(1);
+  const TimeSeries coarse(300.0, {1.0, 2.0, 3.0});
+  const TimeSeries fine = synthesize_fine(coarse, 5.0, 0.25, rng);
+  EXPECT_EQ(fine.size(), 3u * 60u);
+  EXPECT_DOUBLE_EQ(fine.dt(), 5.0);
+}
+
+TEST(SynthesizeFine, PreservesCoarseMeans) {
+  util::Rng rng(2);
+  const TimeSeries coarse(300.0, std::vector<double>(50, 2.0));
+  const TimeSeries fine = synthesize_fine(coarse, 5.0, 0.25, rng);
+  EXPECT_NEAR(fine.mean(), 2.0, 0.02);
+}
+
+TEST(SynthesizeFine, ZeroCoarseStaysZero) {
+  util::Rng rng(3);
+  const TimeSeries coarse(300.0, {0.0, 0.0});
+  const TimeSeries fine = synthesize_fine(coarse, 5.0, 0.5, rng);
+  for (std::size_t i = 0; i < fine.size(); ++i) EXPECT_EQ(fine[i], 0.0);
+}
+
+TEST(SynthesizeFine, RejectsBadFineDt) {
+  util::Rng rng(4);
+  const TimeSeries coarse(300.0, {1.0});
+  EXPECT_THROW(synthesize_fine(coarse, 0.0, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(synthesize_fine(coarse, 600.0, 0.2, rng), std::invalid_argument);
+}
+
+TEST(SynthesizeFine, JitterScalesWithCv) {
+  util::Rng rng(5);
+  const TimeSeries coarse(300.0, std::vector<double>(100, 1.0));
+  const TimeSeries lo = synthesize_fine(coarse, 5.0, 0.1, rng);
+  const TimeSeries hi = synthesize_fine(coarse, 5.0, 0.6, rng);
+  EXPECT_LT(util::stddev(lo.samples()), util::stddev(hi.samples()));
+}
+
+TEST(SynthesizeFine, PeakExceedsPercentile) {
+  // The property Setup-2 exploits: fine-grained peaks dominate off-peak.
+  util::Rng rng(6);
+  const TimeSeries coarse(300.0, std::vector<double>(100, 1.0));
+  const TimeSeries fine = synthesize_fine(coarse, 5.0, 0.3, rng);
+  EXPECT_GT(fine.peak(), 1.2 * fine.percentile(90.0));
+}
+
+TEST(DatacenterTraces, HasConfiguredShape) {
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 10;
+  cfg.num_groups = 3;
+  const TraceSet set = generate_datacenter_traces(cfg);
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_DOUBLE_EQ(set.dt(), 5.0);
+  EXPECT_EQ(set.samples_per_trace(),
+            static_cast<std::size_t>(86400.0 / 5.0));
+}
+
+TEST(DatacenterTraces, AssignsGroupsRoundRobin) {
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 6;
+  cfg.num_groups = 3;
+  const TraceSet set = generate_datacenter_traces(cfg);
+  EXPECT_EQ(set[0].cluster_id, 0);
+  EXPECT_EQ(set[1].cluster_id, 1);
+  EXPECT_EQ(set[3].cluster_id, 0);
+}
+
+TEST(DatacenterTraces, UtilizationWithinPhysicalBounds) {
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 8;
+  const TraceSet set = generate_datacenter_traces(cfg);
+  for (const auto& t : set.traces()) {
+    for (double v : t.series.samples()) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, cfg.max_cores);
+    }
+  }
+}
+
+TEST(DatacenterTraces, DeterministicForSameSeed) {
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 4;
+  const TraceSet a = generate_datacenter_traces(cfg);
+  const TraceSet b = generate_datacenter_traces(cfg);
+  for (std::size_t i = 0; i < a.samples_per_trace(); i += 1000) {
+    EXPECT_EQ(a[0].series[i], b[0].series[i]);
+  }
+}
+
+TEST(DatacenterTraces, DifferentSeedsDiffer) {
+  DatacenterTraceConfig a_cfg, b_cfg;
+  a_cfg.num_vms = b_cfg.num_vms = 4;
+  b_cfg.seed = a_cfg.seed + 1;
+  const TraceSet a = generate_datacenter_traces(a_cfg);
+  const TraceSet b = generate_datacenter_traces(b_cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.samples_per_trace() && !any_diff; ++i) {
+    any_diff = a[0].series[i] != b[0].series[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatacenterTraces, SameGroupVmsAreStronglyCorrelated) {
+  // VMs within one service group share a load driver: their coarse traces
+  // must be strongly positively correlated (the intra-cluster correlation
+  // of Sec. III-C). Cross-group pairs are staggered and may anti-correlate.
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 8;
+  const TraceSet coarse = generate_datacenter_coarse_traces(cfg);
+  double min_same_group = 1.0;
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    for (std::size_t j = i + 1; j < coarse.size(); ++j) {
+      if (coarse[i].cluster_id != coarse[j].cluster_id) continue;
+      min_same_group = std::min(min_same_group,
+                                util::pearson(coarse[i].series.samples(),
+                                              coarse[j].series.samples()));
+    }
+  }
+  EXPECT_GT(min_same_group, 0.7);
+}
+
+TEST(DatacenterTraces, RejectsBadConfig) {
+  DatacenterTraceConfig cfg;
+  cfg.num_vms = 0;
+  EXPECT_THROW(generate_datacenter_traces(cfg), std::invalid_argument);
+  cfg.num_vms = 4;
+  cfg.num_groups = 0;
+  EXPECT_THROW(generate_datacenter_traces(cfg), std::invalid_argument);
+}
+
+TEST(HpcTraces, RejectsBadConfig) {
+  HpcTraceConfig cfg;
+  cfg.num_vms = 0;
+  EXPECT_THROW(generate_hpc_traces(cfg), std::invalid_argument);
+  cfg = HpcTraceConfig{};
+  cfg.num_phases = 0;
+  EXPECT_THROW(generate_hpc_traces(cfg), std::invalid_argument);
+  cfg = HpcTraceConfig{};
+  cfg.duty_cycle = 0.0;
+  EXPECT_THROW(generate_hpc_traces(cfg), std::invalid_argument);
+}
+
+TEST(HpcTraces, ShapeAndPhaseTags) {
+  HpcTraceConfig cfg;
+  cfg.num_vms = 8;
+  cfg.num_phases = 4;
+  const TraceSet set = generate_hpc_traces(cfg);
+  EXPECT_EQ(set.size(), 8u);
+  EXPECT_EQ(set[0].cluster_id, 0);
+  EXPECT_EQ(set[5].cluster_id, 1);
+  EXPECT_EQ(set.samples_per_trace(),
+            static_cast<std::size_t>(86400.0 / 60.0));
+}
+
+TEST(HpcTraces, DutyCycleApproximatelyRespected) {
+  HpcTraceConfig cfg;
+  cfg.num_vms = 4;
+  cfg.noise = 0.0;
+  const TraceSet set = generate_hpc_traces(cfg);
+  for (const auto& t : set.traces()) {
+    std::size_t busy = 0;
+    for (double v : t.series.samples()) {
+      if (v > 0.5 * cfg.busy_cores) ++busy;
+    }
+    const double duty =
+        static_cast<double>(busy) / static_cast<double>(t.series.size());
+    EXPECT_NEAR(duty, cfg.duty_cycle, 0.02);
+  }
+}
+
+TEST(HpcTraces, DistinctPhasesHaveDisjointBusyWindows) {
+  HpcTraceConfig cfg;
+  cfg.num_vms = 4;
+  cfg.num_phases = 4;
+  cfg.noise = 0.0;
+  const TraceSet set = generate_hpc_traces(cfg);
+  // VMs 0 and 2 are two phases apart (half a day): never busy together.
+  for (std::size_t i = 0; i < set.samples_per_trace(); ++i) {
+    const bool busy0 = set[0].series[i] > 0.5 * cfg.busy_cores;
+    const bool busy2 = set[2].series[i] > 0.5 * cfg.busy_cores;
+    ASSERT_FALSE(busy0 && busy2) << "sample " << i;
+  }
+}
+
+TEST(HpcTraces, PcpRecoversThePhaseClasses) {
+  // The contrast property: envelope clustering over stationary HPC traces
+  // finds the phase classes (it only degenerates on scale-out traces).
+  HpcTraceConfig cfg;
+  cfg.num_vms = 12;
+  cfg.num_phases = 3;
+  const TraceSet set = generate_hpc_traces(cfg);
+  const auto ids = corr::cluster_by_envelope(set, 90.0, 0.1);
+  EXPECT_EQ(corr::cluster_count(ids), 3);
+  // Cluster assignment must match the generator's phase tags.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      if (set[i].cluster_id == set[j].cluster_id) {
+        EXPECT_EQ(ids[i], ids[j]) << i << "," << j;
+      } else {
+        EXPECT_NE(ids[i], ids[j]) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(ClientWave, SineStartsAtMidpoint) {
+  ClientWaveConfig cfg;
+  cfg.min_clients = 0.0;
+  cfg.max_clients = 300.0;
+  cfg.period_seconds = 600.0;
+  const TimeSeries wave = client_wave(cfg, 1.0, 601);
+  EXPECT_NEAR(wave[0], 150.0, 1e-9);
+  EXPECT_NEAR(wave[150], 300.0, 0.1);  // quarter period: peak
+  EXPECT_NEAR(wave[450], 0.0, 0.1);    // three quarters: trough
+}
+
+TEST(ClientWave, CosinePhaseShift) {
+  ClientWaveConfig cfg;
+  cfg.phase_radians = 1.5707963267948966;
+  cfg.period_seconds = 600.0;
+  const TimeSeries wave = client_wave(cfg, 1.0, 10);
+  EXPECT_NEAR(wave[0], 300.0, 1e-6);  // cos starts at max
+}
+
+TEST(ClientWave, StaysWithinBounds) {
+  ClientWaveConfig cfg;
+  const TimeSeries wave = client_wave(cfg, 1.0, 5000);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    ASSERT_GE(wave[i], cfg.min_clients - 1e-9);
+    ASSERT_LE(wave[i], cfg.max_clients + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cava::trace

@@ -1,0 +1,153 @@
+#include "trace/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cava::trace {
+namespace {
+
+TimeSeries make(std::vector<double> v, double dt = 1.0) {
+  return TimeSeries(dt, std::move(v));
+}
+
+TEST(TimeSeriesTest, RejectsNonPositiveDt) {
+  EXPECT_THROW(TimeSeries(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0, {1.0}), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  const auto s = make({1.0, 2.0, 3.0}, 0.5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.dt(), 0.5);
+  EXPECT_DOUBLE_EQ(s.duration(), 1.5);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(TimeSeriesTest, AtTimeZeroOrderHold) {
+  const auto s = make({1.0, 2.0, 3.0}, 2.0);
+  EXPECT_DOUBLE_EQ(s.at_time(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_time(1.9), 1.0);
+  EXPECT_DOUBLE_EQ(s.at_time(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at_time(100.0), 3.0);  // clamps to last
+  EXPECT_DOUBLE_EQ(s.at_time(-3.0), 1.0);
+}
+
+TEST(TimeSeriesTest, AtTimeEmptyIsZero) {
+  const TimeSeries s;
+  EXPECT_EQ(s.at_time(1.0), 0.0);
+}
+
+TEST(TimeSeriesTest, PeakMeanPercentile) {
+  const auto s = make({1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.peak(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(TimeSeriesTest, SumOfTwo) {
+  const auto a = make({1.0, 2.0});
+  const auto b = make({3.0, 5.0});
+  const auto s = TimeSeries::sum(a, b);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 7.0);
+}
+
+TEST(TimeSeriesTest, SumRejectsMismatchedGrids) {
+  const auto a = make({1.0, 2.0}, 1.0);
+  const auto b = make({1.0, 2.0}, 2.0);
+  EXPECT_THROW(TimeSeries::sum(a, b), std::invalid_argument);
+  const auto c = make({1.0}, 1.0);
+  EXPECT_THROW(TimeSeries::sum(a, c), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, SumOfSpan) {
+  std::vector<TimeSeries> all{make({1.0}), make({2.0}), make({3.0})};
+  const auto s = TimeSeries::sum(all);
+  EXPECT_DOUBLE_EQ(s[0], 6.0);
+}
+
+TEST(TimeSeriesTest, SumOfEmptySpanIsEmpty) {
+  EXPECT_TRUE(TimeSeries::sum(std::span<const TimeSeries>{}).empty());
+}
+
+TEST(TimeSeriesTest, Scaled) {
+  const auto s = make({1.0, -2.0}).scaled(3.0);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], -6.0);
+}
+
+TEST(TimeSeriesTest, SliceBasics) {
+  const auto s = make({0.0, 1.0, 2.0, 3.0, 4.0});
+  const auto sl = s.slice(1, 3);
+  ASSERT_EQ(sl.size(), 3u);
+  EXPECT_DOUBLE_EQ(sl[0], 1.0);
+  EXPECT_DOUBLE_EQ(sl[2], 3.0);
+}
+
+TEST(TimeSeriesTest, SliceClampsCount) {
+  const auto s = make({0.0, 1.0, 2.0});
+  EXPECT_EQ(s.slice(2, 100).size(), 1u);
+  EXPECT_EQ(s.slice(3, 1).size(), 0u);
+  EXPECT_THROW(s.slice(4, 1), std::out_of_range);
+}
+
+TEST(TimeSeriesTest, DownsampleMean) {
+  const auto s = make({1.0, 3.0, 5.0, 7.0, 9.0});
+  const auto d = s.downsample_mean(2);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);  // trailing partial group
+  EXPECT_DOUBLE_EQ(d.dt(), 2.0);
+}
+
+TEST(TimeSeriesTest, DownsampleRejectsZero) {
+  EXPECT_THROW(make({1.0}).downsample_mean(0), std::invalid_argument);
+}
+
+TEST(TraceSetTest, AddEnforcesMatchingGrid) {
+  TraceSet set;
+  set.add({"a", 0, make({1.0, 2.0})});
+  EXPECT_THROW(set.add({"b", 0, make({1.0})}), std::invalid_argument);
+  EXPECT_THROW(set.add({"c", 0, make({1.0, 2.0}, 2.0)}), std::invalid_argument);
+}
+
+TEST(TraceSetTest, Aggregate) {
+  TraceSet set;
+  set.add({"a", 0, make({1.0, 2.0})});
+  set.add({"b", 1, make({3.0, 4.0})});
+  const auto agg = set.aggregate();
+  EXPECT_DOUBLE_EQ(agg[0], 4.0);
+  EXPECT_DOUBLE_EQ(agg[1], 6.0);
+  EXPECT_EQ(set.samples_per_trace(), 2u);
+}
+
+TEST(TraceSetTest, CsvRoundTrip) {
+  TraceSet set;
+  set.add({"vmA", 0, make({1.0, 2.5, 3.0}, 5.0)});
+  set.add({"vmB", 1, make({0.5, 0.25, 0.75}, 5.0)});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cava_traceset.csv").string();
+  set.save_csv(path);
+  const TraceSet loaded = TraceSet::load_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "vmA");
+  EXPECT_DOUBLE_EQ(loaded[0].series[1], 2.5);
+  EXPECT_DOUBLE_EQ(loaded.dt(), 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSetTest, EmptyBehaviour) {
+  TraceSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.samples_per_trace(), 0u);
+  EXPECT_DOUBLE_EQ(set.dt(), 1.0);
+}
+
+}  // namespace
+}  // namespace cava::trace

@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cava::util {
+namespace {
+
+TEST(SplitCsvLine, SingleField) {
+  const auto f = split_csv_line("hello");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "hello");
+}
+
+TEST(SplitCsvLine, MultipleFields) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(SplitCsvLine, EmptyFieldsPreserved) {
+  const auto f = split_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(ParseCsv, HeaderAndRows) {
+  const auto t = parse_csv("x,y\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][0], "3");
+}
+
+TEST(ParseCsv, SkipsBlankLinesAndCr) {
+  const auto t = parse_csv("x,y\r\n\r\n1,2\r\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(ParseCsv, NoTrailingNewline) {
+  const auto t = parse_csv("x\n7");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "7");
+}
+
+TEST(CsvTable, ColumnIndexThrowsOnUnknown) {
+  const auto t = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(t.column_index("y"), 1u);
+  EXPECT_THROW(t.column_index("z"), std::out_of_range);
+}
+
+TEST(CsvTable, NumericColumn) {
+  const auto t = parse_csv("a,b\n1.5,2\n-3,4\n");
+  const auto col = t.numeric_column("a");
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 1.5);
+  EXPECT_DOUBLE_EQ(col[1], -3.0);
+}
+
+TEST(CsvWriterTest, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_header({"u", "v"});
+  w.write_row(std::vector<double>{1.0, 2.5});
+  const auto t = parse_csv(out.str());
+  EXPECT_EQ(t.header[0], "u");
+  EXPECT_DOUBLE_EQ(t.numeric_column("v")[0], 2.5);
+}
+
+TEST(SaveLoadCsv, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cava_csv_test.csv").string();
+  save_csv(path, {"t", "u"}, {{0.0, 1.0, 2.0}, {5.0, 6.0, 7.0}});
+  const auto t = load_csv(path);
+  EXPECT_EQ(t.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.numeric_column("u")[2], 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(SaveCsv, RejectsRaggedColumns) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cava_csv_bad.csv").string();
+  EXPECT_THROW(save_csv(path, {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+               std::runtime_error);
+}
+
+TEST(SaveCsv, RejectsHeaderMismatch) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cava_csv_bad2.csv").string();
+  EXPECT_THROW(save_csv(path, {"a"}, {{1.0}, {2.0}}), std::runtime_error);
+}
+
+TEST(LoadCsv, MissingFileThrows) {
+  EXPECT_THROW(load_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cava::util

@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::util {
+namespace {
+
+FlagParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EmptyArgs) {
+  const auto f = parse({});
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_TRUE(f.positional().empty());
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  const auto f = parse({"--name=value"});
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_EQ(f.get_string("name", ""), "value");
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  const auto f = parse({"--count", "7"});
+  EXPECT_EQ(f.get_int("count", 0), 7);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const auto f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(FlagsTest, BooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(parse({"--x=maybe"}).get_bool("x"), std::invalid_argument);
+}
+
+TEST(FlagsTest, Doubles) {
+  const auto f = parse({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_THROW(parse({"--rate=abc"}).get_double("rate", 0.0),
+               std::invalid_argument);
+}
+
+TEST(FlagsTest, IntParsing) {
+  EXPECT_EQ(parse({"--n=-3"}).get_int("n", 0), -3);
+  EXPECT_THROW(parse({"--n=x"}).get_int("n", 0), std::invalid_argument);
+}
+
+TEST(FlagsTest, Positional) {
+  const auto f = parse({"input.csv", "--x=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, ValueStartingWithDashIsNotConsumed) {
+  // "--a --b" : --a is a bare flag, --b separate.
+  const auto f = parse({"--a", "--b"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_TRUE(f.has("b"));
+  EXPECT_EQ(f.get_string("a", "def"), "");
+}
+
+TEST(FlagsTest, MalformedFlagsThrow) {
+  EXPECT_THROW(parse({"---x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=v"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, RequireKnown) {
+  const auto f = parse({"--alpha=1", "--beta=2"});
+  EXPECT_NO_THROW(f.require_known({"alpha", "beta", "gamma"}));
+  EXPECT_THROW(f.require_known({"alpha"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const auto f = parse({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace cava::util

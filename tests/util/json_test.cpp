@@ -1,0 +1,92 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::util {
+namespace {
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::size_t{7}).dump(), "7");
+}
+
+TEST(JsonTest, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(Json(100.0).dump(), "100");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+}
+
+TEST(JsonTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, Arrays) {
+  Json a = Json::array({1, 2, 3});
+  EXPECT_EQ(a.dump(), "[1,2,3]");
+  a.push_back("x");
+  EXPECT_EQ(a.dump(), "[1,2,3,\"x\"]");
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json o = Json::object();
+  o["z"] = 1;
+  o["a"] = 2;
+  EXPECT_EQ(o.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonTest, ObjectOverwrite) {
+  Json o = Json::object();
+  o["k"] = 1;
+  o["k"] = 2;
+  EXPECT_EQ(o.dump(), "{\"k\":2}");
+  EXPECT_EQ(o.size(), 1u);
+}
+
+TEST(JsonTest, NullPromotesToObjectOnIndex) {
+  Json j;
+  j["x"] = 1;
+  EXPECT_TRUE(j.is_object());
+}
+
+TEST(JsonTest, TypeErrorsThrow) {
+  Json n(5);
+  EXPECT_THROW(n.push_back(1), std::logic_error);
+  EXPECT_THROW(n["k"], std::logic_error);
+  Json a = Json::array();
+  EXPECT_THROW(a["k"], std::logic_error);
+}
+
+TEST(JsonTest, Nesting) {
+  Json o = Json::object();
+  o["list"] = Json::array({Json::object(), 2});
+  o["nested"]["deep"] = true;
+  EXPECT_EQ(o.dump(), "{\"list\":[{},2],\"nested\":{\"deep\":true}}");
+}
+
+TEST(JsonTest, PrettyPrinting) {
+  Json o = Json::object();
+  o["a"] = Json::array({1});
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": [\n    1\n  ]\n}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cava::util

@@ -1,0 +1,193 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cava::util {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::vector<double> v{3.5};
+  EXPECT_EQ(percentile(v, 0.0), 3.5);
+  EXPECT_EQ(percentile(v, 100.0), 3.5);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  const std::vector<double> v{4.0, 2.0, 9.0, 7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 2.0);
+}
+
+TEST(Percentile, DoesNotMutateInput) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  percentile(v, 50.0);
+  EXPECT_EQ(v[0], 3.0);
+}
+
+TEST(SortedPercentile, MatchesPercentileOnSortedInput) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double p : {0.0, 10.0, 33.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(sorted_percentile(sorted, p), percentile(sorted, p));
+  }
+}
+
+TEST(Stats, MeanBasics) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> v{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, PopulationVariance) {
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(variance(v), 1.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 1.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{-2.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+  EXPECT_DOUBLE_EQ(min_value(v), -2.0);
+  EXPECT_EQ(max_value({}), 0.0);
+  EXPECT_EQ(min_value({}), 0.0);
+}
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputIsZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, MismatchedLengthsGiveZero) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, ThrowsOnTooFewSamples) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(fit_line(x, y), std::invalid_argument);
+}
+
+TEST(FitLine, VerticalDataFallsBackToMean) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Clamp, Basics) {
+  EXPECT_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(AlmostEqual, Tolerance) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.1));
+  EXPECT_TRUE(almost_equal(1.0, 1.05, 0.1));
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(4), 1.0);
+  EXPECT_EQ(h.count(2), 1.0);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(1), 1.0);
+}
+
+TEST(HistogramTest, WeightsAndFractions) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(1.0, 3.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 3.0);
+  EXPECT_EQ(h.bins(), 2u);
+}
+
+class PercentileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotone, PercentileIsMonotoneInP) {
+  const std::vector<double> v{5.0, 3.0, 8.0, 1.0, 9.0, 2.0, 7.0};
+  const double p = GetParam();
+  EXPECT_LE(percentile(v, p), percentile(v, p + 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotone,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 89.0));
+
+}  // namespace
+}  // namespace cava::util

@@ -1,0 +1,103 @@
+#include "util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::util {
+namespace {
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBufferTest, PushUntilFull) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+}
+
+TEST(RingBufferTest, OldestFirstIndexing) {
+  RingBuffer<int> rb(3);
+  rb.push(10);
+  rb.push(20);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 20);
+  EXPECT_EQ(rb.front(), 10);
+  EXPECT_EQ(rb.back(), 20);
+}
+
+TEST(RingBufferTest, EvictsOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBufferTest, OutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW(rb[1], std::out_of_range);
+  RingBuffer<int> empty(2);
+  EXPECT_THROW(empty.back(), std::out_of_range);
+  EXPECT_THROW(empty.front(), std::out_of_range);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb[0], 9);
+}
+
+TEST(RingBufferTest, ToVectorOrdersOldestFirst) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 7; ++i) rb.push(i);
+  const auto v = rb.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 4);
+  EXPECT_EQ(v[2], 6);
+}
+
+TEST(RingBufferTest, WorksWithNonTrivialTypes) {
+  RingBuffer<std::vector<int>> rb(2);
+  rb.push({1, 2});
+  rb.push({3});
+  rb.push({4, 5, 6});
+  EXPECT_EQ(rb[0].size(), 1u);
+  EXPECT_EQ(rb[1].size(), 3u);
+}
+
+class RingBufferWrap : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferWrap, RetainsLastCapacityElements) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  const std::size_t total = cap * 3 + 1;
+  for (std::size_t i = 0; i < total; ++i) rb.push(i);
+  ASSERT_EQ(rb.size(), cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(rb[i], total - cap + i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferWrap,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 100u));
+
+}  // namespace
+}  // namespace cava::util

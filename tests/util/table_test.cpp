@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cava::util {
+namespace {
+
+TEST(TextTableTest, FormatsDoubles) {
+  EXPECT_EQ(TextTable::format(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::format(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::format(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, PrintsHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "b"});
+  t.add_row({"longlonglong", "1"});
+  std::ostringstream out;
+  t.print(out);
+  // Header line must be padded at least as wide as the longest cell.
+  const std::string s = out.str();
+  const auto first_newline = s.find('\n');
+  EXPECT_GE(first_newline, std::string{"longlonglong"}.size());
+}
+
+TEST(TextTableTest, HandlesRowsWiderThanHeader) {
+  TextTable t({"only"});
+  t.add_row({"x", "extra"});
+  std::ostringstream out;
+  EXPECT_NO_THROW(t.print(out));
+  EXPECT_NE(out.str().find("extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cava::util

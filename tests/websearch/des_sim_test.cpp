@@ -1,0 +1,139 @@
+// Tests for the event-driven engine, including cross-validation against the
+// fluid processor-sharing engine and against M/M/c theory.
+#include "websearch/des_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+#include "websearch/experiment.h"
+#include "websearch/queueing.h"
+
+namespace cava::websearch {
+namespace {
+
+WebSearchConfig tiny_config() {
+  WebSearchConfig cfg;
+  trace::ClientWaveConfig wave;
+  wave.min_clients = 0.0;
+  wave.max_clients = 100.0;
+  wave.period_seconds = 120.0;
+  cfg.cluster_waves = {wave};
+  cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
+  cfg.num_servers = 1;
+  cfg.duration_seconds = 120.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(DesSim, ValidatesConfigLikeFluidEngine) {
+  WebSearchConfig cfg = tiny_config();
+  cfg.isns[0].server = 7;
+  EXPECT_THROW(EventDrivenWebSearchSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(DesSim, CompletesMostQueries) {
+  EventDrivenWebSearchSimulator sim(tiny_config());
+  const auto r = sim.run();
+  EXPECT_GT(r.queries_issued, 100u);
+  EXPECT_GT(static_cast<double>(r.queries_completed),
+            0.9 * static_cast<double>(r.queries_issued));
+}
+
+TEST(DesSim, ResponseTimesPositiveAndBounded) {
+  const auto r = EventDrivenWebSearchSimulator(tiny_config()).run();
+  ASSERT_FALSE(r.response_times[0].empty());
+  for (double t : r.response_times[0]) {
+    ASSERT_GT(t, 0.0);
+    ASSERT_LT(t, 120.0);
+  }
+}
+
+TEST(DesSim, DeterministicForSameSeed) {
+  const auto a = EventDrivenWebSearchSimulator(tiny_config()).run();
+  const auto b = EventDrivenWebSearchSimulator(tiny_config()).run();
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_DOUBLE_EQ(a.response_percentile(0, 90.0),
+                   b.response_percentile(0, 90.0));
+}
+
+TEST(DesSim, UtilizationTracksClientWave) {
+  WebSearchConfig cfg = tiny_config();
+  cfg.duration_seconds = 240.0;
+  const auto r = EventDrivenWebSearchSimulator(cfg).run();
+  const trace::TimeSeries wave = trace::client_wave(
+      cfg.cluster_waves[0], 1.0, r.vm_utilization.samples_per_trace());
+  EXPECT_GT(util::pearson(r.vm_utilization[0].series.samples(),
+                          wave.samples()),
+            0.5);
+}
+
+TEST(DesSim, ServerBusyFractionsWithinBounds) {
+  const auto r = EventDrivenWebSearchSimulator(tiny_config()).run();
+  ASSERT_EQ(r.server_busy_fraction.size(), 1u);
+  EXPECT_GT(r.server_busy_fraction[0], 0.0);
+  EXPECT_LE(r.server_busy_fraction[0], 1.0 + 1e-9);
+}
+
+TEST(DesSim, MatchesMmcTheoryUnderConstantExponentialLikeLoad) {
+  // One ISN capped at 4 cores, constant Poisson arrivals: an M/G/4 FCFS
+  // queue. With modest cv the M/M/4 mean response is a good reference.
+  WebSearchConfig cfg;
+  trace::ClientWaveConfig wave;
+  wave.min_clients = 200.0;
+  wave.max_clients = 200.0;
+  cfg.cluster_waves = {wave};
+  cfg.isns = {{"isn", 0, 0, 4.0, 1.0}};
+  cfg.num_servers = 1;
+  cfg.queries_per_client_per_sec = 0.1;  // lambda = 20/s
+  cfg.demand_mean_core_sec = 0.1;        // mu = 10/s per core, rho = 0.5
+  cfg.demand_cv = 1.0;                   // exponential-like variability
+  cfg.duration_seconds = 1500.0;
+  cfg.seed = 31;
+  const auto r = EventDrivenWebSearchSimulator(cfg).run();
+  double mean = 0.0;
+  for (double t : r.response_times[0]) mean += t;
+  mean /= static_cast<double>(r.response_times[0].size());
+  const double theory = mmc_mean_response(20.0, 10.0, 4);
+  EXPECT_NEAR(mean, theory, 0.25 * theory);
+}
+
+TEST(DesSimCrossValidation, EnginesAgreeOnPlacementOrdering) {
+  // The headline check: both engines rank the three Setup-1 placements the
+  // same way on 90th-percentile latency.
+  Setup1Options opt;
+  opt.duration_seconds = 600.0;
+  auto worst_p90 = [&](auto&& simulator) {
+    const auto r = simulator.run();
+    return std::max(r.response_percentile(0, 90.0),
+                    r.response_percentile(1, 90.0));
+  };
+  std::vector<double> fluid, des;
+  for (auto placement :
+       {Setup1Placement::kSegregated, Setup1Placement::kSharedUnCorr,
+        Setup1Placement::kSharedCorr}) {
+    const auto cfg = make_setup1_config(placement, opt);
+    fluid.push_back(worst_p90(WebSearchSimulator(cfg)));
+    des.push_back(worst_p90(EventDrivenWebSearchSimulator(cfg)));
+  }
+  // Same ordering: Segregated worst, Shared-Corr best.
+  EXPECT_GT(fluid[0], fluid[2]);
+  EXPECT_GT(des[0], des[2]);
+  EXPECT_GE(des[0], des[1] * 0.95);
+  EXPECT_GE(des[1], des[2] * 0.95);
+}
+
+TEST(DesSimCrossValidation, TailLatenciesWithinSmallFactor) {
+  // Absolute p90s from the two engines should be within ~2x of each other
+  // for the shared placements (different disciplines, same physics).
+  Setup1Options opt;
+  opt.duration_seconds = 600.0;
+  const auto cfg = make_setup1_config(Setup1Placement::kSharedCorr, opt);
+  const auto fluid = WebSearchSimulator(cfg).run();
+  const auto des = EventDrivenWebSearchSimulator(cfg).run();
+  const double a = fluid.response_percentile(0, 90.0);
+  const double b = des.response_percentile(0, 90.0);
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 2.0);
+}
+
+}  // namespace
+}  // namespace cava::websearch

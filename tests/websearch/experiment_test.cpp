@@ -1,0 +1,118 @@
+#include "websearch/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace cava::websearch {
+namespace {
+
+Setup1Options fast_options() {
+  Setup1Options opt;
+  opt.duration_seconds = 300.0;
+  return opt;
+}
+
+TEST(Setup1Config, Names) {
+  EXPECT_EQ(to_string(Setup1Placement::kSegregated), "Segregated");
+  EXPECT_EQ(to_string(Setup1Placement::kSharedUnCorr), "Shared-UnCorr");
+  EXPECT_EQ(to_string(Setup1Placement::kSharedCorr), "Shared-Corr");
+}
+
+TEST(Setup1Config, SegregatedPinsFourCores) {
+  const auto cfg =
+      make_setup1_config(Setup1Placement::kSegregated, fast_options());
+  ASSERT_EQ(cfg.isns.size(), 4u);
+  for (const auto& isn : cfg.isns) EXPECT_DOUBLE_EQ(isn.core_cap, 4.0);
+  // Same-cluster pairs share a server.
+  EXPECT_EQ(cfg.isns[0].server, cfg.isns[1].server);
+  EXPECT_EQ(cfg.isns[2].server, cfg.isns[3].server);
+  EXPECT_NE(cfg.isns[0].server, cfg.isns[2].server);
+}
+
+TEST(Setup1Config, SharedUnCorrSharesWithinCluster) {
+  const auto cfg =
+      make_setup1_config(Setup1Placement::kSharedUnCorr, fast_options());
+  for (const auto& isn : cfg.isns) EXPECT_DOUBLE_EQ(isn.core_cap, 8.0);
+  EXPECT_EQ(cfg.isns[0].server, cfg.isns[1].server);
+  EXPECT_EQ(cfg.isns[2].server, cfg.isns[3].server);
+}
+
+TEST(Setup1Config, SharedCorrCrossesClusters) {
+  const auto cfg =
+      make_setup1_config(Setup1Placement::kSharedCorr, fast_options());
+  // VM1,1 with VM2,1; VM1,2 with VM2,2.
+  EXPECT_EQ(cfg.isns[0].server, cfg.isns[2].server);
+  EXPECT_EQ(cfg.isns[1].server, cfg.isns[3].server);
+  EXPECT_NE(cfg.isns[0].server, cfg.isns[1].server);
+}
+
+TEST(Setup1Config, WavesAreSineAndCosine) {
+  const auto cfg =
+      make_setup1_config(Setup1Placement::kSegregated, fast_options());
+  ASSERT_EQ(cfg.cluster_waves.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.cluster_waves[0].phase_radians, 0.0);
+  EXPECT_NEAR(cfg.cluster_waves[1].phase_radians, 1.5707963, 1e-6);
+  EXPECT_DOUBLE_EQ(cfg.cluster_waves[0].max_clients, 300.0);
+}
+
+TEST(Setup1Config, FrequencyOptionPropagates) {
+  Setup1Options opt = fast_options();
+  opt.frequency_ghz = 1.9;
+  const auto cfg = make_setup1_config(Setup1Placement::kSharedCorr, opt);
+  ASSERT_EQ(cfg.server_freq_ghz.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.server_freq_ghz[0], 1.9);
+}
+
+TEST(Setup1Config, HotColdImbalanceAssignment) {
+  const auto cfg =
+      make_setup1_config(Setup1Placement::kSegregated, fast_options());
+  // VM1,2 and VM2,1 are the hot ISNs.
+  EXPECT_GT(cfg.isns[1].imbalance, 1.0);
+  EXPECT_GT(cfg.isns[2].imbalance, 1.0);
+  EXPECT_LT(cfg.isns[0].imbalance, 1.0);
+  EXPECT_LT(cfg.isns[3].imbalance, 1.0);
+}
+
+// The paper's Fig. 5 ordering, verified end-to-end on short runs:
+// Segregated > Shared-UnCorr > Shared-Corr in 90th-percentile latency.
+TEST(Setup1EndToEnd, ResponseTimeOrderingMatchesPaper) {
+  Setup1Options opt;
+  opt.duration_seconds = 600.0;
+  const auto seg = WebSearchSimulator(
+                       make_setup1_config(Setup1Placement::kSegregated, opt))
+                       .run();
+  const auto unc = WebSearchSimulator(
+                       make_setup1_config(Setup1Placement::kSharedUnCorr, opt))
+                       .run();
+  const auto cor = WebSearchSimulator(
+                       make_setup1_config(Setup1Placement::kSharedCorr, opt))
+                       .run();
+  const double p_seg = std::max(seg.response_percentile(0, 90.0),
+                                seg.response_percentile(1, 90.0));
+  const double p_unc = std::max(unc.response_percentile(0, 90.0),
+                                unc.response_percentile(1, 90.0));
+  const double p_cor = std::max(cor.response_percentile(0, 90.0),
+                                cor.response_percentile(1, 90.0));
+  EXPECT_GT(p_seg, p_unc);
+  EXPECT_GE(p_unc, p_cor * 0.999);
+}
+
+TEST(Setup1EndToEnd, SharedCorrFlattensServerPeaks) {
+  // Fig. 4: Shared-UnCorr server utilization peaks near saturation while
+  // Shared-Corr is flatter and lower.
+  Setup1Options opt;
+  opt.duration_seconds = 600.0;
+  const auto unc = WebSearchSimulator(
+                       make_setup1_config(Setup1Placement::kSharedUnCorr, opt))
+                       .run();
+  const auto cor = WebSearchSimulator(
+                       make_setup1_config(Setup1Placement::kSharedCorr, opt))
+                       .run();
+  const double peak_unc = std::max(unc.server_utilization[0].peak(),
+                                   unc.server_utilization[1].peak());
+  const double peak_cor = std::max(cor.server_utilization[0].peak(),
+                                   cor.server_utilization[1].peak());
+  EXPECT_LT(peak_cor, peak_unc);
+}
+
+}  // namespace
+}  // namespace cava::websearch

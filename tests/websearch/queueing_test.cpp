@@ -1,0 +1,150 @@
+#include "websearch/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "websearch/websearch_sim.h"
+
+namespace cava::websearch {
+namespace {
+
+TEST(Queueing, OfferedUtilization) {
+  EXPECT_DOUBLE_EQ(offered_utilization(4.0, 1.0, 8), 0.5);
+  EXPECT_THROW(offered_utilization(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(offered_utilization(1.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Queueing, ErlangCValidatesStability) {
+  EXPECT_THROW(erlang_c(8.0, 1.0, 8), std::invalid_argument);   // rho = 1
+  EXPECT_THROW(erlang_c(10.0, 1.0, 8), std::invalid_argument);  // rho > 1
+  EXPECT_THROW(erlang_c(-1.0, 1.0, 8), std::invalid_argument);
+}
+
+TEST(Queueing, ErlangCSingleServerEqualsRho) {
+  // For M/M/1 the waiting probability is exactly rho.
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(erlang_c(rho, 1.0, 1), rho, 1e-12) << rho;
+  }
+}
+
+TEST(Queueing, ErlangCKnownValue) {
+  // Classic tabulated case: c = 2, a = 1 Erlang (rho = 0.5) -> Pw = 1/3.
+  EXPECT_NEAR(erlang_c(1.0, 1.0, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Queueing, ErlangCDecreasesWithMoreServers) {
+  // Same per-server utilization, more servers -> less waiting (pooling).
+  const double pw2 = erlang_c(1.0, 1.0, 2);
+  const double pw4 = erlang_c(2.0, 1.0, 4);
+  const double pw8 = erlang_c(4.0, 1.0, 8);
+  EXPECT_GT(pw2, pw4);
+  EXPECT_GT(pw4, pw8);
+}
+
+TEST(Queueing, MeanWaitMatchesM_M_1ClosedForm) {
+  // M/M/1: W = rho / (mu - lambda).
+  const double lambda = 0.6, mu = 1.0;
+  EXPECT_NEAR(mmc_mean_wait(lambda, mu, 1),
+              lambda / (mu * (mu - lambda)), 1e-12);
+}
+
+TEST(Queueing, MeanResponseAddsService) {
+  const double lambda = 3.0, mu = 1.0;
+  EXPECT_NEAR(mmc_mean_response(lambda, mu, 8),
+              mmc_mean_wait(lambda, mu, 8) + 1.0, 1e-12);
+}
+
+TEST(Queueing, ResponsePercentileExactForM_M_1) {
+  const double lambda = 0.5, mu = 1.0;
+  // T ~ Exp(0.5): p90 = ln(10)/0.5.
+  EXPECT_NEAR(mmc_response_percentile(lambda, mu, 1, 90.0),
+              std::log(10.0) / 0.5, 1e-9);
+}
+
+TEST(Queueing, ResponsePercentileMonotoneInP) {
+  const double lambda = 5.0, mu = 1.0;
+  double prev = 0.0;
+  for (double p : {50.0, 75.0, 90.0, 95.0, 99.0}) {
+    const double t = mmc_response_percentile(lambda, mu, 8, p);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Queueing, ResponsePercentileRejectsBadP) {
+  EXPECT_THROW(mmc_response_percentile(1.0, 1.0, 2, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(mmc_response_percentile(1.0, 1.0, 2, 100.0),
+               std::invalid_argument);
+}
+
+TEST(Queueing, PercentileGrowsWithLoad) {
+  const double mu = 1.0;
+  EXPECT_LT(mmc_response_percentile(2.0, mu, 8, 90.0),
+            mmc_response_percentile(7.0, mu, 8, 90.0));
+}
+
+TEST(Queueing, Mg1PsBasics) {
+  EXPECT_DOUBLE_EQ(mg1ps_mean_response(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(mg1ps_mean_response(0.25, 2.0), 4.0);  // rho = 0.5
+  EXPECT_THROW(mg1ps_mean_response(0.5, 2.0), std::invalid_argument);
+  EXPECT_THROW(mg1ps_mean_response(0.1, 0.0), std::invalid_argument);
+}
+
+// Cross-validation: the fluid PS simulator under constant Poisson load must
+// approach the M/G/1-PS mean sojourn (insensitivity), using a single-ISN
+// cluster on a single-core-equivalent budget.
+TEST(QueueingCrossCheck, SimulatorMatchesPsTheoryAtModerateLoad) {
+  WebSearchConfig cfg;
+  trace::ClientWaveConfig wave;
+  wave.min_clients = 120.0;
+  wave.max_clients = 120.0;  // constant load
+  cfg.cluster_waves = {wave};
+  // One ISN capped at a single core: an M/G/1-PS station.
+  cfg.isns = {{"isn", 0, 0, 1.0, 1.0}};
+  cfg.num_servers = 1;
+  cfg.queries_per_client_per_sec = 0.05;  // lambda = 6 q/s
+  cfg.demand_mean_core_sec = 0.1;         // rho = 0.6
+  cfg.demand_cv = 0.8;                    // insensitivity: cv must not matter
+  cfg.duration_seconds = 2000.0;
+  cfg.step_seconds = 0.005;
+  cfg.seed = 21;
+  const auto r = WebSearchSimulator(cfg).run();
+  ASSERT_GT(r.response_times[0].size(), 5000u);
+  double mean = 0.0;
+  for (double t : r.response_times[0]) mean += t;
+  mean /= static_cast<double>(r.response_times[0].size());
+  const double expected = mg1ps_mean_response(6.0, 0.1);  // 0.25 s
+  EXPECT_NEAR(mean, expected, 0.20 * expected);
+}
+
+TEST(QueueingCrossCheck, InsensitivityToServiceVariability) {
+  // Two runs differing only in demand cv should have similar mean sojourn
+  // (the PS insensitivity property), within simulation noise.
+  auto run_with_cv = [](double cv) {
+    WebSearchConfig cfg;
+    trace::ClientWaveConfig wave;
+    wave.min_clients = 100.0;
+    wave.max_clients = 100.0;
+    cfg.cluster_waves = {wave};
+    cfg.isns = {{"isn", 0, 0, 1.0, 1.0}};
+    cfg.num_servers = 1;
+    cfg.queries_per_client_per_sec = 0.05;  // lambda = 5
+    cfg.demand_mean_core_sec = 0.1;         // rho = 0.5
+    cfg.demand_cv = cv;
+    cfg.duration_seconds = 1500.0;
+    cfg.step_seconds = 0.005;
+    cfg.seed = 22;
+    const auto r = WebSearchSimulator(cfg).run();
+    double mean = 0.0;
+    for (double t : r.response_times[0]) mean += t;
+    return mean / static_cast<double>(r.response_times[0].size());
+  };
+  const double low_cv = run_with_cv(0.2);
+  const double high_cv = run_with_cv(1.2);
+  EXPECT_NEAR(high_cv / low_cv, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace cava::websearch

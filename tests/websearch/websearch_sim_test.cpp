@@ -1,0 +1,164 @@
+#include "websearch/websearch_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace cava::websearch {
+namespace {
+
+WebSearchConfig tiny_config() {
+  WebSearchConfig cfg;
+  trace::ClientWaveConfig wave;
+  wave.min_clients = 0.0;
+  wave.max_clients = 100.0;
+  wave.period_seconds = 120.0;
+  cfg.cluster_waves = {wave};
+  cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
+  cfg.num_servers = 1;
+  cfg.duration_seconds = 120.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(WebSearchSim, ValidatesConfig) {
+  WebSearchConfig cfg = tiny_config();
+  cfg.cluster_waves.clear();
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.isns.clear();
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.isns[0].server = 7;
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.isns[0].cluster = 3;
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.server_freq_ghz = {2.0, 2.0, 2.0};
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+
+  cfg = tiny_config();
+  cfg.step_seconds = 0.0;
+  EXPECT_THROW(WebSearchSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(WebSearchSim, CompletesMostQueries) {
+  WebSearchSimulator sim(tiny_config());
+  const auto r = sim.run();
+  EXPECT_GT(r.queries_issued, 100u);
+  EXPECT_GT(static_cast<double>(r.queries_completed),
+            0.95 * static_cast<double>(r.queries_issued));
+}
+
+TEST(WebSearchSim, ResponseTimesArePositive) {
+  WebSearchSimulator sim(tiny_config());
+  const auto r = sim.run();
+  ASSERT_FALSE(r.response_times[0].empty());
+  for (double t : r.response_times[0]) {
+    ASSERT_GT(t, 0.0);
+    ASSERT_LT(t, 120.0);
+  }
+}
+
+TEST(WebSearchSim, UtilizationTracksClientWave) {
+  // Fig. 1: ISN CPU utilization is synchronized with the client count.
+  WebSearchConfig cfg = tiny_config();
+  cfg.duration_seconds = 240.0;
+  WebSearchSimulator sim(cfg);
+  const auto r = sim.run();
+  const auto& util = r.vm_utilization[0].series;
+  const trace::TimeSeries wave =
+      trace::client_wave(cfg.cluster_waves[0], 1.0, util.size());
+  const double corr =
+      util::pearson(util.samples(), wave.samples());
+  EXPECT_GT(corr, 0.6);
+}
+
+TEST(WebSearchSim, VmUtilizationRespectsCoreCap) {
+  WebSearchConfig cfg = tiny_config();
+  cfg.isns[0].core_cap = 2.0;
+  cfg.queries_per_client_per_sec = 2.0;  // overload
+  WebSearchSimulator sim(cfg);
+  const auto r = sim.run();
+  EXPECT_LE(r.vm_utilization[0].series.peak(), 2.0 + 1e-6);
+}
+
+TEST(WebSearchSim, ServerUtilizationNormalized) {
+  WebSearchSimulator sim(tiny_config());
+  const auto r = sim.run();
+  ASSERT_EQ(r.server_utilization.size(), 1u);
+  for (std::size_t i = 0; i < r.server_utilization[0].size(); ++i) {
+    ASSERT_GE(r.server_utilization[0][i], 0.0);
+    ASSERT_LE(r.server_utilization[0][i], 1.0 + 1e-6);
+  }
+  ASSERT_EQ(r.server_busy_fraction.size(), 1u);
+  EXPECT_GT(r.server_busy_fraction[0], 0.0);
+  EXPECT_LE(r.server_busy_fraction[0], 1.0);
+}
+
+TEST(WebSearchSim, LowerFrequencyRaisesResponseTime) {
+  WebSearchConfig hi = tiny_config();
+  hi.server_freq_ghz = {2.1};
+  WebSearchConfig lo = tiny_config();
+  lo.server_freq_ghz = {1.9};
+  const auto r_hi = WebSearchSimulator(hi).run();
+  const auto r_lo = WebSearchSimulator(lo).run();
+  EXPECT_GT(r_lo.response_percentile(0, 90.0),
+            r_hi.response_percentile(0, 90.0));
+}
+
+TEST(WebSearchSim, MoreCoresLowerTailLatency) {
+  WebSearchConfig narrow = tiny_config();
+  narrow.isns[0].core_cap = 2.0;
+  narrow.isns[1].core_cap = 2.0;
+  narrow.queries_per_client_per_sec = 0.8;
+  WebSearchConfig wide = narrow;
+  wide.isns[0].core_cap = 8.0;
+  wide.isns[1].core_cap = 8.0;
+  const auto r_narrow = WebSearchSimulator(narrow).run();
+  const auto r_wide = WebSearchSimulator(wide).run();
+  EXPECT_LT(r_wide.response_percentile(0, 90.0),
+            r_narrow.response_percentile(0, 90.0));
+}
+
+TEST(WebSearchSim, ImbalanceSkewsPerIsnUtilization) {
+  WebSearchConfig cfg = tiny_config();
+  cfg.isns[0].imbalance = 0.7;
+  cfg.isns[1].imbalance = 1.3;
+  WebSearchSimulator sim(cfg);
+  const auto r = sim.run();
+  EXPECT_LT(r.vm_utilization[0].series.mean(),
+            r.vm_utilization[1].series.mean());
+}
+
+TEST(WebSearchSim, DeterministicForSameSeed) {
+  const auto a = WebSearchSimulator(tiny_config()).run();
+  const auto b = WebSearchSimulator(tiny_config()).run();
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_DOUBLE_EQ(a.response_percentile(0, 90.0),
+                   b.response_percentile(0, 90.0));
+}
+
+TEST(WebSearchSim, ResponsePercentileOutOfRangeThrows) {
+  const auto r = WebSearchSimulator(tiny_config()).run();
+  EXPECT_THROW(r.response_percentile(5, 90.0), std::out_of_range);
+}
+
+TEST(WebSearchSim, QueryGatedBySlowestIsn) {
+  // A cluster with a crippled ISN (tiny core cap) has its response time set
+  // by that ISN even though the other is idle-fast.
+  WebSearchConfig cfg = tiny_config();
+  cfg.isns[1].core_cap = 0.25;
+  const auto slow = WebSearchSimulator(cfg).run();
+  const auto fast = WebSearchSimulator(tiny_config()).run();
+  EXPECT_GT(slow.response_percentile(0, 90.0),
+            2.0 * fast.response_percentile(0, 90.0));
+}
+
+}  // namespace
+}  // namespace cava::websearch

@@ -1,0 +1,96 @@
+// Workload-shape properties of the web-search engines: arrival-rate
+// fidelity, load scaling, and the structural facts the Setup-1 experiment
+// leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "websearch/websearch_sim.h"
+
+namespace cava::websearch {
+namespace {
+
+WebSearchConfig constant_load_config(double clients) {
+  WebSearchConfig cfg;
+  trace::ClientWaveConfig wave;
+  wave.min_clients = clients;
+  wave.max_clients = clients;
+  cfg.cluster_waves = {wave};
+  cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
+  cfg.num_servers = 1;
+  cfg.duration_seconds = 400.0;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(WorkloadShape, ArrivalCountMatchesRateLaw) {
+  // E[queries] = clients * rate_per_client * duration.
+  const auto cfg = constant_load_config(150.0);
+  const auto r = WebSearchSimulator(cfg).run();
+  const double expected =
+      150.0 * cfg.queries_per_client_per_sec * cfg.duration_seconds;
+  EXPECT_NEAR(static_cast<double>(r.queries_issued), expected,
+              4.0 * std::sqrt(expected));  // ~4 sigma Poisson band
+}
+
+TEST(WorkloadShape, ZeroClientsMeansNoQueries) {
+  const auto r = WebSearchSimulator(constant_load_config(0.0)).run();
+  EXPECT_EQ(r.queries_issued, 0u);
+  EXPECT_EQ(r.vm_utilization[0].series.peak(), 0.0);
+}
+
+TEST(WorkloadShape, UtilizationScalesLinearlyWithLoadWhenUnsaturated) {
+  const auto lo = WebSearchSimulator(constant_load_config(50.0)).run();
+  const auto hi = WebSearchSimulator(constant_load_config(100.0)).run();
+  const double mean_lo = lo.vm_utilization[0].series.mean();
+  const double mean_hi = hi.vm_utilization[0].series.mean();
+  EXPECT_NEAR(mean_hi / mean_lo, 2.0, 0.25);
+}
+
+TEST(WorkloadShape, MeanUtilizationMatchesOfferedLoad) {
+  // Per ISN: rho_cores = lambda * demand_mean (utilization law).
+  const auto cfg = constant_load_config(100.0);
+  const auto r = WebSearchSimulator(cfg).run();
+  const double lambda = 100.0 * cfg.queries_per_client_per_sec;
+  const double expected = lambda * cfg.demand_mean_core_sec;
+  EXPECT_NEAR(r.vm_utilization[0].series.mean(), expected, 0.15 * expected);
+}
+
+TEST(WorkloadShape, EveryQuerySpawnsOneTaskPerIsn) {
+  // With three ISNs in the cluster, total per-ISN work triples while the
+  // per-query response is gated by the slowest of the three.
+  WebSearchConfig cfg = constant_load_config(80.0);
+  cfg.isns.push_back({"isn2", 0, 0, 8.0, 1.0});
+  const auto r = WebSearchSimulator(cfg).run();
+  // All three ISNs see (statistically) the same utilization.
+  const double u0 = r.vm_utilization[0].series.mean();
+  const double u2 = r.vm_utilization[2].series.mean();
+  EXPECT_NEAR(u2 / u0, 1.0, 0.1);
+}
+
+TEST(WorkloadShape, MoreIsnsRaiseTailViaMaxGating) {
+  // max over k i.i.d. task latencies grows with k: a wider fan-out cluster
+  // has a heavier query tail at the same per-ISN load.
+  WebSearchConfig narrow = constant_load_config(60.0);
+  WebSearchConfig wide = constant_load_config(60.0);
+  wide.isns.push_back({"isn2", 0, 0, 8.0, 1.0});
+  wide.isns.push_back({"isn3", 0, 0, 8.0, 1.0});
+  const auto r_narrow = WebSearchSimulator(narrow).run();
+  const auto r_wide = WebSearchSimulator(wide).run();
+  EXPECT_GE(r_wide.response_percentile(0, 90.0),
+            r_narrow.response_percentile(0, 90.0) * 0.95);
+}
+
+TEST(WorkloadShape, SeedChangesRealizationNotRegime) {
+  WebSearchConfig a = constant_load_config(90.0);
+  WebSearchConfig b = a;
+  b.seed = a.seed + 1;
+  const auto ra = WebSearchSimulator(a).run();
+  const auto rb = WebSearchSimulator(b).run();
+  EXPECT_NE(ra.queries_issued, rb.queries_issued);
+  EXPECT_NEAR(ra.vm_utilization[0].series.mean(),
+              rb.vm_utilization[0].series.mean(), 0.15);
+}
+
+}  // namespace
+}  // namespace cava::websearch

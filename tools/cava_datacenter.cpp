@@ -1,0 +1,182 @@
+// cava_datacenter — command-line front end to the datacenter simulator.
+//
+// Runs one or more placement policies over a utilization trace population
+// (loaded from CSV or synthesized) and reports energy, QoS violations,
+// server usage and migrations; optionally dumps full results as JSON.
+//
+// Examples:
+//   # paper Setup-2 defaults, all policies, static v/f
+//   cava_datacenter --policy all
+//
+//   # your own traces, proposed policy, dynamic v/f, JSON export
+//   cava_datacenter --trace-in traces.csv --policy proposed
+//                   --vf dynamic --json-out result.json
+//
+//   # synthesize and save a trace population for later runs
+//   cava_datacenter --vms 24 --groups 6 --trace-out traces.csv --policy bfd
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/effective_sizing.h"
+#include "alloc/ffd.h"
+#include "alloc/migration.h"
+#include "alloc/pcp.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "sim/report.h"
+#include "trace/synthesis.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace cava;
+
+constexpr const char* kUsage = R"(cava_datacenter [flags]
+
+Trace source (default: synthesize the paper's Setup-2 population):
+  --trace-in FILE     load traces from CSV (t + one column per VM)
+  --trace-out FILE    save the (synthesized) traces to CSV
+  --vms N             synthesized VM count            [40]
+  --groups N          synthesized service groups      [4]
+  --hours H           synthesized duration in hours   [24]
+  --seed S            synthesis seed                  [3]
+
+Simulation:
+  --policy P          ffd | bfd | pcp | effsize | proposed | all [all]
+  --vf MODE           fmax | worst-case | eqn4 | dynamic | oracle [matched]
+                      ("matched": worst-case for baselines, eqn4 for proposed)
+  --sticky            wrap the policy in StickyPlacement (fewer migrations)
+  --servers N         server count                    [20]
+  --period-min M      placement period, minutes       [60]
+  --predictor NAME    last-value | moving-average | ewma | ar1 [last-value]
+  --migration-joules J  energy per migrated core      [0]
+
+Output:
+  --json-out FILE     write full results as JSON
+  --help              this text
+)";
+
+std::unique_ptr<alloc::PlacementPolicy> make_policy(const std::string& name,
+                                                    bool sticky) {
+  std::unique_ptr<alloc::PlacementPolicy> policy;
+  if (name == "ffd") {
+    policy = std::make_unique<alloc::FirstFitDecreasing>();
+  } else if (name == "bfd") {
+    policy = std::make_unique<alloc::BestFitDecreasing>();
+  } else if (name == "pcp") {
+    policy = std::make_unique<alloc::PeakClusteringPlacement>();
+  } else if (name == "effsize") {
+    policy = std::make_unique<alloc::EffectiveSizingPlacement>();
+  } else if (name == "proposed") {
+    policy = std::make_unique<alloc::CorrelationAwarePlacement>();
+  } else {
+    throw std::invalid_argument("unknown policy '" + name + "'");
+  }
+  if (sticky) {
+    policy = std::make_unique<alloc::StickyPlacement>(std::move(policy),
+                                                      alloc::StickyConfig{});
+  }
+  return policy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::FlagParser flags(argc, argv);
+    flags.require_known({"trace-in", "trace-out", "vms", "groups", "hours",
+                         "seed", "policy", "vf", "sticky", "servers",
+                         "period-min", "predictor", "migration-joules",
+                         "json-out", "help"});
+    if (flags.get_bool("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+
+    // ---- Traces. ----
+    trace::TraceSet traces;
+    if (flags.has("trace-in")) {
+      traces = trace::TraceSet::load_csv(flags.get_string("trace-in", ""));
+    } else {
+      trace::DatacenterTraceConfig tcfg;
+      tcfg.num_vms = static_cast<int>(flags.get_int("vms", 40));
+      tcfg.num_groups = static_cast<int>(flags.get_int("groups", 4));
+      tcfg.day_seconds = 3600.0 * flags.get_double("hours", 24.0);
+      tcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+      traces = trace::generate_datacenter_traces(tcfg);
+    }
+    if (flags.has("trace-out")) {
+      traces.save_csv(flags.get_string("trace-out", ""));
+    }
+    std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces.size(),
+                traces.samples_per_trace(), traces.dt());
+
+    // ---- Simulator configuration. ----
+    sim::SimConfig cfg;
+    cfg.max_servers = static_cast<std::size_t>(flags.get_int("servers", 20));
+    cfg.period_seconds = 60.0 * flags.get_double("period-min", 60.0);
+    cfg.predictor = flags.get_string("predictor", "last-value");
+    cfg.migration_energy_joules_per_core =
+        flags.get_double("migration-joules", 0.0);
+
+    const std::string vf = flags.get_string("vf", "matched");
+    if (vf == "dynamic") {
+      cfg.vf_mode = sim::VfMode::kDynamic;
+    } else if (vf == "fmax") {
+      cfg.vf_mode = sim::VfMode::kNone;
+    } else if (vf == "oracle") {
+      cfg.vf_mode = sim::VfMode::kOracleStatic;
+    } else {
+      cfg.vf_mode = sim::VfMode::kStatic;
+    }
+    const sim::DatacenterSimulator simulator(cfg);
+
+    // ---- Policies to run. ----
+    const std::string which = flags.get_string("policy", "all");
+    std::vector<std::string> names;
+    if (which == "all") {
+      names = {"ffd", "bfd", "pcp", "effsize", "proposed"};
+    } else {
+      names = {which};
+    }
+
+    std::vector<sim::SimResult> results;
+    for (const std::string& name : names) {
+      auto policy = make_policy(name, flags.get_bool("sticky"));
+      std::unique_ptr<dvfs::VfPolicy> static_policy;
+      if (cfg.vf_mode == sim::VfMode::kStatic) {
+        if (vf == "eqn4" || (vf == "matched" && name == "proposed")) {
+          static_policy = std::make_unique<dvfs::CorrelationAwareVf>();
+        } else {
+          static_policy = std::make_unique<dvfs::WorstCaseVf>();
+        }
+      }
+      results.push_back(simulator.run(traces, *policy, static_policy.get()));
+      std::puts(sim::summary_line(results.back()).c_str());
+    }
+
+    std::printf("\n");
+    sim::print_comparison(results, std::cout);
+
+    if (flags.has("json-out")) {
+      util::Json j = util::Json::object();
+      j["comparison"] = sim::comparison_json(results);
+      util::Json runs = util::Json::array();
+      for (const auto& r : results) runs.push_back(sim::to_json(r));
+      j["runs"] = std::move(runs);
+      std::ofstream out(flags.get_string("json-out", ""));
+      if (!out) throw std::runtime_error("cannot open --json-out file");
+      out << j.dump(2) << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), kUsage);
+    return 1;
+  }
+}
