@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cost_vs_slowdown.dir/bench_fig3_cost_vs_slowdown.cpp.o"
+  "CMakeFiles/bench_fig3_cost_vs_slowdown.dir/bench_fig3_cost_vs_slowdown.cpp.o.d"
+  "bench_fig3_cost_vs_slowdown"
+  "bench_fig3_cost_vs_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cost_vs_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placements.dir/bench_fig4_placements.cpp.o"
+  "CMakeFiles/bench_fig4_placements.dir/bench_fig4_placements.cpp.o.d"
+  "bench_fig4_placements"
+  "bench_fig4_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

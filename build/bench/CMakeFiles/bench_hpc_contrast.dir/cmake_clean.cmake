@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpc_contrast.dir/bench_hpc_contrast.cpp.o"
+  "CMakeFiles/bench_hpc_contrast.dir/bench_hpc_contrast.cpp.o.d"
+  "bench_hpc_contrast"
+  "bench_hpc_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpc_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

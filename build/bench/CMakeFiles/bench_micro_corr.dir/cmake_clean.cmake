@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_corr.dir/bench_micro_corr.cpp.o"
+  "CMakeFiles/bench_micro_corr.dir/bench_micro_corr.cpp.o.d"
+  "bench_micro_corr"
+  "bench_micro_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

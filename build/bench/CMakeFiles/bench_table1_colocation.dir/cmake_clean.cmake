@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_colocation.dir/bench_table1_colocation.cpp.o"
+  "CMakeFiles/bench_table1_colocation.dir/bench_table1_colocation.cpp.o.d"
+  "bench_table1_colocation"
+  "bench_table1_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_energy.dir/facility_energy.cpp.o"
+  "CMakeFiles/facility_energy.dir/facility_energy.cpp.o.d"
+  "facility_energy"
+  "facility_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_consolidation.dir/websearch_consolidation.cpp.o"
+  "CMakeFiles/websearch_consolidation.dir/websearch_consolidation.cpp.o.d"
+  "websearch_consolidation"
+  "websearch_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

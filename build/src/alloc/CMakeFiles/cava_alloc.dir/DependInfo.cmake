@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/bfd.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/bfd.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/bfd.cpp.o.d"
+  "/root/repo/src/alloc/correlation_aware.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/correlation_aware.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/correlation_aware.cpp.o.d"
+  "/root/repo/src/alloc/effective_sizing.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/effective_sizing.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/effective_sizing.cpp.o.d"
+  "/root/repo/src/alloc/ffd.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/ffd.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/ffd.cpp.o.d"
+  "/root/repo/src/alloc/migration.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/migration.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/migration.cpp.o.d"
+  "/root/repo/src/alloc/pcp.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/pcp.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/pcp.cpp.o.d"
+  "/root/repo/src/alloc/placement.cpp" "src/alloc/CMakeFiles/cava_alloc.dir/placement.cpp.o" "gcc" "src/alloc/CMakeFiles/cava_alloc.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corr/CMakeFiles/cava_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cava_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cava_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_alloc.dir/bfd.cpp.o"
+  "CMakeFiles/cava_alloc.dir/bfd.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/correlation_aware.cpp.o"
+  "CMakeFiles/cava_alloc.dir/correlation_aware.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/effective_sizing.cpp.o"
+  "CMakeFiles/cava_alloc.dir/effective_sizing.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/ffd.cpp.o"
+  "CMakeFiles/cava_alloc.dir/ffd.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/migration.cpp.o"
+  "CMakeFiles/cava_alloc.dir/migration.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/pcp.cpp.o"
+  "CMakeFiles/cava_alloc.dir/pcp.cpp.o.d"
+  "CMakeFiles/cava_alloc.dir/placement.cpp.o"
+  "CMakeFiles/cava_alloc.dir/placement.cpp.o.d"
+  "libcava_alloc.a"
+  "libcava_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/cava_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/cava_cachesim.dir/corun.cpp.o"
+  "CMakeFiles/cava_cachesim.dir/corun.cpp.o.d"
+  "CMakeFiles/cava_cachesim.dir/streams.cpp.o"
+  "CMakeFiles/cava_cachesim.dir/streams.cpp.o.d"
+  "libcava_cachesim.a"
+  "libcava_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcava_cachesim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corr/cost_matrix.cpp" "src/corr/CMakeFiles/cava_corr.dir/cost_matrix.cpp.o" "gcc" "src/corr/CMakeFiles/cava_corr.dir/cost_matrix.cpp.o.d"
+  "/root/repo/src/corr/envelope.cpp" "src/corr/CMakeFiles/cava_corr.dir/envelope.cpp.o" "gcc" "src/corr/CMakeFiles/cava_corr.dir/envelope.cpp.o.d"
+  "/root/repo/src/corr/moments.cpp" "src/corr/CMakeFiles/cava_corr.dir/moments.cpp.o" "gcc" "src/corr/CMakeFiles/cava_corr.dir/moments.cpp.o.d"
+  "/root/repo/src/corr/peak_cost.cpp" "src/corr/CMakeFiles/cava_corr.dir/peak_cost.cpp.o" "gcc" "src/corr/CMakeFiles/cava_corr.dir/peak_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cava_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

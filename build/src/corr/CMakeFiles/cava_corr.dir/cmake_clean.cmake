@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_corr.dir/cost_matrix.cpp.o"
+  "CMakeFiles/cava_corr.dir/cost_matrix.cpp.o.d"
+  "CMakeFiles/cava_corr.dir/envelope.cpp.o"
+  "CMakeFiles/cava_corr.dir/envelope.cpp.o.d"
+  "CMakeFiles/cava_corr.dir/moments.cpp.o"
+  "CMakeFiles/cava_corr.dir/moments.cpp.o.d"
+  "CMakeFiles/cava_corr.dir/peak_cost.cpp.o"
+  "CMakeFiles/cava_corr.dir/peak_cost.cpp.o.d"
+  "libcava_corr.a"
+  "libcava_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

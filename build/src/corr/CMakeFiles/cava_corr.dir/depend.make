@@ -1,0 +1,2 @@
+# Empty dependencies file for cava_corr.
+# This may be replaced when dependencies are built.

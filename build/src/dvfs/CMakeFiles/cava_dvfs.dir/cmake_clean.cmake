@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_dvfs.dir/vf_policy.cpp.o"
+  "CMakeFiles/cava_dvfs.dir/vf_policy.cpp.o.d"
+  "libcava_dvfs.a"
+  "libcava_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

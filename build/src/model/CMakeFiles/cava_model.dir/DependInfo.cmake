@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cooling.cpp" "src/model/CMakeFiles/cava_model.dir/cooling.cpp.o" "gcc" "src/model/CMakeFiles/cava_model.dir/cooling.cpp.o.d"
+  "/root/repo/src/model/power.cpp" "src/model/CMakeFiles/cava_model.dir/power.cpp.o" "gcc" "src/model/CMakeFiles/cava_model.dir/power.cpp.o.d"
+  "/root/repo/src/model/server.cpp" "src/model/CMakeFiles/cava_model.dir/server.cpp.o" "gcc" "src/model/CMakeFiles/cava_model.dir/server.cpp.o.d"
+  "/root/repo/src/model/vm.cpp" "src/model/CMakeFiles/cava_model.dir/vm.cpp.o" "gcc" "src/model/CMakeFiles/cava_model.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cava_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

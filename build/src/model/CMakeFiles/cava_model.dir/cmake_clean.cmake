@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_model.dir/cooling.cpp.o"
+  "CMakeFiles/cava_model.dir/cooling.cpp.o.d"
+  "CMakeFiles/cava_model.dir/power.cpp.o"
+  "CMakeFiles/cava_model.dir/power.cpp.o.d"
+  "CMakeFiles/cava_model.dir/server.cpp.o"
+  "CMakeFiles/cava_model.dir/server.cpp.o.d"
+  "CMakeFiles/cava_model.dir/vm.cpp.o"
+  "CMakeFiles/cava_model.dir/vm.cpp.o.d"
+  "libcava_model.a"
+  "libcava_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_sim.dir/datacenter_sim.cpp.o"
+  "CMakeFiles/cava_sim.dir/datacenter_sim.cpp.o.d"
+  "CMakeFiles/cava_sim.dir/report.cpp.o"
+  "CMakeFiles/cava_sim.dir/report.cpp.o.d"
+  "libcava_sim.a"
+  "libcava_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/predictor.cpp" "src/trace/CMakeFiles/cava_trace.dir/predictor.cpp.o" "gcc" "src/trace/CMakeFiles/cava_trace.dir/predictor.cpp.o.d"
+  "/root/repo/src/trace/reference.cpp" "src/trace/CMakeFiles/cava_trace.dir/reference.cpp.o" "gcc" "src/trace/CMakeFiles/cava_trace.dir/reference.cpp.o.d"
+  "/root/repo/src/trace/streaming_stats.cpp" "src/trace/CMakeFiles/cava_trace.dir/streaming_stats.cpp.o" "gcc" "src/trace/CMakeFiles/cava_trace.dir/streaming_stats.cpp.o.d"
+  "/root/repo/src/trace/synthesis.cpp" "src/trace/CMakeFiles/cava_trace.dir/synthesis.cpp.o" "gcc" "src/trace/CMakeFiles/cava_trace.dir/synthesis.cpp.o.d"
+  "/root/repo/src/trace/time_series.cpp" "src/trace/CMakeFiles/cava_trace.dir/time_series.cpp.o" "gcc" "src/trace/CMakeFiles/cava_trace.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

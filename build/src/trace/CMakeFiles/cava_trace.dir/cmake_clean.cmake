@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_trace.dir/predictor.cpp.o"
+  "CMakeFiles/cava_trace.dir/predictor.cpp.o.d"
+  "CMakeFiles/cava_trace.dir/reference.cpp.o"
+  "CMakeFiles/cava_trace.dir/reference.cpp.o.d"
+  "CMakeFiles/cava_trace.dir/streaming_stats.cpp.o"
+  "CMakeFiles/cava_trace.dir/streaming_stats.cpp.o.d"
+  "CMakeFiles/cava_trace.dir/synthesis.cpp.o"
+  "CMakeFiles/cava_trace.dir/synthesis.cpp.o.d"
+  "CMakeFiles/cava_trace.dir/time_series.cpp.o"
+  "CMakeFiles/cava_trace.dir/time_series.cpp.o.d"
+  "libcava_trace.a"
+  "libcava_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_util.dir/csv.cpp.o"
+  "CMakeFiles/cava_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cava_util.dir/flags.cpp.o"
+  "CMakeFiles/cava_util.dir/flags.cpp.o.d"
+  "CMakeFiles/cava_util.dir/json.cpp.o"
+  "CMakeFiles/cava_util.dir/json.cpp.o.d"
+  "CMakeFiles/cava_util.dir/math_util.cpp.o"
+  "CMakeFiles/cava_util.dir/math_util.cpp.o.d"
+  "CMakeFiles/cava_util.dir/rng.cpp.o"
+  "CMakeFiles/cava_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cava_util.dir/table.cpp.o"
+  "CMakeFiles/cava_util.dir/table.cpp.o.d"
+  "libcava_util.a"
+  "libcava_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

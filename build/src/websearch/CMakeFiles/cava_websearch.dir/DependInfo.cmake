@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/websearch/des_sim.cpp" "src/websearch/CMakeFiles/cava_websearch.dir/des_sim.cpp.o" "gcc" "src/websearch/CMakeFiles/cava_websearch.dir/des_sim.cpp.o.d"
+  "/root/repo/src/websearch/experiment.cpp" "src/websearch/CMakeFiles/cava_websearch.dir/experiment.cpp.o" "gcc" "src/websearch/CMakeFiles/cava_websearch.dir/experiment.cpp.o.d"
+  "/root/repo/src/websearch/queueing.cpp" "src/websearch/CMakeFiles/cava_websearch.dir/queueing.cpp.o" "gcc" "src/websearch/CMakeFiles/cava_websearch.dir/queueing.cpp.o.d"
+  "/root/repo/src/websearch/websearch_sim.cpp" "src/websearch/CMakeFiles/cava_websearch.dir/websearch_sim.cpp.o" "gcc" "src/websearch/CMakeFiles/cava_websearch.dir/websearch_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cava_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cava_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

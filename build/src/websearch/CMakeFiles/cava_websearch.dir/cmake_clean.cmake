@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_websearch.dir/des_sim.cpp.o"
+  "CMakeFiles/cava_websearch.dir/des_sim.cpp.o.d"
+  "CMakeFiles/cava_websearch.dir/experiment.cpp.o"
+  "CMakeFiles/cava_websearch.dir/experiment.cpp.o.d"
+  "CMakeFiles/cava_websearch.dir/queueing.cpp.o"
+  "CMakeFiles/cava_websearch.dir/queueing.cpp.o.d"
+  "CMakeFiles/cava_websearch.dir/websearch_sim.cpp.o"
+  "CMakeFiles/cava_websearch.dir/websearch_sim.cpp.o.d"
+  "libcava_websearch.a"
+  "libcava_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc.dir/alloc/adversarial_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/adversarial_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/correlation_aware_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/correlation_aware_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/effective_sizing_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/effective_sizing_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/heuristics_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/heuristics_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/migration_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/migration_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/pcp_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/pcp_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/placement_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/placement_test.cpp.o.d"
+  "test_alloc"
+  "test_alloc.pdb"
+  "test_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corr.dir/corr/cost_matrix_test.cpp.o"
+  "CMakeFiles/test_corr.dir/corr/cost_matrix_test.cpp.o.d"
+  "CMakeFiles/test_corr.dir/corr/envelope_test.cpp.o"
+  "CMakeFiles/test_corr.dir/corr/envelope_test.cpp.o.d"
+  "CMakeFiles/test_corr.dir/corr/moments_test.cpp.o"
+  "CMakeFiles/test_corr.dir/corr/moments_test.cpp.o.d"
+  "CMakeFiles/test_corr.dir/corr/peak_cost_test.cpp.o"
+  "CMakeFiles/test_corr.dir/corr/peak_cost_test.cpp.o.d"
+  "CMakeFiles/test_corr.dir/corr/property_test.cpp.o"
+  "CMakeFiles/test_corr.dir/corr/property_test.cpp.o.d"
+  "test_corr"
+  "test_corr.pdb"
+  "test_corr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

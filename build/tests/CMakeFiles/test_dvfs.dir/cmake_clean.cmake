@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvfs.dir/dvfs/ladder_sweep_test.cpp.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/ladder_sweep_test.cpp.o.d"
+  "CMakeFiles/test_dvfs.dir/dvfs/vf_policy_test.cpp.o"
+  "CMakeFiles/test_dvfs.dir/dvfs/vf_policy_test.cpp.o.d"
+  "test_dvfs"
+  "test_dvfs.pdb"
+  "test_dvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/predictor_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/predictor_test.cpp.o.d"
+  "/root/repo/tests/trace/reference_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/reference_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/reference_test.cpp.o.d"
+  "/root/repo/tests/trace/streaming_stats_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/streaming_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/streaming_stats_test.cpp.o.d"
+  "/root/repo/tests/trace/synthesis_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/synthesis_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/synthesis_test.cpp.o.d"
+  "/root/repo/tests/trace/time_series_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/time_series_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/time_series_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cava_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/websearch/CMakeFiles/cava_websearch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/cava_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/cava_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/cava_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/corr/CMakeFiles/cava_corr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cava_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cava_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cava_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

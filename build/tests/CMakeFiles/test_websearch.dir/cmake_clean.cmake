@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_websearch.dir/websearch/des_sim_test.cpp.o"
+  "CMakeFiles/test_websearch.dir/websearch/des_sim_test.cpp.o.d"
+  "CMakeFiles/test_websearch.dir/websearch/experiment_test.cpp.o"
+  "CMakeFiles/test_websearch.dir/websearch/experiment_test.cpp.o.d"
+  "CMakeFiles/test_websearch.dir/websearch/queueing_test.cpp.o"
+  "CMakeFiles/test_websearch.dir/websearch/queueing_test.cpp.o.d"
+  "CMakeFiles/test_websearch.dir/websearch/websearch_sim_test.cpp.o"
+  "CMakeFiles/test_websearch.dir/websearch/websearch_sim_test.cpp.o.d"
+  "CMakeFiles/test_websearch.dir/websearch/workload_shape_test.cpp.o"
+  "CMakeFiles/test_websearch.dir/websearch/workload_shape_test.cpp.o.d"
+  "test_websearch"
+  "test_websearch.pdb"
+  "test_websearch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

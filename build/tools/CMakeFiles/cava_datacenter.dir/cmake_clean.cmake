@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cava_datacenter.dir/cava_datacenter.cpp.o"
+  "CMakeFiles/cava_datacenter.dir/cava_datacenter.cpp.o.d"
+  "cava_datacenter"
+  "cava_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cava_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
