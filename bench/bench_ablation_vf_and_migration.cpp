@@ -10,6 +10,9 @@
 //     hour and never prices the implied live migrations. Wrapping the
 //     policies in StickyPlacement shows the migration-count vs.
 //     energy/QoS trade, with migration energy charged explicitly.
+//
+// Both ablations are independent grid points, so the whole bench is a single
+// eight-job SweepRunner batch.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -18,7 +21,7 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/migration.h"
 #include "dvfs/vf_policy.h"
-#include "sim/datacenter_sim.h"
+#include "sim/sweep.h"
 #include "trace/synthesis.h"
 #include "util/table.h"
 
@@ -33,50 +36,64 @@ sim::SimConfig base_config(sim::VfMode mode) {
   return cfg;
 }
 
+sim::PolicyFactory proposed_placement() {
+  return [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); };
+}
+
+sim::PolicyFactory sticky_proposed(std::size_t refresh) {
+  return [refresh] {
+    alloc::StickyConfig scfg;
+    scfg.refresh_every = refresh;
+    return std::make_unique<alloc::StickyPlacement>(
+        std::make_unique<alloc::CorrelationAwarePlacement>(), scfg);
+  };
+}
+
 }  // namespace
 
 int main() {
-  const trace::TraceSet traces =
-      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{});
+  const auto traces = std::make_shared<const trace::TraceSet>(
+      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{}));
 
-  // ---- A: v/f rule ablation under the proposed placement. ----
+  sim::SimConfig mig_cfg = base_config(sim::VfMode::kStatic);
+  // ~100 J per migrated fmax-core: a few seconds of pre-copy at full tilt.
+  mig_cfg.migration_energy_joules_per_core = 100.0;
+
+  sim::SweepRunner runner;
+  // ---- A: v/f rule ablation under the proposed placement (jobs 0-3). ----
+  runner
+      .add({"worst-case (sum of u^)", base_config(sim::VfMode::kStatic),
+            traces, proposed_placement(),
+            [] { return std::make_unique<dvfs::WorstCaseVf>(); }})
+      .add({"Eqn. 4 (cost-discounted)", base_config(sim::VfMode::kStatic),
+            traces, proposed_placement(),
+            [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }})
+      .add({"oracle static (perfect foresight)",
+            base_config(sim::VfMode::kOracleStatic), traces,
+            proposed_placement(), nullptr})
+      .add({"always fmax", base_config(sim::VfMode::kNone), traces,
+            proposed_placement(), nullptr});
+  // ---- B: migration/stability ablation (jobs 4-7). ----
+  runner
+      .add({"BFD", mig_cfg, traces,
+            [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+            [] { return std::make_unique<dvfs::WorstCaseVf>(); }})
+      .add({"Proposed", mig_cfg, traces, proposed_placement(),
+            [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }})
+      .add({"Sticky(Proposed) refresh=4", mig_cfg, traces, sticky_proposed(4),
+            [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }})
+      .add({"Sticky(Proposed) refresh=12", mig_cfg, traces, sticky_proposed(12),
+            [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }});
+  const auto records = runner.run_all();
+
   std::cout << "=== Ablation A: v/f rule (correlation-aware placement held "
                "fixed) ===\n\n";
   util::TextTable vf_table(
       {"v/f rule", "normalized power", "max violations (%)"});
-  double base_energy = 0.0;
-  {
-    alloc::CorrelationAwarePlacement placement;
-    dvfs::WorstCaseVf worst;
-    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kStatic))
-                       .run(traces, placement, &worst);
-    base_energy = r.total_energy_joules;
-    vf_table.add_row("worst-case (sum of u^)",
-                     {1.0, 100.0 * r.max_violation_ratio});
-  }
-  {
-    alloc::CorrelationAwarePlacement placement;
-    dvfs::CorrelationAwareVf eqn4;
-    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kStatic))
-                       .run(traces, placement, &eqn4);
-    vf_table.add_row("Eqn. 4 (cost-discounted)",
-                     {r.total_energy_joules / base_energy,
-                      100.0 * r.max_violation_ratio});
-  }
-  {
-    alloc::CorrelationAwarePlacement placement;
-    const auto r =
-        sim::DatacenterSimulator(base_config(sim::VfMode::kOracleStatic))
-            .run(traces, placement, nullptr);
-    vf_table.add_row("oracle static (perfect foresight)",
-                     {r.total_energy_joules / base_energy,
-                      100.0 * r.max_violation_ratio});
-  }
-  {
-    alloc::CorrelationAwarePlacement placement;
-    const auto r = sim::DatacenterSimulator(base_config(sim::VfMode::kNone))
-                       .run(traces, placement, nullptr);
-    vf_table.add_row("always fmax",
+  const double base_energy = records[0].result.total_energy_joules;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const sim::SimResult& r = records[i].result;
+    vf_table.add_row(records[i].label,
                      {r.total_energy_joules / base_energy,
                       100.0 * r.max_violation_ratio});
   }
@@ -85,48 +102,27 @@ int main() {
       "\nReading: Eqn. 4 recovers most of the gap between worst-case\n"
       "provisioning and the perfect-foresight static floor.\n\n");
 
-  // ---- B: migration/stability ablation. ----
   std::cout << "=== Ablation B: placement stability (migration cost priced "
                "in) ===\n\n";
   util::TextTable mig_table({"policy", "normalized power", "max viol (%)",
                              "migrations/day", "migrated cores/day"});
-  sim::SimConfig mig_cfg = base_config(sim::VfMode::kStatic);
-  // ~100 J per migrated fmax-core: a few seconds of pre-copy at full tilt.
-  mig_cfg.migration_energy_joules_per_core = 100.0;
-  const sim::DatacenterSimulator simulator(mig_cfg);
-
-  double bfd_energy = 0.0;
-  {
-    alloc::BestFitDecreasing bfd;
-    dvfs::WorstCaseVf worst;
-    const auto r = simulator.run(traces, bfd, &worst);
-    bfd_energy = r.total_energy_joules;
-    mig_table.add_row("BFD", {1.0, 100.0 * r.max_violation_ratio,
-                              static_cast<double>(r.total_migrated_vms),
-                              r.total_migrated_cores});
-  }
-  {
-    alloc::CorrelationAwarePlacement proposed;
-    dvfs::CorrelationAwareVf eqn4;
-    const auto r = simulator.run(traces, proposed, &eqn4);
-    mig_table.add_row("Proposed", {r.total_energy_joules / bfd_energy,
-                                   100.0 * r.max_violation_ratio,
-                                   static_cast<double>(r.total_migrated_vms),
-                                   r.total_migrated_cores});
-  }
-  for (std::size_t refresh : {4u, 12u}) {
-    alloc::StickyConfig scfg;
-    scfg.refresh_every = refresh;
-    alloc::StickyPlacement sticky(
-        std::make_unique<alloc::CorrelationAwarePlacement>(), scfg);
-    dvfs::CorrelationAwareVf eqn4;
-    const auto r = simulator.run(traces, sticky, &eqn4);
-    mig_table.add_row(
-        "Sticky(Proposed) refresh=" + std::to_string(refresh),
-        {r.total_energy_joules / bfd_energy, 100.0 * r.max_violation_ratio,
-         static_cast<double>(r.total_migrated_vms), r.total_migrated_cores});
+  const double bfd_energy = records[4].result.total_energy_joules;
+  for (std::size_t i = 4; i < records.size(); ++i) {
+    const sim::SimResult& r = records[i].result;
+    mig_table.add_row(records[i].label,
+                      {r.total_energy_joules / bfd_energy,
+                       100.0 * r.max_violation_ratio,
+                       static_cast<double>(r.total_migrated_vms),
+                       r.total_migrated_cores});
   }
   mig_table.print(std::cout);
+
+  const sim::SweepStats& stats = runner.last_stats();
+  std::printf(
+      "\nsweep: %zu jobs on %zu threads, %.2fs elapsed (%.2fs "
+      "serial-equivalent, %.2fx)\n",
+      stats.jobs, stats.threads, stats.wall_seconds, stats.job_seconds_total,
+      stats.speedup());
   std::printf(
       "\nReading: hourly re-optimization (the paper's setting) moves many\n"
       "VMs; keeping placements sticky between periodic refreshes removes\n"

@@ -5,9 +5,11 @@
 // The paper's Sec. II argues the Pearson/covariance family mis-handles
 // scale-out workloads because it reasons about second moments rather than
 // (off-)peak coincidence; this bench quantifies that argument inside the
-// same harness as Table II.
+// same harness as Table II. The full 5-policy x 2-mode grid fans out over
+// SweepRunner in one batch.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "alloc/bfd.h"
 #include "alloc/correlation_aware.h"
@@ -15,45 +17,73 @@
 #include "alloc/ffd.h"
 #include "alloc/pcp.h"
 #include "dvfs/vf_policy.h"
-#include "sim/datacenter_sim.h"
 #include "sim/report.h"
+#include "sim/sweep.h"
 #include "trace/synthesis.h"
 
 int main() {
   using namespace cava;
 
-  const trace::TraceSet traces =
-      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{});
+  const auto traces = std::make_shared<const trace::TraceSet>(
+      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{}));
 
-  for (auto mode : {sim::VfMode::kStatic, sim::VfMode::kDynamic}) {
+  const auto modes = {sim::VfMode::kStatic, sim::VfMode::kDynamic};
+  sim::SweepRunner runner;
+  for (auto mode : modes) {
     const bool is_static = mode == sim::VfMode::kStatic;
     sim::SimConfig cfg;
     cfg.max_servers = 20;
     cfg.vf_mode = mode;
-    const sim::DatacenterSimulator simulator(cfg);
 
-    alloc::FirstFitDecreasing ffd;
-    alloc::BestFitDecreasing bfd;
-    alloc::PeakClusteringPlacement pcp;
-    alloc::EffectiveSizingPlacement effsize;
-    alloc::CorrelationAwarePlacement proposed;
-    dvfs::WorstCaseVf worst;
-    dvfs::CorrelationAwareVf eqn4;
+    const sim::VfFactory worst =
+        is_static ? [] { return std::unique_ptr<dvfs::VfPolicy>(
+                             std::make_unique<dvfs::WorstCaseVf>()); }
+                  : sim::VfFactory{};
+    const sim::VfFactory eqn4 =
+        is_static ? [] { return std::unique_ptr<dvfs::VfPolicy>(
+                             std::make_unique<dvfs::CorrelationAwareVf>()); }
+                  : sim::VfFactory{};
 
+    runner.add({"", cfg, traces,
+                [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+                worst});
+    runner.add({"", cfg, traces,
+                [] { return std::make_unique<alloc::FirstFitDecreasing>(); },
+                worst});
+    runner.add({"", cfg, traces,
+                [] { return std::make_unique<alloc::PeakClusteringPlacement>(); },
+                worst});
+    runner.add({"", cfg, traces,
+                [] { return std::make_unique<alloc::EffectiveSizingPlacement>(); },
+                worst});
+    runner.add({"", cfg, traces,
+                [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+                eqn4});
+  }
+  const auto records = runner.run_all();
+
+  constexpr std::size_t kPoliciesPerMode = 5;
+  std::size_t offset = 0;
+  for (auto mode : modes) {
+    const bool is_static = mode == sim::VfMode::kStatic;
     std::vector<sim::SimResult> results;
-    results.push_back(simulator.run(traces, bfd, is_static ? &worst : nullptr));
-    results.push_back(simulator.run(traces, ffd, is_static ? &worst : nullptr));
-    results.push_back(simulator.run(traces, pcp, is_static ? &worst : nullptr));
-    results.push_back(
-        simulator.run(traces, effsize, is_static ? &worst : nullptr));
-    results.push_back(
-        simulator.run(traces, proposed, is_static ? &eqn4 : nullptr));
+    for (std::size_t i = 0; i < kPoliciesPerMode; ++i) {
+      results.push_back(records[offset + i].result);
+    }
+    offset += kPoliciesPerMode;
 
     std::printf("=== Extended baselines, %s v/f ===\n\n",
                 is_static ? "static" : "dynamic");
     sim::print_comparison(results, std::cout);
     std::printf("\n");
   }
+
+  const sim::SweepStats& stats = runner.last_stats();
+  std::printf(
+      "sweep: %zu jobs on %zu threads, %.2fs elapsed (%.2fs serial-equivalent,"
+      " %.2fx)\n\n",
+      stats.jobs, stats.threads, stats.wall_seconds, stats.job_seconds_total,
+      stats.speedup());
 
   std::printf(
       "Reading: the covariance-based EffSize baseline packs hardest (mu +\n"

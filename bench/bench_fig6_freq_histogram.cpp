@@ -33,8 +33,8 @@ int main() {
   dvfs::WorstCaseVf worst_case;
   dvfs::CorrelationAwareVf eqn4;
 
-  const auto r_bfd = simulator.run(traces, bfd, &worst_case);
-  const auto r_prop = simulator.run(traces, proposed, &eqn4);
+  const auto r_bfd = simulator.run(traces, {bfd, &worst_case});
+  const auto r_prop = simulator.run(traces, {proposed, &eqn4});
 
   std::cout << "=== Fig. 6: frequency-level residency (fraction of active "
                "time) ===\n\n";

@@ -36,9 +36,9 @@ void run_population(const char* label, const trace::TraceSet& traces,
   dvfs::WorstCaseVf worst;
   dvfs::CorrelationAwareVf eqn4;
 
-  const auto r_bfd = simulator.run(traces, bfd, &worst);
-  const auto r_pcp = simulator.run(traces, pcp, &worst);
-  const auto r_prop = simulator.run(traces, proposed, &eqn4);
+  const auto r_bfd = simulator.run(traces, {bfd, &worst});
+  const auto r_pcp = simulator.run(traces, {pcp, &worst});
+  const auto r_prop = simulator.run(traces, {proposed, &eqn4});
 
   int min_clusters = 1 << 20, max_clusters = 0;
   for (const auto& p : r_pcp.periods) {

@@ -66,7 +66,7 @@ void BM_CostMatrixTick(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_CostMatrixTick)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_CostMatrixTick)->RangeMultiplier(2)->Range(8, 256)->Complexity();
 
 /// Eqn.-2 server-cost evaluation for a co-location group.
 void BM_ServerCostEvaluation(benchmark::State& state) {

@@ -10,14 +10,18 @@
 //   BFD        1            18.2%               BFD      1        20.3%
 //   PCP        0.999        18.2%               PCP      0.997    20.3%
 //   Proposed   0.863        2.6%                Proposed 0.958    3.1%
+//
+// All policy x mode x seed grid points fan out over SweepRunner; results are
+// bit-identical to serial runs, only the wall time changes.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "alloc/bfd.h"
 #include "alloc/correlation_aware.h"
 #include "alloc/pcp.h"
 #include "dvfs/vf_policy.h"
-#include "sim/datacenter_sim.h"
+#include "sim/sweep.h"
 #include "trace/synthesis.h"
 #include "util/table.h"
 
@@ -43,23 +47,35 @@ sim::SimConfig make_sim_config(sim::VfMode mode) {
   return cfg;
 }
 
-void run_mode(const trace::TraceSet& traces, sim::VfMode mode,
-              const char* title, const char* paper_rows) {
-  const sim::DatacenterSimulator simulator(make_sim_config(mode));
-  const bool is_static = mode == sim::VfMode::kStatic;
+sim::VfFactory worst_case_vf(sim::VfMode mode) {
+  if (mode != sim::VfMode::kStatic) return nullptr;
+  return [] { return std::make_unique<dvfs::WorstCaseVf>(); };
+}
 
-  alloc::BestFitDecreasing bfd;
-  alloc::PeakClusteringPlacement pcp;
-  alloc::CorrelationAwarePlacement proposed;
-  dvfs::WorstCaseVf worst_case;
-  dvfs::CorrelationAwareVf eqn4;
+sim::VfFactory eqn4_vf(sim::VfMode mode) {
+  if (mode != sim::VfMode::kStatic) return nullptr;
+  return [] { return std::make_unique<dvfs::CorrelationAwareVf>(); };
+}
 
-  const auto r_bfd =
-      simulator.run(traces, bfd, is_static ? &worst_case : nullptr);
-  const auto r_pcp =
-      simulator.run(traces, pcp, is_static ? &worst_case : nullptr);
-  const auto r_prop =
-      simulator.run(traces, proposed, is_static ? &eqn4 : nullptr);
+void add_mode_jobs(sim::SweepRunner& runner,
+                   const std::shared_ptr<const trace::TraceSet>& traces,
+                   sim::VfMode mode) {
+  runner.add({"BFD", make_sim_config(mode), traces,
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              worst_case_vf(mode)});
+  runner.add({"PCP", make_sim_config(mode), traces,
+              [] { return std::make_unique<alloc::PeakClusteringPlacement>(); },
+              worst_case_vf(mode)});
+  runner.add({"Proposed", make_sim_config(mode), traces,
+              [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+              eqn4_vf(mode)});
+}
+
+void print_mode(const std::vector<sim::SweepRecord>& records, const char* title,
+                const char* paper_rows) {
+  const sim::SimResult& r_bfd = records[0].result;
+  const sim::SimResult& r_pcp = records[1].result;
+  const sim::SimResult& r_prop = records[2].result;
 
   std::cout << "=== " << title << " ===\n\n";
   util::TextTable table({"policy", "normalized power", "max violations (%)",
@@ -88,33 +104,56 @@ void run_mode(const trace::TraceSet& traces, sim::VfMode mode,
 }  // namespace
 
 int main() {
-  const trace::TraceSet traces = make_traces(trace::DatacenterTraceConfig{}.seed);
+  const auto traces = std::make_shared<const trace::TraceSet>(
+      make_traces(trace::DatacenterTraceConfig{}.seed));
   std::printf("Setup-2: %zu VMs, 24 h of 5-second samples (%zu per VM)\n\n",
-              traces.size(), traces.samples_per_trace());
+              traces->size(), traces->samples_per_trace());
 
-  run_mode(traces, sim::VfMode::kStatic,
-           "Table II(a): static v/f scaling",
-           "  BFD 1.000/18.2%  PCP 0.999/18.2%  Proposed 0.863/2.6%\n");
-  run_mode(traces, sim::VfMode::kDynamic,
-           "Table II(b): dynamic v/f scaling (every 12 samples = 1 min)",
-           "  BFD 1.000/20.3%  PCP 0.997/20.3%  Proposed 0.958/3.1%\n");
+  // ---- Table II(a)/(b): one sweep covers both v/f modes. ----
+  sim::SweepRunner runner;
+  add_mode_jobs(runner, traces, sim::VfMode::kStatic);
+  add_mode_jobs(runner, traces, sim::VfMode::kDynamic);
+  const auto records = runner.run_all();
+
+  print_mode({records.begin(), records.begin() + 3},
+             "Table II(a): static v/f scaling",
+             "  BFD 1.000/18.2%  PCP 0.999/18.2%  Proposed 0.863/2.6%\n");
+  print_mode({records.begin() + 3, records.end()},
+             "Table II(b): dynamic v/f scaling (every 12 samples = 1 min)",
+             "  BFD 1.000/20.3%  PCP 0.997/20.3%  Proposed 0.958/3.1%\n");
+
+  const sim::SweepStats& stats = runner.last_stats();
+  std::printf(
+      "sweep: %zu jobs on %zu threads, %.2fs elapsed (%.2fs serial-equivalent,"
+      " %.2fx)\n\n",
+      stats.jobs, stats.threads, stats.wall_seconds, stats.job_seconds_total,
+      stats.speedup());
 
   // ---- Robustness: the same comparison across trace seeds (static v/f).
   // Burst timing makes the *max*-violation metric noisy; the headline trace
   // population above is one draw, so report the spread too.
   std::cout << "=== Robustness across trace seeds (static v/f) ===\n\n";
   util::TextTable spread({"seed", "BFD viol (%)", "Prop power", "Prop viol (%)"});
-  const sim::DatacenterSimulator simulator(
-      make_sim_config(sim::VfMode::kStatic));
-  for (std::uint64_t seed : {3ULL, 4ULL, 10ULL, 13ULL, 2ULL}) {
-    const auto seeded = make_traces(seed);
-    alloc::BestFitDecreasing bfd;
-    alloc::CorrelationAwarePlacement proposed;
-    dvfs::WorstCaseVf worst_case;
-    dvfs::CorrelationAwareVf eqn4;
-    const auto r_bfd = simulator.run(seeded, bfd, &worst_case);
-    const auto r_prop = simulator.run(seeded, proposed, &eqn4);
-    spread.add_row(std::to_string(seed),
+  const std::vector<std::uint64_t> seeds{3, 4, 10, 13, 2};
+  sim::SweepRunner seed_runner;
+  for (std::uint64_t seed : seeds) {
+    const auto seeded =
+        std::make_shared<const trace::TraceSet>(make_traces(seed));
+    seed_runner.add({"BFD/" + std::to_string(seed),
+                     make_sim_config(sim::VfMode::kStatic), seeded,
+                     [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+                     worst_case_vf(sim::VfMode::kStatic)});
+    seed_runner.add(
+        {"Proposed/" + std::to_string(seed),
+         make_sim_config(sim::VfMode::kStatic), seeded,
+         [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+         eqn4_vf(sim::VfMode::kStatic)});
+  }
+  const auto seed_records = seed_runner.run_all();
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const sim::SimResult& r_bfd = seed_records[2 * i].result;
+    const sim::SimResult& r_prop = seed_records[2 * i + 1].result;
+    spread.add_row(std::to_string(seeds[i]),
                    {100.0 * r_bfd.max_violation_ratio,
                     r_prop.total_energy_joules / r_bfd.total_energy_joules,
                     100.0 * r_prop.max_violation_ratio});

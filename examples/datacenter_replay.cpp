@@ -64,7 +64,7 @@ int main() {
   util::TextTable table({"policy", "energy (kJ)", "max viol (%)",
                          "mean active servers", "time at fmin (%)"});
   for (const Row& row : rows) {
-    const sim::SimResult r = simulator.run(traces, *row.policy, row.vf);
+    const sim::SimResult r = simulator.run(traces, {*row.policy, row.vf});
     double fmin_time = 0.0, total_time = 0.0;
     for (const auto& server : r.freq_residency_seconds) {
       fmin_time += server.front();

@@ -48,8 +48,8 @@ int main() {
   alloc::CorrelationAwarePlacement proposed;
   dvfs::WorstCaseVf worst;
   dvfs::CorrelationAwareVf eqn4;
-  const auto r_bfd = simulator.run(traces, bfd, &worst);
-  const auto r_prop = simulator.run(traces, proposed, &eqn4);
+  const auto r_bfd = simulator.run(traces, {bfd, &worst});
+  const auto r_prop = simulator.run(traces, {proposed, &eqn4});
 
   const model::CoolingModel cooling;
   util::TextTable table({"scenario", "BFD facility (kWh)",

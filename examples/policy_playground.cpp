@@ -34,7 +34,7 @@ sim::SimResult run_proposed(const trace::TraceSet& traces, sim::SimConfig cfg,
   const sim::DatacenterSimulator simulator(cfg);
   alloc::CorrelationAwarePlacement policy(policy_cfg);
   dvfs::CorrelationAwareVf eqn4;
-  return simulator.run(traces, policy, &eqn4);
+  return simulator.run(traces, {policy, &eqn4});
 }
 
 }  // namespace
@@ -51,7 +51,7 @@ int main() {
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf worst;
   const double bfd_energy =
-      simulator.run(traces, bfd, &worst).total_energy_joules;
+      simulator.run(traces, {bfd, &worst}).total_energy_joules;
 
   std::cout << "--- Predictor sweep (proposed policy, static v/f) ---\n";
   util::TextTable predictors({"predictor", "norm power", "max viol (%)"});

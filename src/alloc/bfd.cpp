@@ -2,7 +2,7 @@
 
 namespace cava::alloc {
 
-Placement BestFitDecreasing::place(const std::vector<model::VmDemand>& demands,
+Placement BestFitDecreasing::place(std::span<const model::VmDemand> demands,
                                    const PlacementContext& context) {
   Placement placement(demands.size(), context.max_servers);
   std::vector<double> remaining(context.max_servers,

@@ -10,7 +10,7 @@ namespace cava::alloc {
 
 class BestFitDecreasing final : public PlacementPolicy {
  public:
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override { return "BFD"; }
 };

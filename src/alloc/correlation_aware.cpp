@@ -17,7 +17,7 @@ CorrelationAwarePlacement::CorrelationAwarePlacement(
 }
 
 Placement CorrelationAwarePlacement::place(
-    const std::vector<model::VmDemand>& demands,
+    std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
   const corr::CostMatrix* matrix = context.cost_matrix;
   if (matrix == nullptr || matrix->size() < demands.size()) {
@@ -43,17 +43,63 @@ Placement CorrelationAwarePlacement::place(
 
   double threshold = config_.initial_threshold;
 
+  // Incremental Eqn.-2 state. Eqn. 2 over group G with references r and
+  // pair costs c rearranges into a sum over unordered pairs:
+  //
+  //   Cost_server(G) = S_G / (R_G * (|G| - 1)),
+  //   S_G = sum_{a<b in G} (r_a + r_b) c(a,b),   R_G = sum_{a in G} r_a.
+  //
+  // Tentatively adding candidate v extends S_G by
+  //   B[s][v] + r_v * C[s][v],  where
+  //   B[s][v] = sum_{a in G_s} r_a c(a,v),  C[s][v] = sum_{a in G_s} c(a,v),
+  // so each candidate evaluation is O(1); placing a VM on server s updates
+  // B[s][*]/C[s][*] for the remaining candidates in O(1) each, instead of
+  // re-evaluating Eqn. 2 from scratch (O(|G|^2)) per candidate.
+  const std::size_t universe = matrix->size();
+  std::vector<double> ref_of(universe);
+  for (std::size_t v = 0; v < universe; ++v) ref_of[v] = matrix->reference(v);
+  std::vector<double> group_pair_sum(context.max_servers, 0.0);  // S
+  std::vector<double> group_ref_sum(context.max_servers, 0.0);   // R
+  std::vector<std::vector<double>> cand_weighted(
+      context.max_servers, std::vector<double>(universe, 0.0));  // B
+  std::vector<std::vector<double>> cand_plain(
+      context.max_servers, std::vector<double>(universe, 0.0));  // C
+
   auto fits = [&](std::size_t vm, std::size_t server) {
     return demands[vm].reference <= remaining[server] + 1e-12;
   };
 
+  // Eqn. 2 for groups[server] with `vm` tentatively added, in O(1).
+  auto tentative_cost = [&](std::size_t server, std::size_t vm) {
+    const std::size_t extended = groups[server].size() + 1;
+    if (extended < 2) return 1.0;
+    const double total_ref = group_ref_sum[server] + ref_of[vm];
+    if (total_ref <= 0.0) return 1.0;
+    const double pair_sum = group_pair_sum[server] +
+                            cand_weighted[server][vm] +
+                            ref_of[vm] * cand_plain[server][vm];
+    return pair_sum / (total_ref * static_cast<double>(extended - 1));
+  };
+
   auto assign = [&](std::size_t pos_in_unalloc, std::size_t server) {
     const std::size_t vm_idx = unalloc[pos_in_unalloc];
-    placement.assign(demands[vm_idx].vm, server);
-    groups[server].push_back(demands[vm_idx].vm);
+    const std::size_t vm = demands[vm_idx].vm;
+    placement.assign(vm, server);
+    groups[server].push_back(vm);
     remaining[server] -= demands[vm_idx].reference;
     unalloc.erase(unalloc.begin() +
                   static_cast<std::ptrdiff_t>(pos_in_unalloc));
+    // Fold the new member into the server's accumulators and refresh the
+    // still-unallocated candidates' tentative sums against it.
+    group_pair_sum[server] +=
+        cand_weighted[server][vm] + ref_of[vm] * cand_plain[server][vm];
+    group_ref_sum[server] += ref_of[vm];
+    for (std::size_t p : unalloc) {
+      const std::size_t other = demands[p].vm;
+      const double c = matrix->cost(vm, other);
+      cand_weighted[server][other] += ref_of[vm] * c;
+      cand_plain[server][other] += c;
+    }
   };
 
   while (!unalloc.empty()) {
@@ -89,8 +135,7 @@ Placement CorrelationAwarePlacement::place(
           for (std::size_t p = 0; p < unalloc.size(); ++p) {
             const std::size_t vm = demands[unalloc[p]].vm;
             if (!fits(unalloc[p], server)) continue;
-            const double c =
-                matrix->server_cost_with(groups[server], vm);
+            const double c = tentative_cost(server, vm);
             if (c > best_cost) {
               best_cost = c;
               chosen = static_cast<int>(p);

@@ -40,7 +40,7 @@ class CorrelationAwarePlacement final : public PlacementPolicy {
   explicit CorrelationAwarePlacement(CorrelationAwareConfig config = {});
 
   /// context.cost_matrix must be non-null and cover all VMs.
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override { return "Proposed"; }
 

@@ -9,7 +9,7 @@ EffectiveSizingPlacement::EffectiveSizingPlacement(EffectiveSizingConfig config)
     : config_(config) {}
 
 Placement EffectiveSizingPlacement::place(
-    const std::vector<model::VmDemand>& demands,
+    std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
   const corr::MomentMatrix* moments = context.moments;
   const std::size_t n = demands.size();

@@ -34,7 +34,7 @@ class EffectiveSizingPlacement final : public PlacementPolicy {
 
   /// Uses context.moments when available; falls back to best-fit on the
   /// supplied (peak) demands otherwise.
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override { return "EffSize"; }
 

@@ -4,7 +4,7 @@
 
 namespace cava::alloc {
 
-Placement FirstFitDecreasing::place(const std::vector<model::VmDemand>& demands,
+Placement FirstFitDecreasing::place(std::span<const model::VmDemand> demands,
                                     const PlacementContext& context) {
   Placement placement(demands.size(), context.max_servers);
   std::vector<double> remaining(context.max_servers,

@@ -9,7 +9,7 @@ namespace cava::alloc {
 
 class FirstFitDecreasing final : public PlacementPolicy {
  public:
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override { return "FFD"; }
 };

@@ -11,12 +11,12 @@ MigrationStats count_migrations(const Placement& prev, const Placement& next,
   }
   MigrationStats stats;
   for (std::size_t vm = 0; vm < next.num_vms(); ++vm) {
-    const int before = prev.server_of(vm);
-    const int after = next.server_of(vm);
-    if (after < 0) continue;  // unplaced in the new round
-    if (before < 0) {
+    const auto before = prev.server_of(vm);
+    const auto after = next.server_of(vm);
+    if (!after) continue;  // unplaced in the new round
+    if (!before) {
       ++stats.newly_placed;
-    } else if (before != after) {
+    } else if (*before != *after) {
       ++stats.migrated_vms;
       if (vm < demands.size()) stats.migrated_cores += demands[vm];
     }
@@ -40,7 +40,7 @@ std::string StickyPlacement::name() const {
   return "Sticky(" + inner_->name() + ")";
 }
 
-Placement StickyPlacement::place(const std::vector<model::VmDemand>& demands,
+Placement StickyPlacement::place(std::span<const model::VmDemand> demands,
                                  const PlacementContext& context) {
   ++rounds_;
   const bool refresh = (rounds_ - 1) % config_.refresh_every == 0;
@@ -64,12 +64,11 @@ Placement StickyPlacement::place(const std::vector<model::VmDemand>& demands,
 
     for (std::size_t idx : sort_descending(demands)) {
       const std::size_t vm = demands[idx].vm;
-      const int prev_server = previous_->server_of(vm);
-      if (prev_server >= 0 &&
-          load[static_cast<std::size_t>(prev_server)] + demands[idx].reference <=
-              cap + 1e-12) {
-        result.assign(vm, static_cast<std::size_t>(prev_server));
-        load[static_cast<std::size_t>(prev_server)] += demands[idx].reference;
+      const auto prev_server = previous_->server_of(vm);
+      if (prev_server &&
+          load[*prev_server] + demands[idx].reference <= cap + 1e-12) {
+        result.assign(vm, *prev_server);
+        load[*prev_server] += demands[idx].reference;
       } else {
         displaced.push_back(idx);
       }

@@ -50,7 +50,7 @@ class StickyPlacement final : public PlacementPolicy {
  public:
   StickyPlacement(std::unique_ptr<PlacementPolicy> inner, StickyConfig config);
 
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override;
 

@@ -12,7 +12,7 @@ PeakClusteringPlacement::PeakClusteringPlacement(PcpConfig config)
     : config_(config) {}
 
 Placement PeakClusteringPlacement::place(
-    const std::vector<model::VmDemand>& demands,
+    std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
   const std::size_t n = demands.size();
 

@@ -36,7 +36,7 @@ class PeakClusteringPlacement final : public PlacementPolicy {
  public:
   explicit PeakClusteringPlacement(PcpConfig config = {});
 
-  Placement place(const std::vector<model::VmDemand>& demands,
+  Placement place(std::span<const model::VmDemand> demands,
                   const PlacementContext& context) override;
   std::string name() const override { return "PCP"; }
 

@@ -8,23 +8,24 @@
 namespace cava::alloc {
 
 Placement::Placement(std::size_t num_vms, std::size_t num_servers)
-    : server_of_(num_vms, -1), servers_(num_servers) {}
+    : server_of_(num_vms, kUnassigned), servers_(num_servers) {}
 
 void Placement::assign(std::size_t vm, std::size_t server) {
   if (vm >= server_of_.size()) throw std::out_of_range("Placement::assign: vm");
   if (server >= servers_.size()) {
     throw std::out_of_range("Placement::assign: server");
   }
-  if (server_of_[vm] != -1) {
+  if (server_of_[vm] != kUnassigned) {
     throw std::logic_error("Placement::assign: VM already placed");
   }
   server_of_[vm] = static_cast<int>(server);
   servers_[server].push_back(vm);
 }
 
-int Placement::server_of(std::size_t vm) const {
+std::optional<std::size_t> Placement::server_of(std::size_t vm) const {
   if (vm >= server_of_.size()) throw std::out_of_range("Placement::server_of");
-  return server_of_[vm];
+  if (server_of_[vm] == kUnassigned) return std::nullopt;
+  return static_cast<std::size_t>(server_of_[vm]);
 }
 
 std::span<const std::size_t> Placement::vms_on(std::size_t server) const {
@@ -42,7 +43,7 @@ std::size_t Placement::active_servers() const {
 
 bool Placement::complete() const {
   return std::all_of(server_of_.begin(), server_of_.end(),
-                     [](int s) { return s >= 0; });
+                     [](int s) { return s != kUnassigned; });
 }
 
 double Placement::load_on(std::size_t server,
@@ -55,7 +56,7 @@ double Placement::load_on(std::size_t server,
   return load;
 }
 
-std::size_t estimate_min_servers(const std::vector<model::VmDemand>& demands,
+std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
                                  const model::ServerSpec& server) {
   double total = 0.0;
   for (const auto& d : demands) total += d.reference;
@@ -65,7 +66,7 @@ std::size_t estimate_min_servers(const std::vector<model::VmDemand>& demands,
 }
 
 std::vector<std::size_t> sort_descending(
-    const std::vector<model::VmDemand>& demands) {
+    std::span<const model::VmDemand> demands) {
   std::vector<std::size_t> order(demands.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

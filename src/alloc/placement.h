@@ -9,6 +9,7 @@
 #include "trace/time_series.h"
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,8 +27,8 @@ class Placement {
   /// Assign VM -> server. Throws if the VM is already assigned.
   void assign(std::size_t vm, std::size_t server);
 
-  /// Server hosting a VM, or -1 if unassigned.
-  int server_of(std::size_t vm) const;
+  /// Server hosting a VM, or nullopt while unassigned.
+  std::optional<std::size_t> server_of(std::size_t vm) const;
   /// VMs hosted by a server.
   std::span<const std::size_t> vms_on(std::size_t server) const;
 
@@ -40,6 +41,8 @@ class Placement {
   double load_on(std::size_t server, std::span<const double> demand) const;
 
  private:
+  static constexpr int kUnassigned = -1;
+
   std::vector<int> server_of_;
   std::vector<std::vector<std::size_t>> servers_;
 };
@@ -70,19 +73,19 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
 
-  virtual Placement place(const std::vector<model::VmDemand>& demands,
+  virtual Placement place(std::span<const model::VmDemand> demands,
                           const PlacementContext& context) = 0;
 
   virtual std::string name() const = 0;
 };
 
 /// Eqn. 3: minimum number of active servers to hold the aggregate demand.
-std::size_t estimate_min_servers(const std::vector<model::VmDemand>& demands,
+std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
                                  const model::ServerSpec& server);
 
 /// Indices of `demands` sorted by descending reference (ties by VM id, so
 /// results are deterministic).
 std::vector<std::size_t> sort_descending(
-    const std::vector<model::VmDemand>& demands);
+    std::span<const model::VmDemand> demands);
 
 }  // namespace cava::alloc

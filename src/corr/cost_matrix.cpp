@@ -1,14 +1,27 @@
 #include "corr/cost_matrix.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace cava::corr {
 
+namespace {
+constexpr double kNoSample = -std::numeric_limits<double>::infinity();
+}  // namespace
+
 CostMatrix::CostMatrix(std::size_t num_vms, trace::ReferenceSpec spec)
-    : n_(num_vms), spec_(spec) {
+    : n_(num_vms),
+      spec_(spec),
+      percentile_mode_(spec.kind == trace::ReferenceSpec::Kind::kPercentile) {
   if (num_vms == 0) throw std::invalid_argument("CostMatrix: zero VMs");
-  refs_.assign(n_, trace::ReferenceEstimator(spec));
-  pair_sums_.assign(n_ * (n_ - 1) / 2, trace::ReferenceEstimator(spec));
+  ref_peaks_.assign(n_, kNoSample);
+  pair_peaks_.assign(n_ * (n_ - 1) / 2, kNoSample);
+  if (percentile_mode_) {
+    const trace::P2Quantile proto(spec_.percentile / 100.0);
+    ref_quantiles_.assign(n_, proto);
+    pair_quantiles_.assign(n_ * (n_ - 1) / 2, proto);
+  }
 }
 
 std::size_t CostMatrix::pair_index(std::size_t i, std::size_t j) const {
@@ -24,31 +37,55 @@ void CostMatrix::add_sample(std::span<const double> u) {
   if (u.size() != n_) {
     throw std::invalid_argument("CostMatrix::add_sample: size mismatch");
   }
-  for (std::size_t i = 0; i < n_; ++i) refs_[i].add(u[i]);
+  const double* uv = u.data();
+  double* peaks = pair_peaks_.data();
   for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      pair_sums_[pair_index(i, j)].add(u[i] + u[j]);
+    ref_peaks_[i] = std::max(ref_peaks_[i], uv[i]);
+  }
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    const double ui = uv[i];
+    for (std::size_t j = i + 1; j < n_; ++j, ++idx) {
+      const double sum = ui + uv[j];
+      if (sum > peaks[idx]) peaks[idx] = sum;
+    }
+  }
+  if (percentile_mode_) {
+    for (std::size_t i = 0; i < n_; ++i) ref_quantiles_[i].add(uv[i]);
+    idx = 0;
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j, ++idx) {
+        pair_quantiles_[idx].add(uv[i] + uv[j]);
+      }
     }
   }
   ++samples_;
 }
 
 void CostMatrix::reset() {
-  for (auto& r : refs_) r.reset();
-  for (auto& p : pair_sums_) p.reset();
+  std::fill(ref_peaks_.begin(), ref_peaks_.end(), kNoSample);
+  std::fill(pair_peaks_.begin(), pair_peaks_.end(), kNoSample);
+  for (auto& q : ref_quantiles_) q.reset();
+  for (auto& q : pair_quantiles_) q.reset();
   samples_ = 0;
 }
 
 double CostMatrix::reference(std::size_t i) const {
   if (i >= n_) throw std::out_of_range("CostMatrix::reference");
-  return refs_[i].value();
+  if (samples_ == 0) return 0.0;
+  return percentile_mode_ ? ref_quantiles_[i].value() : ref_peaks_[i];
+}
+
+double CostMatrix::pair_value(std::size_t idx) const {
+  if (samples_ == 0) return 0.0;
+  return percentile_mode_ ? pair_quantiles_[idx].value() : pair_peaks_[idx];
 }
 
 double CostMatrix::cost(std::size_t i, std::size_t j) const {
   if (i == j) return 1.0;
-  const double denom = pair_sums_[pair_index(i, j)].value();
+  const double denom = pair_value(pair_index(i, j));
   if (denom <= 0.0) return 1.0;
-  return (refs_[i].value() + refs_[j].value()) / denom;
+  return (reference(i) + reference(j)) / denom;
 }
 
 double CostMatrix::server_cost_of(const std::vector<std::size_t>& group) const {

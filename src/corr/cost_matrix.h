@@ -8,10 +8,17 @@
 // streaming: each utilization sampling tick updates all N reference
 // estimators and the N(N-1)/2 pair-sum estimators, evenly spreading the
 // computational effort across the period as the paper prescribes.
+//
+// Storage is structure-of-arrays: the upper triangle of pair statistics
+// lives in one contiguous double array (row-major, i < j) so the per-tick
+// update is a single linear pass instead of N(N-1)/2 scattered estimator
+// objects. Peak references reduce to a running max per slot; percentile
+// references fall back to a per-slot P2 quantile estimator.
 #pragma once
 
 #include "corr/peak_cost.h"
 #include "trace/reference.h"
+#include "trace/streaming_stats.h"
 #include "trace/time_series.h"
 
 #include <cstddef>
@@ -57,12 +64,20 @@ class CostMatrix {
  private:
   double server_cost_of(const std::vector<std::size_t>& group) const;
   std::size_t pair_index(std::size_t i, std::size_t j) const;
+  /// u^ of the summed pair signal stored at triangle slot `idx`.
+  double pair_value(std::size_t idx) const;
 
   std::size_t n_;
   std::size_t samples_ = 0;
   trace::ReferenceSpec spec_;
-  std::vector<trace::ReferenceEstimator> refs_;
-  std::vector<trace::ReferenceEstimator> pair_sums_;  // upper triangle
+  bool percentile_mode_;
+  /// Running per-VM peaks (valid in both modes; -inf before any sample).
+  std::vector<double> ref_peaks_;
+  /// Upper triangle of running pair-sum peaks, row-major with i < j.
+  std::vector<double> pair_peaks_;
+  /// Percentile mode only: P2 estimators per VM / per triangle slot.
+  std::vector<trace::P2Quantile> ref_quantiles_;
+  std::vector<trace::P2Quantile> pair_quantiles_;
 };
 
 }  // namespace cava::corr

@@ -22,8 +22,9 @@ DatacenterSimulator::DatacenterSimulator(SimConfig config)
 }
 
 SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
-                                   alloc::PlacementPolicy& policy,
-                                   const dvfs::VfPolicy* static_vf) const {
+                                   const RunOptions& options) const {
+  alloc::PlacementPolicy& policy = options.policy;
+  const dvfs::VfPolicy* static_vf = options.static_vf;
   const std::size_t n = traces.size();
   if (n == 0) throw std::invalid_argument("DatacenterSimulator: no traces");
   const double dt = traces.dt();

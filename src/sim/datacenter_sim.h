@@ -101,15 +101,25 @@ struct SimResult {
   }
 };
 
+/// Per-run knobs of DatacenterSimulator::run. Gathering them in a struct
+/// keeps the signature stable as options accrue: callers write
+/// `sim.run(traces, {policy})` or `sim.run(traces, {policy, &static_vf})`.
+struct RunOptions {
+  /// Placement policy under test. Stateful across periods, hence non-const;
+  /// a policy instance must not be shared between concurrent runs.
+  alloc::PlacementPolicy& policy;
+  /// Static v/f rule, required when vf_mode == kStatic and ignored in every
+  /// other mode (kNone runs everything at fmax).
+  const dvfs::VfPolicy* static_vf = nullptr;
+};
+
 class DatacenterSimulator {
  public:
   explicit DatacenterSimulator(SimConfig config);
 
-  /// Run `policy` (+ static v/f policy when vf_mode == kStatic) over the
-  /// trace set. The static_vf pointer is ignored in other modes; kNone runs
-  /// everything at fmax.
-  SimResult run(const trace::TraceSet& traces, alloc::PlacementPolicy& policy,
-                const dvfs::VfPolicy* static_vf) const;
+  /// Run the placement policy (+ optional static v/f rule) in `options`
+  /// over the trace set.
+  SimResult run(const trace::TraceSet& traces, const RunOptions& options) const;
 
  private:
   SimConfig config_;

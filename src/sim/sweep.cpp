@@ -1,0 +1,93 @@
+#include "sim/sweep.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace cava::sim {
+
+namespace {
+
+SweepRecord execute(const SweepJob& job) {
+  if (!job.traces) {
+    throw std::invalid_argument("SweepRunner: job '" + job.label +
+                                "' has no traces");
+  }
+  if (!job.make_policy) {
+    throw std::invalid_argument("SweepRunner: job '" + job.label +
+                                "' has no policy factory");
+  }
+  const std::unique_ptr<alloc::PlacementPolicy> policy = job.make_policy();
+  if (!policy) {
+    throw std::invalid_argument("SweepRunner: job '" + job.label +
+                                "' policy factory returned null");
+  }
+  std::unique_ptr<dvfs::VfPolicy> static_vf;
+  if (job.make_static_vf) static_vf = job.make_static_vf();
+
+  SweepRecord record;
+  const auto t0 = std::chrono::steady_clock::now();
+  record.result = DatacenterSimulator(job.config)
+                      .run(*job.traces, {*policy, static_vf.get()});
+  const auto t1 = std::chrono::steady_clock::now();
+  record.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  record.label = job.label.empty() ? record.result.policy_name : job.label;
+  const double replayed = static_cast<double>(job.traces->size()) *
+                          static_cast<double>(job.traces->samples_per_trace());
+  record.vm_samples_per_second =
+      record.wall_seconds > 0.0 ? replayed / record.wall_seconds : 0.0;
+  return record;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(std::size_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    throw std::invalid_argument("SweepRunner: zero threads");
+  }
+}
+
+SweepRunner& SweepRunner::add(SweepJob job) {
+  jobs_.push_back(std::move(job));
+  return *this;
+}
+
+std::vector<SweepRecord> SweepRunner::run_all() {
+  std::vector<SweepJob> jobs = std::move(jobs_);
+  jobs_.clear();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<SweepRecord>> futures;
+  futures.reserve(jobs.size());
+  {
+    util::ThreadPool pool(num_threads_);
+    for (SweepJob& job : jobs) {
+      futures.push_back(
+          pool.submit([job = std::move(job)] { return execute(job); }));
+    }
+    // Collect in submission order; the pool drains before destruction, so
+    // every future is ready (or holds its job's exception) by then anyway.
+    // A thrown job surfaces here, after its predecessors were gathered.
+  }
+  std::vector<SweepRecord> records;
+  records.reserve(futures.size());
+  SweepStats stats;
+  stats.jobs = futures.size();
+  stats.threads = num_threads_;
+  for (auto& f : futures) {
+    records.push_back(f.get());
+    stats.job_seconds_total += records.back().wall_seconds;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats_ = stats;
+  return records;
+}
+
+std::shared_ptr<const trace::TraceSet> SweepRunner::borrow(
+    const trace::TraceSet& traces) {
+  return std::shared_ptr<const trace::TraceSet>(
+      std::shared_ptr<const trace::TraceSet>{}, &traces);
+}
+
+}  // namespace cava::sim

@@ -1,0 +1,89 @@
+// Parallel batch-experiment engine: fans a grid of (policy factory x
+// SimConfig x TraceSet) simulation jobs across a fixed-size thread pool.
+//
+// Jobs share immutable trace sets; every job constructs its *own* policy and
+// v/f rule through factories, because policies are stateful across placement
+// periods and must not be shared between concurrent runs. Results come back
+// in submission order regardless of completion order, and are bit-identical
+// to running the same jobs serially: DatacenterSimulator::run is a pure
+// function of (config, traces, policy), so thread count only affects wall
+// time, never numbers.
+#pragma once
+
+#include "sim/datacenter_sim.h"
+#include "util/thread_pool.h"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cava::sim {
+
+using PolicyFactory = std::function<std::unique_ptr<alloc::PlacementPolicy>()>;
+using VfFactory = std::function<std::unique_ptr<dvfs::VfPolicy>()>;
+
+/// One grid point of a sweep.
+struct SweepJob {
+  /// Display label; defaults to the policy's name when empty.
+  std::string label;
+  SimConfig config;
+  /// Shared immutable traces (see SweepRunner::borrow for caller-owned sets).
+  std::shared_ptr<const trace::TraceSet> traces;
+  PolicyFactory make_policy;
+  /// May be null unless config.vf_mode == kStatic.
+  VfFactory make_static_vf;
+};
+
+/// A job's simulation result plus per-job scheduling diagnostics.
+struct SweepRecord {
+  std::string label;
+  SimResult result;
+  double wall_seconds = 0.0;  ///< time spent inside DatacenterSimulator::run
+  /// Replay throughput: (num VMs x samples per trace) / wall_seconds.
+  double vm_samples_per_second = 0.0;
+};
+
+/// Aggregate counters of the most recent run_all().
+struct SweepStats {
+  std::size_t jobs = 0;
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;       ///< end-to-end run_all time
+  double job_seconds_total = 0.0;  ///< sum of per-job wall times
+  /// Parallel efficiency proxy: serial-equivalent time over elapsed time.
+  double speedup() const {
+    return wall_seconds > 0.0 ? job_seconds_total / wall_seconds : 0.0;
+  }
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(
+      std::size_t num_threads = util::ThreadPool::default_concurrency());
+
+  std::size_t num_threads() const { return num_threads_; }
+  std::size_t pending_jobs() const { return jobs_.size(); }
+
+  /// Queue one job; returns *this so grids can be built fluently.
+  SweepRunner& add(SweepJob job);
+
+  /// Run every queued job across the pool and clear the queue. Records are
+  /// returned in the order the jobs were added. A job that throws (bad
+  /// config, missing v/f factory in static mode, ...) rethrows here.
+  std::vector<SweepRecord> run_all();
+
+  const SweepStats& last_stats() const { return stats_; }
+
+  /// Wrap a caller-owned TraceSet without copying. The caller guarantees
+  /// the set outlives the sweep (non-owning aliasing pointer).
+  static std::shared_ptr<const trace::TraceSet> borrow(
+      const trace::TraceSet& traces);
+
+ private:
+  std::size_t num_threads_;
+  std::vector<SweepJob> jobs_;
+  SweepStats stats_;
+};
+
+}  // namespace cava::sim

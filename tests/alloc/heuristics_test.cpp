@@ -48,9 +48,9 @@ TEST(Ffd, LargestItemsSeedServers) {
   const auto d = demands({1.0, 7.0, 2.0});
   const auto p = ffd.place(d, make_context(3));
   // Sorted: 7, 2, 1. Server0 gets 7, then 1 fits alongside (7+1=8); 2 -> s1.
-  EXPECT_EQ(p.server_of(1), 0);
-  EXPECT_EQ(p.server_of(0), 0);
-  EXPECT_EQ(p.server_of(2), 1);
+  EXPECT_EQ(p.server_of(1), 0u);
+  EXPECT_EQ(p.server_of(0), 0u);
+  EXPECT_EQ(p.server_of(2), 1u);
 }
 
 TEST(Ffd, OverflowsGracefullyWhenCapacityExhausted) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 namespace cava::alloc {
 namespace {
 
@@ -9,7 +11,7 @@ TEST(PlacementTest, StartsUnassigned) {
   Placement p(3, 2);
   EXPECT_EQ(p.num_vms(), 3u);
   EXPECT_EQ(p.num_servers(), 2u);
-  EXPECT_EQ(p.server_of(0), -1);
+  EXPECT_EQ(p.server_of(0), std::nullopt);
   EXPECT_FALSE(p.complete());
   EXPECT_EQ(p.active_servers(), 0u);
 }
@@ -18,8 +20,8 @@ TEST(PlacementTest, AssignAndQuery) {
   Placement p(3, 2);
   p.assign(0, 1);
   p.assign(2, 1);
-  EXPECT_EQ(p.server_of(0), 1);
-  EXPECT_EQ(p.server_of(2), 1);
+  EXPECT_EQ(p.server_of(0), 1u);
+  EXPECT_EQ(p.server_of(2), 1u);
   ASSERT_EQ(p.vms_on(1).size(), 2u);
   EXPECT_EQ(p.vms_on(0).size(), 0u);
   EXPECT_EQ(p.active_servers(), 1u);

@@ -72,8 +72,7 @@ TEST(ClosedLoop, AllocatorRediscoversSharedCorrPlacement) {
   discovered.num_servers = 2;
   discovered.server_freq_ghz.assign(2, opt.frequency_ghz);
   for (std::size_t i = 0; i < 4; ++i) {
-    discovered.isns[i].server =
-        static_cast<std::size_t>(placement.server_of(i));
+    discovered.isns[i].server = placement.server_of(i).value();
   }
   const auto r_discovered = websearch::WebSearchSimulator(discovered).run();
 

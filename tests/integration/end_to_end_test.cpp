@@ -46,18 +46,15 @@ std::vector<PolicyRun> run_all(sim::VfMode mode, std::uint64_t seed) {
 
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf worst;
-  out.push_back({"BFD", sim.run(traces, bfd,
-                                mode == sim::VfMode::kStatic ? &worst : nullptr)});
+  out.push_back({"BFD", sim.run(traces, {bfd, mode == sim::VfMode::kStatic ? &worst : nullptr})});
 
   alloc::PeakClusteringPlacement pcp;
-  out.push_back({"PCP", sim.run(traces, pcp,
-                                mode == sim::VfMode::kStatic ? &worst : nullptr)});
+  out.push_back({"PCP", sim.run(traces, {pcp, mode == sim::VfMode::kStatic ? &worst : nullptr})});
 
   alloc::CorrelationAwarePlacement proposed;
   dvfs::CorrelationAwareVf eqn4;
   out.push_back({"Proposed",
-                 sim.run(traces, proposed,
-                         mode == sim::VfMode::kStatic ? &eqn4 : nullptr)});
+                 sim.run(traces, {proposed, mode == sim::VfMode::kStatic ? &eqn4 : nullptr})});
   return out;
 }
 
@@ -82,7 +79,7 @@ TEST(EndToEndStatic, PcpCollapsesToOneClusterMostPeriods) {
   const sim::DatacenterSimulator sim(setup2_config(sim::VfMode::kStatic));
   alloc::PeakClusteringPlacement pcp;
   dvfs::WorstCaseVf worst;
-  const auto r = sim.run(traces, pcp, &worst);
+  const auto r = sim.run(traces, {pcp, &worst});
   std::size_t one_cluster_periods = 0;
   for (const auto& p : r.periods) {
     if (p.placement_clusters == 1) ++one_cluster_periods;
@@ -100,8 +97,8 @@ TEST(EndToEndStatic, CorrelationAwarePlacementCutsViolations) {
   alloc::BestFitDecreasing bfd;
   alloc::CorrelationAwarePlacement proposed;
   dvfs::WorstCaseVf worst;
-  const auto r_bfd = sim.run(traces, bfd, &worst);
-  const auto r_prop = sim.run(traces, proposed, &worst);
+  const auto r_bfd = sim.run(traces, {bfd, &worst});
+  const auto r_prop = sim.run(traces, {proposed, &worst});
   EXPECT_LE(r_prop.max_violation_ratio,
             r_bfd.max_violation_ratio + 0.02);
 }
@@ -112,8 +109,8 @@ TEST(EndToEndDynamic, AllPoliciesCompleteAndSaveVsFmax) {
       setup2_config(sim::VfMode::kDynamic));
   const sim::DatacenterSimulator fmax_sim(setup2_config(sim::VfMode::kNone));
   alloc::BestFitDecreasing bfd;
-  const auto dyn = dynamic_sim.run(traces, bfd, nullptr);
-  const auto top = fmax_sim.run(traces, bfd, nullptr);
+  const auto dyn = dynamic_sim.run(traces, {bfd});
+  const auto top = fmax_sim.run(traces, {bfd});
   EXPECT_LT(dyn.total_energy_joules, top.total_energy_joules);
 }
 
@@ -146,8 +143,8 @@ TEST(EndToEnd, FfdAndBfdAgreeOnServerCount) {
   alloc::FirstFitDecreasing ffd;
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf worst;
-  const auto r_ffd = sim.run(traces, ffd, &worst);
-  const auto r_bfd = sim.run(traces, bfd, &worst);
+  const auto r_ffd = sim.run(traces, {ffd, &worst});
+  const auto r_bfd = sim.run(traces, {bfd, &worst});
   EXPECT_NEAR(r_ffd.mean_active_servers, r_bfd.mean_active_servers, 1.0);
 }
 

@@ -46,7 +46,7 @@ TEST(DatacenterSim, RejectsEmptyTraces) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  EXPECT_THROW(sim.run(trace::TraceSet{}, bfd, &vf), std::invalid_argument);
+  EXPECT_THROW(sim.run(trace::TraceSet{}, {bfd, &vf}), std::invalid_argument);
 }
 
 TEST(DatacenterSim, RejectsTraceShorterThanPeriod) {
@@ -55,20 +55,20 @@ TEST(DatacenterSim, RejectsTraceShorterThanPeriod) {
   tiny.add({"a", 0, trace::TimeSeries(10.0, std::vector<double>(10, 1.0))});
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  EXPECT_THROW(sim.run(tiny, bfd, &vf), std::invalid_argument);
+  EXPECT_THROW(sim.run(tiny, {bfd, &vf}), std::invalid_argument);
 }
 
 TEST(DatacenterSim, StaticModeRequiresVfPolicy) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
-  EXPECT_THROW(sim.run(small_traces(), bfd, nullptr), std::invalid_argument);
+  EXPECT_THROW(sim.run(small_traces(), {bfd}), std::invalid_argument);
 }
 
 TEST(DatacenterSim, ProducesOnePeriodRecordPerPeriod) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), bfd, &vf);
+  const auto r = sim.run(small_traces(), {bfd, &vf});
   EXPECT_EQ(r.periods.size(), 2u);  // 7200 s / 3600 s
   EXPECT_EQ(r.policy_name, "BFD");
 }
@@ -77,7 +77,7 @@ TEST(DatacenterSim, EnergyIsPositiveAndFinite) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), bfd, &vf);
+  const auto r = sim.run(small_traces(), {bfd, &vf});
   EXPECT_GT(r.total_energy_joules, 0.0);
   EXPECT_TRUE(std::isfinite(r.total_energy_joules));
   double periods_sum = 0.0;
@@ -89,7 +89,7 @@ TEST(DatacenterSim, ViolationRatiosAreValidFractions) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), bfd, &vf);
+  const auto r = sim.run(small_traces(), {bfd, &vf});
   EXPECT_GE(r.max_violation_ratio, 0.0);
   EXPECT_LE(r.max_violation_ratio, 1.0);
   EXPECT_GE(r.overall_violation_fraction, 0.0);
@@ -109,7 +109,7 @@ TEST(DatacenterSim, FmaxModeNeverViolatesWhenCapacitySuffices) {
   cfg.vf_mode = VfMode::kNone;
   DatacenterSimulator sim(cfg);
   alloc::BestFitDecreasing bfd;
-  const auto r = sim.run(flat, bfd, nullptr);
+  const auto r = sim.run(flat, {bfd});
   EXPECT_EQ(r.max_violation_ratio, 0.0);
 }
 
@@ -122,7 +122,7 @@ TEST(DatacenterSim, StaticWorstCaseOnConstantTracesIsViolationFree) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(flat, bfd, &vf);
+  const auto r = sim.run(flat, {bfd, &vf});
   EXPECT_EQ(r.max_violation_ratio, 0.0);
 }
 
@@ -136,12 +136,12 @@ TEST(DatacenterSim, LowerFrequencySavesEnergyOnConstantLoad) {
 
   SimConfig hi = fast_config();
   hi.vf_mode = VfMode::kNone;  // fmax
-  const auto r_hi = DatacenterSimulator(hi).run(flat, bfd, nullptr);
+  const auto r_hi = DatacenterSimulator(hi).run(flat, {bfd});
 
   SimConfig lo = fast_config();
   lo.vf_mode = VfMode::kStatic;
   dvfs::WorstCaseVf vf;  // will pick the lowest level covering 2/8 cores
-  const auto r_lo = DatacenterSimulator(lo).run(flat, bfd, &vf);
+  const auto r_lo = DatacenterSimulator(lo).run(flat, {bfd, &vf});
 
   EXPECT_LT(r_lo.total_energy_joules, r_hi.total_energy_joules);
   EXPECT_EQ(r_lo.max_violation_ratio, 0.0);
@@ -152,7 +152,7 @@ TEST(DatacenterSim, FrequencyResidencyAccountsActiveTime) {
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
   const auto traces = small_traces();
-  const auto r = sim.run(traces, bfd, &vf);
+  const auto r = sim.run(traces, {bfd, &vf});
   double residency_total = 0.0;
   for (const auto& server : r.freq_residency_seconds) {
     for (double sec : server) residency_total += sec;
@@ -168,7 +168,7 @@ TEST(DatacenterSim, DynamicModeRunsAndUsesLowLevels) {
   cfg.dynamic_interval_samples = 6;
   DatacenterSimulator sim(cfg);
   alloc::BestFitDecreasing bfd;
-  const auto r = sim.run(small_traces(), bfd, nullptr);
+  const auto r = sim.run(small_traces(), {bfd});
   double low_level_time = 0.0;
   for (const auto& server : r.freq_residency_seconds) low_level_time += server[0];
   EXPECT_GT(low_level_time, 0.0);
@@ -182,11 +182,11 @@ TEST(DatacenterSim, ProposedUsesLowerMeanFrequencyThanBfd) {
 
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf worst;
-  const auto r_bfd = sim.run(traces, bfd, &worst);
+  const auto r_bfd = sim.run(traces, {bfd, &worst});
 
   alloc::CorrelationAwarePlacement proposed;
   dvfs::CorrelationAwareVf eqn4;
-  const auto r_prop = sim.run(traces, proposed, &eqn4);
+  const auto r_prop = sim.run(traces, {proposed, &eqn4});
 
   double bfd_mean = 0.0, prop_mean = 0.0;
   for (const auto& p : r_bfd.periods) bfd_mean += p.mean_frequency;
@@ -198,7 +198,7 @@ TEST(DatacenterSim, RecordsPcpClusterDiagnostics) {
   DatacenterSimulator sim(fast_config());
   alloc::PeakClusteringPlacement pcp;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), pcp, &vf);
+  const auto r = sim.run(small_traces(), {pcp, &vf});
   for (const auto& p : r.periods) {
     EXPECT_GE(p.placement_clusters, 1);
   }
@@ -208,7 +208,7 @@ TEST(DatacenterSim, MeanActiveServersWithinBounds) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), bfd, &vf);
+  const auto r = sim.run(small_traces(), {bfd, &vf});
   EXPECT_GE(r.mean_active_servers, 1.0);
   EXPECT_LE(r.mean_active_servers, 8.0);
 }
@@ -218,8 +218,8 @@ TEST(DatacenterSim, DeterministicAcrossRuns) {
   DatacenterSimulator sim(fast_config());
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto a = sim.run(traces, bfd, &vf);
-  const auto b = sim.run(traces, bfd, &vf);
+  const auto a = sim.run(traces, {bfd, &vf});
+  const auto b = sim.run(traces, {bfd, &vf});
   EXPECT_DOUBLE_EQ(a.total_energy_joules, b.total_energy_joules);
   EXPECT_DOUBLE_EQ(a.max_violation_ratio, b.max_violation_ratio);
 }
@@ -232,7 +232,7 @@ TEST_P(PredictorSweep, AllPredictorsCompleteSimulation) {
   DatacenterSimulator sim(cfg);
   alloc::BestFitDecreasing bfd;
   dvfs::WorstCaseVf vf;
-  const auto r = sim.run(small_traces(), bfd, &vf);
+  const auto r = sim.run(small_traces(), {bfd, &vf});
   EXPECT_GT(r.total_energy_joules, 0.0);
 }
 

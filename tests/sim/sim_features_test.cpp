@@ -39,9 +39,9 @@ TEST(OracleStatic, ViolatesOnlyWhenPlacementItselfOverloads) {
   const auto traces = small_traces();
   alloc::BestFitDecreasing bfd_a, bfd_b;
   const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
-                          .run(traces, bfd_a, nullptr);
+                          .run(traces, {bfd_a});
   const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
-                        .run(traces, bfd_b, nullptr);
+                        .run(traces, {bfd_b});
   EXPECT_DOUBLE_EQ(oracle.max_violation_ratio, fmax.max_violation_ratio);
   EXPECT_DOUBLE_EQ(oracle.overall_violation_fraction,
                    fmax.overall_violation_fraction);
@@ -51,9 +51,9 @@ TEST(OracleStatic, EnergyAtMostFmax) {
   alloc::BestFitDecreasing bfd;
   const auto traces = small_traces();
   const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
-                          .run(traces, bfd, nullptr);
+                          .run(traces, {bfd});
   const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
-                        .run(traces, bfd, nullptr);
+                        .run(traces, {bfd});
   EXPECT_LE(oracle.total_energy_joules, fmax.total_energy_joules + 1e-6);
 }
 
@@ -65,16 +65,16 @@ TEST(OracleStatic, LowerBoundsWorstCaseStatic) {
   dvfs::WorstCaseVf worst;
   const auto traces = small_traces(5);
   const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
-                          .run(traces, bfd_a, nullptr);
+                          .run(traces, {bfd_a});
   const auto wc = DatacenterSimulator(fast_config(VfMode::kStatic))
-                      .run(traces, bfd_b, &worst);
+                      .run(traces, {bfd_b, &worst});
   EXPECT_LE(oracle.total_energy_joules, wc.total_energy_joules * 1.02);
 }
 
 TEST(MigrationAccounting, PeriodsSumToTotals) {
   DatacenterSimulator sim(fast_config(VfMode::kNone));
   alloc::BestFitDecreasing bfd;
-  const auto r = sim.run(small_traces(), bfd, nullptr);
+  const auto r = sim.run(small_traces(), {bfd});
   std::size_t vms = 0;
   double cores = 0.0;
   for (const auto& p : r.periods) {
@@ -88,7 +88,7 @@ TEST(MigrationAccounting, PeriodsSumToTotals) {
 TEST(MigrationAccounting, FirstPeriodHasNoMigrations) {
   DatacenterSimulator sim(fast_config(VfMode::kNone));
   alloc::BestFitDecreasing bfd;
-  const auto r = sim.run(small_traces(), bfd, nullptr);
+  const auto r = sim.run(small_traces(), {bfd});
   ASSERT_FALSE(r.periods.empty());
   EXPECT_EQ(r.periods.front().migrated_vms, 0u);
 }
@@ -97,13 +97,13 @@ TEST(MigrationAccounting, StickyReducesMigrations) {
   const auto traces = small_traces(7);
   DatacenterSimulator sim(fast_config(VfMode::kNone));
   alloc::BestFitDecreasing plain;
-  const auto r_plain = sim.run(traces, plain, nullptr);
+  const auto r_plain = sim.run(traces, {plain});
 
   alloc::StickyConfig scfg;
   scfg.refresh_every = 100;
   alloc::StickyPlacement sticky(std::make_unique<alloc::BestFitDecreasing>(),
                                 scfg);
-  const auto r_sticky = sim.run(traces, sticky, nullptr);
+  const auto r_sticky = sim.run(traces, {sticky});
   EXPECT_LE(r_sticky.total_migrated_vms, r_plain.total_migrated_vms);
 }
 
@@ -113,8 +113,8 @@ TEST(MigrationAccounting, MigrationEnergyIncreasesTotal) {
   SimConfig free_cfg = fast_config(VfMode::kNone);
   SimConfig paid_cfg = free_cfg;
   paid_cfg.migration_energy_joules_per_core = 500.0;
-  const auto r_free = DatacenterSimulator(free_cfg).run(traces, a, nullptr);
-  const auto r_paid = DatacenterSimulator(paid_cfg).run(traces, b, nullptr);
+  const auto r_free = DatacenterSimulator(free_cfg).run(traces, {a});
+  const auto r_paid = DatacenterSimulator(paid_cfg).run(traces, {b});
   if (r_free.total_migrated_cores > 0.0) {
     EXPECT_NEAR(r_paid.total_energy_joules - r_free.total_energy_joules,
                 500.0 * r_free.total_migrated_cores, 1e-6);
@@ -130,7 +130,7 @@ TEST(CostHorizon, BothModesRunToCompletion) {
     DatacenterSimulator sim(cfg);
     alloc::CorrelationAwarePlacement proposed;
     dvfs::CorrelationAwareVf eqn4;
-    const auto r = sim.run(small_traces(11), proposed, &eqn4);
+    const auto r = sim.run(small_traces(11), {proposed, &eqn4});
     EXPECT_GT(r.total_energy_joules, 0.0);
     EXPECT_EQ(r.periods.size(), 4u);
   }
@@ -146,8 +146,8 @@ TEST(CostHorizon, ModesDivergeAfterFirstPeriod) {
   cum_cfg.cost_horizon = CostHorizon::kCumulative;
   alloc::CorrelationAwarePlacement a, b;
   dvfs::CorrelationAwareVf eqn4;
-  const auto r_prev = DatacenterSimulator(prev_cfg).run(traces, a, &eqn4);
-  const auto r_cum = DatacenterSimulator(cum_cfg).run(traces, b, &eqn4);
+  const auto r_prev = DatacenterSimulator(prev_cfg).run(traces, {a, &eqn4});
+  const auto r_cum = DatacenterSimulator(cum_cfg).run(traces, {b, &eqn4});
   EXPECT_NE(r_prev.total_energy_joules, r_cum.total_energy_joules);
 }
 
@@ -164,10 +164,10 @@ TEST_P(OracleSeedSweep, OracleMatchesFmaxViolationsAndIsCheaper) {
   const auto traces = small_traces(GetParam());
   alloc::BestFitDecreasing bfd;
   const auto oracle = DatacenterSimulator(fast_config(VfMode::kOracleStatic))
-                          .run(traces, bfd, nullptr);
+                          .run(traces, {bfd});
   alloc::BestFitDecreasing bfd2;
   const auto fmax = DatacenterSimulator(fast_config(VfMode::kNone))
-                        .run(traces, bfd2, nullptr);
+                        .run(traces, {bfd2});
   EXPECT_DOUBLE_EQ(oracle.max_violation_ratio, fmax.max_violation_ratio);
   EXPECT_LE(oracle.total_energy_joules, fmax.total_energy_joules + 1e-6);
 }

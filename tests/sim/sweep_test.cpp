@@ -1,0 +1,208 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "dvfs/vf_policy.h"
+#include "trace/synthesis.h"
+
+namespace cava::sim {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Small phased population: cheap enough to simulate many times per test.
+trace::TraceSet small_traces(std::size_t n_vms = 8) {
+  trace::TraceSet set;
+  const std::size_t samples = 240;  // 4 periods of 60 x 60 s samples
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    std::vector<double> s(samples);
+    const double phase =
+        2.0 * kPi * static_cast<double>(v) / static_cast<double>(n_vms);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) / 60.0 + phase);
+    }
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(60.0, std::move(s))});
+  }
+  return set;
+}
+
+SimConfig small_config(VfMode mode = VfMode::kStatic) {
+  SimConfig cfg;
+  cfg.max_servers = 6;
+  cfg.period_seconds = 3600.0;
+  cfg.vf_mode = mode;
+  return cfg;
+}
+
+/// Every scalar and per-period field must match exactly (no tolerance):
+/// thread count may never change simulation results.
+void expect_bit_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.total_energy_joules, b.total_energy_joules);
+  EXPECT_EQ(a.max_violation_ratio, b.max_violation_ratio);
+  EXPECT_EQ(a.overall_violation_fraction, b.overall_violation_fraction);
+  EXPECT_EQ(a.mean_active_servers, b.mean_active_servers);
+  EXPECT_EQ(a.total_migrated_vms, b.total_migrated_vms);
+  EXPECT_EQ(a.total_migrated_cores, b.total_migrated_cores);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (std::size_t p = 0; p < a.periods.size(); ++p) {
+    EXPECT_EQ(a.periods[p].energy_joules, b.periods[p].energy_joules);
+    EXPECT_EQ(a.periods[p].active_servers, b.periods[p].active_servers);
+    EXPECT_EQ(a.periods[p].max_server_violation_ratio,
+              b.periods[p].max_server_violation_ratio);
+    EXPECT_EQ(a.periods[p].mean_frequency, b.periods[p].mean_frequency);
+  }
+  ASSERT_EQ(a.freq_residency_seconds.size(), b.freq_residency_seconds.size());
+  for (std::size_t s = 0; s < a.freq_residency_seconds.size(); ++s) {
+    EXPECT_EQ(a.freq_residency_seconds[s], b.freq_residency_seconds[s]);
+  }
+}
+
+/// A small policy x config grid exercising static/dynamic modes.
+void add_grid(SweepRunner& runner,
+              const std::shared_ptr<const trace::TraceSet>& traces) {
+  runner.add({"bfd/static", small_config(), traces,
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  runner.add({"ffd/static", small_config(), traces,
+              [] { return std::make_unique<alloc::FirstFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  runner.add({"proposed/static", small_config(), traces,
+              [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+              [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }});
+  runner.add({"bfd/dynamic", small_config(VfMode::kDynamic), traces,
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              nullptr});
+  runner.add({"proposed/fmax", small_config(VfMode::kNone), traces,
+              [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+              nullptr});
+}
+
+TEST(SweepRunner, RejectsZeroThreads) {
+  EXPECT_THROW(SweepRunner{0}, std::invalid_argument);
+}
+
+TEST(SweepRunner, ReturnsRecordsInSubmissionOrder) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner runner(2);
+  add_grid(runner, SweepRunner::borrow(traces));
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].label, "bfd/static");
+  EXPECT_EQ(records[1].label, "ffd/static");
+  EXPECT_EQ(records[2].label, "proposed/static");
+  EXPECT_EQ(records[3].label, "bfd/dynamic");
+  EXPECT_EQ(records[4].label, "proposed/fmax");
+  EXPECT_EQ(runner.pending_jobs(), 0u);
+}
+
+TEST(SweepRunner, OneThreadAndManyThreadsAreBitIdentical) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  add_grid(serial, SweepRunner::borrow(traces));
+  add_grid(parallel, SweepRunner::borrow(traces));
+  const auto serial_records = serial.run_all();
+  const auto parallel_records = parallel.run_all();
+  ASSERT_EQ(serial_records.size(), parallel_records.size());
+  for (std::size_t i = 0; i < serial_records.size(); ++i) {
+    expect_bit_identical(serial_records[i].result, parallel_records[i].result);
+  }
+}
+
+TEST(SweepRunner, MatchesDirectSimulatorRun) {
+  const trace::TraceSet traces = small_traces();
+  alloc::BestFitDecreasing bfd;
+  dvfs::WorstCaseVf worst;
+  const SimResult direct =
+      DatacenterSimulator(small_config()).run(traces, {bfd, &worst});
+
+  SweepRunner runner(3);
+  runner.add({"", small_config(), SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, "BFD");  // empty label falls back to the policy
+  expect_bit_identical(records[0].result, direct);
+}
+
+TEST(SweepRunner, RepeatedRunsOfTheSameGridAgree) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner runner(4);
+  add_grid(runner, SweepRunner::borrow(traces));
+  const auto first = runner.run_all();
+  add_grid(runner, SweepRunner::borrow(traces));
+  const auto second = runner.run_all();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_bit_identical(first[i].result, second[i].result);
+  }
+}
+
+TEST(SweepRunner, PropagatesJobFailures) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner runner(2);
+  // Static mode with no v/f factory: DatacenterSimulator::run must throw,
+  // and the sweep must surface it instead of swallowing the job.
+  runner.add({"broken", small_config(), SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              nullptr});
+  EXPECT_THROW(runner.run_all(), std::invalid_argument);
+}
+
+TEST(SweepRunner, ValidatesJobs) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner no_traces(1);
+  no_traces.add({"x", small_config(), nullptr,
+                 [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+                 nullptr});
+  EXPECT_THROW(no_traces.run_all(), std::invalid_argument);
+
+  SweepRunner no_policy(1);
+  no_policy.add(
+      {"y", small_config(), SweepRunner::borrow(traces), nullptr, nullptr});
+  EXPECT_THROW(no_policy.run_all(), std::invalid_argument);
+}
+
+TEST(SweepRunner, RecordsWallTimeAndThroughput) {
+  const trace::TraceSet traces = small_traces();
+  SweepRunner runner(2);
+  add_grid(runner, SweepRunner::borrow(traces));
+  const auto records = runner.run_all();
+  for (const auto& r : records) {
+    EXPECT_GT(r.wall_seconds, 0.0);
+    EXPECT_GT(r.vm_samples_per_second, 0.0);
+  }
+  const SweepStats& stats = runner.last_stats();
+  EXPECT_EQ(stats.jobs, records.size());
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.job_seconds_total, 0.0);
+  EXPECT_GT(stats.speedup(), 0.0);
+}
+
+TEST(SweepRunner, SharesOwnershipOfTraceSets) {
+  // Jobs keep the population alive through the shared_ptr even when the
+  // caller's handle goes away before run_all().
+  auto traces = std::make_shared<const trace::TraceSet>(small_traces());
+  SweepRunner runner(2);
+  runner.add({"owned", small_config(), traces,
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  traces.reset();
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].result.total_energy_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace cava::sim

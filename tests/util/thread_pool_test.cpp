@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cava::util {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ReturnsTaskResultsThroughFutures) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("done"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPool, FuturesMatchSubmissionOrder) {
+  // Whatever order tasks *complete* in, future k must carry task k's value.
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] {
+      if (i % 7 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return i * i;
+    }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);  // one failure must not poison the pool
+}
+
+TEST(ThreadPool, RunsTasksOnAllWorkers) {
+  // Four tasks each block until all four have started; this can only
+  // resolve if four distinct workers picked one up.
+  constexpr std::size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t started = 0;
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      ++started;
+      cv.notify_all();
+      cv.wait(lock, [&] { return started == kThreads; });
+    }));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    f.get();
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&executed] { ++executed; });
+    }
+  }  // destructor must run everything that was queued
+  EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace cava::util

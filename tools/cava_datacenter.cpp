@@ -3,6 +3,8 @@
 // Runs one or more placement policies over a utilization trace population
 // (loaded from CSV or synthesized) and reports energy, QoS violations,
 // server usage and migrations; optionally dumps full results as JSON.
+// Multi-policy runs fan out across a thread pool (see --threads); results
+// are bit-identical to serial runs.
 //
 // Examples:
 //   # paper Setup-2 defaults, all policies, static v/f
@@ -28,10 +30,11 @@
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
 #include "dvfs/vf_policy.h"
-#include "sim/datacenter_sim.h"
 #include "sim/report.h"
+#include "sim/sweep.h"
 #include "trace/synthesis.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -56,33 +59,49 @@ Simulation:
   --period-min M      placement period, minutes       [60]
   --predictor NAME    last-value | moving-average | ewma | ar1 [last-value]
   --migration-joules J  energy per migrated core      [0]
+  --threads N         worker threads for multi-policy runs
+                      [hardware concurrency]
 
 Output:
   --json-out FILE     write full results as JSON
   --help              this text
 )";
 
-std::unique_ptr<alloc::PlacementPolicy> make_policy(const std::string& name,
-                                                    bool sticky) {
-  std::unique_ptr<alloc::PlacementPolicy> policy;
-  if (name == "ffd") {
-    policy = std::make_unique<alloc::FirstFitDecreasing>();
-  } else if (name == "bfd") {
-    policy = std::make_unique<alloc::BestFitDecreasing>();
-  } else if (name == "pcp") {
-    policy = std::make_unique<alloc::PeakClusteringPlacement>();
-  } else if (name == "effsize") {
-    policy = std::make_unique<alloc::EffectiveSizingPlacement>();
-  } else if (name == "proposed") {
-    policy = std::make_unique<alloc::CorrelationAwarePlacement>();
-  } else {
+sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
+  if (name != "ffd" && name != "bfd" && name != "pcp" && name != "effsize" &&
+      name != "proposed") {
     throw std::invalid_argument("unknown policy '" + name + "'");
   }
-  if (sticky) {
-    policy = std::make_unique<alloc::StickyPlacement>(std::move(policy),
-                                                      alloc::StickyConfig{});
+  return [name, sticky]() -> std::unique_ptr<alloc::PlacementPolicy> {
+    std::unique_ptr<alloc::PlacementPolicy> policy;
+    if (name == "ffd") {
+      policy = std::make_unique<alloc::FirstFitDecreasing>();
+    } else if (name == "bfd") {
+      policy = std::make_unique<alloc::BestFitDecreasing>();
+    } else if (name == "pcp") {
+      policy = std::make_unique<alloc::PeakClusteringPlacement>();
+    } else if (name == "effsize") {
+      policy = std::make_unique<alloc::EffectiveSizingPlacement>();
+    } else {
+      policy = std::make_unique<alloc::CorrelationAwarePlacement>();
+    }
+    if (sticky) {
+      policy = std::make_unique<alloc::StickyPlacement>(std::move(policy),
+                                                        alloc::StickyConfig{});
+    }
+    return policy;
+  };
+}
+
+/// Static-mode v/f rule for one policy: eqn4 when asked for (or "matched"
+/// with the proposed policy), worst-case otherwise; null in non-static modes.
+sim::VfFactory make_vf_factory(const sim::SimConfig& cfg, const std::string& vf,
+                               const std::string& policy_name) {
+  if (cfg.vf_mode != sim::VfMode::kStatic) return nullptr;
+  if (vf == "eqn4" || (vf == "matched" && policy_name == "proposed")) {
+    return [] { return std::make_unique<dvfs::CorrelationAwareVf>(); };
   }
-  return policy;
+  return [] { return std::make_unique<dvfs::WorstCaseVf>(); };
 }
 
 }  // namespace
@@ -93,29 +112,29 @@ int main(int argc, char** argv) {
     flags.require_known({"trace-in", "trace-out", "vms", "groups", "hours",
                          "seed", "policy", "vf", "sticky", "servers",
                          "period-min", "predictor", "migration-joules",
-                         "json-out", "help"});
+                         "threads", "json-out", "help"});
     if (flags.get_bool("help")) {
       std::fputs(kUsage, stdout);
       return 0;
     }
 
     // ---- Traces. ----
-    trace::TraceSet traces;
+    auto traces = std::make_shared<trace::TraceSet>();
     if (flags.has("trace-in")) {
-      traces = trace::TraceSet::load_csv(flags.get_string("trace-in", ""));
+      *traces = trace::TraceSet::load_csv(flags.get_string("trace-in", ""));
     } else {
       trace::DatacenterTraceConfig tcfg;
       tcfg.num_vms = static_cast<int>(flags.get_int("vms", 40));
       tcfg.num_groups = static_cast<int>(flags.get_int("groups", 4));
       tcfg.day_seconds = 3600.0 * flags.get_double("hours", 24.0);
       tcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
-      traces = trace::generate_datacenter_traces(tcfg);
+      *traces = trace::generate_datacenter_traces(tcfg);
     }
     if (flags.has("trace-out")) {
-      traces.save_csv(flags.get_string("trace-out", ""));
+      traces->save_csv(flags.get_string("trace-out", ""));
     }
-    std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces.size(),
-                traces.samples_per_trace(), traces.dt());
+    std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces->size(),
+                traces->samples_per_trace(), traces->dt());
 
     // ---- Simulator configuration. ----
     sim::SimConfig cfg;
@@ -135,7 +154,6 @@ int main(int argc, char** argv) {
     } else {
       cfg.vf_mode = sim::VfMode::kStatic;
     }
-    const sim::DatacenterSimulator simulator(cfg);
 
     // ---- Policies to run. ----
     const std::string which = flags.get_string("policy", "all");
@@ -146,23 +164,33 @@ int main(int argc, char** argv) {
       names = {which};
     }
 
-    std::vector<sim::SimResult> results;
+    const std::size_t threads = flags.has("threads")
+        ? static_cast<std::size_t>(flags.get_int("threads", 1))
+        : util::ThreadPool::default_concurrency();
+    sim::SweepRunner runner(threads);
     for (const std::string& name : names) {
-      auto policy = make_policy(name, flags.get_bool("sticky"));
-      std::unique_ptr<dvfs::VfPolicy> static_policy;
-      if (cfg.vf_mode == sim::VfMode::kStatic) {
-        if (vf == "eqn4" || (vf == "matched" && name == "proposed")) {
-          static_policy = std::make_unique<dvfs::CorrelationAwareVf>();
-        } else {
-          static_policy = std::make_unique<dvfs::WorstCaseVf>();
-        }
-      }
-      results.push_back(simulator.run(traces, *policy, static_policy.get()));
-      std::puts(sim::summary_line(results.back()).c_str());
+      runner.add({"", cfg, traces, make_policy_factory(name, flags.get_bool("sticky")),
+                  make_vf_factory(cfg, vf, name)});
+    }
+    const auto records = runner.run_all();
+
+    std::vector<sim::SimResult> results;
+    for (const auto& record : records) {
+      results.push_back(record.result);
+      std::printf("%s  [%.2fs, %.2e VM-samples/s]\n",
+                  sim::summary_line(record.result).c_str(),
+                  record.wall_seconds, record.vm_samples_per_second);
     }
 
     std::printf("\n");
     sim::print_comparison(results, std::cout);
+
+    const sim::SweepStats& stats = runner.last_stats();
+    std::printf(
+        "\nsweep: %zu jobs on %zu threads, %.2fs elapsed (%.2fs "
+        "serial-equivalent, %.2fx)\n",
+        stats.jobs, stats.threads, stats.wall_seconds, stats.job_seconds_total,
+        stats.speedup());
 
     if (flags.has("json-out")) {
       util::Json j = util::Json::object();
