@@ -1,0 +1,84 @@
+#include "alloc/validate.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cava::alloc {
+
+std::vector<std::string> validate_placement(
+    const Placement& placement, std::span<const model::VmDemand> demands,
+    const model::ServerSpec& server, const ValidationOptions& options) {
+  std::vector<std::string> issues;
+  const std::size_t num_vms = placement.num_vms();
+  const std::size_t num_servers = placement.num_servers();
+
+  if (demands.size() != num_vms) {
+    std::ostringstream ss;
+    ss << "demand count " << demands.size() << " != placement VM count "
+       << num_vms;
+    issues.push_back(ss.str());
+  }
+
+  // Every VM assigned, and assigned to the server whose list contains it.
+  std::vector<std::size_t> seen(num_vms, 0);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    for (std::size_t vm : placement.vms_on(s)) {
+      if (vm >= num_vms) {
+        std::ostringstream ss;
+        ss << "server " << s << " lists out-of-range VM " << vm;
+        issues.push_back(ss.str());
+        continue;
+      }
+      ++seen[vm];
+      const auto home = placement.server_of(vm);
+      if (!home || *home != s) {
+        std::ostringstream ss;
+        ss << "VM " << vm << " listed on server " << s
+           << " but server_of reports "
+           << (home ? std::to_string(*home) : std::string("unassigned"));
+        issues.push_back(ss.str());
+      }
+    }
+  }
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    if (seen[vm] == 1) continue;
+    std::ostringstream ss;
+    if (seen[vm] == 0) {
+      ss << "VM " << vm << " is not placed on any server";
+    } else {
+      ss << "VM " << vm << " is placed " << seen[vm] << " times";
+    }
+    issues.push_back(ss.str());
+  }
+
+  if (options.strict_capacity && demands.size() == num_vms) {
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      double load = 0.0;
+      for (std::size_t vm : placement.vms_on(s)) {
+        if (vm < demands.size()) load += demands[vm].reference;
+      }
+      if (load > server.max_capacity() + options.tolerance) {
+        std::ostringstream ss;
+        ss << "server " << s << " packed to " << load << " cores > capacity "
+           << server.max_capacity();
+        issues.push_back(ss.str());
+      }
+    }
+  }
+  return issues;
+}
+
+void validate_placement_or_throw(const Placement& placement,
+                                 std::span<const model::VmDemand> demands,
+                                 const model::ServerSpec& server,
+                                 const ValidationOptions& options) {
+  const auto issues = validate_placement(placement, demands, server, options);
+  if (issues.empty()) return;
+  std::ostringstream ss;
+  ss << "placement validation failed (" << issues.size() << " issue"
+     << (issues.size() == 1 ? "" : "s") << "):";
+  for (const auto& issue : issues) ss << "\n  - " << issue;
+  throw std::logic_error(ss.str());
+}
+
+}  // namespace cava::alloc

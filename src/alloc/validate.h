@@ -1,0 +1,40 @@
+// Debug-time placement validation: catches policy bugs (a VM placed twice,
+// never placed, or inconsistent assignment bookkeeping) at the source rather
+// than as downstream energy anomalies. The simulator runs the structural
+// checks under debug / CAVA_SANITIZE builds; tests additionally enable the
+// capacity check on instances they know are feasible.
+#pragma once
+
+#include "alloc/placement.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::alloc {
+
+struct ValidationOptions {
+  /// When true, a per-server predicted demand above capacity is an issue.
+  /// Off by default because overflow is legitimate policy output when the
+  /// instance itself is infeasible (FFD's overflow branch): the simulator
+  /// records the resulting violations honestly.
+  bool strict_capacity = false;
+  double tolerance = 1e-9;
+};
+
+/// Check structural invariants of a placement against the demands it was
+/// computed from: every VM assigned exactly once, server indices consistent
+/// between server_of() and vms_on(), no duplicates; with strict_capacity,
+/// per-server demand <= ServerSpec capacity. Returns human-readable issue
+/// descriptions (empty = valid).
+std::vector<std::string> validate_placement(
+    const Placement& placement, std::span<const model::VmDemand> demands,
+    const model::ServerSpec& server, const ValidationOptions& options = {});
+
+/// Throws std::logic_error listing every issue found; no-op when valid.
+void validate_placement_or_throw(const Placement& placement,
+                                 std::span<const model::VmDemand> demands,
+                                 const model::ServerSpec& server,
+                                 const ValidationOptions& options = {});
+
+}  // namespace cava::alloc

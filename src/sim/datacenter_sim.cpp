@@ -2,38 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/validate.h"
 #include "util/math_util.h"
 
 namespace cava::sim {
 
-DatacenterSimulator::DatacenterSimulator(SimConfig config)
-    : config_(std::move(config)) {
-  if (config_.max_servers == 0) {
-    throw std::invalid_argument("DatacenterSimulator: max_servers 0");
+void SimConfig::validate() const {
+  if (max_servers == 0) {
+    throw std::invalid_argument("SimConfig: max_servers 0");
   }
-  if (config_.period_seconds <= 0.0) {
-    throw std::invalid_argument("DatacenterSimulator: period <= 0");
+  if (!(period_seconds > 0.0)) {
+    throw std::invalid_argument("SimConfig: period <= 0");
   }
+  if (vf_mode == VfMode::kDynamic && dynamic_interval_samples == 0) {
+    throw std::invalid_argument(
+        "SimConfig: dynamic mode needs dynamic_interval_samples >= 1");
+  }
+  if (!(dynamic_headroom > 0.0)) {
+    throw std::invalid_argument("SimConfig: dynamic_headroom <= 0");
+  }
+  if (migration_energy_joules_per_core < 0.0) {
+    throw std::invalid_argument("SimConfig: negative migration energy");
+  }
+  if (!(failover_threshold >= 0.0)) {
+    throw std::invalid_argument("SimConfig: failover_threshold < 0");
+  }
+  faults.validate();
 }
 
-SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
+DatacenterSimulator::DatacenterSimulator(SimConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
                                    const RunOptions& options) const {
   alloc::PlacementPolicy& policy = options.policy;
   const dvfs::VfPolicy* static_vf = options.static_vf;
-  const std::size_t n = traces.size();
+  const std::size_t n = input_traces.size();
   if (n == 0) throw std::invalid_argument("DatacenterSimulator: no traces");
-  const double dt = traces.dt();
+  const double dt = input_traces.dt();
   const auto samples_per_period =
       static_cast<std::size_t>(std::llround(config_.period_seconds / dt));
   if (samples_per_period == 0) {
     throw std::invalid_argument("DatacenterSimulator: period shorter than dt");
   }
-  const std::size_t total_samples = traces.samples_per_trace();
+  const std::size_t total_samples = input_traces.samples_per_trace();
   const std::size_t num_periods = total_samples / samples_per_period;
   if (num_periods == 0) {
     throw std::invalid_argument("DatacenterSimulator: trace shorter than one period");
@@ -47,6 +67,26 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
   result.freq_residency_seconds.assign(
       config_.max_servers,
       std::vector<double>(config_.server.num_levels(), 0.0));
+
+  // ---- Fault expansion. With FaultSpec::none() every branch below is a
+  // no-op and the replay reads the caller's traces untouched, so fault-free
+  // runs stay bit-identical to a build without the fault layer. ----
+  FaultInjector injector(config_.faults, config_.fault_seed);
+  trace::TraceSet faulted_storage;
+  const trace::TraceSet* trace_ptr = &input_traces;
+  if (config_.faults.trace_faults()) {
+    FaultInjector::TraceFaultResult tf = injector.apply_trace_faults(input_traces);
+    faulted_storage = std::move(tf.traces);
+    trace_ptr = &faulted_storage;
+    result.dropped_vm_samples = tf.dropped_vm_samples;
+  }
+  const trace::TraceSet& traces = *trace_ptr;
+  const std::vector<ServerFaultEvent> schedule = injector.server_schedule(
+      config_.max_servers, num_periods, samples_per_period, dt);
+  const std::vector<double> capacity_fraction =
+      injector.capacity_fractions(config_.max_servers);
+  std::size_t event_cursor = 0;
+  std::vector<char> server_up(config_.max_servers, 1);
 
   // Per-VM predictors of next-period reference utilization.
   std::vector<std::unique_ptr<trace::Predictor>> predictors;
@@ -87,6 +127,13 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
         demands[i] = {i, predictors[i]->predict()};
       }
     }
+    if (config_.faults.prediction_faults()) {
+      // Bias/noise on the references every downstream decision consumes:
+      // placement, Eqn.-4 static v/f, failover capacity checks.
+      for (std::size_t i = 0; i < n; ++i) {
+        demands[i].reference = injector.perturb_prediction(demands[i].reference);
+      }
+    }
 
     // Previous-period history slice for envelope-based policies.
     trace::TraceSet history;
@@ -117,6 +164,12 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
     ctx.moments = &prev_moments;
     ctx.history = &history;
     const alloc::Placement placement = policy.place(demands, ctx);
+#if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
+    // Structural invariants only: capacity overflow is legitimate policy
+    // output on infeasible instances (the replay records the violations).
+    alloc::validate_placement_or_throw(placement, demands, config_.server,
+                                       {/*strict_capacity=*/false});
+#endif
 
     PeriodRecord record;
     record.active_servers = placement.active_servers();
@@ -126,9 +179,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
     active_servers_sum += static_cast<double>(record.active_servers);
 
     // Migration accounting against the previous period's placement.
+    std::vector<double> demand_by_vm(n, 0.0);
+    for (const auto& d : demands) demand_by_vm[d.vm] = d.reference;
     if (prev_placement.has_value()) {
-      std::vector<double> demand_by_vm(n, 0.0);
-      for (const auto& d : demands) demand_by_vm[d.vm] = d.reference;
       const alloc::MigrationStats moves =
           alloc::count_migrations(*prev_placement, placement, demand_by_vm);
       record.migrated_vms = moves.migrated_vms;
@@ -170,6 +223,84 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
       }
     }
 
+    // ---- Live placement state for the replay: starts as a copy of the
+    // policy's decision and mutates when the failover path moves VMs off a
+    // crashed server. Fault-free runs never mutate it, so the copy preserves
+    // sample-by-sample arithmetic exactly. ----
+    std::vector<std::vector<std::size_t>> live_vms(config_.max_servers);
+    std::vector<double> live_load(config_.max_servers, 0.0);
+    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      const auto vms = placement.vms_on(s);
+      live_vms[s].assign(vms.begin(), vms.end());
+      for (std::size_t vm : vms) live_load[s] += demand_by_vm[vm];
+    }
+    std::vector<std::size_t> unplaced;
+
+    // Failover fallback chain for one displaced VM: (1) correlation-aware —
+    // the live host maximizing the Eqn.-2 cost with the VM added, subject to
+    // fitting and cost > failover_threshold (relaxed TH_cost); (2) FFD —
+    // first live host with room; (3) reject, accounted as unplaced.
+    const auto place_one = [&](std::size_t vm) -> bool {
+      const double need = demand_by_vm[vm];
+      constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+      std::size_t best = kNone;
+      double best_cost = -1.0;
+      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+        if (!server_up[s]) continue;
+        const double cap =
+            capacity_fraction[s] * config_.server.max_capacity();
+        if (live_load[s] + need > cap + 1e-9) continue;
+        const double cost = prev_matrix.server_cost_with(live_vms[s], vm);
+        if (cost > config_.failover_threshold && cost > best_cost) {
+          best = s;
+          best_cost = cost;
+        }
+      }
+      if (best == kNone) {
+        for (std::size_t s = 0; s < config_.max_servers; ++s) {
+          if (!server_up[s]) continue;
+          const double cap =
+              capacity_fraction[s] * config_.server.max_capacity();
+          if (live_load[s] + need <= cap + 1e-9) {
+            best = s;
+            break;
+          }
+        }
+      }
+      if (best == kNone) return false;
+      live_vms[best].push_back(vm);
+      live_load[best] += need;
+      ++record.failover_migrations;
+      ++result.failover_migrations;
+      result.failover_migrated_cores += need;
+      return true;
+    };
+
+    double period_energy = 0.0;
+
+    // Emergency re-placement of every VM on a crashed server. Migrated-core
+    // energy is charged at the same per-core rate as planned migrations.
+    const auto evacuate = [&](std::size_t dead) {
+      const std::vector<std::size_t> displaced = std::move(live_vms[dead]);
+      live_vms[dead].clear();
+      live_load[dead] = 0.0;
+      for (std::size_t vm : displaced) {
+        if (place_one(vm)) {
+          period_energy +=
+              config_.migration_energy_joules_per_core * demand_by_vm[vm];
+        } else {
+          unplaced.push_back(vm);
+        }
+      }
+    };
+
+    // Servers already down at the period boundary: the policy has no
+    // availability mask, so its assignments to dead servers are immediately
+    // failed over through the same chain as a mid-period crash.
+    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      if (!server_up[s] && !live_vms[s].empty()) evacuate(s);
+    }
+
     // ---- REPLAY. ----
     const bool cumulative = config_.cost_horizon == CostHorizon::kCumulative;
     // Cumulative horizon: keep integrating into the living matrix (period 0
@@ -180,12 +311,38 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
     corr::CostMatrix& fed_matrix = cumulative ? prev_matrix : curr_matrix;
     corr::MomentMatrix& fed_moments = cumulative ? prev_moments : curr_moments;
     const bool feed = !(cumulative && p == 0);
-    double period_energy = 0.0;
     double freq_weighted_time = 0.0;
     double active_time = 0.0;
     std::vector<std::size_t> server_violations(config_.max_servers, 0);
 
     for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
+      // Crash/repair events scheduled for this absolute sample.
+      const std::size_t global = first + s_idx;
+      while (event_cursor < schedule.size() &&
+             schedule[event_cursor].sample == global) {
+        const ServerFaultEvent& ev = schedule[event_cursor++];
+        if (ev.up) {
+          server_up[ev.server] = 1;
+          // A repaired (empty) server restores capacity: give stranded VMs
+          // another pass through the fallback chain.
+          std::vector<std::size_t> still_unplaced;
+          for (std::size_t vm : unplaced) {
+            if (place_one(vm)) {
+              period_energy +=
+                  config_.migration_energy_joules_per_core * demand_by_vm[vm];
+            } else {
+              still_unplaced.push_back(vm);
+            }
+          }
+          unplaced = std::move(still_unplaced);
+        } else {
+          server_up[ev.server] = 0;
+          ++record.server_crashes;
+          ++result.server_crashes;
+          evacuate(ev.server);
+        }
+      }
+
       for (std::size_t i = 0; i < n; ++i) {
         tick[i] = traces[i].series[first + s_idx];
       }
@@ -195,7 +352,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
       }
 
       for (std::size_t s = 0; s < config_.max_servers; ++s) {
-        const auto vms = placement.vms_on(s);
+        const std::vector<std::size_t>& vms = live_vms[s];
         if (vms.empty()) continue;
         double agg = 0.0;
         for (std::size_t vm : vms) agg += tick[vm];
@@ -207,7 +364,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
           f = config_.server.fmax();
         }
 
-        const double capacity = config_.server.capacity_at(f);
+        const double capacity =
+            capacity_fraction[s] * config_.server.capacity_at(f);
         if (agg > capacity + 1e-9) {
           ++server_violations[s];
           ++violated_instances;
@@ -228,11 +386,16 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
           controllers[s].on_sample(agg);
         }
       }
+
+      if (!unplaced.empty()) {
+        record.unplaced_vm_seconds +=
+            static_cast<double>(unplaced.size()) * dt;
+      }
     }
 
     // ---- Period wrap-up. ----
     for (std::size_t s = 0; s < config_.max_servers; ++s) {
-      if (placement.vms_on(s).empty()) continue;
+      if (live_vms[s].empty() && server_violations[s] == 0) continue;
       const double ratio = static_cast<double>(server_violations[s]) /
                            static_cast<double>(samples_per_period);
       record.max_server_violation_ratio =
@@ -242,6 +405,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& traces,
         config_.migration_energy_joules_per_core * record.migrated_cores;
     record.energy_joules = period_energy;
     record.mean_frequency = active_time > 0.0 ? freq_weighted_time / active_time : 0.0;
+    result.unplaced_vm_seconds += record.unplaced_vm_seconds;
     result.periods.push_back(record);
     result.total_energy_joules += period_energy;
     result.max_violation_ratio =

@@ -27,10 +27,12 @@
 #include "dvfs/vf_policy.h"
 #include "model/power.h"
 #include "model/server.h"
+#include "sim/fault.h"
 #include "trace/predictor.h"
 #include "trace/reference.h"
 #include "trace/time_series.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +70,22 @@ struct SimConfig {
   /// Energy charged per migrated fmax-equivalent core when a VM changes
   /// server between periods (live-migration copy work; 0 disables).
   double migration_energy_joules_per_core = 0.0;
+  /// Fault model applied to this run (FaultSpec::none() keeps the simulation
+  /// bit-identical to a fault-free build). See sim/fault.h.
+  FaultSpec faults;
+  /// Seed of the fault streams; (faults, fault_seed) fully determine a run.
+  std::uint64_t fault_seed = 1;
+  /// Relaxed TH_cost for mid-period emergency re-placement after a server
+  /// crash: the correlation-aware pass of the failover fallback chain accepts
+  /// a host when Eqn.-2 cost exceeds this (costs lie in [1, 2]); hosts below
+  /// it are left to the FFD pass. Lower than the placement policy's own
+  /// threshold because an emergency move prefers *some* host over none.
+  double failover_threshold = 1.05;
+
+  /// Central validation of every knob: one clear std::invalid_argument
+  /// instead of scattered ad-hoc throws. Called by the simulator constructor;
+  /// entry points building configs by hand can call it early.
+  void validate() const;
 };
 
 /// Per-period diagnostics.
@@ -79,6 +97,9 @@ struct PeriodRecord {
   int placement_clusters = -1;  ///< PCP diagnostic; -1 if n/a
   std::size_t migrated_vms = 0;    ///< VMs moved relative to previous period
   double migrated_cores = 0.0;     ///< demand volume of those moves
+  std::size_t server_crashes = 0;       ///< crash events this period
+  std::size_t failover_migrations = 0;  ///< emergency re-placements
+  double unplaced_vm_seconds = 0.0;     ///< VM-seconds spent unhosted
 };
 
 struct SimResult {
@@ -92,6 +113,18 @@ struct SimResult {
   double mean_active_servers = 0.0;
   std::size_t total_migrated_vms = 0;
   double total_migrated_cores = 0.0;
+  // --- Degraded-mode accounting (all zero in fault-free runs). ---
+  /// Trace samples lost or corrupted and repaired at ingest by the injector.
+  std::size_t dropped_vm_samples = 0;
+  /// Crash events that took a server down mid-run.
+  std::size_t server_crashes = 0;
+  /// VMs emergency-re-placed by the mid-period failover path.
+  std::size_t failover_migrations = 0;
+  /// Demand volume (fmax-equivalent cores) of those emergency moves.
+  double failover_migrated_cores = 0.0;
+  /// VM-seconds during which no server could host a displaced VM: the
+  /// honest "we degraded instead of crashing" metric.
+  double unplaced_vm_seconds = 0.0;
   std::vector<PeriodRecord> periods;
   /// Seconds spent at each ladder level, per server: [server][level].
   std::vector<std::vector<double>> freq_residency_seconds;

@@ -1,0 +1,255 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cava::sim {
+
+namespace {
+
+// Layer-stream salts: each fault layer derives its own Rng from the user
+// seed so enabling one layer never shifts another layer's draws.
+constexpr std::uint64_t kTraceSalt = 0x7261636566617571ULL;
+constexpr std::uint64_t kServerSalt = 0x73657276657266ULL;
+constexpr std::uint64_t kDegradeSalt = 0x646567726164ULL;
+constexpr std::uint64_t kPredictionSalt = 0x7072656469637400ULL;
+
+void check_prob(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultSpec: ") + name +
+                                " must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  check_prob(dropout_prob, "dropout_prob");
+  check_prob(corrupt_prob, "corrupt_prob");
+  check_prob(spike_prob, "spike_prob");
+  check_prob(crash_prob_per_period, "crash_prob_per_period");
+  check_prob(degrade_prob, "degrade_prob");
+  if (!(spike_factor > 0.0)) {
+    throw std::invalid_argument("FaultSpec: spike_factor must be > 0");
+  }
+  if (spike_prob > 0.0 && spike_duration_samples == 0) {
+    throw std::invalid_argument(
+        "FaultSpec: spike_duration_samples must be >= 1 when spikes enabled");
+  }
+  if (crash_prob_per_period > 0.0 && !(repair_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "FaultSpec: repair_seconds must be > 0 when crashes enabled");
+  }
+  if (!(degrade_fraction > 0.0 && degrade_fraction <= 1.0)) {
+    throw std::invalid_argument("FaultSpec: degrade_fraction must be in (0,1]");
+  }
+  if (!(prediction_bias > 0.0)) {
+    throw std::invalid_argument("FaultSpec: prediction_bias must be > 0");
+  }
+  if (prediction_noise < 0.0) {
+    throw std::invalid_argument("FaultSpec: prediction_noise must be >= 0");
+  }
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty() || text == "none") return spec;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultSpec::parse: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    double v = 0.0;
+    try {
+      std::size_t used = 0;
+      v = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FaultSpec::parse: bad value '" + value +
+                                  "' for key '" + key + "'");
+    }
+    if (key == "dropout") {
+      spec.dropout_prob = v;
+    } else if (key == "corrupt") {
+      spec.corrupt_prob = v;
+    } else if (key == "spike") {
+      spec.spike_prob = v;
+    } else if (key == "spike-mag") {
+      spec.spike_factor = v;
+    } else if (key == "spike-samples") {
+      spec.spike_duration_samples = static_cast<std::size_t>(v);
+    } else if (key == "crash") {
+      spec.crash_prob_per_period = v;
+    } else if (key == "repair-min") {
+      spec.repair_seconds = 60.0 * v;
+    } else if (key == "degrade") {
+      spec.degrade_prob = v;
+    } else if (key == "degrade-frac") {
+      spec.degrade_fraction = v;
+    } else if (key == "pred-bias") {
+      spec.prediction_bias = v;
+    } else if (key == "pred-noise") {
+      spec.prediction_noise = v;
+    } else {
+      throw std::invalid_argument("FaultSpec::parse: unknown key '" + key +
+                                  "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+FaultSpec FaultSpec::scaled(double x) const {
+  if (x < 0.0) throw std::invalid_argument("FaultSpec::scaled: negative x");
+  FaultSpec out = *this;
+  const auto prob = [x](double p) { return std::min(1.0, p * x); };
+  out.dropout_prob = prob(dropout_prob);
+  out.corrupt_prob = prob(corrupt_prob);
+  out.spike_prob = prob(spike_prob);
+  out.crash_prob_per_period = prob(crash_prob_per_period);
+  out.degrade_prob = prob(degrade_prob);
+  out.spike_factor = 1.0 + (spike_factor - 1.0) * x;
+  out.degrade_fraction = 1.0 + (degrade_fraction - 1.0) * std::min(1.0, x);
+  out.prediction_bias = 1.0 + (prediction_bias - 1.0) * x;
+  out.prediction_noise = prediction_noise * x;
+  return out;
+}
+
+std::string FaultSpec::describe() const {
+  if (!any()) return "none";
+  std::ostringstream ss;
+  const char* sep = "";
+  const auto emit = [&](const char* key, double v) {
+    ss << sep << key << '=' << v;
+    sep = ",";
+  };
+  if (dropout_prob > 0.0) emit("dropout", dropout_prob);
+  if (corrupt_prob > 0.0) emit("corrupt", corrupt_prob);
+  if (spike_prob > 0.0) {
+    emit("spike", spike_prob);
+    emit("spike-mag", spike_factor);
+  }
+  if (crash_prob_per_period > 0.0) {
+    emit("crash", crash_prob_per_period);
+    emit("repair-min", repair_seconds / 60.0);
+  }
+  if (degrade_prob > 0.0) {
+    emit("degrade", degrade_prob);
+    emit("degrade-frac", degrade_fraction);
+  }
+  if (prediction_bias != 1.0) emit("pred-bias", prediction_bias);
+  if (prediction_noise > 0.0) emit("pred-noise", prediction_noise);
+  return ss.str();
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      prediction_rng_(seed ^ kPredictionSalt) {
+  spec_.validate();
+}
+
+FaultInjector::TraceFaultResult FaultInjector::apply_trace_faults(
+    const trace::TraceSet& input) const {
+  TraceFaultResult out;
+  if (!spec_.trace_faults()) {
+    for (const auto& t : input.traces()) out.traces.add(t);
+    return out;
+  }
+  util::Rng rng(seed_ ^ kTraceSalt);
+  for (const auto& t : input.traces()) {
+    trace::VmTrace faulted;
+    faulted.name = t.name;
+    faulted.cluster_id = t.cluster_id;
+    std::vector<double> samples(t.series.samples().begin(),
+                                t.series.samples().end());
+    double last_good = 0.0;
+    std::size_t burst_left = 0;
+    for (double& v : samples) {
+      // Interference burst: real extra demand, visible to everything.
+      if (burst_left == 0 && rng.bernoulli(spec_.spike_prob)) {
+        burst_left = spec_.spike_duration_samples;
+      }
+      if (burst_left > 0) {
+        v *= spec_.spike_factor;
+        --burst_left;
+        ++out.spiked_vm_samples;
+      }
+      // Sensor-layer loss/corruption: the ingest pipeline repairs the sample
+      // by holding the last good value (0 before any good sample), so the
+      // simulator keeps running on degraded data instead of crashing on NaN.
+      const bool dropped = rng.bernoulli(spec_.dropout_prob);
+      const bool corrupted = rng.bernoulli(spec_.corrupt_prob);
+      if (dropped || corrupted) {
+        v = last_good;
+        ++out.dropped_vm_samples;
+      } else {
+        last_good = v;
+      }
+    }
+    faulted.series = trace::TimeSeries(t.series.dt(), std::move(samples));
+    out.traces.add(std::move(faulted));
+  }
+  return out;
+}
+
+std::vector<ServerFaultEvent> FaultInjector::server_schedule(
+    std::size_t max_servers, std::size_t num_periods,
+    std::size_t samples_per_period, double dt_seconds) const {
+  std::vector<ServerFaultEvent> events;
+  if (spec_.crash_prob_per_period <= 0.0) return events;
+  util::Rng rng(seed_ ^ kServerSalt);
+  const std::size_t total = num_periods * samples_per_period;
+  const auto repair_samples = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(spec_.repair_seconds / dt_seconds)));
+  for (std::size_t s = 0; s < max_servers; ++s) {
+    std::size_t up_from = 0;  // earliest sample the server is available again
+    for (std::size_t p = 0; p < num_periods; ++p) {
+      if (!rng.bernoulli(spec_.crash_prob_per_period)) continue;
+      const std::size_t offset = rng.uniform_int(samples_per_period);
+      const std::size_t crash = p * samples_per_period + offset;
+      if (crash < up_from || crash >= total) continue;  // still in repair
+      events.push_back({crash, s, false});
+      const std::size_t repair = crash + repair_samples;
+      if (repair < total) events.push_back({repair, s, true});
+      up_from = repair;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ServerFaultEvent& a, const ServerFaultEvent& b) {
+              if (a.sample != b.sample) return a.sample < b.sample;
+              if (a.up != b.up) return a.up;  // repairs before crashes
+              return a.server < b.server;
+            });
+  return events;
+}
+
+std::vector<double> FaultInjector::capacity_fractions(
+    std::size_t max_servers) const {
+  std::vector<double> fractions(max_servers, 1.0);
+  if (spec_.degrade_prob <= 0.0) return fractions;
+  util::Rng rng(seed_ ^ kDegradeSalt);
+  for (double& f : fractions) {
+    if (rng.bernoulli(spec_.degrade_prob)) f = spec_.degrade_fraction;
+  }
+  return fractions;
+}
+
+double FaultInjector::perturb_prediction(double u_hat) {
+  if (!spec_.prediction_faults()) return u_hat;
+  double v = u_hat * spec_.prediction_bias;
+  if (spec_.prediction_noise > 0.0) {
+    v *= 1.0 + spec_.prediction_noise * prediction_rng_.normal();
+  }
+  return std::max(0.0, v);
+}
+
+}  // namespace cava::sim

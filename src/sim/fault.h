@@ -1,0 +1,132 @@
+// Deterministic, seeded fault injection for the datacenter simulator.
+//
+// A FaultSpec perturbs a run at three layers:
+//
+//   * trace faults — sample dropouts (sensor loses a reading; the ingest
+//     layer repairs it by holding the last good value), NaN/negative
+//     corruption (repaired the same way), and multiplicative demand spikes
+//     modeling performance interference from co-runners;
+//   * server faults — crashes at a random sample with a configurable repair
+//     time, plus whole-run capacity degradation of a random server subset
+//     (e.g. a failed DIMM or a thermally throttled socket);
+//   * prediction faults — multiplicative bias and relative noise injected
+//     into the reference utilizations the placement and Eqn.-4 v/f decision
+//     consume, stressing the safety margin that the paper's Table II
+//     discussion claims survives mispredictions.
+//
+// Everything is derived deterministically from (spec, seed): the same pair
+// reproduces bit-identical SimResults at any SweepRunner thread count. Each
+// layer draws from its own SplitMix-derived stream so that, e.g., enabling
+// trace faults does not shift the server crash schedule.
+#pragma once
+
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cava::sim {
+
+struct FaultSpec {
+  // --- Trace layer (per VM, per sample unless noted). ---
+  double dropout_prob = 0.0;   ///< lost sample, repaired by last-value hold
+  double corrupt_prob = 0.0;   ///< NaN/negative garbage, repaired the same way
+  double spike_prob = 0.0;     ///< probability an interference burst starts
+  double spike_factor = 1.5;   ///< demand multiplier while a burst is active
+  std::size_t spike_duration_samples = 12;  ///< burst length
+
+  // --- Server layer. ---
+  double crash_prob_per_period = 0.0;  ///< per (server, placement period)
+  double repair_seconds = 1800.0;      ///< downtime after a crash
+  double degrade_prob = 0.0;           ///< per server, whole-run degradation
+  double degrade_fraction = 0.75;      ///< capacity multiplier when degraded
+
+  // --- Prediction layer. ---
+  double prediction_bias = 1.0;   ///< multiplies every predicted reference
+  double prediction_noise = 0.0;  ///< relative stddev of multiplicative noise
+
+  /// The default spec: no faults, guaranteed zero-cost in the simulator.
+  static FaultSpec none() { return {}; }
+
+  bool trace_faults() const {
+    return dropout_prob > 0.0 || corrupt_prob > 0.0 || spike_prob > 0.0;
+  }
+  bool server_faults() const {
+    return crash_prob_per_period > 0.0 || degrade_prob > 0.0;
+  }
+  bool prediction_faults() const {
+    return prediction_bias != 1.0 || prediction_noise > 0.0;
+  }
+  bool any() const {
+    return trace_faults() || server_faults() || prediction_faults();
+  }
+
+  /// Throws std::invalid_argument on out-of-range fields (probabilities
+  /// outside [0,1], non-positive factors, zero-length bursts, ...).
+  void validate() const;
+
+  /// Parse "none" or a comma-separated key=value list, e.g.
+  ///   "dropout=0.01,corrupt=0.005,spike=0.02,spike-mag=1.8,crash=0.05,
+  ///    repair-min=30,degrade=0.1,degrade-frac=0.7,pred-bias=1.1,
+  ///    pred-noise=0.15"
+  /// Unknown keys throw. The result is validate()d.
+  static FaultSpec parse(const std::string& text);
+
+  /// Scale fault intensity by x in [0, 1+]: probabilities multiply (clamped
+  /// to 1), spike magnitude and prediction bias interpolate from neutral.
+  /// scaled(0) is fault-free; scaled(1) is *this.
+  FaultSpec scaled(double x) const;
+
+  /// One-line human-readable summary ("none" when !any()).
+  std::string describe() const;
+};
+
+/// One server availability transition, in absolute sample coordinates.
+struct ServerFaultEvent {
+  std::size_t sample = 0;
+  std::size_t server = 0;
+  bool up = false;  ///< false: crash takes effect; true: repair completes
+};
+
+/// Expands a FaultSpec into concrete perturbations. Construction is cheap;
+/// all randomness flows from the seed.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  struct TraceFaultResult {
+    trace::TraceSet traces;
+    std::size_t dropped_vm_samples = 0;    ///< dropouts + corruptions repaired
+    std::size_t spiked_vm_samples = 0;     ///< samples inside a burst
+  };
+  /// Apply trace-layer faults, returning the perturbed-and-repaired copy the
+  /// simulator replays. Pure: same input + injector state => same output.
+  TraceFaultResult apply_trace_faults(const trace::TraceSet& input) const;
+
+  /// Crash/repair schedule over the whole run, sorted by sample (repairs
+  /// before crashes at equal sample). A server never crashes while down.
+  std::vector<ServerFaultEvent> server_schedule(std::size_t max_servers,
+                                                std::size_t num_periods,
+                                                std::size_t samples_per_period,
+                                                double dt_seconds) const;
+
+  /// Per-server capacity multiplier (1.0 = healthy) for the whole run.
+  std::vector<double> capacity_fractions(std::size_t max_servers) const;
+
+  /// Perturb one predicted reference utilization (bias + noise, clamped to
+  /// >= 0). Draws sequentially from the prediction stream; call order must
+  /// be deterministic (the simulator iterates VMs in index order).
+  double perturb_prediction(double u_hat);
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  util::Rng prediction_rng_;
+};
+
+}  // namespace cava::sim

@@ -15,6 +15,19 @@ util::Json to_json(const SimResult& result) {
   j["mean_active_servers"] = result.mean_active_servers;
   j["total_migrated_vms"] = result.total_migrated_vms;
   j["total_migrated_cores"] = result.total_migrated_cores;
+  // Degraded-mode accounting: emitted only when something degraded, so
+  // fault-free exports stay byte-stable.
+  if (result.dropped_vm_samples > 0) {
+    j["dropped_vm_samples"] = result.dropped_vm_samples;
+  }
+  if (result.server_crashes > 0) j["server_crashes"] = result.server_crashes;
+  if (result.failover_migrations > 0) {
+    j["failover_migrations"] = result.failover_migrations;
+    j["failover_migrated_cores"] = result.failover_migrated_cores;
+  }
+  if (result.unplaced_vm_seconds > 0.0) {
+    j["unplaced_vm_seconds"] = result.unplaced_vm_seconds;
+  }
 
   util::Json periods = util::Json::array();
   for (const auto& p : result.periods) {
@@ -26,6 +39,13 @@ util::Json to_json(const SimResult& result) {
     if (p.placement_clusters >= 0) jp["placement_clusters"] = p.placement_clusters;
     jp["migrated_vms"] = p.migrated_vms;
     jp["migrated_cores"] = p.migrated_cores;
+    if (p.server_crashes > 0) jp["server_crashes"] = p.server_crashes;
+    if (p.failover_migrations > 0) {
+      jp["failover_migrations"] = p.failover_migrations;
+    }
+    if (p.unplaced_vm_seconds > 0.0) {
+      jp["unplaced_vm_seconds"] = p.unplaced_vm_seconds;
+    }
     periods.push_back(std::move(jp));
   }
   j["periods"] = std::move(periods);
@@ -65,6 +85,12 @@ std::string summary_line(const SimResult& result) {
      << "%, "
      << util::TextTable::format(result.mean_active_servers, 1)
      << " servers, " << result.total_migrated_vms << " migrations";
+  if (result.server_crashes > 0) {
+    ss << ", " << result.server_crashes << " crashes, "
+       << result.failover_migrations << " failovers, "
+       << util::TextTable::format(result.unplaced_vm_seconds, 0)
+       << " unplaced VM-s";
+  }
   return ss.str();
 }
 

@@ -1,6 +1,7 @@
 #include "sim/sweep.h"
 
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -8,7 +9,32 @@ namespace cava::sim {
 
 namespace {
 
-SweepRecord execute(const SweepJob& job) {
+/// One-line echo of a job's configuration, attached to error records so a
+/// failed grid point can be diagnosed (and re-run) without guessing which
+/// combination produced it.
+std::string describe(const SweepJob& job) {
+  std::ostringstream ss;
+  ss << "label='" << job.label << "' servers=" << job.config.max_servers
+     << " period_s=" << job.config.period_seconds << " vf=";
+  switch (job.config.vf_mode) {
+    case VfMode::kNone: ss << "fmax"; break;
+    case VfMode::kStatic: ss << "static"; break;
+    case VfMode::kDynamic: ss << "dynamic"; break;
+    case VfMode::kOracleStatic: ss << "oracle"; break;
+  }
+  ss << " predictor=" << job.config.predictor
+     << " faults=" << job.config.faults.describe()
+     << " fault_seed=" << job.config.fault_seed;
+  if (job.traces) {
+    ss << " traces=" << job.traces->size() << "x"
+       << job.traces->samples_per_trace();
+  } else {
+    ss << " traces=<null>";
+  }
+  return ss.str();
+}
+
+SweepRecord execute_checked(const SweepJob& job) {
   if (!job.traces) {
     throw std::invalid_argument("SweepRunner: job '" + job.label +
                                 "' has no traces");
@@ -39,9 +65,26 @@ SweepRecord execute(const SweepJob& job) {
   return record;
 }
 
+SweepRecord execute(const SweepJob& job, SweepErrorPolicy policy) {
+  if (policy == SweepErrorPolicy::kStrict) {
+    // Fail-fast: let the exception propagate with its original type.
+    return execute_checked(job);
+  }
+  try {
+    return execute_checked(job);
+  } catch (const std::exception& e) {
+    SweepRecord record;
+    record.label = job.label.empty() ? "<unnamed job>" : job.label;
+    record.error = e.what();
+    record.config_echo = describe(job);
+    return record;
+  }
+}
+
 }  // namespace
 
-SweepRunner::SweepRunner(std::size_t num_threads) : num_threads_(num_threads) {
+SweepRunner::SweepRunner(std::size_t num_threads, SweepErrorPolicy error_policy)
+    : num_threads_(num_threads), error_policy_(error_policy) {
   if (num_threads_ == 0) {
     throw std::invalid_argument("SweepRunner: zero threads");
   }
@@ -62,12 +105,15 @@ std::vector<SweepRecord> SweepRunner::run_all() {
   {
     util::ThreadPool pool(num_threads_);
     for (SweepJob& job : jobs) {
-      futures.push_back(
-          pool.submit([job = std::move(job)] { return execute(job); }));
+      futures.push_back(pool.submit(
+          [job = std::move(job), policy = error_policy_] {
+            return execute(job, policy);
+          }));
     }
     // Collect in submission order; the pool drains before destruction, so
     // every future is ready (or holds its job's exception) by then anyway.
-    // A thrown job surfaces here, after its predecessors were gathered.
+    // In strict mode a thrown job surfaces below, after its predecessors
+    // were gathered.
   }
   std::vector<SweepRecord> records;
   records.reserve(futures.size());
@@ -76,6 +122,7 @@ std::vector<SweepRecord> SweepRunner::run_all() {
   stats.threads = num_threads_;
   for (auto& f : futures) {
     records.push_back(f.get());
+    if (!records.back().ok()) ++stats.failed_jobs;
     stats.job_seconds_total += records.back().wall_seconds;
   }
   const auto t1 = std::chrono::steady_clock::now();

@@ -36,18 +36,25 @@ struct SweepJob {
   VfFactory make_static_vf;
 };
 
-/// A job's simulation result plus per-job scheduling diagnostics.
+/// A job's simulation result plus per-job scheduling diagnostics. When a job
+/// fails (invalid config, missing v/f factory, policy bug), `error` carries
+/// the exception message, `config_echo` a one-line echo of the offending
+/// job, and `result` stays default-constructed.
 struct SweepRecord {
   std::string label;
   SimResult result;
   double wall_seconds = 0.0;  ///< time spent inside DatacenterSimulator::run
   /// Replay throughput: (num VMs x samples per trace) / wall_seconds.
   double vm_samples_per_second = 0.0;
+  std::string error;        ///< non-empty iff the job failed
+  std::string config_echo;  ///< failed jobs: config summary for diagnosis
+  bool ok() const { return error.empty(); }
 };
 
 /// Aggregate counters of the most recent run_all().
 struct SweepStats {
   std::size_t jobs = 0;
+  std::size_t failed_jobs = 0;  ///< jobs that produced an error record
   std::size_t threads = 0;
   double wall_seconds = 0.0;       ///< end-to-end run_all time
   double job_seconds_total = 0.0;  ///< sum of per-job wall times
@@ -57,20 +64,30 @@ struct SweepStats {
   }
 };
 
+/// What run_all does when a job throws. kCollect (default) isolates the
+/// failure as a per-job error record and completes the rest of the grid —
+/// one bad grid point no longer burns hours of sibling work. kStrict
+/// propagates the first failing job's exception unchanged (submission
+/// order), for callers that prefer fail-fast.
+enum class SweepErrorPolicy { kCollect, kStrict };
+
 class SweepRunner {
  public:
   explicit SweepRunner(
-      std::size_t num_threads = util::ThreadPool::default_concurrency());
+      std::size_t num_threads = util::ThreadPool::default_concurrency(),
+      SweepErrorPolicy error_policy = SweepErrorPolicy::kCollect);
 
   std::size_t num_threads() const { return num_threads_; }
+  SweepErrorPolicy error_policy() const { return error_policy_; }
   std::size_t pending_jobs() const { return jobs_.size(); }
 
   /// Queue one job; returns *this so grids can be built fluently.
   SweepRunner& add(SweepJob job);
 
   /// Run every queued job across the pool and clear the queue. Records are
-  /// returned in the order the jobs were added. A job that throws (bad
-  /// config, missing v/f factory in static mode, ...) rethrows here.
+  /// returned in the order the jobs were added. A job that throws yields an
+  /// error record (kCollect) or rethrows after its predecessors were
+  /// gathered (kStrict).
   std::vector<SweepRecord> run_all();
 
   const SweepStats& last_stats() const { return stats_; }
@@ -82,6 +99,7 @@ class SweepRunner {
 
  private:
   std::size_t num_threads_;
+  SweepErrorPolicy error_policy_;
   std::vector<SweepJob> jobs_;
   SweepStats stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.h"
@@ -123,19 +125,174 @@ void TraceSet::save_csv(const std::string& path) const {
   util::save_csv(path, header, cols);
 }
 
-TraceSet TraceSet::load_csv(const std::string& path) {
+std::string TraceLoadReport::summary() const {
+  std::ostringstream ss;
+  ss << total_cells << " cells";
+  if (clean()) {
+    ss << ", clean";
+    return ss.str();
+  }
+  if (ragged_rows) ss << ", " << ragged_rows << " ragged rows";
+  if (non_numeric_cells) ss << ", " << non_numeric_cells << " non-numeric";
+  if (non_finite_cells) ss << ", " << non_finite_cells << " NaN/Inf";
+  if (negative_cells) ss << ", " << negative_cells << " negative";
+  if (out_of_range_cells) ss << ", " << out_of_range_cells << " out-of-range";
+  ss << " (" << repaired_cells() << " repaired)";
+  return ss.str();
+}
+
+namespace {
+
+constexpr std::size_t kMaxReportedIssues = 16;
+
+void note_issue(TraceLoadReport* report, const std::string& path,
+                std::size_t line, const std::string& message) {
+  if (report && report->issues.size() < kMaxReportedIssues) {
+    report->issues.push_back(path + ":" + std::to_string(line) + ": " +
+                             message);
+  }
+}
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& message) {
+  throw std::runtime_error("TraceSet::load_csv: " + path + ":" +
+                           std::to_string(line) + ": " + message);
+}
+
+/// Fill missing samples (quiet NaN markers) by linear interpolation between
+/// the nearest valid neighbors; runs at either end copy the nearest valid
+/// value. Throws if the column has no valid sample at all.
+void interpolate_missing(std::vector<double>& v, const std::string& path,
+                         const std::string& column) {
+  std::ptrdiff_t first_valid = -1;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isnan(v[i])) {
+      first_valid = static_cast<std::ptrdiff_t>(i);
+      break;
+    }
+  }
+  if (first_valid < 0) {
+    throw std::runtime_error("TraceSet::load_csv: " + path + ": column '" +
+                             column + "' has no valid samples to repair from");
+  }
+  for (std::ptrdiff_t i = 0; i < first_valid; ++i) {
+    v[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(first_valid)];
+  }
+  std::size_t prev = static_cast<std::size_t>(first_valid);
+  for (std::size_t i = prev + 1; i < v.size(); ++i) {
+    if (std::isnan(v[i])) continue;
+    const std::size_t gap = i - prev;
+    for (std::size_t k = prev + 1; k < i; ++k) {
+      const double alpha =
+          static_cast<double>(k - prev) / static_cast<double>(gap);
+      v[k] = v[prev] + alpha * (v[i] - v[prev]);
+    }
+    prev = i;
+  }
+  for (std::size_t k = prev + 1; k < v.size(); ++k) v[k] = v[prev];
+}
+
+}  // namespace
+
+TraceSet TraceSet::load_csv(const std::string& path,
+                            const TraceLoadOptions& options,
+                            TraceLoadReport* report) {
   const util::CsvTable table = util::load_csv(path);
   if (table.header.empty() || table.header.front() != "t") {
-    throw std::runtime_error("TraceSet::load_csv: expected leading 't' column");
+    throw std::runtime_error("TraceSet::load_csv: " + path +
+                             ": expected leading 't' column");
   }
-  const std::vector<double> time = table.numeric_column("t");
+  TraceLoadReport local_report;
+  if (!report) report = &local_report;
+  *report = {};
+  const std::size_t num_cols = table.header.size();
+  const std::size_t num_rows = table.rows.size();
+  if (num_rows == 0) {
+    throw std::runtime_error("TraceSet::load_csv: " + path + ": no data rows");
+  }
+  report->total_cells = num_rows * (num_cols - 1);
+
+  // Ragged rows: strict mode refuses; repair mode treats missing trailing
+  // cells as holes (interpolated below) and ignores surplus cells.
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    if (table.rows[r].size() == num_cols) continue;
+    const std::size_t line = table.line_of_row(r);
+    std::ostringstream msg;
+    msg << "row has " << table.rows[r].size() << " fields, expected "
+        << num_cols;
+    if (!options.repair) fail(path, line, msg.str());
+    ++report->ragged_rows;
+    note_issue(report, path, line, msg.str());
+  }
+
+  const double kMissing = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> columns(
+      num_cols, std::vector<double>(num_rows, kMissing));
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const auto& row = table.rows[r];
+    const std::size_t line = table.line_of_row(r);
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      const std::string& column = table.header[c];
+      const bool is_time = c == 0;
+      if (c >= row.size()) {
+        // Only reachable in repair mode (strict already threw above).
+        if (!is_time) ++report->non_numeric_cells;
+        continue;
+      }
+      double v = 0.0;
+      if (!util::parse_double(row[c], v)) {
+        const std::string msg =
+            "column '" + column + "': non-numeric cell '" + row[c] + "'";
+        if (!options.repair) fail(path, line, msg);
+        if (!is_time) ++report->non_numeric_cells;
+        note_issue(report, path, line, msg);
+        continue;  // stays a hole, interpolated below
+      }
+      if (!std::isfinite(v)) {
+        const std::string msg =
+            "column '" + column + "': non-finite cell '" + row[c] + "'";
+        if (!options.repair) fail(path, line, msg);
+        if (!is_time) ++report->non_finite_cells;
+        note_issue(report, path, line, msg);
+        continue;
+      }
+      if (!is_time && v < 0.0) {
+        std::ostringstream msg;
+        msg << "column '" << column << "': negative utilization " << v;
+        if (!options.repair) fail(path, line, msg.str());
+        ++report->negative_cells;
+        note_issue(report, path, line, msg.str());
+        v = 0.0;
+      }
+      if (!is_time && v > options.max_utilization) {
+        std::ostringstream msg;
+        msg << "column '" << column << "': utilization " << v
+            << " above max_utilization " << options.max_utilization;
+        if (!options.repair) fail(path, line, msg.str());
+        ++report->out_of_range_cells;
+        note_issue(report, path, line, msg.str());
+        v = options.max_utilization;
+      }
+      columns[c][r] = v;
+    }
+  }
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    interpolate_missing(columns[c], path, table.header[c]);
+  }
+
   double dt = 1.0;
-  if (time.size() >= 2) dt = time[1] - time[0];
+  if (num_rows >= 2) dt = columns[0][1] - columns[0][0];
+  if (!(dt > 0.0)) {
+    const std::string msg = "time column is not strictly increasing (dt <= 0)";
+    if (!options.repair) fail(path, table.line_of_row(1), msg);
+    note_issue(report, path, table.line_of_row(1), msg);
+    dt = 1.0;
+  }
   TraceSet set;
-  for (std::size_t c = 1; c < table.header.size(); ++c) {
+  for (std::size_t c = 1; c < num_cols; ++c) {
     VmTrace t;
     t.name = table.header[c];
-    t.series = TimeSeries(dt, table.numeric_column(t.name));
+    t.series = TimeSeries(dt, std::move(columns[c]));
     set.add(std::move(t));
   }
   return set;

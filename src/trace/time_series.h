@@ -66,6 +66,39 @@ struct VmTrace {
   TimeSeries series;
 };
 
+/// How TraceSet::load_csv treats malformed input.
+struct TraceLoadOptions {
+  /// false (strict, the default): any ragged row, non-numeric cell, NaN/Inf
+  /// or out-of-range utilization throws std::runtime_error with file:line
+  /// context. true (repair): negative values clamp to 0, values above
+  /// max_utilization clamp to it, missing/unparseable/non-finite cells are
+  /// linearly interpolated from the nearest valid neighbors, and everything
+  /// is tallied in a TraceLoadReport.
+  bool repair = false;
+  /// Upper bound of a plausible utilization, in fmax-equivalent cores.
+  double max_utilization = 1024.0;
+};
+
+/// Tally of what load_csv found (and, in repair mode, fixed).
+struct TraceLoadReport {
+  std::size_t total_cells = 0;
+  std::size_t ragged_rows = 0;
+  std::size_t non_numeric_cells = 0;  ///< includes cells missing from short rows
+  std::size_t non_finite_cells = 0;   ///< NaN or +-Inf
+  std::size_t negative_cells = 0;
+  std::size_t out_of_range_cells = 0;  ///< above max_utilization
+  /// First few issues, each as "path:line: message".
+  std::vector<std::string> issues;
+
+  std::size_t repaired_cells() const {
+    return non_numeric_cells + non_finite_cells + negative_cells +
+           out_of_range_cells;
+  }
+  bool clean() const { return ragged_rows == 0 && repaired_cells() == 0; }
+  /// One-line summary for CLI output.
+  std::string summary() const;
+};
+
 /// A coherent set of VM traces sharing one sampling grid.
 class TraceSet {
  public:
@@ -88,8 +121,12 @@ class TraceSet {
   /// Serialize to CSV: column "t" plus one column per VM.
   void save_csv(const std::string& path) const;
   /// Load from the CSV format written by save_csv (cluster ids are not
-  /// persisted; they default to -1).
-  static TraceSet load_csv(const std::string& path);
+  /// persisted; they default to -1). Strict: throws std::runtime_error with
+  /// file:line context on malformed cells; see TraceLoadOptions for the
+  /// repair mode and `report` for the tally of what was found/fixed.
+  static TraceSet load_csv(const std::string& path,
+                           const TraceLoadOptions& options = {},
+                           TraceLoadReport* report = nullptr);
 
  private:
   std::vector<VmTrace> traces_;

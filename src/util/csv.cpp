@@ -18,13 +18,47 @@ std::vector<double> CsvTable::numeric_column(std::string_view name) const {
   const std::size_t col = column_index(name);
   std::vector<double> out;
   out.reserve(rows.size());
-  for (const auto& row : rows) {
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
     if (col >= row.size()) {
-      throw std::runtime_error("CsvTable: ragged row while reading column");
+      throw std::runtime_error(
+          "CsvTable: line " + std::to_string(line_of_row(r)) + ": row has " +
+          std::to_string(row.size()) + " fields, column '" +
+          std::string(name) + "' needs " + std::to_string(col + 1));
     }
-    out.push_back(std::stod(row[col]));
+    double v = 0.0;
+    if (!parse_double(row[col], v)) {
+      throw std::runtime_error("CsvTable: line " +
+                               std::to_string(line_of_row(r)) + ": column '" +
+                               std::string(name) + "': non-numeric cell '" +
+                               row[col] + "'");
+    }
+    out.push_back(v);
   }
   return out;
+}
+
+std::size_t CsvTable::line_of_row(std::size_t r) const {
+  return r < row_lines.size() ? row_lines[r] : r + 2;
+}
+
+bool parse_double(std::string_view field, double& out) {
+  // Tolerate surrounding whitespace (common in hand-edited CSVs), but
+  // require the remainder to parse in full.
+  while (!field.empty() && (field.front() == ' ' || field.front() == '\t')) {
+    field.remove_prefix(1);
+  }
+  while (!field.empty() && (field.back() == ' ' || field.back() == '\t')) {
+    field.remove_suffix(1);
+  }
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  // std::from_chars does not accept a leading '+'.
+  if (*begin == '+') ++begin;
+  if (begin == end) return false;
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
 }
 
 std::vector<std::string> split_csv_line(std::string_view line) {
@@ -45,6 +79,7 @@ std::vector<std::string> split_csv_line(std::string_view line) {
 CsvTable parse_csv(std::string_view text) {
   CsvTable table;
   std::size_t pos = 0;
+  std::size_t line_no = 0;
   bool saw_header = false;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
@@ -52,12 +87,14 @@ CsvTable parse_csv(std::string_view text) {
     std::string_view line = text.substr(pos, eol - pos);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     pos = eol + 1;
+    ++line_no;
     if (line.empty()) continue;
     if (!saw_header) {
       table.header = split_csv_line(line);
       saw_header = true;
     } else {
       table.rows.push_back(split_csv_line(line));
+      table.row_lines.push_back(line_no);
     }
   }
   return table;

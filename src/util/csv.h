@@ -14,11 +14,26 @@ namespace cava::util {
 struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+  /// 1-based source line number of each data row (blank lines are skipped
+  /// during parsing, so row index and file line can diverge). Parallel to
+  /// `rows`; empty for hand-built tables.
+  std::vector<std::size_t> row_lines;
 
   std::size_t column_index(std::string_view name) const;  ///< throws if absent
-  /// Column as doubles (throws on parse failure).
+  /// Column as doubles. Throws std::runtime_error naming the row, column and
+  /// offending cell on ragged rows or cells that are not entirely numeric
+  /// (the old std::stod path silently accepted garbage suffixes).
   std::vector<double> numeric_column(std::string_view name) const;
+
+  /// Source line of data row r (falls back to r+2 when line numbers are
+  /// unavailable: header on line 1, first data row on line 2).
+  std::size_t line_of_row(std::size_t r) const;
 };
+
+/// Strict full-field double parse ("1.5abc" and empty fields fail; "nan",
+/// "inf" parse but are still returned, callers decide whether non-finite
+/// values are acceptable). Returns false on failure.
+bool parse_double(std::string_view field, double& out);
 
 /// Split one CSV line into fields (no quoting).
 std::vector<std::string> split_csv_line(std::string_view line);

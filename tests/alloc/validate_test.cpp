@@ -1,0 +1,87 @@
+#include "alloc/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "model/server.h"
+#include "model/vm.h"
+
+namespace cava::alloc {
+namespace {
+
+std::vector<model::VmDemand> demands(std::initializer_list<double> refs) {
+  std::vector<model::VmDemand> out;
+  std::size_t id = 0;
+  for (double r : refs) out.push_back({id++, r});
+  return out;
+}
+
+TEST(PlacementValidator, AcceptsACompleteConsistentPlacement) {
+  const auto d = demands({1.0, 2.0, 3.0});
+  Placement p(3, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  const auto issues =
+      validate_placement(p, d, model::ServerSpec::xeon_e5410());
+  EXPECT_TRUE(issues.empty());
+  EXPECT_NO_THROW(
+      validate_placement_or_throw(p, d, model::ServerSpec::xeon_e5410()));
+}
+
+TEST(PlacementValidator, FlagsUnplacedVms) {
+  const auto d = demands({1.0, 2.0});
+  Placement p(2, 2);
+  p.assign(0, 1);  // VM 1 never assigned
+  const auto issues =
+      validate_placement(p, d, model::ServerSpec::xeon_e5410());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("1"), std::string::npos);
+  EXPECT_THROW(
+      validate_placement_or_throw(p, d, model::ServerSpec::xeon_e5410()),
+      std::logic_error);
+}
+
+TEST(PlacementValidator, FlagsDemandCountMismatch) {
+  const auto d = demands({1.0, 2.0, 3.0});
+  Placement p(2, 2);  // sized for 2 VMs, demands for 3
+  p.assign(0, 0);
+  p.assign(1, 1);
+  const auto issues =
+      validate_placement(p, d, model::ServerSpec::xeon_e5410());
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(PlacementValidator, CapacityCheckIsOptIn) {
+  // 10 cores of demand on one 8-core server: structurally fine (the
+  // simulator records the violation honestly), an issue only when the
+  // caller asks for the strict capacity check.
+  const auto d = demands({6.0, 4.0});
+  Placement p(2, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  const auto server = model::ServerSpec::xeon_e5410();
+  EXPECT_TRUE(validate_placement(p, d, server).empty());
+  ValidationOptions strict;
+  strict.strict_capacity = true;
+  const auto issues = validate_placement(p, d, server, strict);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("capacity"), std::string::npos);
+}
+
+TEST(PlacementValidator, StrictCapacityAcceptsExactFit) {
+  const auto d = demands({5.0, 3.0});  // exactly 8 cores
+  Placement p(2, 1);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  ValidationOptions strict;
+  strict.strict_capacity = true;
+  EXPECT_TRUE(
+      validate_placement(p, d, model::ServerSpec::xeon_e5410(), strict)
+          .empty());
+}
+
+}  // namespace
+}  // namespace cava::alloc

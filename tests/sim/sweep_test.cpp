@@ -148,29 +148,71 @@ TEST(SweepRunner, RepeatedRunsOfTheSameGridAgree) {
   }
 }
 
-TEST(SweepRunner, PropagatesJobFailures) {
+TEST(SweepRunner, StrictModePropagatesJobFailures) {
   const trace::TraceSet traces = small_traces();
-  SweepRunner runner(2);
+  SweepRunner runner(2, SweepErrorPolicy::kStrict);
   // Static mode with no v/f factory: DatacenterSimulator::run must throw,
-  // and the sweep must surface it instead of swallowing the job.
+  // and a strict sweep must surface it instead of swallowing the job.
   runner.add({"broken", small_config(), SweepRunner::borrow(traces),
               [] { return std::make_unique<alloc::BestFitDecreasing>(); },
               nullptr});
   EXPECT_THROW(runner.run_all(), std::invalid_argument);
 }
 
-TEST(SweepRunner, ValidatesJobs) {
+TEST(SweepRunner, StrictModeValidatesJobs) {
   const trace::TraceSet traces = small_traces();
-  SweepRunner no_traces(1);
+  SweepRunner no_traces(1, SweepErrorPolicy::kStrict);
   no_traces.add({"x", small_config(), nullptr,
                  [] { return std::make_unique<alloc::BestFitDecreasing>(); },
                  nullptr});
   EXPECT_THROW(no_traces.run_all(), std::invalid_argument);
 
-  SweepRunner no_policy(1);
+  SweepRunner no_policy(1, SweepErrorPolicy::kStrict);
   no_policy.add(
       {"y", small_config(), SweepRunner::borrow(traces), nullptr, nullptr});
   EXPECT_THROW(no_policy.run_all(), std::invalid_argument);
+}
+
+TEST(SweepRunner, CollectModeIsolatesTheFailingJob) {
+  // One deliberately-invalid grid point (static mode, no v/f factory) must
+  // not abort the sweep: the remaining jobs complete, the failure comes back
+  // as an error record with the message and a config echo.
+  const trace::TraceSet traces = small_traces();
+  SweepRunner runner(2);  // kCollect is the default
+  runner.add({"good-before", small_config(), SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  runner.add({"broken", small_config(), SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              nullptr});
+  runner.add({"good-after", small_config(), SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::FirstFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].ok());
+  EXPECT_GT(records[0].result.total_energy_joules, 0.0);
+  EXPECT_FALSE(records[1].ok());
+  EXPECT_NE(records[1].error.find("VfPolicy"), std::string::npos);
+  EXPECT_NE(records[1].config_echo.find("label='broken'"), std::string::npos);
+  EXPECT_EQ(records[1].result.total_energy_joules, 0.0);
+  EXPECT_TRUE(records[2].ok());
+  EXPECT_GT(records[2].result.total_energy_joules, 0.0);
+  EXPECT_EQ(runner.last_stats().failed_jobs, 1u);
+}
+
+TEST(SweepRunner, CollectModeReportsInvalidConfigs) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig bad = small_config();
+  bad.faults.dropout_prob = 2.0;  // probability out of [0,1]
+  SweepRunner runner(1);
+  runner.add({"bad-config", bad, SweepRunner::borrow(traces),
+              [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+              [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok());
+  EXPECT_NE(records[0].error.find("dropout_prob"), std::string::npos);
 }
 
 TEST(SweepRunner, RecordsWallTimeAndThroughput) {

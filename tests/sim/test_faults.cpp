@@ -1,0 +1,398 @@
+// Fault-injection suite (ctest -L faults): seeded determinism, crash/repair
+// bookkeeping, the failover fallback chain, and zero-cost-when-disabled.
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "dvfs/vf_policy.h"
+#include "sim/sweep.h"
+
+namespace cava::sim {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Small phased population: cheap enough to simulate many times per test.
+trace::TraceSet small_traces(std::size_t n_vms = 8, std::size_t periods = 4) {
+  trace::TraceSet set;
+  const std::size_t samples = periods * 60;  // 60 x 60 s samples per period
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    std::vector<double> s(samples);
+    const double phase =
+        2.0 * kPi * static_cast<double>(v) / static_cast<double>(n_vms);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = 1.0 + std::sin(2.0 * kPi * static_cast<double>(i) / 60.0 + phase);
+    }
+    set.add({"vm" + std::to_string(v), 0, trace::TimeSeries(60.0, std::move(s))});
+  }
+  return set;
+}
+
+SimConfig small_config(VfMode mode = VfMode::kStatic) {
+  SimConfig cfg;
+  cfg.max_servers = 6;
+  cfg.period_seconds = 3600.0;
+  cfg.vf_mode = mode;
+  return cfg;
+}
+
+FaultSpec chaos_spec() {
+  FaultSpec spec;
+  spec.dropout_prob = 0.02;
+  spec.corrupt_prob = 0.01;
+  spec.spike_prob = 0.01;
+  spec.spike_factor = 1.8;
+  spec.crash_prob_per_period = 0.5;
+  spec.repair_seconds = 1200.0;
+  spec.degrade_prob = 0.2;
+  spec.degrade_fraction = 0.75;
+  spec.prediction_bias = 1.1;
+  spec.prediction_noise = 0.1;
+  return spec;
+}
+
+SimResult run_once(const SimConfig& cfg, const trace::TraceSet& traces) {
+  alloc::BestFitDecreasing policy;
+  dvfs::WorstCaseVf vf;
+  return DatacenterSimulator(cfg).run(traces, {policy, &vf});
+}
+
+void expect_bit_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.total_energy_joules, b.total_energy_joules);
+  EXPECT_EQ(a.max_violation_ratio, b.max_violation_ratio);
+  EXPECT_EQ(a.overall_violation_fraction, b.overall_violation_fraction);
+  EXPECT_EQ(a.mean_active_servers, b.mean_active_servers);
+  EXPECT_EQ(a.dropped_vm_samples, b.dropped_vm_samples);
+  EXPECT_EQ(a.server_crashes, b.server_crashes);
+  EXPECT_EQ(a.failover_migrations, b.failover_migrations);
+  EXPECT_EQ(a.failover_migrated_cores, b.failover_migrated_cores);
+  EXPECT_EQ(a.unplaced_vm_seconds, b.unplaced_vm_seconds);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (std::size_t p = 0; p < a.periods.size(); ++p) {
+    EXPECT_EQ(a.periods[p].energy_joules, b.periods[p].energy_joules);
+    EXPECT_EQ(a.periods[p].server_crashes, b.periods[p].server_crashes);
+    EXPECT_EQ(a.periods[p].failover_migrations,
+              b.periods[p].failover_migrations);
+    EXPECT_EQ(a.periods[p].unplaced_vm_seconds,
+              b.periods[p].unplaced_vm_seconds);
+  }
+}
+
+// ---- FaultSpec validation and parsing. ----
+
+TEST(FaultSpec, NoneIsInactiveAndValid) {
+  const FaultSpec spec = FaultSpec::none();
+  EXPECT_FALSE(spec.any());
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.describe(), "none");
+}
+
+TEST(FaultSpec, RejectsOutOfRangeFields) {
+  FaultSpec spec;
+  spec.dropout_prob = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = {};
+  spec.crash_prob_per_period = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = {};
+  spec.crash_prob_per_period = 0.5;
+  spec.repair_seconds = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = {};
+  spec.degrade_fraction = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = {};
+  spec.prediction_bias = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(FaultSpec, ParsesKeyValueList) {
+  const FaultSpec spec = FaultSpec::parse(
+      "dropout=0.01,corrupt=0.02,spike=0.03,spike-mag=2.5,crash=0.1,"
+      "repair-min=15,degrade=0.2,degrade-frac=0.5,pred-bias=1.2,"
+      "pred-noise=0.3");
+  EXPECT_DOUBLE_EQ(spec.dropout_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec.corrupt_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec.spike_prob, 0.03);
+  EXPECT_DOUBLE_EQ(spec.spike_factor, 2.5);
+  EXPECT_DOUBLE_EQ(spec.crash_prob_per_period, 0.1);
+  EXPECT_DOUBLE_EQ(spec.repair_seconds, 900.0);
+  EXPECT_DOUBLE_EQ(spec.degrade_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec.degrade_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(spec.prediction_bias, 1.2);
+  EXPECT_DOUBLE_EQ(spec.prediction_noise, 0.3);
+  EXPECT_TRUE(spec.any());
+
+  EXPECT_FALSE(FaultSpec::parse("none").any());
+  EXPECT_FALSE(FaultSpec::parse("").any());
+  EXPECT_THROW(FaultSpec::parse("bogus-key=1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dropout"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dropout=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("dropout=2"), std::invalid_argument);
+}
+
+TEST(FaultSpec, ScaledInterpolatesFromNeutral) {
+  const FaultSpec spec = chaos_spec();
+  const FaultSpec zero = spec.scaled(0.0);
+  EXPECT_FALSE(zero.any());
+  const FaultSpec half = spec.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.crash_prob_per_period, 0.25);
+  EXPECT_DOUBLE_EQ(half.spike_factor, 1.4);
+  EXPECT_NEAR(half.prediction_bias, 1.05, 1e-12);
+  const FaultSpec full = spec.scaled(1.0);
+  EXPECT_DOUBLE_EQ(full.crash_prob_per_period, spec.crash_prob_per_period);
+}
+
+// ---- Injector-level behavior. ----
+
+TEST(FaultInjector, NoTraceFaultsReturnsIdenticalTraces) {
+  const trace::TraceSet traces = small_traces();
+  FaultInjector injector(FaultSpec::none(), 7);
+  const auto out = injector.apply_trace_faults(traces);
+  EXPECT_EQ(out.dropped_vm_samples, 0u);
+  ASSERT_EQ(out.traces.size(), traces.size());
+  for (std::size_t v = 0; v < traces.size(); ++v) {
+    for (std::size_t i = 0; i < traces.samples_per_trace(); ++i) {
+      ASSERT_EQ(out.traces[v].series[i], traces[v].series[i]);
+    }
+  }
+}
+
+TEST(FaultInjector, FullDropoutHoldsRepairedValues) {
+  const trace::TraceSet traces = small_traces(4, 2);
+  FaultSpec spec;
+  spec.dropout_prob = 1.0;
+  FaultInjector injector(spec, 3);
+  const auto out = injector.apply_trace_faults(traces);
+  // Every sample is lost; ingest repair holds 0 (no good sample ever seen).
+  EXPECT_EQ(out.dropped_vm_samples,
+            traces.size() * traces.samples_per_trace());
+  for (std::size_t i = 0; i < traces.samples_per_trace(); ++i) {
+    EXPECT_EQ(out.traces[0].series[i], 0.0);
+  }
+}
+
+TEST(FaultInjector, CrashScheduleIsSortedAndRepairsFollowCrashes) {
+  FaultSpec spec;
+  spec.crash_prob_per_period = 1.0;
+  spec.repair_seconds = 600.0;  // 10 samples at dt=60
+  FaultInjector injector(spec, 11);
+  const auto schedule = injector.server_schedule(4, 6, 60, 60.0);
+  ASSERT_FALSE(schedule.empty());
+  std::vector<char> up(4, 1);
+  std::size_t last_sample = 0;
+  for (const auto& ev : schedule) {
+    EXPECT_GE(ev.sample, last_sample);
+    last_sample = ev.sample;
+    EXPECT_LT(ev.sample, 6u * 60u);
+    if (ev.up) {
+      EXPECT_FALSE(up[ev.server]) << "repair of a server that is up";
+      up[ev.server] = 1;
+    } else {
+      EXPECT_TRUE(up[ev.server]) << "crash of a server already down";
+      up[ev.server] = 0;
+    }
+  }
+}
+
+TEST(FaultInjector, CapacityFractionsAreDeterministic) {
+  FaultSpec spec;
+  spec.degrade_prob = 0.5;
+  spec.degrade_fraction = 0.6;
+  FaultInjector a(spec, 21), b(spec, 21), c(spec, 22);
+  EXPECT_EQ(a.capacity_fractions(16), b.capacity_fractions(16));
+  EXPECT_NE(a.capacity_fractions(16), c.capacity_fractions(16));
+  for (double f : a.capacity_fractions(16)) {
+    EXPECT_TRUE(f == 1.0 || f == 0.6);
+  }
+}
+
+// ---- End-to-end simulator behavior. ----
+
+TEST(FaultSim, FaultSeedIsIgnoredWhenFaultsDisabled) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig a = small_config();
+  SimConfig b = small_config();
+  a.fault_seed = 1;
+  b.fault_seed = 999;  // must not matter with FaultSpec::none()
+  expect_bit_identical(run_once(a, traces), run_once(b, traces));
+}
+
+TEST(FaultSim, SameSpecAndSeedAreBitIdentical) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig cfg = small_config();
+  cfg.faults = chaos_spec();
+  cfg.fault_seed = 42;
+  cfg.migration_energy_joules_per_core = 50.0;
+  const SimResult first = run_once(cfg, traces);
+  const SimResult second = run_once(cfg, traces);
+  expect_bit_identical(first, second);
+  EXPECT_GT(first.server_crashes, 0u);
+}
+
+TEST(FaultSim, DifferentSeedsProduceDifferentRuns) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig a = small_config();
+  a.faults = chaos_spec();
+  a.fault_seed = 1;
+  SimConfig b = a;
+  b.fault_seed = 2;
+  const SimResult ra = run_once(a, traces);
+  const SimResult rb = run_once(b, traces);
+  EXPECT_NE(ra.total_energy_joules, rb.total_energy_joules);
+}
+
+TEST(FaultSim, DeterministicAcrossSweepThreadCounts) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig cfg = small_config();
+  cfg.faults = chaos_spec();
+  cfg.fault_seed = 7;
+  const auto add_jobs = [&](SweepRunner& runner) {
+    runner.add({"bfd", cfg, SweepRunner::borrow(traces),
+                [] { return std::make_unique<alloc::BestFitDecreasing>(); },
+                [] { return std::make_unique<dvfs::WorstCaseVf>(); }});
+    runner.add({"proposed", cfg, SweepRunner::borrow(traces),
+                [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+                [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }});
+  };
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  add_jobs(serial);
+  add_jobs(parallel);
+  const auto rs = serial.run_all();
+  const auto rp = parallel.run_all();
+  ASSERT_EQ(rs.size(), rp.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    ASSERT_TRUE(rs[i].ok());
+    ASSERT_TRUE(rp[i].ok());
+    expect_bit_identical(rs[i].result, rp[i].result);
+  }
+}
+
+TEST(FaultSim, CrashBookkeepingIsReportedHonestly) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig cfg = small_config();
+  cfg.faults.crash_prob_per_period = 1.0;  // every server crashes each period
+  cfg.faults.repair_seconds = 1200.0;
+  cfg.fault_seed = 5;
+  const SimResult r = run_once(cfg, traces);
+  EXPECT_GT(r.server_crashes, 0u);
+  // Per-period crash counts sum to the total.
+  std::size_t crashes = 0, failovers = 0;
+  double unplaced = 0.0;
+  for (const auto& p : r.periods) {
+    crashes += p.server_crashes;
+    failovers += p.failover_migrations;
+    unplaced += p.unplaced_vm_seconds;
+  }
+  EXPECT_EQ(crashes, r.server_crashes);
+  EXPECT_EQ(failovers, r.failover_migrations);
+  EXPECT_DOUBLE_EQ(unplaced, r.unplaced_vm_seconds);
+  // With every server crashing, VMs must have been emergency-moved (or,
+  // when capacity ran out, honestly reported as unplaced).
+  EXPECT_GT(r.failover_migrations + static_cast<std::size_t>(
+                                        r.unplaced_vm_seconds), 0u);
+}
+
+TEST(FaultSim, FailoverKeepsVmsRunningWhenCapacityExists) {
+  // Plenty of spare capacity: a single crash per period must re-place every
+  // displaced VM (failover chain succeeds, nothing is left unplaced).
+  const trace::TraceSet traces = small_traces(4);  // tiny load, 6 servers
+  SimConfig cfg = small_config();
+  cfg.faults.crash_prob_per_period = 0.3;
+  cfg.faults.repair_seconds = 600.0;
+  cfg.fault_seed = 9;
+  const SimResult r = run_once(cfg, traces);
+  EXPECT_GT(r.server_crashes, 0u);
+  EXPECT_GT(r.failover_migrations, 0u);
+  EXPECT_DOUBLE_EQ(r.unplaced_vm_seconds, 0.0);
+}
+
+TEST(FaultSim, TotalLossDegradesToUnplacedInsteadOfCrashing) {
+  // One server, guaranteed crash, repair longer than the run: after the
+  // crash nothing can host the VMs; the simulator reports unplaced
+  // VM-seconds instead of throwing.
+  const trace::TraceSet traces = small_traces(2);
+  SimConfig cfg = small_config();
+  cfg.max_servers = 1;
+  cfg.faults.crash_prob_per_period = 1.0;
+  cfg.faults.repair_seconds = 1e9;
+  cfg.fault_seed = 3;
+  const SimResult r = run_once(cfg, traces);
+  EXPECT_GE(r.server_crashes, 1u);
+  EXPECT_GT(r.unplaced_vm_seconds, 0.0);
+  EXPECT_EQ(r.failover_migrations, 0u);  // nowhere to fail over to
+}
+
+TEST(FaultSim, FailoverChargesMigrationEnergy) {
+  const trace::TraceSet traces = small_traces(4);
+  SimConfig cfg = small_config();
+  cfg.faults.crash_prob_per_period = 0.3;
+  cfg.fault_seed = 9;
+  SimConfig charged = cfg;
+  charged.migration_energy_joules_per_core = 1e4;
+  const SimResult free_moves = run_once(cfg, traces);
+  const SimResult paid_moves = run_once(charged, traces);
+  ASSERT_GT(free_moves.failover_migrated_cores, 0.0);
+  EXPECT_GT(paid_moves.total_energy_joules, free_moves.total_energy_joules);
+}
+
+TEST(FaultSim, DemandSpikesRaiseEnergy) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig clean = small_config();
+  SimConfig spiky = small_config();
+  spiky.faults.spike_prob = 0.05;
+  spiky.faults.spike_factor = 2.0;
+  spiky.fault_seed = 4;
+  const SimResult r_clean = run_once(clean, traces);
+  const SimResult r_spiky = run_once(spiky, traces);
+  EXPECT_GT(r_spiky.total_energy_joules, r_clean.total_energy_joules);
+  EXPECT_EQ(r_spiky.dropped_vm_samples, 0u);  // spikes are not data loss
+}
+
+TEST(FaultSim, DropoutsAreCountedInTheResult) {
+  const trace::TraceSet traces = small_traces();
+  SimConfig cfg = small_config();
+  cfg.faults.dropout_prob = 0.1;
+  cfg.faults.corrupt_prob = 0.05;
+  cfg.fault_seed = 6;
+  const SimResult r = run_once(cfg, traces);
+  EXPECT_GT(r.dropped_vm_samples, 0u);
+  EXPECT_LT(r.dropped_vm_samples, traces.size() * traces.samples_per_trace());
+}
+
+TEST(FaultSim, PredictionBiasPushesStaticVfUp) {
+  // Worst-case static v/f provisions for the (biased-up) predicted sum, so
+  // over-prediction can only raise energy and can only reduce violations.
+  const trace::TraceSet traces = small_traces();
+  SimConfig clean = small_config();
+  SimConfig biased = small_config();
+  biased.faults.prediction_bias = 1.5;
+  const SimResult r_clean = run_once(clean, traces);
+  const SimResult r_biased = run_once(biased, traces);
+  EXPECT_GE(r_biased.total_energy_joules, r_clean.total_energy_joules);
+  EXPECT_LE(r_biased.max_violation_ratio, r_clean.max_violation_ratio);
+}
+
+TEST(FaultSim, ConfigValidationRejectsBadFaultSpecs) {
+  SimConfig cfg = small_config();
+  cfg.faults.corrupt_prob = 7.0;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.vf_mode = VfMode::kDynamic;
+  cfg.dynamic_interval_samples = 0;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.migration_energy_joules_per_core = -1.0;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cava::sim

@@ -1,0 +1,233 @@
+// Malformed-input corpus for TraceSet::load_csv (ctest -L faults): strict
+// mode must refuse each defect with file:line context; repair mode must
+// clamp/interpolate and tally everything in the TraceLoadReport.
+#include "trace/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace cava::trace {
+namespace {
+
+class LoadMalformedTest : public ::testing::Test {
+ protected:
+  /// Write a corpus file into the test's temp dir and return its path.
+  std::string write_file(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "load_malformed_" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  static TraceLoadOptions repair_mode() {
+    TraceLoadOptions options;
+    options.repair = true;
+    return options;
+  }
+};
+
+TEST_F(LoadMalformedTest, CleanFileRoundTripsWithCleanReport) {
+  const std::string path = write_file("clean.csv",
+                                      "t,vm0,vm1\n"
+                                      "0,1.0,2.0\n"
+                                      "60,1.5,2.5\n"
+                                      "120,2.0,3.0\n");
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, {}, &report);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.samples_per_trace(), 3u);
+  EXPECT_DOUBLE_EQ(set.dt(), 60.0);
+  EXPECT_DOUBLE_EQ(set[0].series[1], 1.5);
+  EXPECT_DOUBLE_EQ(set[1].series[2], 3.0);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.total_cells, 6u);
+  EXPECT_TRUE(report.issues.empty());
+}
+
+TEST_F(LoadMalformedTest, MissingTimeColumnThrows) {
+  const std::string path = write_file("no_t.csv", "vm0,vm1\n0,1\n");
+  EXPECT_THROW(TraceSet::load_csv(path), std::runtime_error);
+}
+
+TEST_F(LoadMalformedTest, EmptyBodyThrows) {
+  const std::string path = write_file("empty.csv", "t,vm0\n");
+  EXPECT_THROW(TraceSet::load_csv(path), std::runtime_error);
+  EXPECT_THROW(TraceSet::load_csv(path, repair_mode()), std::runtime_error);
+}
+
+TEST_F(LoadMalformedTest, StrictRejectsNonNumericCellWithFileAndLine) {
+  const std::string path = write_file("non_numeric.csv",
+                                      "t,vm0\n"
+                                      "0,1.0\n"
+                                      "60,oops\n"
+                                      "120,3.0\n");
+  try {
+    TraceSet::load_csv(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path + ":3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("vm0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(LoadMalformedTest, StrictRejectsTrailingGarbageNumbers) {
+  // std::stod would silently parse "1.5abc" as 1.5; the loader must not.
+  const std::string path = write_file("suffix.csv",
+                                      "t,vm0\n"
+                                      "0,1.5abc\n");
+  EXPECT_THROW(TraceSet::load_csv(path), std::runtime_error);
+}
+
+TEST_F(LoadMalformedTest, RepairInterpolatesNonNumericCells) {
+  const std::string path = write_file("interp.csv",
+                                      "t,vm0\n"
+                                      "0,1.0\n"
+                                      "60,oops\n"
+                                      "120,3.0\n");
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, repair_mode(), &report);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set[0].series[1], 2.0);  // linear between 1.0 and 3.0
+  EXPECT_EQ(report.non_numeric_cells, 1u);
+  EXPECT_EQ(report.repaired_cells(), 1u);
+  EXPECT_FALSE(report.clean());
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues[0].find(path + ":3:"), std::string::npos);
+}
+
+TEST_F(LoadMalformedTest, RepairCopiesNearestValueAtTheEdges) {
+  const std::string path = write_file("edges.csv",
+                                      "t,vm0\n"
+                                      "0,nope\n"
+                                      "60,5.0\n"
+                                      "120,bad\n");
+  const TraceSet set = TraceSet::load_csv(path, repair_mode());
+  EXPECT_DOUBLE_EQ(set[0].series[0], 5.0);
+  EXPECT_DOUBLE_EQ(set[0].series[2], 5.0);
+}
+
+TEST_F(LoadMalformedTest, StrictRejectsNaNAndInf) {
+  const std::string nan_path = write_file("nan.csv", "t,vm0\n0,nan\n60,1\n");
+  const std::string inf_path = write_file("inf.csv", "t,vm0\n0,inf\n60,1\n");
+  EXPECT_THROW(TraceSet::load_csv(nan_path), std::runtime_error);
+  EXPECT_THROW(TraceSet::load_csv(inf_path), std::runtime_error);
+
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(nan_path, repair_mode(), &report);
+  EXPECT_DOUBLE_EQ(set[0].series[0], 1.0);  // edge copy from the valid sample
+  EXPECT_EQ(report.non_finite_cells, 1u);
+}
+
+TEST_F(LoadMalformedTest, NegativeUtilizationClampsToZeroInRepairMode) {
+  const std::string path = write_file("negative.csv",
+                                      "t,vm0\n"
+                                      "0,-0.5\n"
+                                      "60,1.0\n");
+  EXPECT_THROW(TraceSet::load_csv(path), std::runtime_error);
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, repair_mode(), &report);
+  EXPECT_DOUBLE_EQ(set[0].series[0], 0.0);
+  EXPECT_EQ(report.negative_cells, 1u);
+}
+
+TEST_F(LoadMalformedTest, OutOfRangeUtilizationClampsToTheConfiguredMax) {
+  const std::string path = write_file("huge.csv",
+                                      "t,vm0\n"
+                                      "0,1.0\n"
+                                      "60,5000.0\n");
+  TraceLoadOptions options;
+  options.max_utilization = 16.0;
+  EXPECT_THROW(TraceSet::load_csv(path, options), std::runtime_error);
+  options.repair = true;
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, options, &report);
+  EXPECT_DOUBLE_EQ(set[0].series[1], 16.0);
+  EXPECT_EQ(report.out_of_range_cells, 1u);
+}
+
+TEST_F(LoadMalformedTest, RaggedRowIsAnErrorInStrictModeAndAHoleInRepair) {
+  const std::string path = write_file("ragged.csv",
+                                      "t,vm0,vm1\n"
+                                      "0,1.0,2.0\n"
+                                      "60,1.5\n"
+                                      "120,2.0,4.0\n");
+  try {
+    TraceSet::load_csv(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3:"), std::string::npos);
+  }
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, repair_mode(), &report);
+  EXPECT_EQ(report.ragged_rows, 1u);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set[0].series[1], 1.5);  // present cell kept
+  EXPECT_DOUBLE_EQ(set[1].series[1], 3.0);  // missing cell interpolated
+}
+
+TEST_F(LoadMalformedTest, ColumnWithNoValidSamplesThrowsEvenInRepairMode) {
+  const std::string path = write_file("hopeless.csv",
+                                      "t,vm0\n"
+                                      "0,junk\n"
+                                      "60,more-junk\n");
+  EXPECT_THROW(TraceSet::load_csv(path, repair_mode()), std::runtime_error);
+}
+
+TEST_F(LoadMalformedTest, NonIncreasingTimeColumnIsStrictError) {
+  const std::string path = write_file("bad_time.csv",
+                                      "t,vm0\n"
+                                      "0,1.0\n"
+                                      "0,2.0\n");
+  EXPECT_THROW(TraceSet::load_csv(path), std::runtime_error);
+  // Repair mode falls back to dt = 1 s and reports the issue.
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, repair_mode(), &report);
+  EXPECT_DOUBLE_EQ(set.dt(), 1.0);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues.back().find("dt <= 0"), std::string::npos);
+}
+
+TEST_F(LoadMalformedTest, MultipleDefectsAreAllTallied) {
+  const std::string path = write_file("mixed.csv",
+                                      "t,vm0,vm1\n"
+                                      "0,1.0,2.0\n"
+                                      "60,-1.0,zzz\n"
+                                      "120,inf,4.0\n"
+                                      "180,4.0,6.0\n");
+  TraceLoadReport report;
+  const TraceSet set = TraceSet::load_csv(path, repair_mode(), &report);
+  EXPECT_EQ(report.negative_cells, 1u);
+  EXPECT_EQ(report.non_numeric_cells, 1u);
+  EXPECT_EQ(report.non_finite_cells, 1u);
+  EXPECT_EQ(report.repaired_cells(), 3u);
+  EXPECT_EQ(report.total_cells, 8u);
+  EXPECT_DOUBLE_EQ(set[0].series[1], 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(set[0].series[2], 2.0);  // interpolated clamped-0 .. 4.0
+  EXPECT_DOUBLE_EQ(set[1].series[1], 3.0);  // interpolated 2.0 .. 4.0
+}
+
+TEST_F(LoadMalformedTest, SavedTracesReloadIdentically) {
+  TraceSet original;
+  original.add({"web", 0, TimeSeries(30.0, {0.5, 1.5, 2.5, 1.0})});
+  original.add({"db", 1, TimeSeries(30.0, {2.0, 0.0, 1.0, 3.0})});
+  const std::string path = ::testing::TempDir() + "load_malformed_round.csv";
+  original.save_csv(path);
+  TraceLoadReport report;
+  const TraceSet loaded = TraceSet::load_csv(path, {}, &report);
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "web");
+  EXPECT_DOUBLE_EQ(loaded.dt(), 30.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(loaded[0].series[i], original[0].series[i]);
+    EXPECT_DOUBLE_EQ(loaded[1].series[i], original[1].series[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cava::trace

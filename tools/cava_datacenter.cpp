@@ -16,6 +16,7 @@
 //
 //   # synthesize and save a trace population for later runs
 //   cava_datacenter --vms 24 --groups 6 --trace-out traces.csv --policy bfd
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -44,6 +45,8 @@ constexpr const char* kUsage = R"(cava_datacenter [flags]
 
 Trace source (default: synthesize the paper's Setup-2 population):
   --trace-in FILE     load traces from CSV (t + one column per VM)
+  --repair-traces     repair malformed trace cells (clamp/interpolate) and
+                      print a load report instead of rejecting the file
   --trace-out FILE    save the (synthesized) traces to CSV
   --vms N             synthesized VM count            [40]
   --groups N          synthesized service groups      [4]
@@ -61,6 +64,15 @@ Simulation:
   --migration-joules J  energy per migrated core      [0]
   --threads N         worker threads for multi-policy runs
                       [hardware concurrency]
+  --strict-sweep      abort the whole run on the first failing job instead
+                      of reporting it as an error record
+
+Fault injection (deterministic; see sim/fault.h for the model):
+  --faults SPEC       "none" or comma-separated key=value list, keys:
+                      dropout, corrupt, spike, spike-mag, spike-samples,
+                      crash, repair-min, degrade, degrade-frac, pred-bias,
+                      pred-noise.  e.g. --faults crash=0.05,repair-min=30
+  --fault-seed S      fault stream seed               [1]
 
 Output:
   --json-out FILE     write full results as JSON
@@ -109,10 +121,11 @@ sim::VfFactory make_vf_factory(const sim::SimConfig& cfg, const std::string& vf,
 int main(int argc, char** argv) {
   try {
     const util::FlagParser flags(argc, argv);
-    flags.require_known({"trace-in", "trace-out", "vms", "groups", "hours",
-                         "seed", "policy", "vf", "sticky", "servers",
-                         "period-min", "predictor", "migration-joules",
-                         "threads", "json-out", "help"});
+    flags.require_known({"trace-in", "repair-traces", "trace-out", "vms",
+                         "groups", "hours", "seed", "policy", "vf", "sticky",
+                         "servers", "period-min", "predictor",
+                         "migration-joules", "threads", "strict-sweep",
+                         "faults", "fault-seed", "json-out", "help"});
     if (flags.get_bool("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -121,7 +134,17 @@ int main(int argc, char** argv) {
     // ---- Traces. ----
     auto traces = std::make_shared<trace::TraceSet>();
     if (flags.has("trace-in")) {
-      *traces = trace::TraceSet::load_csv(flags.get_string("trace-in", ""));
+      trace::TraceLoadOptions load_options;
+      load_options.repair = flags.get_bool("repair-traces");
+      trace::TraceLoadReport load_report;
+      *traces = trace::TraceSet::load_csv(flags.get_string("trace-in", ""),
+                                          load_options, &load_report);
+      if (load_options.repair) {
+        std::printf("trace load: %s\n", load_report.summary().c_str());
+        for (const auto& issue : load_report.issues) {
+          std::printf("  %s\n", issue.c_str());
+        }
+      }
     } else {
       trace::DatacenterTraceConfig tcfg;
       tcfg.num_vms = static_cast<int>(flags.get_int("vms", 40));
@@ -143,6 +166,12 @@ int main(int argc, char** argv) {
     cfg.predictor = flags.get_string("predictor", "last-value");
     cfg.migration_energy_joules_per_core =
         flags.get_double("migration-joules", 0.0);
+    cfg.faults = sim::FaultSpec::parse(flags.get_string("faults", "none"));
+    cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+    if (cfg.faults.any()) {
+      std::printf("faults: %s (seed %llu)\n\n", cfg.faults.describe().c_str(),
+                  static_cast<unsigned long long>(cfg.fault_seed));
+    }
 
     const std::string vf = flags.get_string("vf", "matched");
     if (vf == "dynamic") {
@@ -167,7 +196,10 @@ int main(int argc, char** argv) {
     const std::size_t threads = flags.has("threads")
         ? static_cast<std::size_t>(flags.get_int("threads", 1))
         : util::ThreadPool::default_concurrency();
-    sim::SweepRunner runner(threads);
+    const auto error_policy = flags.get_bool("strict-sweep")
+                                  ? sim::SweepErrorPolicy::kStrict
+                                  : sim::SweepErrorPolicy::kCollect;
+    sim::SweepRunner runner(threads, error_policy);
     for (const std::string& name : names) {
       runner.add({"", cfg, traces, make_policy_factory(name, flags.get_bool("sticky")),
                   make_vf_factory(cfg, vf, name)});
@@ -176,21 +208,28 @@ int main(int argc, char** argv) {
 
     std::vector<sim::SimResult> results;
     for (const auto& record : records) {
+      if (!record.ok()) {
+        std::fprintf(stderr, "job '%s' failed: %s\n  %s\n",
+                     record.label.c_str(), record.error.c_str(),
+                     record.config_echo.c_str());
+        continue;
+      }
       results.push_back(record.result);
       std::printf("%s  [%.2fs, %.2e VM-samples/s]\n",
                   sim::summary_line(record.result).c_str(),
                   record.wall_seconds, record.vm_samples_per_second);
     }
+    if (results.empty()) throw std::runtime_error("every sweep job failed");
 
     std::printf("\n");
     sim::print_comparison(results, std::cout);
 
     const sim::SweepStats& stats = runner.last_stats();
     std::printf(
-        "\nsweep: %zu jobs on %zu threads, %.2fs elapsed (%.2fs "
-        "serial-equivalent, %.2fx)\n",
-        stats.jobs, stats.threads, stats.wall_seconds, stats.job_seconds_total,
-        stats.speedup());
+        "\nsweep: %zu jobs (%zu failed) on %zu threads, %.2fs elapsed "
+        "(%.2fs serial-equivalent, %.2fx)\n",
+        stats.jobs, stats.failed_jobs, stats.threads, stats.wall_seconds,
+        stats.job_seconds_total, stats.speedup());
 
     if (flags.has("json-out")) {
       util::Json j = util::Json::object();
