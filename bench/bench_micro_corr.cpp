@@ -4,13 +4,16 @@
 // metrics either store all samples or concentrate computation at period end.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "corr/cost_matrix.h"
 #include "corr/peak_cost.h"
 #include "trace/streaming_stats.h"
+#include "trace/time_series.h"
 #include "util/math_util.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -56,7 +59,9 @@ void BM_BatchPearsonAtPeriodEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchPearsonAtPeriodEnd)->Range(256, 65536)->Complexity();
 
-/// Full cost-matrix tick for N VMs (the per-sample UPDATE work).
+/// Full cost-matrix tick for N VMs (the per-sample UPDATE work). This is
+/// the scalar baseline the blocked kernel below is measured against: it
+/// re-walks the whole N(N-1)/2 triangle once per sample.
 void BM_CostMatrixTick(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   corr::CostMatrix m(n, trace::ReferenceSpec::peak());
@@ -65,8 +70,136 @@ void BM_CostMatrixTick(benchmark::State& state) {
     m.add_sample(tick);
   }
   state.SetComplexityN(state.range(0));
+  state.counters["samples_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_CostMatrixTick)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+BENCHMARK(BM_CostMatrixTick)->RangeMultiplier(2)->Range(8, 1024)->Complexity();
+
+/// Number of samples per ingested tile in the block benches: one simulated
+/// placement period at Setup-2 granularity (~an hour of 10-15 s samples).
+constexpr std::size_t kBlockSamples = 256;
+
+std::vector<double> random_vm_major_block(std::size_t n_vms,
+                                          std::size_t num_samples,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> block(n_vms * num_samples);
+  for (auto& x : block) x = rng.uniform(0.0, 4.0);
+  return block;
+}
+
+/// Batched, cache-blocked ingest: one add_block call consumes a tile of
+/// kBlockSamples x N, walking the triangle once per sample-tile instead of
+/// once per sample. Compare ns/op / kBlockSamples against BM_CostMatrixTick
+/// at the same N (or directly: samples_per_s vs samples_per_s).
+///
+/// Vectorization note (GCC 12, x86-64): the branch-free inner loop
+/// `m = std::max(m, ui[t] + uj[t])` compiles to a load-add-maxsd stream;
+/// the max-*reduction* form only auto-vectorizes to maxpd under
+/// -ffinite-math-only -fno-signed-zeros (verified with -fopt-info-vec:
+/// "loop vectorized using 16 byte vectors" on the tile loop in
+/// ingest_rows). We deliberately keep default FP semantics — the -inf
+/// no-sample sentinel lives in the same loops — so the kernel vectorizes
+/// explicitly instead: four independent SSE2 max chains to hide maxpd
+/// latency, a dual-j-row pass that shares each ui tile load across two
+/// pair slots, and a 256-bit AVX variant dispatched once at startup via
+/// __builtin_cpu_supports. That clears the 5x target over add_sample at
+/// N=256 (see BENCH_micro_corr.json).
+void BM_CostMatrixAddBlock(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+  const auto block = random_vm_major_block(n, kBlockSamples, 9);
+  for (auto _ : state) {
+    m.add_block(block, kBlockSamples, kBlockSamples);
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kBlockSamples),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CostMatrixAddBlock)
+    ->RangeMultiplier(2)
+    ->Range(8, 1024)
+    ->Complexity();
+
+/// The sharded path: row-blocks of the triangle fanned across a
+/// util::ThreadPool. Arg is the worker count; N fixed at 1024 (well above
+/// the sharding threshold) so per-shard work dominates dispatch overhead.
+void BM_CostMatrixAddBlockSharded(benchmark::State& state) {
+  const std::size_t n = 1024;
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+  m.set_thread_pool(&pool);
+  const auto block = random_vm_major_block(n, kBlockSamples, 10);
+  for (auto _ : state) {
+    m.add_block(block, kBlockSamples, kBlockSamples);
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kBlockSamples),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CostMatrixAddBlockSharded)->DenseRange(1, 4, 1)->UseRealTime();
+
+/// Percentile mode: the P2 estimators bound the win (order-sensitive state
+/// per slot), but slot-major feeding still beats per-sample estimator hops.
+void BM_CostMatrixAddBlockPercentile(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  corr::CostMatrix m(n, trace::ReferenceSpec::nth(95.0));
+  const auto block = random_vm_major_block(n, kBlockSamples, 11);
+  for (auto _ : state) {
+    m.add_block(block, kBlockSamples, kBlockSamples);
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kBlockSamples),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CostMatrixAddBlockPercentile)->Arg(64)->Arg(256);
+
+/// Whole-trace ingest through the blocked from_traces path vs the
+/// per-sample loop it replaced.
+trace::TraceSet synthetic_traces(std::size_t n_vms, std::size_t num_samples) {
+  trace::TraceSet set;
+  util::Rng rng(12);
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    std::vector<double> s(num_samples);
+    for (auto& x : s) x = rng.uniform(0.0, 4.0);
+    set.add({"vm" + std::to_string(v), -1,
+             trace::TimeSeries(1.0, std::move(s))});
+  }
+  return set;
+}
+
+void BM_FromTracesBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto set = synthetic_traces(n, 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        corr::CostMatrix::from_traces(set, trace::ReferenceSpec::peak()));
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1024),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FromTracesBlocked)->Arg(64)->Arg(256);
+
+void BM_FromTracesPerSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto set = synthetic_traces(n, 1024);
+  std::vector<double> tick(n);
+  for (auto _ : state) {
+    corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+    for (std::size_t s = 0; s < 1024; ++s) {
+      for (std::size_t v = 0; v < n; ++v) tick[v] = set[v].series[s];
+      m.add_sample(tick);
+    }
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1024),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FromTracesPerSample)->Arg(64)->Arg(256);
 
 /// Eqn.-2 server-cost evaluation for a co-location group.
 void BM_ServerCostEvaluation(benchmark::State& state) {

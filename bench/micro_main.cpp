@@ -1,0 +1,50 @@
+// Entry point for the google-benchmark microbenchmarks, replacing
+// benchmark_main so the binaries grow a stable JSON-emission flag:
+//
+//   bench_micro_corr --json out.json [other --benchmark_* flags]
+//
+// --json PATH is shorthand for --benchmark_out=PATH with
+// --benchmark_out_format=json; tools/bench_to_trajectory consumes the
+// resulting file and distills the perf-trajectory counters (see
+// BENCH_micro_corr.json at the repository root).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path argument\n";
+        return 1;
+      }
+      args.emplace_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (std::string a = argv[i];
+               a.rfind("--benchmark_min_time=", 0) == 0 && !a.empty() &&
+               a.back() == 's' && a.find("x") == std::string::npos) {
+      // benchmark >= 1.8 spells durations "0.01s"; 1.7 wants a bare double
+      // in seconds. Strip the suffix so either library accepts the flag
+      // (leave "<N>x" iteration-count specs untouched).
+      args.emplace_back(a.substr(0, a.size() - 1));
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

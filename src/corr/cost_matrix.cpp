@@ -1,13 +1,185 @@
 #include "corr/cost_matrix.h"
 
 #include <algorithm>
+#include <future>
 #include <limits>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__SSE2__)
+#include <immintrin.h>
+#define CAVA_X86_PAIR_KERNELS 1
+#endif
+
+#include "util/thread_pool.h"
 
 namespace cava::corr {
 
 namespace {
 constexpr double kNoSample = -std::numeric_limits<double>::infinity();
+
+/// Samples per cache tile of the blocked kernel: the triangle is re-walked
+/// once per tile, so larger tiles amortize pair-slot traffic further, while
+/// two tile rows (2 * 256 * 8 B = 4 KiB) must stay resident in L1 for the
+/// branch-free inner loop to stream at full speed.
+constexpr std::size_t kSampleTile = 256;
+
+/// max over t in [t0, t1) of ui[t] + uj[t], with no loop-carried serial
+/// dependency. A single running max bottlenecks on the 3-4 cycle maxsd
+/// latency; independent accumulator chains retire one max per cycle. On
+/// x86-64 the SSE2 path (guaranteed by the ABI) processes two samples per
+/// max with four parallel chains; max and add are exactly associative /
+/// elementwise here, so lane order cannot change the result and the kernel
+/// stays bit-identical to the scalar loop for finite inputs.
+inline double pair_peak_over(const double* ui, const double* uj,
+                             std::size_t t0, std::size_t t1) {
+  double m;
+  std::size_t t = t0;
+#if defined(__SSE2__)
+  __m128d v0 = _mm_set1_pd(kNoSample);
+  __m128d v1 = v0, v2 = v0, v3 = v0;
+  for (; t + 8 <= t1; t += 8) {
+    v0 = _mm_max_pd(v0, _mm_add_pd(_mm_loadu_pd(ui + t),
+                                   _mm_loadu_pd(uj + t)));
+    v1 = _mm_max_pd(v1, _mm_add_pd(_mm_loadu_pd(ui + t + 2),
+                                   _mm_loadu_pd(uj + t + 2)));
+    v2 = _mm_max_pd(v2, _mm_add_pd(_mm_loadu_pd(ui + t + 4),
+                                   _mm_loadu_pd(uj + t + 4)));
+    v3 = _mm_max_pd(v3, _mm_add_pd(_mm_loadu_pd(ui + t + 6),
+                                   _mm_loadu_pd(uj + t + 6)));
+  }
+  const __m128d v = _mm_max_pd(_mm_max_pd(v0, v1), _mm_max_pd(v2, v3));
+  m = std::max(_mm_cvtsd_f64(v),
+               _mm_cvtsd_f64(_mm_unpackhi_pd(v, v)));
+#else
+  double m0 = kNoSample, m1 = kNoSample, m2 = kNoSample, m3 = kNoSample;
+  for (; t + 4 <= t1; t += 4) {
+    m0 = std::max(m0, ui[t] + uj[t]);
+    m1 = std::max(m1, ui[t + 1] + uj[t + 1]);
+    m2 = std::max(m2, ui[t + 2] + uj[t + 2]);
+    m3 = std::max(m3, ui[t + 3] + uj[t + 3]);
+  }
+  m = std::max(std::max(m0, m1), std::max(m2, m3));
+#endif
+  for (; t < t1; ++t) m = std::max(m, ui[t] + uj[t]);
+  return m;
+}
+
+/// Dual-row variant: peaks of (ui + uja) and (ui + ujb) in one pass, so
+/// each ui tile load is shared by two pair slots — halving load traffic on
+/// the hottest stream. On machines with AVX a 256-bit variant is selected
+/// once at startup via __builtin_cpu_supports (the baseline build targets
+/// plain x86-64, so the wider kernel needs the target attribute); both
+/// variants reduce with exactly associative max, so the choice of kernel
+/// cannot change the result.
+#if defined(CAVA_X86_PAIR_KERNELS)
+using PairKernel2 = void (*)(const double*, const double*, const double*,
+                             std::size_t, std::size_t, double*, double*);
+
+__attribute__((target("avx"))) void pair_peak_over2_avx(
+    const double* ui, const double* uja, const double* ujb, std::size_t t0,
+    std::size_t t1, double* out_a, double* out_b) {
+  std::size_t t = t0;
+  __m256d a0 = _mm256_set1_pd(kNoSample), a1 = a0, b0 = a0, b1 = a0;
+  for (; t + 8 <= t1; t += 8) {
+    const __m256d x0 = _mm256_loadu_pd(ui + t);
+    const __m256d x1 = _mm256_loadu_pd(ui + t + 4);
+    a0 = _mm256_max_pd(a0, _mm256_add_pd(x0, _mm256_loadu_pd(uja + t)));
+    a1 = _mm256_max_pd(a1, _mm256_add_pd(x1, _mm256_loadu_pd(uja + t + 4)));
+    b0 = _mm256_max_pd(b0, _mm256_add_pd(x0, _mm256_loadu_pd(ujb + t)));
+    b1 = _mm256_max_pd(b1, _mm256_add_pd(x1, _mm256_loadu_pd(ujb + t + 4)));
+  }
+  const __m256d a = _mm256_max_pd(a0, a1);
+  const __m256d b = _mm256_max_pd(b0, b1);
+  const __m128d am =
+      _mm_max_pd(_mm256_castpd256_pd128(a), _mm256_extractf128_pd(a, 1));
+  const __m128d bm =
+      _mm_max_pd(_mm256_castpd256_pd128(b), _mm256_extractf128_pd(b, 1));
+  double ma =
+      std::max(_mm_cvtsd_f64(am), _mm_cvtsd_f64(_mm_unpackhi_pd(am, am)));
+  double mb =
+      std::max(_mm_cvtsd_f64(bm), _mm_cvtsd_f64(_mm_unpackhi_pd(bm, bm)));
+  for (; t < t1; ++t) {
+    ma = std::max(ma, ui[t] + uja[t]);
+    mb = std::max(mb, ui[t] + ujb[t]);
+  }
+  *out_a = ma;
+  *out_b = mb;
+}
+
+void pair_peak_over2_sse2(const double* ui, const double* uja,
+                          const double* ujb, std::size_t t0, std::size_t t1,
+                          double* out_a, double* out_b) {
+  std::size_t t = t0;
+  __m128d a0 = _mm_set1_pd(kNoSample), a1 = a0, b0 = a0, b1 = a0;
+  for (; t + 4 <= t1; t += 4) {
+    const __m128d x0 = _mm_loadu_pd(ui + t);
+    const __m128d x1 = _mm_loadu_pd(ui + t + 2);
+    a0 = _mm_max_pd(a0, _mm_add_pd(x0, _mm_loadu_pd(uja + t)));
+    a1 = _mm_max_pd(a1, _mm_add_pd(x1, _mm_loadu_pd(uja + t + 2)));
+    b0 = _mm_max_pd(b0, _mm_add_pd(x0, _mm_loadu_pd(ujb + t)));
+    b1 = _mm_max_pd(b1, _mm_add_pd(x1, _mm_loadu_pd(ujb + t + 2)));
+  }
+  const __m128d am = _mm_max_pd(a0, a1);
+  const __m128d bm = _mm_max_pd(b0, b1);
+  double ma =
+      std::max(_mm_cvtsd_f64(am), _mm_cvtsd_f64(_mm_unpackhi_pd(am, am)));
+  double mb =
+      std::max(_mm_cvtsd_f64(bm), _mm_cvtsd_f64(_mm_unpackhi_pd(bm, bm)));
+  for (; t < t1; ++t) {
+    ma = std::max(ma, ui[t] + uja[t]);
+    mb = std::max(mb, ui[t] + ujb[t]);
+  }
+  *out_a = ma;
+  *out_b = mb;
+}
+
+const PairKernel2 pair_peak_over2 = __builtin_cpu_supports("avx")
+                                        ? pair_peak_over2_avx
+                                        : pair_peak_over2_sse2;
+
+/// Quad-row AVX variant: one ui tile load feeds four pair slots. Eight
+/// independent max chains (two per row) cover the 3-4 cycle vmaxpd latency
+/// at two FP ops per cycle.
+__attribute__((target("avx"))) void pair_peak_over4_avx(
+    const double* ui, const double* const* uj, std::size_t t0, std::size_t t1,
+    double* out) {
+  std::size_t t = t0;
+  __m256d acc[8];
+  for (auto& a : acc) a = _mm256_set1_pd(kNoSample);
+  for (; t + 8 <= t1; t += 8) {
+    const __m256d x0 = _mm256_loadu_pd(ui + t);
+    const __m256d x1 = _mm256_loadu_pd(ui + t + 4);
+    for (int r = 0; r < 4; ++r) {
+      acc[2 * r] = _mm256_max_pd(
+          acc[2 * r], _mm256_add_pd(x0, _mm256_loadu_pd(uj[r] + t)));
+      acc[2 * r + 1] = _mm256_max_pd(
+          acc[2 * r + 1], _mm256_add_pd(x1, _mm256_loadu_pd(uj[r] + t + 4)));
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    const __m256d v = _mm256_max_pd(acc[2 * r], acc[2 * r + 1]);
+    const __m128d h =
+        _mm_max_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+    double m =
+        std::max(_mm_cvtsd_f64(h), _mm_cvtsd_f64(_mm_unpackhi_pd(h, h)));
+    for (std::size_t s = t; s < t1; ++s) m = std::max(m, ui[s] + uj[r][s]);
+    out[r] = m;
+  }
+}
+
+using PairKernel4 = void (*)(const double*, const double* const*, std::size_t,
+                             std::size_t, double*);
+/// Null when the CPU lacks AVX; ingest_rows then stays on the dual-row path.
+const PairKernel4 pair_peak_over4 =
+    __builtin_cpu_supports("avx") ? pair_peak_over4_avx : nullptr;
+#else
+inline void pair_peak_over2(const double* ui, const double* uja,
+                            const double* ujb, std::size_t t0, std::size_t t1,
+                            double* out_a, double* out_b) {
+  *out_a = pair_peak_over(ui, uja, t0, t1);
+  *out_b = pair_peak_over(ui, ujb, t0, t1);
+}
+#endif
 }  // namespace
 
 CostMatrix::CostMatrix(std::size_t num_vms, trace::ReferenceSpec spec)
@@ -28,9 +200,13 @@ std::size_t CostMatrix::pair_index(std::size_t i, std::size_t j) const {
   if (i == j || i >= n_ || j >= n_) {
     throw std::out_of_range("CostMatrix: bad pair index");
   }
-  if (i > j) std::swap(i, j);
-  // Row-major upper triangle (i < j): offset of row i plus column.
-  return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+  return pair_slot(i, j);
+}
+
+void CostMatrix::set_thread_pool(util::ThreadPool* pool,
+                                 std::size_t min_vms) {
+  pool_ = pool;
+  shard_min_vms_ = min_vms;
 }
 
 void CostMatrix::add_sample(std::span<const double> u) {
@@ -62,6 +238,119 @@ void CostMatrix::add_sample(std::span<const double> u) {
   ++samples_;
 }
 
+void CostMatrix::ingest_rows(const double* u, std::size_t num_samples,
+                             std::size_t stride, std::size_t row_begin,
+                             std::size_t row_end) {
+  double* peaks = pair_peaks_.data();
+  // Per-VM reference peaks for the owned rows (row n-1 carries no pairs but
+  // still owns its reference slot).
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ui = u + i * stride;
+    double m = ref_peaks_[i];
+    for (std::size_t t = 0; t < num_samples; ++t) m = std::max(m, ui[t]);
+    ref_peaks_[i] = m;
+  }
+  // Pair peaks, tiled over samples so that for each (i, j) the two tile rows
+  // are L1-resident and the inner kernel is a pure load-add-max stream: no
+  // store, no branch, the running maxima live in registers and the triangle
+  // slot is touched once per tile (pair_peak_over above breaks the maxsd
+  // latency chain; see the vectorization note in bench_micro_corr.cpp).
+  for (std::size_t t0 = 0; t0 < num_samples; t0 += kSampleTile) {
+    const std::size_t t1 = std::min(num_samples, t0 + kSampleTile);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const double* ui = u + i * stride;
+      std::size_t idx = row_offset(i);
+      std::size_t j = i + 1;
+#if defined(CAVA_X86_PAIR_KERNELS)
+      if (pair_peak_over4 != nullptr) {
+        for (; j + 4 <= n_; j += 4, idx += 4) {
+          const double* rows[4] = {u + j * stride, u + (j + 1) * stride,
+                                   u + (j + 2) * stride,
+                                   u + (j + 3) * stride};
+          double m[4];
+          pair_peak_over4(ui, rows, t0, t1, m);
+          for (int r = 0; r < 4; ++r) {
+            peaks[idx + r] = std::max(peaks[idx + r], m[r]);
+          }
+        }
+      }
+#endif
+      for (; j + 2 <= n_; j += 2, idx += 2) {
+        double ma, mb;
+        pair_peak_over2(ui, u + j * stride, u + (j + 1) * stride, t0, t1,
+                        &ma, &mb);
+        peaks[idx] = std::max(peaks[idx], ma);
+        peaks[idx + 1] = std::max(peaks[idx + 1], mb);
+      }
+      for (; j < n_; ++j, ++idx) {
+        const double m = pair_peak_over(ui, u + j * stride, t0, t1);
+        peaks[idx] = std::max(peaks[idx], m);
+      }
+    }
+  }
+  if (!percentile_mode_) return;
+  // P2 estimators are order-sensitive per slot, so each slot consumes its
+  // whole sample run sequentially — slot-major iteration keeps the 5-marker
+  // estimator state hot in registers/L1 while preserving exactly the
+  // per-slot feed order add_sample would have produced.
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ui = u + i * stride;
+    trace::P2Quantile& q = ref_quantiles_[i];
+    for (std::size_t t = 0; t < num_samples; ++t) q.add(ui[t]);
+  }
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ui = u + i * stride;
+    std::size_t idx = row_offset(i);
+    for (std::size_t j = i + 1; j < n_; ++j, ++idx) {
+      const double* uj = u + j * stride;
+      trace::P2Quantile& q = pair_quantiles_[idx];
+      for (std::size_t t = 0; t < num_samples; ++t) q.add(ui[t] + uj[t]);
+    }
+  }
+}
+
+void CostMatrix::add_block(std::span<const double> u, std::size_t num_samples,
+                           std::size_t stride) {
+  if (num_samples == 0) return;
+  if (stride < num_samples) {
+    throw std::invalid_argument("CostMatrix::add_block: stride < num_samples");
+  }
+  if (u.size() < (n_ - 1) * stride + num_samples) {
+    throw std::invalid_argument("CostMatrix::add_block: buffer too small");
+  }
+  const bool shard = pool_ != nullptr && pool_->size() > 1 &&
+                     n_ >= shard_min_vms_ && n_ > 1;
+  if (!shard) {
+    ingest_rows(u.data(), num_samples, stride, 0, n_);
+  } else {
+    // Partition rows [0, n) into contiguous blocks of roughly equal pair
+    // count (row i owns n-1-i slots, so equal row counts would leave the
+    // first shard with far more work). Each block writes a disjoint slice
+    // of every state array; the futures are the only synchronization.
+    const std::size_t num_shards = std::min(pool_->size(), n_);
+    // row_offset(r) counts the slots in rows [0, r), so the cut point of
+    // shard s is the first row whose prefix reaches its proportional share.
+    const std::size_t total_slots = n_ * (n_ - 1) / 2;
+    std::vector<std::future<void>> pending;
+    pending.reserve(num_shards);
+    std::size_t row = 0;
+    for (std::size_t s = 0; s < num_shards && row < n_; ++s) {
+      const std::size_t target = total_slots * (s + 1) / num_shards;
+      std::size_t end = (s + 1 == num_shards) ? n_ : row + 1;
+      while (end < n_ && row_offset(end) < target) ++end;
+      const double* base = u.data();
+      const std::size_t begin = row;
+      pending.push_back(
+          pool_->submit([this, base, num_samples, stride, begin, end] {
+            ingest_rows(base, num_samples, stride, begin, end);
+          }));
+      row = end;
+    }
+    for (auto& f : pending) f.get();
+  }
+  samples_ += num_samples;
+}
+
 void CostMatrix::reset() {
   std::fill(ref_peaks_.begin(), ref_peaks_.end(), kNoSample);
   std::fill(pair_peaks_.begin(), pair_peaks_.end(), kNoSample);
@@ -72,6 +361,10 @@ void CostMatrix::reset() {
 
 double CostMatrix::reference(std::size_t i) const {
   if (i >= n_) throw std::out_of_range("CostMatrix::reference");
+  return ref_value(i);
+}
+
+double CostMatrix::ref_value(std::size_t i) const noexcept {
   if (samples_ == 0) return 0.0;
   return percentile_mode_ ? ref_quantiles_[i].value() : ref_peaks_[i];
 }
@@ -88,48 +381,70 @@ double CostMatrix::cost(std::size_t i, std::size_t j) const {
   return (reference(i) + reference(j)) / denom;
 }
 
-double CostMatrix::server_cost_of(const std::vector<std::size_t>& group) const {
-  if (group.size() < 2) return 1.0;
+double CostMatrix::cost_fast(std::size_t i, std::size_t j) const noexcept {
+  const double denom = pair_value(pair_slot(i, j));
+  if (denom <= 0.0) return 1.0;
+  return (ref_value(i) + ref_value(j)) / denom;
+}
+
+double CostMatrix::server_cost_impl(std::span<const std::size_t> group,
+                                    const std::size_t* extra) const {
+  const std::size_t m = group.size() + (extra != nullptr ? 1 : 0);
+  if (m < 2) return 1.0;
+  // Validate every member once up front so the O(m^2) pair loop below can
+  // use the unchecked accessors.
+  for (std::size_t idx : group) {
+    if (idx >= n_) throw std::out_of_range("CostMatrix::server_cost");
+  }
+  if (extra != nullptr && *extra >= n_) {
+    throw std::out_of_range("CostMatrix::server_cost");
+  }
+  const auto member = [&](std::size_t k) {
+    return k < group.size() ? group[k] : *extra;
+  };
   double total_ref = 0.0;
-  for (std::size_t idx : group) total_ref += reference(idx);
+  for (std::size_t k = 0; k < m; ++k) total_ref += ref_value(member(k));
   if (total_ref <= 0.0) return 1.0;
 
   double result = 0.0;
-  for (std::size_t j : group) {
+  for (std::size_t a = 0; a < m; ++a) {
+    const std::size_t j = member(a);
     double mean_cost = 0.0;
-    for (std::size_t k : group) {
+    for (std::size_t b = 0; b < m; ++b) {
+      const std::size_t k = member(b);
       if (k == j) continue;
-      mean_cost += cost(j, k);
+      mean_cost += cost_fast(j, k);
     }
-    mean_cost /= static_cast<double>(group.size() - 1);
-    const double weight = reference(j) / total_ref;
+    mean_cost /= static_cast<double>(m - 1);
+    const double weight = ref_value(j) / total_ref;
     result += weight * mean_cost;
   }
   return result;
 }
 
 double CostMatrix::server_cost(std::span<const std::size_t> group) const {
-  return server_cost_of(std::vector<std::size_t>(group.begin(), group.end()));
+  return server_cost_impl(group, nullptr);
 }
 
 double CostMatrix::server_cost_with(std::span<const std::size_t> group,
                                     std::size_t candidate) const {
-  std::vector<std::size_t> extended(group.begin(), group.end());
-  extended.push_back(candidate);
-  return server_cost_of(extended);
+  return server_cost_impl(group, &candidate);
 }
 
 CostMatrix CostMatrix::from_traces(const trace::TraceSet& traces,
                                    trace::ReferenceSpec spec) {
   CostMatrix m(traces.size(), spec);
   const std::size_t samples = traces.samples_per_trace();
-  std::vector<double> tick(traces.size());
-  for (std::size_t s = 0; s < samples; ++s) {
-    for (std::size_t v = 0; v < traces.size(); ++v) {
-      tick[v] = traces[v].series[s];
-    }
-    m.add_sample(tick);
+  if (samples == 0) return m;
+  // Gather the per-VM series into one VM-major block (each trace owns its
+  // own vector, so one O(N*S) copy buys the contiguous layout the blocked
+  // kernel wants — negligible against the O(N^2 * S) pair work).
+  std::vector<double> block(traces.size() * samples);
+  for (std::size_t v = 0; v < traces.size(); ++v) {
+    const std::span<const double> s = traces[v].series.samples();
+    std::copy(s.begin(), s.end(), block.begin() + v * samples);
   }
+  m.add_block(block, samples, samples);
   return m;
 }
 

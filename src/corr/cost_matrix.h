@@ -14,6 +14,15 @@
 // update is a single linear pass instead of N(N-1)/2 scattered estimator
 // objects. Peak references reduce to a running max per slot; percentile
 // references fall back to a per-slot P2 quantile estimator.
+//
+// Ingest comes in two flavors. add_sample() is the per-tick streaming path
+// the paper describes; add_block() consumes a whole tile of S samples x N
+// VMs at once, walking the triangle once per tile instead of once per
+// sample (the cache-blocked kernel; see DESIGN.md "Batched ingest").
+// Above a size threshold add_block() shards the triangle's row-blocks
+// across an optional util::ThreadPool: each shard owns a disjoint slice of
+// pair_peaks_ / pair_quantiles_, so the parallel path needs no
+// synchronization beyond joining the futures.
 #pragma once
 
 #include "corr/peak_cost.h"
@@ -21,9 +30,14 @@
 #include "trace/streaming_stats.h"
 #include "trace/time_series.h"
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+namespace cava::util {
+class ThreadPool;
+}  // namespace cava::util
 
 namespace cava::corr {
 
@@ -36,6 +50,28 @@ class CostMatrix {
   /// Feed one simultaneous utilization sample for every VM
   /// (u.size() == size()). O(N^2) work per tick, O(1) per pair.
   void add_sample(std::span<const double> u);
+
+  /// Feed a tile of `num_samples` consecutive samples for every VM in one
+  /// call. The layout is VM-major: VM i's samples occupy
+  /// u[i * stride + t] for t in [0, num_samples), with stride >=
+  /// num_samples (stride lets callers feed a window of a larger buffer
+  /// without copying). Produces state bit-identical to calling add_sample
+  /// once per sample in order: peak slots are order-free running maxima,
+  /// and percentile-mode P2 estimators are fed slot-by-slot in the original
+  /// sample order, which is the only order their state depends on.
+  void add_block(std::span<const double> u, std::size_t num_samples,
+                 std::size_t stride);
+
+  /// Default VM-count threshold above which add_block shards its row-blocks
+  /// across the attached thread pool.
+  static constexpr std::size_t kDefaultShardMinVms = 128;
+
+  /// Attach a worker pool (non-owning, may be nullptr to detach): when
+  /// size() >= min_vms, add_block partitions the triangle into contiguous
+  /// row-blocks of roughly equal slot count and ingests them concurrently.
+  /// The pool must outlive the matrix or be detached before destruction.
+  void set_thread_pool(util::ThreadPool* pool,
+                       std::size_t min_vms = kDefaultShardMinVms);
 
   /// Start a fresh measurement period, discarding accumulated statistics.
   void reset();
@@ -57,15 +93,52 @@ class CostMatrix {
   double server_cost_with(std::span<const std::size_t> group,
                           std::size_t candidate) const;
 
-  /// Build a fully-populated matrix from stored traces in one pass.
+  /// Build a fully-populated matrix from stored traces in one blocked pass.
   static CostMatrix from_traces(const trace::TraceSet& traces,
                                 trace::ReferenceSpec spec);
 
  private:
-  double server_cost_of(const std::vector<std::size_t>& group) const;
+  /// Validating slot lookup for the public cost(i, j) API.
   std::size_t pair_index(std::size_t i, std::size_t j) const;
+
+  /// Unchecked slot lookup for hot loops: asserts in debug builds, no
+  /// bounds/throw checks in release. Callers must guarantee i != j and
+  /// both < size().
+  std::size_t pair_slot(std::size_t i, std::size_t j) const noexcept {
+    assert(i != j && i < n_ && j < n_);
+    if (i > j) {
+      const std::size_t t = i;
+      i = j;
+      j = t;
+    }
+    // Row-major upper triangle (i < j): offset of row i plus column.
+    return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+  }
+
+  /// First triangle slot of row i (pairs (i, i+1) .. (i, n-1)).
+  std::size_t row_offset(std::size_t i) const noexcept {
+    return i * (2 * n_ - i - 1) / 2;
+  }
+
+  /// u^ of VM i without bounds checks (hot-loop twin of reference()).
+  double ref_value(std::size_t i) const noexcept;
   /// u^ of the summed pair signal stored at triangle slot `idx`.
   double pair_value(std::size_t idx) const;
+  /// Cost_vm(i, j) without bounds/throw checks; requires i != j.
+  double cost_fast(std::size_t i, std::size_t j) const noexcept;
+
+  /// Eqn. 2 over group (+ optional tentative extra member, appended last so
+  /// the arithmetic order matches a materialized extended group exactly).
+  double server_cost_impl(std::span<const std::size_t> group,
+                          const std::size_t* extra) const;
+
+  /// Ingest the block for triangle rows [row_begin, row_end): per-VM
+  /// reference slots for those rows plus every pair slot (i, j), i in the
+  /// range, j > i. Disjoint row ranges touch disjoint state, which is what
+  /// makes the sharded path race-free.
+  void ingest_rows(const double* u, std::size_t num_samples,
+                   std::size_t stride, std::size_t row_begin,
+                   std::size_t row_end);
 
   std::size_t n_;
   std::size_t samples_ = 0;
@@ -78,6 +151,9 @@ class CostMatrix {
   /// Percentile mode only: P2 estimators per VM / per triangle slot.
   std::vector<trace::P2Quantile> ref_quantiles_;
   std::vector<trace::P2Quantile> pair_quantiles_;
+  /// Optional sharding pool (non-owning) and its activation threshold.
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t shard_min_vms_ = kDefaultShardMinVms;
 };
 
 }  // namespace cava::corr

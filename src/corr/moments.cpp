@@ -1,5 +1,6 @@
 #include "corr/moments.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,6 +35,55 @@ void MomentMatrix::add_sample(std::span<const double> u) {
     const double post_i = u[i] - mean_[i];
     for (std::size_t j = i; j < n_; ++j) {
       comoment_[index(i, j)] += delta_pre[j] * post_i;
+    }
+  }
+}
+
+void MomentMatrix::add_block(std::span<const double> u,
+                             std::size_t num_samples, std::size_t stride) {
+  if (num_samples == 0) return;
+  if (stride < num_samples) {
+    throw std::invalid_argument("MomentMatrix::add_block: stride < num_samples");
+  }
+  if (u.size() < (n_ - 1) * stride + num_samples) {
+    throw std::invalid_argument("MomentMatrix::add_block: buffer too small");
+  }
+  // Tiles bound the scratch to 2 * N * kTile doubles regardless of block
+  // size; tiling cannot change the result because the mean recursion stays
+  // strictly sequential and each co-moment slot accumulates its per-sample
+  // terms in the original order across tile boundaries.
+  constexpr std::size_t kTile = 1024;
+  std::vector<double> delta_pre(n_ * std::min(num_samples, kTile));
+  std::vector<double> post(n_ * std::min(num_samples, kTile));
+  for (std::size_t t0 = 0; t0 < num_samples; t0 += kTile) {
+    const std::size_t count = std::min(kTile, num_samples - t0);
+    // Sequential mean advance, staging the pre-update delta of every VM and
+    // the post-update residual (exactly the two factors the one-pass
+    // co-moment update multiplies in add_sample).
+    for (std::size_t t = 0; t < count; ++t) {
+      ++samples_;
+      const double inv_n = 1.0 / static_cast<double>(samples_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double x = u[i * stride + t0 + t];
+        const double d = x - mean_[i];
+        delta_pre[i * count + t] = d;
+        mean_[i] += d * inv_n;
+      }
+      for (std::size_t i = 0; i < n_; ++i) {
+        post[i * count + t] = u[i * stride + t0 + t] - mean_[i];
+      }
+    }
+    // Slot-major co-moment accumulation: one pass over the triangle per
+    // tile, inner loop streaming two contiguous scratch rows.
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double* post_i = post.data() + i * count;
+      for (std::size_t j = i; j < n_; ++j, ++idx) {
+        const double* pre_j = delta_pre.data() + j * count;
+        double acc = comoment_[idx];
+        for (std::size_t t = 0; t < count; ++t) acc += pre_j[t] * post_i[t];
+        comoment_[idx] = acc;
+      }
     }
   }
 }
@@ -86,11 +136,14 @@ double MomentMatrix::group_mean(std::span<const std::size_t> group) const {
 
 MomentMatrix MomentMatrix::from_traces(const trace::TraceSet& traces) {
   MomentMatrix m(traces.size());
-  std::vector<double> tick(traces.size());
-  for (std::size_t s = 0; s < traces.samples_per_trace(); ++s) {
-    for (std::size_t v = 0; v < traces.size(); ++v) tick[v] = traces[v].series[s];
-    m.add_sample(tick);
+  const std::size_t samples = traces.samples_per_trace();
+  if (samples == 0) return m;
+  std::vector<double> block(traces.size() * samples);
+  for (std::size_t v = 0; v < traces.size(); ++v) {
+    const std::span<const double> s = traces[v].series.samples();
+    std::copy(s.begin(), s.end(), block.begin() + v * samples);
   }
+  m.add_block(block, samples, samples);
   return m;
 }
 

@@ -26,6 +26,18 @@ class MomentMatrix {
 
   /// Feed one simultaneous utilization sample for every VM.
   void add_sample(std::span<const double> u);
+
+  /// Feed a tile of `num_samples` consecutive samples for every VM, laid
+  /// out VM-major: VM i's samples occupy u[i * stride + t] for t in
+  /// [0, num_samples), stride >= num_samples. The running means advance
+  /// sample-by-sample (the Welford-style update is order-dependent), but
+  /// the deltas are staged per tile so the co-moment triangle is walked
+  /// slot-major once per tile instead of once per sample; every
+  /// accumulator sees the same additions in the same order as sequential
+  /// add_sample calls, so the state stays bit-identical.
+  void add_block(std::span<const double> u, std::size_t num_samples,
+                 std::size_t stride);
+
   void reset();
 
   double mean(std::size_t i) const;

@@ -109,9 +109,22 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   std::optional<alloc::Placement> prev_placement;
 
   std::vector<double> tick(n);
+  // VM-major staging block of one placement period (VM i's samples at
+  // [i * samples_per_period, (i + 1) * samples_per_period)), feeding the
+  // correlation statistics through the blocked ingest kernel instead of a
+  // per-tick O(N^2) triangle walk.
+  std::vector<double> period_block(n * samples_per_period);
 
   for (std::size_t p = 0; p < num_periods; ++p) {
     const std::size_t first = p * samples_per_period;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> s = traces[i].series.samples();
+      std::copy(s.begin() + static_cast<std::ptrdiff_t>(first),
+                s.begin() + static_cast<std::ptrdiff_t>(first +
+                                                        samples_per_period),
+                period_block.begin() +
+                    static_cast<std::ptrdiff_t>(i * samples_per_period));
+    }
 
     // ---- UPDATE: reference predictions. ----
     std::vector<model::VmDemand> demands(n);
@@ -149,11 +162,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       // Bootstrap the matrix from the same oracle window.
       prev_matrix.reset();
       prev_moments.reset();
-      for (std::size_t s = 0; s < samples_per_period; ++s) {
-        for (std::size_t i = 0; i < n; ++i) tick[i] = traces[i].series[first + s];
-        prev_matrix.add_sample(tick);
-        prev_moments.add_sample(tick);
-      }
+      prev_matrix.add_block(period_block, samples_per_period,
+                            samples_per_period);
+      prev_moments.add_block(period_block, samples_per_period,
+                             samples_per_period);
     }
 
     // ---- ALLOCATE. ----
@@ -311,6 +323,23 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     corr::CostMatrix& fed_matrix = cumulative ? prev_matrix : curr_matrix;
     corr::MomentMatrix& fed_moments = cumulative ? prev_moments : curr_moments;
     const bool feed = !(cumulative && p == 0);
+    // Samples [0, feed_cursor) of this period have reached the fed
+    // statistics. The whole period is normally ingested as one block after
+    // the replay loop; a crash/repair event forces an early flush first,
+    // because the failover chain reads the cumulative-horizon matrix
+    // mid-period and sequential feeding would have it populated up to (but
+    // excluding) the event sample.
+    std::size_t feed_cursor = 0;
+    const auto flush_feed = [&](std::size_t upto) {
+      if (!feed || upto <= feed_cursor) return;
+      const std::size_t count = upto - feed_cursor;
+      const std::span<const double> window(
+          period_block.data() + feed_cursor,
+          (n - 1) * samples_per_period + count);
+      fed_matrix.add_block(window, count, samples_per_period);
+      fed_moments.add_block(window, count, samples_per_period);
+      feed_cursor = upto;
+    };
     double freq_weighted_time = 0.0;
     double active_time = 0.0;
     std::vector<std::size_t> server_violations(config_.max_servers, 0);
@@ -318,6 +347,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
       // Crash/repair events scheduled for this absolute sample.
       const std::size_t global = first + s_idx;
+      if (event_cursor < schedule.size() &&
+          schedule[event_cursor].sample == global) {
+        flush_feed(s_idx);
+      }
       while (event_cursor < schedule.size() &&
              schedule[event_cursor].sample == global) {
         const ServerFaultEvent& ev = schedule[event_cursor++];
@@ -345,10 +378,6 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
 
       for (std::size_t i = 0; i < n; ++i) {
         tick[i] = traces[i].series[first + s_idx];
-      }
-      if (feed) {
-        fed_matrix.add_sample(tick);
-        fed_moments.add_sample(tick);
       }
 
       for (std::size_t s = 0; s < config_.max_servers; ++s) {
@@ -392,6 +421,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
             static_cast<double>(unplaced.size()) * dt;
       }
     }
+
+    flush_feed(samples_per_period);
 
     // ---- Period wrap-up. ----
     for (std::size_t s = 0; s < config_.max_servers; ++s) {

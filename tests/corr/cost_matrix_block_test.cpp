@@ -1,0 +1,223 @@
+// Golden-equivalence suite for the batched ingest kernel: add_block must
+// leave a CostMatrix (and MomentMatrix) in state bit-identical to feeding
+// the same samples through add_sample one tick at a time — exactly, not
+// approximately — across sizes, reference modes and odd tail blocks.
+#include "corr/cost_matrix.h"
+#include "corr/moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+/// VM-major random block: VM i's samples at [i * num_samples, ...).
+std::vector<double> random_block(std::size_t n_vms, std::size_t num_samples,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> block(n_vms * num_samples);
+  for (auto& x : block) x = rng.uniform(0.0, 4.0);
+  return block;
+}
+
+/// Feed `block` to `m` one add_sample at a time (the sequential reference).
+template <typename Matrix>
+void feed_sequential(Matrix& m, const std::vector<double>& block,
+                     std::size_t n_vms, std::size_t num_samples) {
+  std::vector<double> tick(n_vms);
+  for (std::size_t t = 0; t < num_samples; ++t) {
+    for (std::size_t i = 0; i < n_vms; ++i) {
+      tick[i] = block[i * num_samples + t];
+    }
+    m.add_sample(tick);
+  }
+}
+
+/// Feed `block` to `m` via add_block in chunks of the given sizes (the last
+/// chunk absorbs any remainder), exercising odd tails and stride != count.
+void feed_blocked(CostMatrix& m, const std::vector<double>& block,
+                  std::size_t n_vms, std::size_t num_samples,
+                  const std::vector<std::size_t>& chunks) {
+  const std::size_t stride = num_samples;
+  std::size_t cursor = 0;
+  std::size_t k = 0;
+  while (cursor < num_samples) {
+    std::size_t count = k < chunks.size() ? chunks[k++] : num_samples - cursor;
+    count = std::min(count, num_samples - cursor);
+    const std::span<const double> window(
+        block.data() + cursor, (n_vms - 1) * stride + count);
+    m.add_block(window, count, stride);
+    cursor += count;
+  }
+}
+
+void expect_identical(const CostMatrix& a, const CostMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.samples(), b.samples());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Exact: both modes must produce bit-identical reference state.
+    ASSERT_EQ(a.reference(i), b.reference(i)) << "ref " << i;
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      ASSERT_EQ(a.cost(i, j), b.cost(i, j)) << i << "," << j;
+    }
+  }
+}
+
+class BlockEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockEquivalence, PeakModeBitIdentical) {
+  const std::size_t n = GetParam();
+  const std::size_t samples = 137;  // prime: every chunking leaves a tail
+  const auto block = random_block(n, samples, 11 + n);
+
+  CostMatrix seq(n, trace::ReferenceSpec::peak());
+  feed_sequential(seq, block, n, samples);
+
+  // Whole-block, single-sample blocks, and ragged odd chunks.
+  for (const auto& chunks : std::vector<std::vector<std::size_t>>{
+           {samples}, std::vector<std::size_t>(samples, 1), {7, 1, 32, 3}}) {
+    CostMatrix blk(n, trace::ReferenceSpec::peak());
+    feed_blocked(blk, block, n, samples, chunks);
+    expect_identical(seq, blk);
+  }
+}
+
+TEST_P(BlockEquivalence, PercentileModeP2StateIdentical) {
+  const std::size_t n = GetParam();
+  const std::size_t samples = 137;
+  const auto block = random_block(n, samples, 23 + n);
+
+  CostMatrix seq(n, trace::ReferenceSpec::nth(90.0));
+  feed_sequential(seq, block, n, samples);
+
+  for (const auto& chunks : std::vector<std::vector<std::size_t>>{
+           {samples}, {13, 50, 2}}) {
+    CostMatrix blk(n, trace::ReferenceSpec::nth(90.0));
+    feed_blocked(blk, block, n, samples, chunks);
+    // P2 estimators are fed per slot in the original sample order, so their
+    // state — hence every derived value — must match exactly.
+    expect_identical(seq, blk);
+  }
+}
+
+TEST_P(BlockEquivalence, SpansMultipleSampleTiles) {
+  // Longer than the kernel's internal sample tile, so tiling boundaries and
+  // the cross-tile running max are exercised.
+  const std::size_t n = std::min<std::size_t>(GetParam(), 64);
+  const std::size_t samples = 700;
+  const auto block = random_block(n, samples, 31 + n);
+
+  CostMatrix seq(n, trace::ReferenceSpec::peak());
+  feed_sequential(seq, block, n, samples);
+  CostMatrix blk(n, trace::ReferenceSpec::peak());
+  feed_blocked(blk, block, n, samples, {samples});
+  expect_identical(seq, blk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlockEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 64u, 257u));
+
+TEST(CostMatrixBlock, ValidatesArguments) {
+  CostMatrix m(3, trace::ReferenceSpec::peak());
+  const std::vector<double> buf(30, 1.0);
+  EXPECT_THROW(m.add_block(std::span<const double>(buf.data(), 30), 8, 4),
+               std::invalid_argument);  // stride < num_samples
+  EXPECT_THROW(m.add_block(std::span<const double>(buf.data(), 10), 5, 5),
+               std::invalid_argument);  // buffer too small for 3 rows
+  m.add_block(buf, 0, 0);               // zero samples: explicit no-op
+  EXPECT_EQ(m.samples(), 0u);
+}
+
+TEST(CostMatrixBlock, StrideWindowsFeedWithoutCopy) {
+  // Feeding a [cursor, cursor+count) window of a larger VM-major buffer via
+  // base-offset + stride must equal feeding the same samples densely.
+  const std::size_t n = 5, total = 60;
+  const auto block = random_block(n, total, 77);
+  CostMatrix whole(n, trace::ReferenceSpec::peak());
+  whole.add_block(block, total, total);
+
+  CostMatrix windowed(n, trace::ReferenceSpec::peak());
+  for (std::size_t cursor = 0; cursor < total;) {
+    const std::size_t count = std::min<std::size_t>(17, total - cursor);
+    windowed.add_block(std::span<const double>(block.data() + cursor,
+                                               (n - 1) * total + count),
+                       count, total);
+    cursor += count;
+  }
+  expect_identical(whole, windowed);
+}
+
+TEST(CostMatrixBlock, FromTracesMatchesSequentialFeed) {
+  util::Rng rng(5);
+  trace::TraceSet set;
+  const std::size_t n = 9, samples = 300;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<double> s(samples);
+    for (auto& x : s) x = rng.uniform(0.0, 2.0);
+    set.add({"vm" + std::to_string(v), -1, trace::TimeSeries(1.0, std::move(s))});
+  }
+  const CostMatrix blocked =
+      CostMatrix::from_traces(set, trace::ReferenceSpec::peak());
+  CostMatrix seq(n, trace::ReferenceSpec::peak());
+  std::vector<double> tick(n);
+  for (std::size_t t = 0; t < samples; ++t) {
+    for (std::size_t v = 0; v < n; ++v) tick[v] = set[v].series[t];
+    seq.add_sample(tick);
+  }
+  expect_identical(seq, blocked);
+}
+
+TEST(MomentMatrixBlock, BitIdenticalToSequential) {
+  for (const std::size_t n : {1u, 2u, 3u, 64u}) {
+    const std::size_t samples = 137;
+    const auto block = random_block(n, samples, 41 + n);
+    MomentMatrix seq(n);
+    feed_sequential(seq, block, n, samples);
+
+    for (const auto& chunks : std::vector<std::vector<std::size_t>>{
+             {samples}, {13, 50, 2}}) {
+      MomentMatrix blk(n);
+      std::size_t cursor = 0, k = 0;
+      while (cursor < samples) {
+        std::size_t count =
+            k < chunks.size() ? chunks[k++] : samples - cursor;
+        count = std::min(count, samples - cursor);
+        blk.add_block(std::span<const double>(block.data() + cursor,
+                                              (n - 1) * samples + count),
+                      count, samples);
+        cursor += count;
+      }
+      ASSERT_EQ(seq.samples(), blk.samples());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(seq.mean(i), blk.mean(i));
+        for (std::size_t j = i; j < n; ++j) {
+          ASSERT_EQ(seq.covariance(i, j), blk.covariance(i, j))
+              << n << ": " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(MomentMatrixBlock, SpansInternalTileBoundary) {
+  // More samples than the co-moment staging tile (1024), forcing the
+  // cross-tile sequential mean handoff.
+  const std::size_t n = 4, samples = 2500;
+  const auto block = random_block(n, samples, 53);
+  MomentMatrix seq(n);
+  feed_sequential(seq, block, n, samples);
+  MomentMatrix blk(n);
+  blk.add_block(block, samples, samples);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      ASSERT_EQ(seq.covariance(i, j), blk.covariance(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cava::corr

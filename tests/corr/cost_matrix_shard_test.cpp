@@ -1,0 +1,102 @@
+// Thread-sharded add_block: row-blocks of the triangle are ingested
+// concurrently on a util::ThreadPool. Results must be bit-identical to the
+// single-threaded kernel (shards own disjoint state slices), and the path
+// must be TSAN-clean — this file is part of the labelled concurrency suite
+// (ctest -L concurrency) that sanitizer builds target.
+#include "corr/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cava::corr {
+namespace {
+
+std::vector<double> random_block(std::size_t n_vms, std::size_t num_samples,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> block(n_vms * num_samples);
+  for (auto& x : block) x = rng.uniform(0.0, 4.0);
+  return block;
+}
+
+void expect_identical(const CostMatrix& a, const CostMatrix& b) {
+  ASSERT_EQ(a.samples(), b.samples());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.reference(i), b.reference(i));
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      ASSERT_EQ(a.cost(i, j), b.cost(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CostMatrixShard, MatchesSingleThreadedAboveThreshold) {
+  const std::size_t n = 300;  // above kDefaultShardMinVms
+  const std::size_t samples = 96;
+  const auto block = random_block(n, samples, 7);
+
+  CostMatrix serial(n, trace::ReferenceSpec::peak());
+  serial.add_block(block, samples, samples);
+
+  util::ThreadPool pool(4);
+  CostMatrix sharded(n, trace::ReferenceSpec::peak());
+  sharded.set_thread_pool(&pool);
+  sharded.add_block(block, samples, samples);
+  expect_identical(serial, sharded);
+}
+
+TEST(CostMatrixShard, ForcedShardingAtSmallSizes) {
+  // min_vms = 1 forces the sharded path even when shards end up with very
+  // uneven row lengths (first row n-1 slots, last row none).
+  util::ThreadPool pool(3);
+  for (const std::size_t n : {2u, 3u, 5u, 17u}) {
+    const std::size_t samples = 41;
+    const auto block = random_block(n, samples, 100 + n);
+    CostMatrix serial(n, trace::ReferenceSpec::peak());
+    serial.add_block(block, samples, samples);
+    CostMatrix sharded(n, trace::ReferenceSpec::peak());
+    sharded.set_thread_pool(&pool, /*min_vms=*/1);
+    sharded.add_block(block, samples, samples);
+    expect_identical(serial, sharded);
+  }
+}
+
+TEST(CostMatrixShard, PercentileModeSharded) {
+  const std::size_t n = 160, samples = 64;
+  const auto block = random_block(n, samples, 9);
+  CostMatrix serial(n, trace::ReferenceSpec::nth(95.0));
+  serial.add_block(block, samples, samples);
+
+  util::ThreadPool pool(4);
+  CostMatrix sharded(n, trace::ReferenceSpec::nth(95.0));
+  sharded.set_thread_pool(&pool, /*min_vms=*/64);
+  sharded.add_block(block, samples, samples);
+  expect_identical(serial, sharded);
+}
+
+TEST(CostMatrixShard, RepeatedBlocksAndDetach) {
+  util::ThreadPool pool(2);
+  const std::size_t n = 130, samples = 33;
+  CostMatrix serial(n, trace::ReferenceSpec::peak());
+  CostMatrix sharded(n, trace::ReferenceSpec::peak());
+  sharded.set_thread_pool(&pool);
+  for (int round = 0; round < 3; ++round) {
+    const auto block = random_block(n, samples, 200 + round);
+    serial.add_block(block, samples, samples);
+    sharded.add_block(block, samples, samples);
+  }
+  expect_identical(serial, sharded);
+  // Detached matrix keeps working single-threaded.
+  sharded.set_thread_pool(nullptr);
+  const auto block = random_block(n, samples, 300);
+  serial.add_block(block, samples, samples);
+  sharded.add_block(block, samples, samples);
+  expect_identical(serial, sharded);
+}
+
+}  // namespace
+}  // namespace cava::corr

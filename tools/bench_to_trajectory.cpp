@@ -1,0 +1,347 @@
+// Distills a google-benchmark JSON report (produced with the microbench
+// --json flag, see bench/micro_main.cpp) into a compact perf-trajectory
+// file: per-benchmark ns/op plus the derived ingest-kernel ratios the
+// correlation work tracks across commits (add_sample vs add_block vs
+// from_traces). The result is committed as BENCH_micro_corr.json at the
+// repository root.
+//
+// Usage: bench_to_trajectory <benchmark_report.json> <out.json>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+// util::Json is write-only by design, so the tool carries the smallest
+// reader that covers benchmark reports: objects, arrays, strings, numbers,
+// bools and null. No surrogate handling — benchmark names are ASCII.
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JValue v;
+        v.kind = JValue::Kind::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JValue v;
+        v.kind = JValue::Kind::kBool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JValue{};
+      default:
+        return number();
+    }
+  }
+
+  JValue object() {
+    JValue v;
+    v.kind = JValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JValue array() {
+    JValue v;
+    v.kind = JValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"':  out.push_back('"');  break;
+        case '\\': out.push_back('\\'); break;
+        case '/':  out.push_back('/');  break;
+        case 'b':  out.push_back('\b'); break;
+        case 'f':  out.push_back('\f'); break;
+        case 'n':  out.push_back('\n'); break;
+        case 'r':  out.push_back('\r'); break;
+        case 't':  out.push_back('\t'); break;
+        case 'u':
+          // Benchmark reports are ASCII; keep the escape verbatim.
+          out += "\\u";
+          break;
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JValue number() {
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JValue v;
+    v.kind = JValue::Kind::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  return value;  // benchmark defaults to ns
+}
+
+/// Per-benchmark numbers we carry into the trajectory file.
+struct Entry {
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+  double samples_per_s = std::nan("");
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: bench_to_trajectory <benchmark_report.json>"
+              << " <out.json>\n";
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "bench_to_trajectory: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  JValue root;
+  try {
+    root = Parser(buf.str()).parse();
+  } catch (const std::exception& e) {
+    std::cerr << "bench_to_trajectory: " << e.what() << "\n";
+    return 1;
+  }
+
+  const JValue* benchmarks = root.find("benchmarks");
+  if (benchmarks == nullptr ||
+      benchmarks->kind != JValue::Kind::kArray) {
+    std::cerr << "bench_to_trajectory: no \"benchmarks\" array in "
+              << argv[1] << "\n";
+    return 1;
+  }
+
+  std::map<std::string, Entry> entries;
+  for (const JValue& b : benchmarks->array) {
+    const JValue* name = b.find("name");
+    const JValue* run_type = b.find("run_type");
+    if (name == nullptr) continue;
+    // Skip BigO/RMS aggregate rows; keep plain iterations.
+    if (run_type != nullptr && run_type->string != "iteration") continue;
+    std::string unit = "ns";
+    if (const JValue* u = b.find("time_unit")) unit = u->string;
+    Entry e;
+    if (const JValue* t = b.find("real_time")) {
+      e.real_time_ns = to_ns(t->number, unit);
+    }
+    if (const JValue* t = b.find("cpu_time")) {
+      e.cpu_time_ns = to_ns(t->number, unit);
+    }
+    if (const JValue* c = b.find("samples_per_s")) {
+      e.samples_per_s = c->number;
+    }
+    entries[name->string] = e;
+  }
+
+  cava::util::Json out = cava::util::Json::object();
+  out["schema"] = "cava-bench-trajectory-v1";
+  out["source_report"] = argv[1];
+  if (const JValue* ctx = root.find("context")) {
+    if (const JValue* date = ctx->find("date")) out["date"] = date->string;
+    if (const JValue* host = ctx->find("host_name")) {
+      out["host"] = host->string;
+    }
+  }
+
+  cava::util::Json per_bench = cava::util::Json::object();
+  for (const auto& [name, e] : entries) {
+    cava::util::Json row = cava::util::Json::object();
+    row["real_time_ns"] = e.real_time_ns;
+    row["cpu_time_ns"] = e.cpu_time_ns;
+    if (!std::isnan(e.samples_per_s)) row["samples_per_s"] = e.samples_per_s;
+    per_bench[name] = std::move(row);
+  }
+  out["benchmarks"] = std::move(per_bench);
+
+  // The headline counters for the blocked ingest kernel. add_block consumes
+  // 256 samples per call (kBlockSamples in bench_micro_corr.cpp), so its
+  // per-sample cost is real_time / 256; the tick benchmark is one sample
+  // per iteration already.
+  constexpr double kBlockSamples = 256.0;
+  cava::util::Json derived = cava::util::Json::object();
+  const auto tick = entries.find("BM_CostMatrixTick/256");
+  const auto block = entries.find("BM_CostMatrixAddBlock/256");
+  if (tick != entries.end() && block != entries.end()) {
+    const double tick_ns = tick->second.real_time_ns;
+    const double block_ns = block->second.real_time_ns / kBlockSamples;
+    derived["add_sample_ns_per_sample_n256"] = tick_ns;
+    derived["add_block_ns_per_sample_n256"] = block_ns;
+    if (block_ns > 0.0) {
+      derived["add_block_speedup_n256"] = tick_ns / block_ns;
+    }
+  }
+  const auto ft_blocked = entries.find("BM_FromTracesBlocked/256");
+  const auto ft_sample = entries.find("BM_FromTracesPerSample/256");
+  if (ft_blocked != entries.end()) {
+    derived["from_traces_blocked_ns_n256"] = ft_blocked->second.real_time_ns;
+  }
+  if (ft_sample != entries.end()) {
+    derived["from_traces_per_sample_ns_n256"] = ft_sample->second.real_time_ns;
+  }
+  if (ft_blocked != entries.end() && ft_sample != entries.end() &&
+      ft_blocked->second.real_time_ns > 0.0) {
+    derived["from_traces_speedup_n256"] =
+        ft_sample->second.real_time_ns / ft_blocked->second.real_time_ns;
+  }
+  out["derived"] = std::move(derived);
+
+  std::ofstream os(argv[2]);
+  if (!os) {
+    std::cerr << "bench_to_trajectory: cannot write " << argv[2] << "\n";
+    return 1;
+  }
+  os << out.dump(2) << "\n";
+  return 0;
+}
