@@ -33,6 +33,8 @@ Placement CorrelationAwarePlacement::place(
                context.max_servers);
   if (active == 0 && n > 0) active = 1;
   last_estimate_ = active;
+  last_relaxations_ = 0;
+  last_evals_ = 0;
 
   Placement placement(n, context.max_servers);
   std::vector<double> remaining(context.max_servers,
@@ -135,6 +137,7 @@ Placement CorrelationAwarePlacement::place(
           for (std::size_t p = 0; p < unalloc.size(); ++p) {
             const std::size_t vm = demands[unalloc[p]].vm;
             if (!fits(unalloc[p], server)) continue;
+            ++last_evals_;
             const double c = tentative_cost(server, vm);
             if (c > best_cost) {
               best_cost = c;
@@ -178,6 +181,7 @@ Placement CorrelationAwarePlacement::place(
         }
       } else {
         threshold *= config_.alpha;
+        ++last_relaxations_;
       }
     }
   }

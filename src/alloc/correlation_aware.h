@@ -47,11 +47,18 @@ class CorrelationAwarePlacement final : public PlacementPolicy {
   /// Diagnostics from the most recent place() call.
   std::size_t last_estimated_servers() const { return last_estimate_; }
   double last_final_threshold() const { return last_threshold_; }
+  /// TH_cost relaxations (line 17, threshold *= alpha) the last call needed.
+  std::size_t last_relaxation_rounds() const { return last_relaxations_; }
+  /// Tentative Eqn.-2 candidate evaluations the last ALLOCATE scan made —
+  /// the work the incremental O(1) bookkeeping is amortizing.
+  std::size_t last_candidate_evals() const { return last_evals_; }
 
  private:
   CorrelationAwareConfig config_;
   std::size_t last_estimate_ = 0;
   double last_threshold_ = 0.0;
+  std::size_t last_relaxations_ = 0;
+  std::size_t last_evals_ = 0;
 };
 
 }  // namespace cava::alloc

@@ -45,6 +45,7 @@ void DynamicVfController::reset(double initial_frequency) {
   current_f_ = initial_frequency;
   window_peak_ = 0.0;
   seen_ = 0;
+  decisions_ = 0;
 }
 
 double DynamicVfController::on_sample(double aggregated_utilization) {
@@ -55,6 +56,7 @@ double DynamicVfController::on_sample(double aggregated_utilization) {
     current_f_ = server_.quantize_up(target);
     window_peak_ = 0.0;
     seen_ = 0;
+    ++decisions_;
   }
   return current_f_;
 }

@@ -78,6 +78,10 @@ class DynamicVfController {
   double on_sample(double aggregated_utilization);
 
   double current_frequency() const { return current_f_; }
+  /// Re-quantization events since construction/reset (one per elapsed
+  /// interval) — the dynamic-mode decision count the observability layer
+  /// reports per period.
+  std::size_t decisions() const { return decisions_; }
   void reset(double initial_frequency);
 
  private:
@@ -87,6 +91,7 @@ class DynamicVfController {
   double current_f_;
   double window_peak_ = 0.0;
   std::size_t seen_ = 0;
+  std::size_t decisions_ = 0;
 };
 
 /// Factory by name: "fmax", "worst-case", "eqn4".

@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cava::obs {
+
+namespace {
+
+/// Per-thread pointer to the shard it owns inside one registry. Keyed by the
+/// registry serial (not the pointer): serials are never reused, so an entry
+/// left behind by a destroyed registry simply misses forever.
+struct TlsShardCache {
+  std::uint64_t serial = 0;
+  void* shard = nullptr;
+};
+thread_local TlsShardCache tls_shard_cache;
+
+std::atomic<std::uint64_t> next_registry_serial{1};
+/// Global gauge write ordering: the shard holding the highest stamp for a
+/// gauge wins the merge, giving cross-shard last-write semantics without a
+/// shared gauge table.
+std::atomic<std::uint64_t> next_gauge_stamp{1};
+
+std::size_t bucket_of(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives/NaN/sub-1 all land in bucket 0
+  const double capped =
+      std::min(value, std::ldexp(1.0, HistogramSnapshot::kNumBuckets - 1));
+  const auto v = static_cast<std::uint64_t>(capped);
+  return std::min<std::size_t>(std::bit_width(v),
+                               HistogramSnapshot::kNumBuckets - 1);
+}
+
+MetricsRegistry::Id find_or_register(std::vector<std::string>& names,
+                                     std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<MetricsRegistry::Id>(i);
+  }
+  names.emplace_back(name);
+  return static_cast<MetricsRegistry::Id>(names.size() - 1);
+}
+
+}  // namespace
+
+MetricsLevel parse_metrics_level(const std::string& name) {
+  if (name == "off") return MetricsLevel::kOff;
+  if (name == "periods") return MetricsLevel::kPeriods;
+  if (name == "full") return MetricsLevel::kFull;
+  throw std::invalid_argument("unknown metrics level '" + name +
+                              "' (off | periods | full)");
+}
+
+const char* to_string(MetricsLevel level) {
+  switch (level) {
+    case MetricsLevel::kOff: return "off";
+    case MetricsLevel::kPeriods: return "periods";
+    case MetricsLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      // Bucket 0 covers [0, 1); bucket b >= 1 covers [2^(b-1), 2^b).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double mid = b == 0 ? 0.5 : std::sqrt(lo * hi);
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+util::Json MetricsSnapshot::to_json() const {
+  util::Json j = util::Json::object();
+  util::Json jc = util::Json::object();
+  for (const auto& [name, value] : counters) {
+    jc[name] = static_cast<double>(value);
+  }
+  j["counters"] = std::move(jc);
+  util::Json jg = util::Json::object();
+  for (const auto& [name, value] : gauges) jg[name] = value;
+  j["gauges"] = std::move(jg);
+  util::Json jh = util::Json::object();
+  for (const auto& [name, h] : histograms) {
+    util::Json e = util::Json::object();
+    e["count"] = static_cast<double>(h.count);
+    e["sum"] = h.sum;
+    e["mean"] = h.mean();
+    e["min"] = h.min;
+    e["max"] = h.max;
+    e["p50"] = h.quantile(0.50);
+    e["p95"] = h.quantile(0.95);
+    e["p99"] = h.quantile(0.99);
+    jh[name] = std::move(e);
+  }
+  j["histograms"] = std::move(jh);
+  return j;
+}
+
+/// One thread's private slice of the registry. The shard mutex is taken on
+/// every recording, but only its owner and snapshot() ever touch it, so the
+/// lock is uncontended in steady state (futex fast path, no cache-line
+/// ping-pong between recording threads).
+struct MetricsRegistry::Shard {
+  struct Gauge {
+    std::uint64_t stamp = 0;  ///< 0 = never written by this shard
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::array<std::uint64_t, HistogramSnapshot::kNumBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  std::thread::id owner;
+  std::mutex mu;
+  std::vector<std::uint64_t> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : serial_(next_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Id MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_register(counter_names_, name);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_register(gauge_names_, name);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_or_register(histogram_names_, name);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  TlsShardCache& cache = tls_shard_cache;
+  if (cache.serial == serial_) return *static_cast<Shard*>(cache.shard);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& shard : shards_) {
+    // A thread alternating between registries re-finds its shard here
+    // instead of leaking a new one per switch.
+    if (shard->owner == me) {
+      cache = {serial_, shard.get()};
+      return *shard;
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  shards_.back()->owner = me;
+  cache = {serial_, shards_.back().get()};
+  return *shards_.back();
+}
+
+void MetricsRegistry::add(Id counter_id, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (counter_id >= shard.counters.size()) {
+    shard.counters.resize(counter_id + 1, 0);
+  }
+  shard.counters[counter_id] += delta;
+}
+
+void MetricsRegistry::set(Id gauge_id, double value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (gauge_id >= shard.gauges.size()) shard.gauges.resize(gauge_id + 1);
+  shard.gauges[gauge_id] = {
+      next_gauge_stamp.fetch_add(1, std::memory_order_relaxed), value};
+}
+
+void MetricsRegistry::observe(Id histogram_id, double value) {
+  if (!(value >= 0.0)) value = 0.0;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (histogram_id >= shard.histograms.size()) {
+    shard.histograms.resize(histogram_id + 1);
+  }
+  Shard::Histogram& h = shard.histograms[histogram_id];
+  ++h.buckets[bucket_of(value)];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (const auto& name : counter_names_) snap.counters.emplace_back(name, 0);
+  snap.gauges.reserve(gauge_names_.size());
+  for (const auto& name : gauge_names_) snap.gauges.emplace_back(name, 0.0);
+  snap.histograms.reserve(histogram_names_.size());
+  for (const auto& name : histogram_names_) {
+    snap.histograms.emplace_back(name, HistogramSnapshot{});
+  }
+
+  std::vector<std::uint64_t> gauge_stamps(gauge_names_.size(), 0);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (std::size_t i = 0;
+         i < shard->counters.size() && i < snap.counters.size(); ++i) {
+      snap.counters[i].second += shard->counters[i];
+    }
+    for (std::size_t i = 0; i < shard->gauges.size() && i < snap.gauges.size();
+         ++i) {
+      const Shard::Gauge& g = shard->gauges[i];
+      if (g.stamp > gauge_stamps[i]) {
+        gauge_stamps[i] = g.stamp;
+        snap.gauges[i].second = g.value;
+      }
+    }
+    for (std::size_t i = 0;
+         i < shard->histograms.size() && i < snap.histograms.size(); ++i) {
+      const Shard::Histogram& h = shard->histograms[i];
+      if (h.count == 0) continue;
+      HistogramSnapshot& out = snap.histograms[i].second;
+      for (std::size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+        out.buckets[b] += h.buckets[b];
+      }
+      out.min = out.count == 0 ? h.min : std::min(out.min, h.min);
+      out.max = out.count == 0 ? h.max : std::max(out.max, h.max);
+      out.count += h.count;
+      out.sum += h.sum;
+    }
+  }
+  return snap;
+}
+
+}  // namespace cava::obs

@@ -1,0 +1,118 @@
+// Lock-cheap metrics registry for hot-path instrumentation.
+//
+// A MetricsRegistry names three metric kinds — monotonic counters, last-write
+// gauges and histograms with a fixed log2 bucket layout — and hands back
+// integer ids that hot paths record against. State is sharded per thread:
+// each recording thread owns a private Shard guarded by its own mutex, so
+// steady-state recording never contends with other threads (the shard mutex
+// is only ever fought over by snapshot(), which visits every shard and merges
+// them). SweepRunner workers therefore record into the same registry without
+// queueing behind one global lock.
+//
+// Registration (counter()/gauge()/histogram()) takes the registry mutex and
+// is meant for setup code; find-or-register semantics make repeated
+// registration of the same name idempotent, so independent subsystems can
+// agree on a metric purely by name.
+//
+// Levels: the simulator takes this registry as an optional pointer. A null
+// registry is the "off" level — no shard is ever created, no clock is read
+// (see ScopedTimer), and the instrumented code path is byte-identical in
+// output to an un-instrumented build.
+#pragma once
+
+#include "util/json.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace cava::obs {
+
+/// Instrumentation depth of a run. kOff records nothing (and must keep
+/// output byte-identical to a build without the observability layer);
+/// kPeriods captures the PeriodRecorder time series; kFull additionally
+/// feeds hot-path timers and event counters into a MetricsRegistry.
+enum class MetricsLevel { kOff, kPeriods, kFull };
+
+/// Parse "off" | "periods" | "full"; throws std::invalid_argument otherwise.
+MetricsLevel parse_metrics_level(const std::string& name);
+const char* to_string(MetricsLevel level);
+
+/// Merged view of one histogram. Buckets follow a fixed log2 layout over
+/// non-negative values: bucket 0 holds values < 1, bucket b >= 1 holds
+/// [2^(b-1), 2^b). With nanosecond observations the 64 buckets span sub-ns
+/// to ~584 years, so the layout never needs reconfiguring.
+struct HistogramSnapshot {
+  static constexpr std::size_t kNumBuckets = 64;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< smallest observed value (0 when count == 0)
+  double max = 0.0;  ///< largest observed value (0 when count == 0)
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate (q in [0, 1]) from the bucket layout: the geometric
+  /// midpoint of the bucket holding the q-th observation, clamped to
+  /// [min, max]. Exact enough for "p95 placement latency" style reporting.
+  double quantile(double q) const;
+};
+
+/// Point-in-time merge of every shard, taken by MetricsRegistry::snapshot().
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, min, max, p50, p95, p99}}}. Bucket arrays are omitted: the
+  /// summary stats are what dashboards consume.
+  util::Json to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // ---- Registration (setup path; takes the registry mutex). ----
+  Id counter(std::string_view name);
+  Id gauge(std::string_view name);
+  Id histogram(std::string_view name);
+
+  // ---- Recording (hot path; touches only the caller's shard). ----
+  void add(Id counter_id, std::uint64_t delta = 1);
+  void set(Id gauge_id, double value);
+  void observe(Id histogram_id, double value);  ///< negatives clamp to 0
+
+  /// Merge every shard into one consistent view. Safe to call concurrently
+  /// with recording; recordings that race the snapshot land in it or in the
+  /// next one.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Shard;
+
+  Shard& local_shard();
+
+  /// Process-unique instance id; the thread-local shard cache keys on it, so
+  /// a stale cache entry from a destroyed registry can never be revived by
+  /// an allocator reusing the address.
+  const std::uint64_t serial_;
+  mutable std::mutex mu_;  ///< guards names_ and shards_ (not shard content)
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cava::obs

@@ -1,0 +1,163 @@
+#include "obs/period_recorder.h"
+
+#include "util/csv.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cava::obs {
+
+void PeriodRecorder::begin_run(std::string policy_name,
+                               std::size_t max_servers,
+                               double period_seconds) {
+  policy_name_ = std::move(policy_name);
+  max_servers_ = max_servers;
+  period_seconds_ = period_seconds;
+  rows_.clear();
+}
+
+void PeriodRecorder::record(PeriodRow row) { rows_.push_back(std::move(row)); }
+
+std::size_t PeriodRecorder::total_migrated_vms() const {
+  std::size_t total = 0;
+  for (const auto& r : rows_) total += r.migrated_vms;
+  return total;
+}
+
+std::size_t PeriodRecorder::total_failover_migrations() const {
+  std::size_t total = 0;
+  for (const auto& r : rows_) total += r.failover_migrations;
+  return total;
+}
+
+std::size_t PeriodRecorder::total_server_crashes() const {
+  std::size_t total = 0;
+  for (const auto& r : rows_) total += r.server_crashes;
+  return total;
+}
+
+std::size_t PeriodRecorder::total_relaxation_rounds() const {
+  std::size_t total = 0;
+  for (const auto& r : rows_) total += r.relaxation_rounds;
+  return total;
+}
+
+double PeriodRecorder::total_unplaced_vm_seconds() const {
+  double total = 0.0;
+  for (const auto& r : rows_) total += r.unplaced_vm_seconds;
+  return total;
+}
+
+double PeriodRecorder::total_energy_joules() const {
+  double total = 0.0;
+  for (const auto& r : rows_) total += r.energy_joules;
+  return total;
+}
+
+util::Json PeriodRecorder::to_json() const {
+  util::Json j = util::Json::object();
+  j["policy"] = policy_name_;
+  j["max_servers"] = max_servers_;
+  j["period_seconds"] = period_seconds_;
+  util::Json periods = util::Json::array();
+  for (const auto& r : rows_) {
+    util::Json e = util::Json::object();
+    e["period"] = r.period;
+    e["active_servers"] = r.active_servers;
+    e["migrated_vms"] = r.migrated_vms;
+    e["migrated_cores"] = r.migrated_cores;
+    e["failover_migrations"] = r.failover_migrations;
+    e["server_crashes"] = r.server_crashes;
+    e["unplaced_vm_seconds"] = r.unplaced_vm_seconds;
+    e["energy_joules"] = r.energy_joules;
+    e["mean_frequency_ghz"] = r.mean_frequency_ghz;
+    e["max_server_violation_ratio"] = r.max_server_violation_ratio;
+    e["relaxation_rounds"] = r.relaxation_rounds;
+    e["final_threshold"] = r.final_threshold;
+    e["candidate_evals"] = r.candidate_evals;
+    e["placement_wall_ns"] = r.placement_wall_ns;
+    e["dvfs_decisions"] = r.dvfs_decisions;
+    util::Json freqs = util::Json::array();
+    for (double f : r.server_frequency_ghz) freqs.push_back(f);
+    e["server_frequency_ghz"] = std::move(freqs);
+    periods.push_back(std::move(e));
+  }
+  j["periods"] = std::move(periods);
+  return j;
+}
+
+const std::vector<std::string>& PeriodRecorder::csv_header() {
+  static const std::vector<std::string> header = {
+      "policy",
+      "period",
+      "active_servers",
+      "migrated_vms",
+      "migrated_cores",
+      "failover_migrations",
+      "server_crashes",
+      "unplaced_vm_seconds",
+      "energy_joules",
+      "mean_frequency_ghz",
+      "max_server_violation_ratio",
+      "relaxation_rounds",
+      "final_threshold",
+      "candidate_evals",
+      "placement_wall_ns",
+      "dvfs_decisions",
+      "mean_server_frequency_ghz",
+      "min_server_frequency_ghz",
+  };
+  return header;
+}
+
+void PeriodRecorder::write_csv(std::ostream& out, bool include_header) const {
+  util::CsvWriter writer(out);
+  if (include_header) writer.write_header(csv_header());
+  for (const auto& r : rows_) {
+    // Active-server frequency summary: mean and min over non-idle entries.
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    std::size_t active = 0;
+    for (double f : r.server_frequency_ghz) {
+      if (f <= 0.0) continue;
+      sum += f;
+      min = std::min(min, f);
+      ++active;
+    }
+    const double mean = active > 0 ? sum / static_cast<double>(active) : 0.0;
+    writer.write_row(std::vector<std::string>{
+        policy_name_,
+        std::to_string(r.period),
+        std::to_string(r.active_servers),
+        std::to_string(r.migrated_vms),
+        std::to_string(r.migrated_cores),
+        std::to_string(r.failover_migrations),
+        std::to_string(r.server_crashes),
+        std::to_string(r.unplaced_vm_seconds),
+        std::to_string(r.energy_joules),
+        std::to_string(r.mean_frequency_ghz),
+        std::to_string(r.max_server_violation_ratio),
+        std::to_string(r.relaxation_rounds),
+        std::to_string(r.final_threshold),
+        std::to_string(r.candidate_evals),
+        std::to_string(r.placement_wall_ns),
+        std::to_string(r.dvfs_decisions),
+        std::to_string(mean),
+        std::to_string(active > 0 ? min : 0.0),
+    });
+  }
+}
+
+util::Json RunTelemetry::to_json() const {
+  util::Json j = util::Json::object();
+  j["policy"] = recorder.policy_name();
+  j["level"] = to_string(level);
+  util::Json series = recorder.to_json();
+  j["periods"] = series["periods"];
+  if (level == MetricsLevel::kFull) {
+    j["registry"] = registry.snapshot().to_json();
+  }
+  return j;
+}
+
+}  // namespace cava::obs

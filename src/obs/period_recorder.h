@@ -1,0 +1,108 @@
+// Per-period telemetry of one DatacenterSimulator run.
+//
+// The simulator appends exactly one PeriodRow per placement period, at the
+// period wrap-up — after every fault event, failover move and staged-ingest
+// flush of that period has been accounted (the recorder is fed from the
+// finished PeriodRecord, so mid-period crash/repair events can never split
+// or reorder rows). Aggregate accessors exist so tests can assert the series
+// is consistent with SimResult totals; exporters write the series as JSON or
+// CSV through util::json / util::csv.
+//
+// The recorder is observation-only by design: it never feeds anything back
+// into the simulation, which is what keeps a recorded run numerically
+// identical to an unrecorded one.
+#pragma once
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cava::obs {
+
+/// One placement period of a run. Mirrors sim::PeriodRecord and adds the
+/// placement/DVFS internals invisible in end-of-run aggregates.
+struct PeriodRow {
+  std::size_t period = 0;
+  std::size_t active_servers = 0;
+  std::size_t migrated_vms = 0;
+  double migrated_cores = 0.0;
+  std::size_t failover_migrations = 0;
+  std::size_t server_crashes = 0;
+  double unplaced_vm_seconds = 0.0;
+  double energy_joules = 0.0;
+  double mean_frequency_ghz = 0.0;
+  double max_server_violation_ratio = 0.0;
+  /// TH_cost relaxation rounds the correlation-aware ALLOCATE phase needed
+  /// this period (0 for other policies).
+  std::size_t relaxation_rounds = 0;
+  /// TH_cost after relaxation (0 when the policy exposes no threshold).
+  double final_threshold = 0.0;
+  /// Tentative Eqn.-2 candidate evaluations performed by the ALLOCATE scan.
+  std::size_t candidate_evals = 0;
+  /// Wall time of the placement policy's place() call, nanoseconds.
+  double placement_wall_ns = 0.0;
+  /// Static mode: servers whose frequency was decided this period; dynamic
+  /// mode: controller re-quantization events during the period.
+  std::size_t dvfs_decisions = 0;
+  /// Per-server frequency, GHz: the static/oracle Eqn.-4 decision, or the
+  /// controller's end-of-period frequency in dynamic mode. 0 = idle server.
+  std::vector<double> server_frequency_ghz;
+};
+
+class PeriodRecorder {
+ public:
+  /// Reset and stamp the run (policy name, server count, period length).
+  void begin_run(std::string policy_name, std::size_t max_servers,
+                 double period_seconds);
+
+  void record(PeriodRow row);
+
+  const std::string& policy_name() const { return policy_name_; }
+  std::size_t max_servers() const { return max_servers_; }
+  double period_seconds() const { return period_seconds_; }
+  const std::vector<PeriodRow>& rows() const { return rows_; }
+
+  // ---- Aggregates (what the invariant tests compare to SimResult). ----
+  std::size_t total_migrated_vms() const;
+  std::size_t total_failover_migrations() const;
+  std::size_t total_server_crashes() const;
+  std::size_t total_relaxation_rounds() const;
+  double total_unplaced_vm_seconds() const;
+  double total_energy_joules() const;
+
+  /// {"policy", "max_servers", "period_seconds", "periods": [rows]}; each
+  /// row carries every PeriodRow field including the per-server frequency
+  /// vector.
+  util::Json to_json() const;
+
+  /// Flat CSV: one line per period, per-server frequencies reduced to
+  /// mean/min over active servers (the full vector lives in the JSON
+  /// export). The header starts with a policy column so several runs can be
+  /// concatenated into one file.
+  static const std::vector<std::string>& csv_header();
+  void write_csv(std::ostream& out, bool include_header = true) const;
+
+ private:
+  std::string policy_name_;
+  std::size_t max_servers_ = 0;
+  double period_seconds_ = 0.0;
+  std::vector<PeriodRow> rows_;
+};
+
+/// Everything one instrumented run produces, bundled so SweepRunner can
+/// attach telemetry to a SweepRecord with a single allocation.
+struct RunTelemetry {
+  MetricsLevel level = MetricsLevel::kOff;
+  PeriodRecorder recorder;
+  MetricsRegistry registry;
+
+  /// {"policy", "level", "periods": [...], "registry": {...}} — registry
+  /// only at kFull.
+  util::Json to_json() const;
+};
+
+}  // namespace cava::obs

@@ -1,0 +1,68 @@
+// RAII wall-clock timer feeding a MetricsRegistry histogram.
+//
+// The zero-cost-when-off discipline: a disabled timer (null registry and
+// enabled == false) never reads the clock — construction and destruction are
+// two branch tests, so hot paths can be instrumented unconditionally and pay
+// nothing at the "off" metrics level. An enabled timer reads
+// steady_clock twice and records elapsed nanoseconds once, either through
+// the destructor or through an explicit stop() when the caller also wants
+// the value (e.g. to copy it into a PeriodRecorder row).
+#pragma once
+
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdint>
+
+namespace cava::obs {
+
+class ScopedTimer {
+ public:
+  /// Disabled timer: no clock reads, no recording.
+  ScopedTimer() = default;
+
+  /// Times when `enabled`; records into `registry` (when non-null) under
+  /// histogram id `id` at stop/destruction. Passing enabled == true with a
+  /// null registry measures without recording — for callers that only want
+  /// stop()'s return value.
+  ScopedTimer(MetricsRegistry* registry, MetricsRegistry::Id id,
+              bool enabled)
+      : registry_(registry), id_(id), enabled_(enabled) {
+    if (enabled_) start_ = now_ns();
+  }
+
+  /// Convenience: enabled exactly when the registry is present.
+  ScopedTimer(MetricsRegistry* registry, MetricsRegistry::Id id)
+      : ScopedTimer(registry, id, registry != nullptr) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Stop the timer (idempotent). Returns elapsed nanoseconds, 0 when
+  /// disabled. Records into the registry on the first call only.
+  double stop() {
+    if (!enabled_) return elapsed_ns_;
+    enabled_ = false;
+    elapsed_ns_ = static_cast<double>(now_ns() - start_);
+    if (registry_ != nullptr) registry_->observe(id_, elapsed_ns_);
+    return elapsed_ns_;
+  }
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry::Id id_ = 0;
+  bool enabled_ = false;
+  std::uint64_t start_ = 0;
+  double elapsed_ns_ = 0.0;
+};
+
+}  // namespace cava::obs

@@ -6,9 +6,11 @@
 #include <optional>
 #include <stdexcept>
 
+#include "alloc/correlation_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
 #include "alloc/validate.h"
+#include "obs/scoped_timer.h"
 #include "util/math_util.h"
 
 namespace cava::sim {
@@ -61,6 +63,46 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   if (config_.vf_mode == VfMode::kStatic && static_vf == nullptr) {
     throw std::invalid_argument("DatacenterSimulator: static mode needs a VfPolicy");
   }
+
+  // ---- Observability. Both pointers null = level "off": no clock reads,
+  // no recording, and (since instrumentation only ever *observes* finished
+  // per-period state) output byte-identical to an un-instrumented build.
+  obs::PeriodRecorder* recorder = options.recorder;
+  obs::MetricsRegistry* metrics = options.metrics;
+  const bool observing = recorder != nullptr || metrics != nullptr;
+  struct ObsIds {
+    obs::MetricsRegistry::Id placement_ns = 0;
+    obs::MetricsRegistry::Id dvfs_decide_ns = 0;
+    obs::MetricsRegistry::Id corr_ingest_ns = 0;
+    obs::MetricsRegistry::Id periods = 0;
+    obs::MetricsRegistry::Id migrated_vms = 0;
+    obs::MetricsRegistry::Id failover_migrations = 0;
+    obs::MetricsRegistry::Id server_crashes = 0;
+    obs::MetricsRegistry::Id relaxation_rounds = 0;
+    obs::MetricsRegistry::Id candidate_evals = 0;
+    obs::MetricsRegistry::Id dvfs_fmin_decisions = 0;
+    obs::MetricsRegistry::Id dvfs_fmax_decisions = 0;
+  } ids;
+  if (metrics != nullptr) {
+    ids.placement_ns = metrics->histogram("placement_ns");
+    ids.dvfs_decide_ns = metrics->histogram("dvfs_decide_ns");
+    ids.corr_ingest_ns = metrics->histogram("corr_ingest_ns");
+    ids.periods = metrics->counter("periods");
+    ids.migrated_vms = metrics->counter("migrated_vms");
+    ids.failover_migrations = metrics->counter("failover_migrations");
+    ids.server_crashes = metrics->counter("server_crashes");
+    ids.relaxation_rounds = metrics->counter("th_cost_relaxation_rounds");
+    ids.candidate_evals = metrics->counter("eqn2_candidate_evals");
+    ids.dvfs_fmin_decisions = metrics->counter("dvfs_fmin_decisions");
+    ids.dvfs_fmax_decisions = metrics->counter("dvfs_fmax_decisions");
+  }
+  if (recorder != nullptr) {
+    recorder->begin_run(policy.name(), config_.max_servers,
+                        config_.period_seconds);
+  }
+  // Placement-internal diagnostics (TH_cost relaxation, Eqn-2 scan counts)
+  // exist only on the correlation-aware policy.
+  auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(&policy);
 
   SimResult result;
   result.policy_name = policy.name();
@@ -175,7 +217,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     ctx.cost_matrix = &prev_matrix;
     ctx.moments = &prev_moments;
     ctx.history = &history;
+    obs::ScopedTimer place_timer(metrics, ids.placement_ns, observing);
     const alloc::Placement placement = policy.place(demands, ctx);
+    const double place_ns = place_timer.stop();
 #if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
     // Structural invariants only: capacity overflow is legitimate policy
     // output on infeasible instances (the replay records the violations).
@@ -212,6 +256,11 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
                              config_.server, config_.dynamic_interval_samples,
                              config_.dynamic_headroom));
     }
+    const bool static_decide = config_.vf_mode == VfMode::kStatic ||
+                               config_.vf_mode == VfMode::kOracleStatic;
+    std::size_t dvfs_decisions = 0;
+    obs::ScopedTimer dvfs_timer(metrics, ids.dvfs_decide_ns,
+                                metrics != nullptr && static_decide);
     for (std::size_t s = 0; s < config_.max_servers; ++s) {
       const auto vms = placement.vms_on(s);
       if (vms.empty()) continue;
@@ -233,7 +282,21 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         static_f[s] = config_.server.quantize_up(
             config_.server.fmax() * peak / config_.server.max_capacity());
       }
+      if (static_decide) {
+        ++dvfs_decisions;
+        if (metrics != nullptr) {
+          // Ladder-edge decisions: Eqn 4 (or the worst-case rule) wanted to
+          // go below fmin (clamped) or had no headroom below fmax.
+          if (static_f[s] <= config_.server.fmin()) {
+            metrics->add(ids.dvfs_fmin_decisions);
+          }
+          if (static_f[s] >= config_.server.fmax()) {
+            metrics->add(ids.dvfs_fmax_decisions);
+          }
+        }
+      }
     }
+    dvfs_timer.stop();
 
     // ---- Live placement state for the replay: starts as a copy of the
     // policy's decision and mutates when the failover path moves VMs off a
@@ -332,6 +395,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     std::size_t feed_cursor = 0;
     const auto flush_feed = [&](std::size_t upto) {
       if (!feed || upto <= feed_cursor) return;
+      obs::ScopedTimer ingest_timer(metrics, ids.corr_ingest_ns);
       const std::size_t count = upto - feed_cursor;
       const std::span<const double> window(
           period_block.data() + feed_cursor,
@@ -441,6 +505,55 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     result.total_energy_joules += period_energy;
     result.max_violation_ratio =
         std::max(result.max_violation_ratio, record.max_server_violation_ratio);
+
+    // ---- Telemetry flush: one row per period, appended only after every
+    // fault event, failover move and staged-ingest flush of the period has
+    // landed in `record` (the recorder never sees half-finished periods).
+    if (config_.vf_mode == VfMode::kDynamic && observing) {
+      for (const auto& c : controllers) dvfs_decisions += c.decisions();
+    }
+    if (recorder != nullptr) {
+      obs::PeriodRow row;
+      row.period = p;
+      row.active_servers = record.active_servers;
+      row.migrated_vms = record.migrated_vms;
+      row.migrated_cores = record.migrated_cores;
+      row.failover_migrations = record.failover_migrations;
+      row.server_crashes = record.server_crashes;
+      row.unplaced_vm_seconds = record.unplaced_vm_seconds;
+      row.energy_joules = record.energy_joules;
+      row.mean_frequency_ghz = record.mean_frequency;
+      row.max_server_violation_ratio = record.max_server_violation_ratio;
+      if (proposed != nullptr) {
+        row.relaxation_rounds = proposed->last_relaxation_rounds();
+        row.final_threshold = proposed->last_final_threshold();
+        row.candidate_evals = proposed->last_candidate_evals();
+      }
+      row.placement_wall_ns = place_ns;
+      row.dvfs_decisions = dvfs_decisions;
+      row.server_frequency_ghz.assign(config_.max_servers, 0.0);
+      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+        if (live_vms[s].empty()) continue;
+        if (config_.vf_mode == VfMode::kDynamic) {
+          row.server_frequency_ghz[s] = controllers[s].current_frequency();
+        } else if (config_.vf_mode == VfMode::kNone) {
+          row.server_frequency_ghz[s] = config_.server.fmax();
+        } else {
+          row.server_frequency_ghz[s] = static_f[s];
+        }
+      }
+      recorder->record(std::move(row));
+    }
+    if (metrics != nullptr) {
+      metrics->add(ids.periods);
+      metrics->add(ids.migrated_vms, record.migrated_vms);
+      metrics->add(ids.failover_migrations, record.failover_migrations);
+      metrics->add(ids.server_crashes, record.server_crashes);
+      if (proposed != nullptr) {
+        metrics->add(ids.relaxation_rounds, proposed->last_relaxation_rounds());
+        metrics->add(ids.candidate_evals, proposed->last_candidate_evals());
+      }
+    }
 
     // Observed references feed the predictors; statistics roll over.
     for (std::size_t i = 0; i < n; ++i) {

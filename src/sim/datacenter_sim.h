@@ -27,6 +27,8 @@
 #include "dvfs/vf_policy.h"
 #include "model/power.h"
 #include "model/server.h"
+#include "obs/metrics.h"
+#include "obs/period_recorder.h"
 #include "sim/fault.h"
 #include "trace/predictor.h"
 #include "trace/reference.h"
@@ -144,6 +146,14 @@ struct RunOptions {
   /// Static v/f rule, required when vf_mode == kStatic and ignored in every
   /// other mode (kNone runs everything at fmax).
   const dvfs::VfPolicy* static_vf = nullptr;
+  /// Observability hooks; both null = metrics level "off", which keeps the
+  /// run byte-identical to an un-instrumented build (same discipline as
+  /// FaultSpec::none()). `recorder` captures the per-period time series
+  /// (level "periods"); `metrics` additionally feeds hot-path timers and
+  /// event counters (level "full"). Neither ever alters simulation
+  /// arithmetic — they observe finished per-period state only.
+  obs::PeriodRecorder* recorder = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class DatacenterSimulator {

@@ -94,6 +94,52 @@ std::string summary_line(const SimResult& result) {
   return ss.str();
 }
 
+void print_telemetry_summary(const obs::RunTelemetry& telemetry,
+                             std::ostream& out) {
+  const obs::PeriodRecorder& rec = telemetry.recorder;
+  out << "telemetry [" << rec.policy_name() << ", level "
+      << obs::to_string(telemetry.level) << "]: " << rec.rows().size()
+      << " periods, " << rec.total_migrated_vms() << " migrations, "
+      << rec.total_relaxation_rounds() << " TH_cost relaxations";
+  if (rec.total_server_crashes() > 0) {
+    out << ", " << rec.total_server_crashes() << " crashes / "
+        << rec.total_failover_migrations() << " failovers";
+  }
+  out << "\n";
+  if (telemetry.level == obs::MetricsLevel::kFull) {
+    const obs::MetricsSnapshot snap = telemetry.registry.snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+      if (h.count == 0) continue;
+      out << "  " << name << ": n=" << h.count << " mean="
+          << util::TextTable::format(h.mean() / 1e3, 1) << "us p95="
+          << util::TextTable::format(h.quantile(0.95) / 1e3, 1) << "us max="
+          << util::TextTable::format(h.max / 1e3, 1) << "us\n";
+    }
+  }
+}
+
+util::Json telemetry_export_json(
+    const std::vector<std::shared_ptr<obs::RunTelemetry>>& runs) {
+  util::Json j = util::Json::object();
+  util::Json arr = util::Json::array();
+  for (const auto& t : runs) {
+    if (t != nullptr) arr.push_back(t->to_json());
+  }
+  j["runs"] = std::move(arr);
+  return j;
+}
+
+void telemetry_export_csv(
+    const std::vector<std::shared_ptr<obs::RunTelemetry>>& runs,
+    std::ostream& out) {
+  bool header = true;
+  for (const auto& t : runs) {
+    if (t == nullptr) continue;
+    t->recorder.write_csv(out, header);
+    header = false;
+  }
+}
+
 void print_comparison(const std::vector<SimResult>& results,
                       std::ostream& out) {
   util::TextTable table({"policy", "normalized power", "max viol (%)",

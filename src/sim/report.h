@@ -1,10 +1,13 @@
 // Result reporting: serialize SimResult (and policy comparisons) to JSON
-// for downstream analysis, and render quick console summaries.
+// for downstream analysis, render quick console summaries, and export the
+// observability layer's run telemetry (per-period series + registry).
 #pragma once
 
+#include "obs/period_recorder.h"
 #include "sim/datacenter_sim.h"
 #include "util/json.h"
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -26,5 +29,21 @@ std::string summary_line(const SimResult& result);
 /// migrations) for several runs, normalized to the first.
 void print_comparison(const std::vector<SimResult>& results,
                       std::ostream& out);
+
+/// Run-summary section of one instrumented run: period count, placement
+/// latency (mean/p95 at level full), TH_cost relaxation totals, DVFS
+/// ladder-edge decisions. A few console lines per run.
+void print_telemetry_summary(const obs::RunTelemetry& telemetry,
+                             std::ostream& out);
+
+/// {"runs": [RunTelemetry::to_json()...]} — the --metrics-out JSON document.
+util::Json telemetry_export_json(
+    const std::vector<std::shared_ptr<obs::RunTelemetry>>& runs);
+
+/// Concatenated per-period CSV of several runs (policy column distinguishes
+/// them) — the --metrics-out CSV document.
+void telemetry_export_csv(
+    const std::vector<std::shared_ptr<obs::RunTelemetry>>& runs,
+    std::ostream& out);
 
 }  // namespace cava::sim

@@ -52,9 +52,17 @@ SweepRecord execute_checked(const SweepJob& job) {
   if (job.make_static_vf) static_vf = job.make_static_vf();
 
   SweepRecord record;
+  RunOptions run_options{*policy, static_vf.get()};
+  if (job.metrics_level != obs::MetricsLevel::kOff) {
+    record.telemetry = std::make_shared<obs::RunTelemetry>();
+    record.telemetry->level = job.metrics_level;
+    run_options.recorder = &record.telemetry->recorder;
+    if (job.metrics_level == obs::MetricsLevel::kFull) {
+      run_options.metrics = &record.telemetry->registry;
+    }
+  }
   const auto t0 = std::chrono::steady_clock::now();
-  record.result = DatacenterSimulator(job.config)
-                      .run(*job.traces, {*policy, static_vf.get()});
+  record.result = DatacenterSimulator(job.config).run(*job.traces, run_options);
   const auto t1 = std::chrono::steady_clock::now();
   record.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   record.label = job.label.empty() ? record.result.policy_name : job.label;

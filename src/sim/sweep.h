@@ -10,6 +10,7 @@
 // time, never numbers.
 #pragma once
 
+#include "obs/period_recorder.h"
 #include "sim/datacenter_sim.h"
 #include "util/thread_pool.h"
 
@@ -34,6 +35,11 @@ struct SweepJob {
   PolicyFactory make_policy;
   /// May be null unless config.vf_mode == kStatic.
   VfFactory make_static_vf;
+  /// Observability depth of this job. kOff (default) allocates no telemetry
+  /// and keeps the run byte-identical to pre-observability builds; kPeriods
+  /// attaches a PeriodRecorder; kFull additionally attaches a
+  /// MetricsRegistry fed by the hot-path timers.
+  obs::MetricsLevel metrics_level = obs::MetricsLevel::kOff;
 };
 
 /// A job's simulation result plus per-job scheduling diagnostics. When a job
@@ -48,6 +54,9 @@ struct SweepRecord {
   double vm_samples_per_second = 0.0;
   std::string error;        ///< non-empty iff the job failed
   std::string config_echo;  ///< failed jobs: config summary for diagnosis
+  /// Telemetry captured during the run; null iff metrics_level was kOff (or
+  /// the job failed before running). Shared so records stay copyable.
+  std::shared_ptr<obs::RunTelemetry> telemetry;
   bool ok() const { return error.empty(); }
 };
 

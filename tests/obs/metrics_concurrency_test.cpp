@@ -1,0 +1,127 @@
+// Concurrency tests of the MetricsRegistry shard merge path and of
+// telemetry capture under a parallel sweep. Built into test_concurrency so
+// the CAVA_SANITIZE=thread CI job covers them (ctest -L concurrency).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "dvfs/vf_policy.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "sim/sweep.h"
+#include "trace/synthesis.h"
+
+namespace cava {
+namespace {
+
+TEST(MetricsRegistryConcurrency, SnapshotsRaceRecordersSafely) {
+  obs::MetricsRegistry reg;
+  const auto counter = reg.counter("ops");
+  const auto gauge = reg.gauge("level");
+  const auto hist = reg.histogram("ns");
+
+  constexpr int kWriters = 6;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        reg.add(counter);
+        reg.set(gauge, static_cast<double>(w));
+        reg.observe(hist, static_cast<double>(i & 1023));
+      }
+    });
+  }
+  // Concurrent snapshots must always see a consistent (monotone) view.
+  std::thread snapshotter([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const obs::MetricsSnapshot snap = reg.snapshot();
+      ASSERT_EQ(snap.counters.size(), 1u);
+      EXPECT_GE(snap.counters[0].second, last);
+      last = snap.counters[0].second;
+      EXPECT_LE(snap.histograms[0].second.count,
+                static_cast<std::uint64_t>(kWriters) * kPerWriter);
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  const obs::MetricsSnapshot final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counters[0].second,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(final_snap.histograms[0].second.count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  // The gauge holds the last write of *some* writer.
+  const double g = final_snap.gauges[0].second;
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, static_cast<double>(kWriters));
+}
+
+TEST(MetricsRegistryConcurrency, ScopedTimersFromManyThreads) {
+  obs::MetricsRegistry reg;
+  const auto hist = reg.histogram("timed_ns");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::ScopedTimer timer(&reg, hist);
+        // Idempotent stop: the destructor must not double-record.
+        if (i % 2 == 0) timer.stop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(SweepTelemetryConcurrency, ParallelJobsRecordIndependentTelemetry) {
+  // Several instrumented jobs run concurrently; each must come back with its
+  // own complete, self-consistent telemetry (no cross-run bleed).
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = 10;
+  tcfg.num_groups = 2;
+  tcfg.day_seconds = 2.0 * 3600.0;
+  const auto traces = std::make_shared<const trace::TraceSet>(
+      trace::generate_datacenter_traces(tcfg));
+  sim::SimConfig cfg;
+  cfg.max_servers = 6;
+
+  sim::SweepRunner runner(4);
+  for (int i = 0; i < 8; ++i) {
+    runner.add(
+        {"job" + std::to_string(i), cfg, traces,
+         [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+         [] { return std::make_unique<dvfs::CorrelationAwareVf>(); },
+         obs::MetricsLevel::kFull});
+  }
+  const auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 8u);
+  for (const auto& record : records) {
+    ASSERT_TRUE(record.ok()) << record.error;
+    ASSERT_NE(record.telemetry, nullptr);
+    const auto& rec = record.telemetry->recorder;
+    EXPECT_EQ(rec.rows().size(), record.result.periods.size());
+    EXPECT_EQ(rec.total_migrated_vms(), record.result.total_migrated_vms);
+    EXPECT_DOUBLE_EQ(rec.total_energy_joules(),
+                     record.result.total_energy_joules);
+    const obs::MetricsSnapshot snap = record.telemetry->registry.snapshot();
+    for (const auto& [name, h] : snap.histograms) {
+      if (name == "placement_ns") {
+        EXPECT_EQ(h.count, record.result.periods.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cava

@@ -1,0 +1,228 @@
+// Property tests of the observability layer against the simulator itself:
+// recording must never perturb the simulation, and the recorded series must
+// stay consistent with SimResult aggregates — under fault injection too.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "dvfs/vf_policy.h"
+#include "obs/period_recorder.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+
+namespace cava {
+namespace {
+
+trace::TraceSet make_traces(std::uint64_t seed = 3) {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = 12;
+  cfg.num_groups = 3;
+  cfg.day_seconds = 6.0 * 3600.0;
+  cfg.seed = seed;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+sim::SimConfig make_config(sim::VfMode mode = sim::VfMode::kStatic) {
+  sim::SimConfig cfg;
+  cfg.max_servers = 8;
+  cfg.vf_mode = mode;
+  return cfg;
+}
+
+/// One instrumented run of the proposed policy + Eqn.-4 static rule.
+sim::SimResult run_proposed(const trace::TraceSet& traces,
+                            const sim::SimConfig& cfg,
+                            obs::RunTelemetry* telemetry) {
+  alloc::CorrelationAwarePlacement policy;
+  const dvfs::CorrelationAwareVf static_vf;
+  sim::RunOptions options{policy,
+                          cfg.vf_mode == sim::VfMode::kStatic ? &static_vf
+                                                              : nullptr};
+  if (telemetry != nullptr) {
+    options.recorder = &telemetry->recorder;
+    if (telemetry->level == obs::MetricsLevel::kFull) {
+      options.metrics = &telemetry->registry;
+    }
+  }
+  return sim::DatacenterSimulator(cfg).run(traces, options);
+}
+
+void expect_bit_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.total_energy_joules, b.total_energy_joules);
+  EXPECT_EQ(a.max_violation_ratio, b.max_violation_ratio);
+  EXPECT_EQ(a.overall_violation_fraction, b.overall_violation_fraction);
+  EXPECT_EQ(a.mean_active_servers, b.mean_active_servers);
+  EXPECT_EQ(a.total_migrated_vms, b.total_migrated_vms);
+  EXPECT_EQ(a.total_migrated_cores, b.total_migrated_cores);
+  EXPECT_EQ(a.server_crashes, b.server_crashes);
+  EXPECT_EQ(a.failover_migrations, b.failover_migrations);
+  EXPECT_EQ(a.unplaced_vm_seconds, b.unplaced_vm_seconds);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (std::size_t p = 0; p < a.periods.size(); ++p) {
+    EXPECT_EQ(a.periods[p].energy_joules, b.periods[p].energy_joules) << p;
+    EXPECT_EQ(a.periods[p].active_servers, b.periods[p].active_servers) << p;
+    EXPECT_EQ(a.periods[p].mean_frequency, b.periods[p].mean_frequency) << p;
+  }
+}
+
+TEST(MetricsNonInterference, RecordingNeverChangesTheSimulation) {
+  const auto traces = make_traces();
+  const auto cfg = make_config();
+  const sim::SimResult off = run_proposed(traces, cfg, nullptr);
+
+  obs::RunTelemetry periods;
+  periods.level = obs::MetricsLevel::kPeriods;
+  expect_bit_identical(off, run_proposed(traces, cfg, &periods));
+
+  obs::RunTelemetry full;
+  full.level = obs::MetricsLevel::kFull;
+  expect_bit_identical(off, run_proposed(traces, cfg, &full));
+}
+
+TEST(MetricsNonInterference, HoldsUnderFaultInjection) {
+  const auto traces = make_traces();
+  auto cfg = make_config();
+  cfg.faults = sim::FaultSpec::parse("crash=0.3,repair-min=20,dropout=0.01");
+  cfg.fault_seed = 7;
+  const sim::SimResult off = run_proposed(traces, cfg, nullptr);
+  obs::RunTelemetry full;
+  full.level = obs::MetricsLevel::kFull;
+  expect_bit_identical(off, run_proposed(traces, cfg, &full));
+}
+
+class RecorderConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecorderConsistency, TotalsMatchSimResultUnderFaults) {
+  const auto traces = make_traces();
+  auto cfg = make_config();
+  cfg.faults = sim::FaultSpec::parse("crash=0.4,repair-min=15");
+  cfg.fault_seed = GetParam();
+
+  obs::RunTelemetry telemetry;
+  telemetry.level = obs::MetricsLevel::kPeriods;
+  const sim::SimResult result = run_proposed(traces, cfg, &telemetry);
+  const obs::PeriodRecorder& rec = telemetry.recorder;
+
+  ASSERT_EQ(rec.rows().size(), result.periods.size());
+  EXPECT_EQ(rec.total_migrated_vms(), result.total_migrated_vms);
+  EXPECT_EQ(rec.total_failover_migrations(), result.failover_migrations);
+  EXPECT_EQ(rec.total_server_crashes(), result.server_crashes);
+  EXPECT_DOUBLE_EQ(rec.total_unplaced_vm_seconds(),
+                   result.unplaced_vm_seconds);
+  EXPECT_DOUBLE_EQ(rec.total_energy_joules(), result.total_energy_joules);
+
+  // Row-by-row mirror of the SimResult period records.
+  for (std::size_t p = 0; p < rec.rows().size(); ++p) {
+    const obs::PeriodRow& row = rec.rows()[p];
+    const sim::PeriodRecord& ref = result.periods[p];
+    EXPECT_EQ(row.period, p);
+    EXPECT_EQ(row.active_servers, ref.active_servers);
+    EXPECT_EQ(row.migrated_vms, ref.migrated_vms);
+    EXPECT_EQ(row.server_crashes, ref.server_crashes);
+    EXPECT_EQ(row.failover_migrations, ref.failover_migrations);
+    EXPECT_DOUBLE_EQ(row.energy_joules, ref.energy_joules);
+    EXPECT_DOUBLE_EQ(row.unplaced_vm_seconds, ref.unplaced_vm_seconds);
+    EXPECT_DOUBLE_EQ(row.mean_frequency_ghz, ref.mean_frequency);
+    EXPECT_DOUBLE_EQ(row.max_server_violation_ratio,
+                     ref.max_server_violation_ratio);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, RecorderConsistency,
+                         ::testing::Values(1ULL, 2ULL, 5ULL, 11ULL));
+
+TEST(RecorderInvariants, RowsRespectCapacityAndLadder) {
+  const auto traces = make_traces();
+  const auto cfg = make_config();
+  obs::RunTelemetry telemetry;
+  telemetry.level = obs::MetricsLevel::kFull;
+  run_proposed(traces, cfg, &telemetry);
+
+  const model::ServerSpec& server = cfg.server;
+  ASSERT_FALSE(telemetry.recorder.rows().empty());
+  for (const obs::PeriodRow& row : telemetry.recorder.rows()) {
+    EXPECT_LE(row.active_servers, cfg.max_servers);
+    EXPECT_GT(row.active_servers, 0u);
+    ASSERT_EQ(row.server_frequency_ghz.size(), cfg.max_servers);
+    std::size_t powered = 0;
+    for (double f : row.server_frequency_ghz) {
+      if (f <= 0.0) continue;  // idle server
+      ++powered;
+      EXPECT_GE(f, server.fmin());
+      EXPECT_LE(f, server.fmax());
+    }
+    EXPECT_EQ(powered, row.active_servers);
+    EXPECT_GE(row.energy_joules, 0.0);
+    EXPECT_GE(row.placement_wall_ns, 0.0);
+    // The proposed policy always exposes its diagnostics.
+    EXPECT_GT(row.candidate_evals, 0u);
+    EXPECT_GT(row.final_threshold, 0.0);
+    EXPECT_LE(row.final_threshold,
+              alloc::CorrelationAwareConfig{}.initial_threshold);
+    // Static mode decides one frequency per active server per period.
+    EXPECT_EQ(row.dvfs_decisions, row.active_servers);
+  }
+}
+
+TEST(RecorderInvariants, FaultFreeRunsHaveNoDegradedAccounting) {
+  const auto traces = make_traces();
+  obs::RunTelemetry telemetry;
+  telemetry.level = obs::MetricsLevel::kPeriods;
+  run_proposed(traces, make_config(), &telemetry);
+  EXPECT_EQ(telemetry.recorder.total_server_crashes(), 0u);
+  EXPECT_EQ(telemetry.recorder.total_failover_migrations(), 0u);
+  EXPECT_DOUBLE_EQ(telemetry.recorder.total_unplaced_vm_seconds(), 0.0);
+}
+
+TEST(RecorderInvariants, FullLevelFeedsHotPathHistograms) {
+  const auto traces = make_traces();
+  obs::RunTelemetry telemetry;
+  telemetry.level = obs::MetricsLevel::kFull;
+  const sim::SimResult result =
+      run_proposed(traces, make_config(), &telemetry);
+  const obs::MetricsSnapshot snap = telemetry.registry.snapshot();
+
+  auto histogram = [&](const std::string& name) -> const obs::HistogramSnapshot& {
+    for (const auto& [n, h] : snap.histograms) {
+      if (n == name) return h;
+    }
+    ADD_FAILURE() << "missing histogram " << name;
+    static const obs::HistogramSnapshot empty;
+    return empty;
+  };
+  auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+
+  const std::size_t periods = result.periods.size();
+  EXPECT_EQ(histogram("placement_ns").count, periods);
+  EXPECT_EQ(histogram("dvfs_decide_ns").count, periods);
+  EXPECT_GE(histogram("corr_ingest_ns").count, periods);
+  EXPECT_GT(histogram("placement_ns").sum, 0.0);
+  EXPECT_EQ(counter("periods"), periods);
+  EXPECT_EQ(counter("migrated_vms"), result.total_migrated_vms);
+}
+
+TEST(RecorderInvariants, DynamicModeCountsRequantizations) {
+  const auto traces = make_traces();
+  obs::RunTelemetry telemetry;
+  telemetry.level = obs::MetricsLevel::kPeriods;
+  run_proposed(traces, make_config(sim::VfMode::kDynamic), &telemetry);
+  std::size_t decisions = 0;
+  for (const auto& row : telemetry.recorder.rows()) {
+    decisions += row.dvfs_decisions;
+  }
+  // The controller re-quantizes every dynamic_interval_samples, so a 6-hour
+  // run must see plenty of decisions.
+  EXPECT_GT(decisions, telemetry.recorder.rows().size());
+}
+
+}  // namespace
+}  // namespace cava

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace cava::obs {
+namespace {
+
+TEST(MetricsLevel, ParseRoundTrips) {
+  EXPECT_EQ(parse_metrics_level("off"), MetricsLevel::kOff);
+  EXPECT_EQ(parse_metrics_level("periods"), MetricsLevel::kPeriods);
+  EXPECT_EQ(parse_metrics_level("full"), MetricsLevel::kFull);
+  EXPECT_STREQ(to_string(MetricsLevel::kOff), "off");
+  EXPECT_STREQ(to_string(MetricsLevel::kPeriods), "periods");
+  EXPECT_STREQ(to_string(MetricsLevel::kFull), "full");
+  EXPECT_THROW(parse_metrics_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_metrics_level(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  const auto id = reg.counter("events");
+  reg.add(id);
+  reg.add(id, 41);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "events");
+  EXPECT_EQ(snap.counters[0].second, 42u);
+}
+
+TEST(MetricsRegistry, RegistrationIsFindOrRegister) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("shared");
+  const auto b = reg.counter("shared");
+  EXPECT_EQ(a, b);
+  reg.add(a, 1);
+  reg.add(b, 2);
+  EXPECT_EQ(reg.snapshot().counters[0].second, 3u);
+  // Kinds have independent namespaces: a gauge may reuse a counter's name.
+  const auto g = reg.gauge("shared");
+  reg.set(g, 7.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 7.5);
+}
+
+TEST(MetricsRegistry, GaugeKeepsLastWrite) {
+  MetricsRegistry reg;
+  const auto id = reg.gauge("level");
+  reg.set(id, 1.0);
+  reg.set(id, -3.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, -3.25);
+}
+
+TEST(MetricsRegistry, HistogramBucketLayout) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("latency");
+  // bucket 0: values < 1; bucket b >= 1: [2^(b-1), 2^b).
+  reg.observe(id, 0.0);
+  reg.observe(id, 0.5);
+  reg.observe(id, 1.0);
+  reg.observe(id, 1.999);
+  reg.observe(id, 2.0);
+  reg.observe(id, 3.0);
+  reg.observe(id, 1024.0);
+  reg.observe(id, -5.0);  // clamps to 0 -> bucket 0
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0].second;
+  EXPECT_EQ(h.count, 8u);
+  EXPECT_EQ(h.buckets[0], 3u);   // 0, 0.5, clamped -5
+  EXPECT_EQ(h.buckets[1], 2u);   // 1.0, 1.999 in [1, 2)
+  EXPECT_EQ(h.buckets[2], 2u);   // 2.0, 3.0 in [2, 4)
+  EXPECT_EQ(h.buckets[11], 1u);  // 1024 in [2^10, 2^11)
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 1024.0);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0 + 0.5 + 1.0 + 1.999 + 2.0 + 3.0 + 1024.0);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum / 8.0);
+}
+
+TEST(MetricsRegistry, HistogramQuantilesAreClampedAndMonotone) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("h");
+  for (int i = 1; i <= 1000; ++i) reg.observe(id, static_cast<double>(i));
+  const HistogramSnapshot h = reg.snapshot().histograms[0].second;
+  const double p50 = h.quantile(0.5);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, h.min);
+  EXPECT_LE(p99, h.max);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucket estimate: right order of magnitude, not exact rank.
+  EXPECT_GT(p95, 256.0);
+  EXPECT_GT(p50, 64.0);
+  EXPECT_LT(p50, p95);
+}
+
+TEST(MetricsRegistry, EmptyHistogramIsInert) {
+  MetricsRegistry reg;
+  reg.histogram("never");
+  const HistogramSnapshot h = reg.snapshot().histograms[0].second;
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 0.0);
+}
+
+TEST(MetricsRegistry, MergesShardsAcrossThreads) {
+  MetricsRegistry reg;
+  const auto counter = reg.counter("work");
+  const auto hist = reg.histogram("ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add(counter);
+        reg.observe(hist, static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].second.max, 127.0);
+}
+
+TEST(MetricsRegistry, TwoRegistriesAreIndependent) {
+  // The thread-local shard cache must not leak state between registry
+  // instances (it keys on a process-unique serial, not the address).
+  auto first = std::make_unique<MetricsRegistry>();
+  const auto a = first->counter("x");
+  first->add(a, 5);
+  first.reset();
+  MetricsRegistry second;
+  const auto b = second.counter("x");
+  second.add(b, 2);
+  EXPECT_EQ(second.snapshot().counters[0].second, 2u);
+}
+
+TEST(MetricsSnapshot, JsonShape) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("c"), 3);
+  reg.set(reg.gauge("g"), 1.5);
+  reg.observe(reg.histogram("h"), 10.0);
+  const util::Json j = reg.snapshot().to_json();
+  const std::string text = j.dump();
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"p95\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cava::obs

@@ -1,0 +1,122 @@
+#include "obs/period_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace cava::obs {
+namespace {
+
+PeriodRow make_row(std::size_t period) {
+  PeriodRow row;
+  row.period = period;
+  row.active_servers = 3 + period;
+  row.migrated_vms = period;
+  row.migrated_cores = 0.5 * static_cast<double>(period);
+  row.failover_migrations = period % 2;
+  row.server_crashes = period % 3 == 0 ? 1 : 0;
+  row.unplaced_vm_seconds = 10.0 * static_cast<double>(period);
+  row.energy_joules = 1000.0 + static_cast<double>(period);
+  row.mean_frequency_ghz = 2.1;
+  row.relaxation_rounds = 2;
+  row.final_threshold = 1.035;
+  row.candidate_evals = 60;
+  row.placement_wall_ns = 1234.0;
+  row.dvfs_decisions = 4;
+  row.server_frequency_ghz = {2.0, 2.3, 0.0, 2.0, 0.0};
+  return row;
+}
+
+TEST(PeriodRecorder, BeginRunResetsAndStamps) {
+  PeriodRecorder rec;
+  rec.begin_run("A", 5, 3600.0);
+  rec.record(make_row(0));
+  rec.record(make_row(1));
+  EXPECT_EQ(rec.rows().size(), 2u);
+  rec.begin_run("B", 7, 1800.0);
+  EXPECT_EQ(rec.policy_name(), "B");
+  EXPECT_EQ(rec.max_servers(), 7u);
+  EXPECT_DOUBLE_EQ(rec.period_seconds(), 1800.0);
+  EXPECT_TRUE(rec.rows().empty());
+}
+
+TEST(PeriodRecorder, TotalsSumOverRows) {
+  PeriodRecorder rec;
+  rec.begin_run("P", 5, 3600.0);
+  for (std::size_t p = 0; p < 4; ++p) rec.record(make_row(p));
+  EXPECT_EQ(rec.total_migrated_vms(), 0u + 1 + 2 + 3);
+  EXPECT_EQ(rec.total_failover_migrations(), 0u + 1 + 0 + 1);
+  EXPECT_EQ(rec.total_server_crashes(), 1u + 0 + 0 + 1);
+  EXPECT_EQ(rec.total_relaxation_rounds(), 4u * 2);
+  EXPECT_DOUBLE_EQ(rec.total_unplaced_vm_seconds(), 0.0 + 10 + 20 + 30);
+  EXPECT_DOUBLE_EQ(rec.total_energy_joules(), 4 * 1000.0 + 0 + 1 + 2 + 3);
+}
+
+TEST(PeriodRecorder, JsonCarriesEveryField) {
+  PeriodRecorder rec;
+  rec.begin_run("Proposed", 5, 3600.0);
+  rec.record(make_row(0));
+  const std::string text = rec.to_json().dump();
+  for (const char* key :
+       {"\"policy\"", "\"max_servers\"", "\"period_seconds\"", "\"periods\"",
+        "\"active_servers\"", "\"relaxation_rounds\"", "\"final_threshold\"",
+        "\"candidate_evals\"", "\"placement_wall_ns\"", "\"dvfs_decisions\"",
+        "\"server_frequency_ghz\"", "\"unplaced_vm_seconds\""}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(PeriodRecorder, CsvHeaderMatchesRowWidth) {
+  PeriodRecorder rec;
+  rec.begin_run("P", 5, 3600.0);
+  rec.record(make_row(0));
+  rec.record(make_row(1));
+  std::ostringstream out;
+  rec.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t header_cols = 0;
+  while (std::getline(in, line)) {
+    const std::size_t cols =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) + 1;
+    if (lines == 0) {
+      header_cols = cols;
+      EXPECT_EQ(cols, PeriodRecorder::csv_header().size());
+    } else {
+      EXPECT_EQ(cols, header_cols) << "line " << lines;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+  // Frequency summary over non-idle servers: mean of {2.0, 2.3, 2.0}, min 2.0.
+  EXPECT_NE(out.str().find("2.100000"), std::string::npos);
+  EXPECT_NE(out.str().find("2.000000"), std::string::npos);
+}
+
+TEST(PeriodRecorder, CsvHeaderCanBeSuppressedForConcatenation) {
+  PeriodRecorder rec;
+  rec.begin_run("P", 5, 3600.0);
+  rec.record(make_row(0));
+  std::ostringstream out;
+  rec.write_csv(out, /*include_header=*/false);
+  EXPECT_EQ(out.str().find("policy,"), std::string::npos);
+}
+
+TEST(RunTelemetry, RegistryOnlyExportedAtFull) {
+  RunTelemetry periods_only;
+  periods_only.level = MetricsLevel::kPeriods;
+  periods_only.recorder.begin_run("P", 2, 60.0);
+  EXPECT_EQ(periods_only.to_json().dump().find("\"registry\""),
+            std::string::npos);
+
+  RunTelemetry full;
+  full.level = MetricsLevel::kFull;
+  full.recorder.begin_run("P", 2, 60.0);
+  full.registry.add(full.registry.counter("c"));
+  EXPECT_NE(full.to_json().dump().find("\"registry\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cava::obs

@@ -1,0 +1,233 @@
+#include "oracle_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cava::oracle {
+
+namespace {
+
+/// Descending-reference order with ascending VM-id ties: the deterministic
+/// order both production policies are specified against.
+std::vector<std::size_t> order_descending(
+    std::span<const model::VmDemand> demands) {
+  std::vector<std::size_t> order(demands.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].reference != demands[b].reference) {
+      return demands[a].reference > demands[b].reference;
+    }
+    return demands[a].vm < demands[b].vm;
+  });
+  return order;
+}
+
+/// Eqn. 2 over a materialized group, in the pair-sum rearrangement
+///   S / (R * (|G| - 1)),  S = sum_{a<b} (r_a + r_b) c(a,b),  R = sum r,
+/// computed from scratch via the matrix's public scalar accessors.
+double eqn2_from_scratch(const corr::CostMatrix& matrix,
+                         std::span<const std::size_t> group) {
+  const std::size_t m = group.size();
+  if (m < 2) return 1.0;
+  double total_ref = 0.0;
+  for (std::size_t v : group) total_ref += matrix.reference(v);
+  if (total_ref <= 0.0) return 1.0;
+  double pair_sum = 0.0;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      pair_sum += (matrix.reference(group[a]) + matrix.reference(group[b])) *
+                  matrix.cost(group[a], group[b]);
+    }
+  }
+  return pair_sum / (total_ref * static_cast<double>(m - 1));
+}
+
+}  // namespace
+
+double naive_reference(const trace::TraceSet& traces, std::size_t i) {
+  double peak = -std::numeric_limits<double>::infinity();
+  for (const double u : traces[i].series.samples()) peak = std::max(peak, u);
+  return peak;
+}
+
+double naive_pair_cost(const trace::TraceSet& traces, std::size_t i,
+                       std::size_t j) {
+  if (i == j) return 1.0;
+  const std::span<const double> ui = traces[i].series.samples();
+  const std::span<const double> uj = traces[j].series.samples();
+  if (ui.size() != uj.size()) {
+    throw std::invalid_argument("oracle: trace length mismatch");
+  }
+  double pair_peak = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < ui.size(); ++t) {
+    pair_peak = std::max(pair_peak, ui[t] + uj[t]);
+  }
+  if (pair_peak <= 0.0) return 1.0;
+  return (naive_reference(traces, i) + naive_reference(traces, j)) / pair_peak;
+}
+
+double naive_server_cost(const trace::TraceSet& traces,
+                         std::span<const std::size_t> group) {
+  const std::size_t m = group.size();
+  if (m < 2) return 1.0;
+  double total_ref = 0.0;
+  for (std::size_t v : group) total_ref += naive_reference(traces, v);
+  if (total_ref <= 0.0) return 1.0;
+  double cost = 0.0;
+  for (std::size_t a = 0; a < m; ++a) {
+    double mean = 0.0;
+    for (std::size_t b = 0; b < m; ++b) {
+      if (b == a) continue;
+      mean += naive_pair_cost(traces, group[a], group[b]);
+    }
+    mean /= static_cast<double>(m - 1);
+    cost += (naive_reference(traces, group[a]) / total_ref) * mean;
+  }
+  return cost;
+}
+
+std::size_t naive_min_servers(std::span<const model::VmDemand> demands,
+                              double capacity) {
+  double total = 0.0;
+  for (const auto& d : demands) total += d.reference;
+  if (total <= 0.0 || capacity <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(total / capacity));
+}
+
+std::vector<std::size_t> reference_ffd(
+    std::span<const model::VmDemand> demands, std::size_t max_servers,
+    double capacity) {
+  std::vector<std::size_t> server_of(demands.size(), max_servers);
+  std::vector<double> remaining(max_servers, capacity);
+  for (std::size_t idx : order_descending(demands)) {
+    const double need = demands[idx].reference;
+    std::size_t target = max_servers;
+    for (std::size_t s = 0; s < max_servers; ++s) {
+      if (remaining[s] >= need - 1e-12) {
+        target = s;
+        break;
+      }
+    }
+    if (target == max_servers) {
+      target = 0;
+      for (std::size_t s = 1; s < max_servers; ++s) {
+        if (remaining[s] > remaining[target]) target = s;
+      }
+    }
+    server_of[demands[idx].vm] = target;
+    remaining[target] -= need;
+  }
+  return server_of;
+}
+
+ReferenceCaResult reference_correlation_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    std::size_t max_servers, double capacity, double initial_threshold,
+    double alpha) {
+  const std::size_t n = demands.size();
+  ReferenceCaResult result;
+  result.server_of.assign(n, max_servers);
+
+  std::size_t active = std::min(naive_min_servers(demands, capacity),
+                                max_servers);
+  if (active == 0 && n > 0) active = 1;
+  result.estimated_servers = active;
+
+  std::vector<double> remaining(max_servers, capacity);
+  std::vector<std::vector<std::size_t>> groups(max_servers);
+  std::vector<std::size_t> unalloc = order_descending(demands);
+  double threshold = initial_threshold;
+
+  const auto fits = [&](std::size_t vm_pos, std::size_t server) {
+    return demands[vm_pos].reference <= remaining[server] + 1e-12;
+  };
+  const auto assign = [&](std::size_t pos, std::size_t server) {
+    const std::size_t idx = unalloc[pos];
+    const std::size_t vm = demands[idx].vm;
+    result.server_of[vm] = server;
+    groups[server].push_back(vm);
+    remaining[server] -= demands[idx].reference;
+    unalloc.erase(unalloc.begin() + static_cast<std::ptrdiff_t>(pos));
+  };
+
+  while (!unalloc.empty()) {
+    bool progress = false;
+    std::vector<std::size_t> server_order(active);
+    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
+    std::sort(server_order.begin(), server_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (remaining[a] != remaining[b]) {
+                  return remaining[a] > remaining[b];
+                }
+                return a < b;
+              });
+
+    for (std::size_t server : server_order) {
+      for (;;) {
+        if (unalloc.empty()) break;
+        int chosen = -1;
+        if (groups[server].empty()) {
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (fits(unalloc[p], server)) {
+              chosen = static_cast<int>(p);
+              break;
+            }
+          }
+        } else {
+          double best_cost = threshold;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (!fits(unalloc[p], server)) continue;
+            // From-scratch tentative Eqn. 2 over the materialized group.
+            std::vector<std::size_t> extended = groups[server];
+            extended.push_back(demands[unalloc[p]].vm);
+            const double c = eqn2_from_scratch(matrix, extended);
+            if (c > best_cost) {
+              best_cost = c;
+              chosen = static_cast<int>(p);
+            }
+          }
+        }
+        if (chosen < 0) break;
+        assign(static_cast<std::size_t>(chosen), server);
+        progress = true;
+      }
+    }
+
+    if (unalloc.empty()) break;
+    if (!progress) {
+      bool capacity_bound = true;
+      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
+        for (std::size_t s = 0; s < active; ++s) {
+          if (fits(unalloc[p], s)) {
+            capacity_bound = false;
+            break;
+          }
+        }
+      }
+      if (capacity_bound) {
+        if (active < max_servers) {
+          ++active;
+        } else {
+          while (!unalloc.empty()) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < max_servers; ++s) {
+              if (remaining[s] > remaining[best]) best = s;
+            }
+            assign(0, best);
+          }
+          break;
+        }
+      } else {
+        threshold *= alpha;
+        ++result.relaxation_rounds;
+      }
+    }
+  }
+
+  result.final_threshold = threshold;
+  return result;
+}
+
+}  // namespace cava::oracle

@@ -1,0 +1,70 @@
+// Naive reference ("oracle") implementations of the paper's equations and
+// allocation heuristics, written for clarity rather than speed.
+//
+// These deliberately avoid every optimization the production code uses —
+// no flat-triangle storage, no SIMD ingest kernels, no incremental Eqn.-2
+// accumulators — so differential tests can catch bookkeeping bugs in the
+// fast paths: each oracle recomputes its quantity from first principles
+// (raw traces or the public scalar CostMatrix accessors) on every call.
+#pragma once
+
+#include "alloc/placement.h"
+#include "corr/cost_matrix.h"
+#include "model/vm.h"
+#include "trace/time_series.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cava::oracle {
+
+/// Peak-mode reference utilization u^ of VM i: a plain scalar max over the
+/// stored trace (Eqn. 1's numerator terms).
+double naive_reference(const trace::TraceSet& traces, std::size_t i);
+
+/// Eqn. 1 pair cost in peak mode, from the raw traces:
+///   (u^(i) + u^(j)) / peak_t(u_i(t) + u_j(t)),
+/// 1.0 on the diagonal and when the denominator is not positive.
+double naive_pair_cost(const trace::TraceSet& traces, std::size_t i,
+                       std::size_t j);
+
+/// Eqn. 2 in its literal weighted-mean form, from the raw traces:
+///   sum_j w_j * mean_{k != j} Cost_vm(j, k),  w_j = u^(j) / sum u^.
+/// Neutral 1.0 for groups smaller than two or with zero total reference.
+double naive_server_cost(const trace::TraceSet& traces,
+                         std::span<const std::size_t> group);
+
+/// Eqn. 3: ceil(sum of references / per-server capacity).
+std::size_t naive_min_servers(std::span<const model::VmDemand> demands,
+                              double capacity);
+
+/// Reference first-fit-decreasing: descending u^ (ties by VM id), first
+/// server with room (1e-12 slack), overflow onto the least-loaded server.
+/// Returns server index per VM id.
+std::vector<std::size_t> reference_ffd(
+    std::span<const model::VmDemand> demands, std::size_t max_servers,
+    double capacity);
+
+/// What reference_correlation_aware() observed along the way, mirroring the
+/// production policy's diagnostics.
+struct ReferenceCaResult {
+  std::vector<std::size_t> server_of;  ///< server index per VM id
+  std::size_t estimated_servers = 0;   ///< Eqn. 3 estimate (clamped, >= 1)
+  std::size_t relaxation_rounds = 0;   ///< TH_cost *= alpha applications
+  double final_threshold = 0.0;
+};
+
+/// Reference ALLOCATE phase (Fig. 2), evaluating every tentative Eqn.-2
+/// candidate cost from scratch (O(|G|^2) pair-sum over the materialized
+/// extended group) instead of the production policy's incremental O(1)
+/// accumulators. Decision order matches CorrelationAwarePlacement::place:
+/// servers swept in descending remaining capacity (index ties ascending),
+/// empty servers seeded with the largest fitting VM, otherwise the fitting
+/// candidate maximizing tentative cost strictly above the threshold.
+ReferenceCaResult reference_correlation_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    std::size_t max_servers, double capacity, double initial_threshold,
+    double alpha);
+
+}  // namespace cava::oracle

@@ -1,0 +1,231 @@
+// Differential tests: the optimized production paths (flat-triangle
+// CostMatrix with blocked SIMD ingest, incremental Eqn.-2 candidate
+// bookkeeping in CorrelationAwarePlacement, FirstFitDecreasing) against the
+// naive from-first-principles oracles in oracle_ref.h, on seeded random
+// trace populations. Peak mode is exact arithmetic end to end, so most
+// comparisons are bit-exact; Eqn. 2 is compared under a tight relative
+// tolerance because the oracle uses the literal weighted-mean form while
+// the production code uses the algebraically equal pair-sum rearrangement.
+#include "oracle_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/ffd.h"
+#include "corr/cost_matrix.h"
+#include "model/server.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+namespace cava {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Seeded random population: sinusoids with random base/amplitude/phase plus
+/// uniform noise, the same family the randomized placement tests use.
+trace::TraceSet make_traces(std::uint64_t seed, std::size_t num_vms,
+                            std::size_t samples) {
+  util::Rng rng(seed);
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.2, 1.2);
+    const double amp = rng.uniform(0.2, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double freq = rng.uniform(0.02, 0.08);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(freq * static_cast<double>(i) +
+                                          phase)) +
+             rng.uniform(0.0, 0.15);
+    }
+    traces.add(
+        {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    d.push_back({i, traces[i].series.peak()});
+  }
+  return d;
+}
+
+class OracleSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSeeds, ReferenceMatchesNaivePeak) {
+  const auto traces = make_traces(GetParam(), 16, 300);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix.reference(i), oracle::naive_reference(traces, i))
+        << "vm " << i;
+  }
+}
+
+TEST_P(OracleSeeds, PairCostMatchesNaiveEqn1BitExact) {
+  const auto traces = make_traces(GetParam(), 16, 300);
+  // Both ingest flavors: the blocked SIMD path (from_traces) and the
+  // per-tick streaming path must agree with the naive scalar oracle.
+  const auto blocked =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  corr::CostMatrix streamed(traces.size(), trace::ReferenceSpec::peak());
+  std::vector<double> tick(traces.size());
+  for (std::size_t t = 0; t < traces.samples_per_trace(); ++t) {
+    for (std::size_t v = 0; v < traces.size(); ++v) {
+      tick[v] = traces[v].series[t];
+    }
+    streamed.add_sample(tick);
+  }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t j = 0; j < traces.size(); ++j) {
+      const double want = oracle::naive_pair_cost(traces, i, j);
+      EXPECT_DOUBLE_EQ(blocked.cost(i, j), want) << i << "," << j;
+      EXPECT_DOUBLE_EQ(streamed.cost(i, j), want) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(OracleSeeds, ServerCostMatchesNaiveEqn2) {
+  const auto traces = make_traces(GetParam(), 16, 300);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  util::Rng rng(GetParam() * 7919 + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t size = 2 + static_cast<std::size_t>(rng.uniform(
+                                     0.0, 6.999));
+    std::vector<std::size_t> group;
+    while (group.size() < size) {
+      const auto v = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(traces.size()) - 1e-9));
+      bool dup = false;
+      for (std::size_t g : group) dup |= (g == v);
+      if (!dup) group.push_back(v);
+    }
+    const double got = matrix.server_cost(group);
+    const double want = oracle::naive_server_cost(traces, group);
+    EXPECT_NEAR(got, want, 1e-12 * std::max(1.0, std::abs(want)))
+        << "trial " << trial << " size " << size;
+    // Tentative form: server_cost_with(G, v) is documented to equal the
+    // materialized extended group exactly (candidate appended last).
+    const std::size_t candidate = group.back();
+    group.pop_back();
+    EXPECT_DOUBLE_EQ(matrix.server_cost_with(group, candidate), got);
+  }
+}
+
+TEST_P(OracleSeeds, EqnThreeEstimateMatchesNaive) {
+  const auto traces = make_traces(GetParam(), 24, 200);
+  const auto demands = make_demands(traces);
+  const model::ServerSpec server("s", 8, {2.0});
+  EXPECT_EQ(alloc::estimate_min_servers(demands, server),
+            oracle::naive_min_servers(demands, server.max_capacity()));
+}
+
+TEST_P(OracleSeeds, FfdMatchesReferenceAssignmentExactly) {
+  const auto traces = make_traces(GetParam(), 24, 200);
+  const auto demands = make_demands(traces);
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 12;
+
+  alloc::FirstFitDecreasing ffd;
+  const auto placement = ffd.place(demands, ctx);
+  const auto want = oracle::reference_ffd(demands, ctx.max_servers,
+                                          ctx.server.max_capacity());
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    ASSERT_TRUE(placement.server_of(vm).has_value());
+    EXPECT_EQ(*placement.server_of(vm), want[vm]) << "vm " << vm;
+  }
+}
+
+TEST_P(OracleSeeds, CorrelationAwareMatchesReferenceAssignmentExactly) {
+  const auto traces = make_traces(GetParam(), 20, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 12;
+  ctx.cost_matrix = &matrix;
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  const auto want = oracle::reference_correlation_aware(
+      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      config.initial_threshold, config.alpha);
+
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    ASSERT_TRUE(placement.server_of(vm).has_value());
+    EXPECT_EQ(*placement.server_of(vm), want.server_of[vm]) << "vm " << vm;
+  }
+  // The diagnostics the observability layer records must agree too.
+  EXPECT_EQ(policy.last_estimated_servers(), want.estimated_servers);
+  EXPECT_EQ(policy.last_relaxation_rounds(), want.relaxation_rounds);
+  EXPECT_DOUBLE_EQ(policy.last_final_threshold(), want.final_threshold);
+}
+
+TEST_P(OracleSeeds, CorrelationAwareReferenceUnderTightCapacity) {
+  // Force relaxations and the overflow path: few servers, heavy demands.
+  const auto traces = make_traces(GetParam() + 1000, 16, 200);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  const auto want = oracle::reference_correlation_aware(
+      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      config.initial_threshold, config.alpha);
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    EXPECT_EQ(*placement.server_of(vm), want.server_of[vm]) << "vm " << vm;
+  }
+  EXPECT_EQ(policy.last_relaxation_rounds(), want.relaxation_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSeeds,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 42ULL, 97ULL,
+                                           2026ULL));
+
+TEST(OracleEdgeCases, NeutralCostsForDegenerateGroups) {
+  const auto traces = make_traces(5, 4, 50);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> singleton{2};
+  EXPECT_DOUBLE_EQ(matrix.server_cost(singleton), 1.0);
+  EXPECT_DOUBLE_EQ(oracle::naive_server_cost(traces, singleton), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.cost(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(oracle::naive_pair_cost(traces, 1, 1), 1.0);
+}
+
+TEST(OracleEdgeCases, AllZeroTracesStayNeutral) {
+  trace::TraceSet traces;
+  for (int v = 0; v < 3; ++v) {
+    traces.add({"z" + std::to_string(v), 0,
+                trace::TimeSeries(1.0, std::vector<double>(20, 0.0))});
+  }
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const std::vector<std::size_t> group{0, 1, 2};
+  EXPECT_DOUBLE_EQ(matrix.server_cost(group), 1.0);
+  EXPECT_DOUBLE_EQ(oracle::naive_server_cost(traces, group), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.cost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(oracle::naive_pair_cost(traces, 0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace cava

@@ -74,6 +74,15 @@ Fault injection (deterministic; see sim/fault.h for the model):
                       pred-noise.  e.g. --faults crash=0.05,repair-min=30
   --fault-seed S      fault stream seed               [1]
 
+Observability (see DESIGN.md "Observability"):
+  --metrics-level L   off | periods | full          [off]
+                      off is guaranteed byte-identical to builds without the
+                      observability layer; periods records the per-period
+                      time series; full adds hot-path timers and counters
+  --metrics-out FILE  write telemetry of every run; a .csv suffix selects
+                      the flat per-period CSV, anything else the JSON export
+                      (per-period series plus, at level full, the registry)
+
 Output:
   --json-out FILE     write full results as JSON
   --help              this text
@@ -125,7 +134,8 @@ int main(int argc, char** argv) {
                          "groups", "hours", "seed", "policy", "vf", "sticky",
                          "servers", "period-min", "predictor",
                          "migration-joules", "threads", "strict-sweep",
-                         "faults", "fault-seed", "json-out", "help"});
+                         "faults", "fault-seed", "metrics-level",
+                         "metrics-out", "json-out", "help"});
     if (flags.get_bool("help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -199,10 +209,12 @@ int main(int argc, char** argv) {
     const auto error_policy = flags.get_bool("strict-sweep")
                                   ? sim::SweepErrorPolicy::kStrict
                                   : sim::SweepErrorPolicy::kCollect;
+    const obs::MetricsLevel metrics_level =
+        obs::parse_metrics_level(flags.get_string("metrics-level", "off"));
     sim::SweepRunner runner(threads, error_policy);
     for (const std::string& name : names) {
       runner.add({"", cfg, traces, make_policy_factory(name, flags.get_bool("sticky")),
-                  make_vf_factory(cfg, vf, name)});
+                  make_vf_factory(cfg, vf, name), metrics_level});
     }
     const auto records = runner.run_all();
 
@@ -230,6 +242,30 @@ int main(int argc, char** argv) {
         "(%.2fs serial-equivalent, %.2fx)\n",
         stats.jobs, stats.failed_jobs, stats.threads, stats.wall_seconds,
         stats.job_seconds_total, stats.speedup());
+
+    if (metrics_level != obs::MetricsLevel::kOff) {
+      std::printf("\n");
+      std::vector<std::shared_ptr<obs::RunTelemetry>> telemetry;
+      for (const auto& record : records) {
+        if (!record.ok() || record.telemetry == nullptr) continue;
+        telemetry.push_back(record.telemetry);
+        sim::print_telemetry_summary(*record.telemetry, std::cout);
+      }
+      if (flags.has("metrics-out")) {
+        const std::string path = flags.get_string("metrics-out", "");
+        std::ofstream out(path);
+        if (!out) throw std::runtime_error("cannot open --metrics-out file");
+        const bool csv =
+            path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+        if (csv) {
+          sim::telemetry_export_csv(telemetry, out);
+        } else {
+          out << sim::telemetry_export_json(telemetry).dump(2) << '\n';
+        }
+      }
+    } else if (flags.has("metrics-out")) {
+      throw std::invalid_argument("--metrics-out needs --metrics-level != off");
+    }
 
     if (flags.has("json-out")) {
       util::Json j = util::Json::object();
