@@ -1,6 +1,10 @@
 #include "alloc/correlation_aware.h"
 
+#include "obs/provenance.h"
+#include "obs/trace.h"
+
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cava::alloc {
@@ -25,13 +29,28 @@ Placement CorrelationAwarePlacement::place(
         "CorrelationAware::place: cost matrix missing or too small");
   }
 
+  obs::TraceSession* tr = context.trace;
+  obs::ProvenanceLedger* ledger = context.provenance;
+  obs::TraceSession::Id ev_update = 0, ev_sweep = 0, ev_relax = 0;
+  if (tr != nullptr) {
+    ev_update = tr->event("alloc.update_tail", "servers");
+    ev_sweep = tr->event("alloc.sweep", "round", "unallocated");
+    ev_relax = tr->event("alloc.relax", "round", "threshold");
+  }
+
   const std::size_t n = demands.size();
   // ---- UPDATE phase tail: sort, Eqn. 3 estimate. ----
+  const std::uint64_t update_start =
+      tr != nullptr ? obs::TraceSession::now_ns() : 0;
   std::vector<std::size_t> order = sort_descending(demands);
   std::size_t active =
       std::min(estimate_min_servers(demands, context.server),
                context.max_servers);
   if (active == 0 && n > 0) active = 1;
+  if (tr != nullptr) {
+    tr->complete(ev_update, update_start, obs::TraceSession::now_ns(), 1,
+                 static_cast<double>(active));
+  }
   last_estimate_ = active;
   last_relaxations_ = 0;
   last_evals_ = 0;
@@ -104,8 +123,11 @@ Placement CorrelationAwarePlacement::place(
     }
   };
 
+  std::size_t sweep_round = 0;
   while (!unalloc.empty()) {
     bool progress = false;
+    const std::uint64_t sweep_start =
+        tr != nullptr ? obs::TraceSession::now_ns() : 0;
 
     // Line 10 / 18: sweep servers in descending remaining capacity.
     std::vector<std::size_t> server_order(active);
@@ -123,8 +145,17 @@ Placement CorrelationAwarePlacement::place(
       for (;;) {
         if (unalloc.empty()) break;
         int chosen = -1;
+        bool seeded = false;
+        double chosen_cost = 1.0;
+        // Provenance-only bookkeeping: fitting candidates evaluated and the
+        // runner-up of the scan. Maintained only when a ledger is attached;
+        // the decision logic never reads these.
+        std::size_t fit_count = 0;
+        std::ptrdiff_t runner_vm = -1;
+        double runner_cost = 0.0;
         if (groups[server].empty()) {
           // Seed with the largest unallocated VM that fits.
+          seeded = true;
           for (std::size_t p = 0; p < unalloc.size(); ++p) {
             if (fits(unalloc[p], server)) {
               chosen = static_cast<int>(p);
@@ -140,17 +171,53 @@ Placement CorrelationAwarePlacement::place(
             ++last_evals_;
             const double c = tentative_cost(server, vm);
             if (c > best_cost) {
+              if (ledger != nullptr) {
+                ++fit_count;
+                if (chosen >= 0) {
+                  // The dethroned best is always the new runner-up: its cost
+                  // (the old best_cost) dominates every earlier reject.
+                  runner_vm = static_cast<std::ptrdiff_t>(
+                      demands[unalloc[static_cast<std::size_t>(chosen)]].vm);
+                  runner_cost = best_cost;
+                }
+              }
               best_cost = c;
               chosen = static_cast<int>(p);
+            } else if (ledger != nullptr) {
+              ++fit_count;
+              if (c > runner_cost) {
+                runner_vm = static_cast<std::ptrdiff_t>(vm);
+                runner_cost = c;
+              }
             }
           }
+          chosen_cost = best_cost;
         }
         if (chosen < 0) break;
+        if (ledger != nullptr) {
+          obs::AssignmentRecord rec;
+          rec.vm = demands[unalloc[static_cast<std::size_t>(chosen)]].vm;
+          rec.server = server;
+          rec.server_cost = seeded ? 1.0 : chosen_cost;
+          rec.threshold = threshold;
+          rec.relaxation_round = last_relaxations_;
+          rec.rejected_candidates = fit_count > 0 ? fit_count - 1 : 0;
+          rec.best_rejected_vm = runner_vm;
+          rec.best_rejected_cost = runner_cost;
+          rec.seeded = seeded;
+          ledger->record_assignment(rec);
+        }
         assign(static_cast<std::size_t>(chosen), server);
         progress = true;
       }
     }
 
+    if (tr != nullptr) {
+      tr->complete(ev_sweep, sweep_start, obs::TraceSession::now_ns(), 2,
+                   static_cast<double>(sweep_round),
+                   static_cast<double>(unalloc.size()));
+    }
+    ++sweep_round;
     if (unalloc.empty()) break;
     if (!progress) {
       // Did correlation or capacity block the sweep? If some stranded VM
@@ -175,6 +242,16 @@ Placement CorrelationAwarePlacement::place(
             for (std::size_t s = 1; s < context.max_servers; ++s) {
               if (remaining[s] > remaining[best]) best = s;
             }
+            if (ledger != nullptr) {
+              obs::AssignmentRecord rec;
+              rec.vm = demands[unalloc[0]].vm;
+              rec.server = best;
+              rec.server_cost = tentative_cost(best, demands[unalloc[0]].vm);
+              rec.threshold = threshold;
+              rec.relaxation_round = last_relaxations_;
+              rec.overflow = true;
+              ledger->record_assignment(rec);
+            }
             assign(0, best);
           }
           break;
@@ -182,6 +259,10 @@ Placement CorrelationAwarePlacement::place(
       } else {
         threshold *= config_.alpha;
         ++last_relaxations_;
+        if (tr != nullptr) {
+          tr->instant(ev_relax, static_cast<double>(last_relaxations_),
+                      threshold);
+        }
       }
     }
   }

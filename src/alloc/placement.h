@@ -14,6 +14,11 @@
 #include <string>
 #include <vector>
 
+namespace cava::obs {
+class TraceSession;
+class ProvenanceLedger;
+}  // namespace cava::obs
+
 namespace cava::alloc {
 
 /// Result of one placement round: which VMs live on which server.
@@ -64,6 +69,14 @@ struct PlacementContext {
   /// horizon as cost_matrix, for Pearson/covariance-based policies
   /// (EffectiveSizingPlacement). Null for policies that do not need it.
   const corr::MomentMatrix* moments = nullptr;
+
+  /// Optional structured-event trace sink (spans around sort / estimate /
+  /// sweep rounds). Observation-only: a null pointer means no clock reads.
+  obs::TraceSession* trace = nullptr;
+
+  /// Optional decision-provenance ledger; when set, correlation-aware
+  /// policies record why each VM-to-server assignment was accepted.
+  obs::ProvenanceLedger* provenance = nullptr;
 };
 
 /// A VM placement policy. Demands are the predicted reference utilizations

@@ -10,6 +10,7 @@
 #define CAVA_X86_PAIR_KERNELS 1
 #endif
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace cava::corr {
@@ -209,6 +210,14 @@ void CostMatrix::set_thread_pool(util::ThreadPool* pool,
   shard_min_vms_ = min_vms;
 }
 
+void CostMatrix::set_trace(obs::TraceSession* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    ev_add_block_ = trace_->event("corr.add_block", "samples", "vms");
+    ev_ingest_rows_ = trace_->event("corr.ingest_rows", "row_begin", "row_end");
+  }
+}
+
 void CostMatrix::add_sample(std::span<const double> u) {
   if (u.size() != n_) {
     throw std::invalid_argument("CostMatrix::add_sample: size mismatch");
@@ -241,6 +250,11 @@ void CostMatrix::add_sample(std::span<const double> u) {
 void CostMatrix::ingest_rows(const double* u, std::size_t num_samples,
                              std::size_t stride, std::size_t row_begin,
                              std::size_t row_end) {
+  // Emitted from pool workers on the sharded path: the span lands in the
+  // worker's own shard of the session, so no extra synchronization is added.
+  obs::TraceSpan ingest_span(trace_, ev_ingest_rows_,
+                             static_cast<double>(row_begin),
+                             static_cast<double>(row_end));
   double* peaks = pair_peaks_.data();
   // Per-VM reference peaks for the owned rows (row n-1 carries no pairs but
   // still owns its reference slot).
@@ -318,6 +332,8 @@ void CostMatrix::add_block(std::span<const double> u, std::size_t num_samples,
   if (u.size() < (n_ - 1) * stride + num_samples) {
     throw std::invalid_argument("CostMatrix::add_block: buffer too small");
   }
+  const std::uint64_t block_start =
+      trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
   const bool shard = pool_ != nullptr && pool_->size() > 1 &&
                      n_ >= shard_min_vms_ && n_ > 1;
   if (!shard) {
@@ -347,6 +363,11 @@ void CostMatrix::add_block(std::span<const double> u, std::size_t num_samples,
       row = end;
     }
     for (auto& f : pending) f.get();
+  }
+  if (trace_ != nullptr) {
+    trace_->complete(ev_add_block_, block_start, obs::TraceSession::now_ns(),
+                     2, static_cast<double>(num_samples),
+                     static_cast<double>(n_));
   }
   samples_ += num_samples;
 }

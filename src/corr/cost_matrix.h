@@ -32,12 +32,17 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 namespace cava::util {
 class ThreadPool;
 }  // namespace cava::util
+
+namespace cava::obs {
+class TraceSession;
+}  // namespace cava::obs
 
 namespace cava::corr {
 
@@ -72,6 +77,11 @@ class CostMatrix {
   /// The pool must outlive the matrix or be detached before destruction.
   void set_thread_pool(util::ThreadPool* pool,
                        std::size_t min_vms = kDefaultShardMinVms);
+
+  /// Attach a trace session (non-owning, nullptr to detach): add_block tiles
+  /// and each ingest_rows shard emit spans. Purely observational — ingest
+  /// results are unchanged, and a null session costs one branch per call.
+  void set_trace(obs::TraceSession* trace);
 
   /// Start a fresh measurement period, discarding accumulated statistics.
   void reset();
@@ -154,6 +164,10 @@ class CostMatrix {
   /// Optional sharding pool (non-owning) and its activation threshold.
   util::ThreadPool* pool_ = nullptr;
   std::size_t shard_min_vms_ = kDefaultShardMinVms;
+  /// Optional trace sink (non-owning) and the interned event ids.
+  obs::TraceSession* trace_ = nullptr;
+  std::uint32_t ev_add_block_ = 0;
+  std::uint32_t ev_ingest_rows_ = 0;
 };
 
 }  // namespace cava::corr

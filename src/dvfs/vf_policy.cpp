@@ -5,25 +5,33 @@
 
 namespace cava::dvfs {
 
+double VfPolicy::decide(const ServerView& view,
+                        const model::ServerSpec& server) const {
+  return server.quantize_up(raw_target(view, server));
+}
+
+double MaxFrequency::raw_target(const ServerView&,
+                                const model::ServerSpec& server) const {
+  return server.fmax();
+}
+
 double MaxFrequency::decide(const ServerView&,
                             const model::ServerSpec& server) const {
   return server.fmax();
 }
 
-double WorstCaseVf::decide(const ServerView& view,
-                           const model::ServerSpec& server) const {
-  const double target =
-      server.fmax() * view.total_reference / server.max_capacity();
-  return server.quantize_up(target);
+double WorstCaseVf::raw_target(const ServerView& view,
+                               const model::ServerSpec& server) const {
+  return server.fmax() * view.total_reference / server.max_capacity();
 }
 
-double CorrelationAwareVf::decide(const ServerView& view,
-                                  const model::ServerSpec& server) const {
+double CorrelationAwareVf::raw_target(const ServerView& view,
+                                      const model::ServerSpec& server) const {
   const double cost = std::max(view.correlation_cost, 1.0);
   const double worst_case =
       server.fmax() * view.total_reference / server.max_capacity();
   // Eqn. 4: scale the coincident-peak requirement by 1/Cost_server.
-  return server.quantize_up(worst_case / cost);
+  return worst_case / cost;
 }
 
 DynamicVfController::DynamicVfController(const model::ServerSpec& server,

@@ -30,15 +30,24 @@ class VfPolicy {
  public:
   virtual ~VfPolicy() = default;
 
-  /// Chosen ladder frequency for a server hosting `view`.
+  /// The rule's frequency target *before* ladder quantization/clamping —
+  /// the Eqn.-4 "ideal" value the provenance ledger records next to the
+  /// quantized decision.
+  virtual double raw_target(const ServerView& view,
+                            const model::ServerSpec& server) const = 0;
+
+  /// Chosen ladder frequency for a server hosting `view`. Defaults to
+  /// quantizing raw_target() up onto the server's ladder.
   virtual double decide(const ServerView& view,
-                        const model::ServerSpec& server) const = 0;
+                        const model::ServerSpec& server) const;
   virtual std::string name() const = 0;
 };
 
 /// Always fmax — the no-DVFS baseline.
 class MaxFrequency final : public VfPolicy {
  public:
+  double raw_target(const ServerView& view,
+                    const model::ServerSpec& server) const override;
   double decide(const ServerView& view,
                 const model::ServerSpec& server) const override;
   std::string name() const override { return "fmax"; }
@@ -50,8 +59,8 @@ class MaxFrequency final : public VfPolicy {
 /// static experiment (no correlation information to exploit).
 class WorstCaseVf final : public VfPolicy {
  public:
-  double decide(const ServerView& view,
-                const model::ServerSpec& server) const override;
+  double raw_target(const ServerView& view,
+                    const model::ServerSpec& server) const override;
   std::string name() const override { return "worst-case"; }
 };
 
@@ -60,8 +69,8 @@ class WorstCaseVf final : public VfPolicy {
 /// co-location (Fig. 3's linear lower bound).
 class CorrelationAwareVf final : public VfPolicy {
  public:
-  double decide(const ServerView& view,
-                const model::ServerSpec& server) const override;
+  double raw_target(const ServerView& view,
+                    const model::ServerSpec& server) const override;
   std::string name() const override { return "eqn4"; }
 };
 

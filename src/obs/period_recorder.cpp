@@ -157,6 +157,20 @@ util::Json RunTelemetry::to_json() const {
   if (level == MetricsLevel::kFull) {
     j["registry"] = registry.snapshot().to_json();
   }
+  if (trace != nullptr) {
+    const TraceSession::Stats s = trace->stats();
+    util::Json t = util::Json::object();
+    t["events"] = s.events;
+    t["dropped"] = s.dropped;
+    t["threads"] = s.threads;
+    j["trace"] = std::move(t);
+  }
+  if (provenance != nullptr) {
+    util::Json pjson = util::Json::object();
+    pjson["assignments"] = provenance->assignments().size();
+    pjson["dvfs_decisions"] = provenance->dvfs_decisions().size();
+    j["provenance"] = std::move(pjson);
+  }
   return j;
 }
 

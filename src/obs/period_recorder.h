@@ -14,9 +14,12 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
 #include "util/json.h"
 
 #include <cstddef>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -99,9 +102,17 @@ struct RunTelemetry {
   MetricsLevel level = MetricsLevel::kOff;
   PeriodRecorder recorder;
   MetricsRegistry registry;
+  /// Structured-event trace of the run; allocated only when the caller asked
+  /// for a trace (--trace-out), so existing telemetry JSON is unchanged
+  /// otherwise.
+  std::unique_ptr<TraceSession> trace;
+  /// Decision provenance; allocated at kFull or when --provenance-out /
+  /// --explain asked for it.
+  std::unique_ptr<ProvenanceLedger> provenance;
 
   /// {"policy", "level", "periods": [...], "registry": {...}} — registry
-  /// only at kFull.
+  /// only at kFull; "trace"/"provenance" summary blocks only when those
+  /// captures were attached.
   util::Json to_json() const;
 };
 

@@ -1,0 +1,110 @@
+#include "obs/provenance.h"
+
+#include "util/json.h"
+
+#include <sstream>
+
+namespace cava::obs {
+
+void ProvenanceLedger::record_assignment(AssignmentRecord r) {
+  r.period = period_;
+  assignments_.push_back(r);
+}
+
+void ProvenanceLedger::record_dvfs(DvfsRecord r) {
+  r.period = period_;
+  dvfs_.push_back(r);
+}
+
+void ProvenanceLedger::clear() {
+  period_ = 0;
+  assignments_.clear();
+  dvfs_.clear();
+}
+
+std::vector<AssignmentRecord> ProvenanceLedger::assignments_for(
+    std::size_t vm, std::optional<std::size_t> period) const {
+  std::vector<AssignmentRecord> out;
+  for (const AssignmentRecord& r : assignments_) {
+    if (r.vm != vm) continue;
+    if (period.has_value() && r.period != *period) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<DvfsRecord> ProvenanceLedger::dvfs_for(
+    std::size_t server, std::optional<std::size_t> period) const {
+  std::vector<DvfsRecord> out;
+  for (const DvfsRecord& r : dvfs_) {
+    if (r.server != server) continue;
+    if (period.has_value() && r.period != *period) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void ProvenanceLedger::write_jsonl(std::ostream& out,
+                                   const std::string& policy) const {
+  for (const AssignmentRecord& r : assignments_) {
+    util::Json j = util::Json::object();
+    j["type"] = "assignment";
+    if (!policy.empty()) j["policy"] = policy;
+    j["period"] = r.period;
+    j["vm"] = r.vm;
+    j["server"] = r.server;
+    j["server_cost"] = r.server_cost;
+    j["threshold"] = r.threshold;
+    j["relaxation_round"] = r.relaxation_round;
+    j["rejected_candidates"] = r.rejected_candidates;
+    j["best_rejected_vm"] = static_cast<double>(r.best_rejected_vm);
+    j["best_rejected_cost"] = r.best_rejected_cost;
+    j["seeded"] = r.seeded;
+    j["overflow"] = r.overflow;
+    out << j.dump() << '\n';
+  }
+  for (const DvfsRecord& r : dvfs_) {
+    util::Json j = util::Json::object();
+    j["type"] = "dvfs";
+    if (!policy.empty()) j["policy"] = policy;
+    j["period"] = r.period;
+    j["server"] = r.server;
+    j["cost_server"] = r.cost_server;
+    j["total_reference"] = r.total_reference;
+    j["pre_clamp_f"] = r.pre_clamp_f;
+    j["chosen_f"] = r.chosen_f;
+    j["num_vms"] = r.num_vms;
+    out << j.dump() << '\n';
+  }
+}
+
+std::string ProvenanceLedger::describe(const AssignmentRecord& r) {
+  std::ostringstream ss;
+  ss << "period " << r.period << ": VM " << r.vm << " -> server " << r.server;
+  if (r.seeded) {
+    ss << " (seeded empty server)";
+  } else if (r.overflow) {
+    ss << " (overflow dump onto least-loaded server)";
+  } else {
+    ss << " (Eqn.2 cost " << r.server_cost << " > TH_cost " << r.threshold
+       << ")";
+  }
+  ss << ", relaxation round " << r.relaxation_round << ", "
+     << r.rejected_candidates << " candidates rejected";
+  if (r.best_rejected_vm >= 0) {
+    ss << " (best: VM " << r.best_rejected_vm << " at cost "
+       << r.best_rejected_cost << ")";
+  }
+  return ss.str();
+}
+
+std::string ProvenanceLedger::describe(const DvfsRecord& r) {
+  std::ostringstream ss;
+  ss << "period " << r.period << ": server " << r.server << " ("
+     << r.num_vms << " VMs, sum u^=" << r.total_reference
+     << ", Cost_server=" << r.cost_server << "): Eqn.4 target "
+     << r.pre_clamp_f << " GHz -> ladder " << r.chosen_f << " GHz";
+  return ss.str();
+}
+
+}  // namespace cava::obs

@@ -1,0 +1,116 @@
+// Decision-provenance ledger: *why* each VM landed where it did.
+//
+// The correlation-aware ALLOCATE phase (Fig. 2) makes three kinds of
+// assignment — seeding an empty server with the largest fitting VM, picking
+// the fitting candidate whose tentative Eqn.-2 cost beats TH_cost, and the
+// overflow dump when every server is capacity-bound — and the trace layer's
+// spans only say *when* they happened. The ledger records, per assignment:
+// the accepting server, the Eqn.-2 server cost at acceptance, the TH_cost in
+// force, which relaxation round the sweep was in, how many fitting
+// candidates were evaluated and rejected, and the best rejected alternative.
+// The static v/f pass additionally records each server's Eqn.-4 inputs
+// (Cost_server, aggregate reference, the pre-quantization frequency target)
+// next to the chosen ladder frequency.
+//
+// The ledger is observation-only and single-writer: one simulation run owns
+// one ledger and appends from its own thread (placement and the static v/f
+// pass are serial within a run), so no locking is needed; concurrent sweep
+// jobs each carry their own ledger inside their RunTelemetry. Recording
+// never feeds anything back into the simulation — a run with a ledger
+// attached is numerically identical to one without (the policy computes the
+// extra second-best bookkeeping only when a ledger is present, and only
+// from values it already derived).
+//
+// Queries back the cava_datacenter --explain flag; write_jsonl() is the
+// --provenance-out / --metrics-level full dump (one JSON object per line,
+// assignments first, then DVFS decisions).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cava::obs {
+
+/// One VM-to-server assignment made by the ALLOCATE phase.
+struct AssignmentRecord {
+  std::size_t period = 0;
+  std::size_t vm = 0;
+  std::size_t server = 0;
+  /// Tentative Eqn.-2 cost of the server group with this VM added, at the
+  /// moment of acceptance. Seeds are 1.0 by convention (no pair exists yet).
+  double server_cost = 1.0;
+  /// TH_cost in force when the assignment was accepted.
+  double threshold = 0.0;
+  /// Relaxation round (TH_cost *= alpha applications so far) of the sweep.
+  std::size_t relaxation_round = 0;
+  /// Fitting candidates evaluated by the winning scan and not chosen.
+  std::size_t rejected_candidates = 0;
+  /// Best rejected alternative (VM id), -1 when the scan had no runner-up.
+  std::ptrdiff_t best_rejected_vm = -1;
+  /// Tentative Eqn.-2 cost of that runner-up (0 when none).
+  double best_rejected_cost = 0.0;
+  /// True for the empty-server seeding branch.
+  bool seeded = false;
+  /// True for the overflow dump (every server capacity-bound at max fleet).
+  bool overflow = false;
+};
+
+/// One per-server static v/f decision with its Eqn.-4 inputs.
+struct DvfsRecord {
+  std::size_t period = 0;
+  std::size_t server = 0;
+  double cost_server = 1.0;      ///< Eqn.-2 cost of the co-location group
+  double total_reference = 0.0;  ///< aggregate u^ on the server
+  /// The rule's frequency target before ladder quantization/clamping
+  /// (Eqn. 4: worst_case / Cost_server for the proposed policy).
+  double pre_clamp_f = 0.0;
+  double chosen_f = 0.0;  ///< quantized ladder frequency actually set
+  std::size_t num_vms = 0;
+};
+
+class ProvenanceLedger {
+ public:
+  /// Stamp the period subsequent records belong to (the simulator calls this
+  /// once per placement period, before ALLOCATE).
+  void begin_period(std::size_t period) { period_ = period; }
+  std::size_t current_period() const { return period_; }
+
+  /// Append a record; `period` is stamped from begin_period.
+  void record_assignment(AssignmentRecord r);
+  void record_dvfs(DvfsRecord r);
+
+  void clear();
+
+  const std::vector<AssignmentRecord>& assignments() const {
+    return assignments_;
+  }
+  const std::vector<DvfsRecord>& dvfs_decisions() const { return dvfs_; }
+
+  // ---- Queries (the --explain path). ----
+  /// Assignments of one VM, optionally restricted to a period.
+  std::vector<AssignmentRecord> assignments_for(
+      std::size_t vm, std::optional<std::size_t> period = std::nullopt) const;
+  /// Static v/f decisions of one server, optionally restricted to a period.
+  std::vector<DvfsRecord> dvfs_for(
+      std::size_t server,
+      std::optional<std::size_t> period = std::nullopt) const;
+
+  /// One JSON object per line: {"type":"assignment",...} records first, then
+  /// {"type":"dvfs",...}. `policy` tags every line when non-empty, so
+  /// several runs can be concatenated into one file.
+  void write_jsonl(std::ostream& out, const std::string& policy = "") const;
+
+  /// Human-readable one-liners for console --explain output.
+  static std::string describe(const AssignmentRecord& r);
+  static std::string describe(const DvfsRecord& r);
+
+ private:
+  std::size_t period_ = 0;
+  std::vector<AssignmentRecord> assignments_;
+  std::vector<DvfsRecord> dvfs_;
+};
+
+}  // namespace cava::obs

@@ -1,0 +1,301 @@
+#include "obs/trace.h"
+
+#include "util/json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <sstream>
+
+namespace cava::obs {
+
+namespace {
+
+/// Per-thread pointer to the shard it owns inside one session, keyed by the
+/// session serial (serials are never reused, so an entry left behind by a
+/// destroyed session misses forever). Separate from the MetricsRegistry
+/// cache: a thread commonly records into both at once.
+struct TlsTraceShardCache {
+  std::uint64_t serial = 0;
+  void* shard = nullptr;
+};
+thread_local TlsTraceShardCache tls_trace_shard_cache;
+
+std::atomic<std::uint64_t> next_session_serial{1};
+
+/// Microseconds with sub-ns kept: Chrome's "ts"/"dur" unit.
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// Compact float formatting for the exporter (15 significant digits keeps
+/// microsecond timestamps exact for any realistic run length).
+std::string fmt(double v) {
+  std::ostringstream ss;
+  ss.precision(15);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+/// One thread's private slice of the session: a pre-reserved flat event
+/// buffer plus a drop counter. The shard mutex is uncontended in steady
+/// state — only its owning thread and snapshot() ever take it.
+struct TraceSession::Shard {
+  std::size_t tid = 0;
+  std::thread::id owner;
+  std::mutex mu;
+  std::vector<TraceEvent> events;  ///< reserved to capacity_ at creation
+  std::uint64_t dropped = 0;
+};
+
+TraceSession::TraceSession(std::size_t events_per_thread)
+    : serial_(next_session_serial.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(events_per_thread == 0 ? 1 : events_per_thread) {}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession::Id TraceSession::event(std::string_view name,
+                                     std::string_view arg0_name,
+                                     std::string_view arg1_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].name == name) return static_cast<Id>(i);
+  }
+  events_.push_back({std::string(name), std::string(arg0_name),
+                     std::string(arg1_name)});
+  return static_cast<Id>(events_.size() - 1);
+}
+
+TraceSession::Shard& TraceSession::local_shard() {
+  TlsTraceShardCache& cache = tls_trace_shard_cache;
+  if (cache.serial == serial_) return *static_cast<Shard*>(cache.shard);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id me = std::this_thread::get_id();
+  for (const auto& shard : shards_) {
+    if (shard->owner == me) {
+      cache = {serial_, shard.get()};
+      return *shard;
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  Shard& shard = *shards_.back();
+  shard.tid = shards_.size() - 1;
+  shard.owner = me;
+  shard.events.reserve(capacity_);
+  cache = {serial_, &shard};
+  return shard;
+}
+
+void TraceSession::push(Shard& shard, const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.events.size() < capacity_) {
+    shard.events.push_back(e);
+  } else {
+    ++shard.dropped;
+  }
+}
+
+void TraceSession::instant(Id id) {
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name_id = id;
+  e.kind = TraceEvent::Kind::kInstant;
+  push(local_shard(), e);
+}
+
+void TraceSession::instant(Id id, double a0) {
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name_id = id;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.num_args = 1;
+  e.arg0 = a0;
+  push(local_shard(), e);
+}
+
+void TraceSession::instant(Id id, double a0, double a1) {
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name_id = id;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.num_args = 2;
+  e.arg0 = a0;
+  e.arg1 = a1;
+  push(local_shard(), e);
+}
+
+void TraceSession::complete(Id id, std::uint64_t start_ns,
+                            std::uint64_t end_ns, std::uint8_t num_args,
+                            double a0, double a1) {
+  TraceEvent e;
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.name_id = id;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.num_args = num_args;
+  e.arg0 = a0;
+  e.arg1 = a1;
+  push(local_shard(), e);
+}
+
+std::vector<TraceSession::ThreadLog> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ThreadLog> logs;
+  logs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    ThreadLog log;
+    log.tid = shard->tid;
+    log.events = shard->events;
+    log.dropped = shard->dropped;
+    logs.push_back(std::move(log));
+  }
+  return logs;
+}
+
+TraceSession::Stats TraceSession::stats() const {
+  Stats s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.threads = shards_.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    s.events += shard->events.size();
+    s.dropped += shard->dropped;
+  }
+  return s;
+}
+
+std::string TraceSession::event_name(Id id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= events_.size()) return "?";
+  return events_[id].name;
+}
+
+std::uint64_t TraceSession::first_event_ns() const {
+  std::uint64_t first = std::numeric_limits<std::uint64_t>::max();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (const TraceEvent& e : shard->events) {
+      first = std::min(first, e.ts_ns);
+    }
+  }
+  return first == std::numeric_limits<std::uint64_t>::max() ? 0 : first;
+}
+
+void TraceSession::write_events_json(std::ostream& out,
+                                     std::string_view process_name, int pid,
+                                     std::uint64_t epoch_ns,
+                                     bool& first) const {
+  const auto emit = [&](const std::string& body) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  " << body;
+  };
+
+  // Metadata: process name, one thread name per shard.
+  emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+       ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+       util::Json::escape(std::string(process_name)) + "\"}}");
+
+  // Copy names + logs under the session lock, then format lock-free.
+  std::vector<EventInfo> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = events_;
+  }
+  std::vector<ThreadLog> logs = snapshot();
+  for (ThreadLog& log : logs) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+         std::to_string(log.tid) + ",\"name\":\"thread_name\",\"args\":{" +
+         "\"name\":\"shard-" + std::to_string(log.tid) + "\"}}");
+    // Spans are appended at *end* time; re-sort by start so nested "X"
+    // events render correctly in viewers that expect begin order.
+    std::stable_sort(log.events.begin(), log.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+    for (const TraceEvent& e : log.events) {
+      const EventInfo* info = e.name_id < names.size() ? &names[e.name_id]
+                                                       : nullptr;
+      std::string body = "{\"name\":\"";
+      body += info != nullptr ? util::Json::escape(info->name) : "?";
+      body += "\",\"cat\":\"cava\",\"ph\":\"";
+      body += e.kind == TraceEvent::Kind::kSpan ? "X" : "i";
+      body += "\",\"ts\":" + fmt(to_us(e.ts_ns - epoch_ns));
+      if (e.kind == TraceEvent::Kind::kSpan) {
+        body += ",\"dur\":" + fmt(to_us(e.dur_ns));
+      } else {
+        body += ",\"s\":\"t\"";  // instant scope: thread
+      }
+      body += ",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(log.tid);
+      if (e.num_args > 0) {
+        const std::string a0 =
+            info != nullptr && !info->arg0.empty() ? info->arg0 : "a0";
+        const std::string a1 =
+            info != nullptr && !info->arg1.empty() ? info->arg1 : "a1";
+        body += ",\"args\":{\"" + util::Json::escape(a0) +
+                "\":" + fmt(e.arg0);
+        if (e.num_args > 1) {
+          body += ",\"" + util::Json::escape(a1) + "\":" + fmt(e.arg1);
+        }
+        body += "}";
+      }
+      body += "}";
+      emit(body);
+    }
+  }
+}
+
+void TraceSession::write_chrome_json(std::ostream& out,
+                                     std::string_view process_name, int pid,
+                                     std::uint64_t epoch_ns) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_events_json(out, process_name, pid, epoch_ns, first);
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(std::span<const ChromeTraceProcess> processes,
+                        std::ostream& out) {
+  // Re-base the merged timeline to the earliest event of any session.
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const ChromeTraceProcess& p : processes) {
+    if (p.session == nullptr) continue;
+    const std::uint64_t first = p.session->first_event_ns();
+    if (first > 0) epoch = std::min(epoch, first);
+  }
+  if (epoch == std::numeric_limits<std::uint64_t>::max()) epoch = 0;
+
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 0;
+  for (const ChromeTraceProcess& p : processes) {
+    if (p.session != nullptr) {
+      p.session->write_events_json(out, p.name, pid, epoch, first);
+    }
+    ++pid;
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+ThreadPoolTracer::ThreadPoolTracer(TraceSession* session,
+                                   std::size_t max_workers,
+                                   std::string_view event_name)
+    : session_(session), starts_(max_workers, 0) {
+  if (session_ != nullptr) id_ = session_->event(event_name, "worker");
+}
+
+void ThreadPoolTracer::on_task_begin(std::size_t worker) {
+  if (session_ == nullptr || worker >= starts_.size()) return;
+  starts_[worker] = TraceSession::now_ns();
+}
+
+void ThreadPoolTracer::on_task_end(std::size_t worker) {
+  if (session_ == nullptr || worker >= starts_.size()) return;
+  session_->complete(id_, starts_[worker], TraceSession::now_ns(), 1,
+                     static_cast<double>(worker));
+}
+
+}  // namespace cava::obs

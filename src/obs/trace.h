@@ -1,0 +1,229 @@
+// Low-overhead structured event tracing for the placement loop.
+//
+// A TraceSession collects begin/end spans and instant events into
+// thread-sharded, fixed-capacity binary buffers. The design mirrors
+// MetricsRegistry (metrics.h): each emitting thread owns a private shard
+// guarded by its own mutex, found through a serial-keyed thread_local cache,
+// so steady-state emission never contends with other threads. Every shard's
+// event buffer is reserved up front — the hot path is a bounds check plus a
+// 40-byte struct append, never an allocation — and once a buffer is full
+// further events are counted as drops instead of growing it (a trace that
+// silently resizes under load perturbs the very timings it measures).
+//
+// Event *names* are interned on the setup path (TraceSession::event, which
+// takes the session mutex) into integer ids; hot paths carry only ids, in
+// the same spirit as MetricsRegistry registration. Up to two numeric
+// arguments ride along with each event and surface in the exported JSON
+// under the argument names given at registration.
+//
+// The zero-cost-when-off discipline matches ScopedTimer: a TraceSpan built
+// against a null session never reads the clock — construction and
+// destruction are one branch test each — so call sites can be instrumented
+// unconditionally and a run without --trace-out stays byte-identical to an
+// un-instrumented build.
+//
+// Export is Chrome trace_event JSON ("X" complete events + "i" instants),
+// loadable in chrome://tracing and Perfetto. Several sessions (one per
+// sweep job, plus the sweep engine's own) merge into a single timeline as
+// separate processes; shards appear as threads.
+#pragma once
+
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace cava::obs {
+
+/// One recorded event. Fixed-size POD so shard buffers are flat arrays.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+
+  std::uint64_t ts_ns = 0;   ///< span start / instant timestamp (steady clock)
+  std::uint64_t dur_ns = 0;  ///< span duration; 0 for instants
+  std::uint32_t name_id = 0;
+  Kind kind = Kind::kSpan;
+  std::uint8_t num_args = 0;
+  double arg0 = 0.0;
+  double arg1 = 0.0;
+};
+
+class TraceSession {
+ public:
+  using Id = std::uint32_t;
+
+  /// Default per-thread event capacity: 64Ki events x 40 B = 2.5 MiB per
+  /// emitting thread, enough for hundreds of simulated periods with every
+  /// span category enabled.
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceSession(std::size_t events_per_thread = kDefaultCapacity);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // ---- Registration (setup path; takes the session mutex). ----
+  /// Intern an event name; repeated registration of the same name returns
+  /// the same id (arg names of the first registration win).
+  Id event(std::string_view name, std::string_view arg0_name = {},
+           std::string_view arg1_name = {});
+
+  // ---- Emission (hot path; touches only the caller's shard). ----
+  void instant(Id id);
+  void instant(Id id, double a0);
+  void instant(Id id, double a0, double a1);
+  /// Record a completed span. Normally called by ~TraceSpan, but exposed for
+  /// callers that already hold both timestamps (e.g. a task observer).
+  void complete(Id id, std::uint64_t start_ns, std::uint64_t end_ns,
+                std::uint8_t num_args = 0, double a0 = 0.0, double a1 = 0.0);
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+
+  // ---- Inspection / export (cold path). ----
+  /// One emitting thread's events, in emission order, plus its drop count.
+  struct ThreadLog {
+    std::size_t tid = 0;  ///< stable shard index (creation order)
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<ThreadLog> snapshot() const;
+
+  struct Stats {
+    std::size_t events = 0;
+    std::uint64_t dropped = 0;
+    std::size_t threads = 0;
+  };
+  Stats stats() const;
+
+  /// Name / argument names of an interned event id.
+  std::string event_name(Id id) const;
+
+  /// Chrome trace_event JSON for this session alone, as process `pid` named
+  /// `process_name`. Timestamps are exported in microseconds relative to
+  /// `epoch_ns` (pass 0 for absolute steady-clock values).
+  void write_chrome_json(std::ostream& out,
+                         std::string_view process_name = "cava",
+                         int pid = 0, std::uint64_t epoch_ns = 0) const;
+
+  /// Earliest event timestamp in the session (steady ns), or 0 when empty.
+  /// Merged exports subtract the minimum across sessions so the timeline
+  /// starts at t=0.
+  std::uint64_t first_event_ns() const;
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  friend void write_chrome_trace(
+      std::span<const struct ChromeTraceProcess> processes, std::ostream& out);
+
+  struct EventInfo {
+    std::string name;
+    std::string arg0;
+    std::string arg1;
+  };
+  struct Shard;
+
+  Shard& local_shard();
+  void push(Shard& shard, const TraceEvent& e);
+  /// Body of write_chrome_json without the surrounding document, so the
+  /// multi-process merger can interleave several sessions.
+  void write_events_json(std::ostream& out, std::string_view process_name,
+                         int pid, std::uint64_t epoch_ns, bool& first) const;
+
+  const std::uint64_t serial_;  ///< process-unique; keys the TLS shard cache
+  const std::size_t capacity_;
+  mutable std::mutex mu_;  ///< guards events_ and shards_ (not shard content)
+  std::vector<EventInfo> events_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII span: reads the clock at construction and destruction and records a
+/// complete ("X") event. A default-constructed or null-session span is
+/// disabled and never touches the clock.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(TraceSession* session, TraceSession::Id id)
+      : session_(session), id_(id) {
+    if (session_ != nullptr) start_ = TraceSession::now_ns();
+  }
+  TraceSpan(TraceSession* session, TraceSession::Id id, double a0)
+      : TraceSpan(session, id) {
+    num_args_ = 1;
+    arg0_ = a0;
+  }
+  TraceSpan(TraceSession* session, TraceSession::Id id, double a0, double a1)
+      : TraceSpan(session, id) {
+    num_args_ = 2;
+    arg0_ = a0;
+    arg1_ = a1;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { end(); }
+
+  /// Close the span early (idempotent).
+  void end() {
+    if (session_ == nullptr) return;
+    TraceSession* s = session_;
+    session_ = nullptr;
+    s->complete(id_, start_, TraceSession::now_ns(), num_args_, arg0_, arg1_);
+  }
+
+ private:
+  TraceSession* session_ = nullptr;
+  TraceSession::Id id_ = 0;
+  std::uint64_t start_ = 0;
+  std::uint8_t num_args_ = 0;
+  double arg0_ = 0.0;
+  double arg1_ = 0.0;
+};
+
+/// One session's slice of a merged Chrome trace document.
+struct ChromeTraceProcess {
+  const TraceSession* session = nullptr;
+  std::string name;  ///< process label shown in the trace viewer
+};
+
+/// Merge several sessions into one Chrome trace_event document: process i
+/// is processes[i] (pid = i), timestamps are re-based to the earliest event
+/// across all sessions. Null sessions are skipped.
+void write_chrome_trace(std::span<const ChromeTraceProcess> processes,
+                        std::ostream& out);
+
+/// Task observer emitting one span per ThreadPool task. Workers only write
+/// their own start slot, so the observer needs no locking of its own; the
+/// spans land in the session's per-thread shards. Attach with
+/// ThreadPool::set_task_observer before submitting work.
+class ThreadPoolTracer final : public util::ThreadPool::TaskObserver {
+ public:
+  /// `max_workers` must be >= the pool's size. A null session disables the
+  /// tracer (no clock reads).
+  ThreadPoolTracer(TraceSession* session, std::size_t max_workers,
+                   std::string_view event_name = "pool.task");
+
+  void on_task_begin(std::size_t worker) override;
+  void on_task_end(std::size_t worker) override;
+
+ private:
+  TraceSession* session_;
+  TraceSession::Id id_ = 0;
+  std::vector<std::uint64_t> starts_;
+};
+
+}  // namespace cava::obs

@@ -69,6 +69,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   // per-period state) output byte-identical to an un-instrumented build.
   obs::PeriodRecorder* recorder = options.recorder;
   obs::MetricsRegistry* metrics = options.metrics;
+  obs::TraceSession* tr = options.trace;
+  obs::ProvenanceLedger* ledger = options.provenance;
   const bool observing = recorder != nullptr || metrics != nullptr;
   struct ObsIds {
     obs::MetricsRegistry::Id placement_ns = 0;
@@ -99,6 +101,20 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   if (recorder != nullptr) {
     recorder->begin_run(policy.name(), config_.max_servers,
                         config_.period_seconds);
+  }
+  struct TraceIds {
+    obs::TraceSession::Id update = 0;
+    obs::TraceSession::Id place = 0;
+    obs::TraceSession::Id dvfs = 0;
+    obs::TraceSession::Id replay = 0;
+    obs::TraceSession::Id ingest = 0;
+  } tev;
+  if (tr != nullptr) {
+    tev.update = tr->event("sim.update", "period");
+    tev.place = tr->event("sim.place", "period", "active_servers");
+    tev.dvfs = tr->event("sim.dvfs_decide", "period", "decisions");
+    tev.replay = tr->event("sim.replay", "period");
+    tev.ingest = tr->event("sim.ingest_flush", "samples");
   }
   // Placement-internal diagnostics (TH_cost relaxation, Eqn-2 scan counts)
   // exist only on the correlation-aware policy.
@@ -142,6 +158,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   // and the static v/f decision of the current one.
   corr::CostMatrix prev_matrix(n, config_.reference);
   corr::CostMatrix curr_matrix(n, config_.reference);
+  if (tr != nullptr) {
+    prev_matrix.set_trace(tr);
+    curr_matrix.set_trace(tr);
+  }
   corr::MomentMatrix prev_moments(n);
   corr::MomentMatrix curr_moments(n);
 
@@ -169,6 +189,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     }
 
     // ---- UPDATE: reference predictions. ----
+    const std::uint64_t update_start =
+        tr != nullptr ? obs::TraceSession::now_ns() : 0;
     std::vector<model::VmDemand> demands(n);
     if (p == 0) {
       // Oracle bootstrap: no history exists yet.
@@ -209,6 +231,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       prev_moments.add_block(period_block, samples_per_period,
                              samples_per_period);
     }
+    if (tr != nullptr) {
+      tr->complete(tev.update, update_start, obs::TraceSession::now_ns(), 1,
+                   static_cast<double>(p));
+    }
 
     // ---- ALLOCATE. ----
     alloc::PlacementContext ctx;
@@ -217,9 +243,19 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     ctx.cost_matrix = &prev_matrix;
     ctx.moments = &prev_moments;
     ctx.history = &history;
+    ctx.trace = tr;
+    ctx.provenance = ledger;
+    if (ledger != nullptr) ledger->begin_period(p);
+    const std::uint64_t place_start =
+        tr != nullptr ? obs::TraceSession::now_ns() : 0;
     obs::ScopedTimer place_timer(metrics, ids.placement_ns, observing);
     const alloc::Placement placement = policy.place(demands, ctx);
     const double place_ns = place_timer.stop();
+    if (tr != nullptr) {
+      tr->complete(tev.place, place_start, obs::TraceSession::now_ns(), 2,
+                   static_cast<double>(p),
+                   static_cast<double>(placement.active_servers()));
+    }
 #if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
     // Structural invariants only: capacity overflow is legitimate policy
     // output on infeasible instances (the replay records the violations).
@@ -259,6 +295,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     const bool static_decide = config_.vf_mode == VfMode::kStatic ||
                                config_.vf_mode == VfMode::kOracleStatic;
     std::size_t dvfs_decisions = 0;
+    const std::uint64_t dvfs_start =
+        tr != nullptr && static_decide ? obs::TraceSession::now_ns() : 0;
     obs::ScopedTimer dvfs_timer(metrics, ids.dvfs_decide_ns,
                                 metrics != nullptr && static_decide);
     for (std::size_t s = 0; s < config_.max_servers; ++s) {
@@ -270,6 +308,16 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         view.correlation_cost = prev_matrix.server_cost(vms);
         view.num_vms = vms.size();
         static_f[s] = static_vf->decide(view, config_.server);
+        if (ledger != nullptr) {
+          obs::DvfsRecord dr;
+          dr.server = s;
+          dr.cost_server = view.correlation_cost;
+          dr.total_reference = view.total_reference;
+          dr.pre_clamp_f = static_vf->raw_target(view, config_.server);
+          dr.chosen_f = static_f[s];
+          dr.num_vms = vms.size();
+          ledger->record_dvfs(dr);
+        }
       } else if (config_.vf_mode == VfMode::kOracleStatic) {
         // Perfect foresight: the lowest ladder level whose capacity covers
         // this period's actual aggregated peak on this server.
@@ -297,6 +345,11 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       }
     }
     dvfs_timer.stop();
+    if (tr != nullptr && static_decide) {
+      tr->complete(tev.dvfs, dvfs_start, obs::TraceSession::now_ns(), 2,
+                   static_cast<double>(p),
+                   static_cast<double>(dvfs_decisions));
+    }
 
     // ---- Live placement state for the replay: starts as a copy of the
     // policy's decision and mutates when the failover path moves VMs off a
@@ -397,6 +450,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       if (!feed || upto <= feed_cursor) return;
       obs::ScopedTimer ingest_timer(metrics, ids.corr_ingest_ns);
       const std::size_t count = upto - feed_cursor;
+      obs::TraceSpan ingest_span(tr, tev.ingest, static_cast<double>(count));
       const std::span<const double> window(
           period_block.data() + feed_cursor,
           (n - 1) * samples_per_period + count);
@@ -408,6 +462,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     double active_time = 0.0;
     std::vector<std::size_t> server_violations(config_.max_servers, 0);
 
+    const std::uint64_t replay_start =
+        tr != nullptr ? obs::TraceSession::now_ns() : 0;
     for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
       // Crash/repair events scheduled for this absolute sample.
       const std::size_t global = first + s_idx;
@@ -487,6 +543,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     }
 
     flush_feed(samples_per_period);
+    if (tr != nullptr) {
+      tr->complete(tev.replay, replay_start, obs::TraceSession::now_ns(), 1,
+                   static_cast<double>(p));
+    }
 
     // ---- Period wrap-up. ----
     for (std::size_t s = 0; s < config_.max_servers; ++s) {

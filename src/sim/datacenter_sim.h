@@ -29,6 +29,8 @@
 #include "model/server.h"
 #include "obs/metrics.h"
 #include "obs/period_recorder.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
 #include "sim/fault.h"
 #include "trace/predictor.h"
 #include "trace/reference.h"
@@ -154,6 +156,13 @@ struct RunOptions {
   /// arithmetic — they observe finished per-period state only.
   obs::PeriodRecorder* recorder = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Structured-event trace sink (--trace-out): spans around UPDATE /
+  /// ALLOCATE / v/f decide / REPLAY and the correlation-ingest flushes.
+  /// Null = no tracing, no clock reads.
+  obs::TraceSession* trace = nullptr;
+  /// Decision-provenance ledger (--explain / --provenance-out): per-VM
+  /// assignment rationale and per-server Eqn.-4 inputs. Null = no recording.
+  obs::ProvenanceLedger* provenance = nullptr;
 };
 
 class DatacenterSimulator {

@@ -111,8 +111,10 @@ void print_telemetry_summary(const obs::RunTelemetry& telemetry,
     for (const auto& [name, h] : snap.histograms) {
       if (h.count == 0) continue;
       out << "  " << name << ": n=" << h.count << " mean="
-          << util::TextTable::format(h.mean() / 1e3, 1) << "us p95="
-          << util::TextTable::format(h.quantile(0.95) / 1e3, 1) << "us max="
+          << util::TextTable::format(h.mean() / 1e3, 1) << "us p50="
+          << util::TextTable::format(h.quantile(0.50) / 1e3, 1) << "us p95="
+          << util::TextTable::format(h.quantile(0.95) / 1e3, 1) << "us p99="
+          << util::TextTable::format(h.quantile(0.99) / 1e3, 1) << "us max="
           << util::TextTable::format(h.max / 1e3, 1) << "us\n";
     }
   }

@@ -31,8 +31,9 @@ void print_comparison(const std::vector<SimResult>& results,
                       std::ostream& out);
 
 /// Run-summary section of one instrumented run: period count, placement
-/// latency (mean/p95 at level full), TH_cost relaxation totals, DVFS
-/// ladder-edge decisions. A few console lines per run.
+/// latency (mean/p50/p95/p99 at level full, estimated from the registry's
+/// log2-bucket histograms), TH_cost relaxation totals, DVFS ladder-edge
+/// decisions. A few console lines per run.
 void print_telemetry_summary(const obs::RunTelemetry& telemetry,
                              std::ostream& out);
 

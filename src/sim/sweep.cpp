@@ -53,12 +53,25 @@ SweepRecord execute_checked(const SweepJob& job) {
 
   SweepRecord record;
   RunOptions run_options{*policy, static_vf.get()};
-  if (job.metrics_level != obs::MetricsLevel::kOff) {
+  const bool want_provenance =
+      job.capture_provenance || job.metrics_level == obs::MetricsLevel::kFull;
+  if (job.metrics_level != obs::MetricsLevel::kOff || job.capture_trace ||
+      want_provenance) {
     record.telemetry = std::make_shared<obs::RunTelemetry>();
     record.telemetry->level = job.metrics_level;
-    run_options.recorder = &record.telemetry->recorder;
+    if (job.metrics_level != obs::MetricsLevel::kOff) {
+      run_options.recorder = &record.telemetry->recorder;
+    }
     if (job.metrics_level == obs::MetricsLevel::kFull) {
       run_options.metrics = &record.telemetry->registry;
+    }
+    if (job.capture_trace) {
+      record.telemetry->trace = std::make_unique<obs::TraceSession>();
+      run_options.trace = record.telemetry->trace.get();
+    }
+    if (want_provenance) {
+      record.telemetry->provenance = std::make_unique<obs::ProvenanceLedger>();
+      run_options.provenance = record.telemetry->provenance.get();
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
@@ -108,15 +121,28 @@ std::vector<SweepRecord> SweepRunner::run_all() {
   jobs_.clear();
 
   const auto t0 = std::chrono::steady_clock::now();
+  obs::TraceSession::Id job_event = 0;
+  if (trace_ != nullptr) {
+    job_event = trace_->event("sweep.job", "job");
+  }
   std::vector<std::future<SweepRecord>> futures;
   futures.reserve(jobs.size());
   {
+    // Declared before the pool: the pool's destructor drains queued tasks,
+    // which still invoke the observer.
+    obs::ThreadPoolTracer pool_tracer(trace_, num_threads_);
     util::ThreadPool pool(num_threads_);
+    if (trace_ != nullptr) pool.set_task_observer(&pool_tracer);
+    std::size_t job_index = 0;
     for (SweepJob& job : jobs) {
       futures.push_back(pool.submit(
-          [job = std::move(job), policy = error_policy_] {
+          [job = std::move(job), policy = error_policy_, tr = trace_,
+           job_event, job_index] {
+            obs::TraceSpan span(tr, job_event,
+                                static_cast<double>(job_index));
             return execute(job, policy);
           }));
+      ++job_index;
     }
     // Collect in submission order; the pool drains before destruction, so
     // every future is ready (or holds its job's exception) by then anyway.

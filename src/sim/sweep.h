@@ -40,6 +40,13 @@ struct SweepJob {
   /// attaches a PeriodRecorder; kFull additionally attaches a
   /// MetricsRegistry fed by the hot-path timers.
   obs::MetricsLevel metrics_level = obs::MetricsLevel::kOff;
+  /// Attach a per-job TraceSession (--trace-out): the run's UPDATE /
+  /// ALLOCATE / v/f / REPLAY spans land in telemetry->trace. Orthogonal to
+  /// metrics_level so a trace can be captured even at kOff.
+  bool capture_trace = false;
+  /// Attach a per-job ProvenanceLedger (--explain / --provenance-out).
+  /// Implied by metrics_level == kFull.
+  bool capture_provenance = false;
 };
 
 /// A job's simulation result plus per-job scheduling diagnostics. When a job
@@ -93,6 +100,13 @@ class SweepRunner {
   /// Queue one job; returns *this so grids can be built fluently.
   SweepRunner& add(SweepJob job);
 
+  /// Attach a trace session for the sweep engine itself (non-owning, nullptr
+  /// to detach): run_all emits one "sweep.job" span per job plus a
+  /// "pool.task" span per worker task, so a merged Chrome trace shows the
+  /// scheduling timeline next to each job's own process. The session must
+  /// outlive run_all.
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
+
   /// Run every queued job across the pool and clear the queue. Records are
   /// returned in the order the jobs were added. A job that throws yields an
   /// error record (kCollect) or rethrows after its predecessors were
@@ -111,6 +125,7 @@ class SweepRunner {
   SweepErrorPolicy error_policy_;
   std::vector<SweepJob> jobs_;
   SweepStats stats_;
+  obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace cava::sim

@@ -63,17 +63,55 @@ bool parse_double(std::string_view field, double& out) {
 
 std::vector<std::string> split_csv_line(std::string_view line) {
   std::vector<std::string> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t comma = line.find(',', start);
-    if (comma == std::string_view::npos) {
-      fields.emplace_back(line.substr(start));
-      break;
+  std::string field;
+  bool in_quotes = false;
+  bool field_start = true;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');  // "" inside a quoted field = literal quote
+          ++i;
+        } else {
+          in_quotes = false;  // closing quote
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
     }
-    fields.emplace_back(line.substr(start, comma - start));
-    start = comma + 1;
+    if (ch == '"' && field_start) {
+      // A quote is an opening quote only at field start; mid-field quotes
+      // stay literal so legacy unquoted data round-trips unchanged.
+      in_quotes = true;
+      field_start = false;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      field_start = true;
+    } else {
+      field.push_back(ch);
+      field_start = false;
+    }
   }
+  fields.push_back(std::move(field));
   return fields;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
 }
 
 CsvTable parse_csv(std::string_view text) {
@@ -115,7 +153,7 @@ void CsvWriter::write_header(const std::vector<std::string>& names) {
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i) out_ << ',';
-    out_ << fields[i];
+    out_ << csv_escape(fields[i]);
   }
   out_ << '\n';
 }

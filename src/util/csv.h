@@ -1,6 +1,9 @@
 // Minimal CSV reading/writing for utilization traces and benchmark output.
-// Handles the simple numeric CSVs this project produces; fields never contain
-// embedded commas or quotes, so no quoting support is needed.
+// Numeric fields are written verbatim; text fields containing commas, quotes
+// or CR/LF (e.g. policy labels) are RFC-4180 quoted on write (embedded
+// quotes doubled) and unquoted on read. Limitation: the parser splits on
+// physical lines before unquoting, so a quoted field cannot span lines;
+// none of this project's exporters emit embedded newlines.
 #pragma once
 
 #include <ostream>
@@ -35,8 +38,15 @@ struct CsvTable {
 /// values are acceptable). Returns false on failure.
 bool parse_double(std::string_view field, double& out);
 
-/// Split one CSV line into fields (no quoting).
+/// Split one CSV line into fields. A field starting with '"' is RFC-4180
+/// quoted: commas inside it do not split, and "" unescapes to one quote.
+/// Quotes appearing mid-field are kept literally (legacy behavior).
 std::vector<std::string> split_csv_line(std::string_view line);
+
+/// RFC-4180 escape of one field: returned unchanged unless it contains a
+/// comma, quote or CR/LF, in which case it is wrapped in quotes with
+/// embedded quotes doubled.
+std::string csv_escape(std::string_view field);
 
 /// Parse CSV text (first line = header). Skips blank lines.
 CsvTable parse_csv(std::string_view text);

@@ -8,8 +8,13 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+void ThreadPool::set_task_observer(TaskObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = observer;
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,17 +26,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     std::function<void()> task;
+    TaskObserver* observer = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and nothing left to drain
       task = std::move(tasks_.front());
       tasks_.pop();
+      observer = observer_;
     }
+    if (observer != nullptr) observer->on_task_begin(worker);
     task();
+    if (observer != nullptr) observer->on_task_end(worker);
   }
 }
 

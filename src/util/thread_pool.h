@@ -23,6 +23,19 @@ namespace cava::util {
 
 class ThreadPool {
  public:
+  /// Observation hook around task execution, for instrumentation layers
+  /// that cannot be linked from here (obs::ThreadPoolTracer implements it).
+  /// `worker` is the stable worker index in [0, size()). Callbacks run on
+  /// the worker thread, outside the pool's queue lock; distinct workers may
+  /// invoke them concurrently, so implementations must be thread-safe
+  /// across worker indices (per-index state needs no locking).
+  class TaskObserver {
+   public:
+    virtual ~TaskObserver() = default;
+    virtual void on_task_begin(std::size_t worker) = 0;
+    virtual void on_task_end(std::size_t worker) = 0;
+  };
+
   /// Spawns `num_threads` workers (>= 1 required).
   explicit ThreadPool(std::size_t num_threads);
   /// Drains the queue, then joins all workers.
@@ -32,6 +45,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Attach (or detach with nullptr) a task observer. The observer must
+  /// outlive the pool or be detached first; attach before submitting work
+  /// for complete coverage (tasks already running are not retrofitted).
+  void set_task_observer(TaskObserver* observer);
 
   /// Enqueue a nullary callable; returns the future of its result.
   template <typename F>
@@ -56,13 +74,14 @@ class ThreadPool {
   static std::size_t default_concurrency();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  TaskObserver* observer_ = nullptr;  ///< guarded by mu_
 };
 
 }  // namespace cava::util

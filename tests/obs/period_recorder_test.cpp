@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/csv.h"
+
 namespace cava::obs {
 namespace {
 
@@ -93,6 +95,34 @@ TEST(PeriodRecorder, CsvHeaderMatchesRowWidth) {
   // Frequency summary over non-idle servers: mean of {2.0, 2.3, 2.0}, min 2.0.
   EXPECT_NE(out.str().find("2.100000"), std::string::npos);
   EXPECT_NE(out.str().find("2.000000"), std::string::npos);
+}
+
+TEST(PeriodRecorder, CsvRoundTripsHostilePolicyNames) {
+  // Policy labels are free-form text (sweep jobs may carry user-supplied
+  // labels); commas and quotes must survive an export/parse round trip
+  // without shifting the numeric columns.
+  PeriodRecorder rec;
+  rec.begin_run("He said \"hi\", twice", 5, 3600.0);
+  rec.record(make_row(0));
+  rec.record(make_row(1));
+  std::ostringstream out;
+  rec.write_csv(out);
+
+  const auto table = util::parse_csv(out.str());
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.header.size(), PeriodRecorder::csv_header().size());
+  const std::size_t policy_col = table.column_index("policy");
+  for (const auto& row : table.rows) {
+    ASSERT_EQ(row.size(), table.header.size());
+    EXPECT_EQ(row[policy_col], "He said \"hi\", twice");
+  }
+  // Numeric columns still line up after the quoted label.
+  const auto periods = table.numeric_column("period");
+  EXPECT_DOUBLE_EQ(periods[0], 0.0);
+  EXPECT_DOUBLE_EQ(periods[1], 1.0);
+  const auto energy = table.numeric_column("energy_joules");
+  EXPECT_DOUBLE_EQ(energy[0], 1000.0);
+  EXPECT_DOUBLE_EQ(energy[1], 1001.0);
 }
 
 TEST(PeriodRecorder, CsvHeaderCanBeSuppressedForConcatenation) {

@@ -1,0 +1,192 @@
+// ProvenanceLedger unit tests: period stamping, queries behind --explain,
+// the JSONL dump format, and the end-to-end contract that a simulator run
+// with a ledger attached records one assignment per VM per period and the
+// Eqn.-4 inputs of every static v/f decision — without changing results.
+#include "obs/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "alloc/correlation_aware.h"
+#include "dvfs/vf_policy.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+
+namespace cava::obs {
+namespace {
+
+TEST(ProvenanceLedger, StampsCurrentPeriodOntoRecords) {
+  ProvenanceLedger ledger;
+  AssignmentRecord a;
+  a.vm = 3;
+  a.server = 1;
+  ledger.record_assignment(a);  // before any begin_period: period 0
+  ledger.begin_period(5);
+  a.vm = 4;
+  ledger.record_assignment(a);
+  DvfsRecord d;
+  d.server = 1;
+  ledger.record_dvfs(d);
+
+  ASSERT_EQ(ledger.assignments().size(), 2u);
+  EXPECT_EQ(ledger.assignments()[0].period, 0u);
+  EXPECT_EQ(ledger.assignments()[1].period, 5u);
+  ASSERT_EQ(ledger.dvfs_decisions().size(), 1u);
+  EXPECT_EQ(ledger.dvfs_decisions()[0].period, 5u);
+}
+
+TEST(ProvenanceLedger, QueriesFilterByVmServerAndPeriod) {
+  ProvenanceLedger ledger;
+  for (std::size_t p = 0; p < 3; ++p) {
+    ledger.begin_period(p);
+    for (std::size_t vm = 0; vm < 4; ++vm) {
+      AssignmentRecord a;
+      a.vm = vm;
+      a.server = vm % 2;
+      ledger.record_assignment(a);
+    }
+    DvfsRecord d;
+    d.server = 0;
+    ledger.record_dvfs(d);
+  }
+
+  EXPECT_EQ(ledger.assignments_for(2).size(), 3u);  // one per period
+  EXPECT_EQ(ledger.assignments_for(2, 1).size(), 1u);
+  EXPECT_EQ(ledger.assignments_for(2, 1)[0].period, 1u);
+  EXPECT_TRUE(ledger.assignments_for(9).empty());
+  EXPECT_EQ(ledger.dvfs_for(0).size(), 3u);
+  EXPECT_EQ(ledger.dvfs_for(0, 2).size(), 1u);
+  EXPECT_TRUE(ledger.dvfs_for(7).empty());
+
+  ledger.clear();
+  EXPECT_TRUE(ledger.assignments().empty());
+  EXPECT_TRUE(ledger.dvfs_decisions().empty());
+  EXPECT_EQ(ledger.current_period(), 0u);
+}
+
+TEST(ProvenanceLedger, JsonlDumpTagsTypeAndPolicy) {
+  ProvenanceLedger ledger;
+  ledger.begin_period(2);
+  AssignmentRecord a;
+  a.vm = 1;
+  a.server = 0;
+  a.server_cost = 1.25;
+  a.threshold = 1.2;
+  a.rejected_candidates = 3;
+  a.best_rejected_vm = 7;
+  a.best_rejected_cost = 1.22;
+  ledger.record_assignment(a);
+  DvfsRecord d;
+  d.server = 0;
+  d.chosen_f = 2.0;
+  ledger.record_dvfs(d);
+
+  std::ostringstream out;
+  ledger.write_jsonl(out, "proposed");
+  std::istringstream lines(out.str());
+  std::string line1, line2, extra;
+  ASSERT_TRUE(std::getline(lines, line1));
+  ASSERT_TRUE(std::getline(lines, line2));
+  EXPECT_FALSE(std::getline(lines, extra));  // exactly two lines
+
+  EXPECT_NE(line1.find("\"type\":\"assignment\""), std::string::npos);
+  EXPECT_NE(line1.find("\"policy\":\"proposed\""), std::string::npos);
+  EXPECT_NE(line1.find("\"period\":2"), std::string::npos);
+  EXPECT_NE(line1.find("\"best_rejected_vm\":7"), std::string::npos);
+  EXPECT_NE(line2.find("\"type\":\"dvfs\""), std::string::npos);
+  EXPECT_NE(line2.find("\"chosen_f\":2"), std::string::npos);
+}
+
+TEST(ProvenanceLedger, DescribeMentionsDecisionBranch) {
+  AssignmentRecord seed;
+  seed.vm = 2;
+  seed.seeded = true;
+  EXPECT_NE(ProvenanceLedger::describe(seed).find("seeded"),
+            std::string::npos);
+
+  AssignmentRecord scan;
+  scan.vm = 3;
+  scan.server_cost = 1.4;
+  scan.best_rejected_vm = 9;
+  const std::string s = ProvenanceLedger::describe(scan);
+  EXPECT_NE(s.find("Eqn.2"), std::string::npos);
+  EXPECT_NE(s.find("VM 9"), std::string::npos);
+
+  AssignmentRecord overflow;
+  overflow.overflow = true;
+  EXPECT_NE(ProvenanceLedger::describe(overflow).find("overflow"),
+            std::string::npos);
+
+  DvfsRecord d;
+  d.server = 1;
+  d.chosen_f = 2.33;
+  EXPECT_NE(ProvenanceLedger::describe(d).find("Eqn.4"), std::string::npos);
+}
+
+TEST(ProvenanceLedger, SimulatorRecordsEveryAssignmentAndDvfsDecision) {
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = 8;
+  tcfg.num_groups = 4;
+  tcfg.day_seconds = 7200.0;
+  tcfg.coarse_dt = 300.0;
+  tcfg.fine_dt = 10.0;
+  tcfg.seed = 11;
+  const auto traces = trace::generate_datacenter_traces(tcfg);
+
+  sim::SimConfig cfg;
+  cfg.max_servers = 8;
+  const sim::DatacenterSimulator simulator(cfg);
+  alloc::CorrelationAwarePlacement policy{alloc::CorrelationAwareConfig{}};
+  dvfs::CorrelationAwareVf vf;
+
+  alloc::CorrelationAwarePlacement bare_policy{
+      alloc::CorrelationAwareConfig{}};
+  const auto bare = simulator.run(traces, {bare_policy, &vf});
+
+  ProvenanceLedger ledger;
+  sim::RunOptions opts{policy, &vf};
+  opts.provenance = &ledger;
+  const auto result = simulator.run(traces, opts);
+
+  // Observation-only: attaching the ledger changes nothing.
+  EXPECT_DOUBLE_EQ(result.total_energy_joules, bare.total_energy_joules);
+  EXPECT_DOUBLE_EQ(result.max_violation_ratio, bare.max_violation_ratio);
+
+  // One assignment per VM per period; the period stamps cover every period.
+  const std::size_t periods = result.periods.size();
+  const auto num_vms = static_cast<std::size_t>(tcfg.num_vms);
+  EXPECT_EQ(ledger.assignments().size(), num_vms * periods);
+  for (std::size_t p = 0; p < periods; ++p) {
+    std::size_t in_period = 0;
+    for (const auto& r : ledger.assignments()) in_period += (r.period == p);
+    EXPECT_EQ(in_period, num_vms) << "period " << p;
+    for (std::size_t vm = 0; vm < num_vms; ++vm) {
+      EXPECT_EQ(ledger.assignments_for(vm, p).size(), 1u)
+          << "vm " << vm << " period " << p;
+    }
+  }
+
+  // Static v/f pass: one DvfsRecord per active server per period, with
+  // consistent Eqn.-4 inputs (ladder frequency positive, pre-clamp target
+  // positive, group sizes summing to the fleet).
+  EXPECT_FALSE(ledger.dvfs_decisions().empty());
+  for (std::size_t p = 0; p < periods; ++p) {
+    std::size_t vms_covered = 0;
+    std::size_t servers = 0;
+    for (const auto& d : ledger.dvfs_decisions()) {
+      if (d.period != p) continue;
+      ++servers;
+      vms_covered += d.num_vms;
+      EXPECT_GT(d.chosen_f, 0.0);
+      EXPECT_GT(d.pre_clamp_f, 0.0);
+      EXPECT_GE(d.cost_server, 1.0);
+    }
+    EXPECT_EQ(servers, result.periods[p].active_servers) << "period " << p;
+    EXPECT_EQ(vms_covered, num_vms) << "period " << p;
+  }
+}
+
+}  // namespace
+}  // namespace cava::obs

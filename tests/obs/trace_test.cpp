@@ -1,0 +1,214 @@
+// TraceSession unit tests: name interning, deterministic span structure
+// from a single thread, fixed-capacity overflow accounting, null-session
+// zero-cost discipline, and the shape of the Chrome trace_event JSON
+// export (single-session and multi-process merged).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "corr/cost_matrix.h"
+#include "model/server.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+
+namespace cava::obs {
+namespace {
+
+TEST(TraceSession, InternsNamesOnce) {
+  TraceSession session;
+  const auto a = session.event("alloc.sweep", "round", "unallocated");
+  const auto b = session.event("alloc.sweep");  // repeat: same id
+  const auto c = session.event("alloc.relax", "round", "threshold");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(session.event_name(a), "alloc.sweep");
+  EXPECT_EQ(session.event_name(c), "alloc.relax");
+}
+
+TEST(TraceSession, RecordsSpansAndInstantsInEmissionOrder) {
+  TraceSession session;
+  const auto span_id = session.event("work", "step");
+  const auto inst_id = session.event("mark", "value", "extra");
+
+  {
+    TraceSpan outer(&session, span_id, 1.0);
+    session.instant(inst_id, 42.0, 7.0);
+    TraceSpan inner(&session, span_id, 2.0);
+  }
+  session.instant(inst_id);
+
+  const auto logs = session.snapshot();
+  ASSERT_EQ(logs.size(), 1u);  // single emitting thread = single shard
+  const auto& events = logs[0].events;
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(logs[0].dropped, 0u);
+
+  // Emission order: the instant fires first, then inner closes before
+  // outer (RAII), then the final bare instant.
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kInstant);
+  EXPECT_EQ(events[0].num_args, 2);
+  EXPECT_DOUBLE_EQ(events[0].arg0, 42.0);
+  EXPECT_DOUBLE_EQ(events[0].arg1, 7.0);
+
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kSpan);
+  EXPECT_DOUBLE_EQ(events[1].arg0, 2.0);  // inner
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kSpan);
+  EXPECT_DOUBLE_EQ(events[2].arg0, 1.0);  // outer
+  EXPECT_EQ(events[3].kind, TraceEvent::Kind::kInstant);
+  EXPECT_EQ(events[3].num_args, 0);
+
+  // The inner span nests inside the outer one.
+  EXPECT_GE(events[1].ts_ns, events[2].ts_ns);
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns,
+            events[2].ts_ns + events[2].dur_ns);
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.name_id == span_id || e.name_id == inst_id);
+  }
+}
+
+TEST(TraceSession, CountsDropsPastCapacityInsteadOfGrowing) {
+  TraceSession session(/*events_per_thread=*/4);
+  const auto id = session.event("tick", "i");
+  for (int i = 0; i < 10; ++i) {
+    session.instant(id, static_cast<double>(i));
+  }
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.events, 4u);
+  EXPECT_EQ(stats.dropped, 6u);
+  EXPECT_EQ(stats.threads, 1u);
+  // The first `capacity` events survive, in order.
+  const auto logs = session.snapshot();
+  ASSERT_EQ(logs[0].events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(logs[0].events[static_cast<std::size_t>(i)].arg0,
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TraceSession, NullSessionSpansAreInert) {
+  // Unconditional instrumentation with no session attached must be safe
+  // (and, per the header contract, clock-free).
+  TraceSpan disabled(nullptr, 3, 1.0, 2.0);
+  disabled.end();
+  disabled.end();  // idempotent
+  TraceSpan defaulted;
+  (void)defaulted;
+}
+
+TEST(TraceSession, EndIsIdempotent) {
+  TraceSession session;
+  const auto id = session.event("once");
+  {
+    TraceSpan span(&session, id);
+    span.end();
+    span.end();  // second end and the destructor must not re-record
+  }
+  EXPECT_EQ(session.stats().events, 1u);
+}
+
+TEST(TraceSession, ChromeJsonHasDocumentStructure) {
+  TraceSession session;
+  const auto span_id = session.event("phase", "round");
+  const auto inst_id = session.event("note");
+  {
+    TraceSpan span(&session, span_id, 3.0);
+    session.instant(inst_id);
+  }
+  std::ostringstream out;
+  session.write_chrome_json(out, "unit", /*pid=*/2, session.first_event_ns());
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"round\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(TraceSession, MergedExportAssignsOnePidPerSession) {
+  TraceSession a;
+  TraceSession b;
+  const auto ia = a.event("a.work");
+  const auto ib = b.event("b.work");
+  a.instant(ia);
+  b.instant(ib);
+
+  std::vector<ChromeTraceProcess> procs;
+  procs.push_back({&a, "first"});
+  procs.push_back({nullptr, "skipped"});  // null sessions are skipped
+  procs.push_back({&b, "second"});
+  std::ostringstream out;
+  write_chrome_trace(procs, out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"second\""), std::string::npos);
+  EXPECT_EQ(json.find("\"skipped\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"a.work\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.work\""), std::string::npos);
+}
+
+/// The simulator emits a deterministic span skeleton: one sim.update,
+/// sim.place and sim.replay span per period, and placement spans nested
+/// under them — and attaching the tracer must not perturb the simulation.
+TEST(TraceSession, SimulatorEmitsPerPeriodSpansWithoutPerturbingResults) {
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = 8;
+  tcfg.num_groups = 4;
+  tcfg.day_seconds = 7200.0;
+  tcfg.coarse_dt = 300.0;
+  tcfg.fine_dt = 10.0;
+  tcfg.seed = 3;
+  const auto traces = trace::generate_datacenter_traces(tcfg);
+
+  sim::SimConfig cfg;
+  cfg.max_servers = 8;
+  const sim::DatacenterSimulator simulator(cfg);
+  alloc::CorrelationAwarePlacement policy{alloc::CorrelationAwareConfig{}};
+  dvfs::CorrelationAwareVf vf;
+
+  const auto bare = simulator.run(traces, {policy, &vf});
+
+  TraceSession session;
+  alloc::CorrelationAwarePlacement traced_policy{
+      alloc::CorrelationAwareConfig{}};
+  sim::RunOptions opts{traced_policy, &vf};
+  opts.trace = &session;
+  const auto traced = simulator.run(traces, opts);
+
+  EXPECT_DOUBLE_EQ(traced.total_energy_joules, bare.total_energy_joules);
+  EXPECT_DOUBLE_EQ(traced.max_violation_ratio, bare.max_violation_ratio);
+  EXPECT_EQ(traced.periods.size(), bare.periods.size());
+
+  // Count per-category spans: exactly one update/place/replay per period.
+  const auto logs = session.snapshot();
+  std::size_t updates = 0, places = 0, replays = 0, sweeps = 0;
+  for (const auto& log : logs) {
+    for (const auto& e : log.events) {
+      const std::string name = session.event_name(e.name_id);
+      if (name == "sim.update") ++updates;
+      if (name == "sim.place") ++places;
+      if (name == "sim.replay") ++replays;
+      if (name == "alloc.sweep") ++sweeps;
+    }
+  }
+  EXPECT_EQ(updates, bare.periods.size());
+  EXPECT_EQ(places, bare.periods.size());
+  EXPECT_EQ(replays, bare.periods.size());
+  EXPECT_GE(sweeps, bare.periods.size());  // >= one ALLOCATE sweep per period
+  EXPECT_EQ(session.stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace cava::obs

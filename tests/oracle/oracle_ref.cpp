@@ -168,7 +168,13 @@ ReferenceCaResult reference_correlation_aware(
       for (;;) {
         if (unalloc.empty()) break;
         int chosen = -1;
+        bool seeded = false;
+        double chosen_cost = 1.0;
+        std::size_t fit_count = 0;
+        std::ptrdiff_t runner_vm = -1;
+        double runner_cost = 0.0;
         if (groups[server].empty()) {
+          seeded = true;
           for (std::size_t p = 0; p < unalloc.size(); ++p) {
             if (fits(unalloc[p], server)) {
               chosen = static_cast<int>(p);
@@ -179,17 +185,41 @@ ReferenceCaResult reference_correlation_aware(
           double best_cost = threshold;
           for (std::size_t p = 0; p < unalloc.size(); ++p) {
             if (!fits(unalloc[p], server)) continue;
+            ++fit_count;
             // From-scratch tentative Eqn. 2 over the materialized group.
             std::vector<std::size_t> extended = groups[server];
             extended.push_back(demands[unalloc[p]].vm);
             const double c = eqn2_from_scratch(matrix, extended);
             if (c > best_cost) {
+              if (chosen >= 0) {
+                // Same convention as the production ledger: the dethroned
+                // best is the runner-up (its cost dominates earlier rejects).
+                runner_vm = static_cast<std::ptrdiff_t>(
+                    demands[unalloc[static_cast<std::size_t>(chosen)]].vm);
+                runner_cost = best_cost;
+              }
               best_cost = c;
               chosen = static_cast<int>(p);
+            } else if (c > runner_cost) {
+              runner_vm =
+                  static_cast<std::ptrdiff_t>(demands[unalloc[p]].vm);
+              runner_cost = c;
             }
           }
+          chosen_cost = best_cost;
         }
         if (chosen < 0) break;
+        obs::AssignmentRecord rec;
+        rec.vm = demands[unalloc[static_cast<std::size_t>(chosen)]].vm;
+        rec.server = server;
+        rec.server_cost = seeded ? 1.0 : chosen_cost;
+        rec.threshold = threshold;
+        rec.relaxation_round = result.relaxation_rounds;
+        rec.rejected_candidates = fit_count > 0 ? fit_count - 1 : 0;
+        rec.best_rejected_vm = runner_vm;
+        rec.best_rejected_cost = runner_cost;
+        rec.seeded = seeded;
+        result.provenance.push_back(rec);
         assign(static_cast<std::size_t>(chosen), server);
         progress = true;
       }
@@ -215,6 +245,18 @@ ReferenceCaResult reference_correlation_aware(
             for (std::size_t s = 1; s < max_servers; ++s) {
               if (remaining[s] > remaining[best]) best = s;
             }
+            obs::AssignmentRecord rec;
+            rec.vm = demands[unalloc[0]].vm;
+            rec.server = best;
+            {
+              std::vector<std::size_t> extended = groups[best];
+              extended.push_back(demands[unalloc[0]].vm);
+              rec.server_cost = eqn2_from_scratch(matrix, extended);
+            }
+            rec.threshold = threshold;
+            rec.relaxation_round = result.relaxation_rounds;
+            rec.overflow = true;
+            result.provenance.push_back(rec);
             assign(0, best);
           }
           break;

@@ -11,6 +11,7 @@
 #include "alloc/placement.h"
 #include "corr/cost_matrix.h"
 #include "model/vm.h"
+#include "obs/provenance.h"
 #include "trace/time_series.h"
 
 #include <cstddef>
@@ -53,6 +54,12 @@ struct ReferenceCaResult {
   std::size_t estimated_servers = 0;   ///< Eqn. 3 estimate (clamped, >= 1)
   std::size_t relaxation_rounds = 0;   ///< TH_cost *= alpha applications
   double final_threshold = 0.0;
+  /// Reference provenance: one record per assignment in decision order,
+  /// with the same bookkeeping conventions as the production ledger (seeds
+  /// cost 1.0, the dethroned best of a scan becomes the runner-up, overflow
+  /// records the from-scratch tentative cost of the dump target). The
+  /// `period` field stays 0 — a bare place() call never stamps one.
+  std::vector<obs::AssignmentRecord> provenance;
 };
 
 /// Reference ALLOCATE phase (Fig. 2), evaluating every tentative Eqn.-2

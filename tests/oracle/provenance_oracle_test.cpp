@@ -1,0 +1,174 @@
+// Differential tests for decision provenance: the records the production
+// CorrelationAwarePlacement appends to an attached ProvenanceLedger against
+// the reference ALLOCATE phase's from-first-principles bookkeeping, on the
+// same seeded random populations the assignment oracle uses. Identity
+// fields (vm, server, branch flags, relaxation round, rejection counts,
+// runner-up identity) must match exactly; recorded Eqn.-2 costs are
+// compared under a tight relative tolerance because the production policy
+// evaluates them with incremental accumulators while the oracle
+// materializes each extended group from scratch.
+#include "oracle_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "corr/cost_matrix.h"
+#include "model/server.h"
+#include "obs/provenance.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+namespace cava {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Same sinusoid-plus-noise population family as oracle_test.cpp.
+trace::TraceSet make_traces(std::uint64_t seed, std::size_t num_vms,
+                            std::size_t samples) {
+  util::Rng rng(seed);
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.2, 1.2);
+    const double amp = rng.uniform(0.2, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double freq = rng.uniform(0.02, 0.08);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(freq * static_cast<double>(i) +
+                                          phase)) +
+             rng.uniform(0.0, 0.15);
+    }
+    traces.add(
+        {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    d.push_back({i, traces[i].series.peak()});
+  }
+  return d;
+}
+
+void expect_records_match(const std::vector<obs::AssignmentRecord>& got,
+                          const std::vector<obs::AssignmentRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(got[i].vm, want[i].vm);
+    EXPECT_EQ(got[i].server, want[i].server);
+    EXPECT_EQ(got[i].seeded, want[i].seeded);
+    EXPECT_EQ(got[i].overflow, want[i].overflow);
+    EXPECT_EQ(got[i].relaxation_round, want[i].relaxation_round);
+    EXPECT_EQ(got[i].rejected_candidates, want[i].rejected_candidates);
+    EXPECT_EQ(got[i].best_rejected_vm, want[i].best_rejected_vm);
+    EXPECT_DOUBLE_EQ(got[i].threshold, want[i].threshold);
+    EXPECT_NEAR(got[i].server_cost, want[i].server_cost,
+                1e-9 * std::max(1.0, std::abs(want[i].server_cost)));
+    EXPECT_NEAR(got[i].best_rejected_cost, want[i].best_rejected_cost,
+                1e-9 * std::max(1.0, std::abs(want[i].best_rejected_cost)));
+  }
+}
+
+class ProvenanceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProvenanceSeeds, LedgerMatchesReferenceBookkeeping) {
+  const auto traces = make_traces(GetParam(), 20, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 12;
+  ctx.cost_matrix = &matrix;
+  obs::ProvenanceLedger ledger;
+  ctx.provenance = &ledger;
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+
+  const auto want = oracle::reference_correlation_aware(
+      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      config.initial_threshold, config.alpha);
+  // One record per VM, in decision order, and the assignment each record
+  // claims must be the one the placement actually made.
+  ASSERT_EQ(ledger.assignments().size(), demands.size());
+  for (const auto& rec : ledger.assignments()) {
+    ASSERT_TRUE(placement.server_of(rec.vm).has_value());
+    EXPECT_EQ(*placement.server_of(rec.vm), rec.server);
+  }
+  expect_records_match(ledger.assignments(), want.provenance);
+}
+
+TEST_P(ProvenanceSeeds, TightCapacityRecordsRelaxationsAndOverflow) {
+  // Few servers force threshold relaxations and (for some seeds) the
+  // overflow dump; the record streams must still agree field by field.
+  const auto traces = make_traces(GetParam() + 1000, 16, 200);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext ctx;
+  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+  obs::ProvenanceLedger ledger;
+  ctx.provenance = &ledger;
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+
+  const auto want = oracle::reference_correlation_aware(
+      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      config.initial_threshold, config.alpha);
+  expect_records_match(ledger.assignments(), want.provenance);
+  // Rounds recorded in the ledger never exceed the policy's final count.
+  for (const auto& rec : ledger.assignments()) {
+    EXPECT_LE(rec.relaxation_round, policy.last_relaxation_rounds());
+  }
+}
+
+TEST_P(ProvenanceSeeds, AttachedLedgerDoesNotPerturbPlacement) {
+  // The provenance-only bookkeeping must never change a decision: the same
+  // inputs with and without a ledger give identical assignments and
+  // identical diagnostics.
+  const auto traces = make_traces(GetParam() + 7, 18, 220);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext bare;
+  bare.server = model::ServerSpec("s", 8, {2.0});
+  bare.max_servers = 10;
+  bare.cost_matrix = &matrix;
+  alloc::PlacementContext ledgered = bare;
+  obs::ProvenanceLedger ledger;
+  ledgered.provenance = &ledger;
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement a(config);
+  alloc::CorrelationAwarePlacement b(config);
+  const auto without = a.place(demands, bare);
+  const auto with = b.place(demands, ledgered);
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    EXPECT_EQ(without.server_of(vm), with.server_of(vm)) << "vm " << vm;
+  }
+  EXPECT_DOUBLE_EQ(a.last_final_threshold(), b.last_final_threshold());
+  EXPECT_EQ(a.last_relaxation_rounds(), b.last_relaxation_rounds());
+  EXPECT_FALSE(ledger.assignments().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProvenanceSeeds,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 42ULL, 97ULL,
+                                           2026ULL));
+
+}  // namespace
+}  // namespace cava

@@ -99,5 +99,57 @@ TEST(LoadCsv, MissingFileThrows) {
   EXPECT_THROW(load_csv("/nonexistent/dir/file.csv"), std::runtime_error);
 }
 
+// ---- RFC-4180 quoting. ----
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("proposed"), "proposed");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.5"), "1.5");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSeparatorsAndQuotes) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(SplitCsvLine, UnquotesRfc4180Fields) {
+  const auto f = split_csv_line("\"a,b\",plain,\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "plain");
+  EXPECT_EQ(f[2], "say \"hi\"");
+}
+
+TEST(SplitCsvLine, MidFieldQuotesStayLiteral) {
+  // Legacy unquoted data with interior quotes must round-trip unchanged.
+  const auto f = split_csv_line("5'10\",x");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "5'10\"");
+  EXPECT_EQ(f[1], "x");
+}
+
+TEST(CsvQuoting, WriterParserRoundTripsHostileFields) {
+  const std::vector<std::string> nasty{
+      "plain", "with,comma", "with \"quotes\"", "both, \"of\" them", ""};
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_header({"a", "b", "c", "d", "e"});
+  w.write_row(nasty);
+  const auto t = parse_csv(out.str());
+  ASSERT_EQ(t.rows.size(), 1u);
+  ASSERT_EQ(t.rows[0].size(), nasty.size());
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    EXPECT_EQ(t.rows[0][i], nasty[i]) << "field " << i;
+  }
+}
+
+TEST(CsvQuoting, QuotedHeaderNamesResolve) {
+  const auto t = parse_csv("\"policy, variant\",u\nx,2.5\n");
+  EXPECT_EQ(t.column_index("policy, variant"), 0u);
+  EXPECT_DOUBLE_EQ(t.numeric_column("u")[0], 2.5);
+}
+
 }  // namespace
 }  // namespace cava::util

@@ -1,11 +1,15 @@
-// Distills a google-benchmark JSON report (produced with the microbench
-// --json flag, see bench/micro_main.cpp) into a compact perf-trajectory
-// file: per-benchmark ns/op plus the derived ingest-kernel ratios the
-// correlation work tracks across commits (add_sample vs add_block vs
-// from_traces). The result is committed as BENCH_micro_corr.json at the
-// repository root.
+// Distills one or more google-benchmark JSON reports (produced with the
+// microbench --json flag, see bench/micro_main.cpp) into a compact
+// perf-trajectory file: per-benchmark ns/op plus derived kernel ratios the
+// project tracks across commits — ingest (add_sample vs add_block vs
+// from_traces, committed as BENCH_micro_corr.json) and placement (the
+// Proposed policy vs the bin-packing baselines, BENCH_micro_alloc.json).
+// Several input reports merge into one trajectory (later reports win on
+// duplicate benchmark names), so a combined file can cover multiple
+// microbench binaries. The CI smoke-bench job regenerates the trajectory
+// and gates on >25% real-time regression against the committed copy.
 //
-// Usage: bench_to_trajectory <benchmark_report.json> <out.json>
+// Usage: bench_to_trajectory <benchmark_report.json>... <out.json>
 #include <cmath>
 #include <cstddef>
 #include <fstream>
@@ -234,66 +238,82 @@ struct Entry {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::cerr << "usage: bench_to_trajectory <benchmark_report.json>"
+  if (argc < 3) {
+    std::cerr << "usage: bench_to_trajectory <benchmark_report.json>..."
               << " <out.json>\n";
-    return 1;
-  }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::cerr << "bench_to_trajectory: cannot open " << argv[1] << "\n";
-    return 1;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-
-  JValue root;
-  try {
-    root = Parser(buf.str()).parse();
-  } catch (const std::exception& e) {
-    std::cerr << "bench_to_trajectory: " << e.what() << "\n";
-    return 1;
-  }
-
-  const JValue* benchmarks = root.find("benchmarks");
-  if (benchmarks == nullptr ||
-      benchmarks->kind != JValue::Kind::kArray) {
-    std::cerr << "bench_to_trajectory: no \"benchmarks\" array in "
-              << argv[1] << "\n";
     return 1;
   }
 
   std::map<std::string, Entry> entries;
-  for (const JValue& b : benchmarks->array) {
-    const JValue* name = b.find("name");
-    const JValue* run_type = b.find("run_type");
-    if (name == nullptr) continue;
-    // Skip BigO/RMS aggregate rows; keep plain iterations.
-    if (run_type != nullptr && run_type->string != "iteration") continue;
-    std::string unit = "ns";
-    if (const JValue* u = b.find("time_unit")) unit = u->string;
-    Entry e;
-    if (const JValue* t = b.find("real_time")) {
-      e.real_time_ns = to_ns(t->number, unit);
+  std::string source_reports;
+  std::string date;
+  std::string host;
+  for (int a = 1; a + 1 < argc; ++a) {
+    std::ifstream in(argv[a]);
+    if (!in) {
+      std::cerr << "bench_to_trajectory: cannot open " << argv[a] << "\n";
+      return 1;
     }
-    if (const JValue* t = b.find("cpu_time")) {
-      e.cpu_time_ns = to_ns(t->number, unit);
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    JValue root;
+    try {
+      root = Parser(buf.str()).parse();
+    } catch (const std::exception& e) {
+      std::cerr << "bench_to_trajectory: " << argv[a] << ": " << e.what()
+                << "\n";
+      return 1;
     }
-    if (const JValue* c = b.find("samples_per_s")) {
-      e.samples_per_s = c->number;
+
+    const JValue* benchmarks = root.find("benchmarks");
+    if (benchmarks == nullptr ||
+        benchmarks->kind != JValue::Kind::kArray) {
+      std::cerr << "bench_to_trajectory: no \"benchmarks\" array in "
+                << argv[a] << "\n";
+      return 1;
     }
-    entries[name->string] = e;
+
+    if (!source_reports.empty()) source_reports += ";";
+    source_reports += argv[a];
+    if (const JValue* ctx = root.find("context")) {
+      // First report's context wins: one merged run shares a machine/date.
+      if (const JValue* d = ctx->find("date"); d != nullptr && date.empty()) {
+        date = d->string;
+      }
+      if (const JValue* h = ctx->find("host_name");
+          h != nullptr && host.empty()) {
+        host = h->string;
+      }
+    }
+
+    for (const JValue& b : benchmarks->array) {
+      const JValue* name = b.find("name");
+      const JValue* run_type = b.find("run_type");
+      if (name == nullptr) continue;
+      // Skip BigO/RMS aggregate rows; keep plain iterations.
+      if (run_type != nullptr && run_type->string != "iteration") continue;
+      std::string unit = "ns";
+      if (const JValue* u = b.find("time_unit")) unit = u->string;
+      Entry e;
+      if (const JValue* t = b.find("real_time")) {
+        e.real_time_ns = to_ns(t->number, unit);
+      }
+      if (const JValue* t = b.find("cpu_time")) {
+        e.cpu_time_ns = to_ns(t->number, unit);
+      }
+      if (const JValue* c = b.find("samples_per_s")) {
+        e.samples_per_s = c->number;
+      }
+      entries[name->string] = e;
+    }
   }
 
   cava::util::Json out = cava::util::Json::object();
   out["schema"] = "cava-bench-trajectory-v1";
-  out["source_report"] = argv[1];
-  if (const JValue* ctx = root.find("context")) {
-    if (const JValue* date = ctx->find("date")) out["date"] = date->string;
-    if (const JValue* host = ctx->find("host_name")) {
-      out["host"] = host->string;
-    }
-  }
+  out["source_report"] = source_reports;
+  if (!date.empty()) out["date"] = date;
+  if (!host.empty()) out["host"] = host;
 
   cava::util::Json per_bench = cava::util::Json::object();
   for (const auto& [name, e] : entries) {
@@ -335,11 +355,42 @@ int main(int argc, char** argv) {
     derived["from_traces_speedup_n256"] =
         ft_sample->second.real_time_ns / ft_blocked->second.real_time_ns;
   }
+
+  // Placement-policy counters (bench_micro_alloc.cpp). n=128 is the largest
+  // fleet size shared by all four registered policies, so ratios stay
+  // apples-to-apples.
+  const auto proposed = entries.find("BM_Proposed/128");
+  const auto ffd = entries.find("BM_Ffd/128");
+  const auto bfd = entries.find("BM_Bfd/128");
+  const auto pcp = entries.find("BM_Pcp/128");
+  if (proposed != entries.end()) {
+    derived["proposed_place_ns_n128"] = proposed->second.real_time_ns;
+  }
+  if (ffd != entries.end()) {
+    derived["ffd_place_ns_n128"] = ffd->second.real_time_ns;
+  }
+  if (bfd != entries.end()) {
+    derived["bfd_place_ns_n128"] = bfd->second.real_time_ns;
+  }
+  if (pcp != entries.end()) {
+    derived["pcp_place_ns_n128"] = pcp->second.real_time_ns;
+  }
+  if (proposed != entries.end() && ffd != entries.end() &&
+      ffd->second.real_time_ns > 0.0) {
+    derived["proposed_vs_ffd_n128"] =
+        proposed->second.real_time_ns / ffd->second.real_time_ns;
+  }
+  if (proposed != entries.end() && pcp != entries.end() &&
+      pcp->second.real_time_ns > 0.0) {
+    derived["proposed_vs_pcp_n128"] =
+        proposed->second.real_time_ns / pcp->second.real_time_ns;
+  }
   out["derived"] = std::move(derived);
 
-  std::ofstream os(argv[2]);
+  const char* out_path = argv[argc - 1];
+  std::ofstream os(out_path);
   if (!os) {
-    std::cerr << "bench_to_trajectory: cannot write " << argv[2] << "\n";
+    std::cerr << "bench_to_trajectory: cannot write " << out_path << "\n";
     return 1;
   }
   os << out.dump(2) << "\n";

@@ -15,12 +15,17 @@
 //                   --vf dynamic --json-out result.json
 //
 //   # synthesize and save a trace population for later runs
-//   cava_datacenter --vms 24 --groups 6 --trace-out traces.csv --policy bfd
+//   cava_datacenter --vms 24 --groups 6 --save-traces traces.csv --policy bfd
+//
+//   # capture a Chrome/Perfetto trace of the placement loop + provenance
+//   cava_datacenter --policy proposed --trace-out trace.json
+//                   --explain vm=3,period=5
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,7 +52,7 @@ Trace source (default: synthesize the paper's Setup-2 population):
   --trace-in FILE     load traces from CSV (t + one column per VM)
   --repair-traces     repair malformed trace cells (clamp/interpolate) and
                       print a load report instead of rejecting the file
-  --trace-out FILE    save the (synthesized) traces to CSV
+  --save-traces FILE  save the (synthesized) traces to CSV
   --vms N             synthesized VM count            [40]
   --groups N          synthesized service groups      [4]
   --hours H           synthesized duration in hours   [24]
@@ -82,6 +87,20 @@ Observability (see DESIGN.md "Observability"):
   --metrics-out FILE  write telemetry of every run; a .csv suffix selects
                       the flat per-period CSV, anything else the JSON export
                       (per-period series plus, at level full, the registry)
+  --trace-out FILE    write a Chrome trace_event JSON timeline (load in
+                      chrome://tracing or Perfetto): spans for UPDATE /
+                      ALLOCATE relaxation rounds / v/f decide / REPLAY /
+                      correlation ingest, one process per policy run plus
+                      the sweep scheduler
+  --provenance-out FILE
+                      write the decision-provenance ledger as JSONL: one
+                      line per VM-to-server assignment (Eqn.-2 cost, TH_cost,
+                      relaxation round, rejected candidates) and per static
+                      v/f decision (Eqn.-4 inputs).  Implied capture at
+                      --metrics-level full
+  --explain QUERY     "vm=<id>[,period=<p>]": print why that VM landed where
+                      it did (per policy run), plus the Eqn.-4 decision of
+                      its accepting server
 
 Output:
   --json-out FILE     write full results as JSON
@@ -125,12 +144,76 @@ sim::VfFactory make_vf_factory(const sim::SimConfig& cfg, const std::string& vf,
   return [] { return std::make_unique<dvfs::WorstCaseVf>(); };
 }
 
+/// Parsed --explain query.
+struct ExplainQuery {
+  std::size_t vm = 0;
+  std::optional<std::size_t> period;
+};
+
+ExplainQuery parse_explain(const std::string& text) {
+  ExplainQuery q;
+  bool saw_vm = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--explain: expected key=value, got '" +
+                                  part + "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    std::size_t parsed = 0;
+    try {
+      parsed = static_cast<std::size_t>(std::stoull(value));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--explain: bad number in '" + part + "'");
+    }
+    if (key == "vm") {
+      q.vm = parsed;
+      saw_vm = true;
+    } else if (key == "period") {
+      q.period = parsed;
+    } else {
+      throw std::invalid_argument("--explain: unknown key '" + key + "'");
+    }
+  }
+  if (!saw_vm) throw std::invalid_argument("--explain: vm=<id> is required");
+  return q;
+}
+
+/// Console answer for one run's ledger: assignment rationale of the queried
+/// VM plus the Eqn.-4 decision of each accepting server.
+void print_explain(const std::string& label, const obs::ProvenanceLedger& ledger,
+                   const ExplainQuery& q) {
+  const auto assignments = ledger.assignments_for(q.vm, q.period);
+  const std::string period_suffix =
+      q.period.has_value() ? ", period=" + std::to_string(*q.period) : "";
+  std::printf("explain [%s] vm=%zu%s:\n", label.c_str(), q.vm,
+              period_suffix.c_str());
+  if (assignments.empty()) {
+    std::printf("  no recorded assignment\n");
+    return;
+  }
+  for (const auto& a : assignments) {
+    std::printf("  %s\n", obs::ProvenanceLedger::describe(a).c_str());
+    for (const auto& d : ledger.dvfs_for(a.server, a.period)) {
+      std::printf("    %s\n", obs::ProvenanceLedger::describe(d).c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::FlagParser flags(argc, argv);
-    flags.require_known({"trace-in", "repair-traces", "trace-out", "vms",
+    flags.require_known({"trace-in", "repair-traces", "save-traces",
+                         "trace-out", "provenance-out", "explain", "vms",
                          "groups", "hours", "seed", "policy", "vf", "sticky",
                          "servers", "period-min", "predictor",
                          "migration-joules", "threads", "strict-sweep",
@@ -163,8 +246,8 @@ int main(int argc, char** argv) {
       tcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
       *traces = trace::generate_datacenter_traces(tcfg);
     }
-    if (flags.has("trace-out")) {
-      traces->save_csv(flags.get_string("trace-out", ""));
+    if (flags.has("save-traces")) {
+      traces->save_csv(flags.get_string("save-traces", ""));
     }
     std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces->size(),
                 traces->samples_per_trace(), traces->dt());
@@ -211,10 +294,26 @@ int main(int argc, char** argv) {
                                   : sim::SweepErrorPolicy::kCollect;
     const obs::MetricsLevel metrics_level =
         obs::parse_metrics_level(flags.get_string("metrics-level", "off"));
+    const bool want_trace = flags.has("trace-out");
+    std::optional<ExplainQuery> explain;
+    if (flags.has("explain")) {
+      explain = parse_explain(flags.get_string("explain", ""));
+    }
+    const bool want_provenance = flags.has("provenance-out") ||
+                                 explain.has_value() ||
+                                 metrics_level == obs::MetricsLevel::kFull;
     sim::SweepRunner runner(threads, error_policy);
+    // The sweep engine's own session captures job scheduling + pool-task
+    // spans; each job's run records into its telemetry's per-job session.
+    obs::TraceSession sweep_trace;
+    if (want_trace) runner.set_trace(&sweep_trace);
     for (const std::string& name : names) {
-      runner.add({"", cfg, traces, make_policy_factory(name, flags.get_bool("sticky")),
-                  make_vf_factory(cfg, vf, name), metrics_level});
+      sim::SweepJob job{"", cfg, traces,
+                        make_policy_factory(name, flags.get_bool("sticky")),
+                        make_vf_factory(cfg, vf, name), metrics_level};
+      job.capture_trace = want_trace;
+      job.capture_provenance = want_provenance;
+      runner.add(std::move(job));
     }
     const auto records = runner.run_all();
 
@@ -265,6 +364,59 @@ int main(int argc, char** argv) {
       }
     } else if (flags.has("metrics-out")) {
       throw std::invalid_argument("--metrics-out needs --metrics-level != off");
+    }
+
+    if (want_trace) {
+      // Merge the sweep scheduler's session and every job's session into one
+      // Chrome trace document: process 0 = the sweep engine, process i+1 =
+      // job i (labeled by policy), timestamps re-based to the earliest event.
+      std::vector<obs::ChromeTraceProcess> processes;
+      processes.push_back({&sweep_trace, "sweep"});
+      for (const auto& record : records) {
+        if (!record.ok() || record.telemetry == nullptr ||
+            record.telemetry->trace == nullptr) {
+          continue;
+        }
+        processes.push_back(
+            {record.telemetry->trace.get(), "run:" + record.label});
+      }
+      const std::string path = flags.get_string("trace-out", "");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open --trace-out file");
+      obs::write_chrome_trace(processes, out);
+      std::size_t events = sweep_trace.stats().events;
+      std::uint64_t dropped = sweep_trace.stats().dropped;
+      for (std::size_t i = 1; i < processes.size(); ++i) {
+        const obs::TraceSession::Stats s = processes[i].session->stats();
+        events += s.events;
+        dropped += s.dropped;
+      }
+      std::printf("\ntrace: %zu events (%llu dropped) -> %s\n", events,
+                  static_cast<unsigned long long>(dropped), path.c_str());
+    }
+
+    if (flags.has("provenance-out")) {
+      const std::string path = flags.get_string("provenance-out", "");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot open --provenance-out file");
+      for (const auto& record : records) {
+        if (!record.ok() || record.telemetry == nullptr ||
+            record.telemetry->provenance == nullptr) {
+          continue;
+        }
+        record.telemetry->provenance->write_jsonl(out, record.label);
+      }
+    }
+
+    if (explain.has_value()) {
+      std::printf("\n");
+      for (const auto& record : records) {
+        if (!record.ok() || record.telemetry == nullptr ||
+            record.telemetry->provenance == nullptr) {
+          continue;
+        }
+        print_explain(record.label, *record.telemetry->provenance, *explain);
+      }
     }
 
     if (flags.has("json-out")) {
