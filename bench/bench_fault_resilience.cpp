@@ -51,8 +51,7 @@ sim::FaultSpec base_faults() {
 
 sim::SimConfig make_config(double intensity) {
   sim::SimConfig cfg;
-  cfg.server = model::ServerSpec::xeon_e5410();
-  cfg.power = model::PowerModel::xeon_e5410();
+  cfg.default_class = model::ServerClass::xeon_e5410();
   cfg.max_servers = 20;
   cfg.period_seconds = 3600.0;
   cfg.predictor = "last-value";

@@ -24,7 +24,7 @@ int main() {
                                     opt);
   cfg.isns.resize(2);  // keep only Cluster1's ISNs
   cfg.cluster_waves.resize(1);
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.server_freq_ghz = {opt.frequency_ghz};
 
   const websearch::WebSearchResult r = websearch::WebSearchSimulator(cfg).run();

@@ -22,8 +22,7 @@ int main() {
       trace::generate_datacenter_traces(trace::DatacenterTraceConfig{});
 
   sim::SimConfig cfg;
-  cfg.server = model::ServerSpec::xeon_e5410();
-  cfg.power = model::PowerModel::xeon_e5410();
+  cfg.default_class = model::ServerClass::xeon_e5410();
   cfg.max_servers = 20;
   cfg.vf_mode = sim::VfMode::kStatic;
 
@@ -38,7 +37,7 @@ int main() {
 
   std::cout << "=== Fig. 6: frequency-level residency (fraction of active "
                "time) ===\n\n";
-  const auto& ladder = cfg.server.frequencies();
+  const auto& ladder = cfg.default_class.spec.frequencies();
   for (std::size_t server : {std::size_t{0}, std::size_t{2}}) {
     std::printf("--- Server%zu ---\n", server + 1);
     util::TextTable table({"policy", "2.0 GHz (%)", "2.3 GHz (%)"});

@@ -1,18 +1,36 @@
-// Microbenchmarks of the placement heuristics: scaling of FFD/BFD/PCP and
-// the proposed correlation-aware algorithm with the VM population size.
+// Microbenchmarks of placement on a heterogeneous fleet: CAVA (Proposed)
+// and the StructureAware variant against BFD on a mixed Dell R815 /
+// Xeon E5410 fleet with a 4-servers-per-chassis, 4-chassis-per-rack
+// topology. Tracks what the per-server capacity lookups and the enclosure
+// bonus add on top of the homogeneous hot path (bench_micro_alloc.cpp).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "alloc/bfd.h"
 #include "alloc/correlation_aware.h"
-#include "alloc/ffd.h"
-#include "alloc/pcp.h"
+#include "alloc/structure_aware.h"
+#include "model/fleet.h"
 #include "trace/synthesis.h"
 
 namespace {
 
 using namespace cava;
+
+/// Alternating R815/E5410 fleet, one server slot per VM, nested 4:4.
+model::FleetSpec make_mixed_fleet(std::size_t n_servers) {
+  std::vector<model::ServerClass> classes = {model::ServerClass::dell_r815(),
+                                             model::ServerClass::xeon_e5410()};
+  std::vector<std::size_t> class_of(n_servers);
+  for (std::size_t s = 0; s < n_servers; ++s) class_of[s] = s % 2;
+  model::FleetTopology topo;
+  topo.servers_per_chassis = 4;
+  topo.chassis_per_rack = 4;
+  topo.chassis_idle_watts = 40.0;
+  topo.rack_idle_watts = 120.0;
+  return model::FleetSpec(std::move(classes), std::move(class_of), topo);
+}
 
 struct Instance {
   trace::TraceSet traces;
@@ -33,8 +51,7 @@ struct Instance {
     for (std::size_t i = 0; i < traces.size(); ++i) {
       demands.push_back({i, traces[i].series.peak()});
     }
-    fleet = model::FleetSpec::homogeneous(model::ServerSpec::xeon_e5410(),
-                                          static_cast<std::size_t>(n_vms));
+    fleet = make_mixed_fleet(static_cast<std::size_t>(n_vms));
     ctx.fleet = &fleet;
     ctx.max_servers = static_cast<std::size_t>(n_vms);
     ctx.cost_matrix = &matrix;
@@ -42,17 +59,7 @@ struct Instance {
   }
 };
 
-void BM_Ffd(benchmark::State& state) {
-  Instance inst(static_cast<int>(state.range(0)));
-  alloc::FirstFitDecreasing policy;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_Ffd)->RangeMultiplier(2)->Range(16, 256)->Complexity();
-
-void BM_Bfd(benchmark::State& state) {
+void BM_HeteroBfd(benchmark::State& state) {
   Instance inst(static_cast<int>(state.range(0)));
   alloc::BestFitDecreasing policy;
   for (auto _ : state) {
@@ -60,19 +67,9 @@ void BM_Bfd(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Bfd)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_HeteroBfd)->RangeMultiplier(2)->Range(16, 128)->Complexity();
 
-void BM_Pcp(benchmark::State& state) {
-  Instance inst(static_cast<int>(state.range(0)));
-  alloc::PeakClusteringPlacement policy;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_Pcp)->RangeMultiplier(2)->Range(16, 128)->Complexity();
-
-void BM_Proposed(benchmark::State& state) {
+void BM_HeteroProposed(benchmark::State& state) {
   Instance inst(static_cast<int>(state.range(0)));
   alloc::CorrelationAwarePlacement policy;
   for (auto _ : state) {
@@ -80,6 +77,16 @@ void BM_Proposed(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Proposed)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+BENCHMARK(BM_HeteroProposed)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_HeteroStructure(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::StructureAwarePlacement policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HeteroStructure)->RangeMultiplier(2)->Range(16, 128)->Complexity();
 
 }  // namespace

@@ -37,8 +37,7 @@ trace::TraceSet make_traces(std::uint64_t seed) {
 
 sim::SimConfig make_sim_config(sim::VfMode mode) {
   sim::SimConfig cfg;
-  cfg.server = model::ServerSpec::xeon_e5410();
-  cfg.power = model::PowerModel::xeon_e5410();
+  cfg.default_class = model::ServerClass::xeon_e5410();
   cfg.max_servers = 20;
   cfg.period_seconds = 3600.0;
   cfg.predictor = "last-value";

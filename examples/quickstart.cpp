@@ -12,6 +12,7 @@
 #include "alloc/correlation_aware.h"
 #include "corr/cost_matrix.h"
 #include "dvfs/vf_policy.h"
+#include "model/fleet.h"
 #include "model/power.h"
 
 int main() {
@@ -46,8 +47,10 @@ int main() {
   for (std::size_t i = 0; i < traces.size(); ++i) {
     demands.push_back({i, traces[i].series.peak()});
   }
+  const model::ServerSpec spec = model::ServerSpec::xeon_e5410();
+  const model::FleetSpec fleet = model::FleetSpec::homogeneous(spec, 4);
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec::xeon_e5410();
+  ctx.fleet = &fleet;
   ctx.max_servers = 4;
   ctx.cost_matrix = &matrix;
   alloc::CorrelationAwarePlacement policy;
@@ -64,8 +67,8 @@ int main() {
     for (std::size_t vm : vms) view.total_reference += demands[vm].reference;
     view.correlation_cost = matrix.server_cost(vms);
     view.num_vms = vms.size();
-    const double f = dvfs::CorrelationAwareVf{}.decide(view, ctx.server);
-    const double f_worst = dvfs::WorstCaseVf{}.decide(view, ctx.server);
+    const double f = dvfs::CorrelationAwareVf{}.decide(view, spec);
+    const double f_worst = dvfs::WorstCaseVf{}.decide(view, spec);
     std::printf("  | sum u^=%.1f cost=%.2f -> f=%.1f GHz (worst-case: %.1f)\n",
                 view.total_reference, view.correlation_cost, f, f_worst);
   }

@@ -23,6 +23,7 @@ CorrelationAwarePlacement::CorrelationAwarePlacement(
 Placement CorrelationAwarePlacement::place(
     std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
   const corr::CostMatrix* matrix = context.cost_matrix;
   if (matrix == nullptr || matrix->size() < demands.size()) {
     throw std::invalid_argument(
@@ -44,7 +45,7 @@ Placement CorrelationAwarePlacement::place(
       tr != nullptr ? obs::TraceSession::now_ns() : 0;
   std::vector<std::size_t> order = sort_descending(demands);
   std::size_t active =
-      std::min(estimate_min_servers(demands, context.server),
+      std::min(estimate_min_servers(demands, fleet, context.max_servers),
                context.max_servers);
   if (active == 0 && n > 0) active = 1;
   if (tr != nullptr) {
@@ -56,9 +57,18 @@ Placement CorrelationAwarePlacement::place(
   last_evals_ = 0;
 
   Placement placement(n, context.max_servers);
-  std::vector<double> remaining(context.max_servers,
-                                context.server.max_capacity());
+  std::vector<double> remaining(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    remaining[s] = fleet.capacity_of(s);
+  }
   std::vector<std::vector<std::size_t>> groups(context.max_servers);
+  // Stamp the assigned server's class and enclosure position into a
+  // provenance record (observation-only).
+  auto stamp_fleet = [&](obs::AssignmentRecord& rec, std::size_t server) {
+    rec.server_class = fleet.server_class(fleet.class_of(server)).id;
+    rec.chassis = static_cast<std::ptrdiff_t>(fleet.chassis_of(server));
+    rec.rack = static_cast<std::ptrdiff_t>(fleet.rack_of(server));
+  };
   // Unallocated VMs kept in descending-u^ order.
   std::vector<std::size_t> unalloc = order;
 
@@ -205,6 +215,7 @@ Placement CorrelationAwarePlacement::place(
           rec.best_rejected_vm = runner_vm;
           rec.best_rejected_cost = runner_cost;
           rec.seeded = seeded;
+          stamp_fleet(rec, server);
           ledger->record_assignment(rec);
         }
         assign(static_cast<std::size_t>(chosen), server);
@@ -250,6 +261,7 @@ Placement CorrelationAwarePlacement::place(
               rec.threshold = threshold;
               rec.relaxation_round = last_relaxations_;
               rec.overflow = true;
+              stamp_fleet(rec, best);
               ledger->record_assignment(rec);
             }
             assign(0, best);

@@ -11,14 +11,18 @@ EffectiveSizingPlacement::EffectiveSizingPlacement(EffectiveSizingConfig config)
 Placement EffectiveSizingPlacement::place(
     std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
   const corr::MomentMatrix* moments = context.moments;
   const std::size_t n = demands.size();
   Placement placement(n, context.max_servers);
-  const double cap = context.server.max_capacity();
+  std::vector<double> cap(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    cap[s] = fleet.capacity_of(s);
+  }
 
   if (moments == nullptr || moments->size() < n || moments->samples() < 2) {
     // No statistics: plain best-fit-decreasing on the given demands.
-    std::vector<double> remaining(context.max_servers, cap);
+    std::vector<double> remaining = cap;
     for (std::size_t idx : sort_descending(demands)) {
       const double need = demands[idx].reference;
       int best = -1;
@@ -74,7 +78,7 @@ Placement EffectiveSizingPlacement::place(
           server_var[s] + moments->variance(vm) + 2.0 * cov_sum;
       const double new_total =
           new_mean + config_.z * std::sqrt(std::max(new_var, 0.0));
-      if (new_total > cap + 1e-12) continue;
+      if (new_total > cap[s] + 1e-12) continue;
       // Chen's rule: place where the *incremental* effective size is
       // smallest — covariance discounts make anti-correlated partners
       // cheap, and consolidation follows because an empty server always

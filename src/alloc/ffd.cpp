@@ -6,9 +6,12 @@ namespace cava::alloc {
 
 Placement FirstFitDecreasing::place(std::span<const model::VmDemand> demands,
                                     const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
   Placement placement(demands.size(), context.max_servers);
-  std::vector<double> remaining(context.max_servers,
-                                context.server.max_capacity());
+  std::vector<double> remaining(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    remaining[s] = fleet.capacity_of(s);
+  }
   for (std::size_t idx : sort_descending(demands)) {
     const double need = demands[idx].reference;
     bool placed = false;

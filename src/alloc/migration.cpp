@@ -57,8 +57,11 @@ Placement StickyPlacement::place(std::span<const model::VmDemand> demands,
     // remaining capacity (approximated by handing it a reduced universe is
     // complex, so we first-fit them into remaining room and only fall back
     // to the inner policy on a full re-pack if anything is still stranded).
-    const double cap =
-        context.server.max_capacity() * config_.keep_capacity_fraction;
+    const model::FleetSpec& fleet = context.fleet_or_throw();
+    std::vector<double> cap(context.max_servers);
+    for (std::size_t s = 0; s < context.max_servers; ++s) {
+      cap[s] = fleet.capacity_of(s) * config_.keep_capacity_fraction;
+    }
     std::vector<double> load(context.max_servers, 0.0);
     std::vector<std::size_t> displaced;
 
@@ -66,7 +69,7 @@ Placement StickyPlacement::place(std::span<const model::VmDemand> demands,
       const std::size_t vm = demands[idx].vm;
       const auto prev_server = previous_->server_of(vm);
       if (prev_server &&
-          load[*prev_server] + demands[idx].reference <= cap + 1e-12) {
+          load[*prev_server] + demands[idx].reference <= cap[*prev_server] + 1e-12) {
         result.assign(vm, *prev_server);
         load[*prev_server] += demands[idx].reference;
       } else {
@@ -79,14 +82,14 @@ Placement StickyPlacement::place(std::span<const model::VmDemand> demands,
       // Prefer already-active servers (first fit over loaded ones).
       int chosen = -1;
       for (std::size_t s = 0; s < context.max_servers; ++s) {
-        if (load[s] > 0.0 && load[s] + need <= cap + 1e-12) {
+        if (load[s] > 0.0 && load[s] + need <= cap[s] + 1e-12) {
           chosen = static_cast<int>(s);
           break;
         }
       }
       if (chosen < 0) {
         for (std::size_t s = 0; s < context.max_servers; ++s) {
-          if (load[s] == 0.0 && need <= cap + 1e-12) {
+          if (load[s] == 0.0 && need <= cap[s] + 1e-12) {
             chosen = static_cast<int>(s);
             break;
           }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "corr/envelope.h"
 #include "util/math_util.h"
@@ -14,6 +15,7 @@ PeakClusteringPlacement::PeakClusteringPlacement(PcpConfig config)
 Placement PeakClusteringPlacement::place(
     std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
   const std::size_t n = demands.size();
 
   // 1. Envelope clustering over the utilization history. Without history
@@ -33,14 +35,17 @@ Placement PeakClusteringPlacement::place(
   for (std::size_t i = 0; i < n; ++i) {
     provision[demands[i].vm] = demands[i].reference;
   }
-  double usable = context.server.max_capacity();
+  std::vector<double> usable(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    usable[s] = fleet.capacity_of(s);
+  }
   if (config_.offpeak_provisioning && context.history != nullptr &&
       context.history->size() == n) {
     for (std::size_t i = 0; i < n; ++i) {
       provision[i] = (*context.history)[i].series.percentile(
           config_.envelope_percentile);
     }
-    usable = std::max(1.0, usable - config_.peak_buffer_cores);
+    for (double& u : usable) u = std::max(1.0, u - config_.peak_buffer_cores);
   }
 
   std::vector<model::VmDemand> effective(n);
@@ -57,12 +62,25 @@ Placement PeakClusteringPlacement::place(
   //    the behaviour the paper reports for PCP on its traces.
   double total = 0.0;
   for (const auto& d : effective) total += d.reference;
-  std::size_t active = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(total / usable - 1e-9)));
+  std::size_t active;
+  if (fleet.uniform_capacity() || context.max_servers == 0) {
+    // Bit-identical to the scalar formula on homogeneous fleets.
+    const double u = usable.empty() ? 1.0 : usable[0];
+    active = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(total / u - 1e-9)));
+  } else {
+    // Heterogeneous: fill largest usable capacities first.
+    std::vector<double> sorted = usable;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    double held = 0.0;
+    std::size_t k = 0;
+    while (k < sorted.size() && held + 1e-9 < total) held += sorted[k++];
+    active = std::max<std::size_t>(1, k);
+  }
   active = std::min(active, context.max_servers);
 
   Placement placement(n, context.max_servers);
-  std::vector<double> remaining(context.max_servers, usable);
+  std::vector<double> remaining = usable;
   const auto n_clusters =
       static_cast<std::size_t>(std::max(last_cluster_count_, 1));
   std::vector<std::vector<int>> members(context.max_servers,

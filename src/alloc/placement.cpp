@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 
@@ -56,13 +57,59 @@ double Placement::load_on(std::size_t server,
   return load;
 }
 
+const model::FleetSpec& PlacementContext::fleet_or_throw() const {
+  if (fleet == nullptr) {
+    throw std::invalid_argument("PlacementContext: fleet not set");
+  }
+  if (fleet->num_servers() < max_servers) {
+    throw std::invalid_argument(
+        "PlacementContext: fleet smaller than max_servers");
+  }
+  return *fleet;
+}
+
+double PlacementContext::capacity(std::size_t server) const {
+  return fleet_or_throw().capacity_of(server);
+}
+
+namespace {
+
+std::size_t min_servers_uniform(double total, double capacity,
+                                bool any_demands) {
+  const double raw = total / capacity;
+  const auto n = static_cast<std::size_t>(std::ceil(raw - 1e-9));
+  return std::max<std::size_t>(n, any_demands ? 1 : 0);
+}
+
+}  // namespace
+
+std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
+                                 const model::FleetSpec& fleet,
+                                 std::size_t max_servers) {
+  double total = 0.0;
+  for (const auto& d : demands) total += d.reference;
+  const std::size_t pool = std::min(max_servers, fleet.num_servers());
+  if (fleet.uniform_capacity() || pool == 0) {
+    // Bit-identical to the paper's closed form on homogeneous fleets.
+    const double cap = fleet.empty() ? 1.0 : fleet.capacity_of(0);
+    return min_servers_uniform(total, cap, !demands.empty());
+  }
+  // Heterogeneous: commit the largest servers first until the aggregate
+  // demand fits (same 1e-9 slack as the closed form).
+  std::vector<double> caps(pool);
+  for (std::size_t s = 0; s < pool; ++s) caps[s] = fleet.capacity_of(s);
+  std::sort(caps.begin(), caps.end(), std::greater<>());
+  double held = 0.0;
+  std::size_t n = 0;
+  while (n < caps.size() && held + 1e-9 < total) held += caps[n++];
+  return std::max<std::size_t>(n, demands.empty() ? 0 : 1);
+}
+
 std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
                                  const model::ServerSpec& server) {
   double total = 0.0;
   for (const auto& d : demands) total += d.reference;
-  const double raw = total / server.max_capacity();
-  const auto n = static_cast<std::size_t>(std::ceil(raw - 1e-9));
-  return std::max<std::size_t>(n, demands.empty() ? 0 : 1);
+  return min_servers_uniform(total, server.max_capacity(), !demands.empty());
 }
 
 std::vector<std::size_t> sort_descending(

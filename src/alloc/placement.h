@@ -4,7 +4,7 @@
 
 #include "corr/cost_matrix.h"
 #include "corr/moments.h"
-#include "model/server.h"
+#include "model/fleet.h"
 #include "model/vm.h"
 #include "trace/time_series.h"
 
@@ -54,8 +54,18 @@ class Placement {
 
 /// Everything a policy may consult beyond the demand vector.
 struct PlacementContext {
-  model::ServerSpec server = model::ServerSpec("generic", 8, {1.0});
+  /// The fleet under management: per-server class, capacity and enclosure
+  /// position. Required — every policy sizes bins from it. The pointee must
+  /// outlive the place() call.
+  const model::FleetSpec* fleet = nullptr;
+  /// Servers the policy may use: the first max_servers of the fleet.
   std::size_t max_servers = 0;
+
+  /// fleet, validated: throws std::invalid_argument when unset or when it
+  /// holds fewer than max_servers servers.
+  const model::FleetSpec& fleet_or_throw() const;
+  /// Capacity of one server in fmax-equivalent cores.
+  double capacity(std::size_t server) const;
 
   /// Pairwise correlation costs (Eqn. 1), maintained over the previous
   /// period. Null for correlation-oblivious policies.
@@ -93,6 +103,16 @@ class PlacementPolicy {
 };
 
 /// Eqn. 3: minimum number of active servers to hold the aggregate demand.
+/// Uniform-capacity fleets use the paper's closed form
+/// ceil(sum u^ / capacity); heterogeneous fleets fill largest-capacity
+/// servers first (a lower bound, exact when demands are divisible).
+/// Considers only the first max_servers servers of the fleet but does NOT
+/// clamp to it — callers clamp, as with the closed form.
+std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
+                                 const model::FleetSpec& fleet,
+                                 std::size_t max_servers);
+
+/// Convenience overload over a single-class spec (capacity = spec cores).
 std::size_t estimate_min_servers(std::span<const model::VmDemand> demands,
                                  const model::ServerSpec& server);
 

@@ -1,0 +1,240 @@
+#include "alloc/structure_aware.h"
+
+#include "obs/provenance.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace cava::alloc {
+
+StructureAwarePlacement::StructureAwarePlacement(StructureAwareConfig config)
+    : config_(config) {
+  if (config_.base.alpha <= 0.0 || config_.base.alpha >= 1.0) {
+    throw std::invalid_argument("StructureAware: alpha must be in (0,1)");
+  }
+  if (config_.base.initial_threshold < 1.0) {
+    throw std::invalid_argument("StructureAware: threshold below 1 is inert");
+  }
+  if (config_.chassis_affinity < 0.0 || config_.rack_affinity < 0.0) {
+    throw std::invalid_argument("StructureAware: negative affinity");
+  }
+}
+
+Placement StructureAwarePlacement::place(
+    std::span<const model::VmDemand> demands,
+    const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
+  const corr::CostMatrix* matrix = context.cost_matrix;
+  if (matrix == nullptr || matrix->size() < demands.size()) {
+    throw std::invalid_argument(
+        "StructureAware::place: cost matrix missing or too small");
+  }
+  obs::ProvenanceLedger* ledger = context.provenance;
+
+  const std::size_t n = demands.size();
+  std::size_t active =
+      std::min(estimate_min_servers(demands, fleet, context.max_servers),
+               context.max_servers);
+  if (active == 0 && n > 0) active = 1;
+  last_estimate_ = active;
+  last_relaxations_ = 0;
+
+  Placement placement(n, context.max_servers);
+  std::vector<double> remaining(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    remaining[s] = fleet.capacity_of(s);
+  }
+  std::vector<std::vector<std::size_t>> groups(context.max_servers);
+  std::vector<std::size_t> unalloc = sort_descending(demands);
+
+  // Occupancy per enclosure (count of loaded servers / chassis), maintained
+  // on every assignment; drives both the sweep order and the bonus term.
+  std::vector<std::size_t> chassis_load(fleet.num_chassis(), 0);
+  std::vector<std::size_t> rack_load(fleet.num_racks(), 0);
+
+  double threshold = config_.base.initial_threshold;
+
+  // Same incremental Eqn.-2 bookkeeping as CorrelationAwarePlacement
+  // (S/R per server, B/C per candidate); see that file for the derivation.
+  const std::size_t universe = matrix->size();
+  std::vector<double> ref_of(universe);
+  for (std::size_t v = 0; v < universe; ++v) ref_of[v] = matrix->reference(v);
+  std::vector<double> group_pair_sum(context.max_servers, 0.0);  // S
+  std::vector<double> group_ref_sum(context.max_servers, 0.0);   // R
+  std::vector<std::vector<double>> cand_weighted(
+      context.max_servers, std::vector<double>(universe, 0.0));  // B
+  std::vector<std::vector<double>> cand_plain(
+      context.max_servers, std::vector<double>(universe, 0.0));  // C
+
+  auto fits = [&](std::size_t vm, std::size_t server) {
+    return demands[vm].reference <= remaining[server] + 1e-12;
+  };
+
+  auto tentative_cost = [&](std::size_t server, std::size_t vm) {
+    const std::size_t extended = groups[server].size() + 1;
+    if (extended < 2) return 1.0;
+    const double total_ref = group_ref_sum[server] + ref_of[vm];
+    if (total_ref <= 0.0) return 1.0;
+    const double pair_sum = group_pair_sum[server] +
+                            cand_weighted[server][vm] +
+                            ref_of[vm] * cand_plain[server][vm];
+    return pair_sum / (total_ref * static_cast<double>(extended - 1));
+  };
+
+  // The enclosure term: credit applied to the acceptance score of a server
+  // whose chassis (rack) is already powered by *other* servers. The server's
+  // own occupancy never counts — a non-empty server always sits in a
+  // powered chassis and the term must reward consolidation across servers,
+  // not mere reuse of the same bin.
+  auto enclosure_bonus = [&](std::size_t server) {
+    double bonus = 0.0;
+    const std::size_t self = groups[server].empty() ? 0u : 1u;
+    if (chassis_load[fleet.chassis_of(server)] > self) {
+      bonus += config_.chassis_affinity;
+    }
+    if (rack_load[fleet.rack_of(server)] > self) {
+      bonus += config_.rack_affinity;
+    }
+    return bonus;
+  };
+
+  auto assign = [&](std::size_t pos_in_unalloc, std::size_t server) {
+    const std::size_t vm_idx = unalloc[pos_in_unalloc];
+    const std::size_t vm = demands[vm_idx].vm;
+    if (groups[server].empty()) {
+      ++chassis_load[fleet.chassis_of(server)];
+      ++rack_load[fleet.rack_of(server)];
+    }
+    placement.assign(vm, server);
+    groups[server].push_back(vm);
+    remaining[server] -= demands[vm_idx].reference;
+    unalloc.erase(unalloc.begin() +
+                  static_cast<std::ptrdiff_t>(pos_in_unalloc));
+    group_pair_sum[server] +=
+        cand_weighted[server][vm] + ref_of[vm] * cand_plain[server][vm];
+    group_ref_sum[server] += ref_of[vm];
+    for (std::size_t p : unalloc) {
+      const std::size_t other = demands[p].vm;
+      const double c = matrix->cost(vm, other);
+      cand_weighted[server][other] += ref_of[vm] * c;
+      cand_plain[server][other] += c;
+    }
+  };
+
+  auto record = [&](std::size_t vm, std::size_t server, double cost,
+                    bool seeded, bool overflow) {
+    if (ledger == nullptr) return;
+    obs::AssignmentRecord rec;
+    rec.vm = vm;
+    rec.server = server;
+    rec.server_cost = cost;
+    rec.threshold = threshold;
+    rec.relaxation_round = last_relaxations_;
+    rec.seeded = seeded;
+    rec.overflow = overflow;
+    rec.server_class = fleet.server_class(fleet.class_of(server)).id;
+    rec.chassis = static_cast<std::ptrdiff_t>(fleet.chassis_of(server));
+    rec.rack = static_cast<std::ptrdiff_t>(fleet.rack_of(server));
+    ledger->record_assignment(rec);
+  };
+
+  while (!unalloc.empty()) {
+    bool progress = false;
+
+    // Sweep order: servers in chassis that already host load come first
+    // (fill the powered enclosure), then descending remaining capacity.
+    std::vector<std::size_t> server_order(active);
+    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
+    std::sort(server_order.begin(), server_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const bool wa = chassis_load[fleet.chassis_of(a)] > 0;
+                const bool wb = chassis_load[fleet.chassis_of(b)] > 0;
+                if (wa != wb) return wa;
+                if (remaining[a] != remaining[b]) {
+                  return remaining[a] > remaining[b];
+                }
+                return a < b;
+              });
+
+    for (std::size_t server : server_order) {
+      for (;;) {
+        if (unalloc.empty()) break;
+        int chosen = -1;
+        bool seeded = false;
+        double chosen_cost = 1.0;
+        if (groups[server].empty()) {
+          seeded = true;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (fits(unalloc[p], server)) {
+              chosen = static_cast<int>(p);
+              break;
+            }
+          }
+        } else {
+          // Acceptance test with the enclosure term: the candidate's score
+          // is its tentative Eqn.-2 cost plus the structural credit of the
+          // server's position, compared against the same TH_cost.
+          const double bonus = enclosure_bonus(server);
+          double best_score = threshold;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            const std::size_t vm = demands[unalloc[p]].vm;
+            if (!fits(unalloc[p], server)) continue;
+            const double score = tentative_cost(server, vm) + bonus;
+            if (score > best_score) {
+              best_score = score;
+              chosen = static_cast<int>(p);
+            }
+          }
+          chosen_cost = best_score - bonus;
+        }
+        if (chosen < 0) break;
+        record(demands[unalloc[static_cast<std::size_t>(chosen)]].vm, server,
+               seeded ? 1.0 : chosen_cost, seeded, false);
+        assign(static_cast<std::size_t>(chosen), server);
+        progress = true;
+      }
+    }
+
+    if (unalloc.empty()) break;
+    if (!progress) {
+      bool capacity_bound = true;
+      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
+        for (std::size_t s = 0; s < active; ++s) {
+          if (fits(unalloc[p], s)) {
+            capacity_bound = false;
+            break;
+          }
+        }
+      }
+      if (capacity_bound) {
+        if (active < context.max_servers) {
+          ++active;
+        } else {
+          while (!unalloc.empty()) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < context.max_servers; ++s) {
+              if (remaining[s] > remaining[best]) best = s;
+            }
+            record(demands[unalloc[0]].vm, best,
+                   tentative_cost(best, demands[unalloc[0]].vm), false, true);
+            assign(0, best);
+          }
+          break;
+        }
+      } else {
+        threshold *= config_.base.alpha;
+        ++last_relaxations_;
+      }
+    }
+  }
+
+  last_threshold_ = threshold;
+  last_active_chassis_ = static_cast<std::size_t>(
+      std::count_if(chassis_load.begin(), chassis_load.end(),
+                    [](std::size_t c) { return c > 0; }));
+  return placement;
+}
+
+}  // namespace cava::alloc

@@ -1,5 +1,6 @@
 #include "alloc/validate.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -7,7 +8,7 @@ namespace cava::alloc {
 
 std::vector<std::string> validate_placement(
     const Placement& placement, std::span<const model::VmDemand> demands,
-    const model::ServerSpec& server, const ValidationOptions& options) {
+    const model::FleetSpec& fleet, const ValidationOptions& options) {
   std::vector<std::string> issues;
   const std::size_t num_vms = placement.num_vms();
   const std::size_t num_servers = placement.num_servers();
@@ -51,16 +52,27 @@ std::vector<std::string> validate_placement(
     issues.push_back(ss.str());
   }
 
+  if (num_servers > fleet.num_servers()) {
+    std::ostringstream ss;
+    ss << "placement spans " << num_servers << " servers but the fleet has "
+       << fleet.num_servers();
+    issues.push_back(ss.str());
+  }
+
   if (options.strict_capacity && demands.size() == num_vms) {
-    for (std::size_t s = 0; s < num_servers; ++s) {
+    for (std::size_t s = 0; s < std::min(num_servers, fleet.num_servers());
+         ++s) {
       double load = 0.0;
       for (std::size_t vm : placement.vms_on(s)) {
         if (vm < demands.size()) load += demands[vm].reference;
       }
-      if (load > server.max_capacity() + options.tolerance) {
+      const double cap = fleet.capacity_of(s);
+      if (load > cap + options.tolerance) {
         std::ostringstream ss;
-        ss << "server " << s << " packed to " << load << " cores > capacity "
-           << server.max_capacity();
+        ss << "server " << s << " (class "
+           << fleet.server_class(fleet.class_of(s)).id << ", rack "
+           << fleet.rack_of(s) << ") packed to " << load
+           << " cores > capacity " << cap;
         issues.push_back(ss.str());
       }
     }
@@ -68,17 +80,34 @@ std::vector<std::string> validate_placement(
   return issues;
 }
 
+std::vector<std::string> validate_placement(
+    const Placement& placement, std::span<const model::VmDemand> demands,
+    const model::ServerSpec& server, const ValidationOptions& options) {
+  const auto fleet = model::FleetSpec::homogeneous(
+      server, std::max<std::size_t>(placement.num_servers(), 1));
+  return validate_placement(placement, demands, fleet, options);
+}
+
 void validate_placement_or_throw(const Placement& placement,
                                  std::span<const model::VmDemand> demands,
-                                 const model::ServerSpec& server,
+                                 const model::FleetSpec& fleet,
                                  const ValidationOptions& options) {
-  const auto issues = validate_placement(placement, demands, server, options);
+  const auto issues = validate_placement(placement, demands, fleet, options);
   if (issues.empty()) return;
   std::ostringstream ss;
   ss << "placement validation failed (" << issues.size() << " issue"
      << (issues.size() == 1 ? "" : "s") << "):";
   for (const auto& issue : issues) ss << "\n  - " << issue;
   throw std::logic_error(ss.str());
+}
+
+void validate_placement_or_throw(const Placement& placement,
+                                 std::span<const model::VmDemand> demands,
+                                 const model::ServerSpec& server,
+                                 const ValidationOptions& options) {
+  const auto fleet = model::FleetSpec::homogeneous(
+      server, std::max<std::size_t>(placement.num_servers(), 1));
+  validate_placement_or_throw(placement, demands, fleet, options);
 }
 
 }  // namespace cava::alloc

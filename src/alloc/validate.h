@@ -25,13 +25,23 @@ struct ValidationOptions {
 /// Check structural invariants of a placement against the demands it was
 /// computed from: every VM assigned exactly once, server indices consistent
 /// between server_of() and vms_on(), no duplicates; with strict_capacity,
-/// per-server demand <= ServerSpec capacity. Returns human-readable issue
-/// descriptions (empty = valid).
+/// per-server demand <= that server's own class capacity from the fleet
+/// (capacity issues name the offending server's class and rack). Returns
+/// human-readable issue descriptions (empty = valid).
+std::vector<std::string> validate_placement(
+    const Placement& placement, std::span<const model::VmDemand> demands,
+    const model::FleetSpec& fleet, const ValidationOptions& options = {});
+
+/// Convenience over a one-class fleet sized to the placement.
 std::vector<std::string> validate_placement(
     const Placement& placement, std::span<const model::VmDemand> demands,
     const model::ServerSpec& server, const ValidationOptions& options = {});
 
 /// Throws std::logic_error listing every issue found; no-op when valid.
+void validate_placement_or_throw(const Placement& placement,
+                                 std::span<const model::VmDemand> demands,
+                                 const model::FleetSpec& fleet,
+                                 const ValidationOptions& options = {});
 void validate_placement_or_throw(const Placement& placement,
                                  std::span<const model::VmDemand> demands,
                                  const model::ServerSpec& server,

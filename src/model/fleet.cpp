@@ -1,0 +1,304 @@
+#include "model/fleet.h"
+
+#include "util/json.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace cava::model {
+
+ServerClass ServerClass::dell_r815() {
+  // 4-socket Opteron 6174 box (Setup-1); same calibration as
+  // PowerModel::dell_r815().
+  PowerModelConfig power;
+  power.idle_watts_at_fmax = 260.0;
+  power.peak_watts_at_fmax = 440.0;
+  return ServerClass{"r815", ServerSpec::dell_r815(), power};
+}
+
+ServerClass ServerClass::xeon_e5410() {
+  // Harpertown-era 2S server (Setup-2); same calibration as
+  // PowerModel::xeon_e5410().
+  PowerModelConfig power;
+  power.idle_watts_at_fmax = 165.0;
+  power.peak_watts_at_fmax = 245.0;
+  return ServerClass{"e5410", ServerSpec::xeon_e5410(), power};
+}
+
+FleetSpec::FleetSpec(std::vector<ServerClass> classes,
+                     std::vector<std::size_t> class_of_server,
+                     FleetTopology topology)
+    : classes_(std::move(classes)),
+      class_of_server_(std::move(class_of_server)),
+      topology_(topology) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("FleetSpec: no server classes");
+  }
+  std::set<std::string> ids;
+  for (const auto& cls : classes_) {
+    if (cls.id.empty()) {
+      throw std::invalid_argument("FleetSpec: empty class id");
+    }
+    if (!ids.insert(cls.id).second) {
+      throw std::invalid_argument("FleetSpec: duplicate class id '" + cls.id +
+                                  "'");
+    }
+  }
+  if (class_of_server_.empty()) {
+    throw std::invalid_argument("FleetSpec: no servers");
+  }
+  for (std::size_t c : class_of_server_) {
+    if (c >= classes_.size()) {
+      throw std::invalid_argument("FleetSpec: server class index " +
+                                  std::to_string(c) + " out of range");
+    }
+  }
+  if (topology_.servers_per_chassis == 0) {
+    throw std::invalid_argument("FleetSpec: servers_per_chassis must be >= 1");
+  }
+  if (topology_.chassis_per_rack == 0) {
+    throw std::invalid_argument("FleetSpec: chassis_per_rack must be >= 1");
+  }
+  if (topology_.chassis_idle_watts < 0.0 || topology_.rack_idle_watts < 0.0) {
+    throw std::invalid_argument("FleetSpec: negative enclosure idle watts");
+  }
+  power_models_.reserve(classes_.size());
+  for (const auto& cls : classes_) {
+    power_models_.push_back(cls.make_power_model());
+  }
+}
+
+FleetSpec FleetSpec::homogeneous(ServerClass server_class, std::size_t n,
+                                 FleetTopology topology) {
+  if (n == 0) throw std::invalid_argument("FleetSpec::homogeneous: n == 0");
+  return FleetSpec({std::move(server_class)},
+                   std::vector<std::size_t>(n, 0), topology);
+}
+
+FleetSpec FleetSpec::homogeneous(ServerSpec spec, std::size_t n) {
+  std::string id = spec.name();
+  return homogeneous(ServerClass{std::move(id), std::move(spec), {}}, n);
+}
+
+std::size_t FleetSpec::class_of(std::size_t server) const {
+  if (server >= class_of_server_.size()) {
+    throw std::out_of_range("FleetSpec::class_of");
+  }
+  return class_of_server_[server];
+}
+
+const ServerSpec& FleetSpec::spec_of(std::size_t server) const {
+  return classes_[class_of(server)].spec;
+}
+
+const PowerModel& FleetSpec::power_of(std::size_t server) const {
+  return power_models_[class_of(server)];
+}
+
+double FleetSpec::capacity_of(std::size_t server) const {
+  return spec_of(server).max_capacity();
+}
+
+bool FleetSpec::uniform_capacity() const {
+  if (classes_.size() <= 1) return true;
+  std::set<std::size_t> used(class_of_server_.begin(), class_of_server_.end());
+  double cap = -1.0;
+  for (std::size_t c : used) {
+    const double cc = classes_[c].spec.max_capacity();
+    if (cap < 0.0) cap = cc;
+    else if (cc != cap) return false;
+  }
+  return true;
+}
+
+std::size_t FleetSpec::chassis_of(std::size_t server) const {
+  if (server >= class_of_server_.size()) {
+    throw std::out_of_range("FleetSpec::chassis_of");
+  }
+  return server / topology_.servers_per_chassis;
+}
+
+std::size_t FleetSpec::rack_of(std::size_t server) const {
+  return chassis_of(server) / topology_.chassis_per_rack;
+}
+
+std::size_t FleetSpec::num_chassis() const {
+  if (class_of_server_.empty()) return 0;
+  return chassis_of(class_of_server_.size() - 1) + 1;
+}
+
+std::size_t FleetSpec::num_racks() const {
+  if (class_of_server_.empty()) return 0;
+  return rack_of(class_of_server_.size() - 1) + 1;
+}
+
+bool FleetSpec::has_enclosure_power() const {
+  return topology_.chassis_idle_watts > 0.0 || topology_.rack_idle_watts > 0.0;
+}
+
+std::string FleetSpec::describe() const {
+  std::ostringstream out;
+  out << num_servers() << " servers (";
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const auto count = static_cast<std::size_t>(
+        std::count(class_of_server_.begin(), class_of_server_.end(), c));
+    if (c) out << ", ";
+    out << count << "x " << classes_[c].id;
+  }
+  out << "), " << num_chassis() << " chassis, " << num_racks() << " racks";
+  if (has_enclosure_power()) {
+    out << " [chassis " << topology_.chassis_idle_watts << " W, rack "
+        << topology_.rack_idle_watts << " W]";
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void bad_fleet(const std::string& what) {
+  throw std::invalid_argument("FleetSpec: " + what);
+}
+
+double require_number(const util::Json& obj, const std::string& key,
+                      const std::string& where) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    bad_fleet(where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return v->as_number();
+}
+
+double optional_number(const util::Json& obj, const std::string& key,
+                       double fallback, const std::string& where) {
+  const util::Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) bad_fleet(where + ": non-numeric \"" + key + "\"");
+  return v->as_number();
+}
+
+}  // namespace
+
+FleetSpec FleetSpec::parse_json(const std::string& text) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(text);
+  } catch (const std::invalid_argument& e) {
+    bad_fleet(std::string("invalid JSON (") + e.what() + ")");
+  }
+  if (!doc.is_object()) bad_fleet("document root must be an object");
+
+  const util::Json* classes_json = doc.find("classes");
+  if (classes_json == nullptr || !classes_json->is_array() ||
+      classes_json->size() == 0) {
+    bad_fleet("\"classes\" must be a non-empty array");
+  }
+  std::vector<ServerClass> classes;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < classes_json->size(); ++i) {
+    const util::Json& c = classes_json->at(i);
+    const std::string where = "classes[" + std::to_string(i) + "]";
+    if (!c.is_object()) bad_fleet(where + ": must be an object");
+    const util::Json* id = c.find("id");
+    if (id == nullptr || !id->is_string() || id->as_string().empty()) {
+      bad_fleet(where + ": missing or empty \"id\"");
+    }
+    const double cores = require_number(c, "cores", where);
+    if (cores < 1.0 || cores != static_cast<double>(static_cast<int>(cores))) {
+      bad_fleet(where + ": \"cores\" must be a positive integer");
+    }
+    const util::Json* freqs = c.find("frequencies_ghz");
+    if (freqs == nullptr || !freqs->is_array() || freqs->size() == 0) {
+      bad_fleet(where + ": \"frequencies_ghz\" must be a non-empty array");
+    }
+    std::vector<double> ladder;
+    ladder.reserve(freqs->size());
+    for (std::size_t k = 0; k < freqs->size(); ++k) {
+      if (!freqs->at(k).is_number()) {
+        bad_fleet(where + ": non-numeric frequency");
+      }
+      ladder.push_back(freqs->at(k).as_number());
+    }
+    PowerModelConfig power;
+    power.idle_watts_at_fmax =
+        optional_number(c, "idle_watts", power.idle_watts_at_fmax, where);
+    power.peak_watts_at_fmax =
+        optional_number(c, "peak_watts", power.peak_watts_at_fmax, where);
+    power.static_fraction =
+        optional_number(c, "static_fraction", power.static_fraction, where);
+    power.freq_exponent =
+        optional_number(c, "freq_exponent", power.freq_exponent, where);
+    try {
+      ServerSpec spec(id->as_string(), static_cast<int>(cores),
+                      std::move(ladder));
+      classes.push_back(ServerClass{id->as_string(), std::move(spec), power});
+    } catch (const std::invalid_argument& e) {
+      bad_fleet(where + ": " + e.what());
+    }
+    ids.push_back(id->as_string());
+  }
+
+  const util::Json* servers_json = doc.find("servers");
+  if (servers_json == nullptr || !servers_json->is_array() ||
+      servers_json->size() == 0) {
+    bad_fleet("\"servers\" must be a non-empty array");
+  }
+  std::vector<std::size_t> class_of_server;
+  for (std::size_t i = 0; i < servers_json->size(); ++i) {
+    const util::Json& s = servers_json->at(i);
+    const std::string where = "servers[" + std::to_string(i) + "]";
+    if (!s.is_object()) bad_fleet(where + ": must be an object");
+    const util::Json* cls = s.find("class");
+    if (cls == nullptr || !cls->is_string()) {
+      bad_fleet(where + ": missing \"class\"");
+    }
+    const auto it = std::find(ids.begin(), ids.end(), cls->as_string());
+    if (it == ids.end()) {
+      bad_fleet(where + ": unknown class \"" + cls->as_string() + "\"");
+    }
+    const double count = require_number(s, "count", where);
+    if (count < 1.0 ||
+        count != static_cast<double>(static_cast<std::size_t>(count))) {
+      bad_fleet(where + ": \"count\" must be a positive integer");
+    }
+    class_of_server.insert(class_of_server.end(),
+                           static_cast<std::size_t>(count),
+                           static_cast<std::size_t>(it - ids.begin()));
+  }
+
+  FleetTopology topology;
+  if (const util::Json* t = doc.find("topology")) {
+    if (!t->is_object()) bad_fleet("\"topology\" must be an object");
+    const double spc = optional_number(*t, "servers_per_chassis", 1.0,
+                                       "topology");
+    const double cpr = optional_number(*t, "chassis_per_rack", 1.0,
+                                       "topology");
+    if (spc < 1.0 || cpr < 1.0) {
+      bad_fleet("topology: enclosure sizes must be >= 1");
+    }
+    topology.servers_per_chassis = static_cast<std::size_t>(spc);
+    topology.chassis_per_rack = static_cast<std::size_t>(cpr);
+    topology.chassis_idle_watts =
+        optional_number(*t, "chassis_idle_watts", 0.0, "topology");
+    topology.rack_idle_watts =
+        optional_number(*t, "rack_idle_watts", 0.0, "topology");
+  }
+
+  try {
+    return FleetSpec(std::move(classes), std::move(class_of_server), topology);
+  } catch (const std::invalid_argument& e) {
+    bad_fleet(e.what());
+  }
+}
+
+FleetSpec FleetSpec::load_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_fleet("cannot read fleet file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_json(buf.str());
+}
+
+}  // namespace cava::model

@@ -1,0 +1,128 @@
+// Heterogeneous fleet model: a registry of server classes plus rack/chassis
+// topology.
+//
+// The paper assumes a homogeneous datacenter ("each server consists of Ncore
+// cores"); this layer generalizes that into per-class descriptors so the
+// allocator, the DVFS controllers and the energy accounting can each consult
+// the *owning server's* spec instead of one global one. A `ServerClass`
+// bundles an immutable ServerSpec (cores + frequency ladder) with the
+// PowerModelConfig that calibrates its wall power; a `FleetSpec` maps every
+// server index to its class and to a chassis/rack position.
+//
+// Topology follows the blade-enclosure model of Esfandiarpoor et al.
+// (arXiv 1302.2227): a chassis that hosts at least one loaded server pays a
+// shared idle overhead (fans, PSUs, management module), so consolidation
+// that empties a whole chassis — not just a server — earns a structural
+// bonus. Racks nest the same way one level up. The default topology is one
+// server per chassis, one chassis per rack, zero enclosure power: with those
+// defaults the model collapses exactly onto the paper's homogeneous story
+// and every downstream computation is bit-identical to the single-spec API
+// this replaces.
+#pragma once
+
+#include "model/power.h"
+#include "model/server.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cava::model {
+
+/// One immutable server class: hardware spec + power calibration + id.
+struct ServerClass {
+  std::string id;
+  ServerSpec spec;
+  PowerModelConfig power;
+
+  /// PowerModel calibrated for this class's fmax.
+  PowerModel make_power_model() const { return PowerModel(power, spec.fmax()); }
+
+  /// The paper's two experimental platforms, calibrated identically to the
+  /// PowerModel::* factories (Setup-1: Dell R815, Setup-2: Xeon E5410).
+  static ServerClass dell_r815();
+  static ServerClass xeon_e5410();
+};
+
+/// Regular enclosure layout. Server s lives in chassis s / servers_per_chassis;
+/// chassis c lives in rack c / chassis_per_rack.
+struct FleetTopology {
+  std::size_t servers_per_chassis = 1;
+  std::size_t chassis_per_rack = 1;
+  /// Shared idle draw of a chassis with >= 1 loaded server (W). Zero keeps
+  /// the energy accounting identical to the enclosure-free model.
+  double chassis_idle_watts = 0.0;
+  /// Same, one level up, for a rack with >= 1 loaded chassis.
+  double rack_idle_watts = 0.0;
+};
+
+/// The datacenter: class registry, per-server class assignment, topology.
+class FleetSpec {
+ public:
+  /// Empty fleet (no servers); usable only as a "not configured" sentinel.
+  FleetSpec() = default;
+
+  /// classes must be non-empty with unique non-empty ids;
+  /// class_of_server[i] indexes into classes (one entry per server).
+  FleetSpec(std::vector<ServerClass> classes,
+            std::vector<std::size_t> class_of_server,
+            FleetTopology topology = {});
+
+  /// The one-class convenience constructor the old single-spec API fields
+  /// collapse into: n identical servers of the given class.
+  static FleetSpec homogeneous(ServerClass server_class, std::size_t n,
+                               FleetTopology topology = {});
+  /// Same, wrapping a bare spec with the default power calibration.
+  static FleetSpec homogeneous(ServerSpec spec, std::size_t n);
+
+  /// Parse a fleet description document:
+  ///   {"classes": [{"id": "...", "cores": 8, "frequencies_ghz": [..],
+  ///                 "idle_watts": 165, "peak_watts": 245,
+  ///                 "static_fraction": 0.6, "freq_exponent": 3}, ...],
+  ///    "servers": [{"class": "id", "count": 10}, ...],
+  ///    "topology": {"servers_per_chassis": 4, "chassis_per_rack": 2,
+  ///                 "chassis_idle_watts": 40, "rack_idle_watts": 60}}
+  /// "id"/"cores"/"frequencies_ghz" and "class"/"count" are required; power
+  /// and topology fields default as above. Throws std::invalid_argument
+  /// with a field-level message on any malformed input.
+  static FleetSpec parse_json(const std::string& text);
+  /// parse_json over a file's contents; throws if the file cannot be read.
+  static FleetSpec load_json(const std::string& path);
+
+  bool empty() const { return class_of_server_.empty(); }
+  std::size_t num_servers() const { return class_of_server_.size(); }
+  std::size_t num_classes() const { return classes_.size(); }
+
+  const ServerClass& server_class(std::size_t c) const { return classes_[c]; }
+  std::size_t class_of(std::size_t server) const;
+  const ServerSpec& spec_of(std::size_t server) const;
+  const PowerModel& power_of(std::size_t server) const;
+  /// Capacity at fmax in fmax-equivalent cores (== spec_of(server).cores()).
+  double capacity_of(std::size_t server) const;
+
+  /// True when every server shares one class (the homogeneous fast path).
+  bool uniform() const { return classes_.size() <= 1; }
+  /// True when every server has the same fmax capacity (weaker than
+  /// uniform(): distinct classes may still agree on core count).
+  bool uniform_capacity() const;
+
+  const FleetTopology& topology() const { return topology_; }
+  std::size_t chassis_of(std::size_t server) const;
+  std::size_t rack_of(std::size_t server) const;
+  std::size_t num_chassis() const;
+  std::size_t num_racks() const;
+  /// True when any enclosure level carries nonzero idle power — the guard
+  /// that keeps the default energy accounting bit-identical.
+  bool has_enclosure_power() const;
+
+  /// One-line summary, e.g. "20 servers (20x e5410), 20 chassis, 20 racks".
+  std::string describe() const;
+
+ private:
+  std::vector<ServerClass> classes_;
+  std::vector<PowerModel> power_models_;  // one per class, same order
+  std::vector<std::size_t> class_of_server_;
+  FleetTopology topology_;
+};
+
+}  // namespace cava::model

@@ -61,6 +61,9 @@ void ProvenanceLedger::write_jsonl(std::ostream& out,
     j["best_rejected_cost"] = r.best_rejected_cost;
     j["seeded"] = r.seeded;
     j["overflow"] = r.overflow;
+    if (!r.server_class.empty()) j["server_class"] = r.server_class;
+    if (r.chassis >= 0) j["chassis"] = static_cast<double>(r.chassis);
+    if (r.rack >= 0) j["rack"] = static_cast<double>(r.rack);
     out << j.dump() << '\n';
   }
   for (const DvfsRecord& r : dvfs_) {
@@ -81,6 +84,12 @@ void ProvenanceLedger::write_jsonl(std::ostream& out,
 std::string ProvenanceLedger::describe(const AssignmentRecord& r) {
   std::ostringstream ss;
   ss << "period " << r.period << ": VM " << r.vm << " -> server " << r.server;
+  if (!r.server_class.empty()) {
+    ss << " [class " << r.server_class;
+    if (r.chassis >= 0) ss << ", chassis " << r.chassis;
+    if (r.rack >= 0) ss << ", rack " << r.rack;
+    ss << "]";
+  }
   if (r.seeded) {
     ss << " (seeded empty server)";
   } else if (r.overflow) {

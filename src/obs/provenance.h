@@ -56,6 +56,11 @@ struct AssignmentRecord {
   bool seeded = false;
   /// True for the overflow dump (every server capacity-bound at max fleet).
   bool overflow = false;
+  /// Fleet position of the accepting server: class id and enclosure indices.
+  /// Empty/-1 when the recording policy had no fleet information.
+  std::string server_class;
+  std::ptrdiff_t chassis = -1;
+  std::ptrdiff_t rack = -1;
 };
 
 /// One per-server static v/f decision with its Eqn.-4 inputs.

@@ -9,6 +9,7 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/structure_aware.h"
 #include "alloc/validate.h"
 #include "obs/scoped_timer.h"
 #include "util/math_util.h"
@@ -16,7 +17,7 @@
 namespace cava::sim {
 
 void SimConfig::validate() const {
-  if (max_servers == 0) {
+  if (fleet.empty() && max_servers == 0) {
     throw std::invalid_argument("SimConfig: max_servers 0");
   }
   if (!(period_seconds > 0.0)) {
@@ -38,9 +39,15 @@ void SimConfig::validate() const {
   faults.validate();
 }
 
+model::FleetSpec SimConfig::resolved_fleet() const {
+  if (!fleet.empty()) return fleet;
+  return model::FleetSpec::homogeneous(default_class, max_servers);
+}
+
 DatacenterSimulator::DatacenterSimulator(SimConfig config)
     : config_(std::move(config)) {
   config_.validate();
+  fleet_ = config_.resolved_fleet();
 }
 
 SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
@@ -56,6 +63,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     throw std::invalid_argument("DatacenterSimulator: period shorter than dt");
   }
   const std::size_t total_samples = input_traces.samples_per_trace();
+  const std::size_t num_servers = fleet_.num_servers();
   const std::size_t num_periods = total_samples / samples_per_period;
   if (num_periods == 0) {
     throw std::invalid_argument("DatacenterSimulator: trace shorter than one period");
@@ -99,8 +107,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     ids.dvfs_fmax_decisions = metrics->counter("dvfs_fmax_decisions");
   }
   if (recorder != nullptr) {
-    recorder->begin_run(policy.name(), config_.max_servers,
-                        config_.period_seconds);
+    recorder->begin_run(policy.name(), num_servers, config_.period_seconds);
   }
   struct TraceIds {
     obs::TraceSession::Id update = 0;
@@ -117,14 +124,17 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     tev.ingest = tr->event("sim.ingest_flush", "samples");
   }
   // Placement-internal diagnostics (TH_cost relaxation, Eqn-2 scan counts)
-  // exist only on the correlation-aware policy.
+  // exist only on the correlation-aware policies.
   auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(&policy);
+  auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(&policy);
 
   SimResult result;
   result.policy_name = policy.name();
-  result.freq_residency_seconds.assign(
-      config_.max_servers,
-      std::vector<double>(config_.server.num_levels(), 0.0));
+  result.freq_residency_seconds.resize(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    result.freq_residency_seconds[s].assign(fleet_.spec_of(s).num_levels(),
+                                            0.0);
+  }
 
   // ---- Fault expansion. With FaultSpec::none() every branch below is a
   // no-op and the replay reads the caller's traces untouched, so fault-free
@@ -140,11 +150,11 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   }
   const trace::TraceSet& traces = *trace_ptr;
   const std::vector<ServerFaultEvent> schedule = injector.server_schedule(
-      config_.max_servers, num_periods, samples_per_period, dt);
+      num_servers, num_periods, samples_per_period, dt);
   const std::vector<double> capacity_fraction =
-      injector.capacity_fractions(config_.max_servers);
+      injector.capacity_fractions(num_servers);
   std::size_t event_cursor = 0;
-  std::vector<char> server_up(config_.max_servers, 1);
+  std::vector<char> server_up(num_servers, 1);
 
   // Per-VM predictors of next-period reference utilization.
   std::vector<std::unique_ptr<trace::Predictor>> predictors;
@@ -238,8 +248,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
 
     // ---- ALLOCATE. ----
     alloc::PlacementContext ctx;
-    ctx.server = config_.server;
-    ctx.max_servers = config_.max_servers;
+    ctx.fleet = &fleet_;
+    ctx.max_servers = num_servers;
     ctx.cost_matrix = &prev_matrix;
     ctx.moments = &prev_moments;
     ctx.history = &history;
@@ -259,7 +269,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
 #if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
     // Structural invariants only: capacity overflow is legitimate policy
     // output on infeasible instances (the replay records the violations).
-    alloc::validate_placement_or_throw(placement, demands, config_.server,
+    alloc::validate_placement_or_throw(placement, demands, fleet_,
                                        {/*strict_capacity=*/false});
 #endif
 
@@ -269,6 +279,21 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       record.placement_clusters = pcp->last_cluster_count();
     }
     active_servers_sum += static_cast<double>(record.active_servers);
+    {
+      // Enclosure occupancy of the decided placement (structural
+      // diagnostic; the energy term below works from live replay state).
+      std::vector<char> chassis_used(fleet_.num_chassis(), 0);
+      std::vector<char> rack_used(fleet_.num_racks(), 0);
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (placement.vms_on(s).empty()) continue;
+        chassis_used[fleet_.chassis_of(s)] = 1;
+        rack_used[fleet_.rack_of(s)] = 1;
+      }
+      record.active_chassis = static_cast<std::size_t>(
+          std::count(chassis_used.begin(), chassis_used.end(), 1));
+      record.active_racks = static_cast<std::size_t>(
+          std::count(rack_used.begin(), rack_used.end(), 1));
+    }
 
     // Migration accounting against the previous period's placement.
     std::vector<double> demand_by_vm(n, 0.0);
@@ -284,13 +309,19 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     prev_placement = placement;
 
     // ---- Static v/f decision per server. ----
-    std::vector<double> static_f(config_.max_servers, config_.server.fmax());
+    std::vector<double> static_f(num_servers);
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      static_f[s] = fleet_.spec_of(s).fmax();
+    }
     std::vector<dvfs::DynamicVfController> controllers;
     if (config_.vf_mode == VfMode::kDynamic) {
-      controllers.assign(config_.max_servers,
-                         dvfs::DynamicVfController(
-                             config_.server, config_.dynamic_interval_samples,
-                             config_.dynamic_headroom));
+      // Each controller quantizes against its *own* server's ladder.
+      controllers.reserve(num_servers);
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        controllers.emplace_back(fleet_.spec_of(s),
+                                 config_.dynamic_interval_samples,
+                                 config_.dynamic_headroom);
+      }
     }
     const bool static_decide = config_.vf_mode == VfMode::kStatic ||
                                config_.vf_mode == VfMode::kOracleStatic;
@@ -299,21 +330,22 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         tr != nullptr && static_decide ? obs::TraceSession::now_ns() : 0;
     obs::ScopedTimer dvfs_timer(metrics, ids.dvfs_decide_ns,
                                 metrics != nullptr && static_decide);
-    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+    for (std::size_t s = 0; s < num_servers; ++s) {
       const auto vms = placement.vms_on(s);
       if (vms.empty()) continue;
+      const model::ServerSpec& spec = fleet_.spec_of(s);
       if (config_.vf_mode == VfMode::kStatic) {
         dvfs::ServerView view;
         for (std::size_t vm : vms) view.total_reference += demands[vm].reference;
         view.correlation_cost = prev_matrix.server_cost(vms);
         view.num_vms = vms.size();
-        static_f[s] = static_vf->decide(view, config_.server);
+        static_f[s] = static_vf->decide(view, spec);
         if (ledger != nullptr) {
           obs::DvfsRecord dr;
           dr.server = s;
           dr.cost_server = view.correlation_cost;
           dr.total_reference = view.total_reference;
-          dr.pre_clamp_f = static_vf->raw_target(view, config_.server);
+          dr.pre_clamp_f = static_vf->raw_target(view, spec);
           dr.chosen_f = static_f[s];
           dr.num_vms = vms.size();
           ledger->record_dvfs(dr);
@@ -327,18 +359,18 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
           for (std::size_t vm : vms) agg += traces[vm].series[first + s_idx];
           peak = std::max(peak, agg);
         }
-        static_f[s] = config_.server.quantize_up(
-            config_.server.fmax() * peak / config_.server.max_capacity());
+        static_f[s] =
+            spec.quantize_up(spec.fmax() * peak / spec.max_capacity());
       }
       if (static_decide) {
         ++dvfs_decisions;
         if (metrics != nullptr) {
           // Ladder-edge decisions: Eqn 4 (or the worst-case rule) wanted to
           // go below fmin (clamped) or had no headroom below fmax.
-          if (static_f[s] <= config_.server.fmin()) {
+          if (static_f[s] <= spec.fmin()) {
             metrics->add(ids.dvfs_fmin_decisions);
           }
-          if (static_f[s] >= config_.server.fmax()) {
+          if (static_f[s] >= spec.fmax()) {
             metrics->add(ids.dvfs_fmax_decisions);
           }
         }
@@ -355,9 +387,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     // policy's decision and mutates when the failover path moves VMs off a
     // crashed server. Fault-free runs never mutate it, so the copy preserves
     // sample-by-sample arithmetic exactly. ----
-    std::vector<std::vector<std::size_t>> live_vms(config_.max_servers);
-    std::vector<double> live_load(config_.max_servers, 0.0);
-    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+    std::vector<std::vector<std::size_t>> live_vms(num_servers);
+    std::vector<double> live_load(num_servers, 0.0);
+    for (std::size_t s = 0; s < num_servers; ++s) {
       const auto vms = placement.vms_on(s);
       live_vms[s].assign(vms.begin(), vms.end());
       for (std::size_t vm : vms) live_load[s] += demand_by_vm[vm];
@@ -373,10 +405,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
       std::size_t best = kNone;
       double best_cost = -1.0;
-      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      for (std::size_t s = 0; s < num_servers; ++s) {
         if (!server_up[s]) continue;
-        const double cap =
-            capacity_fraction[s] * config_.server.max_capacity();
+        const double cap = capacity_fraction[s] * fleet_.capacity_of(s);
         if (live_load[s] + need > cap + 1e-9) continue;
         const double cost = prev_matrix.server_cost_with(live_vms[s], vm);
         if (cost > config_.failover_threshold && cost > best_cost) {
@@ -385,10 +416,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         }
       }
       if (best == kNone) {
-        for (std::size_t s = 0; s < config_.max_servers; ++s) {
+        for (std::size_t s = 0; s < num_servers; ++s) {
           if (!server_up[s]) continue;
-          const double cap =
-              capacity_fraction[s] * config_.server.max_capacity();
+          const double cap = capacity_fraction[s] * fleet_.capacity_of(s);
           if (live_load[s] + need <= cap + 1e-9) {
             best = s;
             break;
@@ -425,7 +455,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     // Servers already down at the period boundary: the policy has no
     // availability mask, so its assignments to dead servers are immediately
     // failed over through the same chain as a mid-period crash.
-    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+    for (std::size_t s = 0; s < num_servers; ++s) {
       if (!server_up[s] && !live_vms[s].empty()) evacuate(s);
     }
 
@@ -460,7 +490,14 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     };
     double freq_weighted_time = 0.0;
     double active_time = 0.0;
-    std::vector<std::size_t> server_violations(config_.max_servers, 0);
+    std::vector<std::size_t> server_violations(num_servers, 0);
+    // Enclosure idle energy (chassis/rack overhead of Esfandiarpoor et al.).
+    // Guarded by has_enclosure_power(): the default topology carries zero
+    // watts and the accounting below is skipped entirely, keeping the
+    // homogeneous path bit-identical.
+    const bool enclosure_power = fleet_.has_enclosure_power();
+    std::vector<char> chassis_live(enclosure_power ? fleet_.num_chassis() : 0);
+    std::vector<char> rack_live(enclosure_power ? fleet_.num_racks() : 0);
 
     const std::uint64_t replay_start =
         tr != nullptr ? obs::TraceSession::now_ns() : 0;
@@ -500,9 +537,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         tick[i] = traces[i].series[first + s_idx];
       }
 
-      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      for (std::size_t s = 0; s < num_servers; ++s) {
         const std::vector<std::size_t>& vms = live_vms[s];
         if (vms.empty()) continue;
+        const model::ServerSpec& spec = fleet_.spec_of(s);
         double agg = 0.0;
         for (std::size_t vm : vms) agg += tick[vm];
 
@@ -510,30 +548,48 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         if (config_.vf_mode == VfMode::kDynamic) {
           f = controllers[s].current_frequency();
         } else if (config_.vf_mode == VfMode::kNone) {
-          f = config_.server.fmax();
+          f = spec.fmax();
         }
 
-        const double capacity =
-            capacity_fraction[s] * config_.server.capacity_at(f);
+        const double capacity = capacity_fraction[s] * spec.capacity_at(f);
         if (agg > capacity + 1e-9) {
           ++server_violations[s];
           ++violated_instances;
         }
         ++active_instances;
 
-        const double busy_cores =
-            std::min(agg * config_.server.fmax() / f,
-                     static_cast<double>(config_.server.cores()));
+        const double busy_cores = std::min(
+            agg * spec.fmax() / f, static_cast<double>(spec.cores()));
         const double busy_fraction =
-            busy_cores / static_cast<double>(config_.server.cores());
-        period_energy += config_.power.energy(f, busy_fraction, dt);
-        result.freq_residency_seconds[s][config_.server.level_index(f)] += dt;
+            busy_cores / static_cast<double>(spec.cores());
+        period_energy += fleet_.power_of(s).energy(f, busy_fraction, dt);
+        result.freq_residency_seconds[s][spec.level_index(f)] += dt;
         freq_weighted_time += f * dt;
         active_time += dt;
 
         if (config_.vf_mode == VfMode::kDynamic) {
           controllers[s].on_sample(agg);
         }
+      }
+
+      if (enclosure_power) {
+        // A chassis (rack) is live while any of its servers hosts a VM;
+        // its shared idle draw is charged for the tick.
+        std::fill(chassis_live.begin(), chassis_live.end(), 0);
+        std::fill(rack_live.begin(), rack_live.end(), 0);
+        for (std::size_t s = 0; s < num_servers; ++s) {
+          if (live_vms[s].empty()) continue;
+          chassis_live[fleet_.chassis_of(s)] = 1;
+          rack_live[fleet_.rack_of(s)] = 1;
+        }
+        const auto live_chassis = static_cast<double>(
+            std::count(chassis_live.begin(), chassis_live.end(), 1));
+        const auto live_racks = static_cast<double>(
+            std::count(rack_live.begin(), rack_live.end(), 1));
+        period_energy +=
+            (live_chassis * fleet_.topology().chassis_idle_watts +
+             live_racks * fleet_.topology().rack_idle_watts) *
+            dt;
       }
 
       if (!unplaced.empty()) {
@@ -549,7 +605,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     }
 
     // ---- Period wrap-up. ----
-    for (std::size_t s = 0; s < config_.max_servers; ++s) {
+    for (std::size_t s = 0; s < num_servers; ++s) {
       if (live_vms[s].empty() && server_violations[s] == 0) continue;
       const double ratio = static_cast<double>(server_violations[s]) /
                            static_cast<double>(samples_per_period);
@@ -588,16 +644,19 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         row.relaxation_rounds = proposed->last_relaxation_rounds();
         row.final_threshold = proposed->last_final_threshold();
         row.candidate_evals = proposed->last_candidate_evals();
+      } else if (structure != nullptr) {
+        row.relaxation_rounds = structure->last_relaxation_rounds();
+        row.final_threshold = structure->last_final_threshold();
       }
       row.placement_wall_ns = place_ns;
       row.dvfs_decisions = dvfs_decisions;
-      row.server_frequency_ghz.assign(config_.max_servers, 0.0);
-      for (std::size_t s = 0; s < config_.max_servers; ++s) {
+      row.server_frequency_ghz.assign(num_servers, 0.0);
+      for (std::size_t s = 0; s < num_servers; ++s) {
         if (live_vms[s].empty()) continue;
         if (config_.vf_mode == VfMode::kDynamic) {
           row.server_frequency_ghz[s] = controllers[s].current_frequency();
         } else if (config_.vf_mode == VfMode::kNone) {
-          row.server_frequency_ghz[s] = config_.server.fmax();
+          row.server_frequency_ghz[s] = fleet_.spec_of(s).fmax();
         } else {
           row.server_frequency_ghz[s] = static_f[s];
         }

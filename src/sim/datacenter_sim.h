@@ -25,6 +25,7 @@
 
 #include "alloc/placement.h"
 #include "dvfs/vf_policy.h"
+#include "model/fleet.h"
 #include "model/power.h"
 #include "model/server.h"
 #include "obs/metrics.h"
@@ -59,8 +60,17 @@ enum class VfMode { kNone, kStatic, kDynamic, kOracleStatic };
 enum class CostHorizon { kPreviousPeriod, kCumulative };
 
 struct SimConfig {
-  model::ServerSpec server = model::ServerSpec::xeon_e5410();
-  model::PowerModel power = model::PowerModel::xeon_e5410();
+  /// The fleet under simulation: per-server class, capacity, power model and
+  /// enclosure topology. Empty (the default) selects the homogeneous
+  /// convenience path: resolved_fleet() builds `max_servers` identical
+  /// servers of `default_class` — the one-class constructor the old
+  /// single-spec `server`/`power` fields collapsed into.
+  model::FleetSpec fleet;
+  /// Class used by the homogeneous convenience path (Setup-2 default).
+  /// Ignored when `fleet` is non-empty.
+  model::ServerClass default_class = model::ServerClass::xeon_e5410();
+  /// Server count of the homogeneous convenience path. Ignored when `fleet`
+  /// is non-empty (the fleet's own size wins).
   std::size_t max_servers = 20;
   double period_seconds = 3600.0;  ///< tperiod (paper: 1 hour)
   trace::ReferenceSpec reference = trace::ReferenceSpec::peak();
@@ -90,6 +100,10 @@ struct SimConfig {
   /// instead of scattered ad-hoc throws. Called by the simulator constructor;
   /// entry points building configs by hand can call it early.
   void validate() const;
+
+  /// The fleet the simulator actually runs: `fleet` when set, otherwise the
+  /// homogeneous convenience fleet of `max_servers` x `default_class`.
+  model::FleetSpec resolved_fleet() const;
 };
 
 /// Per-period diagnostics.
@@ -104,6 +118,10 @@ struct PeriodRecord {
   std::size_t server_crashes = 0;       ///< crash events this period
   std::size_t failover_migrations = 0;  ///< emergency re-placements
   double unplaced_vm_seconds = 0.0;     ///< VM-seconds spent unhosted
+  /// Enclosures hosting at least one VM under the period's placement
+  /// (equals active_servers on the default 1-server-per-chassis topology).
+  std::size_t active_chassis = 0;
+  std::size_t active_racks = 0;
 };
 
 struct SimResult {
@@ -173,8 +191,12 @@ class DatacenterSimulator {
   /// over the trace set.
   SimResult run(const trace::TraceSet& traces, const RunOptions& options) const;
 
+  /// The fleet this simulator runs (config.resolved_fleet(), cached).
+  const model::FleetSpec& fleet() const { return fleet_; }
+
  private:
   SimConfig config_;
+  model::FleetSpec fleet_;
 };
 
 }  // namespace cava::sim

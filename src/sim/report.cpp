@@ -46,6 +46,14 @@ util::Json to_json(const SimResult& result) {
     if (p.unplaced_vm_seconds > 0.0) {
       jp["unplaced_vm_seconds"] = p.unplaced_vm_seconds;
     }
+    // Enclosure occupancy is informative only on topologies that actually
+    // nest servers; the default 1:1:1 layout makes these equal to
+    // active_servers and they are omitted (existing outputs unchanged).
+    if (p.active_chassis != p.active_servers ||
+        p.active_racks != p.active_chassis) {
+      jp["active_chassis"] = p.active_chassis;
+      jp["active_racks"] = p.active_racks;
+    }
     periods.push_back(std::move(jp));
   }
   j["periods"] = std::move(periods);

@@ -14,7 +14,8 @@ namespace {
 /// combination produced it.
 std::string describe(const SweepJob& job) {
   std::ostringstream ss;
-  ss << "label='" << job.label << "' servers=" << job.config.max_servers
+  ss << "label='" << job.label << "' servers="
+     << job.config.resolved_fleet().num_servers()
      << " period_s=" << job.config.period_seconds << " vf=";
   switch (job.config.vf_mode) {
     case VfMode::kNone: ss << "fmax"; break;

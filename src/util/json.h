@@ -1,6 +1,6 @@
-// Minimal JSON serialization: enough to export simulation results and
-// configurations for downstream analysis (plotting, dashboards) without an
-// external dependency. Write-only by design.
+// Minimal JSON support: enough to export simulation results for downstream
+// analysis and to read small configuration documents (fleet descriptions,
+// committed benchmark baselines) without an external dependency.
 #pragma once
 
 #include <initializer_list>
@@ -27,9 +27,26 @@ class Json {
   static Json array(std::initializer_list<Json> items);
   static Json object();
 
+  /// Parse a JSON document. Throws std::invalid_argument with the byte
+  /// offset of the first error; trailing non-whitespace is an error too.
+  static Json parse(const std::string& text);
+
   bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_array() const { return kind_ == Kind::kArray; }
   bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed reads; each throws std::logic_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Array element; throws std::out_of_range past the end.
+  const Json& at(std::size_t index) const;
 
   /// Array append (value must be an array).
   void push_back(Json v);

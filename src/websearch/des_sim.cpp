@@ -58,13 +58,17 @@ WebSearchResult EventDrivenWebSearchSimulator::run() const {
   util::Rng rng(config_.seed);
   const std::size_t n_isns = config_.isns.size();
   const std::size_t n_clusters = config_.cluster_waves.size();
-  const double fmax = config_.server.fmax();
+  const model::FleetSpec& fleet = config_.fleet;
+  const std::size_t num_servers = fleet.num_servers();
 
-  std::vector<double> freq(config_.num_servers, fmax);
+  std::vector<double> freq(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    freq[s] = fleet.spec_of(s).fmax();
+  }
   if (!config_.server_freq_ghz.empty()) freq = config_.server_freq_ghz;
 
   std::vector<std::vector<std::size_t>> cluster_isns(n_clusters);
-  std::vector<std::vector<std::size_t>> server_isns(config_.num_servers);
+  std::vector<std::vector<std::size_t>> server_isns(num_servers);
   for (std::size_t i = 0; i < n_isns; ++i) {
     cluster_isns[static_cast<std::size_t>(config_.isns[i].cluster)].push_back(i);
     server_isns[config_.isns[i].server].push_back(i);
@@ -74,7 +78,7 @@ WebSearchResult EventDrivenWebSearchSimulator::run() const {
   std::vector<QueryState> queries;
   std::vector<std::deque<Task>> waiting(n_isns);   // per-VM FIFO
   std::vector<int> running(n_isns, 0);             // tasks on cores, per VM
-  std::vector<int> server_busy_cores(config_.num_servers, 0);
+  std::vector<int> server_busy_cores(num_servers, 0);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
@@ -102,8 +106,8 @@ WebSearchResult EventDrivenWebSearchSimulator::run() const {
   std::vector<std::vector<double>> vm_busy(n_isns,
                                            std::vector<double>(n_buckets, 0.0));
   std::vector<std::vector<double>> server_busy(
-      config_.num_servers, std::vector<double>(n_buckets, 0.0));
-  std::vector<double> server_busy_total(config_.num_servers, 0.0);
+      num_servers, std::vector<double>(n_buckets, 0.0));
+  std::vector<double> server_busy_total(num_servers, 0.0);
   std::vector<double> last_update(n_isns, 0.0);
 
   auto account = [&](std::size_t isn, double until) {
@@ -129,16 +133,17 @@ WebSearchResult EventDrivenWebSearchSimulator::run() const {
 
   auto dispatch = [&](std::size_t isn, double now) {
     const std::size_t server = config_.isns[isn].server;
+    const model::ServerSpec& spec = fleet.spec_of(server);
     const int cap = static_cast<int>(config_.isns[isn].core_cap);
     while (!waiting[isn].empty() && running[isn] < cap &&
-           server_busy_cores[server] < config_.server.cores()) {
+           server_busy_cores[server] < spec.cores()) {
       Task task = waiting[isn].front();
       waiting[isn].pop_front();
       account(isn, now);
       ++running[isn];
       ++server_busy_cores[server];
       const double wall =
-          task.service_seconds * fmax / freq[server];
+          task.service_seconds * spec.fmax() / freq[server];
       events.push({now + wall, EventKind::kCompletion, 0, isn, task.query});
     }
   };
@@ -197,17 +202,16 @@ WebSearchResult EventDrivenWebSearchSimulator::run() const {
     vt.series = trace::TimeSeries(config_.util_sample_dt, std::move(samples));
     result.vm_utilization.add(std::move(vt));
   }
-  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const auto cores = static_cast<double>(fleet.spec_of(s).cores());
     std::vector<double> samples(n_buckets);
     for (std::size_t b = 0; b < n_buckets; ++b) {
-      samples[b] = server_busy[s][b] / config_.util_sample_dt /
-                   static_cast<double>(config_.server.cores());
+      samples[b] = server_busy[s][b] / config_.util_sample_dt / cores;
     }
     result.server_utilization.emplace_back(config_.util_sample_dt,
                                            std::move(samples));
     result.server_busy_fraction.push_back(
-        server_busy_total[s] / config_.duration_seconds /
-        static_cast<double>(config_.server.cores()));
+        server_busy_total[s] / config_.duration_seconds / cores);
   }
   return result;
 }

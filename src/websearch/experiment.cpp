@@ -19,8 +19,7 @@ std::string to_string(Setup1Placement placement) {
 WebSearchConfig make_setup1_config(Setup1Placement placement,
                                    const Setup1Options& options) {
   WebSearchConfig cfg;
-  cfg.server = model::ServerSpec::dell_r815();
-  cfg.num_servers = 2;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 2);
   cfg.server_freq_ghz = {options.frequency_ghz, options.frequency_ghz};
   cfg.duration_seconds = options.duration_seconds;
   cfg.seed = options.seed;

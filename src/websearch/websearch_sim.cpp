@@ -17,8 +17,11 @@ WebSearchSimulator::WebSearchSimulator(WebSearchConfig config)
   if (config_.isns.empty()) {
     throw std::invalid_argument("WebSearchSimulator: no ISNs");
   }
+  if (config_.fleet.empty()) {
+    throw std::invalid_argument("WebSearchSimulator: empty fleet");
+  }
   for (const auto& isn : config_.isns) {
-    if (isn.server >= config_.num_servers) {
+    if (isn.server >= config_.fleet.num_servers()) {
       throw std::invalid_argument("WebSearchSimulator: ISN on missing server");
     }
     if (isn.cluster < 0 ||
@@ -27,7 +30,7 @@ WebSearchSimulator::WebSearchSimulator(WebSearchConfig config)
     }
   }
   if (!config_.server_freq_ghz.empty() &&
-      config_.server_freq_ghz.size() != config_.num_servers) {
+      config_.server_freq_ghz.size() != config_.fleet.num_servers()) {
     throw std::invalid_argument(
         "WebSearchSimulator: server_freq_ghz size mismatch");
   }
@@ -62,11 +65,15 @@ double wave_clients(const trace::ClientWaveConfig& w, double t) {
 
 WebSearchResult WebSearchSimulator::run() const {
   util::Rng rng(config_.seed);
+  const model::FleetSpec& fleet = config_.fleet;
+  const std::size_t num_servers = fleet.num_servers();
   const std::size_t n_isns = config_.isns.size();
   const std::size_t n_clusters = config_.cluster_waves.size();
-  const double fmax = config_.server.fmax();
 
-  std::vector<double> freq(config_.num_servers, fmax);
+  std::vector<double> freq(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    freq[s] = fleet.spec_of(s).fmax();
+  }
   if (!config_.server_freq_ghz.empty()) freq = config_.server_freq_ghz;
 
   // Per-ISN run queues.
@@ -75,7 +82,7 @@ WebSearchResult WebSearchSimulator::run() const {
 
   // ISNs grouped per cluster and per server for the inner loops.
   std::vector<std::vector<std::size_t>> cluster_isns(n_clusters);
-  std::vector<std::vector<std::size_t>> server_isns(config_.num_servers);
+  std::vector<std::vector<std::size_t>> server_isns(num_servers);
   for (std::size_t i = 0; i < n_isns; ++i) {
     cluster_isns[static_cast<std::size_t>(config_.isns[i].cluster)].push_back(i);
     server_isns[config_.isns[i].server].push_back(i);
@@ -95,8 +102,8 @@ WebSearchResult WebSearchSimulator::run() const {
   std::vector<std::vector<double>> vm_busy(n_isns,
                                            std::vector<double>(n_buckets, 0.0));
   std::vector<std::vector<double>> server_busy(
-      config_.num_servers, std::vector<double>(n_buckets, 0.0));
-  std::vector<double> server_busy_total(config_.num_servers, 0.0);
+      num_servers, std::vector<double>(n_buckets, 0.0));
+  std::vector<double> server_busy_total(num_servers, 0.0);
 
   const double dt = config_.step_seconds;
   const auto n_steps =
@@ -130,10 +137,11 @@ WebSearchResult WebSearchSimulator::run() const {
     }
 
     // ---- Processor-sharing service on each server. ----
-    for (std::size_t s = 0; s < config_.num_servers; ++s) {
-      const double speed = freq[s] / fmax;  // fmax-equivalent rate per core
-      const double capacity =
-          static_cast<double>(config_.server.cores()) * speed;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      const model::ServerSpec& spec = fleet.spec_of(s);
+      // fmax-equivalent rate per core of *this* server's hardware.
+      const double speed = freq[s] / spec.fmax();
+      const double capacity = static_cast<double>(spec.cores()) * speed;
       // Each VM wants one core per runnable task, capped by its core cap.
       double total_want = 0.0;
       std::vector<double> want(server_isns[s].size(), 0.0);
@@ -191,17 +199,16 @@ WebSearchResult WebSearchSimulator::run() const {
     vt.series = trace::TimeSeries(config_.util_sample_dt, std::move(samples));
     result.vm_utilization.add(std::move(vt));
   }
-  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const auto cores = static_cast<double>(fleet.spec_of(s).cores());
     std::vector<double> samples(n_buckets);
     for (std::size_t b = 0; b < n_buckets; ++b) {
-      samples[b] = server_busy[s][b] / config_.util_sample_dt /
-                   static_cast<double>(config_.server.cores());
+      samples[b] = server_busy[s][b] / config_.util_sample_dt / cores;
     }
     result.server_utilization.emplace_back(config_.util_sample_dt,
                                            std::move(samples));
     result.server_busy_fraction.push_back(
-        server_busy_total[s] / config_.duration_seconds /
-        static_cast<double>(config_.server.cores()));
+        server_busy_total[s] / config_.duration_seconds / cores);
   }
   return result;
 }

@@ -26,7 +26,7 @@
 // retires f/fmax units per second. Tasks are single-threaded (one core max).
 #pragma once
 
-#include "model/server.h"
+#include "model/fleet.h"
 #include "trace/synthesis.h"
 #include "trace/time_series.h"
 
@@ -61,9 +61,12 @@ struct WebSearchConfig {
   double demand_cv = 0.8;
 
   std::vector<IsnSpec> isns;
-  model::ServerSpec server = model::ServerSpec::dell_r815();
-  std::size_t num_servers = 2;
-  /// Operating frequency per server (GHz); defaults to fmax when empty.
+  /// Hosting fleet (Setup-1 default: two Dell R815 servers). ISN speed and
+  /// core capacity are read from each ISN's own hosting server.
+  model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 2);
+  /// Operating frequency per server (GHz); defaults to each server's fmax
+  /// when empty.
   std::vector<double> server_freq_ghz;
 
   double duration_seconds = 1200.0;

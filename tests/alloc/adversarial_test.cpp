@@ -68,7 +68,10 @@ struct Instance {
       matrix = corr::CostMatrix::from_traces(history,
                                              trace::ReferenceSpec::peak());
     }
-    ctx.server = model::ServerSpec("s", 8, {1.0, 2.0});
+    static const model::FleetSpec fleet =
+        model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {1.0, 2.0}),
+                                      64);
+    ctx.fleet = &fleet;
     ctx.max_servers = max_servers;
     ctx.cost_matrix = &matrix;
     ctx.history = &history;

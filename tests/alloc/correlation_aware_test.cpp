@@ -11,6 +11,13 @@ namespace {
 
 constexpr double kPi = 3.14159265358979323846;
 
+/// Shared homogeneous fleet with a stable address for context pointers.
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
 /// Build traces with given phases and amplitude, plus the matching matrix.
 struct Fixture {
   trace::TraceSet traces;
@@ -42,7 +49,7 @@ struct Fixture {
 
   PlacementContext context(std::size_t max_servers = 4) const {
     PlacementContext ctx;
-    ctx.server = model::ServerSpec("s", 8, {2.0});
+    ctx.fleet = &test_fleet();
     ctx.max_servers = max_servers;
     ctx.cost_matrix = &matrix;
     ctx.history = &traces;
@@ -63,7 +70,7 @@ TEST(CorrelationAware, RequiresCostMatrix) {
   CorrelationAwarePlacement policy;
   std::vector<model::VmDemand> d{{0, 1.0}};
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 2;
   ctx.cost_matrix = nullptr;
   EXPECT_THROW(policy.place(d, ctx), std::invalid_argument);
@@ -125,7 +132,7 @@ TEST(CorrelationAware, GrowsActiveSetWhenFragmented) {
   m.add_sample(std::vector<double>{5.0, 5.0, 5.0});
   std::vector<model::VmDemand> d{{0, 5.0}, {1, 5.0}, {2, 5.0}};
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 5;
   ctx.cost_matrix = &m;
   CorrelationAwarePlacement policy;
@@ -139,7 +146,7 @@ TEST(CorrelationAware, OverflowsWhenNoCapacityAnywhere) {
   m.add_sample(std::vector<double>{8.0, 8.0, 8.0});
   std::vector<model::VmDemand> d{{0, 8.0}, {1, 8.0}, {2, 8.0}};
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 2;
   ctx.cost_matrix = &m;
   CorrelationAwarePlacement policy;
@@ -211,7 +218,7 @@ TEST_P(RandomizedCompleteness, AlwaysCompletesWithinCapacity) {
     refs.push_back(d.back().reference);
   }
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 20;
   ctx.cost_matrix = &matrix;
   CorrelationAwarePlacement policy;

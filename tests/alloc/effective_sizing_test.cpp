@@ -12,6 +12,12 @@ namespace {
 
 constexpr double kPi = 3.14159265358979323846;
 
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
 struct Fixture {
   trace::TraceSet traces;
   corr::MomentMatrix moments;
@@ -37,7 +43,7 @@ struct Fixture {
     for (std::size_t i = 0; i < traces.size(); ++i) {
       demands.push_back({i, traces[i].series.peak()});
     }
-    ctx.server = model::ServerSpec("s", 8, {2.0});
+    ctx.fleet = &test_fleet();
     ctx.max_servers = max_servers;
     ctx.moments = &moments;
   }
@@ -48,7 +54,7 @@ TEST(EffectiveSizing, FallsBackToBestFitWithoutMoments) {
   BestFitDecreasing bfd;
   std::vector<model::VmDemand> d{{0, 4.0}, {1, 4.0}, {2, 2.0}};
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 4;
   ctx.moments = nullptr;
   const auto a = es.place(d, ctx);

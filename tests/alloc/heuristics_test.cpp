@@ -2,17 +2,30 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "alloc/bfd.h"
 #include "alloc/ffd.h"
+#include "model/fleet.h"
 #include "util/rng.h"
 
 namespace cava::alloc {
 namespace {
 
+// Interned per core count so the returned context's fleet pointer stays
+// valid after make_context returns.
+const model::FleetSpec& test_fleet(int cores) {
+  static std::map<int, model::FleetSpec> fleets;
+  auto [it, inserted] = fleets.try_emplace(
+      cores,
+      model::FleetSpec::homogeneous(model::ServerSpec("s", cores, {2.0}), 128));
+  (void)inserted;
+  return it->second;
+}
+
 PlacementContext make_context(std::size_t max_servers, int cores = 8) {
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", cores, {2.0});
+  ctx.fleet = &test_fleet(cores);
   ctx.max_servers = max_servers;
   return ctx;
 }

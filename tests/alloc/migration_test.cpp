@@ -58,8 +58,10 @@ TEST(CountMigrations, MismatchedUniverseThrows) {
 }
 
 PlacementContext make_context(std::size_t max_servers = 6) {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &fleet;
   ctx.max_servers = max_servers;
   return ctx;
 }

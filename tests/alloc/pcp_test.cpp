@@ -28,8 +28,10 @@ trace::TraceSet make_sine_history(const std::vector<double>& phases,
 
 PlacementContext make_context(const trace::TraceSet* history,
                               std::size_t max_servers = 4) {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 128);
   PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &fleet;
   ctx.max_servers = max_servers;
   ctx.history = history;
   return ctx;

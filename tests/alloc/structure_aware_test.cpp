@@ -1,0 +1,161 @@
+// Unit tests of the structure-aware ALLOCATE variant: the enclosure bonus
+// must tip an acceptance decision that the plain acceptance test would
+// reject, the chassis diagnostics must reflect the final placement, and the
+// provenance records must carry the enclosure position with the *pure*
+// Eqn.-2 cost (score minus bonus).
+#include "alloc/structure_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "model/fleet.h"
+#include "obs/provenance.h"
+#include "trace/time_series.h"
+
+namespace cava {
+namespace {
+
+/// Three VMs with hand-picked peaks and pairwise costs:
+///   A (vm0, peak 5), B (vm1, peak 5), C (vm2, peak 3)
+///   cost(A,C) = cost(B,C) = 8/7.1 ~= 1.1268  (just below TH_cost = 1.15)
+///   cost(A,B) = 2.0 (A and B can never share an 8-core server anyway)
+trace::TraceSet make_traces() {
+  trace::TraceSet traces;
+  traces.add({"A", 0, trace::TimeSeries(1.0, {5.0, 0.0, 0.0, 0.0})});
+  traces.add({"B", 0, trace::TimeSeries(1.0, {0.0, 5.0, 0.0, 0.0})});
+  traces.add({"C", 1, trace::TimeSeries(1.0, {2.1, 2.1, 3.0, 0.0})});
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands() {
+  return {{0, 5.0}, {1, 5.0}, {2, 3.0}};
+}
+
+const model::ServerClass test_class() {
+  return model::ServerClass{"s", model::ServerSpec("s", 8, {2.0}), {}};
+}
+
+TEST(StructureAware, EnclosureBonusTipsABelowThresholdCandidate) {
+  // Two 8-core servers per chassis: once A seeds server 0 and B seeds
+  // server 1 (both in chassis 0), C's cost 1.1268 <= 1.15 alone, but the
+  // chassis (0.05) + rack (0.02) credit lifts the score past TH_cost, so C
+  // joins B without a single threshold relaxation.
+  const auto traces = make_traces();
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  model::FleetTopology topo;
+  topo.servers_per_chassis = 2;
+  topo.chassis_per_rack = 2;
+  const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(test_class(), 4, topo);
+  alloc::PlacementContext ctx;
+  ctx.fleet = &fleet;
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+
+  alloc::StructureAwarePlacement policy;
+  const auto demands = make_demands();
+  const alloc::Placement placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+  EXPECT_EQ(placement.server_of(0), std::size_t{0});  // A seeds server 0
+  EXPECT_EQ(placement.server_of(1), std::size_t{1});  // B seeds server 1
+  EXPECT_EQ(placement.server_of(2), std::size_t{1});  // bonus pulls C to B
+  EXPECT_EQ(policy.last_relaxation_rounds(), 0u);
+  EXPECT_EQ(policy.last_active_chassis(), 1u);
+}
+
+TEST(StructureAware, FlatTopologyNeedsARelaxationForTheSameInstance) {
+  // Same instance, default 1:1:1 topology: no server ever earns a bonus, so
+  // C is rejected everywhere at TH_cost = 1.15 and only places after one
+  // geometric relaxation (1.15 * 0.9 = 1.035 < 1.1268) — onto server 0,
+  // the first server in the sweep.
+  const auto traces = make_traces();
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(test_class(), 4);
+  alloc::PlacementContext ctx;
+  ctx.fleet = &fleet;
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+
+  alloc::StructureAwarePlacement policy;
+  const auto demands = make_demands();
+  const alloc::Placement placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+  EXPECT_EQ(placement.server_of(0), std::size_t{0});
+  EXPECT_EQ(placement.server_of(1), std::size_t{1});
+  EXPECT_EQ(placement.server_of(2), std::size_t{0});
+  EXPECT_EQ(policy.last_relaxation_rounds(), 1u);
+  EXPECT_EQ(policy.last_active_chassis(), 2u);  // 1:1 topology: one per server
+}
+
+TEST(StructureAware, ProvenanceRecordsEnclosurePositionAndPureCost) {
+  const auto traces = make_traces();
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  model::FleetTopology topo;
+  topo.servers_per_chassis = 2;
+  topo.chassis_per_rack = 2;
+  const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(test_class(), 4, topo);
+  alloc::PlacementContext ctx;
+  ctx.fleet = &fleet;
+  ctx.max_servers = 4;
+  ctx.cost_matrix = &matrix;
+  obs::ProvenanceLedger ledger;
+  ctx.provenance = &ledger;
+
+  alloc::StructureAwarePlacement policy;
+  const auto demands = make_demands();
+  (void)policy.place(demands, ctx);
+
+  ASSERT_EQ(ledger.assignments().size(), 3u);
+  for (const auto& rec : ledger.assignments()) {
+    EXPECT_EQ(rec.server_class, "s");
+    EXPECT_EQ(rec.chassis, 0);  // all four servers fit in chassis 0..1,
+    EXPECT_EQ(rec.rack, 0);     // rack 0; only chassis 0 is used here
+  }
+  // C's record carries the raw Eqn.-2 cost, not the bonus-inflated score.
+  const auto& c_rec = ledger.assignments().back();
+  EXPECT_EQ(c_rec.vm, 2u);
+  EXPECT_FALSE(c_rec.seeded);
+  EXPECT_NEAR(c_rec.server_cost, 8.0 / 7.1, 1e-12);
+  EXPECT_LT(c_rec.server_cost, alloc::CorrelationAwareConfig{}.initial_threshold);
+}
+
+TEST(StructureAware, ConstructorRejectsBadConfig) {
+  alloc::StructureAwareConfig bad_alpha;
+  bad_alpha.base.alpha = 1.0;
+  EXPECT_THROW(alloc::StructureAwarePlacement{bad_alpha},
+               std::invalid_argument);
+  alloc::StructureAwareConfig bad_threshold;
+  bad_threshold.base.initial_threshold = 0.5;
+  EXPECT_THROW(alloc::StructureAwarePlacement{bad_threshold},
+               std::invalid_argument);
+  alloc::StructureAwareConfig bad_affinity;
+  bad_affinity.chassis_affinity = -0.1;
+  EXPECT_THROW(alloc::StructureAwarePlacement{bad_affinity},
+               std::invalid_argument);
+}
+
+TEST(StructureAware, RequiresFleetAndMatrix) {
+  alloc::StructureAwarePlacement policy;
+  const auto demands = make_demands();
+  alloc::PlacementContext no_fleet;
+  no_fleet.max_servers = 4;
+  EXPECT_THROW(policy.place(demands, no_fleet), std::invalid_argument);
+
+  const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(test_class(), 4);
+  alloc::PlacementContext no_matrix;
+  no_matrix.fleet = &fleet;
+  no_matrix.max_servers = 4;
+  EXPECT_THROW(policy.place(demands, no_matrix), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cava

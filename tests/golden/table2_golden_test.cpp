@@ -13,6 +13,7 @@
 #include "alloc/bfd.h"
 #include "alloc/correlation_aware.h"
 #include "dvfs/vf_policy.h"
+#include "model/fleet.h"
 #include "sim/sweep.h"
 #include "trace/synthesis.h"
 
@@ -96,6 +97,50 @@ TEST_F(Table2Golden, ProposedBeatsBfdAsInThePaper) {
 TEST_F(Table2Golden, FullDayOfHourlyPeriods) {
   EXPECT_EQ(bfd_->periods.size(), 24u);
   EXPECT_EQ(proposed_->periods.size(), 24u);
+}
+
+TEST_F(Table2Golden, ExplicitOneClassFleetIsBitIdentical) {
+  // The heterogeneous fleet API must be a pure generalization: spelling the
+  // Setup-2 scenario as an explicit one-class FleetSpec (instead of the
+  // default_class/max_servers convenience fields) must reproduce the golden
+  // run byte for byte — every double compared with EXPECT_EQ, no tolerance.
+  const auto traces = std::make_shared<const trace::TraceSet>(
+      trace::generate_datacenter_traces(trace::DatacenterTraceConfig{}));
+  sim::SimConfig cfg;
+  cfg.fleet =
+      model::FleetSpec::homogeneous(model::ServerClass::xeon_e5410(), 20);
+  sim::SweepRunner runner;
+  runner.add(
+      {"Proposed", cfg, traces,
+       [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+       [] { return std::make_unique<dvfs::CorrelationAwareVf>(); }});
+  auto records = runner.run_all();
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_TRUE(records[0].ok()) << records[0].error;
+  const sim::SimResult& got = records[0].result;
+
+  EXPECT_EQ(got.total_energy_joules, proposed_->total_energy_joules);
+  EXPECT_EQ(got.mean_active_servers, proposed_->mean_active_servers);
+  EXPECT_EQ(got.max_violation_ratio, proposed_->max_violation_ratio);
+  EXPECT_EQ(got.overall_violation_fraction,
+            proposed_->overall_violation_fraction);
+  EXPECT_EQ(got.total_migrated_vms, proposed_->total_migrated_vms);
+  EXPECT_EQ(got.total_migrated_cores, proposed_->total_migrated_cores);
+  ASSERT_EQ(got.periods.size(), proposed_->periods.size());
+  for (std::size_t p = 0; p < got.periods.size(); ++p) {
+    EXPECT_EQ(got.periods[p].energy_joules,
+              proposed_->periods[p].energy_joules)
+        << p;
+    EXPECT_EQ(got.periods[p].active_servers,
+              proposed_->periods[p].active_servers)
+        << p;
+    EXPECT_EQ(got.periods[p].mean_frequency,
+              proposed_->periods[p].mean_frequency)
+        << p;
+    EXPECT_EQ(got.periods[p].max_server_violation_ratio,
+              proposed_->periods[p].max_server_violation_ratio)
+        << p;
+  }
 }
 
 }  // namespace

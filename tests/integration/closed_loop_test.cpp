@@ -25,7 +25,8 @@ TEST(ClosedLoop, AllocatorRediscoversSharedCorrPlacement) {
   websearch::WebSearchConfig measure =
       websearch::make_setup1_config(websearch::Setup1Placement::kSharedCorr,
                                     opt);
-  measure.num_servers = 4;
+  measure.fleet =
+      model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 4);
   measure.server_freq_ghz.assign(4, opt.frequency_ghz);
   for (std::size_t i = 0; i < measure.isns.size(); ++i) {
     measure.isns[i].server = i;
@@ -47,8 +48,10 @@ TEST(ClosedLoop, AllocatorRediscoversSharedCorrPlacement) {
   for (std::size_t i = 0; i < 4; ++i) {
     demands.push_back({i, measured.vm_utilization[i].series.peak()});
   }
+  const model::FleetSpec place_fleet =
+      model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 2);
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec::dell_r815();
+  ctx.fleet = &place_fleet;
   ctx.max_servers = 2;
   ctx.cost_matrix = &matrix;
   alloc::CorrelationAwarePlacement policy;
@@ -69,7 +72,8 @@ TEST(ClosedLoop, AllocatorRediscoversSharedCorrPlacement) {
   // oblivious (same-cluster) pairing: the discovered one must have lower
   // aggregated server peaks.
   websearch::WebSearchConfig discovered = measure;
-  discovered.num_servers = 2;
+  discovered.fleet =
+      model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 2);
   discovered.server_freq_ghz.assign(2, opt.frequency_ghz);
   for (std::size_t i = 0; i < 4; ++i) {
     discovered.isns[i].server = placement.server_of(i).value();

@@ -1,0 +1,98 @@
+// Malformed fleet-description corpus for FleetSpec::load_json
+// (ctest -L faults): the file-level entry point used by --fleet must refuse
+// unreadable, truncated and schema-violating documents with a field-level
+// message, and must round-trip a clean document.
+#include "model/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace cava::model {
+namespace {
+
+class FleetLoadMalformedTest : public ::testing::Test {
+ protected:
+  std::string write_file(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "fleet_malformed_" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  /// load_json must throw std::invalid_argument whose message contains hint.
+  void expect_rejects(const std::string& path, const std::string& hint) {
+    try {
+      FleetSpec::load_json(path);
+      FAIL() << path << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(hint), std::string::npos)
+          << "message \"" << e.what() << "\" lacks \"" << hint << "\"";
+    }
+  }
+};
+
+TEST_F(FleetLoadMalformedTest, CleanFileRoundTrips) {
+  const std::string path = write_file("clean.json", R"({
+    "classes": [{"id": "r815", "cores": 32,
+                 "frequencies_ghz": [1.4, 1.8, 2.2],
+                 "idle_watts": 260, "peak_watts": 440},
+                {"id": "e5410", "cores": 8, "frequencies_ghz": [2.0, 2.33]}],
+    "servers": [{"class": "r815", "count": 4}, {"class": "e5410", "count": 8}],
+    "topology": {"servers_per_chassis": 4, "chassis_per_rack": 3,
+                 "chassis_idle_watts": 40}
+  })");
+  const FleetSpec fleet = FleetSpec::load_json(path);
+  EXPECT_EQ(fleet.num_servers(), 12u);
+  EXPECT_EQ(fleet.num_classes(), 2u);
+  EXPECT_EQ(fleet.num_chassis(), 3u);
+  EXPECT_TRUE(fleet.has_enclosure_power());
+}
+
+TEST_F(FleetLoadMalformedTest, MissingFileNamesThePath) {
+  expect_rejects(::testing::TempDir() + "fleet_does_not_exist.json",
+                 "cannot read fleet file");
+}
+
+TEST_F(FleetLoadMalformedTest, TruncatedDocumentIsInvalidJson) {
+  expect_rejects(write_file("truncated.json",
+                            R"({"classes": [{"id": "s", "cores": 8,)"),
+                 "invalid JSON");
+}
+
+TEST_F(FleetLoadMalformedTest, EmptyFileIsInvalidJson) {
+  expect_rejects(write_file("empty.json", ""), "FleetSpec");
+}
+
+TEST_F(FleetLoadMalformedTest, NonObjectRootIsRejected) {
+  expect_rejects(write_file("array_root.json", "[]"), "object");
+}
+
+TEST_F(FleetLoadMalformedTest, MissingServersSectionIsNamed) {
+  expect_rejects(write_file("no_servers.json", R"({
+    "classes": [{"id": "s", "cores": 8, "frequencies_ghz": [2.0]}]
+  })"),
+                 "servers");
+}
+
+TEST_F(FleetLoadMalformedTest, UnknownClassReferenceIsNamed) {
+  expect_rejects(write_file("unknown_class.json", R"({
+    "classes": [{"id": "s", "cores": 8, "frequencies_ghz": [2.0]}],
+    "servers": [{"class": "ghost", "count": 2}]
+  })"),
+                 "unknown class \"ghost\"");
+}
+
+TEST_F(FleetLoadMalformedTest, NegativeEnclosureWattsAreRejected) {
+  expect_rejects(write_file("negative_watts.json", R"({
+    "classes": [{"id": "s", "cores": 8, "frequencies_ghz": [2.0]}],
+    "servers": [{"class": "s", "count": 2}],
+    "topology": {"chassis_idle_watts": -5}
+  })"),
+                 "negative enclosure idle watts");
+}
+
+}  // namespace
+}  // namespace cava::model

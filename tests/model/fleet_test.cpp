@@ -1,0 +1,268 @@
+// Unit tests of the heterogeneous fleet model: class registry, per-server
+// lookups, chassis/rack topology mapping, the homogeneous convenience
+// constructors, and the JSON fleet-description parser (success and
+// field-level error paths).
+#include "model/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cava::model {
+namespace {
+
+FleetSpec mixed_fleet(FleetTopology topology = {}) {
+  // 3x R815 followed by 5x E5410 — distinct ladders and power calibrations
+  // (both platforms happen to be 8-core boxes).
+  std::vector<ServerClass> classes{ServerClass::dell_r815(),
+                                   ServerClass::xeon_e5410()};
+  std::vector<std::size_t> class_of{0, 0, 0, 1, 1, 1, 1, 1};
+  return FleetSpec(std::move(classes), std::move(class_of), topology);
+}
+
+TEST(FleetSpec, RegistryMapsEveryServerToItsOwnClass) {
+  const FleetSpec fleet = mixed_fleet();
+  ASSERT_EQ(fleet.num_servers(), 8u);
+  EXPECT_EQ(fleet.num_classes(), 2u);
+  EXPECT_FALSE(fleet.uniform());
+
+  const ServerSpec& r815 = ServerSpec::dell_r815();
+  const ServerSpec& e5410 = ServerSpec::xeon_e5410();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(fleet.class_of(s), 0u) << s;
+    EXPECT_EQ(fleet.spec_of(s).cores(), r815.cores()) << s;
+    EXPECT_DOUBLE_EQ(fleet.capacity_of(s), r815.max_capacity()) << s;
+  }
+  for (std::size_t s = 3; s < 8; ++s) {
+    EXPECT_EQ(fleet.class_of(s), 1u) << s;
+    EXPECT_EQ(fleet.spec_of(s).cores(), e5410.cores()) << s;
+    EXPECT_DOUBLE_EQ(fleet.capacity_of(s), e5410.max_capacity()) << s;
+  }
+  EXPECT_THROW(fleet.class_of(8), std::out_of_range);
+}
+
+TEST(FleetSpec, PowerModelsAreCalibratedPerClass) {
+  const FleetSpec fleet = mixed_fleet();
+  // Idle power at each class's own fmax must match its calibration.
+  const double idle_r815 = fleet.power_of(0).power(fleet.spec_of(0).fmax(), 0.0);
+  const double idle_e5410 =
+      fleet.power_of(3).power(fleet.spec_of(3).fmax(), 0.0);
+  EXPECT_DOUBLE_EQ(idle_r815, 260.0);
+  EXPECT_DOUBLE_EQ(idle_e5410, 165.0);
+}
+
+TEST(FleetSpec, DefaultTopologyIsOneServerPerChassisPerRack) {
+  const FleetSpec fleet = mixed_fleet();
+  EXPECT_EQ(fleet.num_chassis(), fleet.num_servers());
+  EXPECT_EQ(fleet.num_racks(), fleet.num_servers());
+  EXPECT_FALSE(fleet.has_enclosure_power());
+  for (std::size_t s = 0; s < fleet.num_servers(); ++s) {
+    EXPECT_EQ(fleet.chassis_of(s), s);
+    EXPECT_EQ(fleet.rack_of(s), s);
+  }
+}
+
+TEST(FleetSpec, TopologyMapsServersIntoChassisAndRacks) {
+  FleetTopology topo;
+  topo.servers_per_chassis = 2;
+  topo.chassis_per_rack = 2;
+  topo.chassis_idle_watts = 40.0;
+  topo.rack_idle_watts = 120.0;
+  const FleetSpec fleet = mixed_fleet(topo);
+  EXPECT_TRUE(fleet.has_enclosure_power());
+  // 8 servers -> 4 chassis -> 2 racks.
+  EXPECT_EQ(fleet.num_chassis(), 4u);
+  EXPECT_EQ(fleet.num_racks(), 2u);
+  EXPECT_EQ(fleet.chassis_of(0), 0u);
+  EXPECT_EQ(fleet.chassis_of(1), 0u);
+  EXPECT_EQ(fleet.chassis_of(2), 1u);
+  EXPECT_EQ(fleet.chassis_of(7), 3u);
+  EXPECT_EQ(fleet.rack_of(0), 0u);
+  EXPECT_EQ(fleet.rack_of(3), 0u);
+  EXPECT_EQ(fleet.rack_of(4), 1u);
+  EXPECT_EQ(fleet.rack_of(7), 1u);
+}
+
+TEST(FleetSpec, UniformCapacityDistinguishesClassesFromCapacities) {
+  // R815 and E5410 are both 8-core boxes: two classes (not uniform()) but
+  // one shared capacity — the Eqn.-3 closed form still applies.
+  const FleetSpec same_cap = mixed_fleet();
+  EXPECT_FALSE(same_cap.uniform());
+  EXPECT_TRUE(same_cap.uniform_capacity());
+
+  // Add a genuinely wider box and the capacities diverge.
+  std::vector<ServerClass> classes{
+      ServerClass{"narrow", ServerSpec("narrow", 8, {2.0}), {}},
+      ServerClass{"wide", ServerSpec("wide", 16, {2.0}), {}}};
+  const FleetSpec mixed(std::move(classes), {0, 1, 0, 1});
+  EXPECT_FALSE(mixed.uniform());
+  EXPECT_FALSE(mixed.uniform_capacity());
+}
+
+TEST(FleetSpec, HomogeneousCollapsesToOneClass) {
+  const FleetSpec fleet =
+      FleetSpec::homogeneous(ServerClass::xeon_e5410(), 20);
+  EXPECT_TRUE(fleet.uniform());
+  EXPECT_TRUE(fleet.uniform_capacity());
+  EXPECT_EQ(fleet.num_servers(), 20u);
+  EXPECT_EQ(fleet.num_classes(), 1u);
+  for (std::size_t s = 0; s < 20; ++s) {
+    EXPECT_DOUBLE_EQ(fleet.capacity_of(s),
+                     ServerSpec::xeon_e5410().max_capacity());
+  }
+  // The bare-spec overload wraps the default power calibration.
+  const FleetSpec bare = FleetSpec::homogeneous(ServerSpec("s", 4, {2.0}), 3);
+  EXPECT_EQ(bare.num_servers(), 3u);
+  EXPECT_EQ(bare.server_class(0).id, "s");
+  EXPECT_THROW(FleetSpec::homogeneous(ServerClass::dell_r815(), 0),
+               std::invalid_argument);
+}
+
+TEST(FleetSpec, ConstructorRejectsMalformedRegistries) {
+  EXPECT_THROW(FleetSpec({}, {0}), std::invalid_argument);
+  EXPECT_THROW(FleetSpec({ServerClass::dell_r815()}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FleetSpec({ServerClass::dell_r815(), ServerClass::dell_r815()}, {0, 1}),
+      std::invalid_argument);  // duplicate id
+  EXPECT_THROW(FleetSpec({ServerClass::dell_r815()}, {1}),
+               std::invalid_argument);  // class index out of range
+  FleetTopology zero_chassis;
+  zero_chassis.servers_per_chassis = 0;
+  EXPECT_THROW(FleetSpec({ServerClass::dell_r815()}, {0}, zero_chassis),
+               std::invalid_argument);
+  FleetTopology negative_watts;
+  negative_watts.chassis_idle_watts = -1.0;
+  EXPECT_THROW(FleetSpec({ServerClass::dell_r815()}, {0}, negative_watts),
+               std::invalid_argument);
+}
+
+TEST(FleetSpec, DescribeSummarizesClassesAndTopology) {
+  FleetTopology topo;
+  topo.servers_per_chassis = 4;
+  topo.chassis_per_rack = 2;
+  topo.chassis_idle_watts = 40.0;
+  const FleetSpec fleet = mixed_fleet(topo);
+  const std::string text = fleet.describe();
+  EXPECT_NE(text.find("8 servers"), std::string::npos) << text;
+  EXPECT_NE(text.find("3x r815"), std::string::npos) << text;
+  EXPECT_NE(text.find("5x e5410"), std::string::npos) << text;
+  EXPECT_NE(text.find("2 chassis"), std::string::npos) << text;
+  EXPECT_NE(text.find("chassis 40"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// JSON fleet descriptions.
+
+constexpr const char* kGoodFleetJson = R"({
+  "classes": [
+    {"id": "big", "cores": 32, "frequencies_ghz": [1.4, 1.8, 2.2],
+     "idle_watts": 260, "peak_watts": 440},
+    {"id": "small", "cores": 8, "frequencies_ghz": [2.0, 2.33],
+     "idle_watts": 165, "peak_watts": 245, "static_fraction": 0.55,
+     "freq_exponent": 2.5}
+  ],
+  "servers": [
+    {"class": "big", "count": 2},
+    {"class": "small", "count": 6}
+  ],
+  "topology": {"servers_per_chassis": 4, "chassis_per_rack": 2,
+               "chassis_idle_watts": 40, "rack_idle_watts": 120}
+})";
+
+TEST(FleetJson, ParsesClassesServersAndTopology) {
+  const FleetSpec fleet = FleetSpec::parse_json(kGoodFleetJson);
+  ASSERT_EQ(fleet.num_servers(), 8u);
+  EXPECT_EQ(fleet.num_classes(), 2u);
+  EXPECT_EQ(fleet.server_class(0).id, "big");
+  EXPECT_EQ(fleet.spec_of(0).cores(), 32);
+  EXPECT_DOUBLE_EQ(fleet.spec_of(0).fmax(), 2.2);
+  EXPECT_EQ(fleet.spec_of(2).cores(), 8);
+  EXPECT_DOUBLE_EQ(fleet.spec_of(2).fmax(), 2.33);
+  EXPECT_DOUBLE_EQ(fleet.server_class(1).power.static_fraction, 0.55);
+  EXPECT_DOUBLE_EQ(fleet.server_class(1).power.freq_exponent, 2.5);
+  EXPECT_EQ(fleet.num_chassis(), 2u);
+  EXPECT_EQ(fleet.num_racks(), 1u);
+  EXPECT_DOUBLE_EQ(fleet.topology().chassis_idle_watts, 40.0);
+  EXPECT_DOUBLE_EQ(fleet.topology().rack_idle_watts, 120.0);
+}
+
+TEST(FleetJson, TopologyAndPowerFieldsAreOptional) {
+  const FleetSpec fleet = FleetSpec::parse_json(R"({
+    "classes": [{"id": "s", "cores": 8, "frequencies_ghz": [2.0]}],
+    "servers": [{"class": "s", "count": 4}]
+  })");
+  EXPECT_EQ(fleet.num_servers(), 4u);
+  EXPECT_EQ(fleet.num_chassis(), 4u);
+  EXPECT_FALSE(fleet.has_enclosure_power());
+}
+
+/// Each malformed document must fail with a message naming the bad field.
+struct BadFleetCase {
+  const char* name;
+  const char* json;
+  const char* expect_in_message;
+};
+
+class FleetJsonErrors : public ::testing::TestWithParam<BadFleetCase> {};
+
+TEST_P(FleetJsonErrors, ReportsFieldLevelError) {
+  const BadFleetCase& c = GetParam();
+  try {
+    FleetSpec::parse_json(c.json);
+    FAIL() << c.name << ": expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+              std::string::npos)
+        << c.name << ": got \"" << e.what() << "\"";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, FleetJsonErrors,
+    ::testing::Values(
+        BadFleetCase{"not_json", "{nope", "invalid JSON"},
+        BadFleetCase{"root_not_object", "[1, 2]", "object"},
+        BadFleetCase{"missing_classes", R"({"servers": []})", "classes"},
+        BadFleetCase{"class_missing_id",
+                     R"({"classes": [{"cores": 8,
+                         "frequencies_ghz": [2.0]}],
+                         "servers": [{"class": "s", "count": 1}]})",
+                     "classes[0]"},
+        BadFleetCase{"fractional_cores",
+                     R"({"classes": [{"id": "s", "cores": 8.5,
+                         "frequencies_ghz": [2.0]}],
+                         "servers": [{"class": "s", "count": 1}]})",
+                     "cores"},
+        BadFleetCase{"empty_ladder",
+                     R"({"classes": [{"id": "s", "cores": 8,
+                         "frequencies_ghz": []}],
+                         "servers": [{"class": "s", "count": 1}]})",
+                     "frequencies_ghz"},
+        BadFleetCase{"unknown_server_class",
+                     R"({"classes": [{"id": "s", "cores": 8,
+                         "frequencies_ghz": [2.0]}],
+                         "servers": [{"class": "t", "count": 1}]})",
+                     "unknown class"},
+        BadFleetCase{"zero_count",
+                     R"({"classes": [{"id": "s", "cores": 8,
+                         "frequencies_ghz": [2.0]}],
+                         "servers": [{"class": "s", "count": 0}]})",
+                     "count"},
+        BadFleetCase{"bad_topology_size",
+                     R"({"classes": [{"id": "s", "cores": 8,
+                         "frequencies_ghz": [2.0]}],
+                         "servers": [{"class": "s", "count": 1}],
+                         "topology": {"servers_per_chassis": 0}})",
+                     "topology"}),
+    [](const ::testing::TestParamInfo<BadFleetCase>& info) {
+      return info.param.name;
+    });
+
+TEST(FleetJson, LoadJsonThrowsOnUnreadableFile) {
+  EXPECT_THROW(FleetSpec::load_json("/nonexistent/fleet.json"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cava::model

@@ -141,7 +141,7 @@ TEST(RecorderInvariants, RowsRespectCapacityAndLadder) {
   telemetry.level = obs::MetricsLevel::kFull;
   run_proposed(traces, cfg, &telemetry);
 
-  const model::ServerSpec& server = cfg.server;
+  const model::ServerSpec& server = cfg.default_class.spec;
   ASSERT_FALSE(telemetry.recorder.rows().empty());
   for (const obs::PeriodRow& row : telemetry.recorder.rows()) {
     EXPECT_LE(row.active_servers, cfg.max_servers);

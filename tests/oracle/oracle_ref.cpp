@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -126,16 +127,45 @@ ReferenceCaResult reference_correlation_aware(
     std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
     std::size_t max_servers, double capacity, double initial_threshold,
     double alpha) {
+  const std::vector<double> capacities(max_servers, capacity);
+  return reference_correlation_aware(demands, matrix, capacities,
+                                     initial_threshold, alpha);
+}
+
+ReferenceCaResult reference_correlation_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    std::span<const double> capacities, double initial_threshold,
+    double alpha) {
+  const std::size_t max_servers = capacities.size();
   const std::size_t n = demands.size();
   ReferenceCaResult result;
   result.server_of.assign(n, max_servers);
 
-  std::size_t active = std::min(naive_min_servers(demands, capacity),
-                                max_servers);
+  // Eqn.-3 estimate, mirroring alloc::estimate_min_servers: the paper's
+  // closed form when every capacity agrees, otherwise largest-first greedy.
+  double total = 0.0;
+  for (const auto& d : demands) total += d.reference;
+  const bool uniform =
+      std::all_of(capacities.begin(), capacities.end(),
+                  [&](double c) { return c == capacities.front(); });
+  std::size_t estimate = 0;
+  if (max_servers == 0 || uniform) {
+    estimate = naive_min_servers(
+        demands, max_servers == 0 ? 1.0 : capacities.front());
+  } else {
+    std::vector<double> caps(capacities.begin(), capacities.end());
+    std::sort(caps.begin(), caps.end(), std::greater<>());
+    double held = 0.0;
+    while (estimate < caps.size() && held + 1e-9 < total) {
+      held += caps[estimate++];
+    }
+    if (estimate == 0 && !demands.empty()) estimate = 1;
+  }
+  std::size_t active = std::min(estimate, max_servers);
   if (active == 0 && n > 0) active = 1;
   result.estimated_servers = active;
 
-  std::vector<double> remaining(max_servers, capacity);
+  std::vector<double> remaining(capacities.begin(), capacities.end());
   std::vector<std::vector<std::size_t>> groups(max_servers);
   std::vector<std::size_t> unalloc = order_descending(demands);
   double threshold = initial_threshold;

@@ -74,4 +74,14 @@ ReferenceCaResult reference_correlation_aware(
     std::size_t max_servers, double capacity, double initial_threshold,
     double alpha);
 
+/// The same ALLOCATE reference on a heterogeneous fleet: capacities[s] is
+/// server s's capacity (one entry per server). The Eqn.-3 estimate mirrors
+/// the production rule — the closed form when every capacity agrees,
+/// otherwise largest servers committed first until the aggregate demand
+/// fits (1e-9 slack).
+ReferenceCaResult reference_correlation_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    std::span<const double> capacities, double initial_threshold,
+    double alpha);
+
 }  // namespace cava::oracle

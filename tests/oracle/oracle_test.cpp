@@ -16,6 +16,7 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/ffd.h"
 #include "corr/cost_matrix.h"
+#include "model/fleet.h"
 #include "model/server.h"
 #include "trace/time_series.h"
 #include "util/rng.h"
@@ -54,6 +55,31 @@ std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
     d.push_back({i, traces[i].series.peak()});
   }
   return d;
+}
+
+/// Shared homogeneous 8-core fleet with a stable address.
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
+/// Mixed 12/8/4-core fleet (repeating pattern) for the heterogeneous
+/// differential: distinct per-server capacities with a stable address.
+const model::FleetSpec& mixed_fleet() {
+  static const model::FleetSpec fleet = [] {
+    std::vector<model::ServerClass> classes;
+    classes.push_back({"big", model::ServerSpec("big", 12, {2.0}),
+                       model::PowerModelConfig{}});
+    classes.push_back({"mid", model::ServerSpec("mid", 8, {2.0}),
+                       model::PowerModelConfig{}});
+    classes.push_back({"small", model::ServerSpec("small", 4, {2.0}),
+                       model::PowerModelConfig{}});
+    std::vector<std::size_t> class_of(24);
+    for (std::size_t s = 0; s < class_of.size(); ++s) class_of[s] = s % 3;
+    return model::FleetSpec(std::move(classes), std::move(class_of));
+  }();
+  return fleet;
 }
 
 class OracleSeeds : public ::testing::TestWithParam<std::uint64_t> {};
@@ -131,13 +157,13 @@ TEST_P(OracleSeeds, FfdMatchesReferenceAssignmentExactly) {
   const auto traces = make_traces(GetParam(), 24, 200);
   const auto demands = make_demands(traces);
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 12;
 
   alloc::FirstFitDecreasing ffd;
   const auto placement = ffd.place(demands, ctx);
   const auto want = oracle::reference_ffd(demands, ctx.max_servers,
-                                          ctx.server.max_capacity());
+                                          test_fleet().capacity_of(0));
   ASSERT_TRUE(placement.complete());
   for (std::size_t vm = 0; vm < demands.size(); ++vm) {
     ASSERT_TRUE(placement.server_of(vm).has_value());
@@ -151,7 +177,7 @@ TEST_P(OracleSeeds, CorrelationAwareMatchesReferenceAssignmentExactly) {
   const auto matrix =
       corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 12;
   ctx.cost_matrix = &matrix;
 
@@ -159,7 +185,7 @@ TEST_P(OracleSeeds, CorrelationAwareMatchesReferenceAssignmentExactly) {
   alloc::CorrelationAwarePlacement policy(config);
   const auto placement = policy.place(demands, ctx);
   const auto want = oracle::reference_correlation_aware(
-      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      demands, matrix, ctx.max_servers, test_fleet().capacity_of(0),
       config.initial_threshold, config.alpha);
 
   ASSERT_TRUE(placement.complete());
@@ -180,7 +206,7 @@ TEST_P(OracleSeeds, CorrelationAwareReferenceUnderTightCapacity) {
   const auto matrix =
       corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 4;
   ctx.cost_matrix = &matrix;
 
@@ -188,13 +214,47 @@ TEST_P(OracleSeeds, CorrelationAwareReferenceUnderTightCapacity) {
   alloc::CorrelationAwarePlacement policy(config);
   const auto placement = policy.place(demands, ctx);
   const auto want = oracle::reference_correlation_aware(
-      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      demands, matrix, ctx.max_servers, test_fleet().capacity_of(0),
       config.initial_threshold, config.alpha);
   ASSERT_TRUE(placement.complete());
   for (std::size_t vm = 0; vm < demands.size(); ++vm) {
     EXPECT_EQ(*placement.server_of(vm), want.server_of[vm]) << "vm " << vm;
   }
   EXPECT_EQ(policy.last_relaxation_rounds(), want.relaxation_rounds);
+}
+
+TEST_P(OracleSeeds, CorrelationAwareMatchesReferenceOnHeterogeneousFleet) {
+  // The redesigned per-server-capacity path against the naive reference
+  // that carries one capacity per server: assignments and diagnostics must
+  // agree exactly on a mixed 12/8/4-core fleet.
+  const auto traces = make_traces(GetParam() + 2000, 20, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  alloc::PlacementContext ctx;
+  ctx.fleet = &mixed_fleet();
+  ctx.max_servers = 12;
+  ctx.cost_matrix = &matrix;
+
+  std::vector<double> capacities(ctx.max_servers);
+  for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+    capacities[s] = mixed_fleet().capacity_of(s);
+  }
+
+  const alloc::CorrelationAwareConfig config;
+  alloc::CorrelationAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  const auto want = oracle::reference_correlation_aware(
+      demands, matrix, capacities, config.initial_threshold, config.alpha);
+
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    ASSERT_TRUE(placement.server_of(vm).has_value());
+    EXPECT_EQ(*placement.server_of(vm), want.server_of[vm]) << "vm " << vm;
+  }
+  EXPECT_EQ(policy.last_estimated_servers(), want.estimated_servers);
+  EXPECT_EQ(policy.last_relaxation_rounds(), want.relaxation_rounds);
+  EXPECT_DOUBLE_EQ(policy.last_final_threshold(), want.final_threshold);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OracleSeeds,

@@ -16,6 +16,7 @@
 
 #include "alloc/correlation_aware.h"
 #include "corr/cost_matrix.h"
+#include "model/fleet.h"
 #include "model/server.h"
 #include "obs/provenance.h"
 #include "trace/time_series.h"
@@ -56,6 +57,12 @@ std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
   return d;
 }
 
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
 void expect_records_match(const std::vector<obs::AssignmentRecord>& got,
                           const std::vector<obs::AssignmentRecord>& want) {
   ASSERT_EQ(got.size(), want.size());
@@ -84,7 +91,7 @@ TEST_P(ProvenanceSeeds, LedgerMatchesReferenceBookkeeping) {
   const auto matrix =
       corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 12;
   ctx.cost_matrix = &matrix;
   obs::ProvenanceLedger ledger;
@@ -96,7 +103,7 @@ TEST_P(ProvenanceSeeds, LedgerMatchesReferenceBookkeeping) {
   ASSERT_TRUE(placement.complete());
 
   const auto want = oracle::reference_correlation_aware(
-      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      demands, matrix, ctx.max_servers, test_fleet().capacity_of(0),
       config.initial_threshold, config.alpha);
   // One record per VM, in decision order, and the assignment each record
   // claims must be the one the placement actually made.
@@ -116,7 +123,7 @@ TEST_P(ProvenanceSeeds, TightCapacityRecordsRelaxationsAndOverflow) {
   const auto matrix =
       corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
   alloc::PlacementContext ctx;
-  ctx.server = model::ServerSpec("s", 8, {2.0});
+  ctx.fleet = &test_fleet();
   ctx.max_servers = 4;
   ctx.cost_matrix = &matrix;
   obs::ProvenanceLedger ledger;
@@ -128,7 +135,7 @@ TEST_P(ProvenanceSeeds, TightCapacityRecordsRelaxationsAndOverflow) {
   ASSERT_TRUE(placement.complete());
 
   const auto want = oracle::reference_correlation_aware(
-      demands, matrix, ctx.max_servers, ctx.server.max_capacity(),
+      demands, matrix, ctx.max_servers, test_fleet().capacity_of(0),
       config.initial_threshold, config.alpha);
   expect_records_match(ledger.assignments(), want.provenance);
   // Rounds recorded in the ledger never exceed the policy's final count.
@@ -146,7 +153,7 @@ TEST_P(ProvenanceSeeds, AttachedLedgerDoesNotPerturbPlacement) {
   const auto matrix =
       corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
   alloc::PlacementContext bare;
-  bare.server = model::ServerSpec("s", 8, {2.0});
+  bare.fleet = &test_fleet();
   bare.max_servers = 10;
   bare.cost_matrix = &matrix;
   alloc::PlacementContext ledgered = bare;

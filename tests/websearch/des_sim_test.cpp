@@ -19,7 +19,7 @@ WebSearchConfig tiny_config() {
   wave.period_seconds = 120.0;
   cfg.cluster_waves = {wave};
   cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.duration_seconds = 120.0;
   cfg.seed = 5;
   return cfg;
@@ -83,7 +83,7 @@ TEST(DesSim, MatchesMmcTheoryUnderConstantExponentialLikeLoad) {
   wave.max_clients = 200.0;
   cfg.cluster_waves = {wave};
   cfg.isns = {{"isn", 0, 0, 4.0, 1.0}};
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.queries_per_client_per_sec = 0.1;  // lambda = 20/s
   cfg.demand_mean_core_sec = 0.1;        // mu = 10/s per core, rho = 0.5
   cfg.demand_cv = 1.0;                   // exponential-like variability

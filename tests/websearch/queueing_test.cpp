@@ -103,7 +103,7 @@ TEST(QueueingCrossCheck, SimulatorMatchesPsTheoryAtModerateLoad) {
   cfg.cluster_waves = {wave};
   // One ISN capped at a single core: an M/G/1-PS station.
   cfg.isns = {{"isn", 0, 0, 1.0, 1.0}};
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.queries_per_client_per_sec = 0.05;  // lambda = 6 q/s
   cfg.demand_mean_core_sec = 0.1;         // rho = 0.6
   cfg.demand_cv = 0.8;                    // insensitivity: cv must not matter
@@ -129,7 +129,7 @@ TEST(QueueingCrossCheck, InsensitivityToServiceVariability) {
     wave.max_clients = 100.0;
     cfg.cluster_waves = {wave};
     cfg.isns = {{"isn", 0, 0, 1.0, 1.0}};
-    cfg.num_servers = 1;
+    cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
     cfg.queries_per_client_per_sec = 0.05;  // lambda = 5
     cfg.demand_mean_core_sec = 0.1;         // rho = 0.5
     cfg.demand_cv = cv;

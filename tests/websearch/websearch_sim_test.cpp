@@ -15,7 +15,7 @@ WebSearchConfig tiny_config() {
   wave.period_seconds = 120.0;
   cfg.cluster_waves = {wave};
   cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.duration_seconds = 120.0;
   cfg.seed = 5;
   return cfg;

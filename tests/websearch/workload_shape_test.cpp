@@ -17,7 +17,7 @@ WebSearchConfig constant_load_config(double clients) {
   wave.max_clients = clients;
   cfg.cluster_waves = {wave};
   cfg.isns = {{"isn0", 0, 0, 8.0, 1.0}, {"isn1", 0, 0, 8.0, 1.0}};
-  cfg.num_servers = 1;
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 1);
   cfg.duration_seconds = 400.0;
   cfg.seed = 77;
   return cfg;

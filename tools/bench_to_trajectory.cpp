@@ -2,12 +2,14 @@
 // microbench --json flag, see bench/micro_main.cpp) into a compact
 // perf-trajectory file: per-benchmark ns/op plus derived kernel ratios the
 // project tracks across commits — ingest (add_sample vs add_block vs
-// from_traces, committed as BENCH_micro_corr.json) and placement (the
-// Proposed policy vs the bin-packing baselines, BENCH_micro_alloc.json).
-// Several input reports merge into one trajectory (later reports win on
-// duplicate benchmark names), so a combined file can cover multiple
-// microbench binaries. The CI smoke-bench job regenerates the trajectory
-// and gates on >25% real-time regression against the committed copy.
+// from_traces, committed as BENCH_micro_corr.json), placement (the
+// Proposed policy vs the bin-packing baselines, BENCH_micro_alloc.json)
+// and the heterogeneous-fleet policies (Proposed vs StructureAware vs BFD
+// on a mixed R815/E5410 fleet, BENCH_micro_hetero.json). Several input
+// reports merge into one trajectory (later reports win on duplicate
+// benchmark names), so a combined file can cover multiple microbench
+// binaries. The CI smoke-bench job regenerates the trajectory and gates on
+// >25% real-time regression against the committed copy.
 //
 // Usage: bench_to_trajectory <benchmark_report.json>... <out.json>
 #include <cmath>
@@ -15,210 +17,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <memory>
 #include <sstream>
-#include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "util/json.h"
 
 namespace {
 
-// util::Json is write-only by design, so the tool carries the smallest
-// reader that covers benchmark reports: objects, arrays, strings, numbers,
-// bools and null. No surrogate handling — benchmark names are ASCII.
-struct JValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  const JValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  JValue parse() {
-    JValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    std::size_t len = std::string(lit).size();
-    if (s_.compare(pos_, len, lit) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  JValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"': {
-        JValue v;
-        v.kind = JValue::Kind::kString;
-        v.string = string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        JValue v;
-        v.kind = JValue::Kind::kBool;
-        if (consume_literal("true")) {
-          v.boolean = true;
-        } else if (consume_literal("false")) {
-          v.boolean = false;
-        } else {
-          fail("bad literal");
-        }
-        return v;
-      }
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return JValue{};
-      default:
-        return number();
-    }
-  }
-
-  JValue object() {
-    JValue v;
-    v.kind = JValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JValue array() {
-    JValue v;
-    v.kind = JValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      char c = peek();
-      ++pos_;
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      char esc = peek();
-      ++pos_;
-      switch (esc) {
-        case '"':  out.push_back('"');  break;
-        case '\\': out.push_back('\\'); break;
-        case '/':  out.push_back('/');  break;
-        case 'b':  out.push_back('\b'); break;
-        case 'f':  out.push_back('\f'); break;
-        case 'n':  out.push_back('\n'); break;
-        case 'r':  out.push_back('\r'); break;
-        case 't':  out.push_back('\t'); break;
-        case 'u':
-          // Benchmark reports are ASCII; keep the escape verbatim.
-          out += "\\u";
-          break;
-        default:
-          fail("bad escape");
-      }
-    }
-  }
-
-  JValue number() {
-    std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JValue v;
-    v.kind = JValue::Kind::kNumber;
-    v.number = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using cava::util::Json;
 
 double to_ns(double value, const std::string& unit) {
   if (unit == "ns") return value;
@@ -257,18 +63,17 @@ int main(int argc, char** argv) {
     std::stringstream buf;
     buf << in.rdbuf();
 
-    JValue root;
+    Json root;
     try {
-      root = Parser(buf.str()).parse();
+      root = Json::parse(buf.str());
     } catch (const std::exception& e) {
       std::cerr << "bench_to_trajectory: " << argv[a] << ": " << e.what()
                 << "\n";
       return 1;
     }
 
-    const JValue* benchmarks = root.find("benchmarks");
-    if (benchmarks == nullptr ||
-        benchmarks->kind != JValue::Kind::kArray) {
+    const Json* benchmarks = root.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array()) {
       std::cerr << "bench_to_trajectory: no \"benchmarks\" array in "
                 << argv[a] << "\n";
       return 1;
@@ -276,48 +81,56 @@ int main(int argc, char** argv) {
 
     if (!source_reports.empty()) source_reports += ";";
     source_reports += argv[a];
-    if (const JValue* ctx = root.find("context")) {
+    if (const Json* ctx = root.find("context")) {
       // First report's context wins: one merged run shares a machine/date.
-      if (const JValue* d = ctx->find("date"); d != nullptr && date.empty()) {
-        date = d->string;
+      if (const Json* d = ctx->find("date");
+          d != nullptr && d->is_string() && date.empty()) {
+        date = d->as_string();
       }
-      if (const JValue* h = ctx->find("host_name");
-          h != nullptr && host.empty()) {
-        host = h->string;
+      if (const Json* h = ctx->find("host_name");
+          h != nullptr && h->is_string() && host.empty()) {
+        host = h->as_string();
       }
     }
 
-    for (const JValue& b : benchmarks->array) {
-      const JValue* name = b.find("name");
-      const JValue* run_type = b.find("run_type");
-      if (name == nullptr) continue;
+    for (std::size_t i = 0; i < benchmarks->size(); ++i) {
+      const Json& b = benchmarks->at(i);
+      const Json* name = b.find("name");
+      const Json* run_type = b.find("run_type");
+      if (name == nullptr || !name->is_string()) continue;
       // Skip BigO/RMS aggregate rows; keep plain iterations.
-      if (run_type != nullptr && run_type->string != "iteration") continue;
+      if (run_type != nullptr && run_type->is_string() &&
+          run_type->as_string() != "iteration") {
+        continue;
+      }
       std::string unit = "ns";
-      if (const JValue* u = b.find("time_unit")) unit = u->string;
+      if (const Json* u = b.find("time_unit"); u != nullptr && u->is_string()) {
+        unit = u->as_string();
+      }
       Entry e;
-      if (const JValue* t = b.find("real_time")) {
-        e.real_time_ns = to_ns(t->number, unit);
+      if (const Json* t = b.find("real_time"); t != nullptr && t->is_number()) {
+        e.real_time_ns = to_ns(t->as_number(), unit);
       }
-      if (const JValue* t = b.find("cpu_time")) {
-        e.cpu_time_ns = to_ns(t->number, unit);
+      if (const Json* t = b.find("cpu_time"); t != nullptr && t->is_number()) {
+        e.cpu_time_ns = to_ns(t->as_number(), unit);
       }
-      if (const JValue* c = b.find("samples_per_s")) {
-        e.samples_per_s = c->number;
+      if (const Json* c = b.find("samples_per_s");
+          c != nullptr && c->is_number()) {
+        e.samples_per_s = c->as_number();
       }
-      entries[name->string] = e;
+      entries[name->as_string()] = e;
     }
   }
 
-  cava::util::Json out = cava::util::Json::object();
+  Json out = Json::object();
   out["schema"] = "cava-bench-trajectory-v1";
   out["source_report"] = source_reports;
   if (!date.empty()) out["date"] = date;
   if (!host.empty()) out["host"] = host;
 
-  cava::util::Json per_bench = cava::util::Json::object();
+  Json per_bench = Json::object();
   for (const auto& [name, e] : entries) {
-    cava::util::Json row = cava::util::Json::object();
+    Json row = Json::object();
     row["real_time_ns"] = e.real_time_ns;
     row["cpu_time_ns"] = e.cpu_time_ns;
     if (!std::isnan(e.samples_per_s)) row["samples_per_s"] = e.samples_per_s;
@@ -330,7 +143,7 @@ int main(int argc, char** argv) {
   // per-sample cost is real_time / 256; the tick benchmark is one sample
   // per iteration already.
   constexpr double kBlockSamples = 256.0;
-  cava::util::Json derived = cava::util::Json::object();
+  Json derived = Json::object();
   const auto tick = entries.find("BM_CostMatrixTick/256");
   const auto block = entries.find("BM_CostMatrixAddBlock/256");
   if (tick != entries.end() && block != entries.end()) {
@@ -384,6 +197,32 @@ int main(int argc, char** argv) {
       pcp->second.real_time_ns > 0.0) {
     derived["proposed_vs_pcp_n128"] =
         proposed->second.real_time_ns / pcp->second.real_time_ns;
+  }
+
+  // Heterogeneous-fleet counters (bench_hetero_fleet.cpp): CAVA and the
+  // StructureAware variant against BFD on a mixed R815/E5410 fleet with a
+  // 4-per-chassis / 4-per-rack topology.
+  const auto h_prop = entries.find("BM_HeteroProposed/128");
+  const auto h_struct = entries.find("BM_HeteroStructure/128");
+  const auto h_bfd = entries.find("BM_HeteroBfd/128");
+  if (h_prop != entries.end()) {
+    derived["hetero_proposed_place_ns_n128"] = h_prop->second.real_time_ns;
+  }
+  if (h_struct != entries.end()) {
+    derived["hetero_structure_place_ns_n128"] = h_struct->second.real_time_ns;
+  }
+  if (h_bfd != entries.end()) {
+    derived["hetero_bfd_place_ns_n128"] = h_bfd->second.real_time_ns;
+  }
+  if (h_struct != entries.end() && h_prop != entries.end() &&
+      h_prop->second.real_time_ns > 0.0) {
+    derived["hetero_structure_vs_proposed_n128"] =
+        h_struct->second.real_time_ns / h_prop->second.real_time_ns;
+  }
+  if (h_prop != entries.end() && h_bfd != entries.end() &&
+      h_bfd->second.real_time_ns > 0.0) {
+    derived["hetero_proposed_vs_bfd_n128"] =
+        h_prop->second.real_time_ns / h_bfd->second.real_time_ns;
   }
   out["derived"] = std::move(derived);
 

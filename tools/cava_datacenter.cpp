@@ -35,7 +35,9 @@
 #include "alloc/ffd.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/structure_aware.h"
 #include "dvfs/vf_policy.h"
+#include "model/fleet.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
 #include "trace/synthesis.h"
@@ -59,11 +61,16 @@ Trace source (default: synthesize the paper's Setup-2 population):
   --seed S            synthesis seed                  [3]
 
 Simulation:
-  --policy P          ffd | bfd | pcp | effsize | proposed | all [all]
+  --policy P          ffd | bfd | pcp | effsize | proposed | structure | all
+                      [all]
   --vf MODE           fmax | worst-case | eqn4 | dynamic | oracle [matched]
-                      ("matched": worst-case for baselines, eqn4 for proposed)
+                      ("matched": worst-case for baselines, eqn4 for
+                      proposed/structure)
   --sticky            wrap the policy in StickyPlacement (fewer migrations)
-  --servers N         server count                    [20]
+  --servers N         server count (homogeneous fleet) [20]
+  --fleet FILE        heterogeneous fleet description (JSON: server classes,
+                      per-class counts, chassis/rack topology); overrides
+                      --servers
   --period-min M      placement period, minutes       [60]
   --predictor NAME    last-value | moving-average | ewma | ar1 [last-value]
   --migration-joules J  energy per migrated core      [0]
@@ -109,7 +116,7 @@ Output:
 
 sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
   if (name != "ffd" && name != "bfd" && name != "pcp" && name != "effsize" &&
-      name != "proposed") {
+      name != "proposed" && name != "structure") {
     throw std::invalid_argument("unknown policy '" + name + "'");
   }
   return [name, sticky]() -> std::unique_ptr<alloc::PlacementPolicy> {
@@ -122,6 +129,8 @@ sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
       policy = std::make_unique<alloc::PeakClusteringPlacement>();
     } else if (name == "effsize") {
       policy = std::make_unique<alloc::EffectiveSizingPlacement>();
+    } else if (name == "structure") {
+      policy = std::make_unique<alloc::StructureAwarePlacement>();
     } else {
       policy = std::make_unique<alloc::CorrelationAwarePlacement>();
     }
@@ -138,7 +147,8 @@ sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
 sim::VfFactory make_vf_factory(const sim::SimConfig& cfg, const std::string& vf,
                                const std::string& policy_name) {
   if (cfg.vf_mode != sim::VfMode::kStatic) return nullptr;
-  if (vf == "eqn4" || (vf == "matched" && policy_name == "proposed")) {
+  if (vf == "eqn4" || (vf == "matched" && (policy_name == "proposed" ||
+                                           policy_name == "structure"))) {
     return [] { return std::make_unique<dvfs::CorrelationAwareVf>(); };
   }
   return [] { return std::make_unique<dvfs::WorstCaseVf>(); };
@@ -215,7 +225,7 @@ int main(int argc, char** argv) {
     flags.require_known({"trace-in", "repair-traces", "save-traces",
                          "trace-out", "provenance-out", "explain", "vms",
                          "groups", "hours", "seed", "policy", "vf", "sticky",
-                         "servers", "period-min", "predictor",
+                         "servers", "fleet", "period-min", "predictor",
                          "migration-joules", "threads", "strict-sweep",
                          "faults", "fault-seed", "metrics-level",
                          "metrics-out", "json-out", "help"});
@@ -255,6 +265,10 @@ int main(int argc, char** argv) {
     // ---- Simulator configuration. ----
     sim::SimConfig cfg;
     cfg.max_servers = static_cast<std::size_t>(flags.get_int("servers", 20));
+    if (flags.has("fleet")) {
+      cfg.fleet = model::FleetSpec::load_json(flags.get_string("fleet", ""));
+      std::printf("fleet: %s\n\n", cfg.fleet.describe().c_str());
+    }
     cfg.period_seconds = 60.0 * flags.get_double("period-min", 60.0);
     cfg.predictor = flags.get_string("predictor", "last-value");
     cfg.migration_energy_joules_per_core =
@@ -281,7 +295,7 @@ int main(int argc, char** argv) {
     const std::string which = flags.get_string("policy", "all");
     std::vector<std::string> names;
     if (which == "all") {
-      names = {"ffd", "bfd", "pcp", "effsize", "proposed"};
+      names = {"ffd", "bfd", "pcp", "effsize", "proposed", "structure"};
     } else {
       names = {which};
     }
