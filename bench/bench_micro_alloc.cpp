@@ -1,13 +1,20 @@
 // Microbenchmarks of the placement heuristics: scaling of FFD/BFD/PCP and
-// the proposed correlation-aware algorithm with the VM population size.
+// the proposed correlation-aware algorithm with the VM population size,
+// plus the service-mode churn path (active-set subset extraction, engine
+// tick, checkpoint encode).
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "alloc/bfd.h"
 #include "alloc/correlation_aware.h"
 #include "alloc/ffd.h"
 #include "alloc/pcp.h"
+#include "dvfs/vf_policy.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "sim/churn.h"
 #include "trace/synthesis.h"
 
 namespace {
@@ -81,5 +88,98 @@ void BM_Proposed(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Proposed)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+// ---- Service-mode churn path. ----
+
+/// The hot extraction of a churning service: dense active-set view of a
+/// streaming full-universe cost matrix (3/4 of the population active).
+void BM_CostMatrixSubset(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < inst.traces.size(); ++i) {
+    if (i % 4 != 3) active.push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.matrix.subset(active));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CostMatrixSubset)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+/// One full engine period under synthetic churn: churn apply + UPDATE +
+/// ALLOCATE + v/f + REPLAY. The engine wraps its trace, so the loop can
+/// tick indefinitely; state resets when the horizon is exhausted.
+void BM_EngineTickChurn(benchmark::State& state) {
+  const int n_vms = static_cast<int>(state.range(0));
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = n_vms;
+  tcfg.num_groups = std::max(2, n_vms / 5);
+  tcfg.day_seconds = 1800.0;
+  tcfg.fine_dt = 10.0;
+  const trace::TraceSet traces = trace::generate_datacenter_traces(tcfg);
+
+  sim::SimConfig cfg;
+  cfg.max_servers = static_cast<std::size_t>(n_vms);
+  cfg.period_seconds = 300.0;
+
+  serve::EngineOptions options;
+  options.total_periods = 1u << 20;  // effectively unbounded for the loop
+
+  sim::SyntheticChurnConfig churn_cfg;
+  churn_cfg.num_vms = traces.size();
+  churn_cfg.num_periods = options.total_periods;
+  churn_cfg.arrival_prob = 0.05;
+  churn_cfg.departure_prob = 0.05;
+  const sim::ChurnSpec churn = sim::ChurnSpec::synthetic(churn_cfg);
+
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  auto engine = std::make_unique<serve::AllocationEngine>(
+      cfg, traces, churn, options, sim::RunOptions{policy, &vf});
+  for (auto _ : state) {
+    if (engine->done()) {
+      state.PauseTiming();
+      engine = std::make_unique<serve::AllocationEngine>(
+          cfg, traces, churn, options, sim::RunOptions{policy, &vf});
+      state.ResumeTiming();
+    }
+    engine->tick();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineTickChurn)->RangeMultiplier(2)->Range(16, 64)->Complexity();
+
+/// Snapshot production cost: serialize the full engine state and wrap it in
+/// the checksummed container (what the service pays at each checkpoint,
+/// before the background writer takes over).
+void BM_SnapshotEncode(benchmark::State& state) {
+  const int n_vms = static_cast<int>(state.range(0));
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = n_vms;
+  tcfg.num_groups = std::max(2, n_vms / 5);
+  tcfg.day_seconds = 1800.0;
+  tcfg.fine_dt = 10.0;
+  const trace::TraceSet traces = trace::generate_datacenter_traces(tcfg);
+
+  sim::SimConfig cfg;
+  cfg.max_servers = static_cast<std::size_t>(n_vms);
+  cfg.period_seconds = 300.0;
+
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  serve::AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {},
+                                 sim::RunOptions{policy, &vf});
+  engine.tick();
+  engine.tick();
+  for (auto _ : state) {
+    serve::Snapshot snapshot;
+    snapshot.config_fingerprint = engine.config_fingerprint();
+    snapshot.next_period = engine.period();
+    snapshot.payload = engine.save_state();
+    benchmark::DoNotOptimize(serve::encode_snapshot(snapshot));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SnapshotEncode)->RangeMultiplier(2)->Range(16, 64)->Complexity();
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "alloc/migration.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cava::alloc {
@@ -22,6 +23,70 @@ MigrationStats count_migrations(const Placement& prev, const Placement& next,
     }
   }
   return stats;
+}
+
+BudgetedPlacement apply_migration_budget(const Placement& prev,
+                                         const Placement& next,
+                                         std::span<const double> demands,
+                                         const model::FleetSpec& fleet,
+                                         std::size_t max_moves) {
+  if (prev.num_vms() != next.num_vms()) {
+    throw std::invalid_argument("apply_migration_budget: universe mismatch");
+  }
+  const std::size_t num_vms = next.num_vms();
+  const std::size_t num_servers = next.num_servers();
+  const auto demand_of = [&](std::size_t vm) {
+    return vm < demands.size() ? demands[vm] : 0.0;
+  };
+
+  std::vector<std::size_t> moved;
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    const auto before = prev.server_of(vm);
+    const auto after = next.server_of(vm);
+    if (before && after && *before != *after) moved.push_back(vm);
+  }
+
+  BudgetedPlacement out{Placement(num_vms, num_servers), moved.size(), 0};
+  if (moved.size() <= max_moves) {
+    for (std::size_t vm = 0; vm < num_vms; ++vm) {
+      if (const auto s = next.server_of(vm)) out.placement.assign(vm, *s);
+    }
+    return out;
+  }
+
+  // Largest moves first: revert from the tail (the moves with the least
+  // demand at stake), so the budget is spent on the heaviest relocations.
+  std::sort(moved.begin(), moved.end(), [&](std::size_t a, std::size_t b) {
+    const double da = demand_of(a);
+    const double db = demand_of(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  std::vector<int> target(num_vms, -1);
+  std::vector<double> load(num_servers, 0.0);
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    if (const auto s = next.server_of(vm)) {
+      target[vm] = static_cast<int>(*s);
+      load[*s] += demand_of(vm);
+    }
+  }
+  for (std::size_t k = max_moves; k < moved.size(); ++k) {
+    const std::size_t vm = moved[k];
+    const std::size_t home = *prev.server_of(vm);
+    const double need = demand_of(vm);
+    if (load[home] + need > fleet.capacity_of(home) + 1e-9) continue;
+    load[static_cast<std::size_t>(target[vm])] -= need;
+    load[home] += need;
+    target[vm] = static_cast<int>(home);
+    ++out.reverted_moves;
+  }
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    if (target[vm] >= 0) {
+      out.placement.assign(vm, static_cast<std::size_t>(target[vm]));
+    }
+  }
+  return out;
 }
 
 StickyPlacement::StickyPlacement(std::unique_ptr<PlacementPolicy> inner,

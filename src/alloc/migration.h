@@ -37,6 +37,29 @@ struct MigrationStats {
 MigrationStats count_migrations(const Placement& prev, const Placement& next,
                                 std::span<const double> demands);
 
+/// Outcome of clamping a placement to a per-period migration budget.
+struct BudgetedPlacement {
+  Placement placement;
+  /// Moves the unclamped `next` implied relative to `prev`.
+  std::size_t proposed_moves = 0;
+  /// Moves undone to honor the budget (VM returned to its previous server).
+  std::size_t reverted_moves = 0;
+};
+
+/// Enforce a migration budget on a freshly decided placement: when `next`
+/// moves more than `max_moves` already-placed VMs relative to `prev`, keep
+/// the `max_moves` largest moves (by demand, ties by VM id — the moves the
+/// optimizer presumably wanted most) and revert the rest to their previous
+/// server wherever it still has capacity for the new demand estimate. A
+/// revert that no longer fits is kept as a move, so the result can exceed
+/// the budget only when capacity forces it. Newly placed VMs never count
+/// against the budget. `demands` is indexed by VM id.
+BudgetedPlacement apply_migration_budget(const Placement& prev,
+                                         const Placement& next,
+                                         std::span<const double> demands,
+                                         const model::FleetSpec& fleet,
+                                         std::size_t max_moves);
+
 struct StickyConfig {
   /// Full re-optimization cadence: every Nth call delegates the whole
   /// instance to the inner policy (1 = always re-optimize = no stickiness).

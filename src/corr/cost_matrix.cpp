@@ -11,6 +11,7 @@
 #endif
 
 #include "obs/trace.h"
+#include "util/binio.h"
 #include "util/thread_pool.h"
 
 namespace cava::corr {
@@ -466,6 +467,92 @@ CostMatrix CostMatrix::from_traces(const trace::TraceSet& traces,
     std::copy(s.begin(), s.end(), block.begin() + v * samples);
   }
   m.add_block(block, samples, samples);
+  return m;
+}
+
+namespace {
+
+void write_p2(util::BinWriter& out, const trace::P2Quantile& q) {
+  const trace::P2Quantile::State s = q.state();
+  out.f64(s.q);
+  out.u64(s.n);
+  for (double v : s.heights) out.f64(v);
+  for (double v : s.positions) out.f64(v);
+  for (double v : s.desired) out.f64(v);
+  for (double v : s.increments) out.f64(v);
+}
+
+void read_p2(util::BinReader& in, trace::P2Quantile& q) {
+  trace::P2Quantile::State s;
+  s.q = in.f64();
+  s.n = static_cast<std::size_t>(in.u64());
+  for (double& v : s.heights) v = in.f64();
+  for (double& v : s.positions) v = in.f64();
+  for (double& v : s.desired) v = in.f64();
+  for (double& v : s.increments) v = in.f64();
+  q.restore(s);
+}
+
+}  // namespace
+
+void CostMatrix::serialize(util::BinWriter& out) const {
+  out.u64(n_);
+  out.u8(percentile_mode_ ? 1 : 0);
+  out.f64(spec_.percentile);
+  out.u64(samples_);
+  out.vec_f64(ref_peaks_);
+  out.vec_f64(pair_peaks_);
+  if (percentile_mode_) {
+    for (const auto& q : ref_quantiles_) write_p2(out, q);
+    for (const auto& q : pair_quantiles_) write_p2(out, q);
+  }
+}
+
+void CostMatrix::restore(util::BinReader& in) {
+  if (in.u64() != n_) {
+    throw std::invalid_argument("CostMatrix::restore: size mismatch");
+  }
+  const bool pct = in.u8() != 0;
+  const double percentile = in.f64();
+  if (pct != percentile_mode_ ||
+      (percentile_mode_ && percentile != spec_.percentile)) {
+    throw std::invalid_argument("CostMatrix::restore: reference-spec mismatch");
+  }
+  samples_ = static_cast<std::size_t>(in.u64());
+  std::vector<double> refs = in.vec_f64();
+  std::vector<double> pairs = in.vec_f64();
+  if (refs.size() != ref_peaks_.size() || pairs.size() != pair_peaks_.size()) {
+    throw std::invalid_argument("CostMatrix::restore: slot-count mismatch");
+  }
+  ref_peaks_ = std::move(refs);
+  pair_peaks_ = std::move(pairs);
+  if (percentile_mode_) {
+    for (auto& q : ref_quantiles_) read_p2(in, q);
+    for (auto& q : pair_quantiles_) read_p2(in, q);
+  }
+}
+
+CostMatrix CostMatrix::subset(std::span<const std::size_t> vms) const {
+  if (vms.empty()) throw std::invalid_argument("CostMatrix::subset: empty");
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    if (vms[k] >= n_ || (k > 0 && vms[k] <= vms[k - 1])) {
+      throw std::invalid_argument(
+          "CostMatrix::subset: indices must be strictly increasing and in "
+          "range");
+    }
+  }
+  CostMatrix m(vms.size(), spec_);
+  m.samples_ = samples_;
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    m.ref_peaks_[k] = ref_peaks_[vms[k]];
+    if (percentile_mode_) m.ref_quantiles_[k] = ref_quantiles_[vms[k]];
+    for (std::size_t l = k + 1; l < vms.size(); ++l) {
+      const std::size_t src = pair_slot(vms[k], vms[l]);
+      const std::size_t dst = m.pair_slot(k, l);
+      m.pair_peaks_[dst] = pair_peaks_[src];
+      if (percentile_mode_) m.pair_quantiles_[dst] = pair_quantiles_[src];
+    }
+  }
   return m;
 }
 

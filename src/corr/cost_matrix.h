@@ -37,6 +37,8 @@
 #include <vector>
 
 namespace cava::util {
+class BinReader;
+class BinWriter;
 class ThreadPool;
 }  // namespace cava::util
 
@@ -106,6 +108,23 @@ class CostMatrix {
   /// Build a fully-populated matrix from stored traces in one blocked pass.
   static CostMatrix from_traces(const trace::TraceSet& traces,
                                 trace::ReferenceSpec spec);
+
+  // ---- Checkpoint/restore (see src/serve/checkpoint.h). ----
+  /// Append the complete streaming state (sizes, reference spec, peak slots
+  /// and percentile estimators) to `out`. restore() on a matrix constructed
+  /// with the same (size, spec) resumes ingest bit-identically.
+  void serialize(util::BinWriter& out) const;
+  /// Restore state written by serialize(). Throws util::SerializeError on a
+  /// truncated/corrupt payload and std::invalid_argument when the payload
+  /// was produced by a matrix of different size or reference spec.
+  void restore(util::BinReader& in);
+
+  /// Dense extraction of a VM subset: result index k carries exactly the
+  /// streaming state (reference estimator, every retained pair slot) of
+  /// vms[k]. `vms` must be strictly increasing and non-empty. This is what
+  /// lets placement policies work on the active VM population of a churning
+  /// service while the full-universe matrix keeps streaming.
+  CostMatrix subset(std::span<const std::size_t> vms) const;
 
  private:
   /// Validating slot lookup for the public cost(i, j) API.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/binio.h"
+
 namespace cava::corr {
 
 MomentMatrix::MomentMatrix(std::size_t num_vms) : n_(num_vms) {
@@ -144,6 +146,47 @@ MomentMatrix MomentMatrix::from_traces(const trace::TraceSet& traces) {
     std::copy(s.begin(), s.end(), block.begin() + v * samples);
   }
   m.add_block(block, samples, samples);
+  return m;
+}
+
+void MomentMatrix::serialize(util::BinWriter& out) const {
+  out.u64(n_);
+  out.u64(samples_);
+  out.vec_f64(mean_);
+  out.vec_f64(comoment_);
+}
+
+void MomentMatrix::restore(util::BinReader& in) {
+  if (in.u64() != n_) {
+    throw std::invalid_argument("MomentMatrix::restore: size mismatch");
+  }
+  samples_ = static_cast<std::size_t>(in.u64());
+  std::vector<double> mean = in.vec_f64();
+  std::vector<double> comoment = in.vec_f64();
+  if (mean.size() != mean_.size() || comoment.size() != comoment_.size()) {
+    throw std::invalid_argument("MomentMatrix::restore: slot-count mismatch");
+  }
+  mean_ = std::move(mean);
+  comoment_ = std::move(comoment);
+}
+
+MomentMatrix MomentMatrix::subset(std::span<const std::size_t> vms) const {
+  if (vms.empty()) throw std::invalid_argument("MomentMatrix::subset: empty");
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    if (vms[k] >= n_ || (k > 0 && vms[k] <= vms[k - 1])) {
+      throw std::invalid_argument(
+          "MomentMatrix::subset: indices must be strictly increasing and in "
+          "range");
+    }
+  }
+  MomentMatrix m(vms.size());
+  m.samples_ = samples_;
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    m.mean_[k] = mean_[vms[k]];
+    for (std::size_t l = k; l < vms.size(); ++l) {
+      m.comoment_[m.index(k, l)] = comoment_[index(vms[k], vms[l])];
+    }
+  }
   return m;
 }
 

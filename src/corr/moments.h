@@ -15,6 +15,11 @@
 #include <span>
 #include <vector>
 
+namespace cava::util {
+class BinReader;
+class BinWriter;
+}  // namespace cava::util
+
 namespace cava::corr {
 
 class MomentMatrix {
@@ -56,6 +61,18 @@ class MomentMatrix {
   double group_mean(std::span<const std::size_t> group) const;
 
   static MomentMatrix from_traces(const trace::TraceSet& traces);
+
+  // ---- Checkpoint/restore (see src/serve/checkpoint.h). ----
+  /// Append the complete streaming state to `out`; restore() on a matrix of
+  /// the same size resumes ingest bit-identically.
+  void serialize(util::BinWriter& out) const;
+  /// Throws util::SerializeError / std::invalid_argument on corrupt or
+  /// size-mismatched payloads.
+  void restore(util::BinReader& in);
+
+  /// Dense extraction of a VM subset (strictly increasing indices): result
+  /// index k carries the mean and every retained co-moment of vms[k].
+  MomentMatrix subset(std::span<const std::size_t> vms) const;
 
  private:
   std::size_t index(std::size_t i, std::size_t j) const;

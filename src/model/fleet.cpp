@@ -179,15 +179,9 @@ double optional_number(const util::Json& obj, const std::string& key,
   return v->as_number();
 }
 
-}  // namespace
-
-FleetSpec FleetSpec::parse_json(const std::string& text) {
-  util::Json doc;
-  try {
-    doc = util::Json::parse(text);
-  } catch (const std::invalid_argument& e) {
-    bad_fleet(std::string("invalid JSON (") + e.what() + ")");
-  }
+/// Build a FleetSpec from an already-parsed document (shared by the text
+/// and file entry points).
+FleetSpec from_document(const util::Json& doc) {
   if (!doc.is_object()) bad_fleet("document root must be an object");
 
   const util::Json* classes_json = doc.find("classes");
@@ -293,12 +287,31 @@ FleetSpec FleetSpec::parse_json(const std::string& text) {
   }
 }
 
+}  // namespace
+
+FleetSpec FleetSpec::parse_json(const std::string& text) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(text);
+  } catch (const std::invalid_argument& e) {
+    bad_fleet(std::string("invalid JSON (") + e.what() + ")");
+  }
+  return from_document(doc);
+}
+
 FleetSpec FleetSpec::load_json(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) bad_fleet("cannot read fleet file '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_json(buf.str());
+  // util::Json::parse_file prepends the path to parse diagnostics, so a bad
+  // fleet file is reported as "<path>: ... at byte N".
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) bad_fleet("cannot read fleet file '" + path + "'");
+  probe.close();
+  util::Json doc;
+  try {
+    doc = util::Json::parse_file(path);
+  } catch (const std::exception& e) {
+    bad_fleet(std::string("invalid JSON (") + e.what() + ")");
+  }
+  return from_document(doc);
 }
 
 }  // namespace cava::model

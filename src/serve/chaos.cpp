@@ -1,0 +1,113 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "serve/checkpoint.h"
+#include "util/binio.h"
+#include "util/rng.h"
+
+namespace cava::serve {
+
+std::vector<std::size_t> chaos_kill_schedule(std::size_t total_periods,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  if (total_periods < 2 || count == 0) return {};
+  util::SplitMix64 mix(seed ^ 0x6368616f732d6b31ULL);
+  util::Rng rng(mix.next());
+  std::set<std::size_t> picks;
+  // Rejection-sample distinct periods in [1, total_periods); cap the loop so
+  // a pathological (count ~ total_periods) request still terminates.
+  const std::size_t want = std::min(count, total_periods - 1);
+  for (std::size_t tries = 0; picks.size() < want && tries < 64 * want;
+       ++tries) {
+    picks.insert(1 + static_cast<std::size_t>(
+                         rng.uniform_int(total_periods - 1)));
+  }
+  for (std::size_t p = 1; picks.size() < want && p < total_periods; ++p) {
+    picks.insert(p);
+  }
+  return {picks.begin(), picks.end()};
+}
+
+ChaosReport run_chaos(const EngineFactory& factory,
+                      const ChaosOptions& options) {
+  if (options.snapshot_path.empty()) {
+    throw std::invalid_argument("run_chaos: snapshot_path required");
+  }
+  if (options.checkpoint_every == 0) {
+    throw std::invalid_argument("run_chaos: checkpoint_every must be >= 1");
+  }
+  ChaosReport report;
+  std::unique_ptr<AllocationEngine> engine = factory();
+  const std::uint64_t fingerprint = engine->config_fingerprint();
+
+  const auto checkpoint = [&]() {
+    Snapshot snapshot;
+    snapshot.config_fingerprint = fingerprint;
+    snapshot.next_period = engine->period();
+    snapshot.payload = engine->save_state();
+    write_snapshot_rotated(options.snapshot_path, encode_snapshot(snapshot));
+    ++report.checkpoints_written;
+  };
+
+  std::size_t next_kill = 0;
+  std::size_t restores = 0;
+  while (!engine->done()) {
+    if (next_kill < options.kill_periods.size() &&
+        engine->period() == options.kill_periods[next_kill]) {
+      ++next_kill;
+      ++report.kills;
+      const std::size_t at = engine->period();
+      // SIGKILL-equivalent: every byte of in-memory state is gone.
+      engine.reset();
+      ++restores;
+      if (options.corrupt_every_nth_restore != 0 &&
+          restores % options.corrupt_every_nth_restore == 0) {
+        // Torn-write simulation: flip one payload byte of the primary.
+        try {
+          std::vector<std::uint8_t> bytes =
+              util::read_file_bytes(options.snapshot_path);
+          if (bytes.size() > kSnapshotHeaderBytes) {
+            bytes[kSnapshotHeaderBytes] ^= 0x5a;
+            util::atomic_write_file(options.snapshot_path, bytes);
+          }
+        } catch (const util::IoError&) {
+          // No primary yet — nothing to corrupt.
+        }
+      }
+      engine = factory();
+      std::string diagnostics;
+      std::optional<Snapshot> snapshot;
+      try {
+        snapshot = load_latest_snapshot(options.snapshot_path, fingerprint,
+                                        &diagnostics);
+      } catch (const CheckpointError&) {
+        // Both copies unusable: restart from scratch (still converges, just
+        // replays more work).
+        snapshot.reset();
+      }
+      if (snapshot.has_value()) {
+        engine->restore_state(snapshot->payload);
+        if (!diagnostics.empty()) ++report.fallback_restores;
+        report.periods_replayed += at - static_cast<std::size_t>(
+                                            snapshot->next_period);
+      } else {
+        report.periods_replayed += at;
+      }
+      continue;  // re-check the kill schedule against the restored period
+    }
+    engine->tick();
+    if (engine->period() % options.checkpoint_every == 0 || engine->done()) {
+      checkpoint();
+    }
+  }
+  report.result = engine->result();
+  report.final_placement = engine->last_placement();
+  report.churn_arrivals = engine->churn_arrivals();
+  report.churn_departures = engine->churn_departures();
+  return report;
+}
+
+}  // namespace cava::serve

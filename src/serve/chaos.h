@@ -1,0 +1,73 @@
+// Chaos soak harness: prove the allocation service is crash-safe by
+// repeatedly killing it mid-run and resuming from its checkpoints.
+//
+// A "kill" is SIGKILL-equivalent at the library level: the engine object is
+// destroyed (all in-memory state lost) and a fresh engine is built from the
+// same inputs, then restored from the newest valid snapshot on disk. The
+// harness drives that cycle at a scripted set of kill points and returns the
+// final result, which tests compare bit-for-bit against an uninterrupted
+// run of the same configuration (tests/serve/chaos_soak_test.cpp).
+//
+// Crash realism knobs:
+//   * kills may land between a period and its checkpoint, forcing replay of
+//     completed-but-unpersisted periods;
+//   * optionally the primary snapshot file is corrupted before a restore
+//     (torn-write simulation), forcing fallback to the rotated copy.
+#pragma once
+
+#include "serve/engine.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cava::serve {
+
+struct ChaosOptions {
+  /// Snapshot file the victim engine checkpoints to (rotated to `path.1`).
+  std::string snapshot_path;
+  /// Checkpoint cadence in periods.
+  std::size_t checkpoint_every = 5;
+  /// Periods at whose *start* the engine is killed (sorted, each fires
+  /// once). A kill at period p destroys the engine after it completed
+  /// periods [0, p) and before it runs period p.
+  std::vector<std::size_t> kill_periods;
+  /// Corrupt the primary snapshot (flip one byte) before every Nth restore,
+  /// exercising the rotated-copy fallback. 0 disables.
+  std::size_t corrupt_every_nth_restore = 0;
+};
+
+struct ChaosReport {
+  sim::SimResult result;
+  /// Final placement of the completed run (universe-indexed).
+  std::optional<alloc::Placement> final_placement;
+  std::size_t kills = 0;
+  /// Periods re-executed because they were completed but not yet
+  /// checkpointed when a kill landed.
+  std::size_t periods_replayed = 0;
+  std::size_t checkpoints_written = 0;
+  /// Restores that had to fall back to the rotated snapshot copy.
+  std::size_t fallback_restores = 0;
+  std::size_t churn_arrivals = 0;
+  std::size_t churn_departures = 0;
+};
+
+/// Builds a fresh engine over the (caller-owned, immutable) run inputs.
+using EngineFactory = std::function<std::unique_ptr<AllocationEngine>()>;
+
+/// Derive `count` kill periods spread deterministically over (0,
+/// total_periods) from a seed; sorted, unique, never period 0.
+std::vector<std::size_t> chaos_kill_schedule(std::size_t total_periods,
+                                             std::size_t count,
+                                             std::uint64_t seed);
+
+/// Run the kill/restore soak to completion. Throws CheckpointError only if
+/// no valid snapshot can be recovered after a kill *and* replaying from
+/// scratch is impossible (which cannot happen: an empty disk restarts from
+/// period 0).
+ChaosReport run_chaos(const EngineFactory& factory,
+                      const ChaosOptions& options);
+
+}  // namespace cava::serve

@@ -1,0 +1,209 @@
+#include "serve/checkpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "util/binio.h"
+
+namespace cava::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'A', 'V', 'A', 'S', 'N', 'A', 'P'};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot) {
+  util::BinWriter body;  // everything the checksum covers
+  body.u64(snapshot.config_fingerprint);
+  body.u64(snapshot.next_period);
+  body.u64(snapshot.payload.size());
+  for (std::uint8_t b : snapshot.payload) body.u8(b);
+
+  util::BinWriter out;
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kSnapshotVersion);
+  out.u64(util::fnv1a64(body.bytes()));
+  for (std::uint8_t b : body.bytes()) out.u8(b);
+  return out.take();
+}
+
+Snapshot decode_snapshot(std::span<const std::uint8_t> bytes,
+                         const std::string& origin) {
+  const auto fail = [&origin](const std::string& why) -> void {
+    throw CheckpointError(origin + ": " + why);
+  };
+  if (bytes.size() < kSnapshotHeaderBytes) {
+    fail("truncated header (" + std::to_string(bytes.size()) + " bytes, need " +
+         std::to_string(kSnapshotHeaderBytes) + ")");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    fail("bad magic — not a CAVA snapshot");
+  }
+  util::BinReader in(bytes.subspan(sizeof kMagic));
+  const std::uint32_t version = in.u32();
+  if (version != kSnapshotVersion) {
+    fail("unsupported snapshot version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(kSnapshotVersion) +
+         ")");
+  }
+  const std::uint64_t checksum = in.u64();
+  const std::span<const std::uint8_t> body =
+      bytes.subspan(sizeof kMagic + sizeof(std::uint32_t) +
+                    sizeof(std::uint64_t));
+  if (util::fnv1a64(body) != checksum) {
+    fail("checksum mismatch — snapshot is torn or corrupted");
+  }
+  Snapshot snapshot;
+  try {
+    util::BinReader body_in(body);
+    snapshot.config_fingerprint = body_in.u64();
+    snapshot.next_period = body_in.u64();
+    const std::size_t payload_size = body_in.size(1);
+    if (payload_size != body_in.remaining()) {
+      fail("payload size field disagrees with file size");
+    }
+    snapshot.payload.assign(body.end() - static_cast<std::ptrdiff_t>(payload_size),
+                            body.end());
+  } catch (const util::SerializeError& e) {
+    fail(e.what());
+  }
+  return snapshot;
+}
+
+void write_snapshot_rotated(const std::string& path,
+                            std::span<const std::uint8_t> bytes) {
+  // Best-effort rotation: if `path` exists it becomes `path.1`. rename(2) is
+  // atomic, so a crash here leaves either the old primary or the old file
+  // already rotated — load_latest_snapshot checks both names.
+  std::rename(path.c_str(), (path + ".1").c_str());
+  util::atomic_write_file(path, bytes);
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  return decode_snapshot(bytes, path);
+}
+
+std::optional<Snapshot> load_latest_snapshot(const std::string& path,
+                                             std::uint64_t expected_fingerprint,
+                                             std::string* diagnostics) {
+  std::string log;
+  bool any_exists = false;
+  for (const std::string& candidate : {path, path + ".1"}) {
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = util::read_file_bytes(candidate);
+    } catch (const util::IoError&) {
+      continue;  // missing file: fall through to the rotated copy
+    }
+    any_exists = true;
+    try {
+      Snapshot snapshot = decode_snapshot(bytes, candidate);
+      if (snapshot.config_fingerprint != expected_fingerprint) {
+        throw CheckpointError(
+            candidate +
+            ": configuration fingerprint mismatch — snapshot was produced by "
+            "a different config/trace/churn/policy combination");
+      }
+      if (diagnostics != nullptr) *diagnostics = log;
+      return snapshot;
+    } catch (const CheckpointError& e) {
+      log += std::string(log.empty() ? "" : "; ") + e.what();
+    }
+  }
+  if (!any_exists) {
+    if (diagnostics != nullptr) *diagnostics = log;
+    return std::nullopt;
+  }
+  throw CheckpointError("no usable snapshot: " + log);
+}
+
+CheckpointWriter::CheckpointWriter(Options options)
+    : options_(std::move(options)) {
+  if (options_.path.empty()) {
+    throw std::invalid_argument("CheckpointWriter: empty path");
+  }
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void CheckpointWriter::submit(std::vector<std::uint8_t> encoded) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = std::move(encoded);  // newer state supersedes a queued one
+  }
+  cv_.notify_all();
+}
+
+void CheckpointWriter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !pending_.has_value() && !in_flight_; });
+}
+
+std::size_t CheckpointWriter::writes_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t CheckpointWriter::writes_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+std::string CheckpointWriter::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+void CheckpointWriter::worker_loop() {
+  for (;;) {
+    std::vector<std::uint8_t> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return pending_.has_value() || stop_; });
+      if (!pending_.has_value()) return;  // stop with nothing queued
+      job = std::move(*pending_);
+      pending_.reset();
+      in_flight_ = true;
+    }
+    std::string error;
+    bool ok = false;
+    for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            options_.initial_backoff_ms << (attempt - 1)));
+      }
+      try {
+        write_snapshot_rotated(options_.path, job);
+        ok = true;
+        break;
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = false;
+      if (ok) {
+        ++completed_;
+      } else {
+        ++failed_;
+        last_error_ = error;
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace cava::serve

@@ -1,0 +1,133 @@
+// Crash-safe snapshot files for the long-running allocation service.
+//
+// A snapshot is a versioned binary container:
+//
+//   offset  field
+//   ------  ------------------------------------------------------------
+//        0  magic "CAVASNAP" (8 bytes)
+//        8  format version (u32 LE)
+//       12  FNV-1a 64 checksum of everything after this field (u64 LE)
+//       20  config fingerprint (u64 LE) — hash of SimConfig, traces,
+//           churn script, policy and v/f mode; a snapshot only resumes
+//           against the exact run configuration that produced it
+//       28  next period to execute (u64 LE)
+//       36  payload size (u64 LE)
+//       44  payload: the engine's opaque state blob (see
+//           serve::AllocationEngine::save_state)
+//
+// decode_snapshot validates every layer (magic, version, checksum, size)
+// before the payload is handed to the engine, whose BinReader-based decoder
+// bounds-checks every read — a truncated, bit-flipped or version-bumped file
+// yields a CheckpointError with a diagnostic, never undefined behavior.
+//
+// Files are written with the temp-file + fsync + rename discipline
+// (util::atomic_write_file) and rotated (`state.snap` -> `state.snap.1`), so
+// a crash mid-checkpoint leaves at least one complete, valid snapshot on
+// disk. CheckpointWriter moves the disk work onto a background thread with
+// bounded retry/backoff, handing over an owned byte buffer so the placement
+// loop never shares mutable state with the writer.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cava::serve {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 44;
+
+/// Thrown on any malformed, corrupt or mismatched snapshot.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct Snapshot {
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t next_period = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize to the container format above.
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot);
+
+/// Parse + validate a container. Throws CheckpointError naming the failure
+/// (bad magic, unsupported version, checksum mismatch, size mismatch).
+/// `origin` labels the error message (usually the file path).
+Snapshot decode_snapshot(std::span<const std::uint8_t> bytes,
+                         const std::string& origin = "snapshot");
+
+/// Rotate `path` -> `path.1` (best effort), then atomically write `bytes`
+/// to `path`. Throws util::IoError on write failure.
+void write_snapshot_rotated(const std::string& path,
+                            std::span<const std::uint8_t> bytes);
+
+/// Load + decode one snapshot file. Throws CheckpointError (corrupt) or
+/// util::IoError (unreadable).
+Snapshot load_snapshot(const std::string& path);
+
+/// Resume helper: try `path`, then the rotated `path.1`, returning the first
+/// snapshot that decodes cleanly AND matches `expected_fingerprint`. Returns
+/// nullopt when neither file exists; throws CheckpointError when snapshots
+/// exist but none is usable (all corrupt or from a different configuration).
+std::optional<Snapshot> load_latest_snapshot(
+    const std::string& path, std::uint64_t expected_fingerprint,
+    std::string* diagnostics = nullptr);
+
+/// Background checkpoint writer: submit() hands an encoded container (by
+/// value — the caller keeps no reference) to a worker thread that performs
+/// the rotated atomic write, retrying transient I/O failures with
+/// exponential backoff. At most one write is pending: a newer submission
+/// replaces a queued-but-unstarted older one (the service only ever needs
+/// the latest state on disk).
+class CheckpointWriter {
+ public:
+  struct Options {
+    std::string path;
+    std::size_t max_attempts = 3;
+    /// Backoff before retry k is `initial_backoff_ms << k`.
+    std::size_t initial_backoff_ms = 20;
+  };
+
+  explicit CheckpointWriter(Options options);
+  /// Drains pending work, then joins the worker.
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Enqueue an encoded snapshot for writing. Never blocks on disk.
+  void submit(std::vector<std::uint8_t> encoded);
+
+  /// Block until no write is queued or in flight (tests, clean shutdown).
+  void drain();
+
+  std::size_t writes_completed() const;
+  std::size_t writes_failed() const;
+  /// Message of the most recent failed write ("" when none).
+  std::string last_error() const;
+
+ private:
+  void worker_loop();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<std::vector<std::uint8_t>> pending_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::string last_error_;
+  std::thread worker_;
+};
+
+}  // namespace cava::serve

@@ -1,0 +1,71 @@
+#include "serve/driver.h"
+
+#include <memory>
+#include <optional>
+
+#include "serve/checkpoint.h"
+
+namespace cava::serve {
+
+ServeReport run_serve(const sim::SimConfig& config,
+                      const trace::TraceSet& traces,
+                      const sim::ChurnSpec& churn, const ServeOptions& serve,
+                      const sim::RunOptions& run) {
+  EngineOptions engine_options;
+  engine_options.total_periods = serve.total_periods;
+  engine_options.migration_budget = serve.migration_budget;
+  AllocationEngine engine(config, traces, churn, engine_options, run);
+
+  const bool checkpointing =
+      !serve.checkpoint_path.empty() && serve.checkpoint_every > 0;
+
+  ServeReport report;
+  if (serve.resume && !serve.checkpoint_path.empty()) {
+    // A missing snapshot is a cold start; an existing-but-unusable one is an
+    // error the operator must see (CheckpointError propagates).
+    const std::optional<Snapshot> snapshot = load_latest_snapshot(
+        serve.checkpoint_path, engine.config_fingerprint());
+    if (snapshot.has_value()) {
+      engine.restore_state(snapshot->payload);
+      report.start_period = engine.period();
+    }
+  }
+
+  std::unique_ptr<CheckpointWriter> writer;
+  if (checkpointing) {
+    CheckpointWriter::Options wo;
+    wo.path = serve.checkpoint_path;
+    wo.max_attempts = serve.checkpoint_max_attempts;
+    wo.initial_backoff_ms = serve.checkpoint_backoff_ms;
+    writer = std::make_unique<CheckpointWriter>(wo);
+  }
+
+  while (!engine.done()) {
+    engine.tick();
+    if (checkpointing && (engine.period() % serve.checkpoint_every == 0 ||
+                          engine.done())) {
+      Snapshot snapshot;
+      snapshot.config_fingerprint = engine.config_fingerprint();
+      snapshot.next_period = engine.period();
+      snapshot.payload = engine.save_state();
+      // The writer owns its copy of the bytes; the placement loop keeps
+      // running while the disk write (and any retries) happen off-thread.
+      writer->submit(encode_snapshot(snapshot));
+    }
+  }
+
+  if (writer != nullptr) {
+    writer->drain();
+    report.checkpoint_writes = writer->writes_completed();
+    report.checkpoint_failures = writer->writes_failed();
+    report.checkpoint_last_error = writer->last_error();
+  }
+  report.result = engine.result();
+  report.periods_run = engine.period() - report.start_period;
+  report.churn_arrivals = engine.churn_arrivals();
+  report.churn_departures = engine.churn_departures();
+  report.budget_reverted_moves = engine.budget_reverted_moves();
+  return report;
+}
+
+}  // namespace cava::serve

@@ -1,0 +1,56 @@
+// Service driver: the `cava_datacenter --serve` entry point as a library.
+//
+// Wraps serve::AllocationEngine in the operational loop a long-running
+// allocator needs: resume-from-snapshot at startup, periodic checkpoints
+// through the background CheckpointWriter (retry + backoff on I/O failure,
+// rotation to `<path>.1`), and service counters for the final report.
+#pragma once
+
+#include "serve/engine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cava::serve {
+
+struct ServeOptions {
+  /// Periods to run; 0 = as many full periods as the trace holds.
+  std::size_t total_periods = 0;
+  /// Snapshot file; empty disables checkpointing (and resume).
+  std::string checkpoint_path;
+  /// Checkpoint cadence in periods; 0 disables checkpointing.
+  std::size_t checkpoint_every = 10;
+  /// Resume from the newest valid snapshot at `checkpoint_path` when one
+  /// exists. Missing snapshots are not an error (cold start); corrupt or
+  /// configuration-mismatched snapshots are (serve::CheckpointError).
+  bool resume = false;
+  /// Per-period planned-migration budget (EngineOptions::kUnlimited = off).
+  std::size_t migration_budget = EngineOptions::kUnlimited;
+  /// I/O failure handling of the checkpoint writer.
+  std::size_t checkpoint_max_attempts = 3;
+  std::size_t checkpoint_backoff_ms = 20;
+};
+
+struct ServeReport {
+  sim::SimResult result;
+  /// Period the run started at (> 0 after a resume).
+  std::size_t start_period = 0;
+  std::size_t periods_run = 0;
+  std::size_t churn_arrivals = 0;
+  std::size_t churn_departures = 0;
+  std::size_t budget_reverted_moves = 0;
+  std::size_t checkpoint_writes = 0;
+  std::size_t checkpoint_failures = 0;
+  /// Last checkpoint-writer error ("" when none).
+  std::string checkpoint_last_error;
+};
+
+/// Run the allocation service to completion. `traces` and the members of
+/// `run` must outlive the call. Throws std::invalid_argument on bad
+/// configuration, CheckpointError on an unusable snapshot under --resume.
+ServeReport run_serve(const sim::SimConfig& config,
+                      const trace::TraceSet& traces,
+                      const sim::ChurnSpec& churn, const ServeOptions& serve,
+                      const sim::RunOptions& run);
+
+}  // namespace cava::serve

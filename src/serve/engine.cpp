@@ -1,0 +1,1040 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/migration.h"
+#include "alloc/pcp.h"
+#include "alloc/structure_aware.h"
+#include "alloc/validate.h"
+#include "obs/scoped_timer.h"
+#include "util/binio.h"
+
+namespace cava::serve {
+
+struct AllocationEngine::ObsIds {
+  obs::MetricsRegistry::Id placement_ns = 0;
+  obs::MetricsRegistry::Id dvfs_decide_ns = 0;
+  obs::MetricsRegistry::Id corr_ingest_ns = 0;
+  obs::MetricsRegistry::Id periods = 0;
+  obs::MetricsRegistry::Id migrated_vms = 0;
+  obs::MetricsRegistry::Id failover_migrations = 0;
+  obs::MetricsRegistry::Id server_crashes = 0;
+  obs::MetricsRegistry::Id relaxation_rounds = 0;
+  obs::MetricsRegistry::Id candidate_evals = 0;
+  obs::MetricsRegistry::Id dvfs_fmin_decisions = 0;
+  obs::MetricsRegistry::Id dvfs_fmax_decisions = 0;
+  obs::MetricsRegistry::Id churn_arrivals = 0;
+  obs::MetricsRegistry::Id churn_departures = 0;
+  obs::MetricsRegistry::Id budget_reverted_moves = 0;
+};
+
+struct AllocationEngine::TraceIds {
+  obs::TraceSession::Id update = 0;
+  obs::TraceSession::Id place = 0;
+  obs::TraceSession::Id dvfs = 0;
+  obs::TraceSession::Id replay = 0;
+  obs::TraceSession::Id ingest = 0;
+  obs::TraceSession::Id churn = 0;
+};
+
+AllocationEngine::~AllocationEngine() = default;
+
+AllocationEngine::AllocationEngine(sim::SimConfig config,
+                                   const trace::TraceSet& traces,
+                                   sim::ChurnSpec churn,
+                                   const EngineOptions& options,
+                                   const sim::RunOptions& run)
+    : config_(std::move(config)),
+      churn_(std::move(churn)),
+      options_(options),
+      policy_(&run.policy),
+      static_vf_(run.static_vf),
+      recorder_(run.recorder),
+      metrics_(run.metrics),
+      trace_(run.trace),
+      ledger_(run.provenance),
+      injector_(config_.faults, config_.fault_seed),
+      prev_matrix_(std::max<std::size_t>(traces.size(), 1), config_.reference),
+      curr_matrix_(std::max<std::size_t>(traces.size(), 1), config_.reference),
+      prev_moments_(std::max<std::size_t>(traces.size(), 1)),
+      curr_moments_(std::max<std::size_t>(traces.size(), 1)) {
+  config_.validate();
+  fleet_ = config_.resolved_fleet();
+  n_ = traces.size();
+  if (n_ == 0) throw std::invalid_argument("AllocationEngine: no traces");
+  dt_ = traces.dt();
+  samples_per_period_ =
+      static_cast<std::size_t>(std::llround(config_.period_seconds / dt_));
+  if (samples_per_period_ == 0) {
+    throw std::invalid_argument("AllocationEngine: period shorter than dt");
+  }
+  trace_periods_ = traces.samples_per_trace() / samples_per_period_;
+  if (trace_periods_ == 0) {
+    throw std::invalid_argument(
+        "AllocationEngine: trace shorter than one period");
+  }
+  total_periods_ =
+      options_.total_periods == 0 ? trace_periods_ : options_.total_periods;
+  num_servers_ = fleet_.num_servers();
+  if (config_.vf_mode == sim::VfMode::kStatic && static_vf_ == nullptr) {
+    throw std::invalid_argument("AllocationEngine: static mode needs a VfPolicy");
+  }
+  if (dynamic_cast<alloc::StickyPlacement*>(policy_) != nullptr) {
+    throw std::invalid_argument(
+        "AllocationEngine: StickyPlacement carries per-instance state that "
+        "cannot be checkpointed; use --migration-budget for stability in "
+        "serve mode");
+  }
+  churn_.validate(n_);
+
+  // Trace-layer faults are applied once, up front — identical to the batch
+  // loop; the engine then replays the repaired copy.
+  const trace::TraceSet* source = &traces;
+  if (config_.faults.trace_faults()) {
+    sim::FaultInjector::TraceFaultResult tf =
+        injector_.apply_trace_faults(traces);
+    faulted_storage_ = std::move(tf.traces);
+    source = &faulted_storage_;
+    result_.dropped_vm_samples = tf.dropped_vm_samples;
+  }
+  traces_ = source;
+  schedule_ = injector_.server_schedule(num_servers_, total_periods_,
+                                        samples_per_period_, dt_);
+  capacity_fraction_ = injector_.capacity_fractions(num_servers_);
+
+  predictor_prototype_ = trace::make_predictor(config_.predictor);
+  predictors_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    predictors_.push_back(predictor_prototype_->clone_fresh());
+  }
+
+  if (trace_ != nullptr) {
+    prev_matrix_.set_trace(trace_);
+    curr_matrix_.set_trace(trace_);
+  }
+
+  active_ = churn_.initial_active(n_);
+  has_history_.assign(n_, 0);
+  server_up_.assign(num_servers_, 1);
+
+  result_.policy_name = policy_->name();
+  result_.freq_residency_seconds.resize(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    result_.freq_residency_seconds[s].assign(fleet_.spec_of(s).num_levels(),
+                                             0.0);
+  }
+
+  // The fingerprint hashes the *caller's* traces, pre-fault: the fault
+  // transformation is derived deterministically from (spec, seed), which the
+  // fingerprint already covers.
+  fingerprint_ = compute_fingerprint(traces);
+
+  ids_ = std::make_unique<ObsIds>();
+  tev_ = std::make_unique<TraceIds>();
+  if (metrics_ != nullptr) {
+    ids_->placement_ns = metrics_->histogram("placement_ns");
+    ids_->dvfs_decide_ns = metrics_->histogram("dvfs_decide_ns");
+    ids_->corr_ingest_ns = metrics_->histogram("corr_ingest_ns");
+    ids_->periods = metrics_->counter("periods");
+    ids_->migrated_vms = metrics_->counter("migrated_vms");
+    ids_->failover_migrations = metrics_->counter("failover_migrations");
+    ids_->server_crashes = metrics_->counter("server_crashes");
+    ids_->relaxation_rounds = metrics_->counter("th_cost_relaxation_rounds");
+    ids_->candidate_evals = metrics_->counter("eqn2_candidate_evals");
+    ids_->dvfs_fmin_decisions = metrics_->counter("dvfs_fmin_decisions");
+    ids_->dvfs_fmax_decisions = metrics_->counter("dvfs_fmax_decisions");
+    ids_->churn_arrivals = metrics_->counter("churn_arrivals");
+    ids_->churn_departures = metrics_->counter("churn_departures");
+    ids_->budget_reverted_moves = metrics_->counter("budget_reverted_moves");
+  }
+  if (recorder_ != nullptr) {
+    recorder_->begin_run(policy_->name(), num_servers_,
+                         config_.period_seconds);
+  }
+  if (trace_ != nullptr) {
+    tev_->update = trace_->event("sim.update", "period");
+    tev_->place = trace_->event("sim.place", "period", "active_servers");
+    tev_->dvfs = trace_->event("sim.dvfs_decide", "period", "decisions");
+    tev_->replay = trace_->event("sim.replay", "period");
+    tev_->ingest = trace_->event("sim.ingest_flush", "samples");
+    tev_->churn = trace_->event("serve.churn", "period", "events");
+  }
+}
+
+std::uint64_t AllocationEngine::compute_fingerprint(
+    const trace::TraceSet& traces) const {
+  util::BinWriter w;
+  w.str("cava-serve-config-v1");
+  // Fleet shape: count plus per-server physical identity.
+  w.u64(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    const model::ServerSpec& spec = fleet_.spec_of(s);
+    w.f64(fleet_.capacity_of(s));
+    w.f64(spec.fmax());
+    w.f64(spec.fmin());
+    w.u64(spec.num_levels());
+    w.u64(fleet_.chassis_of(s));
+    w.u64(fleet_.rack_of(s));
+  }
+  // Simulation knobs.
+  w.f64(config_.period_seconds);
+  w.u8(config_.reference.kind == trace::ReferenceSpec::Kind::kPeak ? 0 : 1);
+  w.f64(config_.reference.percentile);
+  w.str(config_.predictor);
+  w.u8(static_cast<std::uint8_t>(config_.vf_mode));
+  w.u64(config_.dynamic_interval_samples);
+  w.f64(config_.dynamic_headroom);
+  w.u8(static_cast<std::uint8_t>(config_.cost_horizon));
+  w.f64(config_.migration_energy_joules_per_core);
+  w.f64(config_.failover_threshold);
+  // Fault model.
+  const sim::FaultSpec& f = config_.faults;
+  w.f64(f.dropout_prob);
+  w.f64(f.corrupt_prob);
+  w.f64(f.spike_prob);
+  w.f64(f.spike_factor);
+  w.u64(f.spike_duration_samples);
+  w.f64(f.crash_prob_per_period);
+  w.f64(f.repair_seconds);
+  w.f64(f.degrade_prob);
+  w.f64(f.degrade_fraction);
+  w.f64(f.prediction_bias);
+  w.f64(f.prediction_noise);
+  w.u64(config_.fault_seed);
+  // Engine identity: policy, v/f rule, horizon, budget, churn.
+  w.str(policy_->name());
+  w.str(static_vf_ != nullptr ? static_vf_->name() : "");
+  w.u64(total_periods_);
+  w.u64(options_.migration_budget);
+  w.u64(churn_.fingerprint());
+  // Traces: dimensions + raw sample bytes.
+  w.u64(n_);
+  w.f64(dt_);
+  w.u64(traces.samples_per_trace());
+  std::uint64_t hash = util::fnv1a64(w.bytes());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::span<const double> s = traces[i].series.samples();
+    hash = util::fnv1a64(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(s.data()),
+            s.size() * sizeof(double)),
+        hash);
+  }
+  return hash;
+}
+
+std::size_t AllocationEngine::active_vms() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), 1));
+}
+
+void AllocationEngine::apply_churn(std::size_t p) {
+  const std::span<const sim::ChurnEvent> events = churn_.events_at(p);
+  if (events.empty()) return;
+  const std::uint64_t start =
+      trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
+  for (const sim::ChurnEvent& e : events) {
+    if (e.arrive) {
+      active_[e.vm] = 1;
+      // A (re-)arriving VM is a new workload: fresh predictor, oracle
+      // bootstrap for its first period — the batch loop's period-0
+      // convention applied per VM.
+      predictors_[e.vm] = predictor_prototype_->clone_fresh();
+      has_history_[e.vm] = 0;
+      ++arrivals_;
+      if (metrics_ != nullptr) metrics_->add(ids_->churn_arrivals);
+    } else {
+      active_[e.vm] = 0;
+      ++departures_;
+      if (metrics_ != nullptr) metrics_->add(ids_->churn_departures);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->complete(tev_->churn, start, obs::TraceSession::now_ns(), 2,
+                     static_cast<double>(p),
+                     static_cast<double>(events.size()));
+  }
+}
+
+void AllocationEngine::tick() {
+  if (done()) throw std::logic_error("AllocationEngine::tick: run complete");
+  const std::size_t p = period_;
+  // Trace wrapping at period granularity: period p replays the trace window
+  // of period (p mod trace_periods), while the fault schedule runs in
+  // absolute sample coordinates over the full service horizon.
+  const std::size_t pe = p % trace_periods_;
+  const std::size_t first = pe * samples_per_period_;
+  const std::size_t global_first = p * samples_per_period_;
+  const trace::TraceSet& traces = *traces_;
+  const std::size_t n = n_;
+  const std::size_t num_servers = num_servers_;
+  const std::size_t samples_per_period = samples_per_period_;
+  const bool observing = recorder_ != nullptr || metrics_ != nullptr;
+
+  apply_churn(p);
+  std::vector<std::size_t> active_list;
+  active_list.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i]) active_list.push_back(i);
+  }
+  if (active_list.empty()) {
+    throw std::runtime_error("AllocationEngine: churn left no active VM at "
+                             "period " +
+                             std::to_string(p));
+  }
+  const bool full_population = active_list.size() == n;
+
+  // VM-major staging block of the period; inactive VMs contribute zeros to
+  // the streaming statistics (they are not running).
+  std::vector<double> period_block(n * samples_per_period, 0.0);
+  for (std::size_t i : active_list) {
+    const std::span<const double> s = traces[i].series.samples();
+    std::copy(s.begin() + static_cast<std::ptrdiff_t>(first),
+              s.begin() +
+                  static_cast<std::ptrdiff_t>(first + samples_per_period),
+              period_block.begin() +
+                  static_cast<std::ptrdiff_t>(i * samples_per_period));
+  }
+
+  // ---- UPDATE: reference predictions (universe-indexed). ----
+  const std::uint64_t update_start =
+      trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
+  std::vector<double> demand_by_vm(n, 0.0);
+  for (std::size_t i : active_list) {
+    if (!has_history_[i]) {
+      // Oracle bootstrap: no per-period history exists for this VM yet
+      // (start of run, or just arrived).
+      const trace::TimeSeries window =
+          traces[i].series.slice(first, samples_per_period);
+      demand_by_vm[i] =
+          trace::reference_of(window.samples(), config_.reference);
+    } else {
+      demand_by_vm[i] = predictors_[i]->predict();
+    }
+  }
+  if (config_.faults.prediction_faults()) {
+    // Perturbation draws happen in universe index order over active VMs, so
+    // the full-population sequence equals the batch loop's draw-per-VM order
+    // and a checkpointed RNG resumes the exact stream.
+    for (std::size_t i : active_list) {
+      demand_by_vm[i] = injector_.perturb_prediction(demand_by_vm[i]);
+    }
+  }
+
+  // Previous-period history slice for envelope-based policies, active VMs
+  // only, in active-list (= dense) order.
+  const std::size_t prev_pe = p == 0 ? pe : (p - 1) % trace_periods_;
+  const std::size_t hist_first = prev_pe * samples_per_period;
+  trace::TraceSet history;
+  for (std::size_t i : active_list) {
+    trace::VmTrace t;
+    t.name = traces[i].name;
+    t.cluster_id = traces[i].cluster_id;
+    t.series = traces[i].series.slice(hist_first, samples_per_period);
+    history.add(std::move(t));
+  }
+  if (p == 0) {
+    // Bootstrap the matrices from the same oracle window.
+    prev_matrix_.reset();
+    prev_moments_.reset();
+    prev_matrix_.add_block(period_block, samples_per_period,
+                           samples_per_period);
+    prev_moments_.add_block(period_block, samples_per_period,
+                            samples_per_period);
+  }
+  if (trace_ != nullptr) {
+    trace_->complete(tev_->update, update_start, obs::TraceSession::now_ns(),
+                     1, static_cast<double>(p));
+  }
+
+  // ---- ALLOCATE over the dense active population. ----
+  std::vector<model::VmDemand> demands(active_list.size());
+  for (std::size_t k = 0; k < active_list.size(); ++k) {
+    demands[k] = {k, demand_by_vm[active_list[k]]};
+  }
+  // Dense statistics views: the full-population case passes the streaming
+  // matrices through untouched (no copy, bit-identical to batch); a churned
+  // population gets compacted subset extractions.
+  std::optional<corr::CostMatrix> matrix_view;
+  std::optional<corr::MomentMatrix> moments_view;
+  if (!full_population) {
+    matrix_view.emplace(prev_matrix_.subset(active_list));
+    moments_view.emplace(prev_moments_.subset(active_list));
+  }
+  alloc::PlacementContext ctx;
+  ctx.fleet = &fleet_;
+  ctx.max_servers = num_servers;
+  ctx.cost_matrix = full_population ? &prev_matrix_ : &*matrix_view;
+  ctx.moments = full_population ? &prev_moments_ : &*moments_view;
+  ctx.history = &history;
+  ctx.trace = trace_;
+  ctx.provenance = ledger_;
+  if (ledger_ != nullptr) ledger_->begin_period(p);
+  const std::uint64_t place_start =
+      trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
+  obs::ScopedTimer place_timer(metrics_, ids_->placement_ns, observing);
+  const alloc::Placement dense_placement = policy_->place(demands, ctx);
+  const double place_ns = place_timer.stop();
+#if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
+  alloc::validate_placement_or_throw(dense_placement, demands, fleet_,
+                                     {/*strict_capacity=*/false});
+#endif
+
+  // Map the dense decision back into universe ids. The monotone id map
+  // preserves assignment order within each server, so vms_on traversal (and
+  // therefore every demand summation) keeps the policy's arithmetic order.
+  alloc::Placement placement(n, num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    for (std::size_t k : dense_placement.vms_on(s)) {
+      placement.assign(active_list[k], s);
+    }
+  }
+
+  sim::PeriodRecord record;
+  std::size_t reverted_this_period = 0;
+  if (prev_placement_.has_value() &&
+      options_.migration_budget != EngineOptions::kUnlimited) {
+    alloc::BudgetedPlacement budgeted = alloc::apply_migration_budget(
+        *prev_placement_, placement, demand_by_vm, fleet_,
+        options_.migration_budget);
+    reverted_this_period = budgeted.reverted_moves;
+    budget_reverted_ += budgeted.reverted_moves;
+    if (metrics_ != nullptr) {
+      metrics_->add(ids_->budget_reverted_moves, budgeted.reverted_moves);
+    }
+    placement = std::move(budgeted.placement);
+  }
+  (void)reverted_this_period;
+
+  if (trace_ != nullptr) {
+    trace_->complete(tev_->place, place_start, obs::TraceSession::now_ns(), 2,
+                     static_cast<double>(p),
+                     static_cast<double>(placement.active_servers()));
+  }
+
+  record.active_servers = placement.active_servers();
+  if (auto* pcp = dynamic_cast<alloc::PeakClusteringPlacement*>(policy_)) {
+    record.placement_clusters = pcp->last_cluster_count();
+  }
+  active_servers_sum_ += static_cast<double>(record.active_servers);
+  {
+    std::vector<char> chassis_used(fleet_.num_chassis(), 0);
+    std::vector<char> rack_used(fleet_.num_racks(), 0);
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      if (placement.vms_on(s).empty()) continue;
+      chassis_used[fleet_.chassis_of(s)] = 1;
+      rack_used[fleet_.rack_of(s)] = 1;
+    }
+    record.active_chassis = static_cast<std::size_t>(
+        std::count(chassis_used.begin(), chassis_used.end(), 1));
+    record.active_racks = static_cast<std::size_t>(
+        std::count(rack_used.begin(), rack_used.end(), 1));
+  }
+
+  if (prev_placement_.has_value()) {
+    const alloc::MigrationStats moves = alloc::count_migrations(
+        *prev_placement_, placement, demand_by_vm);
+    record.migrated_vms = moves.migrated_vms;
+    record.migrated_cores = moves.migrated_cores;
+    result_.total_migrated_vms += moves.migrated_vms;
+    result_.total_migrated_cores += moves.migrated_cores;
+  }
+  prev_placement_ = placement;
+
+  // ---- Static v/f decision per server (universe ids, full matrix). ----
+  std::vector<double> static_f(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    static_f[s] = fleet_.spec_of(s).fmax();
+  }
+  std::vector<dvfs::DynamicVfController> controllers;
+  if (config_.vf_mode == sim::VfMode::kDynamic) {
+    controllers.reserve(num_servers);
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      controllers.emplace_back(fleet_.spec_of(s),
+                               config_.dynamic_interval_samples,
+                               config_.dynamic_headroom);
+    }
+  }
+  const bool static_decide = config_.vf_mode == sim::VfMode::kStatic ||
+                             config_.vf_mode == sim::VfMode::kOracleStatic;
+  std::size_t dvfs_decisions = 0;
+  const std::uint64_t dvfs_start =
+      trace_ != nullptr && static_decide ? obs::TraceSession::now_ns() : 0;
+  obs::ScopedTimer dvfs_timer(metrics_, ids_->dvfs_decide_ns,
+                              metrics_ != nullptr && static_decide);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const auto vms = placement.vms_on(s);
+    if (vms.empty()) continue;
+    const model::ServerSpec& spec = fleet_.spec_of(s);
+    if (config_.vf_mode == sim::VfMode::kStatic) {
+      dvfs::ServerView view;
+      for (std::size_t vm : vms) view.total_reference += demand_by_vm[vm];
+      view.correlation_cost = prev_matrix_.server_cost(vms);
+      view.num_vms = vms.size();
+      static_f[s] = static_vf_->decide(view, spec);
+      if (ledger_ != nullptr) {
+        obs::DvfsRecord dr;
+        dr.server = s;
+        dr.cost_server = view.correlation_cost;
+        dr.total_reference = view.total_reference;
+        dr.pre_clamp_f = static_vf_->raw_target(view, spec);
+        dr.chosen_f = static_f[s];
+        dr.num_vms = vms.size();
+        ledger_->record_dvfs(dr);
+      }
+    } else if (config_.vf_mode == sim::VfMode::kOracleStatic) {
+      double peak = 0.0;
+      for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
+        double agg = 0.0;
+        for (std::size_t vm : vms) agg += traces[vm].series[first + s_idx];
+        peak = std::max(peak, agg);
+      }
+      static_f[s] = spec.quantize_up(spec.fmax() * peak / spec.max_capacity());
+    }
+    if (static_decide) {
+      ++dvfs_decisions;
+      if (metrics_ != nullptr) {
+        if (static_f[s] <= spec.fmin()) {
+          metrics_->add(ids_->dvfs_fmin_decisions);
+        }
+        if (static_f[s] >= spec.fmax()) {
+          metrics_->add(ids_->dvfs_fmax_decisions);
+        }
+      }
+    }
+  }
+  dvfs_timer.stop();
+  if (trace_ != nullptr && static_decide) {
+    trace_->complete(tev_->dvfs, dvfs_start, obs::TraceSession::now_ns(), 2,
+                     static_cast<double>(p),
+                     static_cast<double>(dvfs_decisions));
+  }
+
+  // ---- Live placement state for the replay. ----
+  std::vector<std::vector<std::size_t>> live_vms(num_servers);
+  std::vector<double> live_load(num_servers, 0.0);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const auto vms = placement.vms_on(s);
+    live_vms[s].assign(vms.begin(), vms.end());
+    for (std::size_t vm : vms) live_load[s] += demand_by_vm[vm];
+  }
+  std::vector<std::size_t> unplaced;
+  sim::PeriodRecord& rec = record;
+
+  const auto place_one = [&](std::size_t vm) -> bool {
+    const double need = demand_by_vm[vm];
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::size_t best = kNone;
+    double best_cost = -1.0;
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      if (!server_up_[s]) continue;
+      const double cap = capacity_fraction_[s] * fleet_.capacity_of(s);
+      if (live_load[s] + need > cap + 1e-9) continue;
+      const double cost = prev_matrix_.server_cost_with(live_vms[s], vm);
+      if (cost > config_.failover_threshold && cost > best_cost) {
+        best = s;
+        best_cost = cost;
+      }
+    }
+    if (best == kNone) {
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (!server_up_[s]) continue;
+        const double cap = capacity_fraction_[s] * fleet_.capacity_of(s);
+        if (live_load[s] + need <= cap + 1e-9) {
+          best = s;
+          break;
+        }
+      }
+    }
+    if (best == kNone) return false;
+    live_vms[best].push_back(vm);
+    live_load[best] += need;
+    ++rec.failover_migrations;
+    ++result_.failover_migrations;
+    result_.failover_migrated_cores += need;
+    return true;
+  };
+
+  double period_energy = 0.0;
+
+  const auto evacuate = [&](std::size_t dead) {
+    const std::vector<std::size_t> displaced = std::move(live_vms[dead]);
+    live_vms[dead].clear();
+    live_load[dead] = 0.0;
+    for (std::size_t vm : displaced) {
+      if (place_one(vm)) {
+        period_energy +=
+            config_.migration_energy_joules_per_core * demand_by_vm[vm];
+      } else {
+        unplaced.push_back(vm);
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    if (!server_up_[s] && !live_vms[s].empty()) evacuate(s);
+  }
+
+  // ---- REPLAY. ----
+  const bool cumulative = config_.cost_horizon == sim::CostHorizon::kCumulative;
+  curr_matrix_.reset();
+  curr_moments_.reset();
+  corr::CostMatrix& fed_matrix = cumulative ? prev_matrix_ : curr_matrix_;
+  corr::MomentMatrix& fed_moments = cumulative ? prev_moments_ : curr_moments_;
+  const bool feed = !(cumulative && p == 0);
+  std::size_t feed_cursor = 0;
+  const auto flush_feed = [&](std::size_t upto) {
+    if (!feed || upto <= feed_cursor) return;
+    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns);
+    const std::size_t count = upto - feed_cursor;
+    obs::TraceSpan ingest_span(trace_, tev_->ingest,
+                               static_cast<double>(count));
+    const std::span<const double> window(
+        period_block.data() + feed_cursor,
+        (n - 1) * samples_per_period + count);
+    fed_matrix.add_block(window, count, samples_per_period);
+    fed_moments.add_block(window, count, samples_per_period);
+    feed_cursor = upto;
+  };
+  double freq_weighted_time = 0.0;
+  double active_time = 0.0;
+  std::vector<std::size_t> server_violations(num_servers, 0);
+  const bool enclosure_power = fleet_.has_enclosure_power();
+  std::vector<char> chassis_live(enclosure_power ? fleet_.num_chassis() : 0);
+  std::vector<char> rack_live(enclosure_power ? fleet_.num_racks() : 0);
+  std::vector<double> tick_u(n);
+
+  const std::uint64_t replay_start =
+      trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
+  for (std::size_t s_idx = 0; s_idx < samples_per_period; ++s_idx) {
+    const std::size_t global = global_first + s_idx;
+    if (event_cursor_ < schedule_.size() &&
+        schedule_[event_cursor_].sample == global) {
+      flush_feed(s_idx);
+    }
+    while (event_cursor_ < schedule_.size() &&
+           schedule_[event_cursor_].sample == global) {
+      const sim::ServerFaultEvent& ev = schedule_[event_cursor_++];
+      if (ev.up) {
+        server_up_[ev.server] = 1;
+        std::vector<std::size_t> still_unplaced;
+        for (std::size_t vm : unplaced) {
+          if (place_one(vm)) {
+            period_energy +=
+                config_.migration_energy_joules_per_core * demand_by_vm[vm];
+          } else {
+            still_unplaced.push_back(vm);
+          }
+        }
+        unplaced = std::move(still_unplaced);
+      } else {
+        server_up_[ev.server] = 0;
+        ++rec.server_crashes;
+        ++result_.server_crashes;
+        evacuate(ev.server);
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      tick_u[i] = traces[i].series[first + s_idx];
+    }
+
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      const std::vector<std::size_t>& vms = live_vms[s];
+      if (vms.empty()) continue;
+      const model::ServerSpec& spec = fleet_.spec_of(s);
+      double agg = 0.0;
+      for (std::size_t vm : vms) agg += tick_u[vm];
+
+      double f = static_f[s];
+      if (config_.vf_mode == sim::VfMode::kDynamic) {
+        f = controllers[s].current_frequency();
+      } else if (config_.vf_mode == sim::VfMode::kNone) {
+        f = spec.fmax();
+      }
+
+      const double capacity = capacity_fraction_[s] * spec.capacity_at(f);
+      if (agg > capacity + 1e-9) {
+        ++server_violations[s];
+        ++violated_instances_;
+      }
+      ++active_instances_;
+
+      const double busy_cores = std::min(
+          agg * spec.fmax() / f, static_cast<double>(spec.cores()));
+      const double busy_fraction =
+          busy_cores / static_cast<double>(spec.cores());
+      period_energy += fleet_.power_of(s).energy(f, busy_fraction, dt_);
+      result_.freq_residency_seconds[s][spec.level_index(f)] += dt_;
+      freq_weighted_time += f * dt_;
+      active_time += dt_;
+
+      if (config_.vf_mode == sim::VfMode::kDynamic) {
+        controllers[s].on_sample(agg);
+      }
+    }
+
+    if (enclosure_power) {
+      std::fill(chassis_live.begin(), chassis_live.end(), 0);
+      std::fill(rack_live.begin(), rack_live.end(), 0);
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (live_vms[s].empty()) continue;
+        chassis_live[fleet_.chassis_of(s)] = 1;
+        rack_live[fleet_.rack_of(s)] = 1;
+      }
+      const auto live_chassis = static_cast<double>(
+          std::count(chassis_live.begin(), chassis_live.end(), 1));
+      const auto live_racks = static_cast<double>(
+          std::count(rack_live.begin(), rack_live.end(), 1));
+      period_energy +=
+          (live_chassis * fleet_.topology().chassis_idle_watts +
+           live_racks * fleet_.topology().rack_idle_watts) *
+          dt_;
+    }
+
+    if (!unplaced.empty()) {
+      rec.unplaced_vm_seconds += static_cast<double>(unplaced.size()) * dt_;
+    }
+  }
+
+  flush_feed(samples_per_period);
+  if (trace_ != nullptr) {
+    trace_->complete(tev_->replay, replay_start, obs::TraceSession::now_ns(),
+                     1, static_cast<double>(p));
+  }
+
+  // ---- Period wrap-up. ----
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    if (live_vms[s].empty() && server_violations[s] == 0) continue;
+    const double ratio = static_cast<double>(server_violations[s]) /
+                         static_cast<double>(samples_per_period);
+    rec.max_server_violation_ratio =
+        std::max(rec.max_server_violation_ratio, ratio);
+  }
+  period_energy +=
+      config_.migration_energy_joules_per_core * rec.migrated_cores;
+  rec.energy_joules = period_energy;
+  rec.mean_frequency =
+      active_time > 0.0 ? freq_weighted_time / active_time : 0.0;
+  result_.unplaced_vm_seconds += rec.unplaced_vm_seconds;
+  result_.periods.push_back(rec);
+  result_.total_energy_joules += period_energy;
+  result_.max_violation_ratio =
+      std::max(result_.max_violation_ratio, rec.max_server_violation_ratio);
+
+  auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(policy_);
+  auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(policy_);
+  if (config_.vf_mode == sim::VfMode::kDynamic && observing) {
+    for (const auto& c : controllers) dvfs_decisions += c.decisions();
+  }
+  if (recorder_ != nullptr) {
+    obs::PeriodRow row;
+    row.period = p;
+    row.active_servers = rec.active_servers;
+    row.migrated_vms = rec.migrated_vms;
+    row.migrated_cores = rec.migrated_cores;
+    row.failover_migrations = rec.failover_migrations;
+    row.server_crashes = rec.server_crashes;
+    row.unplaced_vm_seconds = rec.unplaced_vm_seconds;
+    row.energy_joules = rec.energy_joules;
+    row.mean_frequency_ghz = rec.mean_frequency;
+    row.max_server_violation_ratio = rec.max_server_violation_ratio;
+    if (proposed != nullptr) {
+      row.relaxation_rounds = proposed->last_relaxation_rounds();
+      row.final_threshold = proposed->last_final_threshold();
+      row.candidate_evals = proposed->last_candidate_evals();
+    } else if (structure != nullptr) {
+      row.relaxation_rounds = structure->last_relaxation_rounds();
+      row.final_threshold = structure->last_final_threshold();
+    }
+    row.placement_wall_ns = place_ns;
+    row.dvfs_decisions = dvfs_decisions;
+    row.server_frequency_ghz.assign(num_servers, 0.0);
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      if (live_vms[s].empty()) continue;
+      if (config_.vf_mode == sim::VfMode::kDynamic) {
+        row.server_frequency_ghz[s] = controllers[s].current_frequency();
+      } else if (config_.vf_mode == sim::VfMode::kNone) {
+        row.server_frequency_ghz[s] = fleet_.spec_of(s).fmax();
+      } else {
+        row.server_frequency_ghz[s] = static_f[s];
+      }
+    }
+    recorder_->record(std::move(row));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add(ids_->periods);
+    metrics_->add(ids_->migrated_vms, rec.migrated_vms);
+    metrics_->add(ids_->failover_migrations, rec.failover_migrations);
+    metrics_->add(ids_->server_crashes, rec.server_crashes);
+    if (proposed != nullptr) {
+      metrics_->add(ids_->relaxation_rounds, proposed->last_relaxation_rounds());
+      metrics_->add(ids_->candidate_evals, proposed->last_candidate_evals());
+    }
+  }
+
+  // Observed references feed the predictors of *active* VMs; statistics
+  // roll over.
+  for (std::size_t i : active_list) {
+    const trace::TimeSeries window =
+        traces[i].series.slice(first, samples_per_period);
+    predictors_[i]->observe(
+        trace::reference_of(window.samples(), config_.reference));
+    has_history_[i] = 1;
+  }
+  if (!cumulative) {
+    std::swap(prev_matrix_, curr_matrix_);
+    std::swap(prev_moments_, curr_moments_);
+  }
+  ++period_;
+}
+
+sim::SimResult AllocationEngine::result() const {
+  sim::SimResult out = result_;
+  out.overall_violation_fraction =
+      active_instances_ > 0
+          ? static_cast<double>(violated_instances_) /
+                static_cast<double>(active_instances_)
+          : 0.0;
+  out.mean_active_servers =
+      period_ > 0 ? active_servers_sum_ / static_cast<double>(period_) : 0.0;
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kEngineStateVersion = 1;
+
+void write_mask(util::BinWriter& out, const std::vector<char>& mask) {
+  out.size(mask.size());
+  for (char c : mask) out.u8(c ? 1 : 0);
+}
+
+std::vector<char> read_mask(util::BinReader& in, std::size_t expected,
+                            const char* what) {
+  const std::size_t count = in.size(1);
+  if (count != expected) {
+    throw std::invalid_argument(std::string("AllocationEngine: ") + what +
+                                " mask size mismatch");
+  }
+  std::vector<char> mask(count);
+  for (auto& c : mask) c = in.u8() ? 1 : 0;
+  return mask;
+}
+
+void write_record(util::BinWriter& out, const sim::PeriodRecord& r) {
+  out.u64(r.active_servers);
+  out.f64(r.max_server_violation_ratio);
+  out.f64(r.energy_joules);
+  out.f64(r.mean_frequency);
+  out.i64(r.placement_clusters);
+  out.u64(r.migrated_vms);
+  out.f64(r.migrated_cores);
+  out.u64(r.server_crashes);
+  out.u64(r.failover_migrations);
+  out.f64(r.unplaced_vm_seconds);
+  out.u64(r.active_chassis);
+  out.u64(r.active_racks);
+}
+
+sim::PeriodRecord read_record(util::BinReader& in) {
+  sim::PeriodRecord r;
+  r.active_servers = static_cast<std::size_t>(in.u64());
+  r.max_server_violation_ratio = in.f64();
+  r.energy_joules = in.f64();
+  r.mean_frequency = in.f64();
+  r.placement_clusters = static_cast<int>(in.i64());
+  r.migrated_vms = static_cast<std::size_t>(in.u64());
+  r.migrated_cores = in.f64();
+  r.server_crashes = static_cast<std::size_t>(in.u64());
+  r.failover_migrations = static_cast<std::size_t>(in.u64());
+  r.unplaced_vm_seconds = in.f64();
+  r.active_chassis = static_cast<std::size_t>(in.u64());
+  r.active_racks = static_cast<std::size_t>(in.u64());
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> AllocationEngine::save_state() const {
+  util::BinWriter out;
+  out.u32(kEngineStateVersion);
+  out.u64(period_);
+  write_mask(out, active_);
+  write_mask(out, has_history_);
+  out.size(predictors_.size());
+  for (const auto& pred : predictors_) out.vec_f64(pred->state());
+  prev_matrix_.serialize(out);
+  prev_moments_.serialize(out);
+  out.u8(prev_placement_.has_value() ? 1 : 0);
+  if (prev_placement_.has_value()) {
+    out.u64(prev_placement_->num_vms());
+    out.u64(prev_placement_->num_servers());
+    for (std::size_t vm = 0; vm < prev_placement_->num_vms(); ++vm) {
+      const auto s = prev_placement_->server_of(vm);
+      out.i64(s ? static_cast<std::int64_t>(*s) : -1);
+    }
+  }
+  write_mask(out, server_up_);
+  out.u64(event_cursor_);
+  for (std::uint64_t word : injector_.prediction_rng_state()) out.u64(word);
+  out.u64(violated_instances_);
+  out.u64(active_instances_);
+  out.f64(active_servers_sum_);
+  out.u64(arrivals_);
+  out.u64(departures_);
+  out.u64(budget_reverted_);
+  // Accumulated result.
+  out.str(result_.policy_name);
+  out.f64(result_.total_energy_joules);
+  out.f64(result_.max_violation_ratio);
+  out.u64(result_.total_migrated_vms);
+  out.f64(result_.total_migrated_cores);
+  out.u64(result_.dropped_vm_samples);
+  out.u64(result_.server_crashes);
+  out.u64(result_.failover_migrations);
+  out.f64(result_.failover_migrated_cores);
+  out.f64(result_.unplaced_vm_seconds);
+  out.size(result_.periods.size());
+  for (const sim::PeriodRecord& r : result_.periods) write_record(out, r);
+  out.size(result_.freq_residency_seconds.size());
+  for (const auto& per_server : result_.freq_residency_seconds) {
+    out.vec_f64(per_server);
+  }
+  return out.take();
+}
+
+void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
+  util::BinReader in(payload);
+  const std::uint32_t version = in.u32();
+  if (version != kEngineStateVersion) {
+    throw std::invalid_argument(
+        "AllocationEngine: unsupported engine-state version " +
+        std::to_string(version));
+  }
+  // Decode into staging first; commit only after the whole payload parsed,
+  // so a corrupt snapshot cannot leave the engine half-restored.
+  const std::size_t period = static_cast<std::size_t>(in.u64());
+  if (period > total_periods_) {
+    throw std::invalid_argument(
+        "AllocationEngine: snapshot period beyond the configured horizon");
+  }
+  std::vector<char> active = read_mask(in, n_, "active");
+  std::vector<char> has_history = read_mask(in, n_, "has_history");
+  const std::size_t num_predictors = in.size(1);
+  if (num_predictors != n_) {
+    throw std::invalid_argument(
+        "AllocationEngine: predictor count mismatch");
+  }
+  std::vector<std::unique_ptr<trace::Predictor>> predictors;
+  predictors.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto pred = predictor_prototype_->clone_fresh();
+    pred->restore_state(in.vec_f64());
+    predictors.push_back(std::move(pred));
+  }
+  corr::CostMatrix matrix(n_, config_.reference);
+  corr::MomentMatrix moments(n_);
+  matrix.restore(in);
+  moments.restore(in);
+  std::optional<alloc::Placement> prev_placement;
+  if (in.u8() != 0) {
+    const std::size_t num_vms = static_cast<std::size_t>(in.u64());
+    const std::size_t num_servers = static_cast<std::size_t>(in.u64());
+    if (num_vms != n_ || num_servers != num_servers_) {
+      throw std::invalid_argument(
+          "AllocationEngine: placement dimensions mismatch");
+    }
+    alloc::Placement pl(num_vms, num_servers);
+    for (std::size_t vm = 0; vm < num_vms; ++vm) {
+      const std::int64_t s = in.i64();
+      if (s >= 0) {
+        if (static_cast<std::size_t>(s) >= num_servers) {
+          throw std::invalid_argument(
+              "AllocationEngine: placement server out of range");
+        }
+        pl.assign(vm, static_cast<std::size_t>(s));
+      }
+    }
+    prev_placement = std::move(pl);
+  }
+  std::vector<char> server_up = read_mask(in, num_servers_, "server_up");
+  const std::size_t event_cursor = static_cast<std::size_t>(in.u64());
+  if (event_cursor > schedule_.size()) {
+    throw std::invalid_argument(
+        "AllocationEngine: fault-event cursor out of range");
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) word = in.u64();
+  const std::size_t violated = static_cast<std::size_t>(in.u64());
+  const std::size_t active_instances = static_cast<std::size_t>(in.u64());
+  const double active_servers_sum = in.f64();
+  const std::size_t arrivals = static_cast<std::size_t>(in.u64());
+  const std::size_t departures = static_cast<std::size_t>(in.u64());
+  const std::size_t budget_reverted = static_cast<std::size_t>(in.u64());
+  sim::SimResult result;
+  result.policy_name = in.str();
+  result.total_energy_joules = in.f64();
+  result.max_violation_ratio = in.f64();
+  result.total_migrated_vms = static_cast<std::size_t>(in.u64());
+  result.total_migrated_cores = in.f64();
+  result.dropped_vm_samples = static_cast<std::size_t>(in.u64());
+  result.server_crashes = static_cast<std::size_t>(in.u64());
+  result.failover_migrations = static_cast<std::size_t>(in.u64());
+  result.failover_migrated_cores = in.f64();
+  result.unplaced_vm_seconds = in.f64();
+  const std::size_t num_periods = in.size(1);
+  if (num_periods != period) {
+    throw std::invalid_argument(
+        "AllocationEngine: period-record count disagrees with period");
+  }
+  result.periods.reserve(num_periods);
+  for (std::size_t k = 0; k < num_periods; ++k) {
+    result.periods.push_back(read_record(in));
+  }
+  const std::size_t num_residency = in.size(1);
+  if (num_residency != num_servers_) {
+    throw std::invalid_argument(
+        "AllocationEngine: residency server-count mismatch");
+  }
+  result.freq_residency_seconds.reserve(num_servers_);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    std::vector<double> levels = in.vec_f64();
+    if (levels.size() != fleet_.spec_of(s).num_levels()) {
+      throw std::invalid_argument(
+          "AllocationEngine: residency level-count mismatch");
+    }
+    result.freq_residency_seconds.push_back(std::move(levels));
+  }
+  in.expect_end();
+
+  // ---- Commit. ----
+  period_ = period;
+  active_ = std::move(active);
+  has_history_ = std::move(has_history);
+  predictors_ = std::move(predictors);
+  if (trace_ != nullptr) matrix.set_trace(trace_);
+  prev_matrix_ = std::move(matrix);
+  prev_moments_ = std::move(moments);
+  prev_placement_ = std::move(prev_placement);
+  server_up_ = std::move(server_up);
+  event_cursor_ = event_cursor;
+  injector_.set_prediction_rng_state(rng_state);
+  violated_instances_ = violated;
+  active_instances_ = active_instances;
+  active_servers_sum_ = active_servers_sum;
+  arrivals_ = arrivals;
+  departures_ = departures;
+  budget_reverted_ = budget_reverted;
+  const std::size_t dropped = result_.dropped_vm_samples;
+  result_ = std::move(result);
+  // Trace-fault repair counts are a property of the (recomputed) faulted
+  // trace view, not of elapsed periods; keep the freshly computed value.
+  result_.dropped_vm_samples = dropped;
+}
+
+}  // namespace cava::serve

@@ -1,0 +1,173 @@
+// Resilient, tick-based allocation engine: the batch simulator's period loop
+// (sim::DatacenterSimulator::run) refactored into a long-running service.
+//
+// Three properties distinguish it from the batch loop it replicates:
+//
+//   * online churn — a sim::ChurnSpec stream of VM arrivals/departures is
+//     applied at each period boundary. The VM universe (traces, correlation
+//     matrices) stays fixed; churn toggles the *active set*. Placement runs
+//     over a densely renumbered active population backed by
+//     CostMatrix::subset / MomentMatrix::subset extractions, while replay,
+//     failover and the streaming statistics operate in universe ids. An
+//     arriving VM gets a fresh predictor and an oracle bootstrap for its
+//     first period — exactly the convention the batch loop applies to every
+//     VM at period 0. Departed VMs contribute zero utilization (their rows
+//     of the ingest block are zeroed).
+//   * explicit, serializable state — everything that survives a period
+//     boundary (active mask, predictor states, streaming matrices, previous
+//     placement, server availability, fault-stream RNG, accumulated result)
+//     lives in named members with save_state()/restore_state() round-trips.
+//     restore_state on a freshly constructed engine of the same
+//     configuration resumes the run bit-identically: same placements, same
+//     energies, same Eqn.-4 frequency trace.
+//   * unbounded horizon — the trace wraps at period granularity, so the
+//     service can run arbitrarily many periods over a finite trace.
+//
+// With an empty ChurnSpec, no migration budget and total_periods equal to
+// the trace length, run_to_completion() is bit-identical to
+// DatacenterSimulator::run — the differential test that anchors the whole
+// refactor (tests/serve/engine_test.cpp).
+#pragma once
+
+#include "alloc/placement.h"
+#include "sim/churn.h"
+#include "sim/datacenter_sim.h"
+#include "sim/fault.h"
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cava::serve {
+
+struct EngineOptions {
+  /// Periods to run; 0 selects the number of full periods in the trace.
+  std::size_t total_periods = 0;
+  /// Max planned VM moves per period (alloc::apply_migration_budget);
+  /// kUnlimited disables clamping entirely (bit-identical to batch).
+  std::size_t migration_budget = kUnlimited;
+
+  static constexpr std::size_t kUnlimited =
+      std::numeric_limits<std::size_t>::max();
+};
+
+class AllocationEngine {
+ public:
+  /// `traces` and everything reachable from `options`/`run` must outlive the
+  /// engine. Throws std::invalid_argument on inconsistent configuration
+  /// (including a StickyPlacement policy, whose hidden per-instance state
+  /// cannot be checkpointed — the migration budget is the service-mode
+  /// stability mechanism).
+  AllocationEngine(sim::SimConfig config, const trace::TraceSet& traces,
+                   sim::ChurnSpec churn, const EngineOptions& options,
+                   const sim::RunOptions& run);
+  // Out of line: ObsIds/TraceIds are incomplete at this point.
+  ~AllocationEngine();
+
+  std::size_t period() const { return period_; }
+  std::size_t total_periods() const { return total_periods_; }
+  bool done() const { return period_ >= total_periods_; }
+
+  /// Execute one placement period: churn -> UPDATE -> ALLOCATE (+ budget)
+  /// -> v/f decide -> REPLAY -> wrap-up. Throws std::logic_error when done.
+  void tick();
+
+  /// Run every remaining period.
+  void run_to_completion() {
+    while (!done()) tick();
+  }
+
+  /// Result over the periods executed so far (totals, per-period records,
+  /// frequency residency). Derived means are computed over ticks run, so
+  /// this is callable mid-run.
+  sim::SimResult result() const;
+
+  // --- Service counters. ---
+  std::size_t churn_arrivals() const { return arrivals_; }
+  std::size_t churn_departures() const { return departures_; }
+  /// Moves undone across the run by the per-period migration budget.
+  std::size_t budget_reverted_moves() const { return budget_reverted_; }
+  /// Currently active VMs.
+  std::size_t active_vms() const;
+  /// The placement produced by the most recent tick (nullopt before the
+  /// first). Universe-indexed; departed VMs are unassigned.
+  const std::optional<alloc::Placement>& last_placement() const {
+    return prev_placement_;
+  }
+
+  /// Hash of everything that must match for a snapshot to be resumable:
+  /// config knobs, fleet shape, trace bytes, churn script, policy and v/f
+  /// identity, engine options.
+  std::uint64_t config_fingerprint() const { return fingerprint_; }
+
+  /// Serialize the complete mutable run state (the checkpoint payload).
+  std::vector<std::uint8_t> save_state() const;
+  /// Restore state produced by save_state() on an engine with the same
+  /// configuration. Throws util::SerializeError on truncated/corrupt
+  /// payloads and std::invalid_argument on shape mismatches; the engine is
+  /// left untouched on failure (decode into staging, then commit).
+  void restore_state(std::span<const std::uint8_t> payload);
+
+ private:
+  struct ObsIds;
+  struct TraceIds;
+
+  void apply_churn(std::size_t p);
+  std::uint64_t compute_fingerprint(const trace::TraceSet& traces) const;
+
+  // ---- Immutable run configuration. ----
+  sim::SimConfig config_;
+  model::FleetSpec fleet_;
+  const trace::TraceSet* traces_;      // post-trace-fault view
+  trace::TraceSet faulted_storage_;    // owns the view when faults rewrote it
+  sim::ChurnSpec churn_;
+  EngineOptions options_;
+  alloc::PlacementPolicy* policy_;
+  const dvfs::VfPolicy* static_vf_;
+  obs::PeriodRecorder* recorder_;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceSession* trace_;
+  obs::ProvenanceLedger* ledger_;
+
+  std::size_t n_ = 0;                  ///< universe size
+  double dt_ = 0.0;
+  std::size_t samples_per_period_ = 0;
+  std::size_t trace_periods_ = 0;      ///< full periods in the trace
+  std::size_t total_periods_ = 0;
+  std::size_t num_servers_ = 0;
+  std::uint64_t fingerprint_ = 0;
+
+  sim::FaultInjector injector_;
+  std::vector<sim::ServerFaultEvent> schedule_;
+  std::vector<double> capacity_fraction_;
+  std::unique_ptr<trace::Predictor> predictor_prototype_;
+  std::unique_ptr<ObsIds> ids_;
+  std::unique_ptr<TraceIds> tev_;
+
+  // ---- Mutable run state (everything save_state serializes). ----
+  std::size_t period_ = 0;
+  std::vector<char> active_;
+  /// Per VM: has the predictor observed at least one period since the VM's
+  /// last arrival? 0 selects the oracle bootstrap for the upcoming period.
+  std::vector<char> has_history_;
+  std::vector<std::unique_ptr<trace::Predictor>> predictors_;
+  corr::CostMatrix prev_matrix_;
+  corr::CostMatrix curr_matrix_;
+  corr::MomentMatrix prev_moments_;
+  corr::MomentMatrix curr_moments_;
+  std::optional<alloc::Placement> prev_placement_;
+  std::vector<char> server_up_;
+  std::size_t event_cursor_ = 0;
+  std::size_t violated_instances_ = 0;
+  std::size_t active_instances_ = 0;
+  double active_servers_sum_ = 0.0;
+  std::size_t arrivals_ = 0;
+  std::size_t departures_ = 0;
+  std::size_t budget_reverted_ = 0;
+  sim::SimResult result_;
+};
+
+}  // namespace cava::serve

@@ -1,0 +1,212 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/binio.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cava::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("ChurnSpec: " + message);
+}
+
+std::size_t read_index(const util::Json& value, const char* what) {
+  if (!value.is_number()) fail(std::string(what) + " must be a number");
+  const double v = value.as_number();
+  if (v < 0.0 || v != std::floor(v)) {
+    fail(std::string(what) + " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void ChurnSpec::validate(std::size_t num_vms) const {
+  for (std::size_t k = 0; k < initially_inactive.size(); ++k) {
+    if (initially_inactive[k] >= num_vms) {
+      fail("initially_inactive vm " + std::to_string(initially_inactive[k]) +
+           " out of range (universe has " + std::to_string(num_vms) + " VMs)");
+    }
+    if (k > 0 && initially_inactive[k] <= initially_inactive[k - 1]) {
+      fail("initially_inactive must be strictly increasing");
+    }
+  }
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const ChurnEvent& e = events[k];
+    if (e.vm >= num_vms) {
+      fail("event vm " + std::to_string(e.vm) + " out of range");
+    }
+    if (k > 0) {
+      const ChurnEvent& prev = events[k - 1];
+      if (e.period < prev.period ||
+          (e.period == prev.period && e.vm <= prev.vm)) {
+        fail("events must be sorted by (period, vm) with at most one event "
+             "per VM per period");
+      }
+    }
+  }
+  // Per-VM legality: arrive only while inactive, depart only while active.
+  std::vector<char> active = initial_active(num_vms);
+  for (const ChurnEvent& e : events) {
+    if (e.arrive == static_cast<bool>(active[e.vm])) {
+      fail(std::string(e.arrive ? "arrival" : "departure") + " for vm " +
+           std::to_string(e.vm) + " at period " + std::to_string(e.period) +
+           " while already " + (e.arrive ? "active" : "inactive"));
+    }
+    active[e.vm] = e.arrive ? 1 : 0;
+  }
+}
+
+std::vector<char> ChurnSpec::initial_active(std::size_t num_vms) const {
+  std::vector<char> active(num_vms, 1);
+  for (std::size_t vm : initially_inactive) {
+    if (vm < num_vms) active[vm] = 0;
+  }
+  return active;
+}
+
+std::span<const ChurnEvent> ChurnSpec::events_at(std::size_t period) const {
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), period,
+      [](const ChurnEvent& e, std::size_t p) { return e.period < p; });
+  const auto hi = std::upper_bound(
+      events.begin(), events.end(), period,
+      [](std::size_t p, const ChurnEvent& e) { return p < e.period; });
+  return {events.data() + (lo - events.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+ChurnSpec ChurnSpec::parse_json(const util::Json& doc, std::size_t num_vms) {
+  if (!doc.is_object()) fail("script root must be an object");
+  ChurnSpec spec;
+  if (const util::Json* inactive = doc.find("initially_inactive")) {
+    if (!inactive->is_array()) fail("initially_inactive must be an array");
+    for (std::size_t k = 0; k < inactive->size(); ++k) {
+      spec.initially_inactive.push_back(
+          read_index(inactive->at(k), "initially_inactive entry"));
+    }
+    std::sort(spec.initially_inactive.begin(), spec.initially_inactive.end());
+  }
+  if (const util::Json* events = doc.find("events")) {
+    if (!events->is_array()) fail("events must be an array");
+    for (std::size_t k = 0; k < events->size(); ++k) {
+      const util::Json& entry = events->at(k);
+      if (!entry.is_object()) fail("each event must be an object");
+      const util::Json* period = entry.find("period");
+      const util::Json* vm = entry.find("vm");
+      const util::Json* kind = entry.find("kind");
+      if (period == nullptr || vm == nullptr || kind == nullptr) {
+        fail("each event needs \"period\", \"vm\" and \"kind\"");
+      }
+      if (!kind->is_string() ||
+          (kind->as_string() != "arrive" && kind->as_string() != "depart")) {
+        fail("event kind must be \"arrive\" or \"depart\"");
+      }
+      spec.events.push_back({read_index(*period, "event period"),
+                             read_index(*vm, "event vm"),
+                             kind->as_string() == "arrive"});
+    }
+    std::sort(spec.events.begin(), spec.events.end(),
+              [](const ChurnEvent& a, const ChurnEvent& b) {
+                if (a.period != b.period) return a.period < b.period;
+                return a.vm < b.vm;
+              });
+  }
+  spec.validate(num_vms);
+  return spec;
+}
+
+ChurnSpec ChurnSpec::load_json(const std::string& path, std::size_t num_vms) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open churn script '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_json(util::Json::parse(text.str()), num_vms);
+  } catch (const std::exception& e) {
+    fail("in '" + path + "': " + e.what());
+  }
+}
+
+ChurnSpec ChurnSpec::synthetic(const SyntheticChurnConfig& config) {
+  if (config.num_vms == 0) fail("synthetic: num_vms must be positive");
+  if (config.arrival_prob < 0.0 || config.arrival_prob > 1.0 ||
+      config.departure_prob < 0.0 || config.departure_prob > 1.0) {
+    fail("synthetic: probabilities must lie in [0, 1]");
+  }
+  if (config.initial_active_fraction <= 0.0 ||
+      config.initial_active_fraction > 1.0) {
+    fail("synthetic: initial_active_fraction must lie in (0, 1]");
+  }
+  const std::size_t min_active = std::max<std::size_t>(config.min_active, 1);
+  std::size_t initial = static_cast<std::size_t>(std::ceil(
+      config.initial_active_fraction * static_cast<double>(config.num_vms)));
+  initial = std::clamp(initial, min_active, config.num_vms);
+
+  ChurnSpec spec;
+  std::vector<char> active(config.num_vms, 0);
+  // The highest-index VMs start inactive; VM identity carries no meaning in
+  // the universe, so which tail starts empty is arbitrary but deterministic.
+  for (std::size_t vm = 0; vm < initial; ++vm) active[vm] = 1;
+  for (std::size_t vm = initial; vm < config.num_vms; ++vm) {
+    spec.initially_inactive.push_back(vm);
+  }
+
+  // Dedicated stream: churn draws never collide with fault-injection draws
+  // even when both derive from the same user-facing seed.
+  util::SplitMix64 mix(config.seed ^ 0x636875726e5f7331ULL);
+  util::Rng rng(mix.next());
+  std::size_t population = initial;
+  for (std::size_t period = 1; period < config.num_periods; ++period) {
+    // VM-index order keeps the draw sequence independent of event content.
+    for (std::size_t vm = 0; vm < config.num_vms; ++vm) {
+      if (active[vm]) {
+        if (population > min_active && rng.bernoulli(config.departure_prob)) {
+          spec.events.push_back({period, vm, false});
+          active[vm] = 0;
+          --population;
+        }
+      } else if (rng.bernoulli(config.arrival_prob)) {
+        spec.events.push_back({period, vm, true});
+        active[vm] = 1;
+        ++population;
+      }
+    }
+  }
+  spec.validate(config.num_vms);
+  return spec;
+}
+
+std::uint64_t ChurnSpec::fingerprint() const {
+  util::BinWriter w;
+  w.u64(initially_inactive.size());
+  for (std::size_t vm : initially_inactive) w.u64(vm);
+  w.u64(events.size());
+  for (const ChurnEvent& e : events) {
+    w.u64(e.period);
+    w.u64(e.vm);
+    w.u8(e.arrive ? 1 : 0);
+  }
+  return util::fnv1a64(w.bytes());
+}
+
+std::string ChurnSpec::describe() const {
+  if (empty()) return "none";
+  std::size_t arrivals = 0;
+  for (const ChurnEvent& e : events) arrivals += e.arrive ? 1 : 0;
+  std::ostringstream out;
+  out << events.size() << " events (" << arrivals << " arrivals, "
+      << (events.size() - arrivals) << " departures), "
+      << initially_inactive.size() << " VMs initially inactive";
+  return out.str();
+}
+
+}  // namespace cava::sim

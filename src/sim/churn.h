@@ -1,0 +1,98 @@
+// Online VM churn: arrival/departure events applied at placement-period
+// boundaries by the long-running allocation engine (src/serve/engine.h).
+//
+// The VM *universe* stays fixed (every VM that will ever exist has a trace
+// and a slot in the correlation matrices); churn toggles membership of the
+// *active set*. A departed VM contributes zero utilization and is excluded
+// from placement; an arriving VM is admitted incrementally through the
+// regular policy with an oracle bootstrap for its first period (it has no
+// prediction history yet — the same convention the batch simulator uses for
+// period 0). This mirrors how a real cluster scheduler sees churn: the
+// instance catalog is known, occupancy changes.
+//
+// A ChurnSpec is either scripted (JSON document, see parse_json) or
+// synthesized deterministically from rates + a seed; both forms validate
+// that per-VM event sequences alternate arrive/depart legally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+class Json;
+}  // namespace cava::util
+
+namespace cava::sim {
+
+struct ChurnEvent {
+  std::size_t period = 0;  ///< takes effect at the start of this period
+  std::size_t vm = 0;      ///< universe index
+  bool arrive = true;      ///< true: joins the active set; false: leaves
+};
+
+/// Deterministic random-churn generator knobs (see ChurnSpec::synthetic).
+struct SyntheticChurnConfig {
+  std::size_t num_vms = 0;
+  std::size_t num_periods = 0;
+  /// Per-period probability that an inactive VM (re-)arrives.
+  double arrival_prob = 0.05;
+  /// Per-period probability that an active VM departs.
+  double departure_prob = 0.05;
+  /// Fraction of the universe active at period 0 (rounded up, >= 1).
+  double initial_active_fraction = 0.75;
+  /// Departures are suppressed while the active population is at this floor
+  /// (the engine needs at least one VM to place).
+  std::size_t min_active = 1;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnSpec {
+  /// Sorted by (period, vm); at most one event per (vm, period).
+  std::vector<ChurnEvent> events;
+  /// Universe indices absent from the active set at period 0 (strictly
+  /// increasing). Everyone else starts active.
+  std::vector<std::size_t> initially_inactive;
+
+  bool empty() const { return events.empty() && initially_inactive.empty(); }
+
+  /// The no-churn spec: every VM active for the whole run.
+  static ChurnSpec none() { return {}; }
+
+  /// Structural validation against a universe of `num_vms` VMs: indices in
+  /// range, events sorted and deduplicated, and each VM's sequence legal
+  /// (arrive only while inactive, depart only while active). Throws
+  /// std::invalid_argument with the offending VM/period.
+  void validate(std::size_t num_vms) const;
+
+  /// Active mask at period 0 (before that period's events — period-0 events
+  /// are applied by the engine like any other boundary's).
+  std::vector<char> initial_active(std::size_t num_vms) const;
+
+  /// Events taking effect at one period (events must be sorted — true for
+  /// every spec produced by parse_json/synthetic/validate'd input).
+  std::span<const ChurnEvent> events_at(std::size_t period) const;
+
+  /// Parse a churn script:
+  ///   {"initially_inactive": [4, 5],
+  ///    "events": [{"period": 3, "vm": 4, "kind": "arrive"},
+  ///               {"period": 8, "vm": 0, "kind": "depart"}]}
+  /// The result is sorted and validate()d against `num_vms`.
+  static ChurnSpec parse_json(const util::Json& doc, std::size_t num_vms);
+  /// Load + parse a script file (errors carry the path).
+  static ChurnSpec load_json(const std::string& path, std::size_t num_vms);
+
+  /// Deterministic random churn from rates + seed; validate()d.
+  static ChurnSpec synthetic(const SyntheticChurnConfig& config);
+
+  /// Stable content hash, folded into checkpoint config fingerprints so a
+  /// snapshot cannot be resumed against a different churn script.
+  std::uint64_t fingerprint() const;
+
+  /// One-line summary ("none" when empty).
+  std::string describe() const;
+};
+
+}  // namespace cava::sim

@@ -123,6 +123,17 @@ class FaultInjector {
   /// be deterministic (the simulator iterates VMs in index order).
   double perturb_prediction(double u_hat);
 
+  /// Raw state of the sequential prediction stream — the only mutable state
+  /// an injector carries. Checkpoint/restore round-trips it so a resumed
+  /// service run draws the exact same noise sequence as an uninterrupted
+  /// one; every other fault layer is a pure function of (spec, seed).
+  std::array<std::uint64_t, 4> prediction_rng_state() const {
+    return prediction_rng_.state();
+  }
+  void set_prediction_rng_state(const std::array<std::uint64_t, 4>& state) {
+    prediction_rng_.set_state(state);
+  }
+
  private:
   FaultSpec spec_;
   std::uint64_t seed_;

@@ -7,6 +7,40 @@
 
 namespace cava::trace {
 
+namespace {
+
+/// Shared flag decoding for the {seen, value} two-double states.
+bool decode_seen_flag(std::span<const double> state, const char* who) {
+  if (state.size() != 2 || (state[0] != 0.0 && state[0] != 1.0)) {
+    throw std::invalid_argument(std::string(who) +
+                                "::restore_state: malformed state");
+  }
+  return state[0] == 1.0;
+}
+
+/// Refill a ring buffer from its serialized oldest-first contents.
+void refill_window(util::RingBuffer<double>& window,
+                   std::span<const double> values, const char* who) {
+  if (values.size() > window.capacity()) {
+    throw std::invalid_argument(std::string(who) +
+                                "::restore_state: window overflow");
+  }
+  window.clear();
+  for (double v : values) window.push(v);
+}
+
+}  // namespace
+
+void LastValuePredictor::restore_state(std::span<const double> state) {
+  seen_ = decode_seen_flag(state, "LastValuePredictor");
+  last_ = state[1];
+}
+
+void EwmaPredictor::restore_state(std::span<const double> state) {
+  seen_ = decode_seen_flag(state, "EwmaPredictor");
+  ewma_ = state[1];
+}
+
 MovingAveragePredictor::MovingAveragePredictor(std::size_t window)
     : window_(window) {}
 
@@ -25,6 +59,14 @@ std::string MovingAveragePredictor::name() const {
 
 std::unique_ptr<Predictor> MovingAveragePredictor::clone_fresh() const {
   return std::make_unique<MovingAveragePredictor>(window_.capacity());
+}
+
+std::vector<double> MovingAveragePredictor::state() const {
+  return window_.to_vector();
+}
+
+void MovingAveragePredictor::restore_state(std::span<const double> state) {
+  refill_window(window_, state, "MovingAveragePredictor");
 }
 
 EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
@@ -83,6 +125,14 @@ double Ar1Predictor::predict() const {
 
 std::unique_ptr<Predictor> Ar1Predictor::clone_fresh() const {
   return std::make_unique<Ar1Predictor>(history_.capacity());
+}
+
+std::vector<double> Ar1Predictor::state() const {
+  return history_.to_vector();
+}
+
+void Ar1Predictor::restore_state(std::span<const double> state) {
+  refill_window(history_, state, "Ar1Predictor");
 }
 
 std::unique_ptr<Predictor> make_predictor(const std::string& name) {

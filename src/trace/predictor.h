@@ -9,7 +9,9 @@
 #include "util/ring_buffer.h"
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace cava::trace {
 
@@ -31,6 +33,13 @@ class Predictor {
 
   /// Fresh instance with the same configuration (for per-VM replication).
   virtual std::unique_ptr<Predictor> clone_fresh() const = 0;
+
+  /// Flat mutable state as doubles, for checkpoint/restore. restore_state on
+  /// a clone_fresh() instance of the same configuration resumes the exact
+  /// observe()/predict() sequence bit-identically. Implementations throw
+  /// std::invalid_argument on a state vector they could not have produced.
+  virtual std::vector<double> state() const = 0;
+  virtual void restore_state(std::span<const double> state) = 0;
 };
 
 /// y(t+1) = y(t). The paper's choice.
@@ -45,6 +54,10 @@ class LastValuePredictor final : public Predictor {
   std::unique_ptr<Predictor> clone_fresh() const override {
     return std::make_unique<LastValuePredictor>();
   }
+  std::vector<double> state() const override {
+    return {seen_ ? 1.0 : 0.0, last_};
+  }
+  void restore_state(std::span<const double> state) override;
 
  private:
   double last_ = 0.0;
@@ -60,6 +73,8 @@ class MovingAveragePredictor final : public Predictor {
   double predict() const override;
   std::string name() const override;
   std::unique_ptr<Predictor> clone_fresh() const override;
+  std::vector<double> state() const override;
+  void restore_state(std::span<const double> state) override;
 
  private:
   util::RingBuffer<double> window_;
@@ -74,6 +89,10 @@ class EwmaPredictor final : public Predictor {
   double predict() const override { return seen_ ? ewma_ : 0.0; }
   std::string name() const override;
   std::unique_ptr<Predictor> clone_fresh() const override;
+  std::vector<double> state() const override {
+    return {seen_ ? 1.0 : 0.0, ewma_};
+  }
+  void restore_state(std::span<const double> state) override;
 
  private:
   double alpha_;
@@ -91,6 +110,8 @@ class Ar1Predictor final : public Predictor {
   double predict() const override;
   std::string name() const override { return "ar1"; }
   std::unique_ptr<Predictor> clone_fresh() const override;
+  std::vector<double> state() const override;
+  void restore_state(std::span<const double> state) override;
 
  private:
   util::RingBuffer<double> history_;

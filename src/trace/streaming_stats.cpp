@@ -66,6 +66,28 @@ void P2Quantile::reset() {
   heights_.fill(0.0);
 }
 
+P2Quantile::State P2Quantile::state() const {
+  State s;
+  s.q = q_;
+  s.n = n_;
+  s.heights = heights_;
+  s.positions = positions_;
+  s.desired = desired_;
+  s.increments = increments_;
+  return s;
+}
+
+void P2Quantile::restore(const State& state) {
+  if (state.q != q_) {
+    throw std::invalid_argument("P2Quantile::restore: quantile mismatch");
+  }
+  n_ = state.n;
+  heights_ = state.heights;
+  positions_ = state.positions;
+  desired_ = state.desired;
+  increments_ = state.increments;
+}
+
 double P2Quantile::parabolic(int i, double d) const {
   const double qi = heights_[static_cast<std::size_t>(i)];
   const double qm = heights_[static_cast<std::size_t>(i - 1)];

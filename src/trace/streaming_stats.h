@@ -68,6 +68,21 @@ class P2Quantile {
   /// Current estimate. Exact while fewer than 5 samples have been seen.
   double value() const;
 
+  /// Complete estimator state, for checkpoint/restore: restore(state())
+  /// resumes the exact add() sequence bit-identically.
+  struct State {
+    double q = 0.0;
+    std::size_t n = 0;
+    std::array<double, 5> heights{};
+    std::array<double, 5> positions{};
+    std::array<double, 5> desired{};
+    std::array<double, 5> increments{};
+  };
+  State state() const;
+  /// Throws std::invalid_argument when the state's quantile does not match
+  /// this estimator's configured q (a snapshot/config mismatch).
+  void restore(const State& state);
+
  private:
   double parabolic(int i, double d) const;
   double linear(int i, double d) const;

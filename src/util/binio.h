@@ -1,0 +1,194 @@
+// Binary serialization and crash-safe file I/O primitives for the snapshot
+// subsystem (src/serve/checkpoint.h).
+//
+// BinWriter appends fixed-width little-endian scalars to a growable byte
+// buffer; BinReader walks such a buffer with every read bounds-checked, so a
+// truncated or hostile payload produces a clean SerializeError instead of
+// undefined behavior. Doubles round-trip bit-exactly (the buffer stores their
+// IEEE-754 representation), which is what makes checkpoint/restore resume
+// bit-identical runs.
+//
+// atomic_write_file implements the classic temp-file + fsync + rename
+// discipline: readers either see the complete previous file or the complete
+// new one, never a torn mixture, even across power loss.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+
+/// Thrown by BinReader on any out-of-bounds or malformed read.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// FNV-1a 64-bit hash — the payload checksum of snapshot files. Not
+/// cryptographic; it detects torn writes and bit rot, not adversaries.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+std::uint64_t fnv1a64(const std::string& bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void f64(double v) { append(&v, sizeof v); }
+
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    size(s.size());
+    for (char c : s) buf_.push_back(static_cast<std::uint8_t>(c));
+  }
+
+  void vec_f64(std::span<const double> v) {
+    size(v.size());
+    for (double x : v) f64(x);
+  }
+  void vec_u8(std::span<const std::uint8_t> v) {
+    size(v.size());
+    for (std::uint8_t x : v) u8(x);
+  }
+  void vec_u64(std::span<const std::uint64_t> v) {
+    size(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+  void vec_size(std::span<const std::size_t> v) {
+    size(v.size());
+    for (std::size_t x : v) size(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  std::int64_t i64() { return scalar<std::int64_t>(); }
+  double f64() { return scalar<double>(); }
+
+  /// Length prefix validated against the bytes actually remaining, so a
+  /// corrupted huge count fails immediately instead of driving a giant
+  /// allocation. `elem_bytes` is the minimum encoded size of one element.
+  std::size_t size(std::size_t elem_bytes = 1) {
+    const std::uint64_t v = u64();
+    const std::size_t limit = remaining() / (elem_bytes == 0 ? 1 : elem_bytes);
+    if (v > limit) {
+      throw SerializeError("length prefix " + std::to_string(v) +
+                           " exceeds remaining payload");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  std::string str() {
+    const std::size_t n = size(1);
+    need(n);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<double> vec_f64() {
+    const std::size_t n = size(sizeof(double));
+    std::vector<double> out(n);
+    for (auto& x : out) x = f64();
+    return out;
+  }
+  std::vector<std::uint8_t> vec_u8() {
+    const std::size_t n = size(1);
+    std::vector<std::uint8_t> out(n);
+    for (auto& x : out) x = u8();
+    return out;
+  }
+  std::vector<std::uint64_t> vec_u64() {
+    const std::size_t n = size(sizeof(std::uint64_t));
+    std::vector<std::uint64_t> out(n);
+    for (auto& x : out) x = u64();
+    return out;
+  }
+  std::vector<std::size_t> vec_size() {
+    const std::size_t n = size(sizeof(std::uint64_t));
+    std::vector<std::size_t> out(n);
+    for (auto& x : out) x = static_cast<std::size_t>(u64());
+    return out;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+  /// Throws unless the whole payload was consumed — trailing garbage in a
+  /// snapshot is as suspicious as a truncation.
+  void expect_end() const {
+    if (!at_end()) {
+      throw SerializeError(std::to_string(remaining()) +
+                           " unexpected trailing bytes");
+    }
+  }
+
+ private:
+  template <typename T>
+  T scalar() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) {
+      throw SerializeError("payload truncated: need " + std::to_string(n) +
+                           " bytes at offset " + std::to_string(pos_));
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Thrown by the file helpers below on any OS-level failure; the message
+/// carries the path and errno text.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Read a whole file into a byte vector. Throws IoError when the file cannot
+/// be opened or read.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Crash-safe whole-file replacement: write to `path.tmp.<pid>`, fsync the
+/// file, rename over `path`, then fsync the containing directory so the
+/// rename itself is durable. Throws IoError on failure (the temp file is
+/// unlinked best-effort).
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+}  // namespace cava::util

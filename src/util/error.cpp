@@ -1,0 +1,36 @@
+#include "util/error.h"
+
+#include <cstdio>
+
+namespace cava::util {
+
+int exit_code(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kConfig: return 2;
+    case ErrorCategory::kData: return 3;
+    case ErrorCategory::kRuntime: return 4;
+    case ErrorCategory::kIo: return 5;
+  }
+  return 4;
+}
+
+const char* category_tag(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kConfig: return "config";
+    case ErrorCategory::kData: return "data";
+    case ErrorCategory::kRuntime: return "runtime";
+    case ErrorCategory::kIo: return "io";
+  }
+  return "runtime";
+}
+
+int report_fatal(const std::exception& e, ErrorCategory fallback) {
+  ErrorCategory category = fallback;
+  if (const auto* cli = dynamic_cast<const CliError*>(&e)) {
+    category = cli->category();
+  }
+  std::fprintf(stderr, "error (%s): %s\n", category_tag(category), e.what());
+  return exit_code(category);
+}
+
+}  // namespace cava::util

@@ -1,0 +1,51 @@
+// Unified fatal-error taxonomy for the CLI tools.
+//
+// Every fatal path in a tool routes through one reporter and maps onto a
+// distinct, documented exit code, so scripts (and the chaos harness) can
+// tell a mis-typed flag from a corrupt trace file from a mid-run fault:
+//
+//   0  success
+//   2  config error   — bad flags, invalid SimConfig/fleet/churn documents
+//   3  data error     — trace CSV / snapshot / JSON inputs that fail to load
+//   4  runtime error  — a fault escaping the simulation/service loop
+//   5  I/O error      — output files or checkpoint writes that cannot land
+//
+// (1 is deliberately unused: it is what uncaught std::terminate and most
+// shells produce, so a distinct set keeps automated triage unambiguous.)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cava::util {
+
+enum class ErrorCategory { kConfig, kData, kRuntime, kIo };
+
+/// Exit code of a category (see table above).
+int exit_code(ErrorCategory category);
+
+/// Short lowercase tag ("config", "data", "runtime", "io") used as the
+/// stderr prefix.
+const char* category_tag(ErrorCategory category);
+
+/// An error that knows which exit code it deserves. Tools wrap foreign
+/// exceptions (std::invalid_argument from parsers, IoError from writers)
+/// into a CliError at the phase boundary where the category is known.
+class CliError : public std::runtime_error {
+ public:
+  CliError(ErrorCategory category, const std::string& what)
+      : std::runtime_error(what), category_(category) {}
+
+  ErrorCategory category() const { return category_; }
+
+ private:
+  ErrorCategory category_;
+};
+
+/// The single fatal-path reporter: prints "error (<tag>): <what>" to stderr
+/// and returns the exit code the process should end with. CliError carries
+/// its own category; anything else falls back to `fallback`.
+int report_fatal(const std::exception& e,
+                 ErrorCategory fallback = ErrorCategory::kRuntime);
+
+}  // namespace cava::util

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace cava::util {
@@ -80,7 +82,10 @@ const Json& Json::at(std::size_t index) const {
 
 namespace {
 
-// Recursive-descent reader over the raw document text.
+// Recursive-descent reader over the raw document text. Hardened for
+// untrusted inputs: bounded nesting depth (stack safety), strict JSON
+// number grammar (strtod alone would accept "nan", "inf" and hex floats),
+// and duplicate object keys rejected instead of silently overwritten.
 class Reader {
  public:
   explicit Reader(const std::string& text) : text_(text) {}
@@ -97,6 +102,17 @@ class Reader {
     throw std::invalid_argument("Json::parse: " + what + " at byte " +
                                 std::to_string(pos_));
   }
+
+  /// RAII nesting guard: each object/array level checks the cap on entry.
+  struct DepthGuard {
+    explicit DepthGuard(Reader& r) : reader(r) {
+      if (++reader.depth_ > kMaxDepth) {
+        reader.fail("nesting depth exceeds " + std::to_string(kMaxDepth));
+      }
+    }
+    ~DepthGuard() { --reader.depth_; }
+    Reader& reader;
+  };
 
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -143,6 +159,7 @@ class Reader {
   }
 
   Json parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     Json obj = Json::object();
     if (peek() == '}') {
@@ -152,6 +169,9 @@ class Reader {
     while (true) {
       if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
+      if (obj.find(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+      }
       expect(':');
       obj[key] = parse_value();
       const char c = peek();
@@ -162,6 +182,7 @@ class Reader {
   }
 
   Json parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     Json arr = Json::array();
     if (peek() == ']') {
@@ -231,22 +252,71 @@ class Reader {
 
   Json parse_number() {
     skip_ws();
-    const char* start = text_.c_str() + pos_;
+    // Validate the strict JSON grammar (-?int frac? exp?) before handing the
+    // span to strtod: strtod alone also accepts "nan", "inf", hex floats and
+    // leading '+', none of which are JSON — and NaN/Inf references must not
+    // leak out of untrusted configuration documents.
+    const std::size_t number_start = pos_;
+    std::size_t scan = pos_;
+    const auto digits = [&]() {
+      const std::size_t at = scan;
+      while (scan < text_.size() &&
+             text_[scan] >= '0' && text_[scan] <= '9') {
+        ++scan;
+      }
+      return scan > at;
+    };
+    if (scan < text_.size() && text_[scan] == '-') ++scan;
+    if (scan < text_.size() && text_[scan] == '0') {
+      ++scan;  // leading zero stands alone
+    } else if (!digits()) {
+      fail("expected a value");
+    }
+    if (scan < text_.size() && text_[scan] == '.') {
+      ++scan;
+      if (!digits()) fail("expected digits after decimal point");
+    }
+    if (scan < text_.size() && (text_[scan] == 'e' || text_[scan] == 'E')) {
+      ++scan;
+      if (scan < text_.size() &&
+          (text_[scan] == '+' || text_[scan] == '-')) {
+        ++scan;
+      }
+      if (!digits()) fail("expected digits in exponent");
+    }
+    const char* start = text_.c_str() + number_start;
     char* end = nullptr;
     const double v = std::strtod(start, &end);
-    if (end == start) fail("expected a value");
-    pos_ += static_cast<std::size_t>(end - start);
+    if (end != start + (scan - number_start)) fail("malformed number");
+    if (!std::isfinite(v)) fail("number out of double range");
+    pos_ = scan;
     return Json(v);
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 64;
 };
 
 }  // namespace
 
 Json Json::parse(const std::string& text) {
   return Reader(text).parse_document();
+}
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Json::parse_file: cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("in '" + path + "': " + e.what());
+  }
 }
 
 std::size_t Json::size() const {

@@ -29,7 +29,15 @@ class Json {
 
   /// Parse a JSON document. Throws std::invalid_argument with the byte
   /// offset of the first error; trailing non-whitespace is an error too.
+  /// Hardened for untrusted inputs: nesting deeper than 64 levels,
+  /// duplicate object keys, and non-finite/non-JSON numbers (NaN, Inf, hex
+  /// floats) are all rejected.
   static Json parse(const std::string& text);
+
+  /// Load + parse a file; parse errors are rethrown with the file path
+  /// prepended to the byte-offset diagnostic. Throws std::runtime_error
+  /// when the file cannot be read.
+  static Json parse_file(const std::string& path);
 
   bool is_null() const { return kind_ == Kind::kNull; }
   bool is_bool() const { return kind_ == Kind::kBool; }

@@ -101,6 +101,11 @@ class Rng {
   /// Bernoulli draw.
   bool bernoulli(double p) { return uniform() < p; }
 
+  /// Raw engine state, for checkpoint/restore of in-flight random streams.
+  /// set_state(state()) resumes the exact draw sequence.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,221 @@
+#include "serve/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/binio.h"
+
+namespace cava::serve {
+namespace {
+
+Snapshot sample_snapshot(std::size_t payload_bytes = 64) {
+  Snapshot s;
+  s.config_fingerprint = 0x1122334455667788ULL;
+  s.next_period = 17;
+  s.payload.resize(payload_bytes);
+  std::iota(s.payload.begin(), s.payload.end(), std::uint8_t{1});
+  return s;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+void remove_pair(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  const Snapshot s = sample_snapshot();
+  const auto bytes = encode_snapshot(s);
+  ASSERT_GE(bytes.size(), kSnapshotHeaderBytes);
+  const Snapshot back = decode_snapshot(bytes);
+  EXPECT_EQ(back.config_fingerprint, s.config_fingerprint);
+  EXPECT_EQ(back.next_period, s.next_period);
+  EXPECT_EQ(back.payload, s.payload);
+}
+
+TEST(Checkpoint, EmptyPayloadRoundTrips) {
+  Snapshot s;
+  s.config_fingerprint = 1;
+  s.next_period = 0;
+  const Snapshot back = decode_snapshot(encode_snapshot(s));
+  EXPECT_TRUE(back.payload.empty());
+}
+
+// ---- The corrupted-snapshot corpus: every mutation must yield a clean
+// CheckpointError, never UB. Run under asan/ubsan in CI. ----
+
+TEST(Checkpoint, RejectsEveryTruncationLength) {
+  const auto bytes = encode_snapshot(sample_snapshot(48));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_snapshot(cut), CheckpointError) << "length " << len;
+  }
+}
+
+TEST(Checkpoint, RejectsEverySingleBitFlip) {
+  const auto bytes = encode_snapshot(sample_snapshot(32));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const Snapshot back = decode_snapshot(mutated);
+        // A flip inside the checksum-covered body must be caught; flips in
+        // the stored checksum itself must mismatch the recomputed one. No
+        // single-bit flip may decode successfully.
+        ADD_FAILURE() << "bit flip at byte " << i << " bit " << bit
+                      << " decoded (period " << back.next_period << ")";
+      } catch (const CheckpointError&) {
+        // expected
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, RejectsVersionBump) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  // Version field is at offset 8 (after the 8-byte magic); bump it and fix
+  // nothing else — decode must refuse it as an unsupported version or a
+  // checksum mismatch, either way a CheckpointError.
+  bytes[8] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+  EXPECT_THROW(decode_snapshot(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  bytes[0] = 'X';
+  EXPECT_THROW(decode_snapshot(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  auto bytes = encode_snapshot(sample_snapshot());
+  bytes.push_back(0xAA);
+  EXPECT_THROW(decode_snapshot(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, ErrorsNameTheOrigin) {
+  try {
+    decode_snapshot(std::vector<std::uint8_t>{1, 2, 3}, "soak.snap");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("soak.snap"), std::string::npos);
+  }
+}
+
+// ---- File layer: rotation + newest-valid selection. ----
+
+TEST(Checkpoint, WriteRotatesPrevious) {
+  const std::string path = temp_path("rotate.snap");
+  remove_pair(path);
+  Snapshot first = sample_snapshot();
+  first.next_period = 1;
+  write_snapshot_rotated(path, encode_snapshot(first));
+  Snapshot second = sample_snapshot();
+  second.next_period = 2;
+  write_snapshot_rotated(path, encode_snapshot(second));
+
+  EXPECT_EQ(load_snapshot(path).next_period, 2u);
+  EXPECT_EQ(load_snapshot(path + ".1").next_period, 1u);
+  remove_pair(path);
+}
+
+TEST(Checkpoint, LoadLatestReturnsNulloptWhenNoFiles) {
+  const std::string path = temp_path("absent.snap");
+  remove_pair(path);
+  EXPECT_FALSE(load_latest_snapshot(path, 0).has_value());
+}
+
+TEST(Checkpoint, LoadLatestFallsBackToRotatedCopy) {
+  const std::string path = temp_path("fallback.snap");
+  remove_pair(path);
+  Snapshot old_snapshot = sample_snapshot();
+  old_snapshot.next_period = 5;
+  write_snapshot_rotated(path, encode_snapshot(old_snapshot));
+  Snapshot newer = sample_snapshot();
+  newer.next_period = 9;
+  write_snapshot_rotated(path, encode_snapshot(newer));
+
+  // Corrupt the primary: the loader must report the rotated copy.
+  auto bytes = util::read_file_bytes(path);
+  bytes[kSnapshotHeaderBytes / 2] ^= 0xFF;
+  util::atomic_write_file(path, bytes);
+
+  std::string diagnostics;
+  const auto snapshot = load_latest_snapshot(
+      path, sample_snapshot().config_fingerprint, &diagnostics);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->next_period, 5u);
+  EXPECT_FALSE(diagnostics.empty());
+  remove_pair(path);
+}
+
+TEST(Checkpoint, LoadLatestThrowsWhenAllCopiesUnusable) {
+  const std::string path = temp_path("dead.snap");
+  remove_pair(path);
+  write_snapshot_rotated(path, encode_snapshot(sample_snapshot()));
+  write_snapshot_rotated(path, encode_snapshot(sample_snapshot()));
+  for (const std::string& p : {path, path + ".1"}) {
+    auto bytes = util::read_file_bytes(p);
+    bytes[bytes.size() - 1] ^= 0x01;
+    util::atomic_write_file(p, bytes);
+  }
+  EXPECT_THROW(load_latest_snapshot(path, 0), CheckpointError);
+  remove_pair(path);
+}
+
+TEST(Checkpoint, LoadLatestRejectsFingerprintMismatch) {
+  const std::string path = temp_path("foreign.snap");
+  remove_pair(path);
+  write_snapshot_rotated(path, encode_snapshot(sample_snapshot()));
+  EXPECT_THROW(load_latest_snapshot(path, 0xdeadbeefULL), CheckpointError);
+  remove_pair(path);
+}
+
+// ---- Background writer. ----
+
+TEST(CheckpointWriter, WritesLatestSubmission) {
+  const std::string path = temp_path("writer.snap");
+  remove_pair(path);
+  Snapshot last = sample_snapshot();
+  {
+    CheckpointWriter writer({path});
+    for (std::size_t p = 1; p <= 20; ++p) {
+      Snapshot s = sample_snapshot();
+      s.next_period = p;
+      last = s;
+      writer.submit(encode_snapshot(s));
+    }
+    writer.drain();
+    EXPECT_GE(writer.writes_completed(), 1u);
+    EXPECT_EQ(writer.writes_failed(), 0u);
+    EXPECT_EQ(writer.last_error(), "");
+  }
+  // Whatever was superseded, the newest submission must be on disk.
+  EXPECT_EQ(load_snapshot(path).next_period, last.next_period);
+  remove_pair(path);
+}
+
+TEST(CheckpointWriter, ReportsPersistentFailure) {
+  // A directory that does not exist: every attempt fails, the writer
+  // records the error and keeps serving instead of throwing.
+  CheckpointWriter writer(
+      {temp_path("no-such-dir") + "/x/y/z.snap", /*max_attempts=*/2,
+       /*initial_backoff_ms=*/1});
+  writer.submit(encode_snapshot(sample_snapshot()));
+  writer.drain();
+  EXPECT_EQ(writer.writes_completed(), 0u);
+  EXPECT_EQ(writer.writes_failed(), 1u);
+  EXPECT_NE(writer.last_error(), "");
+}
+
+}  // namespace
+}  // namespace cava::serve

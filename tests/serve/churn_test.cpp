@@ -1,0 +1,156 @@
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace cava::sim {
+namespace {
+
+TEST(ChurnSpec, NoneIsEmptyAndValid) {
+  const ChurnSpec spec = ChurnSpec::none();
+  EXPECT_TRUE(spec.empty());
+  EXPECT_NO_THROW(spec.validate(4));
+  const auto active = spec.initial_active(4);
+  EXPECT_EQ(active.size(), 4u);
+  for (char a : active) EXPECT_EQ(a, 1);
+  EXPECT_TRUE(spec.events_at(0).empty());
+  EXPECT_EQ(spec.describe(), "none");
+}
+
+TEST(ChurnSpec, ParseJsonRoundTrip) {
+  const util::Json doc = util::Json::parse(R"({
+    "initially_inactive": [2, 3],
+    "events": [
+      {"period": 1, "vm": 2, "kind": "arrive"},
+      {"period": 4, "vm": 0, "kind": "depart"},
+      {"period": 6, "vm": 0, "kind": "arrive"}
+    ]})");
+  const ChurnSpec spec = ChurnSpec::parse_json(doc, 4);
+  EXPECT_EQ(spec.initially_inactive, (std::vector<std::size_t>{2, 3}));
+  ASSERT_EQ(spec.events.size(), 3u);
+  EXPECT_EQ(spec.events[0].period, 1u);
+  EXPECT_EQ(spec.events[0].vm, 2u);
+  EXPECT_TRUE(spec.events[0].arrive);
+  EXPECT_FALSE(spec.events[1].arrive);
+
+  const auto active = spec.initial_active(4);
+  EXPECT_EQ(active[0], 1);
+  EXPECT_EQ(active[1], 1);
+  EXPECT_EQ(active[2], 0);
+  EXPECT_EQ(active[3], 0);
+
+  EXPECT_EQ(spec.events_at(1).size(), 1u);
+  EXPECT_EQ(spec.events_at(2).size(), 0u);
+  EXPECT_EQ(spec.events_at(4).size(), 1u);
+}
+
+TEST(ChurnSpec, ValidateRejectsOutOfRangeVm) {
+  ChurnSpec spec;
+  spec.events.push_back({0, 9, true});
+  EXPECT_THROW(spec.validate(4), std::invalid_argument);
+}
+
+TEST(ChurnSpec, ValidateRejectsIllegalAlternation) {
+  // VM 0 starts active; arriving while active is illegal.
+  ChurnSpec spec;
+  spec.events.push_back({2, 0, true});
+  EXPECT_THROW(spec.validate(4), std::invalid_argument);
+
+  // Departing twice without an arrival in between is illegal.
+  ChurnSpec spec2;
+  spec2.events.push_back({1, 0, false});
+  spec2.events.push_back({3, 0, false});
+  EXPECT_THROW(spec2.validate(4), std::invalid_argument);
+
+  // Legal alternation passes.
+  ChurnSpec spec3;
+  spec3.events.push_back({1, 0, false});
+  spec3.events.push_back({3, 0, true});
+  EXPECT_NO_THROW(spec3.validate(4));
+}
+
+TEST(ChurnSpec, ValidateRejectsUnsortedEvents) {
+  ChurnSpec spec;
+  spec.events.push_back({3, 0, false});
+  spec.events.push_back({1, 1, false});
+  EXPECT_THROW(spec.validate(4), std::invalid_argument);
+}
+
+TEST(ChurnSpec, SyntheticIsDeterministicAndValid) {
+  SyntheticChurnConfig cfg;
+  cfg.num_vms = 10;
+  cfg.num_periods = 50;
+  cfg.arrival_prob = 0.2;
+  cfg.departure_prob = 0.2;
+  cfg.seed = 7;
+  const ChurnSpec a = ChurnSpec::synthetic(cfg);
+  const ChurnSpec b = ChurnSpec::synthetic(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_NO_THROW(a.validate(cfg.num_vms));
+  EXPECT_FALSE(a.empty());
+
+  cfg.seed = 8;
+  const ChurnSpec c = ChurnSpec::synthetic(cfg);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(ChurnSpec, SyntheticRespectsMinActiveFloor) {
+  SyntheticChurnConfig cfg;
+  cfg.num_vms = 4;
+  cfg.num_periods = 200;
+  cfg.arrival_prob = 0.0;   // nobody ever comes back
+  cfg.departure_prob = 1.0; // everyone wants to leave immediately
+  cfg.initial_active_fraction = 1.0;
+  cfg.min_active = 2;
+  cfg.seed = 1;
+  const ChurnSpec spec = ChurnSpec::synthetic(cfg);
+  std::vector<char> active = spec.initial_active(cfg.num_vms);
+  std::size_t count =
+      static_cast<std::size_t>(std::count(active.begin(), active.end(), 1));
+  for (std::size_t p = 0; p < cfg.num_periods; ++p) {
+    for (const ChurnEvent& e : spec.events_at(p)) {
+      active[e.vm] = e.arrive ? 1 : 0;
+    }
+    count = static_cast<std::size_t>(
+        std::count(active.begin(), active.end(), 1));
+    ASSERT_GE(count, cfg.min_active) << "period " << p;
+  }
+  EXPECT_EQ(count, cfg.min_active);
+}
+
+TEST(ChurnSpec, FingerprintCoversInitialSetAndEvents) {
+  ChurnSpec a;
+  a.events.push_back({1, 0, false});
+  ChurnSpec b;  // same events, different initial set
+  b.events.push_back({1, 0, false});
+  b.initially_inactive.push_back(2);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), ChurnSpec::none().fingerprint());
+}
+
+TEST(ChurnSpec, ParseJsonRejectsBadDocuments) {
+  const auto parse = [](const char* text) {
+    return ChurnSpec::parse_json(util::Json::parse(text), 4);
+  };
+  EXPECT_THROW(parse(R"([1, 2])"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"events": [{"period": 0, "vm": 0}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse(R"({"events": [{"period": 0, "vm": 0, "kind": "explode"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(parse(R"({"initially_inactive": [1, 1]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse(R"({"initially_inactive": [99]})"),
+               std::invalid_argument);
+  // Unsorted input is legal: the parser sorts before validating.
+  EXPECT_EQ(parse(R"({"initially_inactive": [3, 1]})").initially_inactive,
+            (std::vector<std::size_t>{1, 3}));
+}
+
+}  // namespace
+}  // namespace cava::sim

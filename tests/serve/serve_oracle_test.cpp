@@ -1,0 +1,151 @@
+// Oracle differential for the churn path: the dense active-set matrices the
+// engine hands to placement (CostMatrix::subset / MomentMatrix::subset of
+// the streaming full-universe matrices) must be bit-identical to matrices
+// rebuilt from scratch over only the active VMs' sample streams. If subset
+// extraction ever drifted from a ground-up rebuild, churned placements would
+// silently diverge from what the paper's equations prescribe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "corr/moments.h"
+#include "trace/reference.h"
+#include "util/rng.h"
+
+namespace cava::corr {
+namespace {
+
+/// Deterministic utilization block: `n` VMs x `samples` ticks in [0, 1].
+std::vector<double> random_block(std::size_t n, std::size_t samples,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> u(n * samples);
+  for (double& x : u) x = rng.uniform();
+  return u;
+}
+
+/// Rows `vms` of a VM-major block, densely repacked.
+std::vector<double> subset_block(const std::vector<double>& u,
+                                 std::size_t samples,
+                                 const std::vector<std::size_t>& vms) {
+  std::vector<double> out;
+  out.reserve(vms.size() * samples);
+  for (std::size_t vm : vms) {
+    out.insert(out.end(), u.begin() + static_cast<long>(vm * samples),
+               u.begin() + static_cast<long>((vm + 1) * samples));
+  }
+  return out;
+}
+
+void expect_cost_identical(const CostMatrix& extracted,
+                           const CostMatrix& rebuilt) {
+  ASSERT_EQ(extracted.size(), rebuilt.size());
+  ASSERT_EQ(extracted.samples(), rebuilt.samples());
+  for (std::size_t i = 0; i < extracted.size(); ++i) {
+    EXPECT_EQ(extracted.reference(i), rebuilt.reference(i)) << "vm " << i;
+    for (std::size_t j = i + 1; j < extracted.size(); ++j) {
+      EXPECT_EQ(extracted.cost(i, j), rebuilt.cost(i, j))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+class SubsetOracle : public ::testing::TestWithParam<trace::ReferenceSpec> {};
+
+TEST_P(SubsetOracle, CostSubsetEqualsRebuiltMatrix) {
+  constexpr std::size_t kVms = 12;
+  constexpr std::size_t kSamples = 96;
+  const std::vector<double> u = random_block(kVms, kSamples, 42);
+  CostMatrix full(kVms, GetParam());
+  full.add_block(u, kSamples, kSamples);
+
+  for (const std::vector<std::size_t>& active :
+       {std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+        std::vector<std::size_t>{0, 3, 4, 7, 11},
+        std::vector<std::size_t>{2},
+        std::vector<std::size_t>{10, 11}}) {
+    const CostMatrix extracted = full.subset(active);
+
+    CostMatrix rebuilt(active.size(), GetParam());
+    const std::vector<double> dense = subset_block(u, kSamples, active);
+    rebuilt.add_block(dense, kSamples, kSamples);
+
+    expect_cost_identical(extracted, rebuilt);
+  }
+}
+
+TEST_P(SubsetOracle, CostSubsetSurvivesChurnCycles) {
+  // Interleave ingest with subset extraction the way a churning service
+  // does: extraction must never perturb the full matrix's stream.
+  constexpr std::size_t kVms = 8;
+  constexpr std::size_t kSamples = 24;
+  CostMatrix full(kVms, GetParam());
+  std::vector<double> all;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const std::vector<double> u = random_block(kVms, kSamples, 100 + round);
+    // Maintain the concatenated history (VM-major across all rounds).
+    if (all.empty()) {
+      all = u;
+    } else {
+      std::vector<double> merged(kVms * kSamples * (round + 1));
+      const std::size_t old_len = all.size() / kVms;
+      for (std::size_t vm = 0; vm < kVms; ++vm) {
+        std::copy(all.begin() + static_cast<long>(vm * old_len),
+                  all.begin() + static_cast<long>((vm + 1) * old_len),
+                  merged.begin() + static_cast<long>(vm * (old_len + kSamples)));
+        std::copy(u.begin() + static_cast<long>(vm * kSamples),
+                  u.begin() + static_cast<long>((vm + 1) * kSamples),
+                  merged.begin() +
+                      static_cast<long>(vm * (old_len + kSamples) + old_len));
+      }
+      all = std::move(merged);
+    }
+    full.add_block(u, kSamples, kSamples);
+
+    const std::vector<std::size_t> active = {1, 2, 5, 7};
+    const CostMatrix extracted = full.subset(active);
+    CostMatrix rebuilt(active.size(), GetParam());
+    const std::size_t total = all.size() / kVms;
+    rebuilt.add_block(subset_block(all, total, active), total, total);
+    expect_cost_identical(extracted, rebuilt);
+  }
+}
+
+TEST(SubsetOracleMoments, MomentSubsetEqualsRebuiltMatrix) {
+  constexpr std::size_t kVms = 10;
+  constexpr std::size_t kSamples = 64;
+  const std::vector<double> u = random_block(kVms, kSamples, 7);
+  MomentMatrix full(kVms);
+  full.add_block(u, kSamples, kSamples);
+
+  for (const std::vector<std::size_t>& active :
+       {std::vector<std::size_t>{0, 2, 5, 6, 9},
+        std::vector<std::size_t>{3},
+        std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}) {
+    const MomentMatrix extracted = full.subset(active);
+    MomentMatrix rebuilt(active.size());
+    rebuilt.add_block(subset_block(u, kSamples, active), kSamples, kSamples);
+
+    ASSERT_EQ(extracted.size(), rebuilt.size());
+    for (std::size_t i = 0; i < extracted.size(); ++i) {
+      EXPECT_EQ(extracted.mean(i), rebuilt.mean(i)) << "vm " << i;
+      EXPECT_EQ(extracted.variance(i), rebuilt.variance(i)) << "vm " << i;
+      for (std::size_t j = i; j < extracted.size(); ++j) {
+        EXPECT_EQ(extracted.covariance(i, j), rebuilt.covariance(i, j))
+            << "pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(References, SubsetOracle,
+                         ::testing::Values(trace::ReferenceSpec::peak(),
+                                           trace::ReferenceSpec::nth(95.0)),
+                         [](const auto& info) {
+                           return info.index == 0 ? "peak" : "p95";
+                         });
+
+}  // namespace
+}  // namespace cava::corr

@@ -1,0 +1,128 @@
+// Black-box tests of cava_datacenter's failure semantics: every fatal path
+// must exit with its documented code (0 ok, 2 config, 3 data, 4 runtime,
+// 5 I/O — see util/error.h) so scripts and the chaos harness can triage
+// failures without parsing stderr. The binary path is baked in at configure
+// time (CAVA_DATACENTER_PATH) and can be overridden by the environment
+// variable of the same name.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef CAVA_DATACENTER_PATH
+#define CAVA_DATACENTER_PATH "cava_datacenter"
+#endif
+
+namespace {
+
+std::string binary_path() {
+  if (const char* env = std::getenv("CAVA_DATACENTER_PATH")) return env;
+  return CAVA_DATACENTER_PATH;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Run the tool with `args`, discarding output; returns the exit code
+/// (-1 when the child did not exit normally).
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      "'" + binary_path() + "' " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Fast shared arguments: tiny synthesized population, one policy.
+const char* kFastArgs = "--vms 6 --groups 2 --hours 2 --servers 6 ";
+
+TEST(ExitCodes, SuccessIsZero) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy bfd"), 0);
+}
+
+TEST(ExitCodes, HelpIsZero) {
+  EXPECT_EQ(run_tool("--help"), 0);
+}
+
+TEST(ExitCodes, UnknownFlagIsConfigError) {
+  EXPECT_EQ(run_tool("--definitely-not-a-flag"), 2);
+}
+
+TEST(ExitCodes, BadPolicyIsConfigError) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy quantum"), 2);
+}
+
+TEST(ExitCodes, ServeFlagsWithoutServeAreConfigErrors) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy bfd --periods 5"), 2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy bfd --resume"), 2);
+}
+
+TEST(ExitCodes, ServeNeedsSinglePolicy) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--serve --policy all"), 2);
+}
+
+TEST(ExitCodes, ResumeNeedsCheckpoint) {
+  EXPECT_EQ(
+      run_tool(std::string(kFastArgs) + "--serve --policy bfd --resume"), 2);
+}
+
+TEST(ExitCodes, MetricsOutWithoutLevelIsConfigError) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy bfd --metrics-out " + temp_path("m.json")),
+            2);
+}
+
+TEST(ExitCodes, MissingTraceFileIsDataError) {
+  EXPECT_EQ(run_tool("--trace-in /no/such/trace.csv --policy bfd"), 3);
+}
+
+TEST(ExitCodes, MalformedChurnFileIsConfigError) {
+  const std::string churn = temp_path("bad_churn.json");
+  std::ofstream(churn) << "{\"events\": [{\"period\": 0}]}";
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--serve --policy bfd --churn " + churn),
+            2);
+}
+
+TEST(ExitCodes, TraceShorterThanPeriodIsRuntimeError) {
+  // A structurally valid CSV whose two samples cannot fill one placement
+  // period: the sweep job fails mid-run -> "every sweep job failed".
+  const std::string csv = temp_path("short.csv");
+  std::ofstream(csv) << "t,vm0\n0,0.5\n5,0.6\n";
+  EXPECT_EQ(run_tool("--trace-in " + csv + " --policy bfd"), 4);
+}
+
+TEST(ExitCodes, UnwritableJsonOutIsIoError) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy bfd --json-out /no/such/dir/out.json"),
+            5);
+}
+
+TEST(ExitCodes, ServeRoundTripWithResume) {
+  const std::string snap = temp_path("exit_serve.snap");
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+  const std::string serve_args =
+      std::string(kFastArgs) +
+      "--serve --policy proposed --periods 6 "
+      "--churn synthetic:arrive=0.1,depart=0.1 "
+      "--checkpoint " + snap + " --checkpoint-every 2";
+  EXPECT_EQ(run_tool(serve_args), 0);
+  EXPECT_EQ(run_tool(serve_args + " --resume"), 0);
+
+  // A corrupted snapshot pair under --resume is a data error.
+  for (const std::string& p : {snap, snap + ".1"}) {
+    std::ofstream(p, std::ios::trunc) << "garbage";
+  }
+  EXPECT_EQ(run_tool(serve_args + " --resume"), 3);
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+}
+
+}  // namespace

@@ -6,6 +6,14 @@
 // Multi-policy runs fan out across a thread pool (see --threads); results
 // are bit-identical to serial runs.
 //
+// With --serve the tool instead runs ONE policy as a long-lived allocation
+// service (serve::run_serve): online VM churn, periodic crash-safe
+// checkpoints and --resume from the newest valid snapshot.
+//
+// Exit codes follow the taxonomy in util/error.h: 0 success, 2 config,
+// 3 data, 4 runtime, 5 I/O. Every fatal path funnels through
+// util::report_fatal.
+//
 // Examples:
 //   # paper Setup-2 defaults, all policies, static v/f
 //   cava_datacenter --policy all
@@ -20,6 +28,12 @@
 //   # capture a Chrome/Perfetto trace of the placement loop + provenance
 //   cava_datacenter --policy proposed --trace-out trace.json
 //                   --explain vm=3,period=5
+//
+//   # long-running service: synthetic churn, checkpoint every 10 periods,
+//   # crash-safe resume after a kill
+//   cava_datacenter --serve --policy proposed --periods 500
+//                   --churn synthetic:arrive=0.05,depart=0.05
+//                   --checkpoint snap.cava --checkpoint-every 10 --resume
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -38,9 +52,13 @@
 #include "alloc/structure_aware.h"
 #include "dvfs/vf_policy.h"
 #include "model/fleet.h"
+#include "serve/checkpoint.h"
+#include "serve/driver.h"
+#include "sim/churn.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
 #include "trace/synthesis.h"
+#include "util/error.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -66,7 +84,9 @@ Simulation:
   --vf MODE           fmax | worst-case | eqn4 | dynamic | oracle [matched]
                       ("matched": worst-case for baselines, eqn4 for
                       proposed/structure)
-  --sticky            wrap the policy in StickyPlacement (fewer migrations)
+  --sticky            wrap the policy in StickyPlacement (fewer migrations;
+                      unavailable in --serve mode, whose hidden state cannot
+                      be checkpointed — use --migration-budget instead)
   --servers N         server count (homogeneous fleet) [20]
   --fleet FILE        heterogeneous fleet description (JSON: server classes,
                       per-class counts, chassis/rack topology); overrides
@@ -78,6 +98,23 @@ Simulation:
                       [hardware concurrency]
   --strict-sweep      abort the whole run on the first failing job instead
                       of reporting it as an error record
+
+Service mode (single policy; see DESIGN.md "The allocation service loop"):
+  --serve             run as a long-lived allocation service instead of a
+                      batch sweep (requires a single --policy)
+  --periods N         periods to run; the trace wraps at period granularity
+                      [0 = as many full periods as the trace holds]
+  --churn SPEC        VM arrival/departure stream: "none", a JSON script
+                      file, or "synthetic[:k=v,...]" with keys arrive,
+                      depart, init, min, seed (rates per period)  [none]
+  --checkpoint FILE   crash-safe snapshot path (atomic write + rotation to
+                      FILE.1); empty disables checkpointing
+  --checkpoint-every K  snapshot cadence in periods   [10]
+  --resume            resume from the newest valid snapshot at --checkpoint
+                      if one exists (missing = cold start; corrupt or
+                      mismatched snapshots are a data error, exit 3)
+  --migration-budget N  max planned VM moves per period (excess moves are
+                      reverted, largest-demand first kept) [unlimited]
 
 Fault injection (deterministic; see sim/fault.h for the model):
   --faults SPEC       "none" or comma-separated key=value list, keys:
@@ -112,12 +149,29 @@ Observability (see DESIGN.md "Observability"):
 Output:
   --json-out FILE     write full results as JSON
   --help              this text
+
+Exit codes: 0 ok, 2 config error, 3 data error, 4 runtime error, 5 I/O error.
 )";
+
+/// Re-throw any foreign exception from `fn` as a CliError of `category`
+/// (CliErrors pass through untouched) so main's single reporter picks the
+/// right exit code.
+template <typename Fn>
+auto with_category(util::ErrorCategory category, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const util::CliError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw util::CliError(category, e.what());
+  }
+}
 
 sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
   if (name != "ffd" && name != "bfd" && name != "pcp" && name != "effsize" &&
       name != "proposed" && name != "structure") {
-    throw std::invalid_argument("unknown policy '" + name + "'");
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "unknown policy '" + name + "'");
   }
   return [name, sticky]() -> std::unique_ptr<alloc::PlacementPolicy> {
     std::unique_ptr<alloc::PlacementPolicy> policy;
@@ -217,26 +271,181 @@ void print_explain(const std::string& label, const obs::ProvenanceLedger& ledger
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  try {
-    const util::FlagParser flags(argc, argv);
-    flags.require_known({"trace-in", "repair-traces", "save-traces",
-                         "trace-out", "provenance-out", "explain", "vms",
-                         "groups", "hours", "seed", "policy", "vf", "sticky",
-                         "servers", "fleet", "period-min", "predictor",
-                         "migration-joules", "threads", "strict-sweep",
-                         "faults", "fault-seed", "metrics-level",
-                         "metrics-out", "json-out", "help"});
-    if (flags.get_bool("help")) {
-      std::fputs(kUsage, stdout);
-      return 0;
+/// Parse --churn: "none", "synthetic[:k=v,...]" or a JSON script file path.
+sim::ChurnSpec parse_churn_flag(const std::string& spec, std::size_t num_vms,
+                                std::size_t num_periods) {
+  if (spec.empty() || spec == "none") return sim::ChurnSpec::none();
+  if (spec.compare(0, 9, "synthetic") == 0) {
+    sim::SyntheticChurnConfig cfg;
+    cfg.num_vms = num_vms;
+    cfg.num_periods = num_periods;
+    if (spec.size() > 9) {
+      if (spec[9] != ':') {
+        throw std::invalid_argument("--churn: expected synthetic[:k=v,...]");
+      }
+      std::size_t pos = 10;
+      while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string part = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (part.empty()) continue;
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos) {
+          throw std::invalid_argument(
+              "--churn: expected key=value, got '" + part + "'");
+        }
+        const std::string key = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        try {
+          if (key == "arrive") {
+            cfg.arrival_prob = std::stod(value);
+          } else if (key == "depart") {
+            cfg.departure_prob = std::stod(value);
+          } else if (key == "init") {
+            cfg.initial_active_fraction = std::stod(value);
+          } else if (key == "min") {
+            cfg.min_active = static_cast<std::size_t>(std::stoull(value));
+          } else if (key == "seed") {
+            cfg.seed = static_cast<std::uint64_t>(std::stoull(value));
+          } else {
+            throw std::invalid_argument("--churn: unknown key '" + key + "'");
+          }
+        } catch (const std::invalid_argument&) {
+          throw;
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--churn: bad number in '" + part + "'");
+        }
+      }
     }
+    return sim::ChurnSpec::synthetic(cfg);
+  }
+  return sim::ChurnSpec::load_json(spec, num_vms);
+}
 
-    // ---- Traces. ----
-    auto traces = std::make_shared<trace::TraceSet>();
-    if (flags.has("trace-in")) {
+/// The --serve path: one policy, online churn, periodic checkpoints.
+int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
+                   const trace::TraceSet& traces, const std::string& which,
+                   const std::string& vf) {
+  if (which == "all") {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--serve needs a single --policy (not 'all')");
+  }
+  if (cfg.vf_mode == sim::VfMode::kOracleStatic) {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--serve cannot use --vf oracle (needs foresight "
+                         "beyond the snapshot horizon)");
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.total_periods =
+      static_cast<std::size_t>(flags.get_int("periods", 0));
+  serve_options.checkpoint_path = flags.get_string("checkpoint", "");
+  serve_options.checkpoint_every =
+      static_cast<std::size_t>(flags.get_int("checkpoint-every", 10));
+  serve_options.resume = flags.get_bool("resume");
+  if (flags.has("migration-budget")) {
+    serve_options.migration_budget =
+        static_cast<std::size_t>(flags.get_int("migration-budget", 0));
+  }
+  if (serve_options.resume && serve_options.checkpoint_path.empty()) {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--resume needs --checkpoint FILE");
+  }
+
+  // The churn horizon: explicit --periods, else the trace's full periods.
+  const auto spp =
+      static_cast<std::size_t>(cfg.period_seconds / traces.dt());
+  const std::size_t trace_periods =
+      spp > 0 ? traces.samples_per_trace() / spp : 0;
+  const std::size_t horizon = serve_options.total_periods > 0
+                                  ? serve_options.total_periods
+                                  : trace_periods;
+
+  const sim::ChurnSpec churn = with_category(
+      util::ErrorCategory::kConfig, [&] {
+        return parse_churn_flag(flags.get_string("churn", "none"),
+                                traces.size(), horizon);
+      });
+  std::printf("churn: %s\n", churn.describe().c_str());
+
+  const auto policy =
+      make_policy_factory(which, flags.get_bool("sticky"))();
+  std::unique_ptr<dvfs::VfPolicy> static_vf;
+  if (const sim::VfFactory vf_factory = make_vf_factory(cfg, vf, which)) {
+    static_vf = vf_factory();
+  }
+  sim::RunOptions run{*policy, static_vf.get()};
+
+  serve::ServeReport report;
+  try {
+    report = serve::run_serve(cfg, traces, churn, serve_options, run);
+  } catch (const serve::CheckpointError& e) {
+    throw util::CliError(util::ErrorCategory::kData, e.what());
+  } catch (const std::invalid_argument& e) {
+    throw util::CliError(util::ErrorCategory::kConfig, e.what());
+  }
+
+  std::printf("%s\n", sim::summary_line(report.result).c_str());
+  std::printf(
+      "serve: %zu periods run (started at %zu%s), %zu arrivals, "
+      "%zu departures, %zu budget-reverted moves\n",
+      report.periods_run, report.start_period,
+      report.start_period > 0 ? ", resumed" : "", report.churn_arrivals,
+      report.churn_departures, report.budget_reverted_moves);
+  if (!serve_options.checkpoint_path.empty() &&
+      serve_options.checkpoint_every > 0) {
+    std::printf("checkpoints: %zu written, %zu failed%s%s -> %s\n",
+                report.checkpoint_writes, report.checkpoint_failures,
+                report.checkpoint_last_error.empty() ? "" : ", last error: ",
+                report.checkpoint_last_error.c_str(),
+                serve_options.checkpoint_path.c_str());
+  }
+
+  if (flags.has("json-out")) {
+    util::Json j = util::Json::object();
+    j["run"] = sim::to_json(report.result);
+    j["serve"] = util::Json::object();
+    j["serve"]["start_period"] = report.start_period;
+    j["serve"]["periods_run"] = report.periods_run;
+    j["serve"]["churn_arrivals"] = report.churn_arrivals;
+    j["serve"]["churn_departures"] = report.churn_departures;
+    j["serve"]["budget_reverted_moves"] = report.budget_reverted_moves;
+    j["serve"]["checkpoint_writes"] = report.checkpoint_writes;
+    j["serve"]["checkpoint_failures"] = report.checkpoint_failures;
+    std::ofstream out(flags.get_string("json-out", ""));
+    if (!out) {
+      throw util::CliError(util::ErrorCategory::kIo,
+                           "cannot open --json-out file");
+    }
+    out << j.dump(2) << '\n';
+  }
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  const util::FlagParser flags =
+      with_category(util::ErrorCategory::kConfig, [&] {
+        util::FlagParser parsed(argc, argv);
+        parsed.require_known(
+            {"trace-in", "repair-traces", "save-traces", "trace-out",
+             "provenance-out", "explain", "vms", "groups", "hours", "seed",
+             "policy", "vf", "sticky", "servers", "fleet", "period-min",
+             "predictor", "migration-joules", "threads", "strict-sweep",
+             "faults", "fault-seed", "metrics-level", "metrics-out",
+             "json-out", "serve", "periods", "churn", "checkpoint",
+             "checkpoint-every", "resume", "migration-budget", "help"});
+        return parsed;
+      });
+  if (flags.get_bool("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  // ---- Traces. ----
+  auto traces = std::make_shared<trace::TraceSet>();
+  if (flags.has("trace-in")) {
+    with_category(util::ErrorCategory::kData, [&] {
       trace::TraceLoadOptions load_options;
       load_options.repair = flags.get_bool("repair-traces");
       trace::TraceLoadReport load_report;
@@ -248,22 +457,28 @@ int main(int argc, char** argv) {
           std::printf("  %s\n", issue.c_str());
         }
       }
-    } else {
+    });
+  } else {
+    with_category(util::ErrorCategory::kConfig, [&] {
       trace::DatacenterTraceConfig tcfg;
       tcfg.num_vms = static_cast<int>(flags.get_int("vms", 40));
       tcfg.num_groups = static_cast<int>(flags.get_int("groups", 4));
       tcfg.day_seconds = 3600.0 * flags.get_double("hours", 24.0);
       tcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
       *traces = trace::generate_datacenter_traces(tcfg);
-    }
-    if (flags.has("save-traces")) {
+    });
+  }
+  if (flags.has("save-traces")) {
+    with_category(util::ErrorCategory::kIo, [&] {
       traces->save_csv(flags.get_string("save-traces", ""));
-    }
-    std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces->size(),
-                traces->samples_per_trace(), traces->dt());
+    });
+  }
+  std::printf("traces: %zu VMs x %zu samples (dt=%.0fs)\n\n", traces->size(),
+              traces->samples_per_trace(), traces->dt());
 
-    // ---- Simulator configuration. ----
-    sim::SimConfig cfg;
+  // ---- Simulator configuration. ----
+  sim::SimConfig cfg;
+  const std::string vf = with_category(util::ErrorCategory::kConfig, [&] {
     cfg.max_servers = static_cast<std::size_t>(flags.get_int("servers", 20));
     if (flags.has("fleet")) {
       cfg.fleet = model::FleetSpec::load_json(flags.get_string("fleet", ""));
@@ -274,178 +489,223 @@ int main(int argc, char** argv) {
     cfg.migration_energy_joules_per_core =
         flags.get_double("migration-joules", 0.0);
     cfg.faults = sim::FaultSpec::parse(flags.get_string("faults", "none"));
-    cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+    cfg.fault_seed =
+        static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
     if (cfg.faults.any()) {
       std::printf("faults: %s (seed %llu)\n\n", cfg.faults.describe().c_str(),
                   static_cast<unsigned long long>(cfg.fault_seed));
     }
 
-    const std::string vf = flags.get_string("vf", "matched");
-    if (vf == "dynamic") {
+    const std::string vf_flag = flags.get_string("vf", "matched");
+    if (vf_flag == "dynamic") {
       cfg.vf_mode = sim::VfMode::kDynamic;
-    } else if (vf == "fmax") {
+    } else if (vf_flag == "fmax") {
       cfg.vf_mode = sim::VfMode::kNone;
-    } else if (vf == "oracle") {
+    } else if (vf_flag == "oracle") {
       cfg.vf_mode = sim::VfMode::kOracleStatic;
     } else {
       cfg.vf_mode = sim::VfMode::kStatic;
     }
+    return vf_flag;
+  });
 
-    // ---- Policies to run. ----
-    const std::string which = flags.get_string("policy", "all");
-    std::vector<std::string> names;
-    if (which == "all") {
-      names = {"ffd", "bfd", "pcp", "effsize", "proposed", "structure"};
-    } else {
-      names = {which};
-    }
+  const std::string which = flags.get_string("policy", "all");
 
-    const std::size_t threads = flags.has("threads")
-        ? static_cast<std::size_t>(flags.get_int("threads", 1))
-        : util::ThreadPool::default_concurrency();
-    const auto error_policy = flags.get_bool("strict-sweep")
-                                  ? sim::SweepErrorPolicy::kStrict
-                                  : sim::SweepErrorPolicy::kCollect;
-    const obs::MetricsLevel metrics_level =
-        obs::parse_metrics_level(flags.get_string("metrics-level", "off"));
-    const bool want_trace = flags.has("trace-out");
-    std::optional<ExplainQuery> explain;
-    if (flags.has("explain")) {
-      explain = parse_explain(flags.get_string("explain", ""));
+  // ---- Service mode. ----
+  if (flags.get_bool("serve")) {
+    return run_serve_mode(flags, cfg, *traces, which, vf);
+  }
+  for (const char* serve_only :
+       {"periods", "churn", "checkpoint", "checkpoint-every", "resume",
+        "migration-budget"}) {
+    if (flags.has(serve_only)) {
+      throw util::CliError(
+          util::ErrorCategory::kConfig,
+          std::string("--") + serve_only + " needs --serve");
     }
-    const bool want_provenance = flags.has("provenance-out") ||
-                                 explain.has_value() ||
-                                 metrics_level == obs::MetricsLevel::kFull;
-    sim::SweepRunner runner(threads, error_policy);
-    // The sweep engine's own session captures job scheduling + pool-task
-    // spans; each job's run records into its telemetry's per-job session.
-    obs::TraceSession sweep_trace;
-    if (want_trace) runner.set_trace(&sweep_trace);
-    for (const std::string& name : names) {
-      sim::SweepJob job{"", cfg, traces,
-                        make_policy_factory(name, flags.get_bool("sticky")),
-                        make_vf_factory(cfg, vf, name), metrics_level};
-      job.capture_trace = want_trace;
-      job.capture_provenance = want_provenance;
-      runner.add(std::move(job));
-    }
-    const auto records = runner.run_all();
+  }
 
-    std::vector<sim::SimResult> results;
+  // ---- Policies to run. ----
+  std::vector<std::string> names;
+  if (which == "all") {
+    names = {"ffd", "bfd", "pcp", "effsize", "proposed", "structure"};
+  } else {
+    names = {which};
+  }
+
+  const std::size_t threads = flags.has("threads")
+      ? static_cast<std::size_t>(flags.get_int("threads", 1))
+      : util::ThreadPool::default_concurrency();
+  const auto error_policy = flags.get_bool("strict-sweep")
+                                ? sim::SweepErrorPolicy::kStrict
+                                : sim::SweepErrorPolicy::kCollect;
+  const obs::MetricsLevel metrics_level =
+      with_category(util::ErrorCategory::kConfig, [&] {
+        return obs::parse_metrics_level(
+            flags.get_string("metrics-level", "off"));
+      });
+  const bool want_trace = flags.has("trace-out");
+  std::optional<ExplainQuery> explain;
+  if (flags.has("explain")) {
+    explain = with_category(util::ErrorCategory::kConfig, [&] {
+      return parse_explain(flags.get_string("explain", ""));
+    });
+  }
+  const bool want_provenance = flags.has("provenance-out") ||
+                               explain.has_value() ||
+                               metrics_level == obs::MetricsLevel::kFull;
+  sim::SweepRunner runner(threads, error_policy);
+  // The sweep engine's own session captures job scheduling + pool-task
+  // spans; each job's run records into its telemetry's per-job session.
+  obs::TraceSession sweep_trace;
+  if (want_trace) runner.set_trace(&sweep_trace);
+  for (const std::string& name : names) {
+    sim::SweepJob job{"", cfg, traces,
+                      make_policy_factory(name, flags.get_bool("sticky")),
+                      make_vf_factory(cfg, vf, name), metrics_level};
+    job.capture_trace = want_trace;
+    job.capture_provenance = want_provenance;
+    runner.add(std::move(job));
+  }
+  const auto records = runner.run_all();
+
+  std::vector<sim::SimResult> results;
+  for (const auto& record : records) {
+    if (!record.ok()) {
+      std::fprintf(stderr, "job '%s' failed: %s\n  %s\n",
+                   record.label.c_str(), record.error.c_str(),
+                   record.config_echo.c_str());
+      continue;
+    }
+    results.push_back(record.result);
+    std::printf("%s  [%.2fs, %.2e VM-samples/s]\n",
+                sim::summary_line(record.result).c_str(),
+                record.wall_seconds, record.vm_samples_per_second);
+  }
+  if (results.empty()) {
+    throw util::CliError(util::ErrorCategory::kRuntime,
+                         "every sweep job failed");
+  }
+
+  std::printf("\n");
+  sim::print_comparison(results, std::cout);
+
+  const sim::SweepStats& stats = runner.last_stats();
+  std::printf(
+      "\nsweep: %zu jobs (%zu failed) on %zu threads, %.2fs elapsed "
+      "(%.2fs serial-equivalent, %.2fx)\n",
+      stats.jobs, stats.failed_jobs, stats.threads, stats.wall_seconds,
+      stats.job_seconds_total, stats.speedup());
+
+  if (metrics_level != obs::MetricsLevel::kOff) {
+    std::printf("\n");
+    std::vector<std::shared_ptr<obs::RunTelemetry>> telemetry;
     for (const auto& record : records) {
-      if (!record.ok()) {
-        std::fprintf(stderr, "job '%s' failed: %s\n  %s\n",
-                     record.label.c_str(), record.error.c_str(),
-                     record.config_echo.c_str());
+      if (!record.ok() || record.telemetry == nullptr) continue;
+      telemetry.push_back(record.telemetry);
+      sim::print_telemetry_summary(*record.telemetry, std::cout);
+    }
+    if (flags.has("metrics-out")) {
+      const std::string path = flags.get_string("metrics-out", "");
+      std::ofstream out(path);
+      if (!out) {
+        throw util::CliError(util::ErrorCategory::kIo,
+                             "cannot open --metrics-out file");
+      }
+      const bool csv =
+          path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        sim::telemetry_export_csv(telemetry, out);
+      } else {
+        out << sim::telemetry_export_json(telemetry).dump(2) << '\n';
+      }
+    }
+  } else if (flags.has("metrics-out")) {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--metrics-out needs --metrics-level != off");
+  }
+
+  if (want_trace) {
+    // Merge the sweep scheduler's session and every job's session into one
+    // Chrome trace document: process 0 = the sweep engine, process i+1 =
+    // job i (labeled by policy), timestamps re-based to the earliest event.
+    std::vector<obs::ChromeTraceProcess> processes;
+    processes.push_back({&sweep_trace, "sweep"});
+    for (const auto& record : records) {
+      if (!record.ok() || record.telemetry == nullptr ||
+          record.telemetry->trace == nullptr) {
         continue;
       }
-      results.push_back(record.result);
-      std::printf("%s  [%.2fs, %.2e VM-samples/s]\n",
-                  sim::summary_line(record.result).c_str(),
-                  record.wall_seconds, record.vm_samples_per_second);
+      processes.push_back(
+          {record.telemetry->trace.get(), "run:" + record.label});
     }
-    if (results.empty()) throw std::runtime_error("every sweep job failed");
+    const std::string path = flags.get_string("trace-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      throw util::CliError(util::ErrorCategory::kIo,
+                           "cannot open --trace-out file");
+    }
+    obs::write_chrome_trace(processes, out);
+    std::size_t events = sweep_trace.stats().events;
+    std::uint64_t dropped = sweep_trace.stats().dropped;
+    for (std::size_t i = 1; i < processes.size(); ++i) {
+      const obs::TraceSession::Stats s = processes[i].session->stats();
+      events += s.events;
+      dropped += s.dropped;
+    }
+    std::printf("\ntrace: %zu events (%llu dropped) -> %s\n", events,
+                static_cast<unsigned long long>(dropped), path.c_str());
+  }
 
+  if (flags.has("provenance-out")) {
+    const std::string path = flags.get_string("provenance-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      throw util::CliError(util::ErrorCategory::kIo,
+                           "cannot open --provenance-out file");
+    }
+    for (const auto& record : records) {
+      if (!record.ok() || record.telemetry == nullptr ||
+          record.telemetry->provenance == nullptr) {
+        continue;
+      }
+      record.telemetry->provenance->write_jsonl(out, record.label);
+    }
+  }
+
+  if (explain.has_value()) {
     std::printf("\n");
-    sim::print_comparison(results, std::cout);
-
-    const sim::SweepStats& stats = runner.last_stats();
-    std::printf(
-        "\nsweep: %zu jobs (%zu failed) on %zu threads, %.2fs elapsed "
-        "(%.2fs serial-equivalent, %.2fx)\n",
-        stats.jobs, stats.failed_jobs, stats.threads, stats.wall_seconds,
-        stats.job_seconds_total, stats.speedup());
-
-    if (metrics_level != obs::MetricsLevel::kOff) {
-      std::printf("\n");
-      std::vector<std::shared_ptr<obs::RunTelemetry>> telemetry;
-      for (const auto& record : records) {
-        if (!record.ok() || record.telemetry == nullptr) continue;
-        telemetry.push_back(record.telemetry);
-        sim::print_telemetry_summary(*record.telemetry, std::cout);
+    for (const auto& record : records) {
+      if (!record.ok() || record.telemetry == nullptr ||
+          record.telemetry->provenance == nullptr) {
+        continue;
       }
-      if (flags.has("metrics-out")) {
-        const std::string path = flags.get_string("metrics-out", "");
-        std::ofstream out(path);
-        if (!out) throw std::runtime_error("cannot open --metrics-out file");
-        const bool csv =
-            path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-        if (csv) {
-          sim::telemetry_export_csv(telemetry, out);
-        } else {
-          out << sim::telemetry_export_json(telemetry).dump(2) << '\n';
-        }
-      }
-    } else if (flags.has("metrics-out")) {
-      throw std::invalid_argument("--metrics-out needs --metrics-level != off");
+      print_explain(record.label, *record.telemetry->provenance, *explain);
     }
+  }
 
-    if (want_trace) {
-      // Merge the sweep scheduler's session and every job's session into one
-      // Chrome trace document: process 0 = the sweep engine, process i+1 =
-      // job i (labeled by policy), timestamps re-based to the earliest event.
-      std::vector<obs::ChromeTraceProcess> processes;
-      processes.push_back({&sweep_trace, "sweep"});
-      for (const auto& record : records) {
-        if (!record.ok() || record.telemetry == nullptr ||
-            record.telemetry->trace == nullptr) {
-          continue;
-        }
-        processes.push_back(
-            {record.telemetry->trace.get(), "run:" + record.label});
-      }
-      const std::string path = flags.get_string("trace-out", "");
-      std::ofstream out(path);
-      if (!out) throw std::runtime_error("cannot open --trace-out file");
-      obs::write_chrome_trace(processes, out);
-      std::size_t events = sweep_trace.stats().events;
-      std::uint64_t dropped = sweep_trace.stats().dropped;
-      for (std::size_t i = 1; i < processes.size(); ++i) {
-        const obs::TraceSession::Stats s = processes[i].session->stats();
-        events += s.events;
-        dropped += s.dropped;
-      }
-      std::printf("\ntrace: %zu events (%llu dropped) -> %s\n", events,
-                  static_cast<unsigned long long>(dropped), path.c_str());
+  if (flags.has("json-out")) {
+    util::Json j = util::Json::object();
+    j["comparison"] = sim::comparison_json(results);
+    util::Json runs = util::Json::array();
+    for (const auto& r : results) runs.push_back(sim::to_json(r));
+    j["runs"] = std::move(runs);
+    std::ofstream out(flags.get_string("json-out", ""));
+    if (!out) {
+      throw util::CliError(util::ErrorCategory::kIo,
+                           "cannot open --json-out file");
     }
+    out << j.dump(2) << '\n';
+  }
+  return 0;
+}
 
-    if (flags.has("provenance-out")) {
-      const std::string path = flags.get_string("provenance-out", "");
-      std::ofstream out(path);
-      if (!out) throw std::runtime_error("cannot open --provenance-out file");
-      for (const auto& record : records) {
-        if (!record.ok() || record.telemetry == nullptr ||
-            record.telemetry->provenance == nullptr) {
-          continue;
-        }
-        record.telemetry->provenance->write_jsonl(out, record.label);
-      }
-    }
+}  // namespace
 
-    if (explain.has_value()) {
-      std::printf("\n");
-      for (const auto& record : records) {
-        if (!record.ok() || record.telemetry == nullptr ||
-            record.telemetry->provenance == nullptr) {
-          continue;
-        }
-        print_explain(record.label, *record.telemetry->provenance, *explain);
-      }
-    }
-
-    if (flags.has("json-out")) {
-      util::Json j = util::Json::object();
-      j["comparison"] = sim::comparison_json(results);
-      util::Json runs = util::Json::array();
-      for (const auto& r : results) runs.push_back(sim::to_json(r));
-      j["runs"] = std::move(runs);
-      std::ofstream out(flags.get_string("json-out", ""));
-      if (!out) throw std::runtime_error("cannot open --json-out file");
-      out << j.dump(2) << '\n';
-    }
-    return 0;
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n\n%s", e.what(), kUsage);
-    return 1;
+    return util::report_fatal(e);
   }
 }
