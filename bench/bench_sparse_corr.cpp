@@ -1,0 +1,208 @@
+// Microbenchmarks for the sparse top-k correlation index and the
+// rack-sharded ALLOCATE path — the scaling argument of the 100k-VM work:
+// the dense CostMatrix carries N(N-1)/2 pair slots (8 bytes each in peak
+// mode, ~40 GB at N=100k) and walks the full triangle every period, while
+// SparseCostIndex keeps O(N*K) neighbor entries and only computes exact
+// pair costs inside envelope signature groups.
+//
+// Dense twins run up to N=10240 (the largest size where a 256-sample ingest
+// stays in CI budget); the sparse path additionally runs at N=102400 to
+// demonstrate 100k-VM feasibility. Memory counters (dense_mbytes /
+// index_mbytes) feed the sparse_mem_vs_dense derived ratio in
+// tools/bench_to_trajectory; the ingest/place speedups gate in CI like the
+// other dimensionless trajectory keys.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/placement.h"
+#include "alloc/sharded.h"
+#include "corr/cost_matrix.h"
+#include "corr/sparse_index.h"
+#include "model/fleet.h"
+#include "trace/reference.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace cava;
+
+/// One simulated placement period at Setup-2 granularity (matches
+/// kBlockSamples in bench_micro_corr.cpp, so dense numbers line up).
+constexpr std::size_t kPeriodSamples = 256;
+
+/// Group-structured utilization block, VM-major: VMs of the same synthetic
+/// service share a diurnal phase, so the envelope pre-grouping has real
+/// structure to find (pure iid noise would put every VM in one bucket).
+std::vector<double> structured_block(std::size_t n_vms, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> block(n_vms * kPeriodSamples);
+  const std::size_t groups = std::max<std::size_t>(2, n_vms / 16);
+  for (std::size_t v = 0; v < n_vms; ++v) {
+    const double phase =
+        static_cast<double>(v % groups) / static_cast<double>(groups);
+    for (std::size_t t = 0; t < kPeriodSamples; ++t) {
+      const double x =
+          (static_cast<double>(t) / kPeriodSamples + phase) * 6.28318530718;
+      const double base = 1.5 + 1.2 * (x - static_cast<int>(x / 3.14) * 3.14);
+      block[v * kPeriodSamples + t] =
+          std::max(0.0, base + rng.uniform(-0.4, 0.4));
+    }
+  }
+  return block;
+}
+
+/// Peak-mode dense footprint: one double per pair slot plus the per-VM
+/// reference peaks (see CostMatrix's pair_peaks_ / ref_peaks_).
+double dense_mbytes(std::size_t n) {
+  return static_cast<double>(n * (n - 1) / 2 + n) * sizeof(double) / 1e6;
+}
+
+corr::SparseIndexConfig index_config() {
+  corr::SparseIndexConfig cfg;
+  cfg.top_k = 16;
+  return cfg;
+}
+
+/// One period of dense ingest: the full-triangle add_block the sparse build
+/// replaces. The matrix is reset between iterations so every iteration pays
+/// the same slot traffic.
+void BM_DenseIngest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = structured_block(n, 21);
+  corr::CostMatrix m(n, trace::ReferenceSpec::peak());
+  for (auto _ : state) {
+    m.reset();
+    m.add_block(block, kPeriodSamples, kPeriodSamples);
+    benchmark::DoNotOptimize(m.samples());
+  }
+  state.counters["dense_mbytes"] = dense_mbytes(n);
+}
+BENCHMARK(BM_DenseIngest)->Arg(1024)->Arg(4096)->Arg(10240)
+    ->Unit(benchmark::kMillisecond);
+
+/// One period of sparse ingest: envelope grouping + exact in-group pair
+/// costs + top-k truncation, i.e. everything the simulator does per period
+/// wrap-up in sparse mode. Runs to N=102400 — the scale the dense path
+/// cannot represent (40 GB of pair slots).
+void BM_SparseIngest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto block = structured_block(n, 21);
+  util::ThreadPool pool(util::ThreadPool::default_concurrency());
+  corr::SparseCostIndex index;
+  for (auto _ : state) {
+    index = corr::SparseCostIndex::build(block, n, kPeriodSamples,
+                                         kPeriodSamples,
+                                         trace::ReferenceSpec::peak(),
+                                         index_config(), &pool);
+    benchmark::DoNotOptimize(index.neighbor_entries());
+  }
+  state.counters["index_mbytes"] =
+      static_cast<double>(index.memory_bytes()) / 1e6;
+  state.counters["neighbor_fill"] = index.fill_ratio();
+}
+BENCHMARK(BM_SparseIngest)->Arg(1024)->Arg(4096)->Arg(10240)->Arg(102400)
+    ->Unit(benchmark::kMillisecond);
+
+/// Placement fixture: demands are per-VM peaks of the block; the fleet is
+/// racked (8 servers/chassis, 4 chassis/rack) at a 4:1 VM:server ratio so
+/// rack shards hold 32 servers each.
+struct PlaceFixture {
+  std::vector<double> block;
+  std::vector<model::VmDemand> demands;
+  model::FleetSpec fleet;
+  corr::CostMatrix matrix;
+  corr::SparseCostIndex index;
+
+  explicit PlaceFixture(std::size_t n, bool build_dense)
+      : block(structured_block(n, 22)),
+        matrix(build_dense ? n : 1, trace::ReferenceSpec::peak()) {
+    demands.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      double peak = 0.0;
+      for (std::size_t t = 0; t < kPeriodSamples; ++t) {
+        peak = std::max(peak, block[v * kPeriodSamples + t]);
+      }
+      demands.push_back({v, peak});
+    }
+    model::FleetTopology topo;
+    topo.servers_per_chassis = 8;
+    topo.chassis_per_rack = 4;
+    fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(),
+                                          std::max<std::size_t>(n / 4, 32),
+                                          topo);
+    if (build_dense) {
+      matrix.add_block(block, kPeriodSamples, kPeriodSamples);
+    }
+    util::ThreadPool pool(util::ThreadPool::default_concurrency());
+    index = corr::SparseCostIndex::build(block, n, kPeriodSamples,
+                                         kPeriodSamples,
+                                         trace::ReferenceSpec::peak(),
+                                         index_config(), &pool);
+  }
+
+  alloc::PlacementContext context(bool sparse) const {
+    alloc::PlacementContext ctx;
+    ctx.fleet = &fleet;
+    ctx.max_servers = fleet.num_servers();
+    if (sparse) {
+      ctx.sparse_index = &index;
+    } else {
+      ctx.cost_matrix = &matrix;
+    }
+    return ctx;
+  }
+};
+
+/// The paper's serial ALLOCATE sweep over the dense matrix — the placement
+/// baseline the sharded sparse path is measured against.
+void BM_DensePlace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PlaceFixture fx(n, /*build_dense=*/true);
+  alloc::CorrelationAwarePlacement policy;
+  const alloc::PlacementContext ctx = fx.context(/*sparse=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(fx.demands, ctx));
+  }
+  state.counters["dense_mbytes"] = dense_mbytes(n);
+}
+BENCHMARK(BM_DensePlace)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Unsharded sweep over the sparse index: same serial algorithm, O(K)
+/// neighbor lookups instead of dense rows.
+void BM_SparsePlace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PlaceFixture fx(n, /*build_dense=*/false);
+  alloc::CorrelationAwarePlacement policy;
+  const alloc::PlacementContext ctx = fx.context(/*sparse=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(fx.demands, ctx));
+  }
+  state.counters["index_mbytes"] =
+      static_cast<double>(fx.index.memory_bytes()) / 1e6;
+}
+BENCHMARK(BM_SparsePlace)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+/// Rack-sharded ALLOCATE over the sparse index: per-rack parallel sweeps
+/// plus cross-shard reconciliation — the full 100k-VM placement path.
+void BM_SparseShardedPlace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PlaceFixture fx(n, /*build_dense=*/false);
+  alloc::ShardedPlacement policy(
+      [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); });
+  const alloc::PlacementContext ctx = fx.context(/*sparse=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(fx.demands, ctx));
+  }
+  state.counters["index_mbytes"] =
+      static_cast<double>(fx.index.memory_bytes()) / 1e6;
+  state.counters["shards"] = static_cast<double>(policy.last_shards());
+}
+BENCHMARK(BM_SparseShardedPlace)->Arg(1024)->Arg(10240)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

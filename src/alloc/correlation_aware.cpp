@@ -1,5 +1,6 @@
 #include "alloc/correlation_aware.h"
 
+#include "alloc/sparse_sweep.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 
@@ -23,6 +24,18 @@ CorrelationAwarePlacement::CorrelationAwarePlacement(
 Placement CorrelationAwarePlacement::place(
     std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
+  if (context.sparse_index != nullptr) {
+    // Datacenter-scale path: top-k neighbor lists instead of the dense
+    // matrix; same sweep, O(K) candidate evaluations (sparse_sweep.cpp).
+    SparseSweepStats stats;
+    Placement placement =
+        sparse_allocate_sweep(demands, context, config_, nullptr, &stats);
+    last_estimate_ = stats.estimated_servers;
+    last_threshold_ = stats.final_threshold;
+    last_relaxations_ = stats.relaxation_rounds;
+    last_evals_ = stats.candidate_evals;
+    return placement;
+  }
   const model::FleetSpec& fleet = context.fleet_or_throw();
   const corr::CostMatrix* matrix = context.cost_matrix;
   if (matrix == nullptr || matrix->size() < demands.size()) {

@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+namespace cava::corr {
+class SparseCostIndex;
+}  // namespace cava::corr
+
 namespace cava::obs {
 class TraceSession;
 class ProvenanceLedger;
@@ -70,6 +74,12 @@ struct PlacementContext {
   /// Pairwise correlation costs (Eqn. 1), maintained over the previous
   /// period. Null for correlation-oblivious policies.
   const corr::CostMatrix* cost_matrix = nullptr;
+
+  /// Sparse top-k correlation neighbor lists, the datacenter-scale
+  /// alternative to cost_matrix. When set, correlation-aware policies use
+  /// the O(K)-per-candidate sparse sweep instead of the dense accumulators
+  /// (and ignore cost_matrix). Null selects the dense path.
+  const corr::SparseCostIndex* sparse_index = nullptr;
 
   /// Utilization history of the previous period (for envelope clustering in
   /// PCP). Null when unavailable.

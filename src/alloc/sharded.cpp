@@ -1,0 +1,320 @@
+#include "alloc/sharded.h"
+
+#include "corr/sparse_index.h"
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace cava::alloc {
+namespace {
+
+/// One rack shard: a contiguous server range plus the VMs routed to it.
+struct Shard {
+  std::size_t server_begin = 0;  // global server ids [begin, end)
+  std::size_t server_end = 0;
+  double capacity = 0.0;
+  double routed_load = 0.0;
+  std::vector<std::size_t> vm_ids;  // global, ascending
+};
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardedPlacement::ShardedPlacement(PolicyFactory factory, ShardedConfig config)
+    : factory_(std::move(factory)), config_(config) {
+  if (!factory_) {
+    throw std::invalid_argument("ShardedPlacement: null policy factory");
+  }
+  inner_name_ = factory_()->name();
+  const std::size_t threads = config_.threads > 0
+                                  ? config_.threads
+                                  : util::ThreadPool::default_concurrency();
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+ShardedPlacement::~ShardedPlacement() = default;
+
+std::string ShardedPlacement::name() const {
+  return "Sharded(" + inner_name_ + ")";
+}
+
+Placement ShardedPlacement::place(std::span<const model::VmDemand> demands,
+                                  const PlacementContext& context) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
+  const corr::SparseCostIndex* index = context.sparse_index;
+  const std::size_t n = demands.size();
+
+  // ---- Shards: racks, clipped to the first max_servers servers. The
+  // topology makes each rack a contiguous index range, so a shard is fully
+  // described by [begin, end). ----
+  std::vector<Shard> shards;
+  for (std::size_t s = 0; s < context.max_servers;) {
+    const std::size_t rack = fleet.rack_of(s);
+    Shard shard;
+    shard.server_begin = s;
+    while (s < context.max_servers && fleet.rack_of(s) == rack) {
+      shard.capacity += fleet.capacity_of(s);
+      ++s;
+    }
+    shard.server_end = s;
+    shards.push_back(std::move(shard));
+  }
+  if (shards.empty()) {
+    throw std::invalid_argument("ShardedPlacement: no servers to shard");
+  }
+  last_shards_ = shards.size();
+
+  // ---- Capacity-weighted VM routing: largest demand first, each VM to the
+  // shard with the most remaining headroom (ties to the lowest shard id).
+  // Deterministic, and load-balanced enough that per-shard sweeps see
+  // comparable populations. ----
+  for (std::size_t idx : sort_descending(demands)) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < shards.size(); ++k) {
+      if (shards[k].capacity - shards[k].routed_load >
+          shards[best].capacity - shards[best].routed_load) {
+        best = k;
+      }
+    }
+    shards[best].routed_load += demands[idx].reference;
+    shards[best].vm_ids.push_back(demands[idx].vm);
+  }
+  for (Shard& shard : shards) {
+    std::sort(shard.vm_ids.begin(), shard.vm_ids.end());
+  }
+
+  // ---- Per-shard placement, parallel. Each task owns its policy instance,
+  // sub-fleet and correlation subset; only its result slot is shared. ----
+  struct ShardResult {
+    std::vector<std::pair<std::size_t, std::size_t>> assignment;  // vm, server
+    std::uint64_t wall_ns = 0;
+  };
+  std::vector<ShardResult> results(shards.size());
+  auto run_shard = [&](std::size_t k) {
+    const Shard& shard = shards[k];
+    ShardResult res;
+    if (shard.vm_ids.empty()) return res;
+    const std::uint64_t start = wall_now_ns();
+
+    const std::size_t num_local_servers = shard.server_end - shard.server_begin;
+    std::vector<model::ServerClass> classes;
+    classes.reserve(fleet.num_classes());
+    for (std::size_t c = 0; c < fleet.num_classes(); ++c) {
+      classes.push_back(fleet.server_class(c));
+    }
+    std::vector<std::size_t> class_of(num_local_servers);
+    for (std::size_t s = 0; s < num_local_servers; ++s) {
+      class_of[s] = fleet.class_of(shard.server_begin + s);
+    }
+    // Rack ranges start at enclosure boundaries, so reusing the global
+    // topology keeps the sub-fleet's chassis grouping aligned.
+    const model::FleetSpec sub_fleet(std::move(classes), std::move(class_of),
+                                     fleet.topology());
+
+    std::vector<model::VmDemand> sub_demands(shard.vm_ids.size());
+    for (std::size_t v = 0; v < shard.vm_ids.size(); ++v) {
+      sub_demands[v] = {v, demands[shard.vm_ids[v]].reference};
+    }
+
+    PlacementContext sub_context;
+    sub_context.fleet = &sub_fleet;
+    sub_context.max_servers = num_local_servers;
+    corr::SparseCostIndex sub_index;
+    corr::CostMatrix sub_matrix(1, trace::ReferenceSpec::peak());
+    if (index != nullptr) {
+      sub_index = index->subset(shard.vm_ids);
+      sub_context.sparse_index = &sub_index;
+    } else if (context.cost_matrix != nullptr) {
+      sub_matrix = context.cost_matrix->subset(shard.vm_ids);
+      sub_context.cost_matrix = &sub_matrix;
+    }
+
+    const std::unique_ptr<PlacementPolicy> policy = factory_();
+    const Placement local = policy->place(sub_demands, sub_context);
+    res.assignment.reserve(shard.vm_ids.size());
+    for (std::size_t v = 0; v < shard.vm_ids.size(); ++v) {
+      const auto server = local.server_of(v);
+      if (!server.has_value()) {
+        throw std::runtime_error(
+            "ShardedPlacement: inner policy left a VM unassigned");
+      }
+      res.assignment.emplace_back(shard.vm_ids[v],
+                                  shard.server_begin + *server);
+    }
+    res.wall_ns = wall_now_ns() - start;
+    return res;
+  };
+  if (shards.size() > 1) {
+    std::vector<std::future<ShardResult>> futures;
+    futures.reserve(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      futures.push_back(pool_->submit([&, k] { return run_shard(k); }));
+    }
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      results[k] = futures[k].get();
+    }
+  } else {
+    results[0] = run_shard(0);
+  }
+
+  last_max_shard_wall_ns_ = 0.0;
+  Placement placement(n, context.max_servers);
+  std::vector<std::ptrdiff_t> server_of(n, -1);
+  std::vector<std::vector<std::size_t>> groups(context.max_servers);
+  std::vector<double> remaining(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    remaining[s] = fleet.capacity_of(s);
+  }
+  std::vector<double> ref_of(n);
+  for (std::size_t v = 0; v < n; ++v) ref_of[v] = demands[v].reference;
+  auto put = [&](std::size_t vm, std::size_t server) {
+    server_of[vm] = static_cast<std::ptrdiff_t>(server);
+    groups[server].push_back(vm);
+    remaining[server] -= ref_of[vm];
+  };
+  auto take = [&](std::size_t vm) {
+    const std::size_t server = static_cast<std::size_t>(server_of[vm]);
+    auto& group = groups[server];
+    group.erase(std::find(group.begin(), group.end(), vm));
+    remaining[server] += ref_of[vm];
+    server_of[vm] = -1;
+  };
+  for (const ShardResult& res : results) {
+    last_max_shard_wall_ns_ =
+        std::max(last_max_shard_wall_ns_, static_cast<double>(res.wall_ns));
+    for (const auto& [vm, server] : res.assignment) put(vm, server);
+  }
+
+  // Eqn. 2 of `group` with `vm` added, through whichever correlation view
+  // the caller supplied (1.0 — indifferent — with neither).
+  auto score_with = [&](std::size_t server, std::size_t vm) {
+    if (index != nullptr) {
+      return index->server_cost_with(groups[server], vm);
+    }
+    if (context.cost_matrix != nullptr) {
+      return context.cost_matrix->server_cost_with(groups[server], vm);
+    }
+    return 1.0;
+  };
+  // Candidate servers for a re-placed VM: highest remaining capacity first,
+  // capped — the reconciliation analogue of the sweep's capacity order.
+  auto candidate_servers = [&](double need) {
+    std::vector<std::size_t> cand;
+    for (std::size_t s = 0; s < context.max_servers; ++s) {
+      if (need <= remaining[s] + 1e-12) cand.push_back(s);
+    }
+    std::sort(cand.begin(), cand.end(), [&](std::size_t a, std::size_t b) {
+      if (remaining[a] != remaining[b]) return remaining[a] > remaining[b];
+      return a < b;
+    });
+    if (cand.size() > config_.reconcile_candidates) {
+      cand.resize(config_.reconcile_candidates);
+    }
+    return cand;
+  };
+
+  // ---- Pass 1: capacity repair. Overloaded servers shed smallest VMs
+  // first (they are the easiest to re-home), and every straggler is
+  // re-placed on the best-scoring server fleet-wide. ----
+  std::vector<std::size_t> stragglers;
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    while (remaining[s] < -1e-9 && !groups[s].empty()) {
+      std::size_t victim = groups[s][0];
+      for (std::size_t vm : groups[s]) {
+        if (ref_of[vm] < ref_of[victim] ||
+            (ref_of[vm] == ref_of[victim] && vm < victim)) {
+          victim = vm;
+        }
+      }
+      take(victim);
+      stragglers.push_back(victim);
+    }
+  }
+  last_stragglers_ = stragglers.size();
+  std::sort(stragglers.begin(), stragglers.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (ref_of[a] != ref_of[b]) return ref_of[a] > ref_of[b];
+              return a < b;
+            });
+  for (std::size_t vm : stragglers) {
+    const std::vector<std::size_t> cand = candidate_servers(ref_of[vm]);
+    std::ptrdiff_t best = -1;
+    double best_score = -1.0;
+    for (std::size_t s : cand) {
+      const double score = score_with(s, vm);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<std::ptrdiff_t>(s);
+      }
+    }
+    if (best < 0) {
+      // Nothing fits anywhere: dump on the least-loaded server, like the
+      // sweep's overflow path.
+      std::size_t fallback = 0;
+      for (std::size_t s = 1; s < context.max_servers; ++s) {
+        if (remaining[s] > remaining[fallback]) fallback = s;
+      }
+      best = static_cast<std::ptrdiff_t>(fallback);
+    }
+    put(vm, static_cast<std::size_t>(best));
+  }
+
+  // ---- Pass 2: bounded improvement moves for co-located top-k pairs.
+  // Severity = the pair's exact cost (lowest = most correlated = worst);
+  // a member moves only when another server raises its Eqn.-2 score. ----
+  last_reconcile_moves_ = 0;
+  if (index != nullptr && config_.max_reconcile_moves > 0) {
+    std::vector<std::pair<double, std::size_t>> conflicted;
+    for (std::size_t vm = 0; vm < n; ++vm) {
+      const auto ids = index->neighbors(vm);
+      const auto costs = index->neighbor_costs(vm);
+      double worst = index->default_cost();
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        if (ids[k] < n && server_of[ids[k]] == server_of[vm]) {
+          worst = std::min(worst, costs[k]);
+        }
+      }
+      if (worst < index->default_cost()) conflicted.emplace_back(worst, vm);
+    }
+    std::sort(conflicted.begin(), conflicted.end());
+    for (const auto& [severity, vm] : conflicted) {
+      if (last_reconcile_moves_ >= config_.max_reconcile_moves) break;
+      const std::size_t current =
+          static_cast<std::size_t>(server_of[vm]);
+      take(vm);
+      const double stay_score = score_with(current, vm);
+      std::size_t best = current;
+      double best_score = stay_score;
+      for (std::size_t s : candidate_servers(ref_of[vm])) {
+        if (s == current) continue;
+        const double score = score_with(s, vm);
+        if (score > best_score) {
+          best_score = score;
+          best = s;
+        }
+      }
+      put(vm, best);
+      if (best != current) ++last_reconcile_moves_;
+    }
+  }
+
+  for (std::size_t vm = 0; vm < n; ++vm) {
+    placement.assign(vm, static_cast<std::size_t>(server_of[vm]));
+  }
+  return placement;
+}
+
+}  // namespace cava::alloc

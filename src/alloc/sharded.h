@@ -1,0 +1,97 @@
+// Rack-sharded ALLOCATE: partition the fleet by rack, run the wrapped
+// placement policy on every shard in parallel, then reconcile across
+// shards.
+//
+// The paper's sweep is inherently serial in the number of servers times
+// unallocated VMs; at 100k VMs even the sparse O(K) evaluator leaves a
+// single sweep minutes long. Racks are the natural partition (the PR-6
+// FleetSpec topology makes them contiguous server ranges, and the
+// distributed-consolidation literature — Ashraf et al., arXiv 1803.03094 —
+// shows partitioned placement with a reconciliation pass preserves
+// consolidation quality): VMs are spread over the rack shards
+// capacity-weighted (largest demands first, each to the shard with the most
+// remaining headroom), every shard places its VMs on its own servers with a
+// private policy instance and a subset view of the correlation state, and
+// the shard results are stitched back together.
+//
+// Reconciliation then repairs the two artifacts sharding introduces:
+//   1. stragglers — per-shard overflow can overload a server even though
+//      the fleet as a whole has room; overloaded servers shed their
+//      smallest VMs, which are re-placed globally (best Eqn.-2 score among
+//      the highest-headroom servers);
+//   2. correlated co-residents — a shard with little headroom may have been
+//      forced to co-locate a VM with one of its top-k (most correlated)
+//      neighbors; a bounded improvement pass revisits the worst such pairs
+//      and moves a member to any server fleet-wide that raises its Eqn.-2
+//      score (per-shard sweeps can never make that joint decision, since
+//      each saw only its own servers).
+//
+// Everything is deterministic: shard partition and reconciliation are
+// order-stable, and per-shard results are merged in shard order regardless
+// of worker scheduling — the concurrency suite pins a sharded run to its
+// single-threaded twin bit for bit.
+#pragma once
+
+#include "alloc/placement.h"
+
+#include <functional>
+#include <memory>
+
+namespace cava::util {
+class ThreadPool;
+}  // namespace cava::util
+
+namespace cava::alloc {
+
+struct ShardedConfig {
+  /// Worker threads for the per-shard placements; 0 picks
+  /// util::ThreadPool::default_concurrency().
+  std::size_t threads = 0;
+  /// Cap on pass-2 improvement moves per place() call (pass 1 capacity
+  /// repair is never capped — a placement must end feasible).
+  std::size_t max_reconcile_moves = 64;
+  /// Candidate servers examined per re-placed VM, highest remaining
+  /// capacity first. Bounds reconciliation at
+  /// O(moves * candidates * |group|).
+  std::size_t reconcile_candidates = 32;
+};
+
+/// Wraps any placement policy into the rack-sharded parallel form. The
+/// factory supplies one fresh inner instance per shard per place() call, so
+/// stateful policies stay thread-confined.
+class ShardedPlacement final : public PlacementPolicy {
+ public:
+  using PolicyFactory = std::function<std::unique_ptr<PlacementPolicy>()>;
+
+  explicit ShardedPlacement(PolicyFactory factory, ShardedConfig config = {});
+  ~ShardedPlacement() override;
+
+  /// context must carry a fleet; shards follow fleet.rack_of over the first
+  /// max_servers servers. Works with either correlation view —
+  /// context.sparse_index (subset per shard; also drives reconciliation
+  /// scoring) or context.cost_matrix (dense subset per shard; pass 2 then
+  /// has no neighbor lists and only pass-1 capacity repair runs).
+  Placement place(std::span<const model::VmDemand> demands,
+                  const PlacementContext& context) override;
+
+  std::string name() const override;
+
+  // ---- Diagnostics from the most recent place() call. ----
+  std::size_t last_shards() const { return last_shards_; }
+  std::size_t last_stragglers() const { return last_stragglers_; }
+  std::size_t last_reconcile_moves() const { return last_reconcile_moves_; }
+  /// Wall time of the slowest shard's inner place() call, nanoseconds.
+  double last_max_shard_wall_ns() const { return last_max_shard_wall_ns_; }
+
+ private:
+  PolicyFactory factory_;
+  ShardedConfig config_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::string inner_name_;
+  std::size_t last_shards_ = 0;
+  std::size_t last_stragglers_ = 0;
+  std::size_t last_reconcile_moves_ = 0;
+  double last_max_shard_wall_ns_ = 0.0;
+};
+
+}  // namespace cava::alloc

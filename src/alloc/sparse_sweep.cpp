@@ -1,0 +1,265 @@
+#include "alloc/sparse_sweep.h"
+
+#include "corr/sparse_index.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cava::alloc {
+
+Placement sparse_allocate_sweep(std::span<const model::VmDemand> demands,
+                                const PlacementContext& context,
+                                const CorrelationAwareConfig& config,
+                                const StructureAwareConfig* structure,
+                                SparseSweepStats* stats) {
+  const model::FleetSpec& fleet = context.fleet_or_throw();
+  const corr::SparseCostIndex* index = context.sparse_index;
+  if (index == nullptr || index->size() < demands.size()) {
+    throw std::invalid_argument(
+        "sparse_allocate_sweep: sparse index missing or too small");
+  }
+
+  obs::TraceSession* tr = context.trace;
+  obs::ProvenanceLedger* ledger = context.provenance;
+  obs::TraceSession::Id ev_update = 0, ev_sweep = 0, ev_relax = 0;
+  if (tr != nullptr) {
+    ev_update = tr->event("alloc.update_tail", "servers");
+    ev_sweep = tr->event("alloc.sweep", "round", "unallocated");
+    ev_relax = tr->event("alloc.relax", "round", "threshold");
+  }
+
+  const std::size_t n = demands.size();
+  const std::uint64_t update_start =
+      tr != nullptr ? obs::TraceSession::now_ns() : 0;
+  std::vector<std::size_t> unalloc = sort_descending(demands);
+  std::size_t active =
+      std::min(estimate_min_servers(demands, fleet, context.max_servers),
+               context.max_servers);
+  if (active == 0 && n > 0) active = 1;
+  if (tr != nullptr) {
+    tr->complete(ev_update, update_start, obs::TraceSession::now_ns(), 1,
+                 static_cast<double>(active));
+  }
+  SparseSweepStats out;
+  out.estimated_servers = active;
+
+  Placement placement(n, context.max_servers);
+  std::vector<double> remaining(context.max_servers);
+  for (std::size_t s = 0; s < context.max_servers; ++s) {
+    remaining[s] = fleet.capacity_of(s);
+  }
+  // Group size / Eqn.-2 sums per server; the VM -> server map is the only
+  // per-universe state (the dense path's B/C tables are what we drop).
+  std::vector<std::size_t> group_size(context.max_servers, 0);
+  std::vector<double> group_pair_sum(context.max_servers, 0.0);  // S
+  std::vector<double> group_ref_sum(context.max_servers, 0.0);   // R
+  std::vector<std::ptrdiff_t> server_of(index->size(), -1);
+
+  // Structure variant state (untouched when structure == nullptr).
+  std::vector<std::size_t> chassis_load;
+  std::vector<std::size_t> rack_load;
+  if (structure != nullptr) {
+    chassis_load.assign(fleet.num_chassis(), 0);
+    rack_load.assign(fleet.num_racks(), 0);
+  }
+  auto enclosure_bonus = [&](std::size_t server) {
+    if (structure == nullptr) return 0.0;
+    double bonus = 0.0;
+    const std::size_t self = group_size[server] == 0 ? 0u : 1u;
+    if (chassis_load[fleet.chassis_of(server)] > self) {
+      bonus += structure->chassis_affinity;
+    }
+    if (rack_load[fleet.rack_of(server)] > self) {
+      bonus += structure->rack_affinity;
+    }
+    return bonus;
+  };
+
+  const double default_cost = index->default_cost();
+  std::vector<double> ref_of(index->size());
+  for (std::size_t v = 0; v < index->size(); ++v) {
+    ref_of[v] = index->reference(v);
+  }
+
+  auto fits = [&](std::size_t vm, std::size_t server) {
+    return demands[vm].reference <= remaining[server] + 1e-12;
+  };
+
+  // S_G extension of adding vm to server: default cost for every unknown
+  // pair plus the exact correction over the vm's retained neighbors that
+  // already live there. O(K).
+  auto extension = [&](std::size_t server, std::size_t vm) {
+    double ext = default_cost * (group_ref_sum[server] +
+                                 static_cast<double>(group_size[server]) *
+                                     ref_of[vm]);
+    const auto ids = index->neighbors(vm);
+    const auto costs = index->neighbor_costs(vm);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const std::size_t m = ids[k];
+      if (server_of[m] != static_cast<std::ptrdiff_t>(server)) continue;
+      ext += (ref_of[m] + ref_of[vm]) * (costs[k] - default_cost);
+    }
+    return ext;
+  };
+
+  auto tentative_cost = [&](std::size_t server, std::size_t vm) {
+    const std::size_t extended = group_size[server] + 1;
+    if (extended < 2) return 1.0;
+    const double total_ref = group_ref_sum[server] + ref_of[vm];
+    if (total_ref <= 0.0) return 1.0;
+    const double pair_sum = group_pair_sum[server] + extension(server, vm);
+    return pair_sum / (total_ref * static_cast<double>(extended - 1));
+  };
+
+  double threshold = config.initial_threshold;
+
+  auto record = [&](std::size_t vm, std::size_t server, double cost,
+                    bool seeded, bool overflow) {
+    if (ledger == nullptr) return;
+    obs::AssignmentRecord rec;
+    rec.vm = vm;
+    rec.server = server;
+    rec.server_cost = cost;
+    rec.threshold = threshold;
+    rec.relaxation_round = out.relaxation_rounds;
+    rec.seeded = seeded;
+    rec.overflow = overflow;
+    rec.server_class = fleet.server_class(fleet.class_of(server)).id;
+    rec.chassis = static_cast<std::ptrdiff_t>(fleet.chassis_of(server));
+    rec.rack = static_cast<std::ptrdiff_t>(fleet.rack_of(server));
+    ledger->record_assignment(rec);
+  };
+
+  auto assign = [&](std::size_t pos_in_unalloc, std::size_t server) {
+    const std::size_t vm_idx = unalloc[pos_in_unalloc];
+    const std::size_t vm = demands[vm_idx].vm;
+    if (structure != nullptr && group_size[server] == 0) {
+      ++chassis_load[fleet.chassis_of(server)];
+      ++rack_load[fleet.rack_of(server)];
+    }
+    placement.assign(vm, server);
+    group_pair_sum[server] += extension(server, vm);
+    group_ref_sum[server] += ref_of[vm];
+    ++group_size[server];
+    server_of[vm] = static_cast<std::ptrdiff_t>(server);
+    remaining[server] -= demands[vm_idx].reference;
+    unalloc.erase(unalloc.begin() +
+                  static_cast<std::ptrdiff_t>(pos_in_unalloc));
+  };
+
+  std::size_t sweep_round = 0;
+  while (!unalloc.empty()) {
+    bool progress = false;
+    const std::uint64_t sweep_start =
+        tr != nullptr ? obs::TraceSession::now_ns() : 0;
+
+    std::vector<std::size_t> server_order(active);
+    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
+    std::sort(server_order.begin(), server_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (structure != nullptr) {
+                  const bool wa = chassis_load[fleet.chassis_of(a)] > 0;
+                  const bool wb = chassis_load[fleet.chassis_of(b)] > 0;
+                  if (wa != wb) return wa;
+                }
+                if (remaining[a] != remaining[b]) {
+                  return remaining[a] > remaining[b];
+                }
+                return a < b;
+              });
+
+    for (std::size_t server : server_order) {
+      for (;;) {
+        if (unalloc.empty()) break;
+        int chosen = -1;
+        bool seeded = false;
+        double chosen_cost = 1.0;
+        if (group_size[server] == 0) {
+          seeded = true;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (fits(unalloc[p], server)) {
+              chosen = static_cast<int>(p);
+              break;
+            }
+          }
+        } else {
+          const double bonus = enclosure_bonus(server);
+          double best_score = threshold;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            const std::size_t vm = demands[unalloc[p]].vm;
+            if (!fits(unalloc[p], server)) continue;
+            ++out.candidate_evals;
+            const double score = tentative_cost(server, vm) + bonus;
+            if (score > best_score) {
+              best_score = score;
+              chosen = static_cast<int>(p);
+            }
+          }
+          chosen_cost = best_score - bonus;
+        }
+        if (chosen < 0) break;
+        record(demands[unalloc[static_cast<std::size_t>(chosen)]].vm, server,
+               seeded ? 1.0 : chosen_cost, seeded, false);
+        assign(static_cast<std::size_t>(chosen), server);
+        progress = true;
+      }
+    }
+
+    if (tr != nullptr) {
+      tr->complete(ev_sweep, sweep_start, obs::TraceSession::now_ns(), 2,
+                   static_cast<double>(sweep_round),
+                   static_cast<double>(unalloc.size()));
+    }
+    ++sweep_round;
+    if (unalloc.empty()) break;
+    if (!progress) {
+      bool capacity_bound = true;
+      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
+        for (std::size_t s = 0; s < active; ++s) {
+          if (fits(unalloc[p], s)) {
+            capacity_bound = false;
+            break;
+          }
+        }
+      }
+      if (capacity_bound) {
+        if (active < context.max_servers) {
+          ++active;
+        } else {
+          while (!unalloc.empty()) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < context.max_servers; ++s) {
+              if (remaining[s] > remaining[best]) best = s;
+            }
+            record(demands[unalloc[0]].vm, best,
+                   tentative_cost(best, demands[unalloc[0]].vm), false, true);
+            assign(0, best);
+          }
+          break;
+        }
+      } else {
+        threshold *= config.alpha;
+        ++out.relaxation_rounds;
+        if (tr != nullptr) {
+          tr->instant(ev_relax, static_cast<double>(out.relaxation_rounds),
+                      threshold);
+        }
+      }
+    }
+  }
+
+  out.final_threshold = threshold;
+  if (structure != nullptr) {
+    out.active_chassis = static_cast<std::size_t>(
+        std::count_if(chassis_load.begin(), chassis_load.end(),
+                      [](std::size_t c) { return c > 0; }));
+  }
+  if (stats != nullptr) *stats = out;
+  return placement;
+}
+
+}  // namespace cava::alloc

@@ -1,0 +1,54 @@
+// The sparse-index variant of the paper's ALLOCATE sweep, shared by
+// CorrelationAwarePlacement and StructureAwarePlacement.
+//
+// The dense sweep keeps per-server accumulators B[s][v] / C[s][v] so each
+// tentative Eqn.-2 evaluation is O(1) — at the price of
+// O(max_servers * universe) memory and an O(unallocated) refresh per
+// assignment, which is exactly what dies at 100k VMs. The sparse sweep
+// keeps only S_G / R_G per server and evaluates a candidate by scanning its
+// top-k neighbor list against the current VM->server map:
+//
+//   S_ext(c) = S_G + default * (R_G + |G| * r_c)
+//            + sum_{m in G ∩ nbr(c)} (r_m + r_c) * (cost(m,c) - default)
+//
+// i.e. every unknown pair contributes the index's calibrated default cost
+// and every retained pair its exact correction — O(K) per evaluation and
+// per assignment, O(universe) memory total. With a full-retention index
+// (every pair exact) the evaluator is algebraically identical to the dense
+// Eqn.-2 rearrangement, which the oracle tier verifies end-to-end.
+//
+// The sweep skeleton (seeding, TH_cost relaxation, capacity growth,
+// overflow) mirrors the dense implementations line for line; the structure
+// hooks reproduce StructureAwarePlacement's enclosure bonus and
+// powered-chassis-first server order when a StructureAwareConfig is given.
+#pragma once
+
+#include "alloc/correlation_aware.h"
+#include "alloc/placement.h"
+#include "alloc/structure_aware.h"
+
+#include <span>
+
+namespace cava::alloc {
+
+/// Diagnostics of one sparse sweep, mapped back into the calling policy's
+/// last_*() accessors.
+struct SparseSweepStats {
+  std::size_t estimated_servers = 0;
+  double final_threshold = 0.0;
+  std::size_t relaxation_rounds = 0;
+  std::size_t candidate_evals = 0;
+  std::size_t active_chassis = 0;
+};
+
+/// Run the ALLOCATE sweep against context.sparse_index (must be non-null
+/// and cover all demands). `structure` selects the StructureAware variant
+/// (enclosure bonus + powered-chassis-first order); nullptr runs the plain
+/// paper sweep. `config` is the TH_cost/alpha machinery in both cases.
+Placement sparse_allocate_sweep(std::span<const model::VmDemand> demands,
+                                const PlacementContext& context,
+                                const CorrelationAwareConfig& config,
+                                const StructureAwareConfig* structure,
+                                SparseSweepStats* stats);
+
+}  // namespace cava::alloc

@@ -1,5 +1,6 @@
 #include "alloc/structure_aware.h"
 
+#include "alloc/sparse_sweep.h"
 #include "obs/provenance.h"
 
 #include <algorithm>
@@ -25,6 +26,17 @@ StructureAwarePlacement::StructureAwarePlacement(StructureAwareConfig config)
 Placement StructureAwarePlacement::place(
     std::span<const model::VmDemand> demands,
     const PlacementContext& context) {
+  if (context.sparse_index != nullptr) {
+    SparseSweepStats stats;
+    Placement placement = sparse_allocate_sweep(demands, context,
+                                                config_.base, &config_,
+                                                &stats);
+    last_estimate_ = stats.estimated_servers;
+    last_threshold_ = stats.final_threshold;
+    last_relaxations_ = stats.relaxation_rounds;
+    last_active_chassis_ = stats.active_chassis;
+    return placement;
+  }
   const model::FleetSpec& fleet = context.fleet_or_throw();
   const corr::CostMatrix* matrix = context.cost_matrix;
   if (matrix == nullptr || matrix->size() < demands.size()) {

@@ -1,0 +1,486 @@
+#include "corr/sparse_index.h"
+
+#include "corr/cost_matrix.h"
+#include "corr/envelope.h"
+#include "corr/peak_cost.h"
+#include "trace/time_series.h"
+#include "util/binio.h"
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace cava::corr {
+namespace {
+
+constexpr std::uint32_t kIndexFormatVersion = 1;
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+/// One retained (exact) pair, global ids, a < b.
+struct RetainedPair {
+  std::uint32_t a;
+  std::uint32_t b;
+  double cost;
+};
+
+/// Activity signature of one VM: the time bucket holding its peak envelope
+/// activity, or `buckets` for VMs whose envelope never goes high (idle /
+/// constant signals). VMs peaking in the same phase are the plausible
+/// correlated pairs, so they share an exact-pass group.
+std::size_t activity_signature(std::span<const double> samples,
+                               double envelope_percentile,
+                               std::size_t buckets) {
+  const Envelope env = Envelope::from_percentile(samples, envelope_percentile);
+  if (env.size() == 0 || buckets == 0) return buckets;
+  std::vector<std::size_t> count(buckets, 0);
+  for (std::size_t t = 0; t < env.size(); ++t) {
+    if (env[t]) ++count[t * buckets / env.size()];
+  }
+  std::size_t best = buckets;  // idle until a high bit shows up
+  std::size_t best_count = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (count[b] > best_count) {
+      best = b;
+      best_count = count[b];
+    }
+  }
+  return best;
+}
+
+/// Exact pass over one group: gather the members' samples, run the blocked
+/// CostMatrix ingest (bit-identical pair semantics to the dense path), keep
+/// each member's top-k lowest-cost neighbors, and close symmetrically —
+/// a pair survives when either endpoint ranked the other.
+std::vector<RetainedPair> exact_group_pairs(
+    const std::vector<std::size_t>& members, std::span<const double> u,
+    std::size_t num_samples, std::size_t stride, trace::ReferenceSpec spec,
+    std::size_t top_k) {
+  const std::size_t g = members.size();
+  std::vector<RetainedPair> out;
+  if (g < 2 || top_k == 0) return out;
+
+  std::vector<double> block(g * num_samples);
+  for (std::size_t a = 0; a < g; ++a) {
+    const double* src = u.data() + members[a] * stride;
+    std::copy(src, src + num_samples, block.begin() + a * num_samples);
+  }
+  CostMatrix matrix(g, spec);
+  matrix.add_block(block, num_samples, num_samples);
+
+  // Directed top-k per member, then undirected closure via a sorted key set.
+  std::vector<std::uint64_t> kept_keys;
+  kept_keys.reserve(g * std::min(top_k, g - 1));
+  std::vector<std::pair<double, std::uint32_t>> cand;
+  for (std::size_t a = 0; a < g; ++a) {
+    cand.clear();
+    for (std::size_t b = 0; b < g; ++b) {
+      if (b == a) continue;
+      cand.emplace_back(matrix.cost(a, b), static_cast<std::uint32_t>(b));
+    }
+    const std::size_t keep = std::min(top_k, cand.size());
+    // Ascending cost = most correlated first; id tie-break for determinism.
+    std::partial_sort(cand.begin(), cand.begin() + static_cast<long>(keep),
+                      cand.end());
+    for (std::size_t k = 0; k < keep; ++k) {
+      const std::size_t b = cand[k].second;
+      const std::size_t lo = std::min(a, b);
+      const std::size_t hi = std::max(a, b);
+      kept_keys.push_back(static_cast<std::uint64_t>(lo) * g + hi);
+    }
+  }
+  std::sort(kept_keys.begin(), kept_keys.end());
+  kept_keys.erase(std::unique(kept_keys.begin(), kept_keys.end()),
+                  kept_keys.end());
+
+  out.reserve(kept_keys.size());
+  for (std::uint64_t key : kept_keys) {
+    const std::size_t lo = static_cast<std::size_t>(key / g);
+    const std::size_t hi = static_cast<std::size_t>(key % g);
+    out.push_back({static_cast<std::uint32_t>(members[lo]),
+                   static_cast<std::uint32_t>(members[hi]),
+                   matrix.cost(lo, hi)});
+  }
+  return out;
+}
+
+/// Deterministic sample of arbitrary pairs to calibrate the cost assumed
+/// for truncated / cross-group pairs. Strided walks with two large co-prime
+/// multipliers spread the sample across the population without RNG state.
+double calibrate_default_cost(std::span<const double> u, std::size_t n,
+                              std::size_t num_samples, std::size_t stride,
+                              trace::ReferenceSpec spec, std::size_t pairs) {
+  if (n < 2 || num_samples == 0 || pairs == 0) return 2.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < pairs; ++s) {
+    const std::size_t i = (s * 7919) % n;
+    const std::size_t j = (i + 1 + (s * 104729) % (n - 1)) % n;
+    if (i == j) continue;
+    sum += pair_cost(u.subspan(i * stride, num_samples),
+                     u.subspan(j * stride, num_samples), spec);
+    ++count;
+  }
+  if (count == 0) return 2.0;
+  return std::clamp(sum / static_cast<double>(count), 1.0, 2.0);
+}
+
+}  // namespace
+
+SparseCostIndex SparseCostIndex::build(std::span<const double> u,
+                                       std::size_t num_vms,
+                                       std::size_t num_samples,
+                                       std::size_t stride,
+                                       trace::ReferenceSpec spec,
+                                       const SparseIndexConfig& config,
+                                       util::ThreadPool* pool) {
+  if (num_samples > stride) {
+    throw std::invalid_argument("SparseCostIndex::build: stride < samples");
+  }
+  if (num_vms > 0 && num_samples > 0 &&
+      u.size() < (num_vms - 1) * stride + num_samples) {
+    throw std::invalid_argument("SparseCostIndex::build: block too small");
+  }
+
+  SparseCostIndex index;
+  index.config_ = config;
+  index.spec_ = spec;
+  index.n_ = num_vms;
+  index.refs_.assign(num_vms, 0.0);
+  index.offsets_.assign(num_vms + 1, 0);
+  if (num_vms == 0) return index;
+
+  // Full retention (top_k >= N-1) promises the dense result bit for bit, so
+  // the envelope pre-grouping must not default any pair away: collapse to a
+  // single exact group regardless of signature_buckets/max_group.
+  const bool full_retention = num_vms >= 1 && config.top_k >= num_vms - 1;
+
+  // Per-VM reference + activity signature, and the signature -> members map.
+  std::vector<std::vector<std::size_t>> by_signature(
+      full_retention ? 1 : config.signature_buckets + 1);
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    const std::span<const double> samples =
+        num_samples > 0 ? u.subspan(i * stride, num_samples)
+                        : std::span<const double>{};
+    index.refs_[i] = trace::reference_of(samples, spec);
+    if (num_samples == 0) continue;
+    by_signature[full_retention
+                     ? 0
+                     : activity_signature(samples, config.envelope_percentile,
+                                          config.signature_buckets)]
+        .push_back(i);
+  }
+  if (num_samples == 0) return index;
+
+  // Split oversized signature groups: members are id-sorted already, so the
+  // chunking is deterministic and the per-group pair work stays bounded by
+  // max_group^2 / 2.
+  const std::size_t cap =
+      full_retention ? num_vms : std::max<std::size_t>(config.max_group, 2);
+  std::vector<std::vector<std::size_t>> groups;
+  for (const auto& members : by_signature) {
+    for (std::size_t begin = 0; begin < members.size(); begin += cap) {
+      const std::size_t end = std::min(begin + cap, members.size());
+      if (end - begin < 2) continue;
+      groups.emplace_back(members.begin() + static_cast<long>(begin),
+                          members.begin() + static_cast<long>(end));
+    }
+  }
+  index.groups_built_ = groups.size();
+
+  // Exact pass, parallel across groups; joining in submission order keeps
+  // the assembled CSR deterministic regardless of worker scheduling.
+  std::vector<std::vector<RetainedPair>> per_group(groups.size());
+  if (pool != nullptr && groups.size() > 1) {
+    std::vector<std::future<std::vector<RetainedPair>>> futures;
+    futures.reserve(groups.size());
+    for (const auto& members : groups) {
+      futures.push_back(pool->submit([&members, u, num_samples, stride, spec,
+                                      &config] {
+        return exact_group_pairs(members, u, num_samples, stride, spec,
+                                 config.top_k);
+      }));
+    }
+    for (std::size_t g = 0; g < futures.size(); ++g) {
+      per_group[g] = futures[g].get();
+    }
+  } else {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      per_group[g] = exact_group_pairs(groups[g], u, num_samples, stride,
+                                       spec, config.top_k);
+    }
+  }
+
+  // Assemble the CSR: count directed degrees, prefix-sum, scatter, then
+  // sort each row by neighbor id so lookups can binary-search.
+  std::vector<std::size_t> degree(num_vms, 0);
+  for (const auto& pairs : per_group) {
+    for (const RetainedPair& p : pairs) {
+      ++degree[p.a];
+      ++degree[p.b];
+    }
+  }
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    index.offsets_[i + 1] = index.offsets_[i] + degree[i];
+  }
+  index.nbr_ids_.resize(index.offsets_[num_vms]);
+  index.nbr_costs_.resize(index.offsets_[num_vms]);
+  std::vector<std::size_t> cursor(index.offsets_.begin(),
+                                  index.offsets_.end() - 1);
+  for (const auto& pairs : per_group) {
+    for (const RetainedPair& p : pairs) {
+      index.nbr_ids_[cursor[p.a]] = p.b;
+      index.nbr_costs_[cursor[p.a]++] = p.cost;
+      index.nbr_ids_[cursor[p.b]] = p.a;
+      index.nbr_costs_[cursor[p.b]++] = p.cost;
+    }
+  }
+  std::vector<std::pair<std::uint32_t, double>> row;
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    const std::size_t begin = index.offsets_[i];
+    const std::size_t end = index.offsets_[i + 1];
+    row.clear();
+    for (std::size_t k = begin; k < end; ++k) {
+      row.emplace_back(index.nbr_ids_[k], index.nbr_costs_[k]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t k = begin; k < end; ++k) {
+      index.nbr_ids_[k] = row[k - begin].first;
+      index.nbr_costs_[k] = row[k - begin].second;
+    }
+  }
+
+  index.default_cost_ = calibrate_default_cost(
+      u, num_vms, num_samples, stride, spec, config.calibration_pairs);
+  return index;
+}
+
+SparseCostIndex SparseCostIndex::from_traces(const trace::TraceSet& traces,
+                                             trace::ReferenceSpec spec,
+                                             const SparseIndexConfig& config,
+                                             util::ThreadPool* pool) {
+  const std::size_t samples = traces.samples_per_trace();
+  std::vector<double> block(traces.size() * samples);
+  for (std::size_t v = 0; v < traces.size(); ++v) {
+    const std::span<const double> s = traces[v].series.samples();
+    std::copy(s.begin(), s.end(), block.begin() + v * samples);
+  }
+  return build(block, traces.size(), samples, samples, spec, config, pool);
+}
+
+double SparseCostIndex::reference(std::size_t i) const {
+  if (i >= n_) throw std::out_of_range("SparseCostIndex::reference");
+  return refs_[i];
+}
+
+std::size_t SparseCostIndex::find_entry(std::size_t i,
+                                        std::size_t j) const noexcept {
+  const auto* begin = nbr_ids_.data() + offsets_[i];
+  const auto* end = nbr_ids_.data() + offsets_[i + 1];
+  const auto* it =
+      std::lower_bound(begin, end, static_cast<std::uint32_t>(j));
+  if (it == end || *it != static_cast<std::uint32_t>(j)) return kNpos;
+  return offsets_[i] + static_cast<std::size_t>(it - begin);
+}
+
+double SparseCostIndex::cost(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("SparseCostIndex::cost");
+  if (i == j) return 1.0;
+  const std::size_t entry = find_entry(i, j);
+  return entry == kNpos ? default_cost_ : nbr_costs_[entry];
+}
+
+bool SparseCostIndex::has_pair(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) {
+    throw std::out_of_range("SparseCostIndex::has_pair");
+  }
+  if (i == j) return false;
+  return find_entry(i, j) != kNpos;
+}
+
+std::span<const std::uint32_t> SparseCostIndex::neighbors(
+    std::size_t i) const {
+  if (i >= n_) throw std::out_of_range("SparseCostIndex::neighbors");
+  return std::span<const std::uint32_t>(nbr_ids_.data() + offsets_[i],
+                                        offsets_[i + 1] - offsets_[i]);
+}
+
+std::span<const double> SparseCostIndex::neighbor_costs(std::size_t i) const {
+  if (i >= n_) throw std::out_of_range("SparseCostIndex::neighbor_costs");
+  return std::span<const double>(nbr_costs_.data() + offsets_[i],
+                                 offsets_[i + 1] - offsets_[i]);
+}
+
+double SparseCostIndex::server_cost_impl(std::span<const std::size_t> group,
+                                         const std::size_t* extra) const {
+  const std::size_t m = group.size() + (extra != nullptr ? 1 : 0);
+  if (m < 2) return 1.0;
+  for (std::size_t idx : group) {
+    if (idx >= n_) throw std::out_of_range("SparseCostIndex::server_cost");
+  }
+  if (extra != nullptr && *extra >= n_) {
+    throw std::out_of_range("SparseCostIndex::server_cost");
+  }
+  const auto member = [&](std::size_t k) {
+    return k < group.size() ? group[k] : *extra;
+  };
+  double total_ref = 0.0;
+  for (std::size_t k = 0; k < m; ++k) total_ref += refs_[member(k)];
+  if (total_ref <= 0.0) return 1.0;
+
+  // Same weighted-mean arithmetic (and summation order) as
+  // CostMatrix::server_cost_impl, with sparse pair lookups.
+  double result = 0.0;
+  for (std::size_t a = 0; a < m; ++a) {
+    const std::size_t j = member(a);
+    double mean_cost = 0.0;
+    for (std::size_t b = 0; b < m; ++b) {
+      const std::size_t k = member(b);
+      if (k == j) continue;
+      const std::size_t entry = find_entry(j, k);
+      mean_cost += entry == kNpos ? default_cost_ : nbr_costs_[entry];
+    }
+    mean_cost /= static_cast<double>(m - 1);
+    result += (refs_[j] / total_ref) * mean_cost;
+  }
+  return result;
+}
+
+double SparseCostIndex::server_cost(
+    std::span<const std::size_t> group) const {
+  return server_cost_impl(group, nullptr);
+}
+
+double SparseCostIndex::server_cost_with(std::span<const std::size_t> group,
+                                         std::size_t candidate) const {
+  return server_cost_impl(group, &candidate);
+}
+
+SparseCostIndex SparseCostIndex::subset(
+    std::span<const std::size_t> vms) const {
+  if (vms.empty()) {
+    throw std::invalid_argument("SparseCostIndex::subset: empty selection");
+  }
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    if (vms[k] >= n_ || (k > 0 && vms[k] <= vms[k - 1])) {
+      throw std::invalid_argument(
+          "SparseCostIndex::subset: ids must be strictly increasing and in "
+          "range");
+    }
+  }
+  std::vector<std::size_t> renumber(n_, kNpos);
+  for (std::size_t k = 0; k < vms.size(); ++k) renumber[vms[k]] = k;
+
+  SparseCostIndex out;
+  out.config_ = config_;
+  out.spec_ = spec_;
+  out.n_ = vms.size();
+  out.default_cost_ = default_cost_;
+  out.groups_built_ = groups_built_;
+  out.refs_.resize(vms.size());
+  out.offsets_.assign(vms.size() + 1, 0);
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    out.refs_[k] = refs_[vms[k]];
+  }
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    const std::size_t old = vms[k];
+    for (std::size_t e = offsets_[old]; e < offsets_[old + 1]; ++e) {
+      if (renumber[nbr_ids_[e]] == kNpos) continue;
+      out.nbr_ids_.push_back(
+          static_cast<std::uint32_t>(renumber[nbr_ids_[e]]));
+      out.nbr_costs_.push_back(nbr_costs_[e]);
+    }
+    out.offsets_[k + 1] = out.nbr_ids_.size();
+  }
+  // Old rows were id-sorted and renumbering is monotone, so each new row is
+  // already sorted.
+  return out;
+}
+
+void SparseCostIndex::serialize(util::BinWriter& out) const {
+  out.u32(kIndexFormatVersion);
+  out.size(n_);
+  out.u8(spec_.kind == trace::ReferenceSpec::Kind::kPercentile ? 1 : 0);
+  out.f64(spec_.percentile);
+  out.f64(default_cost_);
+  out.size(groups_built_);
+  out.size(config_.top_k);
+  out.f64(config_.envelope_percentile);
+  out.size(config_.signature_buckets);
+  out.size(config_.max_group);
+  out.size(config_.calibration_pairs);
+  out.vec_f64(refs_);
+  out.vec_size(offsets_);
+  out.size(nbr_ids_.size());
+  for (std::uint32_t id : nbr_ids_) out.u32(id);
+  out.vec_f64(nbr_costs_);
+}
+
+void SparseCostIndex::restore(util::BinReader& in) {
+  const std::uint32_t version = in.u32();
+  if (version != kIndexFormatVersion) {
+    throw std::invalid_argument(
+        "SparseCostIndex::restore: unsupported format version " +
+        std::to_string(version));
+  }
+  SparseCostIndex staged;
+  // Scalar counts use u64, not size(): these are configuration values, not
+  // length prefixes, so they may legitimately exceed the payload size.
+  staged.n_ = static_cast<std::size_t>(in.u64());
+  staged.spec_.kind = in.u8() != 0 ? trace::ReferenceSpec::Kind::kPercentile
+                                   : trace::ReferenceSpec::Kind::kPeak;
+  staged.spec_.percentile = in.f64();
+  staged.default_cost_ = in.f64();
+  staged.groups_built_ = static_cast<std::size_t>(in.u64());
+  staged.config_.top_k = static_cast<std::size_t>(in.u64());
+  staged.config_.envelope_percentile = in.f64();
+  staged.config_.signature_buckets = static_cast<std::size_t>(in.u64());
+  staged.config_.max_group = static_cast<std::size_t>(in.u64());
+  staged.config_.calibration_pairs = static_cast<std::size_t>(in.u64());
+  staged.refs_ = in.vec_f64();
+  staged.offsets_ = in.vec_size();
+  const std::size_t entries = in.size(sizeof(std::uint32_t));
+  staged.nbr_ids_.resize(entries);
+  for (auto& id : staged.nbr_ids_) id = in.u32();
+  staged.nbr_costs_ = in.vec_f64();
+
+  if (staged.refs_.size() != staged.n_ ||
+      staged.offsets_.size() != staged.n_ + 1 ||
+      staged.nbr_costs_.size() != staged.nbr_ids_.size() ||
+      (staged.offsets_.empty() ? entries != 0
+                               : staged.offsets_.back() != entries)) {
+    throw std::invalid_argument(
+        "SparseCostIndex::restore: inconsistent payload shape");
+  }
+  for (std::size_t i = 0; i < staged.n_; ++i) {
+    if (staged.offsets_[i] > staged.offsets_[i + 1]) {
+      throw std::invalid_argument(
+          "SparseCostIndex::restore: non-monotone row offsets");
+    }
+  }
+  for (std::uint32_t id : staged.nbr_ids_) {
+    if (id >= staged.n_) {
+      throw std::invalid_argument(
+          "SparseCostIndex::restore: neighbor id out of range");
+    }
+  }
+  *this = std::move(staged);
+}
+
+std::size_t SparseCostIndex::memory_bytes() const {
+  return refs_.size() * sizeof(double) +
+         offsets_.size() * sizeof(std::size_t) +
+         nbr_ids_.size() * sizeof(std::uint32_t) +
+         nbr_costs_.size() * sizeof(double);
+}
+
+double SparseCostIndex::fill_ratio() const {
+  if (n_ == 0 || config_.top_k == 0) return 0.0;
+  return static_cast<double>(nbr_ids_.size()) /
+         (static_cast<double>(n_) * static_cast<double>(config_.top_k));
+}
+
+}  // namespace cava::corr

@@ -1,0 +1,165 @@
+// Sparse top-k correlation index: the datacenter-scale replacement for the
+// dense N(N-1)/2 triangle in corr::CostMatrix.
+//
+// The dense matrix is exact but O(N^2) memory and its Eqn.-2 candidate scan
+// touches every co-located VM, so neither survives 100k-VM fleets. The
+// index keeps, per VM, only the K most *correlated* neighbors (lowest
+// Cost_vm — the pairs that actually punish co-location) with their exact
+// pair costs; every other pair is approximated by one calibrated scalar.
+// Cost_vm >= 1 saturates towards 2 for uncorrelated pairs, so truncating
+// the high-cost tail loses little placement signal: ALLOCATE maximizes
+// Eqn. 2, and the pairs it must not get wrong are exactly the low-cost
+// (synchronized) ones the lists retain.
+//
+// Build pipeline (one shot, from a VM-major sample block):
+//   1. per-VM reference u^ and an envelope activity signature (which time
+//      bucket holds the VM's peak activity) — O(N*S);
+//   2. group VMs by signature (VMs peaking in the same phase are the
+//      correlated candidates; the envelope machinery is PCP's, reused as a
+//      cheap pre-grouping stage), splitting oversized groups at max_group;
+//   3. exact pair costs within each group via a per-group CostMatrix fed
+//      with the blocked SIMD ingest kernel — bit-identical pair semantics
+//      to the dense path, parallel across groups on a util::ThreadPool;
+//   4. per-VM top-k selection (ascending cost, id tie-break) plus symmetric
+//      closure, assembled into one CSR structure-of-arrays.
+//
+// With a single group (max_group >= N) and K >= N-1 every pair survives and
+// the index reproduces the dense matrix exactly — the property the oracle
+// differential suite (ctest -L oracle) pins down.
+#pragma once
+
+#include "trace/reference.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cava::util {
+class BinReader;
+class BinWriter;
+class ThreadPool;
+}  // namespace cava::util
+
+namespace cava::trace {
+class TraceSet;
+}  // namespace cava::trace
+
+namespace cava::corr {
+
+/// Build-time knobs of the sparse index.
+struct SparseIndexConfig {
+  /// Neighbors retained per VM (before symmetric closure). K >= N-1 keeps
+  /// every in-group pair.
+  std::size_t top_k = 16;
+  /// Percentile for the envelope activity signature (Verma's off-peak
+  /// threshold; 90 matches the PCP baseline's default).
+  double envelope_percentile = 90.0;
+  /// Time-bucket resolution of the activity signature; at most this many
+  /// signature groups form (+1 for idle VMs).
+  std::size_t signature_buckets = 16;
+  /// Hard cap on exact-pair group size: an oversized signature group is
+  /// split, bounding per-group work at max_group^2 / 2 pairs.
+  std::size_t max_group = 1024;
+  /// Cross-group pairs sampled to calibrate the default (approximate) cost.
+  std::size_t calibration_pairs = 256;
+};
+
+/// Per-VM top-k correlation neighbor lists (CSR, structure-of-arrays) plus
+/// the per-VM reference utilizations — everything Eqn. 2 needs.
+class SparseCostIndex {
+ public:
+  /// Empty index (size 0); build() or restore() populate it.
+  SparseCostIndex() = default;
+
+  /// Build from a VM-major sample block: VM i's samples occupy
+  /// u[i * stride + t] for t in [0, num_samples), stride >= num_samples.
+  /// `pool` (optional, non-owning) parallelizes the per-group exact pass;
+  /// the result is identical with or without it.
+  static SparseCostIndex build(std::span<const double> u, std::size_t num_vms,
+                               std::size_t num_samples, std::size_t stride,
+                               trace::ReferenceSpec spec,
+                               const SparseIndexConfig& config,
+                               util::ThreadPool* pool = nullptr);
+
+  /// Convenience wrapper gathering a TraceSet into a block first.
+  static SparseCostIndex from_traces(const trace::TraceSet& traces,
+                                     trace::ReferenceSpec spec,
+                                     const SparseIndexConfig& config,
+                                     util::ThreadPool* pool = nullptr);
+
+  std::size_t size() const { return n_; }
+  const SparseIndexConfig& config() const { return config_; }
+  const trace::ReferenceSpec& spec() const { return spec_; }
+
+  /// Reference utilization u^ of VM i.
+  double reference(std::size_t i) const;
+
+  /// Cost_vm(i, j): the exact pair cost when j is in i's neighbor list
+  /// (symmetric by closure), the calibrated default otherwise. 1.0 on the
+  /// diagonal by convention.
+  double cost(std::size_t i, std::size_t j) const;
+
+  /// True when (i, j) is a retained (exact) pair.
+  bool has_pair(std::size_t i, std::size_t j) const;
+
+  /// Neighbor ids of VM i, ascending. Costs align index-for-index.
+  std::span<const std::uint32_t> neighbors(std::size_t i) const;
+  std::span<const double> neighbor_costs(std::size_t i) const;
+
+  /// Eqn. 2 over a co-location group / with a tentative extra member —
+  /// the same weighted-mean arithmetic as CostMatrix::server_cost, with
+  /// cost() supplying the sparse pair lookups.
+  double server_cost(std::span<const std::size_t> group) const;
+  double server_cost_with(std::span<const std::size_t> group,
+                          std::size_t candidate) const;
+
+  /// Approximate cost assumed for truncated / cross-group pairs.
+  double default_cost() const { return default_cost_; }
+
+  /// Extraction of a VM subset (strictly increasing ids): result index k
+  /// carries vms[k]'s reference and every retained pair with both endpoints
+  /// in the subset, renumbered. The churn path's analogue of
+  /// CostMatrix::subset.
+  SparseCostIndex subset(std::span<const std::size_t> vms) const;
+
+  // ---- Checkpoint/restore (snapshot format v2). ----
+  void serialize(util::BinWriter& out) const;
+  /// Restore state written by serialize(). Throws util::SerializeError on a
+  /// truncated/corrupt payload and std::invalid_argument on an internally
+  /// inconsistent one.
+  void restore(util::BinReader& in);
+
+  // ---- Footprint / fill statistics (obs gauges). ----
+  /// Heap bytes held by the index payload (refs + CSR arrays).
+  std::size_t memory_bytes() const;
+  /// Retained directed neighbor entries (2x the retained pair count).
+  std::size_t neighbor_entries() const { return nbr_ids_.size(); }
+  /// Mean neighbor-list length relative to top_k, in [0, ~2] (closure can
+  /// push rows past K). 0 for an empty index.
+  double fill_ratio() const;
+  /// Signature groups the exact pass ran over (after max_group splitting).
+  std::size_t groups_built() const { return groups_built_; }
+
+ private:
+  /// Binary search of j in i's row; index into nbr_ids_ or npos.
+  std::size_t find_entry(std::size_t i, std::size_t j) const noexcept;
+
+  double server_cost_impl(std::span<const std::size_t> group,
+                          const std::size_t* extra) const;
+
+  SparseIndexConfig config_;
+  trace::ReferenceSpec spec_;
+  std::size_t n_ = 0;
+  double default_cost_ = 2.0;
+  std::size_t groups_built_ = 0;
+  /// Per-VM reference utilization u^.
+  std::vector<double> refs_;
+  /// CSR row boundaries: VM i's neighbors live at [offsets_[i],
+  /// offsets_[i+1]) in nbr_ids_ / nbr_costs_. Size n_ + 1.
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> nbr_ids_;
+  std::vector<double> nbr_costs_;
+};
+
+}  // namespace cava::corr

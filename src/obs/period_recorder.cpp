@@ -42,6 +42,12 @@ std::size_t PeriodRecorder::total_relaxation_rounds() const {
   return total;
 }
 
+std::size_t PeriodRecorder::total_reconcile_moves() const {
+  std::size_t total = 0;
+  for (const auto& r : rows_) total += r.reconcile_moves;
+  return total;
+}
+
 double PeriodRecorder::total_unplaced_vm_seconds() const {
   double total = 0.0;
   for (const auto& r : rows_) total += r.unplaced_vm_seconds;
@@ -77,6 +83,11 @@ util::Json PeriodRecorder::to_json() const {
     e["candidate_evals"] = r.candidate_evals;
     e["placement_wall_ns"] = r.placement_wall_ns;
     e["dvfs_decisions"] = r.dvfs_decisions;
+    e["corr_index_bytes"] = r.corr_index_bytes;
+    e["corr_neighbor_fill"] = r.corr_neighbor_fill;
+    e["shard_count"] = r.shard_count;
+    e["shard_max_wall_ns"] = r.shard_max_wall_ns;
+    e["reconcile_moves"] = r.reconcile_moves;
     util::Json freqs = util::Json::array();
     for (double f : r.server_frequency_ghz) freqs.push_back(f);
     e["server_frequency_ghz"] = std::move(freqs);
@@ -104,6 +115,11 @@ const std::vector<std::string>& PeriodRecorder::csv_header() {
       "candidate_evals",
       "placement_wall_ns",
       "dvfs_decisions",
+      "corr_index_bytes",
+      "corr_neighbor_fill",
+      "shard_count",
+      "shard_max_wall_ns",
+      "reconcile_moves",
       "mean_server_frequency_ghz",
       "min_server_frequency_ghz",
   };
@@ -142,6 +158,11 @@ void PeriodRecorder::write_csv(std::ostream& out, bool include_header) const {
         std::to_string(r.candidate_evals),
         std::to_string(r.placement_wall_ns),
         std::to_string(r.dvfs_decisions),
+        std::to_string(r.corr_index_bytes),
+        std::to_string(r.corr_neighbor_fill),
+        std::to_string(r.shard_count),
+        std::to_string(r.shard_max_wall_ns),
+        std::to_string(r.reconcile_moves),
         std::to_string(mean),
         std::to_string(active > 0 ? min : 0.0),
     });

@@ -51,6 +51,17 @@ struct PeriodRow {
   /// Static mode: servers whose frequency was decided this period; dynamic
   /// mode: controller re-quantization events during the period.
   std::size_t dvfs_decisions = 0;
+  /// Sparse correlation mode: heap bytes of the top-k index this period's
+  /// ALLOCATE consulted, and its mean neighbor-list length relative to K
+  /// (symmetric closure can push it past 1). Both 0 on the dense path.
+  std::size_t corr_index_bytes = 0;
+  double corr_neighbor_fill = 0.0;
+  /// Rack-sharded ALLOCATE: shard count, wall time of the slowest shard's
+  /// inner place() call, and cross-shard reconciliation moves. All 0 for
+  /// unsharded policies.
+  std::size_t shard_count = 0;
+  double shard_max_wall_ns = 0.0;
+  std::size_t reconcile_moves = 0;
   /// Per-server frequency, GHz: the static/oracle Eqn.-4 decision, or the
   /// controller's end-of-period frequency in dynamic mode. 0 = idle server.
   std::vector<double> server_frequency_ghz;
@@ -74,6 +85,7 @@ class PeriodRecorder {
   std::size_t total_failover_migrations() const;
   std::size_t total_server_crashes() const;
   std::size_t total_relaxation_rounds() const;
+  std::size_t total_reconcile_moves() const;
   double total_unplaced_vm_seconds() const;
   double total_energy_joules() const;
 

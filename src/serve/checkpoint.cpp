@@ -43,10 +43,10 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes,
   }
   util::BinReader in(bytes.subspan(sizeof kMagic));
   const std::uint32_t version = in.u32();
-  if (version != kSnapshotVersion) {
+  if (version < kMinSnapshotVersion || version > kSnapshotVersion) {
     fail("unsupported snapshot version " + std::to_string(version) +
-         " (this build reads version " + std::to_string(kSnapshotVersion) +
-         ")");
+         " (this build reads versions " + std::to_string(kMinSnapshotVersion) +
+         "-" + std::to_string(kSnapshotVersion) + ")");
   }
   const std::uint64_t checksum = in.u64();
   const std::span<const std::uint8_t> body =

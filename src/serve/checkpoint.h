@@ -40,7 +40,13 @@
 
 namespace cava::serve {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Format written by this build. Version 2 differs from 1 only in the engine
+/// payload, which may now carry a sparse correlation index instead of the
+/// dense matrices (tagged inside the payload, see
+/// AllocationEngine::save_state); the container layout is unchanged and both
+/// versions decode.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 inline constexpr std::size_t kSnapshotHeaderBytes = 44;
 
 /// Thrown on any malformed, corrupt or mismatched snapshot.

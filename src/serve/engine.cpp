@@ -8,10 +8,12 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/sharded.h"
 #include "alloc/structure_aware.h"
 #include "alloc/validate.h"
 #include "obs/scoped_timer.h"
 #include "util/binio.h"
+#include "util/thread_pool.h"
 
 namespace cava::serve {
 
@@ -30,6 +32,7 @@ struct AllocationEngine::ObsIds {
   obs::MetricsRegistry::Id churn_arrivals = 0;
   obs::MetricsRegistry::Id churn_departures = 0;
   obs::MetricsRegistry::Id budget_reverted_moves = 0;
+  obs::MetricsRegistry::Id reconcile_moves = 0;
 };
 
 struct AllocationEngine::TraceIds {
@@ -57,12 +60,24 @@ AllocationEngine::AllocationEngine(sim::SimConfig config,
       metrics_(run.metrics),
       trace_(run.trace),
       ledger_(run.provenance),
+      // Sparse mode never touches the dense triangles; size them 1 so the
+      // O(N^2) allocation happens only when the dense path will use it.
+      // (config_ is the first member, so reading it here is well-defined.)
+      sparse_(config_.corr_mode == sim::CorrMode::kSparse),
       injector_(config_.faults, config_.fault_seed),
-      prev_matrix_(std::max<std::size_t>(traces.size(), 1), config_.reference),
-      curr_matrix_(std::max<std::size_t>(traces.size(), 1), config_.reference),
-      prev_moments_(std::max<std::size_t>(traces.size(), 1)),
-      curr_moments_(std::max<std::size_t>(traces.size(), 1)) {
+      prev_matrix_(sparse_ ? 1 : std::max<std::size_t>(traces.size(), 1),
+                   config_.reference),
+      curr_matrix_(sparse_ ? 1 : std::max<std::size_t>(traces.size(), 1),
+                   config_.reference),
+      prev_moments_(sparse_ ? 1 : std::max<std::size_t>(traces.size(), 1)),
+      curr_moments_(sparse_ ? 1 : std::max<std::size_t>(traces.size(), 1)) {
   config_.validate();
+  if (sparse_) {
+    index_pool_ = std::make_unique<util::ThreadPool>(
+        config_.sparse_build_threads > 0
+            ? config_.sparse_build_threads
+            : util::ThreadPool::default_concurrency());
+  }
   fleet_ = config_.resolved_fleet();
   n_ = traces.size();
   if (n_ == 0) throw std::invalid_argument("AllocationEngine: no traces");
@@ -150,6 +165,7 @@ AllocationEngine::AllocationEngine(sim::SimConfig config,
     ids_->churn_arrivals = metrics_->counter("churn_arrivals");
     ids_->churn_departures = metrics_->counter("churn_departures");
     ids_->budget_reverted_moves = metrics_->counter("budget_reverted_moves");
+    ids_->reconcile_moves = metrics_->counter("shard_reconcile_moves");
   }
   if (recorder_ != nullptr) {
     recorder_->begin_run(policy_->name(), num_servers_,
@@ -338,13 +354,19 @@ void AllocationEngine::tick() {
     history.add(std::move(t));
   }
   if (p == 0) {
-    // Bootstrap the matrices from the same oracle window.
-    prev_matrix_.reset();
-    prev_moments_.reset();
-    prev_matrix_.add_block(period_block, samples_per_period,
-                           samples_per_period);
-    prev_moments_.add_block(period_block, samples_per_period,
-                            samples_per_period);
+    // Bootstrap the correlation state from the same oracle window.
+    if (sparse_) {
+      prev_index_ = corr::SparseCostIndex::build(
+          period_block, n, samples_per_period, samples_per_period,
+          config_.reference, config_.sparse_index, index_pool_.get());
+    } else {
+      prev_matrix_.reset();
+      prev_moments_.reset();
+      prev_matrix_.add_block(period_block, samples_per_period,
+                             samples_per_period);
+      prev_moments_.add_block(period_block, samples_per_period,
+                              samples_per_period);
+    }
   }
   if (trace_ != nullptr) {
     trace_->complete(tev_->update, update_start, obs::TraceSession::now_ns(),
@@ -356,20 +378,29 @@ void AllocationEngine::tick() {
   for (std::size_t k = 0; k < active_list.size(); ++k) {
     demands[k] = {k, demand_by_vm[active_list[k]]};
   }
-  // Dense statistics views: the full-population case passes the streaming
-  // matrices through untouched (no copy, bit-identical to batch); a churned
+  // Correlation-state views: the full-population case passes the streaming
+  // state through untouched (no copy, bit-identical to batch); a churned
   // population gets compacted subset extractions.
   std::optional<corr::CostMatrix> matrix_view;
   std::optional<corr::MomentMatrix> moments_view;
+  std::optional<corr::SparseCostIndex> index_view;
   if (!full_population) {
-    matrix_view.emplace(prev_matrix_.subset(active_list));
-    moments_view.emplace(prev_moments_.subset(active_list));
+    if (sparse_) {
+      index_view.emplace(prev_index_.subset(active_list));
+    } else {
+      matrix_view.emplace(prev_matrix_.subset(active_list));
+      moments_view.emplace(prev_moments_.subset(active_list));
+    }
   }
   alloc::PlacementContext ctx;
   ctx.fleet = &fleet_;
   ctx.max_servers = num_servers;
-  ctx.cost_matrix = full_population ? &prev_matrix_ : &*matrix_view;
-  ctx.moments = full_population ? &prev_moments_ : &*moments_view;
+  if (sparse_) {
+    ctx.sparse_index = full_population ? &prev_index_ : &*index_view;
+  } else {
+    ctx.cost_matrix = full_population ? &prev_matrix_ : &*matrix_view;
+    ctx.moments = full_population ? &prev_moments_ : &*moments_view;
+  }
   ctx.history = &history;
   ctx.trace = trace_;
   ctx.provenance = ledger_;
@@ -473,7 +504,8 @@ void AllocationEngine::tick() {
     if (config_.vf_mode == sim::VfMode::kStatic) {
       dvfs::ServerView view;
       for (std::size_t vm : vms) view.total_reference += demand_by_vm[vm];
-      view.correlation_cost = prev_matrix_.server_cost(vms);
+      view.correlation_cost =
+          sparse_ ? prev_index_.server_cost(vms) : prev_matrix_.server_cost(vms);
       view.num_vms = vms.size();
       static_f[s] = static_vf_->decide(view, spec);
       if (ledger_ != nullptr) {
@@ -534,7 +566,9 @@ void AllocationEngine::tick() {
       if (!server_up_[s]) continue;
       const double cap = capacity_fraction_[s] * fleet_.capacity_of(s);
       if (live_load[s] + need > cap + 1e-9) continue;
-      const double cost = prev_matrix_.server_cost_with(live_vms[s], vm);
+      const double cost =
+          sparse_ ? prev_index_.server_cost_with(live_vms[s], vm)
+                  : prev_matrix_.server_cost_with(live_vms[s], vm);
       if (cost > config_.failover_threshold && cost > best_cost) {
         best = s;
         best_cost = cost;
@@ -585,7 +619,9 @@ void AllocationEngine::tick() {
   curr_moments_.reset();
   corr::CostMatrix& fed_matrix = cumulative ? prev_matrix_ : curr_matrix_;
   corr::MomentMatrix& fed_moments = cumulative ? prev_moments_ : curr_moments_;
-  const bool feed = !(cumulative && p == 0);
+  // Sparse mode feeds no matrix: the staged block becomes the next period's
+  // index in one build at the period wrap-up below.
+  const bool feed = !sparse_ && !(cumulative && p == 0);
   std::size_t feed_cursor = 0;
   const auto flush_feed = [&](std::size_t upto) {
     if (!feed || upto <= feed_cursor) return;
@@ -728,6 +764,7 @@ void AllocationEngine::tick() {
 
   auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(policy_);
   auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(policy_);
+  auto* sharded = dynamic_cast<alloc::ShardedPlacement*>(policy_);
   if (config_.vf_mode == sim::VfMode::kDynamic && observing) {
     for (const auto& c : controllers) dvfs_decisions += c.decisions();
   }
@@ -753,6 +790,17 @@ void AllocationEngine::tick() {
     }
     row.placement_wall_ns = place_ns;
     row.dvfs_decisions = dvfs_decisions;
+    if (sparse_) {
+      // Gauges of the index this tick's ALLOCATE consulted (it is rebuilt
+      // only after the telemetry flush).
+      row.corr_index_bytes = prev_index_.memory_bytes();
+      row.corr_neighbor_fill = prev_index_.fill_ratio();
+    }
+    if (sharded != nullptr) {
+      row.shard_count = sharded->last_shards();
+      row.shard_max_wall_ns = sharded->last_max_shard_wall_ns();
+      row.reconcile_moves = sharded->last_reconcile_moves();
+    }
     row.server_frequency_ghz.assign(num_servers, 0.0);
     for (std::size_t s = 0; s < num_servers; ++s) {
       if (live_vms[s].empty()) continue;
@@ -775,6 +823,9 @@ void AllocationEngine::tick() {
       metrics_->add(ids_->relaxation_rounds, proposed->last_relaxation_rounds());
       metrics_->add(ids_->candidate_evals, proposed->last_candidate_evals());
     }
+    if (sharded != nullptr) {
+      metrics_->add(ids_->reconcile_moves, sharded->last_reconcile_moves());
+    }
   }
 
   // Observed references feed the predictors of *active* VMs; statistics
@@ -786,7 +837,17 @@ void AllocationEngine::tick() {
         trace::reference_of(window.samples(), config_.reference));
     has_history_[i] = 1;
   }
-  if (!cumulative) {
+  if (sparse_) {
+    // Roll the correlation state over: this period's staged block becomes
+    // the next tick's index (the sparse analogue of the matrix swap).
+    // Unconditional, so a checkpoint taken after any tick carries it.
+    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns);
+    obs::TraceSpan ingest_span(trace_, tev_->ingest,
+                               static_cast<double>(samples_per_period));
+    prev_index_ = corr::SparseCostIndex::build(
+        period_block, n, samples_per_period, samples_per_period,
+        config_.reference, config_.sparse_index, index_pool_.get());
+  } else if (!cumulative) {
     std::swap(prev_matrix_, curr_matrix_);
     std::swap(prev_moments_, curr_moments_);
   }
@@ -807,7 +868,13 @@ sim::SimResult AllocationEngine::result() const {
 
 namespace {
 
-constexpr std::uint32_t kEngineStateVersion = 1;
+// Version 2 adds a correlation-mode tag after the version word: 0 = dense
+// (the matrices follow, exactly the v1 layout), 1 = sparse (a serialized
+// SparseCostIndex follows instead). Version-1 payloads are still read and
+// are dense by definition.
+constexpr std::uint32_t kEngineStateVersion = 2;
+constexpr std::uint8_t kCorrStateDense = 0;
+constexpr std::uint8_t kCorrStateSparse = 1;
 
 void write_mask(util::BinWriter& out, const std::vector<char>& mask) {
   out.size(mask.size());
@@ -863,13 +930,18 @@ sim::PeriodRecord read_record(util::BinReader& in) {
 std::vector<std::uint8_t> AllocationEngine::save_state() const {
   util::BinWriter out;
   out.u32(kEngineStateVersion);
+  out.u8(sparse_ ? kCorrStateSparse : kCorrStateDense);
   out.u64(period_);
   write_mask(out, active_);
   write_mask(out, has_history_);
   out.size(predictors_.size());
   for (const auto& pred : predictors_) out.vec_f64(pred->state());
-  prev_matrix_.serialize(out);
-  prev_moments_.serialize(out);
+  if (sparse_) {
+    prev_index_.serialize(out);
+  } else {
+    prev_matrix_.serialize(out);
+    prev_moments_.serialize(out);
+  }
   out.u8(prev_placement_.has_value() ? 1 : 0);
   if (prev_placement_.has_value()) {
     out.u64(prev_placement_->num_vms());
@@ -911,10 +983,29 @@ std::vector<std::uint8_t> AllocationEngine::save_state() const {
 void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
   util::BinReader in(payload);
   const std::uint32_t version = in.u32();
-  if (version != kEngineStateVersion) {
+  if (version != 1 && version != kEngineStateVersion) {
     throw std::invalid_argument(
         "AllocationEngine: unsupported engine-state version " +
         std::to_string(version));
+  }
+  // Version-1 payloads predate the tag and always carry dense matrices.
+  const std::uint8_t corr_state = version >= 2 ? in.u8() : kCorrStateDense;
+  if (corr_state != kCorrStateDense && corr_state != kCorrStateSparse) {
+    throw std::invalid_argument(
+        "AllocationEngine: unknown correlation-state tag " +
+        std::to_string(corr_state));
+  }
+  const std::uint8_t expected_state =
+      sparse_ ? kCorrStateSparse : kCorrStateDense;
+  if (corr_state != expected_state) {
+    throw std::invalid_argument(
+        corr_state == kCorrStateDense
+            ? "AllocationEngine: snapshot carries dense correlation state "
+              "but this run is configured for the sparse index (--corr "
+              "sparse); resume with --corr dense or start a fresh run"
+            : "AllocationEngine: snapshot carries a sparse correlation index "
+              "but this run is configured for the dense matrices; resume "
+              "with --corr sparse or start a fresh run");
   }
   // Decode into staging first; commit only after the whole payload parsed,
   // so a corrupt snapshot cannot leave the engine half-restored.
@@ -937,10 +1028,20 @@ void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
     pred->restore_state(in.vec_f64());
     predictors.push_back(std::move(pred));
   }
-  corr::CostMatrix matrix(n_, config_.reference);
-  corr::MomentMatrix moments(n_);
-  matrix.restore(in);
-  moments.restore(in);
+  corr::CostMatrix matrix(sparse_ ? 1 : n_, config_.reference);
+  corr::MomentMatrix moments(sparse_ ? 1 : n_);
+  corr::SparseCostIndex index;
+  if (sparse_) {
+    index.restore(in);
+    if (index.size() != n_) {
+      throw std::invalid_argument(
+          "AllocationEngine: sparse-index size disagrees with the trace "
+          "universe");
+    }
+  } else {
+    matrix.restore(in);
+    moments.restore(in);
+  }
   std::optional<alloc::Placement> prev_placement;
   if (in.u8() != 0) {
     const std::size_t num_vms = static_cast<std::size_t>(in.u64());
@@ -1020,6 +1121,7 @@ void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
   if (trace_ != nullptr) matrix.set_trace(trace_);
   prev_matrix_ = std::move(matrix);
   prev_moments_ = std::move(moments);
+  if (sparse_) prev_index_ = std::move(index);
   prev_placement_ = std::move(prev_placement);
   server_up_ = std::move(server_up);
   event_cursor_ = event_cursor;

@@ -41,6 +41,10 @@
 #include <span>
 #include <vector>
 
+namespace cava::util {
+class ThreadPool;
+}  // namespace cava::util
+
 namespace cava::serve {
 
 struct EngineOptions {
@@ -139,6 +143,11 @@ class AllocationEngine {
   std::size_t total_periods_ = 0;
   std::size_t num_servers_ = 0;
   std::uint64_t fingerprint_ = 0;
+  /// Sparse correlation mode (config_.corr_mode == kSparse): the dense
+  /// matrices shrink to size 1 and prev_index_ carries the period-to-period
+  /// correlation state instead.
+  bool sparse_ = false;
+  std::unique_ptr<util::ThreadPool> index_pool_;
 
   sim::FaultInjector injector_;
   std::vector<sim::ServerFaultEvent> schedule_;
@@ -158,6 +167,8 @@ class AllocationEngine {
   corr::CostMatrix curr_matrix_;
   corr::MomentMatrix prev_moments_;
   corr::MomentMatrix curr_moments_;
+  /// Sparse mode only: the previous period's top-k index (empty otherwise).
+  corr::SparseCostIndex prev_index_;
   std::optional<alloc::Placement> prev_placement_;
   std::vector<char> server_up_;
   std::size_t event_cursor_ = 0;

@@ -9,10 +9,12 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/sharded.h"
 #include "alloc/structure_aware.h"
 #include "alloc/validate.h"
 #include "obs/scoped_timer.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace cava::sim {
 
@@ -35,6 +37,24 @@ void SimConfig::validate() const {
   }
   if (!(failover_threshold >= 0.0)) {
     throw std::invalid_argument("SimConfig: failover_threshold < 0");
+  }
+  if (corr_mode == CorrMode::kSparse) {
+    if (cost_horizon != CostHorizon::kPreviousPeriod) {
+      throw std::invalid_argument(
+          "SimConfig: sparse correlation requires the previous-period "
+          "horizon (the index is a per-period snapshot, not a streaming "
+          "accumulator)");
+    }
+    if (sparse_index.top_k == 0) {
+      throw std::invalid_argument("SimConfig: sparse top_k must be >= 1");
+    }
+    if (sparse_index.max_group < 2) {
+      throw std::invalid_argument("SimConfig: sparse max_group must be >= 2");
+    }
+    if (sparse_index.signature_buckets == 0) {
+      throw std::invalid_argument(
+          "SimConfig: sparse signature_buckets must be >= 1");
+    }
   }
   faults.validate();
 }
@@ -92,6 +112,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     obs::MetricsRegistry::Id candidate_evals = 0;
     obs::MetricsRegistry::Id dvfs_fmin_decisions = 0;
     obs::MetricsRegistry::Id dvfs_fmax_decisions = 0;
+    obs::MetricsRegistry::Id reconcile_moves = 0;
   } ids;
   if (metrics != nullptr) {
     ids.placement_ns = metrics->histogram("placement_ns");
@@ -105,6 +126,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     ids.candidate_evals = metrics->counter("eqn2_candidate_evals");
     ids.dvfs_fmin_decisions = metrics->counter("dvfs_fmin_decisions");
     ids.dvfs_fmax_decisions = metrics->counter("dvfs_fmax_decisions");
+    ids.reconcile_moves = metrics->counter("shard_reconcile_moves");
   }
   if (recorder != nullptr) {
     recorder->begin_run(policy.name(), num_servers, config_.period_seconds);
@@ -127,6 +149,7 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   // exist only on the correlation-aware policies.
   auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(&policy);
   auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(&policy);
+  auto* sharded = dynamic_cast<alloc::ShardedPlacement*>(&policy);
 
   SimResult result;
   result.policy_name = policy.name();
@@ -165,15 +188,30 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   }
 
   // Correlation statistics of the *previous* period, consumed by placement
-  // and the static v/f decision of the current one.
-  corr::CostMatrix prev_matrix(n, config_.reference);
-  corr::CostMatrix curr_matrix(n, config_.reference);
+  // and the static v/f decision of the current one. Sparse mode never
+  // touches the dense triangles, so they shrink to size 1 — the O(N^2)
+  // allocation is exactly what that mode exists to avoid.
+  const bool sparse = config_.corr_mode == CorrMode::kSparse;
+  const std::size_t dense_n = sparse ? 1 : n;
+  corr::CostMatrix prev_matrix(dense_n, config_.reference);
+  corr::CostMatrix curr_matrix(dense_n, config_.reference);
   if (tr != nullptr) {
     prev_matrix.set_trace(tr);
     curr_matrix.set_trace(tr);
   }
-  corr::MomentMatrix prev_moments(n);
-  corr::MomentMatrix curr_moments(n);
+  corr::MomentMatrix prev_moments(dense_n);
+  corr::MomentMatrix curr_moments(dense_n);
+  // Sparse mode: the previous period's top-k index, rebuilt at every period
+  // wrap-up from the staged sample block (period 0 bootstraps from its own
+  // oracle window, mirroring the dense bootstrap).
+  corr::SparseCostIndex prev_index;
+  std::unique_ptr<util::ThreadPool> index_pool;
+  if (sparse) {
+    index_pool = std::make_unique<util::ThreadPool>(
+        config_.sparse_build_threads > 0
+            ? config_.sparse_build_threads
+            : util::ThreadPool::default_concurrency());
+  }
 
   std::size_t violated_instances = 0;
   std::size_t active_instances = 0;
@@ -233,13 +271,19 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       history.add(std::move(t));
     }
     if (p == 0) {
-      // Bootstrap the matrix from the same oracle window.
-      prev_matrix.reset();
-      prev_moments.reset();
-      prev_matrix.add_block(period_block, samples_per_period,
-                            samples_per_period);
-      prev_moments.add_block(period_block, samples_per_period,
-                             samples_per_period);
+      // Bootstrap the correlation state from the same oracle window.
+      if (sparse) {
+        prev_index = corr::SparseCostIndex::build(
+            period_block, n, samples_per_period, samples_per_period,
+            config_.reference, config_.sparse_index, index_pool.get());
+      } else {
+        prev_matrix.reset();
+        prev_moments.reset();
+        prev_matrix.add_block(period_block, samples_per_period,
+                              samples_per_period);
+        prev_moments.add_block(period_block, samples_per_period,
+                               samples_per_period);
+      }
     }
     if (tr != nullptr) {
       tr->complete(tev.update, update_start, obs::TraceSession::now_ns(), 1,
@@ -250,8 +294,12 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     alloc::PlacementContext ctx;
     ctx.fleet = &fleet_;
     ctx.max_servers = num_servers;
-    ctx.cost_matrix = &prev_matrix;
-    ctx.moments = &prev_moments;
+    if (sparse) {
+      ctx.sparse_index = &prev_index;
+    } else {
+      ctx.cost_matrix = &prev_matrix;
+      ctx.moments = &prev_moments;
+    }
     ctx.history = &history;
     ctx.trace = tr;
     ctx.provenance = ledger;
@@ -337,7 +385,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       if (config_.vf_mode == VfMode::kStatic) {
         dvfs::ServerView view;
         for (std::size_t vm : vms) view.total_reference += demands[vm].reference;
-        view.correlation_cost = prev_matrix.server_cost(vms);
+        view.correlation_cost =
+            sparse ? prev_index.server_cost(vms) : prev_matrix.server_cost(vms);
         view.num_vms = vms.size();
         static_f[s] = static_vf->decide(view, spec);
         if (ledger != nullptr) {
@@ -409,7 +458,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         if (!server_up[s]) continue;
         const double cap = capacity_fraction[s] * fleet_.capacity_of(s);
         if (live_load[s] + need > cap + 1e-9) continue;
-        const double cost = prev_matrix.server_cost_with(live_vms[s], vm);
+        const double cost =
+            sparse ? prev_index.server_cost_with(live_vms[s], vm)
+                   : prev_matrix.server_cost_with(live_vms[s], vm);
         if (cost > config_.failover_threshold && cost > best_cost) {
           best = s;
           best_cost = cost;
@@ -468,7 +519,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     curr_moments.reset();
     corr::CostMatrix& fed_matrix = cumulative ? prev_matrix : curr_matrix;
     corr::MomentMatrix& fed_moments = cumulative ? prev_moments : curr_moments;
-    const bool feed = !(cumulative && p == 0);
+    // Sparse mode feeds no matrix: the whole staged block becomes the next
+    // period's index in one build at the period wrap-up below.
+    const bool feed = !sparse && !(cumulative && p == 0);
     // Samples [0, feed_cursor) of this period have reached the fed
     // statistics. The whole period is normally ingested as one block after
     // the replay loop; a crash/repair event forces an early flush first,
@@ -650,6 +703,17 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       }
       row.placement_wall_ns = place_ns;
       row.dvfs_decisions = dvfs_decisions;
+      if (sparse) {
+        // Gauges of the index this period's ALLOCATE consulted (it is
+        // rebuilt only after the telemetry flush).
+        row.corr_index_bytes = prev_index.memory_bytes();
+        row.corr_neighbor_fill = prev_index.fill_ratio();
+      }
+      if (sharded != nullptr) {
+        row.shard_count = sharded->last_shards();
+        row.shard_max_wall_ns = sharded->last_max_shard_wall_ns();
+        row.reconcile_moves = sharded->last_reconcile_moves();
+      }
       row.server_frequency_ghz.assign(num_servers, 0.0);
       for (std::size_t s = 0; s < num_servers; ++s) {
         if (live_vms[s].empty()) continue;
@@ -672,6 +736,9 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         metrics->add(ids.relaxation_rounds, proposed->last_relaxation_rounds());
         metrics->add(ids.candidate_evals, proposed->last_candidate_evals());
       }
+      if (sharded != nullptr) {
+        metrics->add(ids.reconcile_moves, sharded->last_reconcile_moves());
+      }
     }
 
     // Observed references feed the predictors; statistics roll over.
@@ -681,7 +748,18 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       predictors[i]->observe(
           trace::reference_of(window.samples(), config_.reference));
     }
-    if (!cumulative) {
+    if (sparse) {
+      // Roll the correlation state over: this period's staged block becomes
+      // the next period's index (the sparse analogue of the matrix swap).
+      if (p + 1 < num_periods) {
+        obs::ScopedTimer ingest_timer(metrics, ids.corr_ingest_ns);
+        obs::TraceSpan ingest_span(
+            tr, tev.ingest, static_cast<double>(samples_per_period));
+        prev_index = corr::SparseCostIndex::build(
+            period_block, n, samples_per_period, samples_per_period,
+            config_.reference, config_.sparse_index, index_pool.get());
+      }
+    } else if (!cumulative) {
       std::swap(prev_matrix, curr_matrix);
       std::swap(prev_moments, curr_moments);
     }

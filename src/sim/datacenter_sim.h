@@ -24,6 +24,7 @@
 #pragma once
 
 #include "alloc/placement.h"
+#include "corr/sparse_index.h"
 #include "dvfs/vf_policy.h"
 #include "model/fleet.h"
 #include "model/power.h"
@@ -59,6 +60,15 @@ enum class VfMode { kNone, kStatic, kDynamic, kOracleStatic };
 /// into slack that the next ramp hour does not actually have.
 enum class CostHorizon { kPreviousPeriod, kCumulative };
 
+/// Correlation-state representation consumed by UPDATE/ALLOCATE/v-f.
+/// kDense keeps the exact O(N^2) CostMatrix (bit-identical to every
+/// pre-sparse build); kSparse replaces it with the top-k neighbor index of
+/// corr::SparseCostIndex, rebuilt from each finished period's sample block
+/// — the only representation that survives 100k-VM fleets. Sparse mode
+/// requires the previous-period horizon (the index is a per-period
+/// snapshot, not a streaming accumulator).
+enum class CorrMode { kDense, kSparse };
+
 struct SimConfig {
   /// The fleet under simulation: per-server class, capacity, power model and
   /// enclosure topology. Empty (the default) selects the homogeneous
@@ -81,6 +91,16 @@ struct SimConfig {
   /// Dynamic mode: multiplicative headroom over the recent peak.
   double dynamic_headroom = 1.05;
   CostHorizon cost_horizon = CostHorizon::kPreviousPeriod;
+  /// Correlation representation (see CorrMode). Dense is the default and
+  /// stays byte-identical to builds that predate the sparse index.
+  CorrMode corr_mode = CorrMode::kDense;
+  /// Build knobs of the sparse index (top-k, grouping, calibration);
+  /// consulted only in sparse mode.
+  corr::SparseIndexConfig sparse_index;
+  /// Worker threads for the per-period sparse index build; 0 picks
+  /// util::ThreadPool::default_concurrency(). The built index is identical
+  /// for any thread count (group results are joined in order).
+  std::size_t sparse_build_threads = 0;
   /// Energy charged per migrated fmax-equivalent core when a VM changes
   /// server between periods (live-migration copy work; 0 disables).
   double migration_energy_joules_per_core = 0.0;

@@ -114,6 +114,34 @@ void print_telemetry_summary(const obs::RunTelemetry& telemetry,
         << rec.total_failover_migrations() << " failovers";
   }
   out << "\n";
+  // Sparse-correlation / sharded-ALLOCATE gauges, shown only when the run
+  // actually produced them (dense unsharded runs keep the old output).
+  std::size_t sparse_periods = 0;
+  double index_bytes_sum = 0.0;
+  double fill_sum = 0.0;
+  std::size_t max_shards = 0;
+  double max_shard_wall_ns = 0.0;
+  for (const auto& r : rec.rows()) {
+    if (r.corr_index_bytes > 0) {
+      ++sparse_periods;
+      index_bytes_sum += static_cast<double>(r.corr_index_bytes);
+      fill_sum += r.corr_neighbor_fill;
+    }
+    max_shards = std::max(max_shards, r.shard_count);
+    max_shard_wall_ns = std::max(max_shard_wall_ns, r.shard_max_wall_ns);
+  }
+  if (sparse_periods > 0) {
+    const double denom = static_cast<double>(sparse_periods);
+    out << "  sparse corr index: "
+        << util::TextTable::format(index_bytes_sum / denom / 1e6, 2)
+        << " MB mean, fill "
+        << util::TextTable::format(fill_sum / denom, 2) << "x K\n";
+  }
+  if (max_shards > 0) {
+    out << "  sharded allocate: " << max_shards << " shards, slowest shard "
+        << util::TextTable::format(max_shard_wall_ns / 1e6, 1) << " ms, "
+        << rec.total_reconcile_moves() << " reconcile moves\n";
+  }
   if (telemetry.level == obs::MetricsLevel::kFull) {
     const obs::MetricsSnapshot snap = telemetry.registry.snapshot();
     for (const auto& [name, h] : snap.histograms) {

@@ -1,0 +1,105 @@
+// Thread-safety and determinism of the rack-sharded ALLOCATE path, run
+// under TSAN in the sanitizer CI job (ctest -L concurrency): per-shard
+// placements fan out across a worker pool, and the merged + reconciled
+// result must be bit-identical to the single-threaded run at every worker
+// count — shard partition, merge order and reconciliation are all
+// scheduler-independent.
+#include "alloc/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "corr/sparse_index.h"
+#include "model/fleet.h"
+#include "model/server.h"
+#include "trace/synthesis.h"
+
+namespace cava::alloc {
+namespace {
+
+struct Instance {
+  trace::TraceSet traces;
+  corr::SparseCostIndex index;
+  std::vector<model::VmDemand> demands;
+  model::FleetSpec fleet;
+
+  explicit Instance(int n_vms, std::size_t n_servers) {
+    trace::DatacenterTraceConfig cfg;
+    cfg.num_vms = n_vms;
+    cfg.num_groups = std::max(2, n_vms / 6);
+    cfg.day_seconds = 1800.0;
+    cfg.fine_dt = 10.0;
+    cfg.seed = 77;
+    traces = trace::generate_datacenter_traces(cfg);
+    corr::SparseIndexConfig icfg;
+    icfg.top_k = 8;
+    index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), icfg);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+    }
+    model::FleetTopology topo;
+    topo.servers_per_chassis = 4;
+    topo.chassis_per_rack = 2;
+    fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(),
+                                          n_servers, topo);
+  }
+
+  PlacementContext context() const {
+    PlacementContext ctx;
+    ctx.fleet = &fleet;
+    ctx.max_servers = fleet.num_servers();
+    ctx.sparse_index = &index;
+    return ctx;
+  }
+};
+
+Placement place_with_threads(const Instance& inst, std::size_t threads) {
+  ShardedConfig cfg;
+  cfg.threads = threads;
+  ShardedPlacement policy(
+      [] { return std::make_unique<CorrelationAwarePlacement>(); }, cfg);
+  return policy.place(inst.demands, inst.context());
+}
+
+TEST(ShardedConcurrency, ParallelShardsMatchSerialBitForBit) {
+  const Instance inst(64, 32);  // 4 racks of 8 servers
+  const Placement serial = place_with_threads(inst, 1);
+  for (const std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const Placement parallel = place_with_threads(inst, threads);
+    ASSERT_EQ(parallel.num_vms(), serial.num_vms());
+    for (std::size_t vm = 0; vm < serial.num_vms(); ++vm) {
+      EXPECT_EQ(parallel.server_of(vm), serial.server_of(vm))
+          << "threads " << threads << " vm " << vm;
+    }
+  }
+}
+
+TEST(ShardedConcurrency, RepeatedParallelPlacementsAreStable) {
+  // Hammer the pool: many back-to-back parallel placements through one
+  // policy instance must all agree (and give TSAN scheduling diversity to
+  // bite into if shard merging ever races).
+  const Instance inst(48, 24);
+  ShardedConfig cfg;
+  cfg.threads = 4;
+  ShardedPlacement policy(
+      [] { return std::make_unique<CorrelationAwarePlacement>(); }, cfg);
+  const Placement first = policy.place(inst.demands, inst.context());
+  for (int round = 0; round < 10; ++round) {
+    const Placement again = policy.place(inst.demands, inst.context());
+    ASSERT_EQ(again.num_vms(), first.num_vms());
+    for (std::size_t vm = 0; vm < first.num_vms(); ++vm) {
+      EXPECT_EQ(again.server_of(vm), first.server_of(vm))
+          << "round " << round << " vm " << vm;
+    }
+    EXPECT_EQ(policy.last_shards(), 3u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,166 @@
+// Rack-sharded placement unit suite: shard mapping follows the fleet's
+// rack topology, the merged placement is complete and capacity-feasible
+// after reconciliation, both correlation views (sparse index / dense
+// matrix) drive the inner policy, and diagnostics surface the shard count
+// and reconciliation work.
+#include "alloc/sharded.h"
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "corr/sparse_index.h"
+#include "trace/synthesis.h"
+
+namespace cava::alloc {
+namespace {
+
+model::FleetTopology racked(std::size_t per_chassis, std::size_t per_rack) {
+  model::FleetTopology topo;
+  topo.servers_per_chassis = per_chassis;
+  topo.chassis_per_rack = per_rack;
+  return topo;
+}
+
+struct Instance {
+  trace::TraceSet traces;
+  corr::CostMatrix matrix;
+  corr::SparseCostIndex index;
+  std::vector<model::VmDemand> demands;
+  model::FleetSpec fleet;
+
+  Instance(int n_vms, std::size_t n_servers, model::FleetTopology topo)
+      : matrix(1, trace::ReferenceSpec::peak()) {
+    trace::DatacenterTraceConfig cfg;
+    cfg.num_vms = n_vms;
+    cfg.num_groups = std::max(2, n_vms / 5);
+    cfg.day_seconds = 1800.0;
+    cfg.fine_dt = 10.0;
+    traces = trace::generate_datacenter_traces(cfg);
+    matrix = corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    corr::SparseIndexConfig icfg;
+    icfg.top_k = 8;
+    index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), icfg);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+    }
+    fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(),
+                                          n_servers, topo);
+  }
+
+  PlacementContext context(bool sparse) {
+    PlacementContext ctx;
+    ctx.fleet = &fleet;
+    ctx.max_servers = fleet.num_servers();
+    if (sparse) {
+      ctx.sparse_index = &index;
+    } else {
+      ctx.cost_matrix = &matrix;
+    }
+    return ctx;
+  }
+};
+
+ShardedPlacement make_sharded(std::size_t threads) {
+  ShardedConfig cfg;
+  cfg.threads = threads;
+  return ShardedPlacement(
+      [] { return std::make_unique<CorrelationAwarePlacement>(); }, cfg);
+}
+
+void expect_feasible(const Placement& placement, const Instance& inst) {
+  EXPECT_TRUE(placement.complete());
+  std::vector<double> loads(inst.fleet.num_servers(), 0.0);
+  for (std::size_t vm = 0; vm < inst.demands.size(); ++vm) {
+    ASSERT_TRUE(placement.server_of(vm).has_value()) << "vm " << vm;
+    loads[*placement.server_of(vm)] += inst.demands[vm].reference;
+  }
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    EXPECT_LE(loads[s], inst.fleet.capacity_of(s) + 1e-9) << "server " << s;
+  }
+}
+
+TEST(ShardedPlacement, ShardsFollowRackTopology) {
+  // 16 servers, 2 per chassis, 2 chassis per rack -> 4 racks.
+  Instance inst(24, 16, racked(2, 2));
+  ShardedPlacement policy = make_sharded(2);
+  const Placement placement = policy.place(inst.demands, inst.context(true));
+  EXPECT_EQ(policy.last_shards(), 4u);
+  expect_feasible(placement, inst);
+}
+
+TEST(ShardedPlacement, ParallelMatchesSingleThreaded) {
+  Instance inst(48, 16, racked(2, 2));
+  ShardedPlacement serial = make_sharded(1);
+  ShardedPlacement parallel = make_sharded(4);
+  const Placement a = serial.place(inst.demands, inst.context(true));
+  const Placement b = parallel.place(inst.demands, inst.context(true));
+  ASSERT_EQ(a.num_vms(), b.num_vms());
+  for (std::size_t vm = 0; vm < a.num_vms(); ++vm) {
+    EXPECT_EQ(*a.server_of(vm), *b.server_of(vm)) << "vm " << vm;
+  }
+  EXPECT_EQ(serial.last_shards(), parallel.last_shards());
+  EXPECT_EQ(serial.last_reconcile_moves(), parallel.last_reconcile_moves());
+}
+
+TEST(ShardedPlacement, DenseMatrixViewWorks) {
+  Instance inst(24, 16, racked(4, 2));
+  ShardedPlacement policy = make_sharded(2);
+  const Placement placement = policy.place(inst.demands, inst.context(false));
+  expect_feasible(placement, inst);
+  EXPECT_EQ(policy.last_shards(), 2u);  // 8 servers per rack
+}
+
+TEST(ShardedPlacement, SingleRackDegeneratesToOneShard) {
+  Instance inst(12, 8, racked(8, 1));
+  ShardedPlacement policy = make_sharded(2);
+  const Placement placement = policy.place(inst.demands, inst.context(true));
+  EXPECT_EQ(policy.last_shards(), 1u);
+  expect_feasible(placement, inst);
+}
+
+TEST(ShardedPlacement, WorksWithCorrelationObliviousInner) {
+  Instance inst(20, 16, racked(2, 2));
+  ShardedConfig cfg;
+  cfg.threads = 2;
+  ShardedPlacement policy([] { return std::make_unique<BestFitDecreasing>(); },
+                          cfg);
+  PlacementContext ctx;
+  ctx.fleet = &inst.fleet;
+  ctx.max_servers = inst.fleet.num_servers();
+  const Placement placement = policy.place(inst.demands, ctx);
+  expect_feasible(placement, inst);
+  EXPECT_EQ(policy.name(), "Sharded(BFD)");
+}
+
+TEST(ShardedPlacement, TightCapacityTriggersReconciliation) {
+  // Squeeze the fleet so per-shard overflow is likely: straggler repair
+  // must still end feasible when the fleet as a whole has room.
+  Instance inst(40, 8, racked(2, 2));
+  ShardedPlacement policy = make_sharded(2);
+  const Placement placement = policy.place(inst.demands, inst.context(true));
+  EXPECT_TRUE(placement.complete());
+  EXPECT_EQ(policy.last_shards(), 2u);
+}
+
+TEST(ShardedPlacement, RejectsNullFactory) {
+  EXPECT_THROW(ShardedPlacement(nullptr), std::invalid_argument);
+}
+
+TEST(ShardedPlacement, DiagnosticsPopulated) {
+  Instance inst(32, 16, racked(2, 2));
+  ShardedPlacement policy = make_sharded(2);
+  (void)policy.place(inst.demands, inst.context(true));
+  EXPECT_GT(policy.last_shards(), 0u);
+  EXPECT_GT(policy.last_max_shard_wall_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace cava::alloc

@@ -1,0 +1,146 @@
+// Sparse-sweep unit suite: the policies' sparse_index branch must produce
+// complete, capacity-respecting placements with live diagnostics, and with
+// a full-retention index must match the dense branch assignment-for-
+// assignment (the small-scale version of the oracle differential).
+#include "alloc/correlation_aware.h"
+#include "alloc/structure_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "corr/cost_matrix.h"
+#include "corr/sparse_index.h"
+#include "trace/synthesis.h"
+
+namespace cava::alloc {
+namespace {
+
+struct Instance {
+  trace::TraceSet traces;
+  corr::CostMatrix matrix;
+  corr::SparseCostIndex index;
+  std::vector<model::VmDemand> demands;
+  model::FleetSpec fleet;
+
+  Instance(int n_vms, std::size_t top_k, model::FleetTopology topo = {})
+      : matrix(1, trace::ReferenceSpec::peak()) {
+    trace::DatacenterTraceConfig cfg;
+    cfg.num_vms = n_vms;
+    cfg.num_groups = std::max(2, n_vms / 5);
+    cfg.day_seconds = 1800.0;
+    cfg.fine_dt = 10.0;
+    traces = trace::generate_datacenter_traces(cfg);
+    matrix = corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    corr::SparseIndexConfig icfg;
+    icfg.top_k = top_k;
+    icfg.max_group = static_cast<std::size_t>(n_vms);
+    icfg.signature_buckets = top_k >= static_cast<std::size_t>(n_vms) ? 1 : 8;
+    index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), icfg);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+    }
+    fleet = model::FleetSpec::homogeneous(model::ServerClass::dell_r815(),
+                                          static_cast<std::size_t>(n_vms),
+                                          topo);
+  }
+
+  PlacementContext dense_context() {
+    PlacementContext ctx;
+    ctx.fleet = &fleet;
+    ctx.max_servers = fleet.num_servers();
+    ctx.cost_matrix = &matrix;
+    return ctx;
+  }
+
+  PlacementContext sparse_context() {
+    PlacementContext ctx;
+    ctx.fleet = &fleet;
+    ctx.max_servers = fleet.num_servers();
+    ctx.sparse_index = &index;
+    return ctx;
+  }
+};
+
+void expect_same_assignment(const Placement& a, const Placement& b) {
+  ASSERT_EQ(a.num_vms(), b.num_vms());
+  for (std::size_t vm = 0; vm < a.num_vms(); ++vm) {
+    ASSERT_TRUE(a.server_of(vm).has_value());
+    ASSERT_TRUE(b.server_of(vm).has_value());
+    EXPECT_EQ(*a.server_of(vm), *b.server_of(vm)) << "vm " << vm;
+  }
+}
+
+TEST(SparseSweep, FullRetentionMatchesDenseAssignment) {
+  Instance inst(40, /*top_k=*/40);
+  CorrelationAwarePlacement dense_policy;
+  const Placement dense = dense_policy.place(inst.demands,
+                                             inst.dense_context());
+  CorrelationAwarePlacement sparse_policy;
+  const Placement sparse = sparse_policy.place(inst.demands,
+                                               inst.sparse_context());
+  expect_same_assignment(dense, sparse);
+  EXPECT_EQ(sparse_policy.last_estimated_servers(),
+            dense_policy.last_estimated_servers());
+  EXPECT_DOUBLE_EQ(sparse_policy.last_final_threshold(),
+                   dense_policy.last_final_threshold());
+}
+
+TEST(SparseSweep, StructureAwareFullRetentionMatchesDense) {
+  model::FleetTopology topo;
+  topo.servers_per_chassis = 4;
+  topo.chassis_per_rack = 2;
+  topo.chassis_idle_watts = 40.0;
+  Instance inst(32, /*top_k=*/32, topo);
+  StructureAwarePlacement dense_policy;
+  const Placement dense = dense_policy.place(inst.demands,
+                                             inst.dense_context());
+  StructureAwarePlacement sparse_policy;
+  const Placement sparse = sparse_policy.place(inst.demands,
+                                               inst.sparse_context());
+  expect_same_assignment(dense, sparse);
+  EXPECT_EQ(sparse_policy.last_active_chassis(),
+            dense_policy.last_active_chassis());
+}
+
+TEST(SparseSweep, TruncatedIndexStillPlacesEveryVm) {
+  Instance inst(60, /*top_k=*/4);
+  CorrelationAwarePlacement policy;
+  const Placement placement = policy.place(inst.demands,
+                                           inst.sparse_context());
+  EXPECT_TRUE(placement.complete());
+  EXPECT_GT(policy.last_candidate_evals(), 0u);
+  // Loads must respect the per-server capacity (no overflow at this scale).
+  std::vector<double> loads(inst.fleet.num_servers(), 0.0);
+  for (std::size_t vm = 0; vm < inst.demands.size(); ++vm) {
+    loads[*placement.server_of(vm)] += inst.demands[vm].reference;
+  }
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    EXPECT_LE(loads[s], inst.fleet.capacity_of(s) + 1e-9) << "server " << s;
+  }
+}
+
+TEST(SparseSweep, ConsolidatesOntoFewServers) {
+  // The sparse estimate/sweep should still approach the Eqn.-3 bound, not
+  // scatter VMs: active servers within 2x of the estimate.
+  Instance inst(50, /*top_k=*/6);
+  CorrelationAwarePlacement policy;
+  const Placement placement = policy.place(inst.demands,
+                                           inst.sparse_context());
+  EXPECT_LE(placement.active_servers(),
+            2 * std::max<std::size_t>(policy.last_estimated_servers(), 1));
+}
+
+TEST(SparseSweep, MissingIndexThrows) {
+  Instance inst(10, /*top_k=*/10);
+  PlacementContext ctx = inst.sparse_context();
+  corr::SparseCostIndex tiny;  // size 0 < demands
+  ctx.sparse_index = &tiny;
+  CorrelationAwarePlacement policy;
+  EXPECT_THROW(policy.place(inst.demands, ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cava::alloc

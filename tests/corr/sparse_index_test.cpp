@@ -1,0 +1,261 @@
+// Unit suite for the sparse top-k correlation index: full-K exactness
+// against the dense CostMatrix (the property the oracle tier then extends
+// to placement), symmetry/closure invariants, subset extraction, pool
+// determinism and checkpoint round-trips.
+#include "corr/sparse_index.h"
+
+#include "corr/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cava::corr {
+namespace {
+
+std::vector<double> random_block(std::size_t n_vms, std::size_t num_samples,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> block(n_vms * num_samples);
+  for (auto& x : block) x = rng.uniform(0.0, 4.0);
+  return block;
+}
+
+/// Full-retention config: one group, every neighbor kept.
+SparseIndexConfig full_config(std::size_t n_vms) {
+  SparseIndexConfig cfg;
+  cfg.top_k = n_vms;  // >= n-1 keeps every in-group pair
+  cfg.max_group = n_vms;
+  cfg.signature_buckets = 1;  // every active VM lands in one group
+  return cfg;
+}
+
+TEST(SparseCostIndex, FullKMatchesDenseMatrixExactly) {
+  const std::size_t n = 24, s = 64;
+  const auto block = random_block(n, s, 7);
+  CostMatrix dense(n, trace::ReferenceSpec::peak());
+  dense.add_block(block, s, s);
+  const SparseCostIndex index =
+      SparseCostIndex::build(block, n, s, s, trace::ReferenceSpec::peak(),
+                             full_config(n));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(index.reference(i), dense.reference(i)) << i;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(index.has_pair(i, j)) << i << "," << j;
+      }
+      EXPECT_DOUBLE_EQ(index.cost(i, j), dense.cost(i, j))
+          << i << "," << j;
+    }
+  }
+  // Eqn. 2 agrees on whole-group and tentative-candidate evaluations.
+  std::vector<std::size_t> group(n - 1);
+  std::iota(group.begin(), group.end(), 0);
+  EXPECT_DOUBLE_EQ(index.server_cost(group), dense.server_cost(group));
+  EXPECT_DOUBLE_EQ(index.server_cost_with(group, n - 1),
+                   dense.server_cost_with(group, n - 1));
+}
+
+TEST(SparseCostIndex, FullKPercentileModeMatchesDense) {
+  const std::size_t n = 12, s = 96;
+  const auto block = random_block(n, s, 11);
+  const trace::ReferenceSpec spec = trace::ReferenceSpec::nth(95.0);
+  CostMatrix dense(n, spec);
+  dense.add_block(block, s, s);
+  const SparseCostIndex index =
+      SparseCostIndex::build(block, n, s, s, spec, full_config(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(index.cost(i, j), dense.cost(i, j));
+    }
+  }
+}
+
+TEST(SparseCostIndex, CostIsSymmetricAndNeutralOnDiagonal) {
+  const std::size_t n = 40, s = 48;
+  const auto block = random_block(n, s, 3);
+  SparseIndexConfig cfg;
+  cfg.top_k = 4;
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(index.cost(i, i), 1.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(index.cost(i, j), index.cost(j, i));
+      EXPECT_EQ(index.has_pair(i, j), index.has_pair(j, i));
+    }
+  }
+}
+
+TEST(SparseCostIndex, TruncationKeepsLowestCostNeighbors) {
+  const std::size_t n = 32, s = 64;
+  const auto block = random_block(n, s, 5);
+  CostMatrix dense(n, trace::ReferenceSpec::peak());
+  dense.add_block(block, s, s);
+
+  SparseIndexConfig cfg = full_config(n);
+  cfg.top_k = 6;
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), cfg);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Retained neighbors carry the exact dense cost.
+    const auto ids = index.neighbors(i);
+    const auto costs = index.neighbor_costs(i);
+    ASSERT_EQ(ids.size(), costs.size());
+    ASSERT_GE(ids.size(), cfg.top_k);  // closure only adds entries
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      EXPECT_DOUBLE_EQ(costs[k], dense.cost(i, ids[k]));
+    }
+    // No dropped pair is cheaper than a kept one from i's own top-k pick:
+    // the k lowest-cost neighbors of i must all be present.
+    std::vector<double> all;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) all.push_back(dense.cost(i, j));
+    }
+    std::sort(all.begin(), all.end());
+    const double kth = all[cfg.top_k - 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (dense.cost(i, j) < kth) {
+        EXPECT_TRUE(index.has_pair(i, j));
+      }
+    }
+  }
+}
+
+TEST(SparseCostIndex, PoolAndSerialBuildsAreIdentical) {
+  const std::size_t n = 200, s = 32;
+  const auto block = random_block(n, s, 13);
+  SparseIndexConfig cfg;
+  cfg.top_k = 5;
+  cfg.max_group = 32;  // force many groups so the pool actually shards
+  util::ThreadPool pool(4);
+  const SparseCostIndex serial = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), cfg, nullptr);
+  const SparseCostIndex parallel = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), cfg, &pool);
+  ASSERT_EQ(serial.neighbor_entries(), parallel.neighbor_entries());
+  EXPECT_EQ(serial.groups_built(), parallel.groups_built());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = serial.neighbors(i);
+    const auto b = parallel.neighbors(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]);
+      EXPECT_DOUBLE_EQ(serial.neighbor_costs(i)[k],
+                       parallel.neighbor_costs(i)[k]);
+    }
+  }
+}
+
+TEST(SparseCostIndex, SubsetPreservesPairsWithinSelection) {
+  const std::size_t n = 30, s = 48;
+  const auto block = random_block(n, s, 17);
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), full_config(n));
+  const std::vector<std::size_t> vms = {1, 4, 9, 16, 25};
+  const SparseCostIndex sub = index.subset(vms);
+  ASSERT_EQ(sub.size(), vms.size());
+  for (std::size_t a = 0; a < vms.size(); ++a) {
+    EXPECT_DOUBLE_EQ(sub.reference(a), index.reference(vms[a]));
+    for (std::size_t b = 0; b < vms.size(); ++b) {
+      EXPECT_DOUBLE_EQ(sub.cost(a, b), index.cost(vms[a], vms[b]));
+      EXPECT_EQ(sub.has_pair(a, b), index.has_pair(vms[a], vms[b]));
+    }
+  }
+}
+
+TEST(SparseCostIndex, SubsetRejectsBadSelections) {
+  const std::size_t n = 8, s = 16;
+  const auto block = random_block(n, s, 1);
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), full_config(n));
+  EXPECT_THROW(index.subset({}), std::invalid_argument);
+  EXPECT_THROW(index.subset(std::vector<std::size_t>{3, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(index.subset(std::vector<std::size_t>{5, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(index.subset(std::vector<std::size_t>{1, 99}),
+               std::invalid_argument);
+}
+
+TEST(SparseCostIndex, SerializeRestoreRoundTrips) {
+  const std::size_t n = 20, s = 40;
+  const auto block = random_block(n, s, 23);
+  SparseIndexConfig cfg;
+  cfg.top_k = 3;
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::nth(90.0), cfg);
+
+  util::BinWriter out;
+  index.serialize(out);
+  util::BinReader in(out.bytes());
+  SparseCostIndex back;
+  back.restore(in);
+  in.expect_end();
+
+  ASSERT_EQ(back.size(), index.size());
+  EXPECT_DOUBLE_EQ(back.default_cost(), index.default_cost());
+  EXPECT_EQ(back.neighbor_entries(), index.neighbor_entries());
+  EXPECT_EQ(back.config().top_k, index.config().top_k);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(back.reference(i), index.reference(i));
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(back.cost(i, j), index.cost(i, j));
+    }
+  }
+}
+
+TEST(SparseCostIndex, RestoreRejectsCorruptPayloads) {
+  const std::size_t n = 10, s = 16;
+  const auto block = random_block(n, s, 29);
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), full_config(n));
+  util::BinWriter out;
+  index.serialize(out);
+  const auto& bytes = out.bytes();
+  // Every truncation must throw a clean error, never crash.
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    util::BinReader in(std::span<const std::uint8_t>(bytes.data(), len));
+    SparseCostIndex victim;
+    EXPECT_ANY_THROW(victim.restore(in)) << "length " << len;
+  }
+}
+
+TEST(SparseCostIndex, EmptyAndDegenerateSizes) {
+  const SparseCostIndex empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.memory_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(empty.fill_ratio(), 0.0);
+
+  const auto block = random_block(1, 8, 31);
+  const SparseCostIndex one = SparseCostIndex::build(
+      block, 1, 8, 8, trace::ReferenceSpec::peak(), full_config(1));
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.neighbor_entries(), 0u);
+  EXPECT_DOUBLE_EQ(one.cost(0, 0), 1.0);
+}
+
+TEST(SparseCostIndex, MemoryIsFarBelowDenseTriangle) {
+  const std::size_t n = 512, s = 16;
+  const auto block = random_block(n, s, 37);
+  SparseIndexConfig cfg;
+  cfg.top_k = 8;
+  cfg.max_group = 64;
+  const SparseCostIndex index = SparseCostIndex::build(
+      block, n, s, s, trace::ReferenceSpec::peak(), cfg);
+  const std::size_t dense_bytes = n * (n - 1) / 2 * sizeof(double);
+  EXPECT_LT(index.memory_bytes(), dense_bytes / 10);
+  EXPECT_GT(index.fill_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace cava::corr

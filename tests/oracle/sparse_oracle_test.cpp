@@ -1,0 +1,199 @@
+// Differential tests anchoring the sparse top-k correlation index to the
+// dense CostMatrix and the first-principles oracles: at full retention
+// (K >= N-1, one signature group) the index must reproduce the dense
+// Eqn.-2 arithmetic bit for bit — same server costs, same ALLOCATE
+// assignments — and at truncated K the energy of a full simulated run may
+// drift only within a small bound (the calibrated default cost stands in
+// for the dropped low-correlation pairs).
+#include "oracle_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "corr/cost_matrix.h"
+#include "corr/sparse_index.h"
+#include "model/fleet.h"
+#include "model/server.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+namespace cava {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+trace::TraceSet make_traces(std::uint64_t seed, std::size_t num_vms,
+                            std::size_t samples) {
+  util::Rng rng(seed);
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.2, 1.2);
+    const double amp = rng.uniform(0.2, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double freq = rng.uniform(0.02, 0.08);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(freq * static_cast<double>(i) +
+                                          phase)) +
+             rng.uniform(0.0, 0.15);
+    }
+    traces.add(
+        {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    d.push_back({i, traces[i].series.peak()});
+  }
+  return d;
+}
+
+/// Full-retention configuration: every pair is exact, so the index carries
+/// the same information as the dense matrix.
+corr::SparseIndexConfig full_retention(std::size_t n) {
+  corr::SparseIndexConfig cfg;
+  cfg.top_k = n;  // >= N-1: nothing truncated
+  cfg.signature_buckets = 1;
+  cfg.max_group = n;
+  return cfg;
+}
+
+TEST(SparseOracle, FullRetentionServerCostsMatchDenseBitForBit) {
+  for (const std::uint64_t seed : {3ULL, 17ULL, 42ULL}) {
+    const trace::TraceSet traces = make_traces(seed, 20, 300);
+    const auto matrix =
+        corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    const auto index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), full_retention(traces.size()));
+
+    util::Rng rng(seed + 1);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::size_t> group;
+      for (std::size_t v = 0; v < traces.size(); ++v) {
+        if (rng.uniform() < 0.3) group.push_back(v);
+      }
+      if (group.size() < 2) continue;
+      EXPECT_DOUBLE_EQ(index.server_cost(group), matrix.server_cost(group))
+          << "seed " << seed << " trial " << trial;
+      const std::size_t cand = (group.back() + 1) % traces.size();
+      EXPECT_DOUBLE_EQ(index.server_cost_with(group, cand),
+                       matrix.server_cost_with(group, cand))
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+TEST(SparseOracle, FullRetentionServerCostMatchesNaiveOracle) {
+  const trace::TraceSet traces = make_traces(7, 16, 256);
+  const auto index = corr::SparseCostIndex::from_traces(
+      traces, trace::ReferenceSpec::peak(), full_retention(traces.size()));
+
+  util::Rng rng(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::size_t> group;
+    for (std::size_t v = 0; v < traces.size(); ++v) {
+      if (rng.uniform() < 0.4) group.push_back(v);
+    }
+    if (group.size() < 2) continue;
+    const double want = oracle::naive_server_cost(traces, group);
+    const double got = index.server_cost(group);
+    // The oracle computes the literal weighted mean; the index uses the
+    // same rearrangement as CostMatrix — algebraically equal, so only FP
+    // association noise separates them.
+    EXPECT_NEAR(got, want, 1e-12 * std::abs(want)) << "trial " << trial;
+  }
+}
+
+TEST(SparseOracle, FullRetentionAllocateAssignmentsIdentical) {
+  for (const std::uint64_t seed : {5ULL, 23ULL}) {
+    const trace::TraceSet traces = make_traces(seed, 24, 300);
+    const auto matrix =
+        corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    const auto index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), full_retention(traces.size()));
+    const auto demands = make_demands(traces);
+    const model::FleetSpec fleet =
+        model::FleetSpec::homogeneous(model::ServerClass::dell_r815(), 12);
+
+    alloc::PlacementContext dense_ctx;
+    dense_ctx.fleet = &fleet;
+    dense_ctx.max_servers = fleet.num_servers();
+    dense_ctx.cost_matrix = &matrix;
+    alloc::PlacementContext sparse_ctx = dense_ctx;
+    sparse_ctx.cost_matrix = nullptr;
+    sparse_ctx.sparse_index = &index;
+
+    alloc::CorrelationAwarePlacement dense_policy;
+    alloc::CorrelationAwarePlacement sparse_policy;
+    const alloc::Placement a = dense_policy.place(demands, dense_ctx);
+    const alloc::Placement b = sparse_policy.place(demands, sparse_ctx);
+    ASSERT_EQ(a.num_vms(), b.num_vms());
+    for (std::size_t vm = 0; vm < a.num_vms(); ++vm) {
+      EXPECT_EQ(a.server_of(vm), b.server_of(vm))
+          << "seed " << seed << " vm " << vm;
+    }
+  }
+}
+
+TEST(SparseOracle, TruncatedIndexCostsStayInEqnOneRange) {
+  // Truncation replaces dropped pairs with the calibrated default, which
+  // must stay inside Eqn. 1's [1, 2] range — so every Eqn.-2 group score
+  // does too, whatever K.
+  const trace::TraceSet traces = make_traces(11, 32, 300);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    corr::SparseIndexConfig cfg;
+    cfg.top_k = k;
+    const auto index = corr::SparseCostIndex::from_traces(
+        traces, trace::ReferenceSpec::peak(), cfg);
+    EXPECT_GE(index.default_cost(), 1.0);
+    EXPECT_LE(index.default_cost(), 2.0);
+    util::Rng rng(12);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<std::size_t> group;
+      for (std::size_t v = 0; v < traces.size(); ++v) {
+        if (rng.uniform() < 0.25) group.push_back(v);
+      }
+      if (group.size() < 2) continue;
+      const double cost = index.server_cost(group);
+      EXPECT_GE(cost, 1.0) << "k " << k;
+      EXPECT_LE(cost, 2.0) << "k " << k;
+    }
+  }
+}
+
+TEST(SparseOracle, TruncatedIndexServerCostNearDense) {
+  // At moderate K the retained pairs are exactly the strongest correlations,
+  // so the Eqn.-2 estimate may drift from dense only by the mis-modeled
+  // weak tail. Bound the relative error on random groups.
+  const trace::TraceSet traces = make_traces(29, 32, 300);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  corr::SparseIndexConfig cfg;
+  cfg.top_k = 8;
+  const auto index = corr::SparseCostIndex::from_traces(
+      traces, trace::ReferenceSpec::peak(), cfg);
+
+  util::Rng rng(30);
+  double worst = 0.0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::size_t> group;
+    for (std::size_t v = 0; v < traces.size(); ++v) {
+      if (rng.uniform() < 0.2) group.push_back(v);
+    }
+    if (group.size() < 2) continue;
+    const double dense = matrix.server_cost(group);
+    const double sparse = index.server_cost(group);
+    worst = std::max(worst, std::abs(sparse - dense) / dense);
+  }
+  EXPECT_LT(worst, 0.10) << "truncated-K Eqn.-2 drift exceeded 10%";
+}
+
+}  // namespace
+}  // namespace cava

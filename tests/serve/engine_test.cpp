@@ -335,5 +335,123 @@ TEST(AllocationEngine, FingerprintSeparatesConfigurations) {
   EXPECT_NE(a.config_fingerprint(), d.config_fingerprint());
 }
 
+// ---- Sparse correlation mode (--corr sparse). ----
+
+sim::SimConfig sparse_fast_config(std::size_t top_k = 4) {
+  sim::SimConfig cfg = fast_config();
+  cfg.corr_mode = sim::CorrMode::kSparse;
+  cfg.sparse_index.top_k = top_k;
+  cfg.sparse_build_threads = 1;
+  return cfg;
+}
+
+TEST(AllocationEngine, SparseNoChurnMatchesBatchBitIdentical) {
+  const trace::TraceSet traces = small_traces();
+  const sim::SimConfig cfg = sparse_fast_config();
+
+  alloc::CorrelationAwarePlacement batch_policy;
+  dvfs::CorrelationAwareVf vf;
+  const sim::SimResult batch =
+      sim::DatacenterSimulator(cfg).run(traces, {batch_policy, &vf});
+
+  alloc::CorrelationAwarePlacement serve_policy;
+  AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {},
+                          {serve_policy, &vf});
+  engine.run_to_completion();
+
+  expect_identical(batch, engine.result());
+}
+
+TEST(AllocationEngine, SparseSaveRestoreResumesBitIdentical) {
+  const trace::TraceSet traces = small_traces();
+  sim::SimConfig cfg = sparse_fast_config();
+  cfg.faults = sim::FaultSpec::parse("crash=0.1,repair-min=15");
+  cfg.fault_seed = 3;
+  sim::SyntheticChurnConfig churn_cfg;
+  churn_cfg.num_vms = traces.size();
+  churn_cfg.num_periods = 12;
+  churn_cfg.arrival_prob = 0.15;
+  churn_cfg.departure_prob = 0.15;
+  churn_cfg.seed = 9;
+  const sim::ChurnSpec churn = sim::ChurnSpec::synthetic(churn_cfg);
+
+  alloc::CorrelationAwarePlacement policy_a;
+  dvfs::CorrelationAwareVf vf;
+  AllocationEngine reference(cfg, traces, churn, {}, {policy_a, &vf});
+  reference.run_to_completion();
+
+  for (const std::size_t stop :
+       {std::size_t{1}, std::size_t{5}, std::size_t{11}}) {
+    alloc::CorrelationAwarePlacement policy_b;
+    AllocationEngine first(cfg, traces, churn, {}, {policy_b, &vf});
+    while (first.period() < stop) first.tick();
+    const std::vector<std::uint8_t> state = first.save_state();
+
+    alloc::CorrelationAwarePlacement policy_c;
+    AllocationEngine resumed(cfg, traces, churn, {}, {policy_c, &vf});
+    EXPECT_EQ(resumed.config_fingerprint(), first.config_fingerprint());
+    resumed.restore_state(state);
+    EXPECT_EQ(resumed.period(), stop);
+    resumed.run_to_completion();
+
+    expect_identical(reference.result(), resumed.result());
+    ASSERT_TRUE(reference.last_placement().has_value());
+    ASSERT_TRUE(resumed.last_placement().has_value());
+    expect_identical(*reference.last_placement(), *resumed.last_placement());
+  }
+}
+
+TEST(AllocationEngine, RestoreRejectsDenseSnapshotInSparseRun) {
+  // Corr mode is deliberately excluded from the config fingerprint so the
+  // mismatch reaches restore_state, which must name the problem and leave
+  // the engine untouched at period 0.
+  const trace::TraceSet traces = small_traces();
+  alloc::CorrelationAwarePlacement dense_policy;
+  dvfs::CorrelationAwareVf vf;
+  AllocationEngine dense(fast_config(), traces, sim::ChurnSpec::none(), {},
+                         {dense_policy, &vf});
+  dense.tick();
+  dense.tick();
+  const std::vector<std::uint8_t> dense_state = dense.save_state();
+
+  alloc::CorrelationAwarePlacement sparse_policy;
+  AllocationEngine sparse(sparse_fast_config(), traces, sim::ChurnSpec::none(),
+                          {}, {sparse_policy, &vf});
+  try {
+    sparse.restore_state(dense_state);
+    FAIL() << "restore_state accepted a dense snapshot in sparse mode";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dense correlation state"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(sparse.period(), 0u);
+  // The engine is still usable after the rejected restore.
+  sparse.run_to_completion();
+  EXPECT_TRUE(sparse.done());
+}
+
+TEST(AllocationEngine, RestoreRejectsSparseSnapshotInDenseRun) {
+  const trace::TraceSet traces = small_traces();
+  alloc::CorrelationAwarePlacement sparse_policy;
+  dvfs::CorrelationAwareVf vf;
+  AllocationEngine sparse(sparse_fast_config(), traces, sim::ChurnSpec::none(),
+                          {}, {sparse_policy, &vf});
+  sparse.tick();
+  const std::vector<std::uint8_t> sparse_state = sparse.save_state();
+
+  alloc::CorrelationAwarePlacement dense_policy;
+  AllocationEngine dense(fast_config(), traces, sim::ChurnSpec::none(), {},
+                         {dense_policy, &vf});
+  try {
+    dense.restore_state(sparse_state);
+    FAIL() << "restore_state accepted a sparse snapshot in dense mode";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sparse"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dense.period(), 0u);
+}
+
 }  // namespace
 }  // namespace cava::serve

@@ -1,0 +1,161 @@
+// Sparse correlation mode of the datacenter simulator: config validation,
+// full-retention equivalence with the dense mode (same assignments, same
+// energy), truncated-K runs staying sane, the failover path routed through
+// the index, and the sparse/sharded telemetry gauges.
+#include "sim/datacenter_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/sharded.h"
+#include "obs/period_recorder.h"
+#include "trace/synthesis.h"
+
+namespace cava::sim {
+namespace {
+
+trace::TraceSet make_traces(int num_vms, std::uint64_t seed = 1) {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = num_vms;
+  cfg.num_groups = std::max(2, num_vms / 4);
+  cfg.day_seconds = 7200.0;
+  cfg.coarse_dt = 300.0;
+  cfg.fine_dt = 10.0;
+  cfg.seed = seed;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+SimConfig sparse_config(std::size_t num_servers, std::size_t top_k) {
+  SimConfig cfg;
+  cfg.max_servers = num_servers;
+  cfg.period_seconds = 3600.0;
+  cfg.corr_mode = CorrMode::kSparse;
+  cfg.sparse_index.top_k = top_k;
+  return cfg;
+}
+
+TEST(SparseSimMode, ValidateRejectsCumulativeHorizon) {
+  SimConfig cfg = sparse_config(8, 4);
+  cfg.cost_horizon = CostHorizon::kCumulative;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(SparseSimMode, ValidateRejectsDegenerateIndexKnobs) {
+  SimConfig cfg = sparse_config(8, 0);
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+  cfg = sparse_config(8, 4);
+  cfg.sparse_index.max_group = 1;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+  cfg = sparse_config(8, 4);
+  cfg.sparse_index.signature_buckets = 0;
+  EXPECT_THROW(DatacenterSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(SparseSimMode, FullRetentionMatchesDenseRun) {
+  // A single signature group with K >= N-1 retains every exact pair, so the
+  // sparse run must reproduce the dense run: same placements every period
+  // (hence same active servers) and the same energy/violation totals.
+  const trace::TraceSet traces = make_traces(16);
+  SimConfig dense_cfg;
+  dense_cfg.max_servers = 16;
+  dense_cfg.period_seconds = 3600.0;
+  SimConfig sparse_cfg = sparse_config(16, 16);
+  sparse_cfg.sparse_index.max_group = 16;
+  sparse_cfg.sparse_index.signature_buckets = 1;
+
+  dvfs::CorrelationAwareVf vf;
+  alloc::CorrelationAwarePlacement dense_policy;
+  const SimResult dense =
+      DatacenterSimulator(dense_cfg).run(traces, {dense_policy, &vf});
+  alloc::CorrelationAwarePlacement sparse_policy;
+  const SimResult sparse =
+      DatacenterSimulator(sparse_cfg).run(traces, {sparse_policy, &vf});
+
+  ASSERT_EQ(dense.periods.size(), sparse.periods.size());
+  for (std::size_t p = 0; p < dense.periods.size(); ++p) {
+    EXPECT_EQ(dense.periods[p].active_servers,
+              sparse.periods[p].active_servers)
+        << "period " << p;
+  }
+  EXPECT_DOUBLE_EQ(dense.total_energy_joules, sparse.total_energy_joules);
+  EXPECT_DOUBLE_EQ(dense.max_violation_ratio, sparse.max_violation_ratio);
+  EXPECT_EQ(dense.total_migrated_vms, sparse.total_migrated_vms);
+}
+
+TEST(SparseSimMode, TruncatedIndexRunStaysSane) {
+  const trace::TraceSet traces = make_traces(32);
+  SimConfig cfg = sparse_config(32, 4);
+  dvfs::CorrelationAwareVf vf;
+  alloc::CorrelationAwarePlacement policy;
+  const SimResult r = DatacenterSimulator(cfg).run(traces, {policy, &vf});
+  EXPECT_EQ(r.periods.size(), 2u);
+  EXPECT_GT(r.total_energy_joules, 0.0);
+  EXPECT_GE(r.max_violation_ratio, 0.0);
+  EXPECT_LE(r.max_violation_ratio, 1.0);
+  EXPECT_GT(r.mean_active_servers, 0.0);
+}
+
+TEST(SparseSimMode, FailoverPathRunsThroughIndex) {
+  // Crashes force the mid-period failover chain, which scores candidate
+  // hosts via the sparse index's server_cost_with in sparse mode.
+  const trace::TraceSet traces = make_traces(24, /*seed=*/7);
+  SimConfig cfg = sparse_config(24, 4);
+  cfg.faults.crash_prob_per_period = 0.6;
+  cfg.faults.repair_seconds = 900.0;
+  cfg.fault_seed = 11;
+  dvfs::CorrelationAwareVf vf;
+  alloc::CorrelationAwarePlacement policy;
+  const SimResult r = DatacenterSimulator(cfg).run(traces, {policy, &vf});
+  EXPECT_GT(r.server_crashes, 0u);
+  EXPECT_GT(r.total_energy_joules, 0.0);
+}
+
+TEST(SparseSimMode, TelemetryCarriesIndexAndShardGauges) {
+  model::FleetTopology topo;
+  topo.servers_per_chassis = 2;
+  topo.chassis_per_rack = 4;
+  const trace::TraceSet traces = make_traces(32);
+  SimConfig cfg = sparse_config(32, 6);
+  cfg.fleet = model::FleetSpec::homogeneous(model::ServerClass::xeon_e5410(),
+                                            32, topo);
+  dvfs::CorrelationAwareVf vf;
+  alloc::ShardedConfig shard_cfg;
+  shard_cfg.threads = 2;
+  alloc::ShardedPlacement policy(
+      [] { return std::make_unique<alloc::CorrelationAwarePlacement>(); },
+      shard_cfg);
+  obs::PeriodRecorder recorder;
+  RunOptions options{policy, &vf};
+  options.recorder = &recorder;
+  const SimResult r = DatacenterSimulator(cfg).run(traces, options);
+  ASSERT_EQ(recorder.rows().size(), r.periods.size());
+  for (const auto& row : recorder.rows()) {
+    EXPECT_GT(row.corr_index_bytes, 0u);
+    EXPECT_GT(row.corr_neighbor_fill, 0.0);
+    EXPECT_EQ(row.shard_count, 4u);  // 32 servers / (2 x 4) per rack
+    EXPECT_GT(row.shard_max_wall_ns, 0.0);
+  }
+}
+
+TEST(SparseSimMode, DenseRowsKeepSparseGaugesZero) {
+  const trace::TraceSet traces = make_traces(8);
+  SimConfig cfg;
+  cfg.max_servers = 8;
+  cfg.period_seconds = 3600.0;
+  dvfs::CorrelationAwareVf vf;
+  alloc::CorrelationAwarePlacement policy;
+  obs::PeriodRecorder recorder;
+  RunOptions options{policy, &vf};
+  options.recorder = &recorder;
+  (void)DatacenterSimulator(cfg).run(traces, options);
+  for (const auto& row : recorder.rows()) {
+    EXPECT_EQ(row.corr_index_bytes, 0u);
+    EXPECT_EQ(row.shard_count, 0u);
+    EXPECT_EQ(row.reconcile_moves, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cava::sim

@@ -104,6 +104,52 @@ TEST(ExitCodes, UnwritableJsonOutIsIoError) {
             5);
 }
 
+TEST(ExitCodes, SparseCorrFlagValidation) {
+  // --topk 0 is meaningless (a VM needs at least one neighbor).
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy proposed --corr sparse --topk 0"),
+            2);
+  // --topk without sparse mode is a config error, not silently ignored.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy proposed --topk 4"),
+            2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--policy proposed --corr max"),
+            2);
+  // A valid sparse run still exits 0.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy proposed --corr sparse --topk 4"),
+            0);
+}
+
+TEST(ExitCodes, ShardByRackNeedsRackTopology) {
+  // The homogeneous convenience fleet puts every server in its own rack;
+  // rack sharding would degenerate to one shard per server.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy proposed --shard-by rack"),
+            2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy proposed --shard-by chassis"),
+            2);
+}
+
+TEST(ExitCodes, SparseResumeFromDenseSnapshotIsConfigError) {
+  // The corr mode is deliberately left out of the config fingerprint so a
+  // dense-era snapshot surfaces the mode mismatch as a named config error
+  // (exit 2), distinct from corruption (exit 3).
+  const std::string snap = temp_path("exit_sparse_resume.snap");
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+  const std::string common =
+      std::string(kFastArgs) +
+      "--serve --policy proposed --periods 6 --checkpoint " + snap +
+      " --checkpoint-every 2";
+  EXPECT_EQ(run_tool(common), 0);
+  EXPECT_EQ(run_tool(common + " --corr sparse --resume"), 2);
+  // The dense snapshot is still intact and resumable in dense mode.
+  EXPECT_EQ(run_tool(common + " --resume"), 0);
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+}
+
 TEST(ExitCodes, ServeRoundTripWithResume) {
   const std::string snap = temp_path("exit_serve.snap");
   std::remove(snap.c_str());

@@ -39,6 +39,8 @@ struct Entry {
   double real_time_ns = 0.0;
   double cpu_time_ns = 0.0;
   double samples_per_s = std::nan("");
+  double dense_mbytes = std::nan("");
+  double index_mbytes = std::nan("");
 };
 
 }  // namespace
@@ -117,6 +119,14 @@ int main(int argc, char** argv) {
       if (const Json* c = b.find("samples_per_s");
           c != nullptr && c->is_number()) {
         e.samples_per_s = c->as_number();
+      }
+      if (const Json* c = b.find("dense_mbytes");
+          c != nullptr && c->is_number()) {
+        e.dense_mbytes = c->as_number();
+      }
+      if (const Json* c = b.find("index_mbytes");
+          c != nullptr && c->is_number()) {
+        e.index_mbytes = c->as_number();
       }
       entries[name->as_string()] = e;
     }
@@ -223,6 +233,49 @@ int main(int argc, char** argv) {
       h_bfd->second.real_time_ns > 0.0) {
     derived["hetero_proposed_vs_bfd_n128"] =
         h_prop->second.real_time_ns / h_bfd->second.real_time_ns;
+  }
+  // Sparse top-k index vs the dense pair-cost matrix
+  // (bench_sparse_corr.cpp): period ingest speedup, ALLOCATE speedup of the
+  // rack-sharded sparse sweep over the dense serial sweep, and the memory
+  // ratio of the two correlation representations. All three are
+  // dimensionless, so they gate in CI alongside the kernel ratios above.
+  const auto d_ingest = entries.find("BM_DenseIngest/10240");
+  const auto s_ingest = entries.find("BM_SparseIngest/10240");
+  if (d_ingest != entries.end()) {
+    derived["dense_ingest_ns_n10240"] = d_ingest->second.real_time_ns;
+  }
+  if (s_ingest != entries.end()) {
+    derived["sparse_ingest_ns_n10240"] = s_ingest->second.real_time_ns;
+  }
+  if (d_ingest != entries.end() && s_ingest != entries.end() &&
+      s_ingest->second.real_time_ns > 0.0) {
+    derived["sparse_ingest_speedup_n10240"] =
+        d_ingest->second.real_time_ns / s_ingest->second.real_time_ns;
+  }
+  if (d_ingest != entries.end() && s_ingest != entries.end() &&
+      !std::isnan(d_ingest->second.dense_mbytes) &&
+      !std::isnan(s_ingest->second.index_mbytes) &&
+      d_ingest->second.dense_mbytes > 0.0) {
+    derived["sparse_mem_vs_dense_n10240"] =
+        s_ingest->second.index_mbytes / d_ingest->second.dense_mbytes;
+  }
+  const auto d_place = entries.find("BM_DensePlace/1024");
+  const auto s_place = entries.find("BM_SparseShardedPlace/1024");
+  if (d_place != entries.end()) {
+    derived["dense_place_ns_n1024"] = d_place->second.real_time_ns;
+  }
+  if (s_place != entries.end()) {
+    derived["sparse_sharded_place_ns_n1024"] = s_place->second.real_time_ns;
+  }
+  if (d_place != entries.end() && s_place != entries.end() &&
+      s_place->second.real_time_ns > 0.0) {
+    derived["sparse_sharded_place_speedup_n1024"] =
+        d_place->second.real_time_ns / s_place->second.real_time_ns;
+  }
+  const auto s_place_100k = entries.find("BM_SparseShardedPlace/10240");
+  if (s_place_100k != entries.end()) {
+    derived["sparse_sharded_place_ns_n10240"] =
+        s_place_100k->second.real_time_ns;
   }
   out["derived"] = std::move(derived);
 

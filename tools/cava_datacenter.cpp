@@ -49,6 +49,7 @@
 #include "alloc/ffd.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
+#include "alloc/sharded.h"
 #include "alloc/structure_aware.h"
 #include "dvfs/vf_policy.h"
 #include "model/fleet.h"
@@ -92,6 +93,16 @@ Simulation:
                       per-class counts, chassis/rack topology); overrides
                       --servers
   --period-min M      placement period, minutes       [60]
+  --corr MODE         dense | sparse correlation state [dense]
+                      dense keeps the full O(N^2) pair-cost matrices; sparse
+                      keeps a per-VM top-k neighbor index (O(N*K) memory),
+                      the only representation that scales to 100k VMs
+  --topk K            sparse neighbors kept per VM    [16]
+                      (needs --corr sparse; K >= 1)
+  --shard-by SCOPE    none | rack                     [none]
+                      rack partitions ALLOCATE by the fleet's racks and runs
+                      the shards in parallel, then reconciles across shards;
+                      needs a --fleet whose racks hold more than one server
   --predictor NAME    last-value | moving-average | ewma | ar1 [last-value]
   --migration-joules J  energy per migrated core      [0]
   --threads N         worker threads for multi-policy runs
@@ -167,26 +178,34 @@ auto with_category(util::ErrorCategory category, Fn&& fn) -> decltype(fn()) {
   }
 }
 
-sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
+std::unique_ptr<alloc::PlacementPolicy> make_base_policy(
+    const std::string& name) {
+  if (name == "ffd") return std::make_unique<alloc::FirstFitDecreasing>();
+  if (name == "bfd") return std::make_unique<alloc::BestFitDecreasing>();
+  if (name == "pcp") return std::make_unique<alloc::PeakClusteringPlacement>();
+  if (name == "effsize") {
+    return std::make_unique<alloc::EffectiveSizingPlacement>();
+  }
+  if (name == "structure") {
+    return std::make_unique<alloc::StructureAwarePlacement>();
+  }
+  return std::make_unique<alloc::CorrelationAwarePlacement>();
+}
+
+sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky,
+                                       bool shard_rack) {
   if (name != "ffd" && name != "bfd" && name != "pcp" && name != "effsize" &&
       name != "proposed" && name != "structure") {
     throw util::CliError(util::ErrorCategory::kConfig,
                          "unknown policy '" + name + "'");
   }
-  return [name, sticky]() -> std::unique_ptr<alloc::PlacementPolicy> {
+  return [name, sticky, shard_rack]() -> std::unique_ptr<alloc::PlacementPolicy> {
     std::unique_ptr<alloc::PlacementPolicy> policy;
-    if (name == "ffd") {
-      policy = std::make_unique<alloc::FirstFitDecreasing>();
-    } else if (name == "bfd") {
-      policy = std::make_unique<alloc::BestFitDecreasing>();
-    } else if (name == "pcp") {
-      policy = std::make_unique<alloc::PeakClusteringPlacement>();
-    } else if (name == "effsize") {
-      policy = std::make_unique<alloc::EffectiveSizingPlacement>();
-    } else if (name == "structure") {
-      policy = std::make_unique<alloc::StructureAwarePlacement>();
+    if (shard_rack) {
+      policy = std::make_unique<alloc::ShardedPlacement>(
+          [name] { return make_base_policy(name); });
     } else {
-      policy = std::make_unique<alloc::CorrelationAwarePlacement>();
+      policy = make_base_policy(name);
     }
     if (sticky) {
       policy = std::make_unique<alloc::StickyPlacement>(std::move(policy),
@@ -194,6 +213,31 @@ sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky) {
     }
     return policy;
   };
+}
+
+/// Parse + validate --shard-by against the resolved fleet. Rack sharding on
+/// a fleet whose racks each hold a single server (the homogeneous
+/// convenience fleet) would degenerate to one shard per server, so it is a
+/// config error rather than a silent no-op.
+bool parse_shard_by(const util::FlagParser& flags, const sim::SimConfig& cfg) {
+  const std::string spec = flags.get_string("shard-by", "none");
+  if (spec == "none") return false;
+  if (spec != "rack") {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--shard-by must be none or rack, got '" + spec +
+                             "'");
+  }
+  const model::FleetSpec fleet = cfg.resolved_fleet();
+  if (fleet.num_racks() >= fleet.num_servers()) {
+    throw util::CliError(
+        util::ErrorCategory::kConfig,
+        "--shard-by rack needs a fleet with rack topology, but this fleet "
+        "puts every server in its own rack (" +
+            std::to_string(fleet.num_servers()) + " servers, " +
+            std::to_string(fleet.num_racks()) +
+            " racks) — describe chassis/rack nesting with --fleet");
+  }
+  return true;
 }
 
 /// Static-mode v/f rule for one policy: eqn4 when asked for (or "matched"
@@ -326,7 +370,7 @@ sim::ChurnSpec parse_churn_flag(const std::string& spec, std::size_t num_vms,
 /// The --serve path: one policy, online churn, periodic checkpoints.
 int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
                    const trace::TraceSet& traces, const std::string& which,
-                   const std::string& vf) {
+                   const std::string& vf, bool shard_rack) {
   if (which == "all") {
     throw util::CliError(util::ErrorCategory::kConfig,
                          "--serve needs a single --policy (not 'all')");
@@ -370,7 +414,7 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
   std::printf("churn: %s\n", churn.describe().c_str());
 
   const auto policy =
-      make_policy_factory(which, flags.get_bool("sticky"))();
+      make_policy_factory(which, flags.get_bool("sticky"), shard_rack)();
   std::unique_ptr<dvfs::VfPolicy> static_vf;
   if (const sim::VfFactory vf_factory = make_vf_factory(cfg, vf, which)) {
     static_vf = vf_factory();
@@ -431,6 +475,7 @@ int run_main(int argc, char** argv) {
             {"trace-in", "repair-traces", "save-traces", "trace-out",
              "provenance-out", "explain", "vms", "groups", "hours", "seed",
              "policy", "vf", "sticky", "servers", "fleet", "period-min",
+             "corr", "topk", "shard-by",
              "predictor", "migration-joules", "threads", "strict-sweep",
              "faults", "fault-seed", "metrics-level", "metrics-out",
              "json-out", "serve", "periods", "churn", "checkpoint",
@@ -485,6 +530,30 @@ int run_main(int argc, char** argv) {
       std::printf("fleet: %s\n\n", cfg.fleet.describe().c_str());
     }
     cfg.period_seconds = 60.0 * flags.get_double("period-min", 60.0);
+
+    const std::string corr_flag = flags.get_string("corr", "dense");
+    if (corr_flag == "sparse") {
+      cfg.corr_mode = sim::CorrMode::kSparse;
+    } else if (corr_flag != "dense") {
+      throw util::CliError(util::ErrorCategory::kConfig,
+                           "--corr must be dense or sparse, got '" +
+                               corr_flag + "'");
+    }
+    if (flags.has("topk")) {
+      if (cfg.corr_mode != sim::CorrMode::kSparse) {
+        throw util::CliError(util::ErrorCategory::kConfig,
+                             "--topk needs --corr sparse");
+      }
+      const long k = flags.get_int("topk", 16);
+      if (k < 1) {
+        throw util::CliError(
+            util::ErrorCategory::kConfig,
+            "--topk must be >= 1 (a VM needs at least one neighbor; got " +
+                std::to_string(k) + ")");
+      }
+      cfg.sparse_index.top_k = static_cast<std::size_t>(k);
+    }
+
     cfg.predictor = flags.get_string("predictor", "last-value");
     cfg.migration_energy_joules_per_core =
         flags.get_double("migration-joules", 0.0);
@@ -510,10 +579,11 @@ int run_main(int argc, char** argv) {
   });
 
   const std::string which = flags.get_string("policy", "all");
+  const bool shard_rack = parse_shard_by(flags, cfg);
 
   // ---- Service mode. ----
   if (flags.get_bool("serve")) {
-    return run_serve_mode(flags, cfg, *traces, which, vf);
+    return run_serve_mode(flags, cfg, *traces, which, vf, shard_rack);
   }
   for (const char* serve_only :
        {"periods", "churn", "checkpoint", "checkpoint-every", "resume",
@@ -561,7 +631,8 @@ int run_main(int argc, char** argv) {
   if (want_trace) runner.set_trace(&sweep_trace);
   for (const std::string& name : names) {
     sim::SweepJob job{"", cfg, traces,
-                      make_policy_factory(name, flags.get_bool("sticky")),
+                      make_policy_factory(name, flags.get_bool("sticky"),
+                                          shard_rack),
                       make_vf_factory(cfg, vf, name), metrics_level};
     job.capture_trace = want_trace;
     job.capture_provenance = want_provenance;
