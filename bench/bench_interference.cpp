@@ -1,0 +1,178 @@
+// Microbenchmarks of interference-aware placement (DESIGN.md §15): the
+// lambda = 0 sweep must carry no measurable overhead over the correlation
+// policy it specializes (same dense sweep, penalty branch off), the
+// penalized sweep's extra per-candidate marginal-interference sum stays
+// within a small constant factor, and a small deterministic simulation pins
+// the quality trade-off — energy and measured co-run degradation of the
+// interference policy relative to CAVA, exported as dimensionless counters
+// (interference_energy_vs_cava <= 1.05 at the operating lambda while
+// degradation drops below 1.0) that gate in CI via
+// tools/bench_to_trajectory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/interference.h"
+#include "alloc/interference_aware.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cava;
+
+struct Instance {
+  trace::TraceSet traces;
+  corr::CostMatrix matrix;
+  alloc::InterferenceMatrix itf;
+  std::vector<model::VmDemand> demands;
+  model::FleetSpec fleet;
+  alloc::PlacementContext ctx;
+
+  explicit Instance(int n_vms)
+      : matrix(1, trace::ReferenceSpec::peak()),
+        itf(static_cast<std::size_t>(n_vms)) {
+    trace::DatacenterTraceConfig cfg;
+    cfg.num_vms = n_vms;
+    cfg.num_groups = std::max(2, n_vms / 5);
+    cfg.day_seconds = 1800.0;
+    cfg.fine_dt = 10.0;
+    traces = trace::generate_datacenter_traces(cfg);
+    matrix =
+        corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    util::Rng rng(17);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      demands.push_back({i, traces[i].series.peak()});
+      for (std::size_t j = i + 1; j < traces.size(); ++j) {
+        itf.set(i, j, rng.uniform(0.0, 0.3));
+      }
+    }
+    fleet = model::FleetSpec::homogeneous(model::ServerSpec::xeon_e5410(),
+                                          static_cast<std::size_t>(n_vms));
+    ctx.fleet = &fleet;
+    ctx.max_servers = static_cast<std::size_t>(n_vms);
+    ctx.cost_matrix = &matrix;
+    ctx.history = &traces;
+    ctx.interference = &itf;
+  }
+};
+
+void BM_CorrelationPlace(benchmark::State& state) {
+  Instance inst(static_cast<int>(state.range(0)));
+  inst.ctx.interference = nullptr;  // the plain Eqn. 2-4 baseline
+  alloc::CorrelationAwarePlacement policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CorrelationPlace)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_InterferencePlaceL0(benchmark::State& state) {
+  // lambda = 0 with the matrix attached: decision-identical to the
+  // correlation sweep, so any gap to BM_CorrelationPlace is pure dispatch
+  // overhead of the penalty plumbing.
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::InterferenceAwarePlacement policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterferencePlaceL0)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+
+void BM_InterferencePlace(benchmark::State& state) {
+  // The penalized sweep: every candidate scan adds an O(group) marginal-
+  // interference sum on top of the Eqn.-2 incremental cost.
+  Instance inst(static_cast<int>(state.range(0)));
+  alloc::InterferenceAwareConfig cfg;
+  cfg.lambda = 1.0;
+  alloc::InterferenceAwarePlacement policy(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InterferencePlace)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+
+void BM_SparsePenaltyPlace(benchmark::State& state) {
+  // Top-k truncated penalty: the marginal sum walks only retained pairs.
+  Instance inst(static_cast<int>(state.range(0)));
+  const alloc::SparseInterferenceIndex sparse =
+      alloc::SparseInterferenceIndex::build(inst.itf, 8);
+  inst.ctx.interference = nullptr;
+  inst.ctx.interference_sparse = &sparse;
+  alloc::InterferenceAwareConfig cfg;
+  cfg.lambda = 1.0;
+  alloc::InterferenceAwarePlacement policy(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.place(inst.demands, inst.ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SparsePenaltyPlace)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+
+/// The quality pin: a small deterministic simulation comparing the
+/// interference policy at its operating lambda against CAVA on the same
+/// traces and the same measured-degradation matrix. The exported counters
+/// are the Pareto acceptance criterion: energy within 5%, degradation
+/// strictly reduced.
+void BM_InterferenceQuality(benchmark::State& state) {
+  trace::DatacenterTraceConfig tcfg;
+  tcfg.num_vms = 24;
+  tcfg.num_groups = 4;
+  tcfg.day_seconds = 4.0 * 3600.0;
+  tcfg.fine_dt = 10.0;
+  tcfg.seed = 6;
+  const trace::TraceSet traces = trace::generate_datacenter_traces(tcfg);
+
+  auto itf = std::make_shared<alloc::InterferenceMatrix>(traces.size());
+  util::Rng rng(21);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t j = i + 1; j < traces.size(); ++j) {
+      itf->set(i, j, rng.uniform(0.0, 0.4));
+    }
+  }
+  sim::SimConfig cfg;
+  cfg.max_servers = 16;
+  cfg.vf_mode = sim::VfMode::kNone;
+  cfg.interference_matrix = itf;
+
+  double energy_ratio = 0.0;
+  double degradation_ratio = 0.0;
+  for (auto _ : state) {
+    alloc::CorrelationAwarePlacement cava;
+    const sim::SimResult base = sim::DatacenterSimulator(cfg).run(traces, {cava});
+
+    sim::SimConfig icfg_sim = cfg;
+    icfg_sim.interference_lambda = 0.5;
+    alloc::InterferenceAwareConfig icfg;
+    icfg.lambda = 0.5;
+    alloc::InterferenceAwarePlacement interference(icfg);
+    const sim::SimResult tuned =
+        sim::DatacenterSimulator(icfg_sim).run(traces, {interference});
+
+    energy_ratio = tuned.total_energy_joules / base.total_energy_joules;
+    degradation_ratio = tuned.total_interference_degradation /
+                        base.total_interference_degradation;
+    benchmark::DoNotOptimize(energy_ratio);
+  }
+  state.counters["energy_vs_cava"] = energy_ratio;
+  state.counters["degradation_vs_cava"] = degradation_ratio;
+}
+BENCHMARK(BM_InterferenceQuality)->Iterations(1);
+
+}  // namespace

@@ -1,11 +1,8 @@
 #include "alloc/correlation_aware.h"
 
+#include "alloc/dense_sweep.h"
 #include "alloc/sparse_sweep.h"
-#include "obs/provenance.h"
-#include "obs/trace.h"
 
-#include <algorithm>
-#include <cstdint>
 #include <stdexcept>
 
 namespace cava::alloc {
@@ -36,263 +33,15 @@ Placement CorrelationAwarePlacement::place(
     last_evals_ = stats.candidate_evals;
     return placement;
   }
-  const model::FleetSpec& fleet = context.fleet_or_throw();
-  const corr::CostMatrix* matrix = context.cost_matrix;
-  if (matrix == nullptr || matrix->size() < demands.size()) {
-    throw std::invalid_argument(
-        "CorrelationAware::place: cost matrix missing or too small");
-  }
-
-  obs::TraceSession* tr = context.trace;
-  obs::ProvenanceLedger* ledger = context.provenance;
-  obs::TraceSession::Id ev_update = 0, ev_sweep = 0, ev_relax = 0;
-  if (tr != nullptr) {
-    ev_update = tr->event("alloc.update_tail", "servers");
-    ev_sweep = tr->event("alloc.sweep", "round", "unallocated");
-    ev_relax = tr->event("alloc.relax", "round", "threshold");
-  }
-
-  const std::size_t n = demands.size();
-  // ---- UPDATE phase tail: sort, Eqn. 3 estimate. ----
-  const std::uint64_t update_start =
-      tr != nullptr ? obs::TraceSession::now_ns() : 0;
-  std::vector<std::size_t> order = sort_descending(demands);
-  std::size_t active =
-      std::min(estimate_min_servers(demands, fleet, context.max_servers),
-               context.max_servers);
-  if (active == 0 && n > 0) active = 1;
-  if (tr != nullptr) {
-    tr->complete(ev_update, update_start, obs::TraceSession::now_ns(), 1,
-                 static_cast<double>(active));
-  }
-  last_estimate_ = active;
-  last_relaxations_ = 0;
-  last_evals_ = 0;
-
-  Placement placement(n, context.max_servers);
-  std::vector<double> remaining(context.max_servers);
-  for (std::size_t s = 0; s < context.max_servers; ++s) {
-    remaining[s] = fleet.capacity_of(s);
-  }
-  std::vector<std::vector<std::size_t>> groups(context.max_servers);
-  // Stamp the assigned server's class and enclosure position into a
-  // provenance record (observation-only).
-  auto stamp_fleet = [&](obs::AssignmentRecord& rec, std::size_t server) {
-    rec.server_class = fleet.server_class(fleet.class_of(server)).id;
-    rec.chassis = static_cast<std::ptrdiff_t>(fleet.chassis_of(server));
-    rec.rack = static_cast<std::ptrdiff_t>(fleet.rack_of(server));
-  };
-  // Unallocated VMs kept in descending-u^ order.
-  std::vector<std::size_t> unalloc = order;
-
-  double threshold = config_.initial_threshold;
-
-  // Incremental Eqn.-2 state. Eqn. 2 over group G with references r and
-  // pair costs c rearranges into a sum over unordered pairs:
-  //
-  //   Cost_server(G) = S_G / (R_G * (|G| - 1)),
-  //   S_G = sum_{a<b in G} (r_a + r_b) c(a,b),   R_G = sum_{a in G} r_a.
-  //
-  // Tentatively adding candidate v extends S_G by
-  //   B[s][v] + r_v * C[s][v],  where
-  //   B[s][v] = sum_{a in G_s} r_a c(a,v),  C[s][v] = sum_{a in G_s} c(a,v),
-  // so each candidate evaluation is O(1); placing a VM on server s updates
-  // B[s][*]/C[s][*] for the remaining candidates in O(1) each, instead of
-  // re-evaluating Eqn. 2 from scratch (O(|G|^2)) per candidate.
-  const std::size_t universe = matrix->size();
-  std::vector<double> ref_of(universe);
-  for (std::size_t v = 0; v < universe; ++v) ref_of[v] = matrix->reference(v);
-  std::vector<double> group_pair_sum(context.max_servers, 0.0);  // S
-  std::vector<double> group_ref_sum(context.max_servers, 0.0);   // R
-  std::vector<std::vector<double>> cand_weighted(
-      context.max_servers, std::vector<double>(universe, 0.0));  // B
-  std::vector<std::vector<double>> cand_plain(
-      context.max_servers, std::vector<double>(universe, 0.0));  // C
-
-  auto fits = [&](std::size_t vm, std::size_t server) {
-    return demands[vm].reference <= remaining[server] + 1e-12;
-  };
-
-  // Eqn. 2 for groups[server] with `vm` tentatively added, in O(1).
-  auto tentative_cost = [&](std::size_t server, std::size_t vm) {
-    const std::size_t extended = groups[server].size() + 1;
-    if (extended < 2) return 1.0;
-    const double total_ref = group_ref_sum[server] + ref_of[vm];
-    if (total_ref <= 0.0) return 1.0;
-    const double pair_sum = group_pair_sum[server] +
-                            cand_weighted[server][vm] +
-                            ref_of[vm] * cand_plain[server][vm];
-    return pair_sum / (total_ref * static_cast<double>(extended - 1));
-  };
-
-  auto assign = [&](std::size_t pos_in_unalloc, std::size_t server) {
-    const std::size_t vm_idx = unalloc[pos_in_unalloc];
-    const std::size_t vm = demands[vm_idx].vm;
-    placement.assign(vm, server);
-    groups[server].push_back(vm);
-    remaining[server] -= demands[vm_idx].reference;
-    unalloc.erase(unalloc.begin() +
-                  static_cast<std::ptrdiff_t>(pos_in_unalloc));
-    // Fold the new member into the server's accumulators and refresh the
-    // still-unallocated candidates' tentative sums against it.
-    group_pair_sum[server] +=
-        cand_weighted[server][vm] + ref_of[vm] * cand_plain[server][vm];
-    group_ref_sum[server] += ref_of[vm];
-    for (std::size_t p : unalloc) {
-      const std::size_t other = demands[p].vm;
-      const double c = matrix->cost(vm, other);
-      cand_weighted[server][other] += ref_of[vm] * c;
-      cand_plain[server][other] += c;
-    }
-  };
-
-  std::size_t sweep_round = 0;
-  while (!unalloc.empty()) {
-    bool progress = false;
-    const std::uint64_t sweep_start =
-        tr != nullptr ? obs::TraceSession::now_ns() : 0;
-
-    // Line 10 / 18: sweep servers in descending remaining capacity.
-    std::vector<std::size_t> server_order(active);
-    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
-    std::sort(server_order.begin(), server_order.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (remaining[a] != remaining[b]) {
-                  return remaining[a] > remaining[b];
-                }
-                return a < b;
-              });
-
-    for (std::size_t server : server_order) {
-      // Lines 11~16: keep pulling VMs into this server while one qualifies.
-      for (;;) {
-        if (unalloc.empty()) break;
-        int chosen = -1;
-        bool seeded = false;
-        double chosen_cost = 1.0;
-        // Provenance-only bookkeeping: fitting candidates evaluated and the
-        // runner-up of the scan. Maintained only when a ledger is attached;
-        // the decision logic never reads these.
-        std::size_t fit_count = 0;
-        std::ptrdiff_t runner_vm = -1;
-        double runner_cost = 0.0;
-        if (groups[server].empty()) {
-          // Seed with the largest unallocated VM that fits.
-          seeded = true;
-          for (std::size_t p = 0; p < unalloc.size(); ++p) {
-            if (fits(unalloc[p], server)) {
-              chosen = static_cast<int>(p);
-              break;
-            }
-          }
-        } else {
-          // Highest tentative Eqn.-2 cost above threshold.
-          double best_cost = threshold;
-          for (std::size_t p = 0; p < unalloc.size(); ++p) {
-            const std::size_t vm = demands[unalloc[p]].vm;
-            if (!fits(unalloc[p], server)) continue;
-            ++last_evals_;
-            const double c = tentative_cost(server, vm);
-            if (c > best_cost) {
-              if (ledger != nullptr) {
-                ++fit_count;
-                if (chosen >= 0) {
-                  // The dethroned best is always the new runner-up: its cost
-                  // (the old best_cost) dominates every earlier reject.
-                  runner_vm = static_cast<std::ptrdiff_t>(
-                      demands[unalloc[static_cast<std::size_t>(chosen)]].vm);
-                  runner_cost = best_cost;
-                }
-              }
-              best_cost = c;
-              chosen = static_cast<int>(p);
-            } else if (ledger != nullptr) {
-              ++fit_count;
-              if (c > runner_cost) {
-                runner_vm = static_cast<std::ptrdiff_t>(vm);
-                runner_cost = c;
-              }
-            }
-          }
-          chosen_cost = best_cost;
-        }
-        if (chosen < 0) break;
-        if (ledger != nullptr) {
-          obs::AssignmentRecord rec;
-          rec.vm = demands[unalloc[static_cast<std::size_t>(chosen)]].vm;
-          rec.server = server;
-          rec.server_cost = seeded ? 1.0 : chosen_cost;
-          rec.threshold = threshold;
-          rec.relaxation_round = last_relaxations_;
-          rec.rejected_candidates = fit_count > 0 ? fit_count - 1 : 0;
-          rec.best_rejected_vm = runner_vm;
-          rec.best_rejected_cost = runner_cost;
-          rec.seeded = seeded;
-          stamp_fleet(rec, server);
-          ledger->record_assignment(rec);
-        }
-        assign(static_cast<std::size_t>(chosen), server);
-        progress = true;
-      }
-    }
-
-    if (tr != nullptr) {
-      tr->complete(ev_sweep, sweep_start, obs::TraceSession::now_ns(), 2,
-                   static_cast<double>(sweep_round),
-                   static_cast<double>(unalloc.size()));
-    }
-    ++sweep_round;
-    if (unalloc.empty()) break;
-    if (!progress) {
-      // Did correlation or capacity block the sweep? If some stranded VM
-      // still fits somewhere, relaxing the threshold (line 17) will unblock;
-      // otherwise only more servers can.
-      bool capacity_bound = true;
-      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
-        for (std::size_t s = 0; s < active; ++s) {
-          if (fits(unalloc[p], s)) {
-            capacity_bound = false;
-            break;
-          }
-        }
-      }
-      if (capacity_bound) {
-        if (active < context.max_servers) {
-          ++active;
-        } else {
-          // Overflow: dump remaining VMs onto least-loaded servers.
-          while (!unalloc.empty()) {
-            std::size_t best = 0;
-            for (std::size_t s = 1; s < context.max_servers; ++s) {
-              if (remaining[s] > remaining[best]) best = s;
-            }
-            if (ledger != nullptr) {
-              obs::AssignmentRecord rec;
-              rec.vm = demands[unalloc[0]].vm;
-              rec.server = best;
-              rec.server_cost = tentative_cost(best, demands[unalloc[0]].vm);
-              rec.threshold = threshold;
-              rec.relaxation_round = last_relaxations_;
-              rec.overflow = true;
-              stamp_fleet(rec, best);
-              ledger->record_assignment(rec);
-            }
-            assign(0, best);
-          }
-          break;
-        }
-      } else {
-        threshold *= config_.alpha;
-        ++last_relaxations_;
-        if (tr != nullptr) {
-          tr->instant(ev_relax, static_cast<double>(last_relaxations_),
-                      threshold);
-        }
-      }
-    }
-  }
-
-  last_threshold_ = threshold;
+  // Dense path: the shared ALLOCATE sweep with no interference penalty
+  // (dense_sweep.cpp) — bit-identical to the pre-extraction implementation.
+  DenseSweepStats stats;
+  Placement placement =
+      dense_allocate_sweep(demands, context, config_, nullptr, &stats);
+  last_estimate_ = stats.estimated_servers;
+  last_threshold_ = stats.final_threshold;
+  last_relaxations_ = stats.relaxation_rounds;
+  last_evals_ = stats.candidate_evals;
   return placement;
 }
 

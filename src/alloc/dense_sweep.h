@@ -1,0 +1,68 @@
+// The dense ALLOCATE sweep shared by CorrelationAwarePlacement and
+// InterferenceAwarePlacement.
+//
+// This is the paper's ALLOCATE phase over the dense CostMatrix with the
+// incremental O(1) Eqn.-2 candidate evaluation (see correlation_aware.h for
+// the algorithm commentary). It is factored out so the interference-aware
+// policy can extend the acceptance score without forking the sweep:
+//
+//   J(s, v) = Cost_server(G_s + v) - lambda * sum_{a in G_s} d(a, v)
+//
+// maintained by one extra accumulator D[s][v] with exactly the B/C update
+// pattern. With penalty == nullptr (or lambda == 0) every penalty branch is
+// skipped and the sweep is bit-identical to the pre-extraction
+// CorrelationAwarePlacement — the lambda = 0 golden tests lock this.
+//
+// Termination: without a penalty, Cost >= 1 while TH_cost decays
+// geometrically, so relaxation always unblocks a non-capacity-bound stall.
+// With a penalty the score can sit below zero forever; once the threshold
+// has decayed below kMinPenalizedThreshold the sweep treats the stall as
+// capacity-bound (grow the active set, or overflow-dump at max_servers).
+#pragma once
+
+#include "alloc/correlation_aware.h"
+#include "alloc/interference.h"
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+/// Interference term of the acceptance score. Inactive (lambda == 0 or no
+/// matrix attached) means the sweep is the pure correlation sweep.
+struct InterferencePenalty {
+  double lambda = 0.0;
+  const InterferenceMatrix* matrix = nullptr;
+  const SparseInterferenceIndex* sparse = nullptr;
+
+  bool active() const {
+    return lambda > 0.0 && (matrix != nullptr || sparse != nullptr);
+  }
+  /// d(i, j) from whichever representation is attached (sparse wins).
+  double degradation(std::size_t i, std::size_t j) const {
+    if (sparse != nullptr) return sparse->degradation(i, j);
+    return matrix->degradation(i, j);
+  }
+};
+
+/// Relaxation floor for penalized sweeps (see header comment).
+inline constexpr double kMinPenalizedThreshold = 1e-6;
+
+/// Diagnostics of one sweep, mirrored into the policies' accessors.
+struct DenseSweepStats {
+  std::size_t estimated_servers = 0;
+  double final_threshold = 0.0;
+  std::size_t relaxation_rounds = 0;
+  std::size_t candidate_evals = 0;
+  /// Sum over servers of the pairwise degradation of the groups the sweep
+  /// decided (0 when the penalty is inactive).
+  double planned_degradation = 0.0;
+};
+
+/// Run the dense ALLOCATE sweep. context.cost_matrix must be non-null and
+/// cover all VMs; `penalty` may be null.
+Placement dense_allocate_sweep(std::span<const model::VmDemand> demands,
+                               const PlacementContext& context,
+                               const CorrelationAwareConfig& config,
+                               const InterferencePenalty* penalty,
+                               DenseSweepStats* stats);
+
+}  // namespace cava::alloc

@@ -1,0 +1,480 @@
+#include "alloc/interference.h"
+
+#include "util/binio.h"
+#include "util/json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::alloc {
+
+namespace {
+
+constexpr std::uint32_t kMatrixVersion = 1;
+constexpr std::uint32_t kIndexVersion = 1;
+
+void check_subset_arg(std::span<const std::size_t> vms, std::size_t n) {
+  if (vms.empty()) {
+    throw std::invalid_argument("interference subset: empty VM list");
+  }
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    if (vms[k] >= n) {
+      throw std::invalid_argument("interference subset: VM id out of range");
+    }
+    if (k > 0 && vms[k] <= vms[k - 1]) {
+      throw std::invalid_argument(
+          "interference subset: VM list must be strictly increasing");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- dense
+
+InterferenceMatrix::InterferenceMatrix(std::size_t num_vms)
+    : n_(num_vms), values_(num_vms < 2 ? 0 : num_vms * (num_vms - 1) / 2, 0.0) {}
+
+void InterferenceMatrix::set(std::size_t i, std::size_t j, double value) {
+  if (i == j || i >= n_ || j >= n_) {
+    throw std::invalid_argument("InterferenceMatrix::set: bad pair index");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(
+        "InterferenceMatrix::set: degradation must be finite and >= 0");
+  }
+  values_[pair_slot(i, j)] = value;
+}
+
+double InterferenceMatrix::degradation(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) {
+    throw std::invalid_argument(
+        "InterferenceMatrix::degradation: index out of range");
+  }
+  if (i == j) return 0.0;
+  return values_[pair_slot(i, j)];
+}
+
+double InterferenceMatrix::pair_sum(std::span<const std::size_t> group) const {
+  double sum = 0.0;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      sum += degradation(group[a], group[b]);
+    }
+  }
+  return sum;
+}
+
+double InterferenceMatrix::pair_sum_with(std::span<const std::size_t> group,
+                                         std::size_t candidate) const {
+  double sum = 0.0;
+  for (std::size_t a : group) sum += degradation(a, candidate);
+  return sum;
+}
+
+double InterferenceMatrix::worst_pair(
+    std::span<const std::size_t> group) const {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      worst = std::max(worst, degradation(group[a], group[b]));
+    }
+  }
+  return worst;
+}
+
+InterferenceMatrix InterferenceMatrix::subset(
+    std::span<const std::size_t> vms) const {
+  check_subset_arg(vms, n_);
+  InterferenceMatrix out(vms.size());
+  for (std::size_t a = 0; a < vms.size(); ++a) {
+    for (std::size_t b = a + 1; b < vms.size(); ++b) {
+      const double d = values_[pair_slot(vms[a], vms[b])];
+      if (d != 0.0) out.values_[out.pair_slot(a, b)] = d;
+    }
+  }
+  return out;
+}
+
+void InterferenceMatrix::serialize(util::BinWriter& out) const {
+  out.u32(kMatrixVersion);
+  out.size(n_);
+  out.vec_f64(values_);
+}
+
+void InterferenceMatrix::restore(util::BinReader& in) {
+  const std::uint32_t version = in.u32();
+  if (version != kMatrixVersion) {
+    throw std::invalid_argument(
+        "InterferenceMatrix::restore: unsupported version " +
+        std::to_string(version));
+  }
+  const std::size_t n = in.size();
+  if (n != n_) {
+    throw std::invalid_argument(
+        "InterferenceMatrix::restore: payload holds " + std::to_string(n) +
+        " VMs, matrix holds " + std::to_string(n_));
+  }
+  std::vector<double> values = in.vec_f64();
+  if (values.size() != values_.size()) {
+    throw std::invalid_argument(
+        "InterferenceMatrix::restore: triangle size mismatch");
+  }
+  values_ = std::move(values);
+}
+
+std::uint64_t InterferenceMatrix::content_hash() const {
+  util::BinWriter w;
+  serialize(w);
+  return util::fnv1a64(w.bytes());
+}
+
+// ---------------------------------------------------------------- sparse
+
+SparseInterferenceIndex SparseInterferenceIndex::build(
+    const InterferenceMatrix& dense, std::size_t top_k) {
+  if (top_k == 0) {
+    throw std::invalid_argument(
+        "SparseInterferenceIndex::build: top_k must be >= 1");
+  }
+  const std::size_t n = dense.size();
+  SparseInterferenceIndex out;
+  out.n_ = n;
+  out.top_k_ = top_k;
+  // Rank each row's neighbors by descending degradation (ties by lower id),
+  // then close symmetrically: keep (i, j) when either row ranks it.
+  std::vector<std::vector<std::size_t>> keep(n);
+  std::vector<std::pair<double, std::size_t>> row;
+  for (std::size_t i = 0; i < n; ++i) {
+    row.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = dense.degradation(i, j);
+      if (d > 0.0) row.emplace_back(d, j);
+    }
+    const std::size_t k = std::min(top_k, row.size());
+    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k),
+                      row.end(), [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;
+                      });
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t j = row[r].second;
+      keep[i].push_back(j);
+      keep[j].push_back(i);  // symmetric closure
+    }
+  }
+  out.row_offsets_.assign(1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& nb = keep[i];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    for (std::size_t j : nb) {
+      out.cols_.push_back(j);
+      out.vals_.push_back(dense.degradation(i, j));
+    }
+    out.row_offsets_.push_back(out.cols_.size());
+  }
+  return out;
+}
+
+double SparseInterferenceIndex::degradation(std::size_t i,
+                                            std::size_t j) const {
+  if (i >= n_ || j >= n_) {
+    throw std::invalid_argument(
+        "SparseInterferenceIndex::degradation: index out of range");
+  }
+  if (i == j) return 0.0;
+  const std::size_t begin = row_offsets_[i], end = row_offsets_[i + 1];
+  const auto first = cols_.begin() + static_cast<std::ptrdiff_t>(begin);
+  const auto last = cols_.begin() + static_cast<std::ptrdiff_t>(end);
+  const auto it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return 0.0;
+  return vals_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+double SparseInterferenceIndex::pair_sum(
+    std::span<const std::size_t> group) const {
+  double sum = 0.0;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      sum += degradation(group[a], group[b]);
+    }
+  }
+  return sum;
+}
+
+double SparseInterferenceIndex::pair_sum_with(
+    std::span<const std::size_t> group, std::size_t candidate) const {
+  double sum = 0.0;
+  for (std::size_t a : group) sum += degradation(a, candidate);
+  return sum;
+}
+
+double SparseInterferenceIndex::worst_pair(
+    std::span<const std::size_t> group) const {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      worst = std::max(worst, degradation(group[a], group[b]));
+    }
+  }
+  return worst;
+}
+
+SparseInterferenceIndex SparseInterferenceIndex::subset(
+    std::span<const std::size_t> vms) const {
+  check_subset_arg(vms, n_);
+  // Old id -> new id (or npos when dropped).
+  constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> remap(n_, kDropped);
+  for (std::size_t k = 0; k < vms.size(); ++k) remap[vms[k]] = k;
+  SparseInterferenceIndex out;
+  out.n_ = vms.size();
+  out.top_k_ = top_k_;
+  out.row_offsets_.assign(1, 0);
+  for (std::size_t k = 0; k < vms.size(); ++k) {
+    const std::size_t i = vms[k];
+    for (std::size_t e = row_offsets_[i]; e < row_offsets_[i + 1]; ++e) {
+      const std::size_t j = remap[cols_[e]];
+      if (j == kDropped) continue;
+      out.cols_.push_back(j);
+      out.vals_.push_back(vals_[e]);
+    }
+    out.row_offsets_.push_back(out.cols_.size());
+  }
+  return out;
+}
+
+double SparseInterferenceIndex::fill_ratio() const {
+  if (n_ < 2) return 1.0;
+  const double slots = static_cast<double>(n_) *
+                       static_cast<double>(n_ - 1) / 2.0;
+  return static_cast<double>(cols_.size()) / 2.0 / slots;
+}
+
+std::size_t SparseInterferenceIndex::memory_bytes() const {
+  return row_offsets_.size() * sizeof(std::size_t) +
+         cols_.size() * sizeof(std::size_t) + vals_.size() * sizeof(double);
+}
+
+void SparseInterferenceIndex::serialize(util::BinWriter& out) const {
+  out.u32(kIndexVersion);
+  out.size(n_);
+  out.size(top_k_);
+  out.vec_size(row_offsets_);
+  out.vec_size(cols_);
+  out.vec_f64(vals_);
+}
+
+void SparseInterferenceIndex::restore(util::BinReader& in) {
+  const std::uint32_t version = in.u32();
+  if (version != kIndexVersion) {
+    throw std::invalid_argument(
+        "SparseInterferenceIndex::restore: unsupported version " +
+        std::to_string(version));
+  }
+  const std::size_t n = in.size();
+  const std::size_t top_k = in.size();
+  std::vector<std::size_t> row_offsets = in.vec_size();
+  std::vector<std::size_t> cols = in.vec_size();
+  std::vector<double> vals = in.vec_f64();
+  if (row_offsets.size() != n + 1 || cols.size() != vals.size() ||
+      row_offsets.front() != 0 || row_offsets.back() != cols.size()) {
+    throw std::invalid_argument(
+        "SparseInterferenceIndex::restore: inconsistent CSR shape");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row_offsets[i] > row_offsets[i + 1]) {
+      throw std::invalid_argument(
+          "SparseInterferenceIndex::restore: row offsets not monotone");
+    }
+  }
+  for (std::size_t c : cols) {
+    if (c >= n) {
+      throw std::invalid_argument(
+          "SparseInterferenceIndex::restore: neighbor id out of range");
+    }
+  }
+  n_ = n;
+  top_k_ = top_k;
+  row_offsets_ = std::move(row_offsets);
+  cols_ = std::move(cols);
+  vals_ = std::move(vals);
+}
+
+std::uint64_t SparseInterferenceIndex::content_hash() const {
+  util::BinWriter w;
+  serialize(w);
+  return util::fnv1a64(w.bytes());
+}
+
+// ---------------------------------------------------------------- profile
+
+InterferenceProfile InterferenceProfile::parse_json(const util::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("interference profile: root must be an object");
+  }
+  const util::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "cava-interference-profile-v1") {
+    throw std::invalid_argument(
+        "interference profile: schema must be "
+        "\"cava-interference-profile-v1\"");
+  }
+  InterferenceProfile profile;
+
+  const util::Json* classes = doc.find("classes");
+  if (classes == nullptr || !classes->is_array() || classes->size() == 0) {
+    throw std::invalid_argument(
+        "interference profile: \"classes\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < classes->size(); ++i) {
+    const util::Json& name = classes->at(i);
+    if (!name.is_string() || name.as_string().empty()) {
+      throw std::invalid_argument(
+          "interference profile: class names must be non-empty strings");
+    }
+    for (const std::string& seen : profile.classes) {
+      if (seen == name.as_string()) {
+        throw std::invalid_argument(
+            "interference profile: duplicate class \"" + seen + "\"");
+      }
+    }
+    profile.classes.push_back(name.as_string());
+  }
+  const std::size_t num_classes = profile.classes.size();
+
+  const util::Json* table = doc.find("degradation");
+  if (table == nullptr || !table->is_array() ||
+      table->size() != num_classes) {
+    throw std::invalid_argument(
+        "interference profile: \"degradation\" must be a " +
+        std::to_string(num_classes) + "x" + std::to_string(num_classes) +
+        " array");
+  }
+  profile.degradation.assign(num_classes,
+                             std::vector<double>(num_classes, 0.0));
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    const util::Json& row = table->at(i);
+    if (!row.is_array() || row.size() != num_classes) {
+      throw std::invalid_argument(
+          "interference profile: degradation row " + std::to_string(i) +
+          " must hold " + std::to_string(num_classes) + " numbers");
+    }
+    for (std::size_t j = 0; j < num_classes; ++j) {
+      const util::Json& cell = row.at(j);
+      if (!cell.is_number()) {
+        throw std::invalid_argument(
+            "interference profile: degradation cells must be numbers");
+      }
+      const double d = cell.as_number();
+      if (!std::isfinite(d) || d < 0.0) {
+        throw std::invalid_argument(
+            "interference profile: degradation must be finite and >= 0");
+      }
+      profile.degradation[i][j] = d;
+    }
+  }
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    for (std::size_t j = i + 1; j < num_classes; ++j) {
+      if (profile.degradation[i][j] != profile.degradation[j][i]) {
+        throw std::invalid_argument(
+            "interference profile: degradation table must be symmetric "
+            "(rows " + std::to_string(i) + "/" + std::to_string(j) + ")");
+      }
+    }
+  }
+
+  auto class_index = [&](const std::string& name) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (profile.classes[c] == name) return c;
+    }
+    throw std::invalid_argument(
+        "interference profile: unknown class \"" + name + "\"");
+  };
+
+  if (const util::Json* def = doc.find("default_class"); def != nullptr) {
+    if (!def->is_string()) {
+      throw std::invalid_argument(
+          "interference profile: \"default_class\" must be a string");
+    }
+    profile.default_class = class_index(def->as_string());
+  }
+
+  if (const util::Json* vms = doc.find("vms"); vms != nullptr) {
+    if (!vms->is_array()) {
+      throw std::invalid_argument(
+          "interference profile: \"vms\" must be an array");
+    }
+    for (std::size_t k = 0; k < vms->size(); ++k) {
+      const util::Json& entry = vms->at(k);
+      const util::Json* id = entry.is_object() ? entry.find("id") : nullptr;
+      const util::Json* cls =
+          entry.is_object() ? entry.find("class") : nullptr;
+      if (id == nullptr || !id->is_number() || cls == nullptr ||
+          !cls->is_string()) {
+        throw std::invalid_argument(
+            "interference profile: vm entries must be "
+            "{\"id\": N, \"class\": \"name\"}");
+      }
+      const double raw = id->as_number();
+      if (raw < 0.0 || raw != std::floor(raw)) {
+        throw std::invalid_argument(
+            "interference profile: vm ids must be non-negative integers");
+      }
+      const auto vm = static_cast<std::size_t>(raw);
+      for (const auto& [seen, unused] : profile.vm_classes) {
+        if (seen == vm) {
+          throw std::invalid_argument(
+              "interference profile: duplicate vm id " + std::to_string(vm));
+        }
+      }
+      profile.vm_classes.emplace_back(vm, class_index(cls->as_string()));
+    }
+  }
+
+  if (const util::Json* lambda = doc.find("lambda"); lambda != nullptr) {
+    if (!lambda->is_number() || !std::isfinite(lambda->as_number()) ||
+        lambda->as_number() < 0.0) {
+      throw std::invalid_argument(
+          "interference profile: lambda must be a finite number >= 0");
+    }
+    profile.lambda = lambda->as_number();
+  }
+  return profile;
+}
+
+InterferenceProfile InterferenceProfile::load_json(const std::string& path) {
+  return parse_json(util::Json::parse_file(path));
+}
+
+std::size_t InterferenceProfile::class_of(std::size_t vm) const {
+  for (const auto& [id, cls] : vm_classes) {
+    if (id == vm) return cls;
+  }
+  if (default_class.has_value()) return *default_class;
+  return vm % classes.size();
+}
+
+InterferenceMatrix InterferenceProfile::matrix_for(std::size_t num_vms) const {
+  for (const auto& [id, unused] : vm_classes) {
+    if (id >= num_vms) {
+      throw std::invalid_argument(
+          "interference profile: vm id " + std::to_string(id) +
+          " out of range for a fleet of " + std::to_string(num_vms) + " VMs");
+    }
+  }
+  InterferenceMatrix matrix(num_vms);
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    const std::size_t ci = class_of(i);
+    for (std::size_t j = i + 1; j < num_vms; ++j) {
+      const double d = degradation[ci][class_of(j)];
+      if (d != 0.0) matrix.set(i, j, d);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace cava::alloc

@@ -1,0 +1,176 @@
+// Pairwise co-run interference for placement (DESIGN.md §15).
+//
+// The cache co-run simulator (src/cachesim) reproduces Table I's IPC
+// degradation when two workloads share an L2; this header is the bridge
+// that folds those numbers into the ALLOCATE phase. Three pieces:
+//
+//   * InterferenceMatrix — symmetric pairwise degradation d(i, j) in [0, 1)
+//     ("fraction of solo IPC lost when i and j co-run"), stored as the same
+//     flat upper-triangle SoA layout as corr::CostMatrix so subset() and
+//     serialization mirror the correlation machinery. Unlike CostMatrix it
+//     is static configuration, not streamed state: profiles change when the
+//     workload mix changes, not per period.
+//
+//   * SparseInterferenceIndex — top-k CSR over the matrix keeping each VM's
+//     highest-degradation neighbors (symmetric closure: a pair survives when
+//     either endpoint ranks it), the datacenter-scale analogue of
+//     corr::SparseCostIndex. Truncated pairs read as 0. At k >= n-1 it is
+//     bit-identical to the dense matrix.
+//
+//   * InterferenceProfile — the JSON document behind --interference: a small
+//     set of workload classes, a C x C class-level degradation table
+//     (typically produced by cachesim::build_class_degradation), and a
+//     VM -> class assignment. matrix_for(n) expands it to a per-VM matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+class BinReader;
+class BinWriter;
+class Json;
+}  // namespace cava::util
+
+namespace cava::alloc {
+
+class InterferenceMatrix {
+ public:
+  explicit InterferenceMatrix(std::size_t num_vms);
+
+  std::size_t size() const { return n_; }
+
+  /// Set d(i, j) = d(j, i) = value. Requires i != j, both < size(), and a
+  /// finite non-negative value; throws std::invalid_argument otherwise.
+  void set(std::size_t i, std::size_t j, double value);
+
+  /// d(i, j); symmetric; 0.0 on the diagonal by convention.
+  double degradation(std::size_t i, std::size_t j) const;
+
+  /// Sum of d over all unordered pairs of `group` — the interference term of
+  /// J(s) for one server's co-location group.
+  double pair_sum(std::span<const std::size_t> group) const;
+
+  /// Marginal interference of tentatively adding `candidate` to `group`:
+  /// sum_{a in group} d(a, candidate).
+  double pair_sum_with(std::span<const std::size_t> group,
+                       std::size_t candidate) const;
+
+  /// Largest single-pair degradation inside `group` (0 for groups < 2).
+  double worst_pair(std::span<const std::size_t> group) const;
+
+  /// Dense extraction of a VM subset: result index k carries exactly the
+  /// pair slots of vms[k]. `vms` must be strictly increasing and non-empty
+  /// (the ChurnSpec active-mask contract, mirroring CostMatrix::subset).
+  InterferenceMatrix subset(std::span<const std::size_t> vms) const;
+
+  // ---- Checkpoint/restore (see src/serve/checkpoint.h). ----
+  void serialize(util::BinWriter& out) const;
+  /// Throws util::SerializeError on truncation and std::invalid_argument on
+  /// a size mismatch.
+  void restore(util::BinReader& in);
+
+  /// FNV-1a over the serialized payload: a cheap identity for snapshot and
+  /// fingerprint validation (two matrices agree iff their bytes agree).
+  std::uint64_t content_hash() const;
+
+ private:
+  std::size_t pair_slot(std::size_t i, std::size_t j) const noexcept {
+    if (i > j) {
+      const std::size_t t = i;
+      i = j;
+      j = t;
+    }
+    return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+  }
+
+  std::size_t n_;
+  /// Upper triangle, row-major with i < j; zero-initialized.
+  std::vector<double> values_;
+};
+
+class SparseInterferenceIndex {
+ public:
+  SparseInterferenceIndex() = default;
+
+  /// Keep each VM's top_k highest-degradation neighbors (ties broken by
+  /// lower neighbor id), then close symmetrically: pair (i, j) is retained
+  /// when it ranks in either row. Zero-degradation pairs are never retained.
+  static SparseInterferenceIndex build(const InterferenceMatrix& dense,
+                                       std::size_t top_k);
+
+  std::size_t size() const { return n_; }
+  std::size_t top_k() const { return top_k_; }
+
+  /// d(i, j), 0.0 when the pair was truncated (or i == j).
+  double degradation(std::size_t i, std::size_t j) const;
+
+  double pair_sum(std::span<const std::size_t> group) const;
+  double pair_sum_with(std::span<const std::size_t> group,
+                       std::size_t candidate) const;
+  double worst_pair(std::span<const std::size_t> group) const;
+
+  /// Active-mask extraction, mirroring InterferenceMatrix::subset: keeps
+  /// exactly the retained pairs with both endpoints in `vms`, reindexed.
+  SparseInterferenceIndex subset(std::span<const std::size_t> vms) const;
+
+  /// Retained entries / dense triangle slots (1.0 when n < 2).
+  double fill_ratio() const;
+  /// Footprint of the CSR arrays in bytes.
+  std::size_t memory_bytes() const;
+
+  void serialize(util::BinWriter& out) const;
+  void restore(util::BinReader& in);
+  std::uint64_t content_hash() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t top_k_ = 0;
+  /// CSR over symmetric neighbor lists: row i's neighbors occupy
+  /// cols_[row_offsets_[i] .. row_offsets_[i+1]), sorted ascending.
+  std::vector<std::size_t> row_offsets_{0};
+  std::vector<std::size_t> cols_;
+  std::vector<double> vals_;
+};
+
+/// The --interference JSON document. Schema (DESIGN.md §15):
+///
+///   {
+///     "schema": "cava-interference-profile-v1",
+///     "classes": ["web_search", "canneal", ...],
+///     "degradation": [[0.01, 0.12, ...], ...],   // C x C, symmetric, >= 0
+///     "vms": [{"id": 0, "class": "canneal"}, ...],  // optional, ids unique
+///     "default_class": "web_search",                // optional
+///     "lambda": 0.5                                 // optional, >= 0
+///   }
+///
+/// VMs without an explicit entry take default_class when present, else
+/// class i mod C (a deterministic round-robin mix).
+struct InterferenceProfile {
+  std::vector<std::string> classes;
+  /// C x C symmetric class-level degradation.
+  std::vector<std::vector<double>> degradation;
+  /// Explicit VM assignments: (vm id, class index).
+  std::vector<std::pair<std::size_t, std::size_t>> vm_classes;
+  std::optional<std::size_t> default_class;
+  std::optional<double> lambda;
+
+  /// Parse + validate; throws std::invalid_argument with a path-free
+  /// message on any schema violation (the CLI maps it to exit code 2).
+  static InterferenceProfile parse_json(const util::Json& doc);
+  /// parse_file + parse_json; file errors carry the path.
+  static InterferenceProfile load_json(const std::string& path);
+
+  /// Class of VM i under the explicit > default > round-robin rule.
+  std::size_t class_of(std::size_t vm) const;
+
+  /// Expand to a per-VM matrix: d(i, j) = degradation[class(i)][class(j)].
+  /// Explicit assignments with id >= num_vms throw.
+  InterferenceMatrix matrix_for(std::size_t num_vms) const;
+};
+
+}  // namespace cava::alloc

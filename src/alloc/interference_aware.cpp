@@ -1,0 +1,55 @@
+#include "alloc/interference_aware.h"
+
+#include "alloc/dense_sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::alloc {
+
+InterferenceAwarePlacement::InterferenceAwarePlacement(
+    InterferenceAwareConfig config)
+    : config_(config) {
+  if (config_.base.alpha <= 0.0 || config_.base.alpha >= 1.0) {
+    throw std::invalid_argument("InterferenceAware: alpha must be in (0,1)");
+  }
+  if (config_.base.initial_threshold < 1.0) {
+    throw std::invalid_argument(
+        "InterferenceAware: threshold below 1 is inert");
+  }
+  if (!std::isfinite(config_.lambda) || config_.lambda < 0.0) {
+    throw std::invalid_argument(
+        "InterferenceAware: lambda must be finite and >= 0");
+  }
+}
+
+Placement InterferenceAwarePlacement::place(
+    std::span<const model::VmDemand> demands,
+    const PlacementContext& context) {
+  if (context.sparse_index != nullptr) {
+    throw std::invalid_argument(
+        "InterferenceAware::place: sparse correlation mode is not "
+        "supported; use the dense cost matrix (--corr dense)");
+  }
+  InterferencePenalty penalty;
+  penalty.lambda = config_.lambda;
+  penalty.matrix = context.interference;
+  penalty.sparse = context.interference_sparse;
+  if (config_.lambda > 0.0 && penalty.matrix == nullptr &&
+      penalty.sparse == nullptr) {
+    throw std::invalid_argument(
+        "InterferenceAware::place: lambda > 0 requires an interference "
+        "matrix in the placement context (--interference)");
+  }
+  DenseSweepStats stats;
+  Placement placement =
+      dense_allocate_sweep(demands, context, config_.base, &penalty, &stats);
+  last_estimate_ = stats.estimated_servers;
+  last_threshold_ = stats.final_threshold;
+  last_relaxations_ = stats.relaxation_rounds;
+  last_evals_ = stats.candidate_evals;
+  last_degradation_ = stats.planned_degradation;
+  return placement;
+}
+
+}  // namespace cava::alloc

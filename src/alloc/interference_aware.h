@@ -1,0 +1,59 @@
+// Interference-aware VM allocation (DESIGN.md §15): the paper's
+// correlation-aware ALLOCATE phase with the acceptance score extended by a
+// weighted co-run degradation term,
+//
+//   J(s, v) = Cost_server(G_s + v) - lambda * sum_{a in G_s} d(a, v),
+//
+// where d comes from the cachesim-derived InterferenceMatrix in the
+// placement context. lambda trades energy (higher Eqn.-2 cost packs fewer
+// servers) against co-run slowdown; lambda = 0 makes the term vanish and the
+// policy bit-identical to CorrelationAwarePlacement (locked by golden
+// tests). TH_cost relaxation applies to J, so a stubbornly interfering mix
+// relaxes into either looser packing or — once the threshold hits the
+// penalized floor — more active servers.
+#pragma once
+
+#include "alloc/correlation_aware.h"
+#include "alloc/placement.h"
+
+namespace cava::alloc {
+
+struct InterferenceAwareConfig {
+  /// The underlying correlation sweep's knobs (TH_cost, alpha).
+  CorrelationAwareConfig base;
+  /// Interference weight lambda >= 0; 0 disables the penalty entirely.
+  double lambda = 0.0;
+};
+
+class InterferenceAwarePlacement final : public PlacementPolicy {
+ public:
+  explicit InterferenceAwarePlacement(InterferenceAwareConfig config = {});
+
+  /// context.cost_matrix must be non-null and cover all VMs (the sparse
+  /// correlation index is not supported — throws); with lambda > 0,
+  /// context.interference or context.interference_sparse must be set.
+  Placement place(std::span<const model::VmDemand> demands,
+                  const PlacementContext& context) override;
+  std::string name() const override { return "Interference"; }
+
+  double lambda() const { return config_.lambda; }
+
+  /// Diagnostics from the most recent place() call.
+  std::size_t last_estimated_servers() const { return last_estimate_; }
+  double last_final_threshold() const { return last_threshold_; }
+  std::size_t last_relaxation_rounds() const { return last_relaxations_; }
+  std::size_t last_candidate_evals() const { return last_evals_; }
+  /// Pairwise degradation of the decided placement as the sweep's own
+  /// accumulators saw it (sparse-truncated pairs read as 0).
+  double last_planned_degradation() const { return last_degradation_; }
+
+ private:
+  InterferenceAwareConfig config_;
+  std::size_t last_estimate_ = 0;
+  double last_threshold_ = 0.0;
+  std::size_t last_relaxations_ = 0;
+  std::size_t last_evals_ = 0;
+  double last_degradation_ = 0.0;
+};
+
+}  // namespace cava::alloc

@@ -25,6 +25,9 @@ class ProvenanceLedger;
 
 namespace cava::alloc {
 
+class InterferenceMatrix;
+class SparseInterferenceIndex;
+
 /// Result of one placement round: which VMs live on which server.
 class Placement {
  public:
@@ -89,6 +92,16 @@ struct PlacementContext {
   /// horizon as cost_matrix, for Pearson/covariance-based policies
   /// (EffectiveSizingPlacement). Null for policies that do not need it.
   const corr::MomentMatrix* moments = nullptr;
+
+  /// Pairwise co-run IPC degradation (DESIGN.md §15), the interference term
+  /// of InterferenceAwarePlacement's acceptance score. Null for policies
+  /// that optimize energy alone.
+  const InterferenceMatrix* interference = nullptr;
+
+  /// Top-k sparse alternative to `interference` (mirrors sparse_index vs
+  /// cost_matrix). When set, the penalized sweep reads degradation through
+  /// the index; truncated pairs read as 0.
+  const SparseInterferenceIndex* interference_sparse = nullptr;
 
   /// Optional structured-event trace sink (spans around sort / estimate /
   /// sweep rounds). Observation-only: a null pointer means no clock reads.

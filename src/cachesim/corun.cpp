@@ -1,5 +1,7 @@
 #include "cachesim/corun.h"
 
+#include <tuple>
+
 namespace cava::cachesim {
 
 namespace {
@@ -54,21 +56,42 @@ CorunResult run_solo(const StreamConfig& primary, const CorunConfig& config) {
   return result;
 }
 
+namespace {
+
+/// Total order over stream configs (all generator-relevant fields), used to
+/// canonicalize co-run role assignment so results are commutative.
+bool stream_less(const StreamConfig& a, const StreamConfig& b) {
+  const auto key = [](const StreamConfig& s) {
+    return std::tie(s.name, s.mem_ref_per_instr, s.hot_bytes, s.warm_bytes,
+                    s.cold_bytes, s.warm_fraction, s.cold_fraction,
+                    s.random_fraction, s.base_address);
+  };
+  return key(a) < key(b);
+}
+
+}  // namespace
+
 CorunResult run_corun(const StreamConfig& primary, const StreamConfig& partner,
                       const CorunConfig& config) {
-  StreamConfig partner_cfg = partner;
+  // Canonicalize role assignment: the lesser config (stream_less order)
+  // always drives the first interleave slot with `seed`, the greater the
+  // second with `seed + 1`. One simulation therefore backs both argument
+  // orders, and run_corun(a, b).primary == run_corun(b, a).partner exactly.
+  const bool swapped = stream_less(partner, primary);
+  const StreamConfig& first_cfg = swapped ? partner : primary;
+  StreamConfig second_cfg = swapped ? primary : partner;
   // Disjoint address spaces: the VMs share the cache, not the data.
-  partner_cfg.base_address = 1ULL << 40;
-  VmState a(primary, config.l1, config.seed);
-  VmState b(partner_cfg, config.l1, config.seed + 1);
+  second_cfg.base_address = 1ULL << 40;
+  VmState a(first_cfg, config.l1, config.seed);
+  VmState b(second_cfg, config.l1, config.seed + 1);
   SetAssociativeCache l2(config.l2);
   for (std::uint64_t i = 0; i < config.instructions_per_stream; ++i) {
     step(a, l2);
     step(b, l2);
   }
   CorunResult result;
-  result.primary = metrics_of(a, config);
-  result.partner = metrics_of(b, config);
+  result.primary = metrics_of(swapped ? b : a, config);
+  result.partner = metrics_of(swapped ? a : b, config);
   return result;
 }
 

@@ -46,6 +46,9 @@ struct CorunResult {
 CorunResult run_solo(const StreamConfig& primary, const CorunConfig& config);
 
 /// Run `primary` and `partner` with a shared L2, interleaving instructions.
+/// Commutative: role assignment (interleave slot, RNG seed, address-space
+/// shift) is canonicalized over the pair, so run_corun(a, b).primary equals
+/// run_corun(b, a).partner exactly.
 CorunResult run_corun(const StreamConfig& primary, const StreamConfig& partner,
                       const CorunConfig& config);
 

@@ -1,0 +1,87 @@
+#include "cachesim/profile.h"
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+namespace cava::cachesim {
+
+std::vector<StreamConfig> table1_streams() {
+  return {web_search_stream(), blackscholes_stream(), swaptions_stream(),
+          facesim_stream(), canneal_stream()};
+}
+
+ClassDegradationTable build_class_degradation(
+    std::span<const StreamConfig> classes, const CorunConfig& config,
+    util::ThreadPool* pool) {
+  const std::size_t c = classes.size();
+  if (c == 0) {
+    throw std::invalid_argument(
+        "build_class_degradation: at least one class required");
+  }
+  ClassDegradationTable table;
+  table.names.reserve(c);
+  for (const StreamConfig& cls : classes) {
+    if (std::find(table.names.begin(), table.names.end(), cls.name) !=
+        table.names.end()) {
+      throw std::invalid_argument(
+          "build_class_degradation: duplicate class \"" + cls.name + "\"");
+    }
+    table.names.push_back(cls.name);
+  }
+  table.degradation.assign(c, std::vector<double>(c, 0.0));
+
+  // Launch every simulation (C solos, C(C+1)/2 co-runs) and join in
+  // deterministic order; with a null pool the futures are already ready,
+  // making the serial and pooled paths produce identical tables.
+  auto launch = [&](auto fn) {
+    using Result = decltype(fn());
+    if (pool != nullptr) return pool->submit(std::move(fn));
+    std::promise<Result> done;
+    done.set_value(fn());
+    return done.get_future();
+  };
+
+  std::vector<std::future<CorunResult>> solos;
+  solos.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    const StreamConfig cls = classes[i];
+    solos.push_back(launch([cls, config] { return run_solo(cls, config); }));
+  }
+  std::vector<std::future<CorunResult>> coruns;
+  coruns.reserve(c * (c + 1) / 2);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = i; j < c; ++j) {
+      const StreamConfig a = classes[i];
+      const StreamConfig b = classes[j];
+      coruns.push_back(
+          launch([a, b, config] { return run_corun(a, b, config); }));
+    }
+  }
+
+  std::vector<double> solo_ipc(c, 0.0);
+  for (std::size_t i = 0; i < c; ++i) {
+    solo_ipc[i] = solos[i].get().primary.ipc;
+    if (solo_ipc[i] <= 0.0) {
+      throw std::runtime_error("build_class_degradation: class \"" +
+                               table.names[i] + "\" has non-positive solo IPC");
+    }
+  }
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = i; j < c; ++j) {
+      const CorunResult co = coruns[next++].get();
+      const double slow_i = std::max(0.0, 1.0 - co.primary.ipc / solo_ipc[i]);
+      const double slow_j =
+          std::max(0.0, 1.0 - co.partner->ipc / solo_ipc[j]);
+      const double d = (slow_i + slow_j) / 2.0;
+      table.degradation[i][j] = d;
+      table.degradation[j][i] = d;
+    }
+  }
+  return table;
+}
+
+}  // namespace cava::cachesim

@@ -1,0 +1,53 @@
+// Interference-profile extraction (DESIGN.md §15): turn the Table I co-run
+// simulator into the class-level degradation table that placement consumes.
+//
+// For every workload class the solo IPC is measured once; for every
+// unordered class pair (including self-pairs) one co-run measures both
+// sides' IPC loss. The pair's degradation is the mean of the two sides'
+// relative slowdowns, clamped at 0:
+//
+//   d(a, b) = ( max(0, 1 - ipc_corun_a / ipc_solo_a)
+//             + max(0, 1 - ipc_corun_b / ipc_solo_b) ) / 2
+//
+// which is symmetric by construction (run_corun is commutative). The
+// resulting table is what --interference cachesim feeds into
+// alloc::InterferenceProfile; the JSON flavor of the same document lets
+// experiments pin a table without paying for the simulations.
+//
+// This header deliberately knows nothing about src/alloc: it returns plain
+// names + numbers (cachesim links only cava_util).
+#pragma once
+
+#include "cachesim/corun.h"
+#include "cachesim/streams.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cava::util {
+class ThreadPool;
+}  // namespace cava::util
+
+namespace cava::cachesim {
+
+/// Class-level co-run degradation: names[i] x names[j] -> degradation[i][j]
+/// in [0, 1), symmetric, self-pairs included (a class interferes with a
+/// co-located instance of itself).
+struct ClassDegradationTable {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> degradation;
+};
+
+/// The five Table I workload presets, in the paper's order.
+std::vector<StreamConfig> table1_streams();
+
+/// Measure the table for the given classes. When `pool` is non-null the
+/// solo and co-run simulations are fanned out across it; futures are joined
+/// in deterministic order, so the result is exactly the serial one (the
+/// concurrency suite locks this). Class names must be unique.
+ClassDegradationTable build_class_degradation(
+    std::span<const StreamConfig> classes, const CorunConfig& config,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace cava::cachesim

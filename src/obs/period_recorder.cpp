@@ -60,6 +60,12 @@ double PeriodRecorder::total_energy_joules() const {
   return total;
 }
 
+double PeriodRecorder::total_interference_degradation() const {
+  double total = 0.0;
+  for (const auto& r : rows_) total += r.interference_degradation;
+  return total;
+}
+
 util::Json PeriodRecorder::to_json() const {
   util::Json j = util::Json::object();
   j["policy"] = policy_name_;
@@ -88,6 +94,8 @@ util::Json PeriodRecorder::to_json() const {
     e["shard_count"] = r.shard_count;
     e["shard_max_wall_ns"] = r.shard_max_wall_ns;
     e["reconcile_moves"] = r.reconcile_moves;
+    e["interference_degradation"] = r.interference_degradation;
+    e["interference_worst_pair"] = r.interference_worst_pair;
     util::Json freqs = util::Json::array();
     for (double f : r.server_frequency_ghz) freqs.push_back(f);
     e["server_frequency_ghz"] = std::move(freqs);
@@ -120,6 +128,8 @@ const std::vector<std::string>& PeriodRecorder::csv_header() {
       "shard_count",
       "shard_max_wall_ns",
       "reconcile_moves",
+      "interference_degradation",
+      "interference_worst_pair",
       "mean_server_frequency_ghz",
       "min_server_frequency_ghz",
   };
@@ -163,6 +173,8 @@ void PeriodRecorder::write_csv(std::ostream& out, bool include_header) const {
         std::to_string(r.shard_count),
         std::to_string(r.shard_max_wall_ns),
         std::to_string(r.reconcile_moves),
+        std::to_string(r.interference_degradation),
+        std::to_string(r.interference_worst_pair),
         std::to_string(mean),
         std::to_string(active > 0 ? min : 0.0),
     });

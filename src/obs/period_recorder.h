@@ -62,6 +62,11 @@ struct PeriodRow {
   std::size_t shard_count = 0;
   double shard_max_wall_ns = 0.0;
   std::size_t reconcile_moves = 0;
+  /// Interference model (--interference): measured pairwise co-run
+  /// degradation of the period's decided placement and its worst
+  /// co-located pair. Both 0 when the model is off.
+  double interference_degradation = 0.0;
+  double interference_worst_pair = 0.0;
   /// Per-server frequency, GHz: the static/oracle Eqn.-4 decision, or the
   /// controller's end-of-period frequency in dynamic mode. 0 = idle server.
   std::vector<double> server_frequency_ghz;
@@ -88,6 +93,7 @@ class PeriodRecorder {
   std::size_t total_reconcile_moves() const;
   double total_unplaced_vm_seconds() const;
   double total_energy_joules() const;
+  double total_interference_degradation() const;
 
   /// {"policy", "max_servers", "period_seconds", "periods": [rows]}; each
   /// row carries every PeriodRow field including the per-server frequency

@@ -12,6 +12,16 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'A', 'V', 'A', 'S', 'N', 'A', 'P'};
 
+/// Versions >= 3 fold the header's version field into the stored checksum:
+/// the container layout never changed across versions, so without the fold
+/// a bit flip inside the version field yields another in-range version and
+/// decodes cleanly (the body checksum does not cover the header). Versions
+/// 1-2 predate the fold and keep the plain body checksum so their files
+/// stay readable.
+constexpr std::uint64_t version_fold(std::uint32_t version) {
+  return version >= 3 ? 0x9E3779B97F4A7C15ULL * version : 0;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot) {
@@ -24,7 +34,7 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot) {
   util::BinWriter out;
   for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
   out.u32(kSnapshotVersion);
-  out.u64(util::fnv1a64(body.bytes()));
+  out.u64(util::fnv1a64(body.bytes()) ^ version_fold(kSnapshotVersion));
   for (std::uint8_t b : body.bytes()) out.u8(b);
   return out.take();
 }
@@ -52,7 +62,7 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes,
   const std::span<const std::uint8_t> body =
       bytes.subspan(sizeof kMagic + sizeof(std::uint32_t) +
                     sizeof(std::uint64_t));
-  if (util::fnv1a64(body) != checksum) {
+  if ((util::fnv1a64(body) ^ version_fold(version)) != checksum) {
     fail("checksum mismatch — snapshot is torn or corrupted");
   }
   Snapshot snapshot;

@@ -42,10 +42,11 @@ namespace cava::serve {
 
 /// Format written by this build. Version 2 differs from 1 only in the engine
 /// payload, which may now carry a sparse correlation index instead of the
-/// dense matrices (tagged inside the payload, see
-/// AllocationEngine::save_state); the container layout is unchanged and both
+/// dense matrices; version 3 likewise only extends the payload with the
+/// interference-model section (tagged inside the payload, see
+/// AllocationEngine::save_state). The container layout is unchanged and all
 /// versions decode.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 inline constexpr std::size_t kSnapshotHeaderBytes = 44;
 

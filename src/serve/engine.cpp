@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "alloc/correlation_aware.h"
+#include "alloc/interference_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
 #include "alloc/sharded.h"
@@ -33,6 +34,8 @@ struct AllocationEngine::ObsIds {
   obs::MetricsRegistry::Id churn_departures = 0;
   obs::MetricsRegistry::Id budget_reverted_moves = 0;
   obs::MetricsRegistry::Id reconcile_moves = 0;
+  obs::MetricsRegistry::Id interference_degradation = 0;
+  obs::MetricsRegistry::Id interference_worst_pair = 0;
 };
 
 struct AllocationEngine::TraceIds {
@@ -106,6 +109,20 @@ AllocationEngine::AllocationEngine(sim::SimConfig config,
   }
   churn_.validate(n_);
 
+  // Interference model: static configuration shared by every tick; validate
+  // coverage against the universe and build the optional top-k index once.
+  itf_matrix_ = config_.interference_matrix.get();
+  if (itf_matrix_ != nullptr && itf_matrix_->size() < n_) {
+    throw std::invalid_argument(
+        "AllocationEngine: interference matrix covers " +
+        std::to_string(itf_matrix_->size()) + " VMs, traces hold " +
+        std::to_string(n_));
+  }
+  if (itf_matrix_ != nullptr && config_.interference_top_k > 0) {
+    itf_index_ = alloc::SparseInterferenceIndex::build(
+        *itf_matrix_, config_.interference_top_k);
+  }
+
   // Trace-layer faults are applied once, up front — identical to the batch
   // loop; the engine then replays the repaired copy.
   const trace::TraceSet* source = &traces;
@@ -166,6 +183,14 @@ AllocationEngine::AllocationEngine(sim::SimConfig config,
     ids_->churn_departures = metrics_->counter("churn_departures");
     ids_->budget_reverted_moves = metrics_->counter("budget_reverted_moves");
     ids_->reconcile_moves = metrics_->counter("shard_reconcile_moves");
+    if (config_.interference_enabled()) {
+      // Registered only when the model is active, so interference-free runs
+      // keep their metrics output byte-identical to earlier builds.
+      ids_->interference_degradation =
+          metrics_->gauge("interference_degradation");
+      ids_->interference_worst_pair =
+          metrics_->gauge("interference_worst_pair");
+    }
   }
   if (recorder_ != nullptr) {
     recorder_->begin_run(policy_->name(), num_servers_,
@@ -227,6 +252,14 @@ std::uint64_t AllocationEngine::compute_fingerprint(
   w.u64(total_periods_);
   w.u64(options_.migration_budget);
   w.u64(churn_.fingerprint());
+  // Interference model: hashed only when attached, so fingerprints of
+  // interference-free runs match earlier builds and their old snapshots.
+  if (config_.interference_enabled()) {
+    w.str("interference");
+    w.f64(config_.interference_lambda);
+    w.u64(config_.interference_top_k);
+    w.u64(itf_matrix_->content_hash());
+  }
   // Traces: dimensions + raw sample bytes.
   w.u64(n_);
   w.f64(dt_);
@@ -392,6 +425,17 @@ void AllocationEngine::tick() {
       moments_view.emplace(prev_moments_.subset(active_list));
     }
   }
+  // Interference views follow the same discipline: the full population sees
+  // the static matrix/index untouched; a churned one gets compacted subsets
+  // so dense placement ids line up with the penalty lookups.
+  std::optional<alloc::InterferenceMatrix> itf_view;
+  std::optional<alloc::SparseInterferenceIndex> itf_index_view;
+  if (itf_matrix_ != nullptr && !full_population) {
+    itf_view.emplace(itf_matrix_->subset(active_list));
+    if (config_.interference_top_k > 0) {
+      itf_index_view.emplace(itf_index_.subset(active_list));
+    }
+  }
   alloc::PlacementContext ctx;
   ctx.fleet = &fleet_;
   ctx.max_servers = num_servers;
@@ -402,6 +446,13 @@ void AllocationEngine::tick() {
     ctx.moments = full_population ? &prev_moments_ : &*moments_view;
   }
   ctx.history = &history;
+  if (itf_matrix_ != nullptr) {
+    ctx.interference = full_population ? itf_matrix_ : &*itf_view;
+    if (config_.interference_top_k > 0) {
+      ctx.interference_sparse =
+          full_population ? &itf_index_ : &*itf_index_view;
+    }
+  }
   ctx.trace = trace_;
   ctx.provenance = ledger_;
   if (ledger_ != nullptr) ledger_->begin_period(p);
@@ -464,6 +515,21 @@ void AllocationEngine::tick() {
         std::count(chassis_used.begin(), chassis_used.end(), 1));
     record.active_racks = static_cast<std::size_t>(
         std::count(rack_used.begin(), rack_used.end(), 1));
+  }
+  if (itf_matrix_ != nullptr) {
+    // Measured co-run degradation of the decided placement, always against
+    // the dense matrix (ground truth — the top-k index is only the policy's
+    // approximation). Universe ids, so this matches the batch loop exactly.
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      const auto group = placement.vms_on(s);
+      record.interference_degradation += itf_matrix_->pair_sum(group);
+      record.worst_pair_degradation = std::max(
+          record.worst_pair_degradation, itf_matrix_->worst_pair(group));
+    }
+    result_.total_interference_degradation +=
+        record.interference_degradation;
+    result_.max_worst_pair_degradation = std::max(
+        result_.max_worst_pair_degradation, record.worst_pair_degradation);
   }
 
   if (prev_placement_.has_value()) {
@@ -765,6 +831,8 @@ void AllocationEngine::tick() {
   auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(policy_);
   auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(policy_);
   auto* sharded = dynamic_cast<alloc::ShardedPlacement*>(policy_);
+  auto* interference_pol =
+      dynamic_cast<alloc::InterferenceAwarePlacement*>(policy_);
   if (config_.vf_mode == sim::VfMode::kDynamic && observing) {
     for (const auto& c : controllers) dvfs_decisions += c.decisions();
   }
@@ -784,6 +852,10 @@ void AllocationEngine::tick() {
       row.relaxation_rounds = proposed->last_relaxation_rounds();
       row.final_threshold = proposed->last_final_threshold();
       row.candidate_evals = proposed->last_candidate_evals();
+    } else if (interference_pol != nullptr) {
+      row.relaxation_rounds = interference_pol->last_relaxation_rounds();
+      row.final_threshold = interference_pol->last_final_threshold();
+      row.candidate_evals = interference_pol->last_candidate_evals();
     } else if (structure != nullptr) {
       row.relaxation_rounds = structure->last_relaxation_rounds();
       row.final_threshold = structure->last_final_threshold();
@@ -800,6 +872,10 @@ void AllocationEngine::tick() {
       row.shard_count = sharded->last_shards();
       row.shard_max_wall_ns = sharded->last_max_shard_wall_ns();
       row.reconcile_moves = sharded->last_reconcile_moves();
+    }
+    if (itf_matrix_ != nullptr) {
+      row.interference_degradation = rec.interference_degradation;
+      row.interference_worst_pair = rec.worst_pair_degradation;
     }
     row.server_frequency_ghz.assign(num_servers, 0.0);
     for (std::size_t s = 0; s < num_servers; ++s) {
@@ -823,8 +899,20 @@ void AllocationEngine::tick() {
       metrics_->add(ids_->relaxation_rounds, proposed->last_relaxation_rounds());
       metrics_->add(ids_->candidate_evals, proposed->last_candidate_evals());
     }
+    if (interference_pol != nullptr) {
+      metrics_->add(ids_->relaxation_rounds,
+                    interference_pol->last_relaxation_rounds());
+      metrics_->add(ids_->candidate_evals,
+                    interference_pol->last_candidate_evals());
+    }
     if (sharded != nullptr) {
       metrics_->add(ids_->reconcile_moves, sharded->last_reconcile_moves());
+    }
+    if (itf_matrix_ != nullptr) {
+      metrics_->set(ids_->interference_degradation,
+                    rec.interference_degradation);
+      metrics_->set(ids_->interference_worst_pair,
+                    rec.worst_pair_degradation);
     }
   }
 
@@ -872,9 +960,21 @@ namespace {
 // (the matrices follow, exactly the v1 layout), 1 = sparse (a serialized
 // SparseCostIndex follows instead). Version-1 payloads are still read and
 // are dense by definition.
-constexpr std::uint32_t kEngineStateVersion = 2;
+//
+// Version 3 appends an interference-model tag right after the correlation
+// tag: 0 = off, 1 = dense matrix only, 2 = dense matrix + top-k index.
+// When on, lambda (f64), top_k (u64) and the serialized dense matrix
+// follow — the model is immutable configuration, so restore only *verifies*
+// it against this engine's config and rejects any mismatch. v3 also extends
+// each persisted PeriodRecord and the result section with the measured
+// degradation fields. Versions 1 and 2 still decode, but only into engines
+// with the model off (they cannot prove the model matched).
+constexpr std::uint32_t kEngineStateVersion = 3;
 constexpr std::uint8_t kCorrStateDense = 0;
 constexpr std::uint8_t kCorrStateSparse = 1;
+constexpr std::uint8_t kItfStateOff = 0;
+constexpr std::uint8_t kItfStateDense = 1;
+constexpr std::uint8_t kItfStateSparse = 2;
 
 void write_mask(util::BinWriter& out, const std::vector<char>& mask) {
   out.size(mask.size());
@@ -906,9 +1006,11 @@ void write_record(util::BinWriter& out, const sim::PeriodRecord& r) {
   out.f64(r.unplaced_vm_seconds);
   out.u64(r.active_chassis);
   out.u64(r.active_racks);
+  out.f64(r.interference_degradation);
+  out.f64(r.worst_pair_degradation);
 }
 
-sim::PeriodRecord read_record(util::BinReader& in) {
+sim::PeriodRecord read_record(util::BinReader& in, std::uint32_t version) {
   sim::PeriodRecord r;
   r.active_servers = static_cast<std::size_t>(in.u64());
   r.max_server_violation_ratio = in.f64();
@@ -922,6 +1024,10 @@ sim::PeriodRecord read_record(util::BinReader& in) {
   r.unplaced_vm_seconds = in.f64();
   r.active_chassis = static_cast<std::size_t>(in.u64());
   r.active_racks = static_cast<std::size_t>(in.u64());
+  if (version >= 3) {
+    r.interference_degradation = in.f64();
+    r.worst_pair_degradation = in.f64();
+  }
   return r;
 }
 
@@ -931,6 +1037,14 @@ std::vector<std::uint8_t> AllocationEngine::save_state() const {
   util::BinWriter out;
   out.u32(kEngineStateVersion);
   out.u8(sparse_ ? kCorrStateSparse : kCorrStateDense);
+  if (itf_matrix_ == nullptr) {
+    out.u8(kItfStateOff);
+  } else {
+    out.u8(config_.interference_top_k > 0 ? kItfStateSparse : kItfStateDense);
+    out.f64(config_.interference_lambda);
+    out.u64(config_.interference_top_k);
+    itf_matrix_->serialize(out);
+  }
   out.u64(period_);
   write_mask(out, active_);
   write_mask(out, has_history_);
@@ -971,6 +1085,8 @@ std::vector<std::uint8_t> AllocationEngine::save_state() const {
   out.u64(result_.failover_migrations);
   out.f64(result_.failover_migrated_cores);
   out.f64(result_.unplaced_vm_seconds);
+  out.f64(result_.total_interference_degradation);
+  out.f64(result_.max_worst_pair_degradation);
   out.size(result_.periods.size());
   for (const sim::PeriodRecord& r : result_.periods) write_record(out, r);
   out.size(result_.freq_residency_seconds.size());
@@ -983,7 +1099,7 @@ std::vector<std::uint8_t> AllocationEngine::save_state() const {
 void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
   util::BinReader in(payload);
   const std::uint32_t version = in.u32();
-  if (version != 1 && version != kEngineStateVersion) {
+  if (version < 1 || version > kEngineStateVersion) {
     throw std::invalid_argument(
         "AllocationEngine: unsupported engine-state version " +
         std::to_string(version));
@@ -1006,6 +1122,80 @@ void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
             : "AllocationEngine: snapshot carries a sparse correlation index "
               "but this run is configured for the dense matrices; resume "
               "with --corr sparse or start a fresh run");
+  }
+  // Interference-model verification. The model is immutable configuration:
+  // nothing here is committed, but a snapshot taken under a different model
+  // (on/off, dense/top-k shape, lambda, or matrix contents) must not resume
+  // into this run — the penalized placements it recorded would not be
+  // reproducible.
+  if (version < 3) {
+    if (itf_matrix_ != nullptr) {
+      throw std::invalid_argument(
+          "AllocationEngine: snapshot predates the interference model but "
+          "this run is configured with --interference; start a fresh run");
+    }
+  } else {
+    const std::uint8_t itf_state = in.u8();
+    if (itf_state != kItfStateOff && itf_state != kItfStateDense &&
+        itf_state != kItfStateSparse) {
+      throw std::invalid_argument(
+          "AllocationEngine: unknown interference-state tag " +
+          std::to_string(itf_state));
+    }
+    const std::uint8_t expected_itf =
+        itf_matrix_ == nullptr
+            ? kItfStateOff
+            : (config_.interference_top_k > 0 ? kItfStateSparse
+                                              : kItfStateDense);
+    if (itf_state != expected_itf) {
+      if (itf_state == kItfStateOff) {
+        throw std::invalid_argument(
+            "AllocationEngine: snapshot was taken without the interference "
+            "model but this run is configured with --interference; start a "
+            "fresh run");
+      }
+      if (expected_itf == kItfStateOff) {
+        throw std::invalid_argument(
+            "AllocationEngine: snapshot carries interference state but this "
+            "run has no --interference model; resume with the original "
+            "model or start a fresh run");
+      }
+      throw std::invalid_argument(
+          itf_state == kItfStateDense
+              ? "AllocationEngine: snapshot used the dense interference "
+                "matrix but this run is configured with a top-k index "
+                "(--interference-topk); start a fresh run"
+              : "AllocationEngine: snapshot used a top-k interference index "
+                "but this run is configured for the dense matrix; start a "
+                "fresh run");
+    }
+    if (itf_state != kItfStateOff) {
+      const double lambda = in.f64();
+      const std::uint64_t top_k = in.u64();
+      // Same-size requirement is enforced by restore() itself: a snapshot
+      // whose matrix covers a different universe throws right here.
+      alloc::InterferenceMatrix snap_matrix(itf_matrix_->size());
+      snap_matrix.restore(in);
+      if (lambda != config_.interference_lambda) {
+        throw std::invalid_argument(
+            "AllocationEngine: snapshot interference lambda " +
+            std::to_string(lambda) + " disagrees with the configured " +
+            std::to_string(config_.interference_lambda) +
+            " (--interference-lambda); start a fresh run");
+      }
+      if (top_k != config_.interference_top_k) {
+        throw std::invalid_argument(
+            "AllocationEngine: snapshot interference top-k " +
+            std::to_string(top_k) + " disagrees with the configured " +
+            std::to_string(config_.interference_top_k) +
+            " (--interference-topk); start a fresh run");
+      }
+      if (snap_matrix.content_hash() != itf_matrix_->content_hash()) {
+        throw std::invalid_argument(
+            "AllocationEngine: snapshot interference matrix disagrees with "
+            "the configured profile (--interference); start a fresh run");
+      }
+    }
   }
   // Decode into staging first; commit only after the whole payload parsed,
   // so a corrupt snapshot cannot leave the engine half-restored.
@@ -1088,6 +1278,10 @@ void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
   result.failover_migrations = static_cast<std::size_t>(in.u64());
   result.failover_migrated_cores = in.f64();
   result.unplaced_vm_seconds = in.f64();
+  if (version >= 3) {
+    result.total_interference_degradation = in.f64();
+    result.max_worst_pair_degradation = in.f64();
+  }
   const std::size_t num_periods = in.size(1);
   if (num_periods != period) {
     throw std::invalid_argument(
@@ -1095,7 +1289,7 @@ void AllocationEngine::restore_state(std::span<const std::uint8_t> payload) {
   }
   result.periods.reserve(num_periods);
   for (std::size_t k = 0; k < num_periods; ++k) {
-    result.periods.push_back(read_record(in));
+    result.periods.push_back(read_record(in, version));
   }
   const std::size_t num_residency = in.size(1);
   if (num_residency != num_servers_) {

@@ -29,6 +29,7 @@
 // refactor (tests/serve/engine_test.cpp).
 #pragma once
 
+#include "alloc/interference.h"
 #include "alloc/placement.h"
 #include "sim/churn.h"
 #include "sim/datacenter_sim.h"
@@ -148,6 +149,12 @@ class AllocationEngine {
   /// correlation state instead.
   bool sparse_ = false;
   std::unique_ptr<util::ThreadPool> index_pool_;
+  /// Interference model (config_.interference_matrix): static configuration,
+  /// not streamed state — one dense matrix (and, when interference_top_k >
+  /// 0, its top-k index built once here) serves every tick. Snapshots
+  /// persist it (engine-state v3) so a resume can verify the model matches.
+  const alloc::InterferenceMatrix* itf_matrix_ = nullptr;
+  alloc::SparseInterferenceIndex itf_index_;
 
   sim::FaultInjector injector_;
   std::vector<sim::ServerFaultEvent> schedule_;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "alloc/correlation_aware.h"
+#include "alloc/interference_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
 #include "alloc/sharded.h"
@@ -55,6 +56,21 @@ void SimConfig::validate() const {
       throw std::invalid_argument(
           "SimConfig: sparse signature_buckets must be >= 1");
     }
+  }
+  if (!std::isfinite(interference_lambda) || interference_lambda < 0.0) {
+    throw std::invalid_argument(
+        "SimConfig: interference_lambda must be finite and >= 0");
+  }
+  if (interference_matrix == nullptr &&
+      (interference_lambda > 0.0 || interference_top_k > 0)) {
+    throw std::invalid_argument(
+        "SimConfig: interference_lambda/interference_top_k require an "
+        "interference matrix (--interference)");
+  }
+  if (interference_matrix != nullptr && corr_mode == CorrMode::kSparse) {
+    throw std::invalid_argument(
+        "SimConfig: interference requires the dense correlation matrix "
+        "(--corr dense)");
   }
   faults.validate();
 }
@@ -113,6 +129,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     obs::MetricsRegistry::Id dvfs_fmin_decisions = 0;
     obs::MetricsRegistry::Id dvfs_fmax_decisions = 0;
     obs::MetricsRegistry::Id reconcile_moves = 0;
+    obs::MetricsRegistry::Id interference_degradation = 0;
+    obs::MetricsRegistry::Id interference_worst_pair = 0;
   } ids;
   if (metrics != nullptr) {
     ids.placement_ns = metrics->histogram("placement_ns");
@@ -127,6 +145,13 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
     ids.dvfs_fmin_decisions = metrics->counter("dvfs_fmin_decisions");
     ids.dvfs_fmax_decisions = metrics->counter("dvfs_fmax_decisions");
     ids.reconcile_moves = metrics->counter("shard_reconcile_moves");
+    if (config_.interference_enabled()) {
+      // Registered only when the model is active, so interference-free runs
+      // keep their metrics output byte-identical to earlier builds.
+      ids.interference_degradation =
+          metrics->gauge("interference_degradation");
+      ids.interference_worst_pair = metrics->gauge("interference_worst_pair");
+    }
   }
   if (recorder != nullptr) {
     recorder->begin_run(policy.name(), num_servers, config_.period_seconds);
@@ -150,6 +175,8 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
   auto* proposed = dynamic_cast<alloc::CorrelationAwarePlacement*>(&policy);
   auto* structure = dynamic_cast<alloc::StructureAwarePlacement*>(&policy);
   auto* sharded = dynamic_cast<alloc::ShardedPlacement*>(&policy);
+  auto* interference_pol =
+      dynamic_cast<alloc::InterferenceAwarePlacement*>(&policy);
 
   SimResult result;
   result.policy_name = policy.name();
@@ -211,6 +238,22 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         config_.sparse_build_threads > 0
             ? config_.sparse_build_threads
             : util::ThreadPool::default_concurrency());
+  }
+
+  // Interference state (DESIGN.md §15) is static configuration, not
+  // streamed: one matrix (and optional top-k index) serves every period.
+  const alloc::InterferenceMatrix* itf_matrix =
+      config_.interference_matrix.get();
+  if (itf_matrix != nullptr && itf_matrix->size() < n) {
+    throw std::invalid_argument(
+        "DatacenterSimulator: interference matrix covers " +
+        std::to_string(itf_matrix->size()) + " VMs, traces hold " +
+        std::to_string(n));
+  }
+  alloc::SparseInterferenceIndex itf_index;
+  if (itf_matrix != nullptr && config_.interference_top_k > 0) {
+    itf_index = alloc::SparseInterferenceIndex::build(
+        *itf_matrix, config_.interference_top_k);
   }
 
   std::size_t violated_instances = 0;
@@ -301,6 +344,12 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
       ctx.moments = &prev_moments;
     }
     ctx.history = &history;
+    if (itf_matrix != nullptr) {
+      ctx.interference = itf_matrix;
+      if (config_.interference_top_k > 0) {
+        ctx.interference_sparse = &itf_index;
+      }
+    }
     ctx.trace = tr;
     ctx.provenance = ledger;
     if (ledger != nullptr) ledger->begin_period(p);
@@ -341,6 +390,22 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
           std::count(chassis_used.begin(), chassis_used.end(), 1));
       record.active_racks = static_cast<std::size_t>(
           std::count(rack_used.begin(), rack_used.end(), 1));
+    }
+    if (itf_matrix != nullptr) {
+      // Measured co-run degradation of the decided placement, always
+      // against the dense matrix (ground truth — the top-k index is only
+      // the policy's approximation). Computed for every policy so lambda
+      // sweeps can tabulate energy vs interference across baselines.
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        const auto group = placement.vms_on(s);
+        record.interference_degradation += itf_matrix->pair_sum(group);
+        record.worst_pair_degradation = std::max(
+            record.worst_pair_degradation, itf_matrix->worst_pair(group));
+      }
+      result.total_interference_degradation +=
+          record.interference_degradation;
+      result.max_worst_pair_degradation = std::max(
+          result.max_worst_pair_degradation, record.worst_pair_degradation);
     }
 
     // Migration accounting against the previous period's placement.
@@ -697,6 +762,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         row.relaxation_rounds = proposed->last_relaxation_rounds();
         row.final_threshold = proposed->last_final_threshold();
         row.candidate_evals = proposed->last_candidate_evals();
+      } else if (interference_pol != nullptr) {
+        row.relaxation_rounds = interference_pol->last_relaxation_rounds();
+        row.final_threshold = interference_pol->last_final_threshold();
+        row.candidate_evals = interference_pol->last_candidate_evals();
       } else if (structure != nullptr) {
         row.relaxation_rounds = structure->last_relaxation_rounds();
         row.final_threshold = structure->last_final_threshold();
@@ -713,6 +782,10 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         row.shard_count = sharded->last_shards();
         row.shard_max_wall_ns = sharded->last_max_shard_wall_ns();
         row.reconcile_moves = sharded->last_reconcile_moves();
+      }
+      if (itf_matrix != nullptr) {
+        row.interference_degradation = record.interference_degradation;
+        row.interference_worst_pair = record.worst_pair_degradation;
       }
       row.server_frequency_ghz.assign(num_servers, 0.0);
       for (std::size_t s = 0; s < num_servers; ++s) {
@@ -736,8 +809,20 @@ SimResult DatacenterSimulator::run(const trace::TraceSet& input_traces,
         metrics->add(ids.relaxation_rounds, proposed->last_relaxation_rounds());
         metrics->add(ids.candidate_evals, proposed->last_candidate_evals());
       }
+      if (interference_pol != nullptr) {
+        metrics->add(ids.relaxation_rounds,
+                     interference_pol->last_relaxation_rounds());
+        metrics->add(ids.candidate_evals,
+                     interference_pol->last_candidate_evals());
+      }
       if (sharded != nullptr) {
         metrics->add(ids.reconcile_moves, sharded->last_reconcile_moves());
+      }
+      if (itf_matrix != nullptr) {
+        metrics->set(ids.interference_degradation,
+                     record.interference_degradation);
+        metrics->set(ids.interference_worst_pair,
+                     record.worst_pair_degradation);
       }
     }
 

@@ -23,6 +23,7 @@
 // in later periods — matching the paper's discussion of Table II.
 #pragma once
 
+#include "alloc/interference.h"
 #include "alloc/placement.h"
 #include "corr/sparse_index.h"
 #include "dvfs/vf_policy.h"
@@ -104,6 +105,22 @@ struct SimConfig {
   /// Energy charged per migrated fmax-equivalent core when a VM changes
   /// server between periods (live-migration copy work; 0 disables).
   double migration_energy_joules_per_core = 0.0;
+  /// Pairwise co-run degradation (DESIGN.md §15), shared across sweep jobs.
+  /// Null (the default) keeps the run byte-identical to builds predating the
+  /// interference model: no accounting, no context wiring. Required when
+  /// interference_lambda > 0 or interference_top_k > 0, and for the
+  /// "interference" policy to run with a non-zero lambda.
+  std::shared_ptr<const alloc::InterferenceMatrix> interference_matrix;
+  /// Interference weight lambda of the J(s) score (0 = pure Eqn. 2).
+  double interference_lambda = 0.0;
+  /// When > 0, placement reads degradation through a top-k
+  /// SparseInterferenceIndex built once from the matrix (0 = dense).
+  /// Measured per-period degradation always uses the dense matrix.
+  std::size_t interference_top_k = 0;
+
+  /// True when an interference matrix is attached (accounting + context
+  /// wiring active).
+  bool interference_enabled() const { return interference_matrix != nullptr; }
   /// Fault model applied to this run (FaultSpec::none() keeps the simulation
   /// bit-identical to a fault-free build). See sim/fault.h.
   FaultSpec faults;
@@ -142,6 +159,12 @@ struct PeriodRecord {
   /// (equals active_servers on the default 1-server-per-chassis topology).
   std::size_t active_chassis = 0;
   std::size_t active_racks = 0;
+  // --- Interference accounting (0 unless interference_enabled()). ---
+  /// Sum over servers of the pairwise co-run degradation of the period's
+  /// decided placement, measured against the dense matrix.
+  double interference_degradation = 0.0;
+  /// Largest single-pair degradation co-located this period.
+  double worst_pair_degradation = 0.0;
 };
 
 struct SimResult {
@@ -167,6 +190,11 @@ struct SimResult {
   /// VM-seconds during which no server could host a displaced VM: the
   /// honest "we degraded instead of crashing" metric.
   double unplaced_vm_seconds = 0.0;
+  // --- Interference accounting (0 unless interference_enabled()). ---
+  /// Sum over periods of PeriodRecord::interference_degradation.
+  double total_interference_degradation = 0.0;
+  /// Max over periods of PeriodRecord::worst_pair_degradation.
+  double max_worst_pair_degradation = 0.0;
   std::vector<PeriodRecord> periods;
   /// Seconds spent at each ladder level, per server: [server][level].
   std::vector<std::vector<double>> freq_residency_seconds;

@@ -28,6 +28,14 @@ util::Json to_json(const SimResult& result) {
   if (result.unplaced_vm_seconds > 0.0) {
     j["unplaced_vm_seconds"] = result.unplaced_vm_seconds;
   }
+  // Interference accounting: emitted only when the model ran, keeping
+  // interference-free exports byte-stable.
+  if (result.total_interference_degradation > 0.0 ||
+      result.max_worst_pair_degradation > 0.0) {
+    j["total_interference_degradation"] =
+        result.total_interference_degradation;
+    j["max_worst_pair_degradation"] = result.max_worst_pair_degradation;
+  }
 
   util::Json periods = util::Json::array();
   for (const auto& p : result.periods) {
@@ -45,6 +53,11 @@ util::Json to_json(const SimResult& result) {
     }
     if (p.unplaced_vm_seconds > 0.0) {
       jp["unplaced_vm_seconds"] = p.unplaced_vm_seconds;
+    }
+    if (p.interference_degradation > 0.0 ||
+        p.worst_pair_degradation > 0.0) {
+      jp["interference_degradation"] = p.interference_degradation;
+      jp["worst_pair_degradation"] = p.worst_pair_degradation;
     }
     // Enclosure occupancy is informative only on topologies that actually
     // nest servers; the default 1:1:1 layout makes these equal to
@@ -189,6 +202,25 @@ void print_comparison(const std::vector<SimResult>& results,
                   {base > 0.0 ? r.total_energy_joules / base : 0.0,
                    100.0 * r.max_violation_ratio, r.mean_active_servers,
                    static_cast<double>(r.total_migrated_vms)});
+  }
+  table.print(out);
+}
+
+void print_interference_pareto(const std::vector<SimResult>& results,
+                               std::ostream& out) {
+  util::TextTable table({"policy", "normalized power", "degradation",
+                         "deg vs base", "worst pair", "servers"});
+  const double base_energy =
+      results.empty() ? 1.0 : results.front().total_energy_joules;
+  const double base_deg =
+      results.empty() ? 0.0 : results.front().total_interference_degradation;
+  for (const auto& r : results) {
+    table.add_row(
+        r.policy_name,
+        {base_energy > 0.0 ? r.total_energy_joules / base_energy : 0.0,
+         r.total_interference_degradation,
+         base_deg > 0.0 ? r.total_interference_degradation / base_deg : 0.0,
+         r.max_worst_pair_degradation, r.mean_active_servers});
   }
   table.print(out);
 }

@@ -30,6 +30,13 @@ std::string summary_line(const SimResult& result);
 void print_comparison(const std::vector<SimResult>& results,
                       std::ostream& out);
 
+/// The --interference-sweep Pareto table: per run, energy normalized to the
+/// first entry (the lambda = 0 / CAVA operating point) next to the measured
+/// co-run degradation, its ratio to the first entry, and the worst
+/// co-located pair — the energy-vs-interference trade-off at a glance.
+void print_interference_pareto(const std::vector<SimResult>& results,
+                               std::ostream& out);
+
 /// Run-summary section of one instrumented run: period count, placement
 /// latency (mean/p50/p95/p99 at level full, estimated from the registry's
 /// log2-bucket histograms), TH_cost relaxation totals, DVFS ladder-edge

@@ -1,0 +1,207 @@
+// Unit tests for InterferenceAwarePlacement: constructor validation, context
+// requirements, the lambda = 0 bit-identity with CorrelationAwarePlacement,
+// and the qualitative effect of the penalty (a heavy lambda splits the worst
+// co-run pair that pure correlation packing would co-locate).
+#include "alloc/interference_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/interference.h"
+#include "corr/cost_matrix.h"
+#include "corr/sparse_index.h"
+#include "model/fleet.h"
+#include "model/server.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+namespace cava::alloc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+trace::TraceSet make_traces(std::uint64_t seed, std::size_t num_vms,
+                            std::size_t samples) {
+  util::Rng rng(seed);
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.2, 1.2);
+    const double amp = rng.uniform(0.2, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(0.05 * static_cast<double>(i) +
+                                          phase));
+    }
+    traces.add(
+        {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    d.push_back({i, traces[i].series.peak()});
+  }
+  return d;
+}
+
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
+TEST(InterferenceAwareConfigTest, ConstructorValidatesKnobs) {
+  InterferenceAwareConfig bad_alpha;
+  bad_alpha.base.alpha = 1.0;
+  EXPECT_THROW(InterferenceAwarePlacement{bad_alpha}, std::invalid_argument);
+
+  InterferenceAwareConfig bad_threshold;
+  bad_threshold.base.initial_threshold = 0.9;
+  EXPECT_THROW(InterferenceAwarePlacement{bad_threshold},
+               std::invalid_argument);
+
+  InterferenceAwareConfig bad_lambda;
+  bad_lambda.lambda = -0.5;
+  EXPECT_THROW(InterferenceAwarePlacement{bad_lambda}, std::invalid_argument);
+  bad_lambda.lambda = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(InterferenceAwarePlacement{bad_lambda}, std::invalid_argument);
+
+  InterferenceAwareConfig ok;
+  ok.lambda = 2.5;
+  EXPECT_DOUBLE_EQ(InterferenceAwarePlacement(ok).lambda(), 2.5);
+}
+
+TEST(InterferenceAwarePlace, RejectsSparseCorrelationContext) {
+  const auto traces = make_traces(1, 8, 100);
+  const auto demands = make_demands(traces);
+  corr::SparseIndexConfig sparse_cfg;
+  sparse_cfg.top_k = 3;
+  const auto sparse = corr::SparseCostIndex::from_traces(
+      traces, trace::ReferenceSpec::peak(), sparse_cfg);
+  PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 8;
+  ctx.sparse_index = &sparse;
+
+  InterferenceAwarePlacement policy;
+  EXPECT_THROW(policy.place(demands, ctx), std::invalid_argument);
+}
+
+TEST(InterferenceAwarePlace, PositiveLambdaRequiresAnInterferenceModel) {
+  const auto traces = make_traces(2, 8, 100);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 8;
+  ctx.cost_matrix = &matrix;
+
+  InterferenceAwareConfig cfg;
+  cfg.lambda = 1.0;
+  InterferenceAwarePlacement policy(cfg);
+  EXPECT_THROW(policy.place(demands, ctx), std::invalid_argument);
+
+  // lambda = 0 runs fine without any interference model attached.
+  InterferenceAwarePlacement unpenalized;
+  EXPECT_TRUE(unpenalized.place(demands, ctx).complete());
+}
+
+TEST(InterferenceAwarePlace, LambdaZeroIsBitIdenticalToCorrelationAware) {
+  for (const std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
+    const auto traces = make_traces(seed, 18, 200);
+    const auto demands = make_demands(traces);
+    const auto matrix =
+        corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+    InterferenceMatrix itf(18);
+    itf.set(0, 1, 0.4);  // attached but weightless at lambda = 0
+    PlacementContext ctx;
+    ctx.fleet = &test_fleet();
+    ctx.max_servers = 10;
+    ctx.cost_matrix = &matrix;
+    ctx.interference = &itf;
+
+    CorrelationAwarePlacement correlation;
+    InterferenceAwarePlacement interference;  // lambda defaults to 0
+    const auto want = correlation.place(demands, ctx);
+    const auto got = interference.place(demands, ctx);
+    for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+      EXPECT_EQ(got.server_of(vm), want.server_of(vm))
+          << "seed " << seed << " vm " << vm;
+    }
+    EXPECT_EQ(interference.last_estimated_servers(),
+              correlation.last_estimated_servers());
+    EXPECT_EQ(interference.last_relaxation_rounds(),
+              correlation.last_relaxation_rounds());
+    EXPECT_DOUBLE_EQ(interference.last_final_threshold(),
+                     correlation.last_final_threshold());
+    EXPECT_DOUBLE_EQ(interference.last_planned_degradation(), 0.0);
+  }
+}
+
+TEST(InterferenceAwarePlace, HeavyLambdaSeparatesTheToxicPair) {
+  // VMs 0 and 1 destroy each other's IPC; everyone else is clean. With a
+  // heavy lambda the sweep must end with 0 and 1 on different servers, and
+  // the planned degradation accumulator must see none of the 0.45.
+  const auto traces = make_traces(7, 8, 150);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  InterferenceMatrix itf(8);
+  itf.set(0, 1, 0.45);
+  PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 8;
+  ctx.cost_matrix = &matrix;
+  ctx.interference = &itf;
+
+  InterferenceAwareConfig cfg;
+  cfg.lambda = 16.0;
+  InterferenceAwarePlacement policy(cfg);
+  const auto placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+  EXPECT_NE(*placement.server_of(0), *placement.server_of(1));
+  EXPECT_DOUBLE_EQ(policy.last_planned_degradation(), 0.0);
+}
+
+TEST(InterferenceAwarePlace, PlannedDegradationMatchesPlacementPairSums) {
+  const auto traces = make_traces(13, 16, 200);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  util::Rng rng(99);
+  InterferenceMatrix itf(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      itf.set(i, j, rng.uniform(0.0, 0.3));
+    }
+  }
+  PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 10;
+  ctx.cost_matrix = &matrix;
+  ctx.interference = &itf;
+
+  InterferenceAwareConfig cfg;
+  cfg.lambda = 0.7;
+  InterferenceAwarePlacement policy(cfg);
+  const auto placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+  double measured = 0.0;
+  for (std::size_t s = 0; s < ctx.max_servers; ++s) {
+    measured += itf.pair_sum(placement.vms_on(s));
+  }
+  EXPECT_NEAR(policy.last_planned_degradation(), measured,
+              1e-9 * std::max(1.0, measured));
+}
+
+}  // namespace
+}  // namespace cava::alloc

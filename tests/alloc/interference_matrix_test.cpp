@@ -1,0 +1,330 @@
+// Unit tests for the pairwise interference model (DESIGN.md §15): the dense
+// InterferenceMatrix invariants (symmetry, validation, subset remap,
+// serialization), the top-k SparseInterferenceIndex construction rules, and
+// the InterferenceProfile JSON fault corpus.
+#include "alloc/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/binio.h"
+#include "util/json.h"
+
+namespace cava::alloc {
+namespace {
+
+InterferenceMatrix make_matrix(std::size_t n) {
+  InterferenceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Distinct, deterministic values so remap bugs can't hide.
+      m.set(i, j, 0.01 * static_cast<double>(i * n + j));
+    }
+  }
+  return m;
+}
+
+TEST(InterferenceMatrix, SymmetricWithZeroDiagonal) {
+  const auto m = make_matrix(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(m.degradation(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(m.degradation(i, j), m.degradation(j, i))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(InterferenceMatrix, SetValidatesArguments) {
+  InterferenceMatrix m(4);
+  EXPECT_THROW(m.set(1, 1, 0.1), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 4, 0.1), std::invalid_argument);
+  EXPECT_THROW(m.set(4, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(m.set(0, 1, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(m.set(0, 1, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // Setting (j, i) overwrites (i, j): one slot per unordered pair.
+  m.set(0, 1, 0.2);
+  m.set(1, 0, 0.3);
+  EXPECT_DOUBLE_EQ(m.degradation(0, 1), 0.3);
+}
+
+TEST(InterferenceMatrix, SubsetCarriesExactPairSlots) {
+  const auto m = make_matrix(8);
+  const std::vector<std::size_t> keep{1, 3, 4, 7};
+  const auto sub = m.subset(keep);
+  ASSERT_EQ(sub.size(), keep.size());
+  for (std::size_t a = 0; a < keep.size(); ++a) {
+    for (std::size_t b = 0; b < keep.size(); ++b) {
+      EXPECT_DOUBLE_EQ(sub.degradation(a, b),
+                       m.degradation(keep[a], keep[b]))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(InterferenceMatrix, SubsetRejectsBadMasks) {
+  const auto m = make_matrix(5);
+  EXPECT_THROW(m.subset(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW(m.subset(std::vector<std::size_t>{2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(m.subset(std::vector<std::size_t>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(m.subset(std::vector<std::size_t>{3, 5}),
+               std::invalid_argument);
+}
+
+TEST(InterferenceMatrix, SerializeRoundTripPreservesContentHash) {
+  const auto m = make_matrix(7);
+  util::BinWriter w;
+  m.serialize(w);
+  util::BinReader r(w.bytes());
+  InterferenceMatrix back(7);
+  back.restore(r);
+  EXPECT_EQ(back.content_hash(), m.content_hash());
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(back.degradation(i, j), m.degradation(i, j));
+    }
+  }
+}
+
+TEST(InterferenceMatrix, RestoreRejectsSizeMismatchAndTruncation) {
+  const auto m = make_matrix(6);
+  util::BinWriter w;
+  m.serialize(w);
+  {
+    util::BinReader r(w.bytes());
+    InterferenceMatrix wrong(5);
+    EXPECT_THROW(wrong.restore(r), std::invalid_argument);
+  }
+  {
+    const std::span<const std::uint8_t> bytes(w.bytes());
+    util::BinReader r(bytes.subspan(0, bytes.size() / 2));
+    InterferenceMatrix back(6);
+    EXPECT_THROW(back.restore(r), std::exception);
+  }
+}
+
+TEST(InterferenceMatrix, ContentHashSeparatesDifferentMatrices) {
+  auto a = make_matrix(6);
+  auto b = make_matrix(6);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.set(0, 1, 0.499);
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(SparseInterferenceIndex, SymmetricClosureRetainsEitherEndpointsPick) {
+  // VM 0 interferes strongly with 3 only; 3's own top-1 is 0 as well, but
+  // 1's top-1 is 2. With k = 1 the closure keeps (0,3) and (1,2) and both
+  // directions read the same value.
+  InterferenceMatrix m(4);
+  m.set(0, 3, 0.4);
+  m.set(1, 2, 0.3);
+  m.set(0, 1, 0.1);
+  const auto idx = SparseInterferenceIndex::build(m, 1);
+  EXPECT_DOUBLE_EQ(idx.degradation(0, 3), 0.4);
+  EXPECT_DOUBLE_EQ(idx.degradation(3, 0), 0.4);
+  EXPECT_DOUBLE_EQ(idx.degradation(1, 2), 0.3);
+  EXPECT_DOUBLE_EQ(idx.degradation(2, 1), 0.3);
+  // (0,1) ranks second for 0 and second for 1: truncated, reads 0.
+  EXPECT_DOUBLE_EQ(idx.degradation(0, 1), 0.0);
+}
+
+TEST(SparseInterferenceIndex, ZeroPairsAreNeverRetained) {
+  InterferenceMatrix m(5);
+  m.set(0, 1, 0.2);
+  const auto idx = SparseInterferenceIndex::build(m, 4);
+  EXPECT_DOUBLE_EQ(idx.degradation(0, 1), 0.2);
+  EXPECT_DOUBLE_EQ(idx.degradation(2, 3), 0.0);
+  // Only one pair retained out of C(5,2) = 10 triangle slots.
+  EXPECT_DOUBLE_EQ(idx.fill_ratio(), 0.1);
+}
+
+TEST(SparseInterferenceIndex, GroupHelpersUseOnlyRetainedPairs) {
+  InterferenceMatrix m(5);
+  m.set(0, 1, 0.30);
+  m.set(0, 2, 0.20);
+  m.set(0, 3, 0.10);
+  m.set(1, 2, 0.05);
+  const auto idx = SparseInterferenceIndex::build(m, 1);
+  // Row 0 keeps (0,1); row 1 keeps (0,1); row 2 keeps (0,2); row 3 keeps
+  // (0,3). (1,2) is nobody's top-1 and truncates.
+  const std::vector<std::size_t> group{0, 1, 2};
+  EXPECT_DOUBLE_EQ(idx.pair_sum(group), 0.30 + 0.20);
+  EXPECT_DOUBLE_EQ(idx.worst_pair(group), 0.30);
+  const std::vector<std::size_t> pair{1, 2};
+  EXPECT_DOUBLE_EQ(idx.pair_sum_with(pair, 0), 0.30 + 0.20);
+  EXPECT_DOUBLE_EQ(idx.pair_sum(pair), 0.0);
+}
+
+TEST(SparseInterferenceIndex, SerializeRoundTrip) {
+  const auto m = make_matrix(9);
+  const auto idx = SparseInterferenceIndex::build(m, 3);
+  util::BinWriter w;
+  idx.serialize(w);
+  util::BinReader r(w.bytes());
+  SparseInterferenceIndex back;
+  back.restore(r);
+  EXPECT_EQ(back.content_hash(), idx.content_hash());
+  EXPECT_EQ(back.size(), idx.size());
+  EXPECT_EQ(back.top_k(), idx.top_k());
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_DOUBLE_EQ(back.degradation(i, j), idx.degradation(i, j));
+    }
+  }
+  EXPECT_GT(idx.memory_bytes(), 0u);
+}
+
+// ------------------------------------------------------------- profile
+
+const char* kGoodProfile = R"({
+  "schema": "cava-interference-profile-v1",
+  "classes": ["web", "canneal"],
+  "degradation": [[0.01, 0.12], [0.12, 0.30]],
+  "vms": [{"id": 0, "class": "canneal"}],
+  "default_class": "web",
+  "lambda": 0.5
+})";
+
+TEST(InterferenceProfile, ParsesTheDocumentedSchema) {
+  const auto p =
+      InterferenceProfile::parse_json(util::Json::parse(kGoodProfile));
+  ASSERT_EQ(p.classes.size(), 2u);
+  EXPECT_EQ(p.classes[1], "canneal");
+  EXPECT_DOUBLE_EQ(p.degradation[0][1], 0.12);
+  ASSERT_TRUE(p.lambda.has_value());
+  EXPECT_DOUBLE_EQ(*p.lambda, 0.5);
+  // Explicit > default: VM 0 is canneal, every other VM falls to web.
+  EXPECT_EQ(p.class_of(0), 1u);
+  EXPECT_EQ(p.class_of(1), 0u);
+  EXPECT_EQ(p.class_of(17), 0u);
+}
+
+TEST(InterferenceProfile, RoundRobinWithoutDefaultClass) {
+  InterferenceProfile p;
+  p.classes = {"a", "b", "c"};
+  EXPECT_EQ(p.class_of(0), 0u);
+  EXPECT_EQ(p.class_of(4), 1u);
+  EXPECT_EQ(p.class_of(5), 2u);
+}
+
+TEST(InterferenceProfile, MatrixForExpandsClassTable) {
+  const auto p =
+      InterferenceProfile::parse_json(util::Json::parse(kGoodProfile));
+  const auto m = p.matrix_for(4);
+  // VM 0 canneal, VMs 1..3 web.
+  EXPECT_DOUBLE_EQ(m.degradation(0, 1), 0.12);
+  EXPECT_DOUBLE_EQ(m.degradation(1, 2), 0.01);
+  EXPECT_DOUBLE_EQ(m.degradation(0, 0), 0.0);
+}
+
+TEST(InterferenceProfile, MatrixForRejectsOutOfRangeExplicitIds) {
+  InterferenceProfile p;
+  p.classes = {"a"};
+  p.degradation = {{0.1}};
+  p.vm_classes = {{5, 0}};
+  EXPECT_THROW(p.matrix_for(3), std::invalid_argument);
+}
+
+/// Every mutation of the good document that must be rejected, with a label.
+struct BadDoc {
+  const char* label;
+  const char* text;
+};
+
+class ProfileFaultCorpus : public ::testing::TestWithParam<BadDoc> {};
+
+TEST_P(ProfileFaultCorpus, Rejected) {
+  EXPECT_THROW(
+      {
+        try {
+          InterferenceProfile::parse_json(util::Json::parse(GetParam().text));
+        } catch (const std::invalid_argument&) {
+          throw;
+        } catch (const std::runtime_error&) {
+          // Truncated documents die in the JSON parser itself.
+          throw std::invalid_argument("parse error");
+        }
+      },
+      std::invalid_argument)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ProfileFaultCorpus,
+    ::testing::Values(
+        BadDoc{"truncated", R"({"schema": "cava-interference-profile-v1",)"},
+        BadDoc{"wrong_schema",
+               R"({"schema": "v2", "classes": ["a"],
+                   "degradation": [[0.1]]})"},
+        BadDoc{"missing_classes",
+               R"({"schema": "cava-interference-profile-v1",
+                   "degradation": [[0.1]]})"},
+        BadDoc{"empty_classes",
+               R"({"schema": "cava-interference-profile-v1", "classes": [],
+                   "degradation": []})"},
+        BadDoc{"duplicate_class",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a", "a"],
+                   "degradation": [[0.1, 0.2], [0.2, 0.1]]})"},
+        BadDoc{"ragged_table",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a", "b"],
+                   "degradation": [[0.1, 0.2], [0.2]]})"},
+        BadDoc{"asymmetric_table",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a", "b"],
+                   "degradation": [[0.1, 0.2], [0.3, 0.1]]})"},
+        BadDoc{"negative_cell",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[-0.1]]})"},
+        BadDoc{"non_numeric_cell",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [["x"]]})"},
+        BadDoc{"duplicate_vm_id",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "vms": [{"id": 2, "class": "a"},
+                           {"id": 2, "class": "a"}]})"},
+        BadDoc{"fractional_vm_id",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "vms": [{"id": 1.5, "class": "a"}]})"},
+        BadDoc{"unknown_vm_class",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "vms": [{"id": 0, "class": "b"}]})"},
+        BadDoc{"unknown_default_class",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "default_class": "b"})"},
+        BadDoc{"negative_lambda",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "lambda": -1})"},
+        BadDoc{"string_lambda",
+               R"({"schema": "cava-interference-profile-v1",
+                   "classes": ["a"], "degradation": [[0.1]],
+                   "lambda": "0.5"})"}));
+
+TEST(InterferenceProfile, LoadJsonCarriesThePathOnFileErrors) {
+  try {
+    InterferenceProfile::load_json("/no/such/profile.json");
+    FAIL() << "expected an exception";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("profile.json"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cava::alloc

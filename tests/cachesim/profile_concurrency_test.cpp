@@ -1,0 +1,51 @@
+// Concurrency suite (run under TSAN via `ctest -L concurrency`): the
+// pooled interference-profile extraction fans 5 solo + 15 co-run cache
+// simulations across a ThreadPool and must produce exactly the serial
+// table — futures are joined in deterministic order and the workers share
+// no mutable state.
+#include "cachesim/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace cava::cachesim {
+namespace {
+
+CorunConfig fast_config() {
+  CorunConfig cfg;
+  cfg.instructions_per_stream = 150'000;
+  return cfg;
+}
+
+TEST(ProfileConcurrency, PooledTableEqualsSerialBitExact) {
+  const auto classes = table1_streams();
+  const CorunConfig cfg = fast_config();
+  const ClassDegradationTable serial = build_class_degradation(classes, cfg);
+  for (std::size_t threads : {2UL, 4UL, 8UL}) {
+    util::ThreadPool pool(threads);
+    const ClassDegradationTable pooled =
+        build_class_degradation(classes, cfg, &pool);
+    ASSERT_EQ(pooled.names, serial.names) << threads << " threads";
+    EXPECT_EQ(pooled.degradation, serial.degradation) << threads
+                                                      << " threads";
+  }
+}
+
+TEST(ProfileConcurrency, RepeatedPooledRunsAgree) {
+  // Hammer the pool a few times to give TSAN scheduling variety; every run
+  // must still produce the same bits.
+  const auto classes = table1_streams();
+  const CorunConfig cfg = fast_config();
+  util::ThreadPool pool(4);
+  const ClassDegradationTable first =
+      build_class_degradation(classes, cfg, &pool);
+  for (int round = 0; round < 3; ++round) {
+    const ClassDegradationTable again =
+        build_class_degradation(classes, cfg, &pool);
+    EXPECT_EQ(again.degradation, first.degradation) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace cava::cachesim

@@ -1,0 +1,361 @@
+// Differential tests for the interference-aware ALLOCATE phase: the
+// production InterferenceAwarePlacement (incremental D-accumulator over the
+// shared dense sweep) against the naive reference in oracle_ref.h that
+// recomputes every penalized score J = Eqn2(G + v) - lambda * sum d(a, v)
+// from scratch through the public scalar accessors. Assignment identity is
+// exact; recorded scores and degradation totals are compared under tight
+// relative tolerances (incremental vs from-scratch summation order).
+//
+// Also covered: InterferenceMatrix's O(|G|^2) group helpers against plain
+// double loops, the top-k sparse index against the dense matrix at full k,
+// and the lambda = 0 identity with the correlation reference.
+#include "oracle_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/correlation_aware.h"
+#include "alloc/interference.h"
+#include "alloc/interference_aware.h"
+#include "corr/cost_matrix.h"
+#include "model/fleet.h"
+#include "model/server.h"
+#include "obs/provenance.h"
+#include "trace/time_series.h"
+#include "util/rng.h"
+
+namespace cava {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Same sinusoid-plus-noise population family as oracle_test.cpp.
+trace::TraceSet make_traces(std::uint64_t seed, std::size_t num_vms,
+                            std::size_t samples) {
+  util::Rng rng(seed);
+  trace::TraceSet traces;
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    std::vector<double> s(samples);
+    const double base = rng.uniform(0.2, 1.2);
+    const double amp = rng.uniform(0.2, 1.8);
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    const double freq = rng.uniform(0.02, 0.08);
+    for (std::size_t i = 0; i < samples; ++i) {
+      s[i] = base + amp * (1.0 + std::sin(freq * static_cast<double>(i) +
+                                          phase)) +
+             rng.uniform(0.0, 0.15);
+    }
+    traces.add(
+        {"vm" + std::to_string(v), 0, trace::TimeSeries(1.0, std::move(s))});
+  }
+  return traces;
+}
+
+std::vector<model::VmDemand> make_demands(const trace::TraceSet& traces) {
+  std::vector<model::VmDemand> d;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    d.push_back({i, traces[i].series.peak()});
+  }
+  return d;
+}
+
+const model::FleetSpec& test_fleet() {
+  static const model::FleetSpec fleet =
+      model::FleetSpec::homogeneous(model::ServerSpec("s", 8, {2.0}), 64);
+  return fleet;
+}
+
+/// Seeded random symmetric degradation matrix in [0, 0.5), with roughly a
+/// quarter of the pairs exactly zero (exercises the sparse index's
+/// never-retain-zero rule).
+alloc::InterferenceMatrix make_itf(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed * 31 + 17);
+  alloc::InterferenceMatrix itf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double roll = rng.uniform(0.0, 1.0);
+      itf.set(i, j, roll < 0.25 ? 0.0 : rng.uniform(0.0, 0.5));
+    }
+  }
+  return itf;
+}
+
+/// Naive measured degradation of a decided placement: per server, the double
+/// loop over unordered pairs of its group.
+double naive_placement_degradation(const alloc::Placement& placement,
+                                   std::size_t num_vms,
+                                   std::size_t max_servers,
+                                   const alloc::InterferenceMatrix& itf) {
+  std::vector<std::vector<std::size_t>> groups(max_servers);
+  for (std::size_t vm = 0; vm < num_vms; ++vm) {
+    groups[placement.server_of(vm).value()].push_back(vm);
+  }
+  double total = 0.0;
+  for (const auto& g : groups) {
+    for (std::size_t a = 0; a < g.size(); ++a) {
+      for (std::size_t b = a + 1; b < g.size(); ++b) {
+        total += itf.degradation(g[a], g[b]);
+      }
+    }
+  }
+  return total;
+}
+
+class InterferenceOracleSeeds
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterferenceOracleSeeds, GroupHelpersMatchNaiveDoubleLoops) {
+  const std::size_t n = 18;
+  const auto itf = make_itf(GetParam(), n);
+  util::Rng rng(GetParam() * 7919 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t size =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 7.999));
+    std::vector<std::size_t> group;
+    while (group.size() < size) {
+      const auto v = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(n) - 1e-9));
+      bool dup = false;
+      for (std::size_t g : group) dup |= (g == v);
+      if (!dup) group.push_back(v);
+    }
+    double pair_sum = 0.0;
+    double worst = 0.0;
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        const double d = itf.degradation(group[a], group[b]);
+        pair_sum += d;
+        worst = std::max(worst, d);
+      }
+    }
+    EXPECT_DOUBLE_EQ(itf.pair_sum(group), pair_sum) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(itf.worst_pair(group), worst) << "trial " << trial;
+    // Marginal form: candidate appended last, summed member by member.
+    const std::size_t candidate = group.back();
+    group.pop_back();
+    double marginal = 0.0;
+    for (std::size_t g : group) marginal += itf.degradation(g, candidate);
+    EXPECT_DOUBLE_EQ(itf.pair_sum_with(group, candidate), marginal)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, SparseIndexAtFullKMatchesDenseBitExact) {
+  const std::size_t n = 16;
+  const auto itf = make_itf(GetParam() + 500, n);
+  // k >= n-1 retains every non-zero pair: the index is the dense matrix.
+  const auto sparse = alloc::SparseInterferenceIndex::build(itf, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(sparse.degradation(i, j), itf.degradation(i, j))
+          << i << "," << j;
+    }
+  }
+  // subset() commutes with the dense subset on the retained (= all) pairs.
+  const std::vector<std::size_t> keep{0, 2, 3, 7, 9, 14, 15};
+  const auto sparse_sub = sparse.subset(keep);
+  const auto dense_sub = itf.subset(keep);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (std::size_t j = 0; j < keep.size(); ++j) {
+      EXPECT_DOUBLE_EQ(sparse_sub.degradation(i, j),
+                       dense_sub.degradation(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, TruncatedSparseNeverExceedsDense) {
+  const std::size_t n = 16;
+  const auto itf = make_itf(GetParam() + 900, n);
+  const auto sparse = alloc::SparseInterferenceIndex::build(itf, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double s = sparse.degradation(i, j);
+      const double d = itf.degradation(i, j);
+      // A retained pair carries the exact dense value; a truncated one
+      // reads as zero. Either way the sparse view never invents weight.
+      EXPECT_TRUE(s == d || s == 0.0) << i << "," << j;
+      EXPECT_LE(s, d) << i << "," << j;
+    }
+  }
+}
+
+/// Shared harness: run the production policy and the naive reference on one
+/// seeded population and assert decision identity plus matching diagnostics.
+void expect_matches_reference(std::uint64_t seed, double lambda,
+                              std::size_t num_vms, std::size_t max_servers) {
+  const auto traces = make_traces(seed, num_vms, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const auto itf = make_itf(seed, num_vms);
+  alloc::PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = max_servers;
+  ctx.cost_matrix = &matrix;
+  ctx.interference = &itf;
+
+  alloc::InterferenceAwareConfig config;
+  config.lambda = lambda;
+  alloc::InterferenceAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  const auto want = oracle::reference_interference_aware(
+      demands, matrix, itf, lambda, max_servers, test_fleet().capacity_of(0),
+      config.base.initial_threshold, config.base.alpha);
+
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    ASSERT_TRUE(placement.server_of(vm).has_value());
+    EXPECT_EQ(*placement.server_of(vm), want.allocate.server_of[vm])
+        << "vm " << vm << " lambda " << lambda;
+  }
+  EXPECT_EQ(policy.last_estimated_servers(), want.allocate.estimated_servers);
+  EXPECT_EQ(policy.last_relaxation_rounds(), want.allocate.relaxation_rounds);
+  EXPECT_DOUBLE_EQ(policy.last_final_threshold(),
+                   want.allocate.final_threshold);
+  EXPECT_NEAR(policy.last_planned_degradation(), want.planned_degradation,
+              1e-9 * std::max(1.0, want.planned_degradation));
+  // The sweep's own accumulator must agree with a from-scratch measurement
+  // of the placement it returned (dense penalty: nothing truncated).
+  const double measured = naive_placement_degradation(
+      placement, demands.size(), max_servers, itf);
+  if (lambda > 0.0) {
+    EXPECT_NEAR(policy.last_planned_degradation(), measured,
+                1e-9 * std::max(1.0, measured));
+  } else {
+    EXPECT_DOUBLE_EQ(policy.last_planned_degradation(), 0.0);
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, MatchesReferenceAcrossLambdas) {
+  for (const double lambda : {0.0, 0.3, 1.0, 4.0}) {
+    SCOPED_TRACE(lambda);
+    expect_matches_reference(GetParam(), lambda, 20, 12);
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, MatchesReferenceUnderTightCapacity) {
+  // Few servers + a heavy penalty: drives the threshold to the penalized
+  // floor and through the capacity-bound/overflow branches in both
+  // implementations.
+  for (const double lambda : {1.0, 16.0}) {
+    SCOPED_TRACE(lambda);
+    expect_matches_reference(GetParam() + 1000, lambda, 16, 4);
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, LambdaZeroIsTheCorrelationReference) {
+  const auto traces = make_traces(GetParam(), 20, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const auto itf = make_itf(GetParam(), 20);
+
+  const alloc::CorrelationAwareConfig base;
+  const auto ca = oracle::reference_correlation_aware(
+      demands, matrix, 12, test_fleet().capacity_of(0),
+      base.initial_threshold, base.alpha);
+  const auto ia = oracle::reference_interference_aware(
+      demands, matrix, itf, 0.0, 12, test_fleet().capacity_of(0),
+      base.initial_threshold, base.alpha);
+  EXPECT_EQ(ia.allocate.server_of, ca.server_of);
+  EXPECT_EQ(ia.allocate.estimated_servers, ca.estimated_servers);
+  EXPECT_EQ(ia.allocate.relaxation_rounds, ca.relaxation_rounds);
+  EXPECT_DOUBLE_EQ(ia.allocate.final_threshold, ca.final_threshold);
+  EXPECT_DOUBLE_EQ(ia.planned_degradation, 0.0);
+}
+
+TEST_P(InterferenceOracleSeeds, LedgerMatchesReferenceBookkeeping) {
+  const auto traces = make_traces(GetParam(), 20, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const auto itf = make_itf(GetParam(), 20);
+  alloc::PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 12;
+  ctx.cost_matrix = &matrix;
+  ctx.interference = &itf;
+  obs::ProvenanceLedger ledger;
+  ctx.provenance = &ledger;
+
+  alloc::InterferenceAwareConfig config;
+  config.lambda = 1.0;
+  alloc::InterferenceAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  ASSERT_TRUE(placement.complete());
+
+  const auto want = oracle::reference_interference_aware(
+      demands, matrix, itf, config.lambda, ctx.max_servers,
+      test_fleet().capacity_of(0), config.base.initial_threshold,
+      config.base.alpha);
+  const auto& got = ledger.assignments();
+  ASSERT_EQ(got.size(), want.allocate.provenance.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    const auto& w = want.allocate.provenance[i];
+    EXPECT_EQ(got[i].vm, w.vm);
+    EXPECT_EQ(got[i].server, w.server);
+    EXPECT_EQ(got[i].seeded, w.seeded);
+    EXPECT_EQ(got[i].overflow, w.overflow);
+    EXPECT_EQ(got[i].relaxation_round, w.relaxation_round);
+    EXPECT_EQ(got[i].rejected_candidates, w.rejected_candidates);
+    EXPECT_EQ(got[i].best_rejected_vm, w.best_rejected_vm);
+    EXPECT_DOUBLE_EQ(got[i].threshold, w.threshold);
+    // Scan winners record the penalized J, seeds/overflow the raw cost.
+    EXPECT_NEAR(got[i].server_cost, w.server_cost,
+                1e-9 * std::max(1.0, std::abs(w.server_cost)));
+    EXPECT_NEAR(got[i].best_rejected_cost, w.best_rejected_cost,
+                1e-9 * std::max(1.0, std::abs(w.best_rejected_cost)));
+  }
+}
+
+TEST_P(InterferenceOracleSeeds, SparsePenaltyMatchesDensifiedReference) {
+  // The production sweep with a truncated top-k penalty must decide exactly
+  // like the naive reference run on the densified sparse values.
+  const std::size_t num_vms = 20;
+  const auto traces = make_traces(GetParam() + 3000, num_vms, 250);
+  const auto demands = make_demands(traces);
+  const auto matrix =
+      corr::CostMatrix::from_traces(traces, trace::ReferenceSpec::peak());
+  const auto itf = make_itf(GetParam() + 3000, num_vms);
+  const auto sparse = alloc::SparseInterferenceIndex::build(itf, 4);
+  alloc::InterferenceMatrix densified(num_vms);
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    for (std::size_t j = i + 1; j < num_vms; ++j) {
+      densified.set(i, j, sparse.degradation(i, j));
+    }
+  }
+
+  alloc::PlacementContext ctx;
+  ctx.fleet = &test_fleet();
+  ctx.max_servers = 12;
+  ctx.cost_matrix = &matrix;
+  ctx.interference_sparse = &sparse;
+
+  alloc::InterferenceAwareConfig config;
+  config.lambda = 1.0;
+  alloc::InterferenceAwarePlacement policy(config);
+  const auto placement = policy.place(demands, ctx);
+  const auto want = oracle::reference_interference_aware(
+      demands, matrix, densified, config.lambda, ctx.max_servers,
+      test_fleet().capacity_of(0), config.base.initial_threshold,
+      config.base.alpha);
+
+  ASSERT_TRUE(placement.complete());
+  for (std::size_t vm = 0; vm < demands.size(); ++vm) {
+    EXPECT_EQ(*placement.server_of(vm), want.allocate.server_of[vm])
+        << "vm " << vm;
+  }
+  EXPECT_NEAR(policy.last_planned_degradation(), want.planned_degradation,
+              1e-9 * std::max(1.0, want.planned_degradation));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterferenceOracleSeeds,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 42ULL, 97ULL,
+                                           2026ULL));
+
+}  // namespace
+}  // namespace cava

@@ -302,4 +302,208 @@ ReferenceCaResult reference_correlation_aware(
   return result;
 }
 
+ReferenceItfResult reference_interference_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    const alloc::InterferenceMatrix& itf, double lambda,
+    std::size_t max_servers, double capacity, double initial_threshold,
+    double alpha) {
+  const std::vector<double> capacities(max_servers, capacity);
+  return reference_interference_aware(demands, matrix, itf, lambda,
+                                      capacities, initial_threshold, alpha);
+}
+
+ReferenceItfResult reference_interference_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    const alloc::InterferenceMatrix& itf, double lambda,
+    std::span<const double> capacities, double initial_threshold,
+    double alpha) {
+  const std::size_t max_servers = capacities.size();
+  const std::size_t n = demands.size();
+  ReferenceItfResult out;
+  ReferenceCaResult& result = out.allocate;
+  result.server_of.assign(n, max_servers);
+  const bool penalized = lambda > 0.0;
+
+  // Eqn.-3 estimate, identical to the correlation reference (the penalty
+  // never feeds the estimate).
+  double total = 0.0;
+  for (const auto& d : demands) total += d.reference;
+  const bool uniform =
+      std::all_of(capacities.begin(), capacities.end(),
+                  [&](double c) { return c == capacities.front(); });
+  std::size_t estimate = 0;
+  if (max_servers == 0 || uniform) {
+    estimate = naive_min_servers(
+        demands, max_servers == 0 ? 1.0 : capacities.front());
+  } else {
+    std::vector<double> caps(capacities.begin(), capacities.end());
+    std::sort(caps.begin(), caps.end(), std::greater<>());
+    double held = 0.0;
+    while (estimate < caps.size() && held + 1e-9 < total) {
+      held += caps[estimate++];
+    }
+    if (estimate == 0 && !demands.empty()) estimate = 1;
+  }
+  std::size_t active = std::min(estimate, max_servers);
+  if (active == 0 && n > 0) active = 1;
+  result.estimated_servers = active;
+
+  std::vector<double> remaining(capacities.begin(), capacities.end());
+  std::vector<std::vector<std::size_t>> groups(max_servers);
+  std::vector<std::size_t> unalloc = order_descending(demands);
+  double threshold = initial_threshold;
+
+  const auto fits = [&](std::size_t vm_pos, std::size_t server) {
+    return demands[vm_pos].reference <= remaining[server] + 1e-12;
+  };
+  const auto assign = [&](std::size_t pos, std::size_t server) {
+    const std::size_t idx = unalloc[pos];
+    const std::size_t vm = demands[idx].vm;
+    result.server_of[vm] = server;
+    groups[server].push_back(vm);
+    remaining[server] -= demands[idx].reference;
+    unalloc.erase(unalloc.begin() + static_cast<std::ptrdiff_t>(pos));
+  };
+  // Marginal interference of tentatively adding `vm` to `server`, summed
+  // pair by pair through the public scalar accessor.
+  const auto naive_marginal_itf = [&](std::size_t server, std::size_t vm) {
+    double sum = 0.0;
+    for (std::size_t a : groups[server]) sum += itf.degradation(a, vm);
+    return sum;
+  };
+
+  while (!unalloc.empty()) {
+    bool progress = false;
+    std::vector<std::size_t> server_order(active);
+    for (std::size_t s = 0; s < active; ++s) server_order[s] = s;
+    std::sort(server_order.begin(), server_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (remaining[a] != remaining[b]) {
+                  return remaining[a] > remaining[b];
+                }
+                return a < b;
+              });
+
+    for (std::size_t server : server_order) {
+      for (;;) {
+        if (unalloc.empty()) break;
+        int chosen = -1;
+        bool seeded = false;
+        double chosen_cost = 1.0;
+        std::size_t fit_count = 0;
+        std::ptrdiff_t runner_vm = -1;
+        double runner_cost = 0.0;
+        if (groups[server].empty()) {
+          seeded = true;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (fits(unalloc[p], server)) {
+              chosen = static_cast<int>(p);
+              break;
+            }
+          }
+        } else {
+          double best_cost = threshold;
+          for (std::size_t p = 0; p < unalloc.size(); ++p) {
+            if (!fits(unalloc[p], server)) continue;
+            ++fit_count;
+            const std::size_t vm = demands[unalloc[p]].vm;
+            // From-scratch penalized score J over the materialized group.
+            std::vector<std::size_t> extended = groups[server];
+            extended.push_back(vm);
+            double c = eqn2_from_scratch(matrix, extended);
+            if (penalized) c -= lambda * naive_marginal_itf(server, vm);
+            if (c > best_cost) {
+              if (chosen >= 0) {
+                runner_vm = static_cast<std::ptrdiff_t>(
+                    demands[unalloc[static_cast<std::size_t>(chosen)]].vm);
+                runner_cost = best_cost;
+              }
+              best_cost = c;
+              chosen = static_cast<int>(p);
+            } else if (c > runner_cost) {
+              runner_vm =
+                  static_cast<std::ptrdiff_t>(demands[unalloc[p]].vm);
+              runner_cost = c;
+            }
+          }
+          chosen_cost = best_cost;
+        }
+        if (chosen < 0) break;
+        obs::AssignmentRecord rec;
+        rec.vm = demands[unalloc[static_cast<std::size_t>(chosen)]].vm;
+        rec.server = server;
+        rec.server_cost = seeded ? 1.0 : chosen_cost;
+        rec.threshold = threshold;
+        rec.relaxation_round = result.relaxation_rounds;
+        rec.rejected_candidates = fit_count > 0 ? fit_count - 1 : 0;
+        rec.best_rejected_vm = runner_vm;
+        rec.best_rejected_cost = runner_cost;
+        rec.seeded = seeded;
+        result.provenance.push_back(rec);
+        assign(static_cast<std::size_t>(chosen), server);
+        progress = true;
+      }
+    }
+
+    if (unalloc.empty()) break;
+    if (!progress) {
+      bool capacity_bound = true;
+      for (std::size_t p = 0; p < unalloc.size() && capacity_bound; ++p) {
+        for (std::size_t s = 0; s < active; ++s) {
+          if (fits(unalloc[p], s)) {
+            capacity_bound = false;
+            break;
+          }
+        }
+      }
+      // The penalized score can sit below any relaxed threshold forever;
+      // at the production floor the stall is treated as capacity-bound.
+      if (penalized && threshold <= 1e-6) capacity_bound = true;
+      if (capacity_bound) {
+        if (active < max_servers) {
+          ++active;
+        } else {
+          while (!unalloc.empty()) {
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < max_servers; ++s) {
+              if (remaining[s] > remaining[best]) best = s;
+            }
+            obs::AssignmentRecord rec;
+            rec.vm = demands[unalloc[0]].vm;
+            rec.server = best;
+            {
+              // Overflow provenance stays unpenalized, like production.
+              std::vector<std::size_t> extended = groups[best];
+              extended.push_back(demands[unalloc[0]].vm);
+              rec.server_cost = eqn2_from_scratch(matrix, extended);
+            }
+            rec.threshold = threshold;
+            rec.relaxation_round = result.relaxation_rounds;
+            rec.overflow = true;
+            result.provenance.push_back(rec);
+            assign(0, best);
+          }
+          break;
+        }
+      } else {
+        threshold *= alpha;
+        ++result.relaxation_rounds;
+      }
+    }
+  }
+
+  result.final_threshold = threshold;
+  if (penalized) {
+    for (std::size_t s = 0; s < max_servers; ++s) {
+      for (std::size_t a = 0; a < groups[s].size(); ++a) {
+        for (std::size_t b = a + 1; b < groups[s].size(); ++b) {
+          out.planned_degradation += itf.degradation(groups[s][a],
+                                                     groups[s][b]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace cava::oracle

@@ -8,6 +8,7 @@
 // (raw traces or the public scalar CostMatrix accessors) on every call.
 #pragma once
 
+#include "alloc/interference.h"
 #include "alloc/placement.h"
 #include "corr/cost_matrix.h"
 #include "model/vm.h"
@@ -81,6 +82,43 @@ ReferenceCaResult reference_correlation_aware(
 /// fits (1e-9 slack).
 ReferenceCaResult reference_correlation_aware(
     std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    std::span<const double> capacities, double initial_threshold,
+    double alpha);
+
+/// What reference_interference_aware() decided and observed.
+struct ReferenceItfResult {
+  /// Assignment + the diagnostics shared with the correlation sweep.
+  ReferenceCaResult allocate;
+  /// Naive pairwise degradation of the decided groups: for every server,
+  /// the double loop over unordered pairs of its final group summing
+  /// InterferenceMatrix::degradation. 0.0 when lambda == 0 (the production
+  /// sweep skips the accumulator entirely when the penalty is inactive).
+  double planned_degradation = 0.0;
+};
+
+/// Reference interference-aware ALLOCATE (DESIGN.md §15): the correlation
+/// sweep above with non-seed candidates scored by the penalized
+///
+///   J = Eqn2(G + v) - lambda * sum_{a in G} d(a, v),
+///
+/// every term recomputed from scratch via the public scalar accessors (no
+/// incremental D accumulator). Mirrors the production conventions exactly:
+/// seeds and overflow dumps record the *unpenalized* Eqn.-2 cost in
+/// provenance while scan winners record the penalized score, and once the
+/// threshold has decayed to the 1e-6 floor a stalled penalized sweep is
+/// treated as capacity-bound (more servers / overflow) instead of relaxing
+/// forever. With lambda == 0 this is decision-identical to
+/// reference_correlation_aware.
+ReferenceItfResult reference_interference_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    const alloc::InterferenceMatrix& itf, double lambda,
+    std::size_t max_servers, double capacity, double initial_threshold,
+    double alpha);
+
+/// Heterogeneous-fleet variant: capacities[s] is server s's capacity.
+ReferenceItfResult reference_interference_aware(
+    std::span<const model::VmDemand> demands, const corr::CostMatrix& matrix,
+    const alloc::InterferenceMatrix& itf, double lambda,
     std::span<const double> capacities, double initial_threshold,
     double alpha);
 

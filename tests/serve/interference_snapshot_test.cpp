@@ -1,0 +1,245 @@
+// Serve-layer tests of the interference model: the engine-vs-batch
+// differential with the model attached, engine-state v3 snapshot round trips
+// (profiles persisted and verified), and the rejection matrix for resuming
+// under a mismatched model (off/on, dense/top-k shape, lambda, matrix
+// contents).
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/interference_aware.h"
+#include "sim/churn.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/rng.h"
+
+namespace cava::serve {
+namespace {
+
+trace::TraceSet small_traces(std::uint64_t seed = 1) {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = 8;
+  cfg.num_groups = 4;
+  cfg.day_seconds = 7200.0;
+  cfg.coarse_dt = 300.0;
+  cfg.fine_dt = 10.0;
+  cfg.seed = seed;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+std::shared_ptr<alloc::InterferenceMatrix> random_matrix(std::size_t n,
+                                                         std::uint64_t seed) {
+  auto m = std::make_shared<alloc::InterferenceMatrix>(n);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m->set(i, j, rng.uniform(0.0, 0.4));
+    }
+  }
+  return m;
+}
+
+sim::SimConfig itf_config(double lambda, std::size_t top_k = 0,
+                          std::uint64_t matrix_seed = 3) {
+  sim::SimConfig cfg;
+  cfg.max_servers = 8;
+  cfg.period_seconds = 600.0;
+  cfg.vf_mode = sim::VfMode::kNone;
+  cfg.interference_matrix = random_matrix(8, matrix_seed);
+  cfg.interference_lambda = lambda;
+  cfg.interference_top_k = top_k;
+  return cfg;
+}
+
+TEST(InterferenceEngine, NoChurnMatchesBatchBitIdentical) {
+  const trace::TraceSet traces = small_traces();
+  const sim::SimConfig cfg = itf_config(0.8);
+
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 0.8;
+  alloc::InterferenceAwarePlacement batch_policy(icfg);
+  const sim::SimResult batch =
+      sim::DatacenterSimulator(cfg).run(traces, {batch_policy});
+
+  alloc::InterferenceAwarePlacement serve_policy(icfg);
+  AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {},
+                          {serve_policy});
+  engine.run_to_completion();
+  const sim::SimResult serve = engine.result();
+
+  EXPECT_EQ(serve.total_energy_joules, batch.total_energy_joules);
+  EXPECT_EQ(serve.total_interference_degradation,
+            batch.total_interference_degradation);
+  EXPECT_EQ(serve.max_worst_pair_degradation,
+            batch.max_worst_pair_degradation);
+  ASSERT_EQ(serve.periods.size(), batch.periods.size());
+  for (std::size_t p = 0; p < serve.periods.size(); ++p) {
+    EXPECT_EQ(serve.periods[p].interference_degradation,
+              batch.periods[p].interference_degradation)
+        << "period " << p;
+    EXPECT_EQ(serve.periods[p].worst_pair_degradation,
+              batch.periods[p].worst_pair_degradation)
+        << "period " << p;
+  }
+}
+
+TEST(InterferenceEngine, SnapshotRoundTripResumesBitIdentically) {
+  const trace::TraceSet traces = small_traces(5);
+  const sim::SimConfig cfg = itf_config(1.2, 3);
+
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 1.2;
+
+  // Uninterrupted run.
+  alloc::InterferenceAwarePlacement full_policy(icfg);
+  AllocationEngine full(cfg, traces, sim::ChurnSpec::none(), {},
+                        {full_policy});
+  full.run_to_completion();
+
+  // Interrupted at period 4, restored into a fresh engine.
+  alloc::InterferenceAwarePlacement head_policy(icfg);
+  AllocationEngine head(cfg, traces, sim::ChurnSpec::none(), {},
+                        {head_policy});
+  for (int p = 0; p < 4; ++p) head.tick();
+  const std::vector<std::uint8_t> payload = head.save_state();
+
+  alloc::InterferenceAwarePlacement tail_policy(icfg);
+  AllocationEngine tail(cfg, traces, sim::ChurnSpec::none(), {},
+                        {tail_policy});
+  tail.restore_state(payload);
+  EXPECT_EQ(tail.period(), 4u);
+  tail.run_to_completion();
+
+  const sim::SimResult want = full.result();
+  const sim::SimResult got = tail.result();
+  EXPECT_EQ(got.total_energy_joules, want.total_energy_joules);
+  EXPECT_EQ(got.total_interference_degradation,
+            want.total_interference_degradation);
+  EXPECT_EQ(got.max_worst_pair_degradation, want.max_worst_pair_degradation);
+  ASSERT_EQ(got.periods.size(), want.periods.size());
+  for (std::size_t p = 0; p < got.periods.size(); ++p) {
+    EXPECT_EQ(got.periods[p].interference_degradation,
+              want.periods[p].interference_degradation)
+        << "period " << p;
+  }
+}
+
+TEST(InterferenceEngine, ChurnedSubsetViewsStayConsistent) {
+  // Synthetic churn exercises the subset() path: the penalty reads a
+  // compacted matrix view while measurement stays in universe ids. The run
+  // must complete and account degradation sanely.
+  const trace::TraceSet traces = small_traces(7);
+  const sim::SimConfig cfg = itf_config(0.6);
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 0.6;
+  alloc::InterferenceAwarePlacement policy(icfg);
+  sim::SyntheticChurnConfig churn;
+  churn.num_vms = traces.size();
+  churn.num_periods = 12;
+  churn.arrival_prob = 0.25;
+  churn.departure_prob = 0.25;
+  churn.seed = 99;
+  AllocationEngine engine(cfg, traces, sim::ChurnSpec::synthetic(churn), {},
+                          {policy});
+  engine.run_to_completion();
+  const sim::SimResult r = engine.result();
+  double sum = 0.0;
+  for (const auto& p : r.periods) sum += p.interference_degradation;
+  EXPECT_NEAR(sum, r.total_interference_degradation, 1e-9);
+}
+
+/// Build an engine for `cfg` and expect restore_state(payload) to throw.
+void expect_restore_rejected(const sim::SimConfig& cfg, double lambda,
+                             std::span<const std::uint8_t> payload) {
+  const trace::TraceSet traces = small_traces(5);
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = lambda;
+  alloc::InterferenceAwarePlacement policy(icfg);
+  AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {}, {policy});
+  EXPECT_THROW(engine.restore_state(payload), std::invalid_argument);
+}
+
+TEST(InterferenceEngine, RestoreRejectsEveryModelMismatch) {
+  const trace::TraceSet traces = small_traces(5);
+  const sim::SimConfig cfg = itf_config(1.2);
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 1.2;
+  alloc::InterferenceAwarePlacement policy(icfg);
+  AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {}, {policy});
+  for (int p = 0; p < 2; ++p) engine.tick();
+  const std::vector<std::uint8_t> payload = engine.save_state();
+
+  // Same model restores fine (round trip sanity).
+  {
+    alloc::InterferenceAwarePlacement ok_policy(icfg);
+    AllocationEngine ok(cfg, traces, sim::ChurnSpec::none(), {}, {ok_policy});
+    ok.restore_state(payload);
+    EXPECT_EQ(ok.period(), 2u);
+  }
+  // Different lambda.
+  expect_restore_rejected(itf_config(0.5), 0.5, payload);
+  // Dense snapshot into a top-k run.
+  expect_restore_rejected(itf_config(1.2, 3), 1.2, payload);
+  // Different matrix contents (same size, different seed).
+  expect_restore_rejected(itf_config(1.2, 0, 77), 1.2, payload);
+  // Interference snapshot into a model-free run.
+  {
+    sim::SimConfig off;
+    off.max_servers = 8;
+    off.period_seconds = 600.0;
+    off.vf_mode = sim::VfMode::kNone;
+    alloc::InterferenceAwarePlacement off_policy;
+    AllocationEngine off_engine(off, traces, sim::ChurnSpec::none(), {},
+                                {off_policy});
+    EXPECT_THROW(off_engine.restore_state(payload), std::invalid_argument);
+  }
+}
+
+TEST(InterferenceEngine, ModelFreeSnapshotRejectedByInterferenceRun) {
+  const trace::TraceSet traces = small_traces(5);
+  sim::SimConfig off;
+  off.max_servers = 8;
+  off.period_seconds = 600.0;
+  off.vf_mode = sim::VfMode::kNone;
+  alloc::InterferenceAwarePlacement off_policy;
+  AllocationEngine off_engine(off, traces, sim::ChurnSpec::none(), {},
+                              {off_policy});
+  for (int p = 0; p < 2; ++p) off_engine.tick();
+  const std::vector<std::uint8_t> payload = off_engine.save_state();
+
+  // A model-free snapshot still round-trips into a model-free engine…
+  {
+    alloc::InterferenceAwarePlacement ok_policy;
+    AllocationEngine ok(off, traces, sim::ChurnSpec::none(), {}, {ok_policy});
+    ok.restore_state(payload);
+    EXPECT_EQ(ok.period(), 2u);
+  }
+  // …but not into a run with the model attached.
+  expect_restore_rejected(itf_config(1.2), 1.2, payload);
+}
+
+TEST(InterferenceEngine, FingerprintSeparatesInterferenceConfigs) {
+  const trace::TraceSet traces = small_traces(5);
+  auto fingerprint_of = [&](const sim::SimConfig& cfg, double lambda) {
+    alloc::InterferenceAwareConfig icfg;
+    icfg.lambda = lambda;
+    alloc::InterferenceAwarePlacement policy(icfg);
+    AllocationEngine engine(cfg, traces, sim::ChurnSpec::none(), {},
+                            {policy});
+    return engine.config_fingerprint();
+  };
+  const std::uint64_t base = fingerprint_of(itf_config(1.2), 1.2);
+  EXPECT_EQ(base, fingerprint_of(itf_config(1.2), 1.2));
+  EXPECT_NE(base, fingerprint_of(itf_config(0.5), 0.5));
+  EXPECT_NE(base, fingerprint_of(itf_config(1.2, 3), 1.2));
+  EXPECT_NE(base, fingerprint_of(itf_config(1.2, 0, 77), 1.2));
+}
+
+}  // namespace
+}  // namespace cava::serve

@@ -1,0 +1,185 @@
+// Simulator-level tests of the interference model: config validation, the
+// lambda = 0 full-run identity with the correlation policy, measured-
+// degradation accounting consistency (periods sum to totals, recorded for
+// baselines too), and the energy/degradation trade-off across a lambda
+// ladder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "alloc/bfd.h"
+#include "alloc/correlation_aware.h"
+#include "alloc/interference_aware.h"
+#include "sim/datacenter_sim.h"
+#include "trace/synthesis.h"
+#include "util/rng.h"
+
+namespace cava::sim {
+namespace {
+
+trace::TraceSet small_traces(std::uint64_t seed = 1, std::size_t vms = 12) {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = vms;
+  cfg.num_groups = 3;
+  cfg.day_seconds = 4.0 * 3600.0;
+  cfg.fine_dt = 10.0;
+  cfg.seed = seed;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+std::shared_ptr<alloc::InterferenceMatrix> random_matrix(std::size_t n,
+                                                         std::uint64_t seed) {
+  auto m = std::make_shared<alloc::InterferenceMatrix>(n);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m->set(i, j, rng.uniform(0.0, 0.4));
+    }
+  }
+  return m;
+}
+
+SimConfig itf_config(std::size_t vms, double lambda, std::uint64_t seed = 5) {
+  SimConfig cfg;
+  cfg.max_servers = 8;
+  cfg.vf_mode = VfMode::kNone;
+  cfg.interference_matrix = random_matrix(vms, seed);
+  cfg.interference_lambda = lambda;
+  return cfg;
+}
+
+TEST(InterferenceConfig, ValidateRejectsBadCombinations) {
+  SimConfig cfg;
+  cfg.interference_lambda = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg.interference_lambda = 0.5;  // lambda without a matrix
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg.interference_lambda = 0.0;
+  cfg.interference_top_k = 4;  // top-k without a matrix
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg.interference_matrix = random_matrix(8, 1);
+  cfg.validate();  // matrix + top-k is fine
+
+  cfg.corr_mode = CorrMode::kSparse;  // sparse correlation + interference
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(InterferenceConfig, MatrixSmallerThanTracesThrows) {
+  const auto traces = small_traces(1, 12);
+  SimConfig cfg = itf_config(6, 0.5);  // covers 6 of 12 VMs
+  alloc::InterferenceAwarePlacement policy;
+  EXPECT_THROW(DatacenterSimulator(cfg).run(traces, {policy}),
+               std::invalid_argument);
+}
+
+TEST(InterferenceSim, LambdaZeroRunIsBitIdenticalToCorrelation) {
+  const auto traces = small_traces(3);
+  SimConfig plain;
+  plain.max_servers = 8;
+  plain.vf_mode = VfMode::kNone;
+  alloc::CorrelationAwarePlacement correlation;
+  const auto want = DatacenterSimulator(plain).run(traces, {correlation});
+
+  SimConfig cfg = itf_config(12, 0.0);
+  alloc::InterferenceAwareConfig icfg;  // lambda = 0
+  alloc::InterferenceAwarePlacement interference(icfg);
+  const auto got = DatacenterSimulator(cfg).run(traces, {interference});
+
+  EXPECT_DOUBLE_EQ(got.total_energy_joules, want.total_energy_joules);
+  EXPECT_DOUBLE_EQ(got.max_violation_ratio, want.max_violation_ratio);
+  EXPECT_DOUBLE_EQ(got.mean_active_servers, want.mean_active_servers);
+  EXPECT_EQ(got.total_migrated_vms, want.total_migrated_vms);
+  ASSERT_EQ(got.periods.size(), want.periods.size());
+  for (std::size_t p = 0; p < got.periods.size(); ++p) {
+    EXPECT_EQ(got.periods[p].active_servers, want.periods[p].active_servers);
+    EXPECT_DOUBLE_EQ(got.periods[p].energy_joules,
+                     want.periods[p].energy_joules);
+  }
+  // The attached matrix still measures degradation, it just has no weight.
+  EXPECT_GT(got.total_interference_degradation, 0.0);
+  EXPECT_DOUBLE_EQ(want.total_interference_degradation, 0.0);
+}
+
+TEST(InterferenceSim, PeriodDegradationSumsToTotal) {
+  const auto traces = small_traces(4);
+  SimConfig cfg = itf_config(12, 0.8);
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 0.8;
+  alloc::InterferenceAwarePlacement policy(icfg);
+  const auto r = DatacenterSimulator(cfg).run(traces, {policy});
+  double sum = 0.0;
+  double worst = 0.0;
+  for (const auto& p : r.periods) {
+    sum += p.interference_degradation;
+    worst = std::max(worst, p.worst_pair_degradation);
+  }
+  EXPECT_NEAR(sum, r.total_interference_degradation, 1e-9);
+  EXPECT_DOUBLE_EQ(worst, r.max_worst_pair_degradation);
+  EXPECT_GT(r.total_interference_degradation, 0.0);
+}
+
+TEST(InterferenceSim, BaselinesGetMeasuredDegradationToo) {
+  // The dense matrix measures every policy's placements (the Pareto sweep
+  // tabulates baselines against interference runs), even when the policy
+  // itself ignores interference.
+  const auto traces = small_traces(5);
+  SimConfig cfg = itf_config(12, 0.0);
+  alloc::BestFitDecreasing bfd;
+  const auto r = DatacenterSimulator(cfg).run(traces, {bfd});
+  EXPECT_GT(r.total_interference_degradation, 0.0);
+  EXPECT_GT(r.max_worst_pair_degradation, 0.0);
+}
+
+TEST(InterferenceSim, RaisingLambdaNeverRaisesMeasuredDegradation) {
+  // The property test the ISSUE pins: along the lambda ladder the measured
+  // co-run degradation is non-increasing (each step trades energy for
+  // isolation), and the heaviest lambda strictly beats lambda = 0.
+  const auto traces = small_traces(6, 14);
+  double prev = std::numeric_limits<double>::infinity();
+  double at_zero = 0.0;
+  for (const double lambda : {0.0, 0.5, 2.0, 8.0}) {
+    SimConfig cfg = itf_config(14, lambda, 21);
+    alloc::InterferenceAwareConfig icfg;
+    icfg.lambda = lambda;
+    alloc::InterferenceAwarePlacement policy(icfg);
+    const auto r = DatacenterSimulator(cfg).run(traces, {policy});
+    EXPECT_LE(r.total_interference_degradation, prev + 1e-9)
+        << "lambda " << lambda;
+    prev = r.total_interference_degradation;
+    if (lambda == 0.0) at_zero = r.total_interference_degradation;
+  }
+  EXPECT_LT(prev, at_zero);
+}
+
+TEST(InterferenceSim, SparseTopKAtFullWidthMatchesDense) {
+  // k >= n-1 keeps every pair: the policy's sparse approximation is the
+  // dense matrix and the whole run must be bit-identical.
+  const auto traces = small_traces(8);
+  SimConfig dense_cfg = itf_config(12, 1.0, 9);
+  alloc::InterferenceAwareConfig icfg;
+  icfg.lambda = 1.0;
+  alloc::InterferenceAwarePlacement dense_policy(icfg);
+  const auto dense = DatacenterSimulator(dense_cfg).run(traces, {dense_policy});
+
+  SimConfig sparse_cfg = itf_config(12, 1.0, 9);
+  sparse_cfg.interference_top_k = 11;
+  alloc::InterferenceAwarePlacement sparse_policy(icfg);
+  const auto sparse =
+      DatacenterSimulator(sparse_cfg).run(traces, {sparse_policy});
+
+  EXPECT_DOUBLE_EQ(sparse.total_energy_joules, dense.total_energy_joules);
+  EXPECT_DOUBLE_EQ(sparse.total_interference_degradation,
+                   dense.total_interference_degradation);
+  EXPECT_DOUBLE_EQ(sparse.max_worst_pair_degradation,
+                   dense.max_worst_pair_degradation);
+  EXPECT_EQ(sparse.total_migrated_vms, dense.total_migrated_vms);
+}
+
+}  // namespace
+}  // namespace cava::sim

@@ -1,0 +1,220 @@
+// Black-box tests of cava_datacenter's interference surface: the profile
+// fault corpus must die with exit 2 (config) before any simulation starts,
+// incompatible flag combinations are config errors, the lambda = 0 run is
+// identical to --policy correlation down to the reported energy, and a
+// checkpointed interference run refuses to resume under a different lambda
+// (exit 3, data). Exit codes per util/error.h: 0 ok, 2 config, 3 data,
+// 4 runtime, 5 I/O.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef CAVA_DATACENTER_PATH
+#define CAVA_DATACENTER_PATH "cava_datacenter"
+#endif
+
+namespace {
+
+std::string binary_path() {
+  if (const char* env = std::getenv("CAVA_DATACENTER_PATH")) return env;
+  return CAVA_DATACENTER_PATH;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      "'" + binary_path() + "' " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Fast shared arguments: tiny synthesized population, deterministic seed.
+const char* kFastArgs = "--vms 6 --groups 2 --hours 2 --servers 6 ";
+
+/// Write `body` to a fresh temp file and return its path.
+std::string write_profile(const std::string& name, const std::string& body) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+/// A well-formed two-class profile (schema cava-interference-profile-v1).
+const char* kGoodProfile = R"({
+  "schema": "cava-interference-profile-v1",
+  "classes": ["web", "canneal"],
+  "degradation": [[0.01, 0.12], [0.12, 0.30]],
+  "vms": [{"id": 0, "class": "canneal"}],
+  "default_class": "web",
+  "lambda": 0.5
+})";
+
+/// Pull the first "total_energy_joules" value out of a JSON report file.
+std::string energy_field(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("\"total_energy_joules\"");
+    if (pos == std::string::npos) continue;
+    const auto colon = line.find(':', pos);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    return value;
+  }
+  return "";
+}
+
+TEST(InterferenceCli, GoodProfileRunsClean) {
+  const std::string profile = write_profile("itf_good.json", kGoodProfile);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile +
+                     " --interference-lambda 0.5"),
+            0);
+}
+
+TEST(InterferenceCli, LambdaZeroReportsTheSameEnergyAsCorrelation) {
+  const std::string profile = write_profile("itf_id.json", kGoodProfile);
+  const std::string a = temp_path("corr.json");
+  const std::string b = temp_path("itf0.json");
+  ASSERT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy correlation --json-out " + a),
+            0);
+  ASSERT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile +
+                     " --interference-lambda 0 --json-out " + b),
+            0);
+  const std::string want = energy_field(a);
+  const std::string got = energy_field(b);
+  ASSERT_FALSE(want.empty());
+  EXPECT_EQ(got, want);
+}
+
+struct BadProfileCase {
+  const char* name;
+  const char* body;
+};
+
+class InterferenceProfileCorpus
+    : public ::testing::TestWithParam<BadProfileCase> {};
+
+TEST_P(InterferenceProfileCorpus, DiesWithConfigError) {
+  const BadProfileCase& c = GetParam();
+  const std::string profile =
+      write_profile(std::string("itf_bad_") + c.name + ".json", c.body);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile),
+            2)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, InterferenceProfileCorpus,
+    ::testing::Values(
+        BadProfileCase{"truncated",
+                       R"({"schema": "cava-interference-profile-v1", "clas)"},
+        BadProfileCase{"wrong_schema",
+                       R"({"schema": "not-a-profile", "classes": ["a"],
+                           "degradation": [[0.0]]})"},
+        BadProfileCase{"asymmetric",
+                       R"({"schema": "cava-interference-profile-v1",
+                           "classes": ["a", "b"],
+                           "degradation": [[0.0, 0.1], [0.2, 0.0]]})"},
+        BadProfileCase{"negative_cell",
+                       R"({"schema": "cava-interference-profile-v1",
+                           "classes": ["a", "b"],
+                           "degradation": [[0.0, -0.1], [-0.1, 0.0]]})"},
+        BadProfileCase{"duplicate_vm",
+                       R"({"schema": "cava-interference-profile-v1",
+                           "classes": ["a"], "degradation": [[0.1]],
+                           "vms": [{"id": 2, "class": "a"},
+                                   {"id": 2, "class": "a"}]})"},
+        BadProfileCase{"negative_lambda",
+                       R"({"schema": "cava-interference-profile-v1",
+                           "classes": ["a"], "degradation": [[0.1]],
+                           "lambda": -0.5})"}),
+    [](const ::testing::TestParamInfo<BadProfileCase>& info) {
+      return info.param.name;
+    });
+
+TEST(InterferenceCli, MissingProfileFileIsConfigError) {
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " +
+                     temp_path("definitely_missing.json")),
+            2);
+}
+
+TEST(InterferenceCli, FlagCombinationsAreValidated) {
+  const std::string profile = write_profile("itf_flags.json", kGoodProfile);
+  // top-k must be positive.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile +
+                     " --interference-topk 0"),
+            2);
+  // The interference policy needs the dense correlation matrices.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile +
+                     " --corr sparse --topk 2"),
+            2);
+  // Rack shards do not see the interference matrix.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) +
+                     "--policy interference --interference " + profile +
+                     " --shard-by rack"),
+            2);
+  // The sweep is batch-only, needs a profile, and picks its own policies.
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--interference-sweep 0,1"), 2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--interference " + profile +
+                     " --interference-sweep 0,1 --policy bfd"),
+            2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--interference " + profile +
+                     " --interference-sweep 0,-1"),
+            2);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--interference " + profile +
+                     " --interference-sweep 0,1 --serve --policy "
+                     "interference --periods 2"),
+            2);
+}
+
+TEST(InterferenceCli, SweepPrintsTheParetoTable) {
+  const std::string profile = write_profile("itf_sweep.json", kGoodProfile);
+  EXPECT_EQ(run_tool(std::string(kFastArgs) + "--interference " + profile +
+                     " --interference-sweep 0,2"),
+            0);
+}
+
+TEST(InterferenceCli, ResumeRejectsALambdaMismatch) {
+  const std::string profile = write_profile("itf_resume.json", kGoodProfile);
+  const std::string ckpt = temp_path("itf_resume.ckpt");
+  const std::string serve_args = std::string(kFastArgs) +
+                                 "--serve --policy interference "
+                                 "--interference " +
+                                 profile + " --checkpoint " + ckpt +
+                                 " --checkpoint-every 1 ";
+  // The snapshot fingerprint pins the whole configuration, --periods
+  // included, so every run here uses the same horizon.
+  ASSERT_EQ(run_tool(serve_args + "--interference-lambda 0.5 --periods 3"),
+            0);
+  // Same model resumes fine...
+  EXPECT_EQ(run_tool(serve_args +
+                     "--interference-lambda 0.5 --periods 3 --resume"),
+            0);
+  // ...a different lambda is a data error (checkpoint fingerprint).
+  EXPECT_EQ(run_tool(serve_args +
+                     "--interference-lambda 2.0 --periods 3 --resume"),
+            3);
+}
+
+}  // namespace

@@ -41,6 +41,8 @@ struct Entry {
   double samples_per_s = std::nan("");
   double dense_mbytes = std::nan("");
   double index_mbytes = std::nan("");
+  double energy_vs_cava = std::nan("");
+  double degradation_vs_cava = std::nan("");
 };
 
 }  // namespace
@@ -127,6 +129,14 @@ int main(int argc, char** argv) {
       if (const Json* c = b.find("index_mbytes");
           c != nullptr && c->is_number()) {
         e.index_mbytes = c->as_number();
+      }
+      if (const Json* c = b.find("energy_vs_cava");
+          c != nullptr && c->is_number()) {
+        e.energy_vs_cava = c->as_number();
+      }
+      if (const Json* c = b.find("degradation_vs_cava");
+          c != nullptr && c->is_number()) {
+        e.degradation_vs_cava = c->as_number();
       }
       entries[name->as_string()] = e;
     }
@@ -276,6 +286,44 @@ int main(int argc, char** argv) {
   if (s_place_100k != entries.end()) {
     derived["sparse_sharded_place_ns_n10240"] =
         s_place_100k->second.real_time_ns;
+  }
+  // Interference-aware placement (bench_interference.cpp): the lambda = 0
+  // dispatch overhead over the correlation sweep, the penalized sweep's
+  // cost factor, and the quality pin — energy/degradation of the tuned
+  // interference policy relative to CAVA on the same traces and matrix.
+  // All dimensionless, so they gate in CI with the ratios above.
+  const auto corr_place = entries.find("BM_CorrelationPlace/128");
+  const auto itf_l0 = entries.find("BM_InterferencePlaceL0/128");
+  const auto itf_place = entries.find("BM_InterferencePlace/128");
+  if (corr_place != entries.end()) {
+    derived["correlation_place_ns_n128"] = corr_place->second.real_time_ns;
+  }
+  if (itf_l0 != entries.end()) {
+    derived["interference_l0_place_ns_n128"] = itf_l0->second.real_time_ns;
+  }
+  if (itf_place != entries.end()) {
+    derived["interference_place_ns_n128"] = itf_place->second.real_time_ns;
+  }
+  if (corr_place != entries.end() && itf_l0 != entries.end() &&
+      corr_place->second.real_time_ns > 0.0) {
+    derived["interference_l0_vs_correlation_n128"] =
+        itf_l0->second.real_time_ns / corr_place->second.real_time_ns;
+  }
+  if (corr_place != entries.end() && itf_place != entries.end() &&
+      corr_place->second.real_time_ns > 0.0) {
+    derived["interference_vs_correlation_n128"] =
+        itf_place->second.real_time_ns / corr_place->second.real_time_ns;
+  }
+  const auto quality = entries.find("BM_InterferenceQuality/iterations:1");
+  if (quality != entries.end()) {
+    if (!std::isnan(quality->second.energy_vs_cava)) {
+      derived["interference_energy_vs_cava"] =
+          quality->second.energy_vs_cava;
+    }
+    if (!std::isnan(quality->second.degradation_vs_cava)) {
+      derived["interference_degradation_vs_cava"] =
+          quality->second.degradation_vs_cava;
+    }
   }
   out["derived"] = std::move(derived);
 

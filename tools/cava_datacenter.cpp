@@ -35,6 +35,7 @@
 //                   --churn synthetic:arrive=0.05,depart=0.05
 //                   --checkpoint snap.cava --checkpoint-every 10 --resume
 #include <cstdint>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,10 +48,13 @@
 #include "alloc/correlation_aware.h"
 #include "alloc/effective_sizing.h"
 #include "alloc/ffd.h"
+#include "alloc/interference.h"
+#include "alloc/interference_aware.h"
 #include "alloc/migration.h"
 #include "alloc/pcp.h"
 #include "alloc/sharded.h"
 #include "alloc/structure_aware.h"
+#include "cachesim/profile.h"
 #include "dvfs/vf_policy.h"
 #include "model/fleet.h"
 #include "serve/checkpoint.h"
@@ -80,8 +84,12 @@ Trace source (default: synthesize the paper's Setup-2 population):
   --seed S            synthesis seed                  [3]
 
 Simulation:
-  --policy P          ffd | bfd | pcp | effsize | proposed | structure | all
-                      [all]
+  --policy P          ffd | bfd | pcp | effsize | proposed | structure |
+                      interference | all                 [all]
+                      ("correlation" is accepted as an alias for proposed;
+                      "all" runs the six non-interference policies;
+                      interference scores servers with J(s) = Cost(s) -
+                      lambda * interference and needs --corr dense)
   --vf MODE           fmax | worst-case | eqn4 | dynamic | oracle [matched]
                       ("matched": worst-case for baselines, eqn4 for
                       proposed/structure)
@@ -104,6 +112,24 @@ Simulation:
                       the shards in parallel, then reconciles across shards;
                       needs a --fleet whose racks hold more than one server
   --predictor NAME    last-value | moving-average | ewma | ar1 [last-value]
+  --interference SRC  co-run interference profile: a JSON file (schema
+                      cava-interference-profile-v1, see DESIGN.md #15) or
+                      "cachesim" to measure the Table I class table with the
+                      cache co-run simulator at startup. Attaching a profile
+                      makes every policy report its measured degradation
+  --interference-lambda L
+                      interference weight in J(s) = Cost(s) - L * sum d(i,j)
+                      [profile's lambda, else 0; 0 = bit-identical to
+                      proposed]
+  --interference-topk K
+                      keep only each VM's K worst interference partners
+                      (O(N*K) memory; the measured degradation still uses
+                      the full matrix)                   [0 = dense]
+  --interference-sweep L1,L2,...
+                      batch mode: run proposed/bfd/pcp baselines plus the
+                      interference policy at each lambda, then print the
+                      energy-vs-degradation Pareto table (needs
+                      --interference)
   --migration-joules J  energy per migrated core      [0]
   --threads N         worker threads for multi-policy runs
                       [hardware concurrency]
@@ -179,7 +205,7 @@ auto with_category(util::ErrorCategory category, Fn&& fn) -> decltype(fn()) {
 }
 
 std::unique_ptr<alloc::PlacementPolicy> make_base_policy(
-    const std::string& name) {
+    const std::string& name, double interference_lambda) {
   if (name == "ffd") return std::make_unique<alloc::FirstFitDecreasing>();
   if (name == "bfd") return std::make_unique<alloc::BestFitDecreasing>();
   if (name == "pcp") return std::make_unique<alloc::PeakClusteringPlacement>();
@@ -189,23 +215,36 @@ std::unique_ptr<alloc::PlacementPolicy> make_base_policy(
   if (name == "structure") {
     return std::make_unique<alloc::StructureAwarePlacement>();
   }
+  if (name == "interference") {
+    alloc::InterferenceAwareConfig icfg;
+    icfg.lambda = interference_lambda;
+    return std::make_unique<alloc::InterferenceAwarePlacement>(icfg);
+  }
   return std::make_unique<alloc::CorrelationAwarePlacement>();
 }
 
 sim::PolicyFactory make_policy_factory(const std::string& name, bool sticky,
-                                       bool shard_rack) {
+                                       bool shard_rack,
+                                       double interference_lambda) {
   if (name != "ffd" && name != "bfd" && name != "pcp" && name != "effsize" &&
-      name != "proposed" && name != "structure") {
+      name != "proposed" && name != "structure" && name != "interference") {
     throw util::CliError(util::ErrorCategory::kConfig,
                          "unknown policy '" + name + "'");
   }
-  return [name, sticky, shard_rack]() -> std::unique_ptr<alloc::PlacementPolicy> {
+  if (name == "interference" && shard_rack) {
+    throw util::CliError(
+        util::ErrorCategory::kConfig,
+        "--policy interference cannot be combined with --shard-by rack: the "
+        "rack shards do not see the interference matrix");
+  }
+  return [name, sticky, shard_rack,
+          interference_lambda]() -> std::unique_ptr<alloc::PlacementPolicy> {
     std::unique_ptr<alloc::PlacementPolicy> policy;
     if (shard_rack) {
       policy = std::make_unique<alloc::ShardedPlacement>(
-          [name] { return make_base_policy(name); });
+          [name] { return make_base_policy(name, 0.0); });
     } else {
-      policy = make_base_policy(name);
+      policy = make_base_policy(name, interference_lambda);
     }
     if (sticky) {
       policy = std::make_unique<alloc::StickyPlacement>(std::move(policy),
@@ -246,7 +285,8 @@ sim::VfFactory make_vf_factory(const sim::SimConfig& cfg, const std::string& vf,
                                const std::string& policy_name) {
   if (cfg.vf_mode != sim::VfMode::kStatic) return nullptr;
   if (vf == "eqn4" || (vf == "matched" && (policy_name == "proposed" ||
-                                           policy_name == "structure"))) {
+                                           policy_name == "structure" ||
+                                           policy_name == "interference"))) {
     return [] { return std::make_unique<dvfs::CorrelationAwareVf>(); };
   }
   return [] { return std::make_unique<dvfs::WorstCaseVf>(); };
@@ -257,6 +297,39 @@ struct ExplainQuery {
   std::size_t vm = 0;
   std::optional<std::size_t> period;
 };
+
+/// Parse the --interference-sweep lambda list ("0,0.5,2"): finite,
+/// non-negative, at least one entry.
+std::vector<double> parse_lambda_list(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (part.empty()) continue;
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+      value = std::stod(part, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != part.size() || !std::isfinite(value) || value < 0.0) {
+      throw util::CliError(
+          util::ErrorCategory::kConfig,
+          "--interference-sweep: lambda must be a finite non-negative "
+          "number, got '" + part + "'");
+    }
+    out.push_back(value);
+  }
+  if (out.empty()) {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--interference-sweep needs at least one lambda");
+  }
+  return out;
+}
 
 ExplainQuery parse_explain(const std::string& text) {
   ExplainQuery q;
@@ -375,6 +448,11 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
     throw util::CliError(util::ErrorCategory::kConfig,
                          "--serve needs a single --policy (not 'all')");
   }
+  if (flags.has("interference-sweep")) {
+    throw util::CliError(util::ErrorCategory::kConfig,
+                         "--interference-sweep is a batch-mode comparison; "
+                         "drop --serve");
+  }
   if (cfg.vf_mode == sim::VfMode::kOracleStatic) {
     throw util::CliError(util::ErrorCategory::kConfig,
                          "--serve cannot use --vf oracle (needs foresight "
@@ -414,7 +492,8 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
   std::printf("churn: %s\n", churn.describe().c_str());
 
   const auto policy =
-      make_policy_factory(which, flags.get_bool("sticky"), shard_rack)();
+      make_policy_factory(which, flags.get_bool("sticky"), shard_rack,
+                          cfg.interference_lambda)();
   std::unique_ptr<dvfs::VfPolicy> static_vf;
   if (const sim::VfFactory vf_factory = make_vf_factory(cfg, vf, which)) {
     static_vf = vf_factory();
@@ -475,7 +554,8 @@ int run_main(int argc, char** argv) {
             {"trace-in", "repair-traces", "save-traces", "trace-out",
              "provenance-out", "explain", "vms", "groups", "hours", "seed",
              "policy", "vf", "sticky", "servers", "fleet", "period-min",
-             "corr", "topk", "shard-by",
+             "corr", "topk", "shard-by", "interference",
+             "interference-lambda", "interference-topk", "interference-sweep",
              "predictor", "migration-joules", "threads", "strict-sweep",
              "faults", "fault-seed", "metrics-level", "metrics-out",
              "json-out", "serve", "periods", "churn", "checkpoint",
@@ -554,6 +634,42 @@ int run_main(int argc, char** argv) {
       cfg.sparse_index.top_k = static_cast<std::size_t>(k);
     }
 
+    if (flags.has("interference")) {
+      const std::string spec = flags.get_string("interference", "");
+      alloc::InterferenceProfile profile;
+      if (spec == "cachesim") {
+        // Measure the Table I class table live: 5 solo + 15 co-run cache
+        // simulations, fanned out across the worker pool.
+        util::ThreadPool pool(util::ThreadPool::default_concurrency());
+        const cachesim::ClassDegradationTable table =
+            cachesim::build_class_degradation(cachesim::table1_streams(),
+                                              cachesim::CorunConfig{}, &pool);
+        profile.classes = table.names;
+        profile.degradation = table.degradation;
+        std::printf("interference: measured %zu-class table via cachesim\n\n",
+                    profile.classes.size());
+      } else {
+        profile = alloc::InterferenceProfile::load_json(spec);
+        std::printf("interference: %zu classes from %s\n\n",
+                    profile.classes.size(), spec.c_str());
+      }
+      cfg.interference_matrix = std::make_shared<alloc::InterferenceMatrix>(
+          profile.matrix_for(traces->size()));
+      cfg.interference_lambda = profile.lambda.value_or(0.0);
+    }
+    if (flags.has("interference-lambda")) {
+      cfg.interference_lambda = flags.get_double("interference-lambda", 0.0);
+    }
+    if (flags.has("interference-topk")) {
+      const long k = flags.get_int("interference-topk", 0);
+      if (k < 1) {
+        throw util::CliError(util::ErrorCategory::kConfig,
+                             "--interference-topk must be >= 1, got " +
+                                 std::to_string(k));
+      }
+      cfg.interference_top_k = static_cast<std::size_t>(k);
+    }
+
     cfg.predictor = flags.get_string("predictor", "last-value");
     cfg.migration_energy_joules_per_core =
         flags.get_double("migration-joules", 0.0);
@@ -578,7 +694,17 @@ int run_main(int argc, char** argv) {
     return vf_flag;
   });
 
-  const std::string which = flags.get_string("policy", "all");
+  std::string which = flags.get_string("policy", "all");
+  // The paper community calls the proposed policy "correlation-aware"; accept
+  // the natural name as an alias.
+  if (which == "correlation") which = "proposed";
+  if ((which == "interference" || flags.has("interference-sweep")) &&
+      cfg.corr_mode == sim::CorrMode::kSparse) {
+    throw util::CliError(
+        util::ErrorCategory::kConfig,
+        "--policy interference needs the dense correlation matrices "
+        "(--corr dense)");
+  }
   const bool shard_rack = parse_shard_by(flags, cfg);
 
   // ---- Service mode. ----
@@ -596,11 +722,48 @@ int run_main(int argc, char** argv) {
   }
 
   // ---- Policies to run. ----
-  std::vector<std::string> names;
-  if (which == "all") {
-    names = {"ffd", "bfd", "pcp", "effsize", "proposed", "structure"};
+  // Each job carries its own config copy so an interference sweep can vary
+  // lambda per job; labels distinguish the sweep's operating points in the
+  // Pareto table (empty = use the policy's own name, the classic output).
+  struct JobSpec {
+    std::string label;
+    std::string name;
+    sim::SimConfig cfg;
+  };
+  std::vector<JobSpec> specs;
+  const bool interference_sweep = flags.has("interference-sweep");
+  if (interference_sweep) {
+    if (!cfg.interference_enabled()) {
+      throw util::CliError(util::ErrorCategory::kConfig,
+                           "--interference-sweep needs an interference "
+                           "profile (--interference)");
+    }
+    if (which != "all") {
+      throw util::CliError(util::ErrorCategory::kConfig,
+                           "--interference-sweep selects its own policies; "
+                           "drop --policy");
+    }
+    const std::vector<double> lambdas = parse_lambda_list(
+        flags.get_string("interference-sweep", ""));
+    // Baselines first: the Pareto table normalizes against the first entry,
+    // the paper's correlation-aware policy.
+    for (const char* base : {"proposed", "bfd", "pcp"}) {
+      specs.push_back({base, base, cfg});
+    }
+    for (double lambda : lambdas) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "interference l=%g", lambda);
+      JobSpec spec{label, "interference", cfg};
+      spec.cfg.interference_lambda = lambda;
+      specs.push_back(std::move(spec));
+    }
+  } else if (which == "all") {
+    for (const char* name :
+         {"ffd", "bfd", "pcp", "effsize", "proposed", "structure"}) {
+      specs.push_back({"", name, cfg});
+    }
   } else {
-    names = {which};
+    specs.push_back({"", which, cfg});
   }
 
   const std::size_t threads = flags.has("threads")
@@ -629,11 +792,12 @@ int run_main(int argc, char** argv) {
   // spans; each job's run records into its telemetry's per-job session.
   obs::TraceSession sweep_trace;
   if (want_trace) runner.set_trace(&sweep_trace);
-  for (const std::string& name : names) {
-    sim::SweepJob job{"", cfg, traces,
-                      make_policy_factory(name, flags.get_bool("sticky"),
-                                          shard_rack),
-                      make_vf_factory(cfg, vf, name), metrics_level};
+  for (const JobSpec& spec : specs) {
+    sim::SweepJob job{spec.label, spec.cfg, traces,
+                      make_policy_factory(spec.name, flags.get_bool("sticky"),
+                                          shard_rack,
+                                          spec.cfg.interference_lambda),
+                      make_vf_factory(spec.cfg, vf, spec.name), metrics_level};
     job.capture_trace = want_trace;
     job.capture_provenance = want_provenance;
     runner.add(std::move(job));
@@ -649,8 +813,13 @@ int run_main(int argc, char** argv) {
       continue;
     }
     results.push_back(record.result);
+    if (interference_sweep) {
+      // The sweep runs the same policy at several lambdas; the job label
+      // ("interference l=0.5") is the distinguishing name downstream.
+      results.back().policy_name = record.label;
+    }
     std::printf("%s  [%.2fs, %.2e VM-samples/s]\n",
-                sim::summary_line(record.result).c_str(),
+                sim::summary_line(results.back()).c_str(),
                 record.wall_seconds, record.vm_samples_per_second);
   }
   if (results.empty()) {
@@ -660,6 +829,10 @@ int run_main(int argc, char** argv) {
 
   std::printf("\n");
   sim::print_comparison(results, std::cout);
+  if (interference_sweep) {
+    std::printf("\n");
+    sim::print_interference_pareto(results, std::cout);
+  }
 
   const sim::SweepStats& stats = runner.last_stats();
   std::printf(
