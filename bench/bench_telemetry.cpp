@@ -1,0 +1,140 @@
+// Microbenchmarks for the telemetry plane's hot paths, substantiating the
+// "<5% serve overhead" CI gate (DESIGN.md §16): FlightRecorder::record() is
+// the per-tick cost the engine always pays when telemetry is on, so it must
+// stay in the tens of nanoseconds; rendering and dump formatting run on the
+// exporter thread off the engine's critical path, but bound how fast the
+// cadence can be turned.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace cava;
+
+void BM_FlightRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder(4096);
+  double t = 0.0;
+  for (auto _ : state) {
+    recorder.record(obs::FlightEventKind::kTick, t, 12.0, 3400.0);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecord);
+
+void BM_FlightRecordContended(benchmark::State& state) {
+  static obs::FlightRecorder recorder(4096);
+  double t = 0.0;
+  for (auto _ : state) {
+    recorder.record(obs::FlightEventKind::kMetric, t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordContended)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_PublishStatus(benchmark::State& state) {
+  obs::FlightRecorder recorder(64);
+  obs::FlightRecorder::EngineStatus status;
+  status.fingerprint = 0x1234'5678'9abc'def0ULL;
+  for (auto _ : state) {
+    ++status.tick;
+    recorder.publish_status(status);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PublishStatus);
+
+void BM_SloObservePlace(benchmark::State& state) {
+  obs::SloTracker slo;
+  double ns = 1000.0;
+  for (auto _ : state) {
+    slo.observe_place(ns);
+    ns += 7.0;
+    if (ns > 1e6) ns = 1000.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloObservePlace);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  obs::HistogramSnapshot h;
+  for (int i = 1; i <= 100000; ++i) h.observe(static_cast<double>(i % 4096));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.quantile(0.50));
+    benchmark::DoNotOptimize(h.quantile(0.95));
+    benchmark::DoNotOptimize(h.quantile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+/// Snapshot with the shape a serve run produces: a few counters/gauges plus
+/// latency histograms with populated tails.
+obs::MetricsSnapshot serve_shaped_snapshot(std::size_t histograms) {
+  obs::MetricsRegistry registry;
+  registry.add(registry.counter("periods"), 100000);
+  registry.add(registry.counter("migrations"), 5321);
+  registry.set(registry.gauge("active_servers"), 412.0);
+  registry.set(registry.gauge("active_vms"), 9814.0);
+  for (std::size_t i = 0; i < histograms; ++i) {
+    const auto id = registry.histogram("latency_ns_" + std::to_string(i));
+    for (int v = 1; v <= 2048; ++v) {
+      registry.observe(id, static_cast<double>(v * (i + 1)));
+    }
+  }
+  return registry.snapshot();
+}
+
+void BM_RenderPrometheus(benchmark::State& state) {
+  const obs::MetricsSnapshot snapshot =
+      serve_shaped_snapshot(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::render_prometheus(snapshot));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RenderPrometheus)->Range(1, 64)->Complexity();
+
+void BM_HeartbeatToJson(benchmark::State& state) {
+  obs::HealthSnapshot health;
+  health.tick = 100000;
+  health.fingerprint = 0xfeed'face'1234'5678ULL;
+  obs::SloTracker slo;
+  for (int i = 0; i < 4096; ++i) {
+    slo.observe_place(100.0 + i);
+    slo.observe_ingest(10.0 + i);
+    slo.observe_checkpoint(1e6 + i);
+    slo.observe_drift(0.01);
+  }
+  const obs::SloTracker::Snapshot snap = slo.snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::heartbeat_json(health, &snap).dump());
+  }
+}
+BENCHMARK(BM_HeartbeatToJson);
+
+void BM_FlightDumpToFile(benchmark::State& state) {
+  obs::FlightRecorder recorder(
+      static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < state.range(0); ++i) {
+    recorder.record(obs::FlightEventKind::kTick, i, 10.0, 100.0 * i);
+  }
+  const std::string path = "/tmp/cava_bench_flightdump.json";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recorder.dump_to_file(path));
+  }
+  std::remove(path.c_str());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlightDumpToFile)->Range(256, 4096)->Complexity();
+
+}  // namespace

@@ -1,0 +1,228 @@
+#include "obs/exporter.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "util/binio.h"
+
+namespace cava::obs {
+
+namespace {
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prefix + sanitize_metric_name(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prefix + sanitize_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = prefix + sanitize_metric_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    // Cumulative buckets up to the highest non-empty one; the log2 upper
+    // bounds (2^b) are all exactly representable as u64 for b <= 63.
+    std::size_t highest = 0;
+    bool any = false;
+    for (std::size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+      if (h.buckets[b] > 0) {
+        highest = b;
+        any = true;
+      }
+    }
+    std::uint64_t cumulative = 0;
+    if (any) {
+      for (std::size_t b = 0; b <= highest; ++b) {
+        cumulative += h.buckets[b];
+        out += metric + "_bucket{le=\"" +
+               std::to_string(std::uint64_t{1} << b) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += metric + "_sum " + format_double(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+TelemetryExporter::TelemetryExporter(const Options& options,
+                                     MetricsRegistry* registry,
+                                     SloTracker* slo, FlightRecorder* flight)
+    : options_(options), registry_(registry), slo_(slo), flight_(flight) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+  ::mkdir(options_.dir.c_str(), 0755);  // EEXIST is fine
+  if (registry_ != nullptr) {
+    id_exports_ = registry_->counter("telemetry_exports");
+    id_write_ns_ = registry_->histogram("telemetry_write_ns");
+    id_write_failures_ = registry_->counter("telemetry_write_failures");
+    if (flight_ != nullptr) {
+      id_flight_recorded_ = registry_->gauge("flight_recorded_records");
+      id_flight_dropped_ = registry_->gauge("flight_dropped_records");
+    }
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+TelemetryExporter::~TelemetryExporter() { stop(); }
+
+std::string TelemetryExporter::heartbeat_path() const {
+  return options_.dir + "/" + options_.heartbeat_name;
+}
+
+std::string TelemetryExporter::metrics_path() const {
+  return options_.dir + "/" + options_.metrics_name;
+}
+
+void TelemetryExporter::publish(const HealthSnapshot& health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = health;
+  has_health_ = true;
+}
+
+void TelemetryExporter::export_now() {
+  HealthSnapshot health;
+  ExporterSelfStats self;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health = latest_;
+    self.exports = exports_;
+    self.write_failures = write_failures_;
+    self.last_write_ns = last_write_ns_;
+  }
+
+  FlightStats flight_stats;
+  if (flight_ != nullptr) {
+    flight_stats.capacity = flight_->capacity();
+    flight_stats.recorded = flight_->recorded();
+    flight_stats.dropped = flight_->dropped();
+    if (registry_ != nullptr) {
+      registry_->set(id_flight_recorded_,
+                     static_cast<double>(flight_stats.recorded));
+      registry_->set(id_flight_dropped_,
+                     static_cast<double>(flight_stats.dropped));
+    }
+  }
+  SloTracker::Snapshot slo_snapshot;
+  if (slo_ != nullptr) slo_snapshot = slo_->snapshot();
+
+  const util::Json heartbeat = heartbeat_json(
+      health, slo_ != nullptr ? &slo_snapshot : nullptr,
+      flight_ != nullptr ? &flight_stats : nullptr, &self);
+  const std::string heartbeat_text = heartbeat.dump(2) + "\n";
+  const std::string metrics_text =
+      registry_ != nullptr
+          ? render_prometheus(registry_->snapshot())
+          : std::string("# no metrics registry attached\n");
+
+  const double t0 = now_ns();
+  bool ok = true;
+  try {
+    util::atomic_write_file(heartbeat_path(), heartbeat_text);
+  } catch (const util::IoError&) {
+    ok = false;
+  }
+  try {
+    util::atomic_write_file(metrics_path(), metrics_text);
+  } catch (const util::IoError&) {
+    ok = false;
+  }
+  const double write_ns = now_ns() - t0;
+
+  std::uint64_t exports_so_far;
+  std::uint64_t failures_so_far;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++exports_;
+    if (!ok) ++write_failures_;
+    last_write_ns_ = write_ns;
+    exports_so_far = exports_;
+    failures_so_far = write_failures_;
+  }
+  if (registry_ != nullptr) {
+    registry_->add(id_exports_);
+    registry_->observe(id_write_ns_, write_ns);
+    if (!ok) registry_->add(id_write_failures_);
+  }
+  if (flight_ != nullptr) {
+    flight_->record(FlightEventKind::kExport,
+                    static_cast<double>(exports_so_far), write_ns,
+                    static_cast<double>(failures_so_far));
+  }
+}
+
+void TelemetryExporter::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    export_now();
+    lock.lock();
+  }
+}
+
+void TelemetryExporter::stop() {
+  bool join = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      stop_ = true;
+      join = true;
+    }
+  }
+  if (join) {
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+    // Final export after the worker quiesced: short runs (or runs shorter
+    // than one cadence) still leave complete files behind.
+    export_now();
+  }
+}
+
+std::uint64_t TelemetryExporter::exports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exports_;
+}
+
+std::uint64_t TelemetryExporter::write_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_failures_;
+}
+
+}  // namespace cava::obs

@@ -1,0 +1,106 @@
+// Periodic telemetry exporter: heartbeat JSON + Prometheus text exposition.
+//
+// A background thread wakes on a configurable cadence, takes the most
+// recently published HealthSnapshot plus a MetricsRegistry snapshot, renders
+// `heartbeat.json` ("cava-heartbeat-v1", see obs/health.h) and
+// `metrics.prom` (Prometheus text exposition, cava_-prefixed), and writes
+// both with util::atomic_write_file — the temp-file + fsync + rename
+// discipline of serve::CheckpointWriter, so a scraper (or a crash) never
+// observes a truncated file.
+//
+// The driver publish()es after every tick; publishing is a mutex-guarded
+// slot swap, so one heartbeat is always internally consistent (tick and
+// fingerprint from the same publication — the TSAN-verified contract in
+// tests/obs/exporter_concurrency_test.cpp). stop() performs one final export
+// before joining, so even a run shorter than the cadence leaves complete
+// files behind.
+//
+// Telemetry loss is itself observable: the exporter feeds its export count,
+// write latency histogram, write failures and the flight recorder's
+// recorded/dropped totals back into the registry it exports (values appear
+// as of the previous export — the snapshot is taken before the write it
+// times). No silent caps anywhere in the plane.
+#pragma once
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cava::obs {
+
+class FlightRecorder;
+
+/// Render a MetricsSnapshot as Prometheus text exposition. Counters become
+/// `<prefix><name>_total`, gauges `<prefix><name>`, histograms cumulative
+/// `_bucket{le="..."}` series (log2 upper bounds, up to the highest
+/// non-empty bucket, then +Inf) plus `_sum`/`_count`. Metric names are
+/// sanitized to [a-zA-Z0-9_:].
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const std::string& prefix = "cava_");
+
+class TelemetryExporter {
+ public:
+  struct Options {
+    std::string dir;  ///< output directory (created if missing)
+    std::size_t interval_ms = 1000;
+    std::string heartbeat_name = "heartbeat.json";
+    std::string metrics_name = "metrics.prom";
+  };
+
+  /// Any of `registry`/`slo`/`flight` may be null; the corresponding
+  /// sections are simply absent. Starts the background thread.
+  TelemetryExporter(const Options& options, MetricsRegistry* registry,
+                    SloTracker* slo, FlightRecorder* flight);
+  /// stop()s (final export included).
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Publish the latest health state (engine/driver thread, once per tick).
+  void publish(const HealthSnapshot& health);
+
+  /// Render + write both files once, synchronously (any thread).
+  void export_now();
+
+  /// Final export, then join the background thread. Idempotent.
+  void stop();
+
+  std::uint64_t exports() const;
+  std::uint64_t write_failures() const;
+
+  std::string heartbeat_path() const;
+  std::string metrics_path() const;
+
+ private:
+  void worker_loop();
+
+  Options options_;
+  MetricsRegistry* registry_;
+  SloTracker* slo_;
+  FlightRecorder* flight_;
+
+  // Registry self-metric ids (registered once in the constructor).
+  MetricsRegistry::Id id_exports_ = 0;
+  MetricsRegistry::Id id_write_ns_ = 0;
+  MetricsRegistry::Id id_write_failures_ = 0;
+  MetricsRegistry::Id id_flight_recorded_ = 0;
+  MetricsRegistry::Id id_flight_dropped_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  HealthSnapshot latest_;
+  bool has_health_ = false;
+  bool stop_ = false;
+  std::uint64_t exports_ = 0;
+  std::uint64_t write_failures_ = 0;
+  double last_write_ns_ = 0.0;
+  std::thread worker_;
+};
+
+}  // namespace cava::obs

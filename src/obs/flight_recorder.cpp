@@ -1,0 +1,328 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/sigsafe.h"
+
+namespace cava::obs {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kTick: return "tick";
+    case FlightEventKind::kChurn: return "churn";
+    case FlightEventKind::kPlace: return "place";
+    case FlightEventKind::kCheckpoint: return "checkpoint";
+    case FlightEventKind::kExport: return "export";
+    case FlightEventKind::kInvariant: return "invariant";
+    case FlightEventKind::kCrash: return "crash";
+    case FlightEventKind::kMetric: return "metric";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : mask_(round_up_pow2(capacity) - 1),
+      slots_(new Slot[round_up_pow2(capacity)]) {}
+
+void FlightRecorder::record(FlightEventKind kind, double a, double b,
+                            double c) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Slot& slot = slots_[(seq - 1) & mask_];
+  // Invalidate while the payload is being replaced, so a reader never pairs
+  // the new sequence number with the old payload.
+  slot.seq.store(0, std::memory_order_release);
+  slot.t_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+void FlightRecorder::note_invariant(const char* message) {
+  std::size_t n = 0;
+  while (message[n] != '\0' && n < sizeof(invariant_msg_) - 1) {
+    invariant_msg_[n] = message[n];
+    ++n;
+  }
+  invariant_msg_[n] = '\0';
+  has_invariant_.store(true, std::memory_order_release);
+  record(FlightEventKind::kInvariant);
+}
+
+void FlightRecorder::publish_status(const EngineStatus& status) {
+  const std::uint64_t v = status_version_.load(std::memory_order_relaxed);
+  status_version_.store(v + 1, std::memory_order_release);  // odd: in update
+  st_tick_.store(status.tick, std::memory_order_relaxed);
+  st_total_periods_.store(status.total_periods, std::memory_order_relaxed);
+  st_fingerprint_.store(status.fingerprint, std::memory_order_relaxed);
+  st_active_vms_.store(status.active_vms, std::memory_order_relaxed);
+  st_last_checkpoint_.store(status.last_checkpoint_period,
+                            std::memory_order_relaxed);
+  st_energy_.store(status.total_energy_joules, std::memory_order_relaxed);
+  status_version_.store(v + 2, std::memory_order_release);
+}
+
+FlightRecorder::EngineStatus FlightRecorder::status(bool* torn) const {
+  EngineStatus out;
+  for (int tries = 0; tries < 8; ++tries) {
+    const std::uint64_t v1 = status_version_.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // publisher mid-update
+    out.tick = st_tick_.load(std::memory_order_relaxed);
+    out.total_periods = st_total_periods_.load(std::memory_order_relaxed);
+    out.fingerprint = st_fingerprint_.load(std::memory_order_relaxed);
+    out.active_vms = st_active_vms_.load(std::memory_order_relaxed);
+    out.last_checkpoint_period =
+        st_last_checkpoint_.load(std::memory_order_relaxed);
+    out.total_energy_joules = st_energy_.load(std::memory_order_relaxed);
+    if (status_version_.load(std::memory_order_acquire) == v1) {
+      if (torn != nullptr) *torn = false;
+      return out;
+    }
+  }
+  if (torn != nullptr) *torn = true;  // best-effort words, flagged as such
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t cap = mask_ + 1;
+  return head > cap ? head - cap : 0;
+}
+
+bool FlightRecorder::read_slot(std::uint64_t seq, FlightEvent* out) const {
+  const Slot& slot = slots_[(seq - 1) & mask_];
+  if (slot.seq.load(std::memory_order_acquire) != seq) return false;
+  out->seq = seq;
+  out->t_ns = slot.t_ns.load(std::memory_order_relaxed);
+  out->kind =
+      static_cast<FlightEventKind>(slot.kind.load(std::memory_order_relaxed));
+  out->a = slot.a.load(std::memory_order_relaxed);
+  out->b = slot.b.load(std::memory_order_relaxed);
+  out->c = slot.c.load(std::memory_order_relaxed);
+  // A writer reclaiming the slot mid-read zeroes or replaces seq first, so
+  // re-checking it validates the payload loads above.
+  return slot.seq.load(std::memory_order_acquire) == seq;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t start = head > cap ? head - cap + 1 : 1;
+  std::vector<FlightEvent> out;
+  out.reserve(head >= start ? static_cast<std::size_t>(head - start + 1) : 0);
+  for (std::uint64_t seq = start; seq <= head; ++seq) {
+    FlightEvent e;
+    if (read_slot(seq, &e)) out.push_back(e);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(int fd, int signal) const {
+  util::SigsafeWriter w(fd);
+  w.str("{\n  \"schema\": \"cava-flightdump-v1\",\n  \"signal\": ");
+  w.i64(signal);
+  w.str(",\n  \"pid\": ");
+  w.i64(static_cast<std::int64_t>(::getpid()));
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  w.str(",\n  \"unix_time_s\": ");
+  w.i64(static_cast<std::int64_t>(ts.tv_sec));
+  w.str(",\n  \"build\": {\"compiler\": ");
+#if defined(__VERSION__)
+  w.json_str(__VERSION__);
+#else
+  w.json_str("unknown");
+#endif
+  w.str(", \"assertions\": ");
+#if defined(NDEBUG)
+  w.str("false");
+#else
+  w.str("true");
+#endif
+  w.str("},\n  \"engine\": {\"published\": ");
+  const bool published =
+      status_version_.load(std::memory_order_acquire) != 0;
+  w.str(published ? "true" : "false");
+  bool torn = false;
+  const EngineStatus st = status(&torn);
+  w.str(", \"torn\": ");
+  w.str(torn ? "true" : "false");
+  w.str(", \"tick\": ");
+  w.u64(st.tick);
+  w.str(", \"total_periods\": ");
+  w.u64(st.total_periods);
+  w.str(", \"fingerprint\": \"");
+  w.hex64(st.fingerprint);
+  w.str("\", \"active_vms\": ");
+  w.u64(st.active_vms);
+  w.str(", \"last_checkpoint_period\": ");
+  if (st.last_checkpoint_period == EngineStatus::kNoCheckpoint) {
+    w.i64(-1);
+  } else {
+    w.u64(st.last_checkpoint_period);
+  }
+  w.str(", \"energy_joules\": ");
+  w.f64(st.total_energy_joules, 6);
+  w.str("},\n");
+  if (has_invariant_.load(std::memory_order_acquire)) {
+    w.str("  \"invariant\": ");
+    w.json_str(invariant_msg_);
+    w.str(",\n");
+  }
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  w.str("  \"ring\": {\"capacity\": ");
+  w.u64(cap);
+  w.str(", \"recorded\": ");
+  w.u64(head);
+  w.str(", \"dropped\": ");
+  w.u64(head > cap ? head - cap : 0);
+  w.str(", \"events\": [");
+  const std::uint64_t start = head > cap ? head - cap + 1 : 1;
+  bool first = true;
+  for (std::uint64_t seq = start; seq <= head; ++seq) {
+    FlightEvent e;
+    if (!read_slot(seq, &e)) continue;
+    if (!first) w.ch(',');
+    first = false;
+    w.str("\n    {\"seq\": ");
+    w.u64(e.seq);
+    w.str(", \"t_ns\": ");
+    w.u64(e.t_ns);
+    w.str(", \"kind\": ");
+    w.json_str(to_string(e.kind));
+    w.str(", \"a\": ");
+    w.f64(e.a, 6);
+    w.str(", \"b\": ");
+    w.f64(e.b, 6);
+    w.str(", \"c\": ");
+    w.f64(e.c, 6);
+    w.ch('}');
+  }
+  w.str(first ? "]}\n}\n" : "\n  ]}\n}\n");
+  w.flush();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path, int signal) const {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  dump(fd, signal);
+  ::close(fd);
+  return true;
+}
+
+// ---- Fatal-signal handler. -------------------------------------------------
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+constexpr std::size_t kNumFatalSignals =
+    sizeof(kFatalSignals) / sizeof(kFatalSignals[0]);
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+/// "<dir>/flightdump-" pre-rendered at install time so the handler only
+/// appends numbers.
+char g_dump_prefix[448] = "flightdump-";
+std::atomic<bool> g_in_handler{false};
+struct sigaction g_previous[kNumFatalSignals];
+bool g_installed = false;
+
+extern "C" void cava_fatal_handler(int sig) {
+  // A crash inside the dump path must not recurse forever.
+  if (!g_in_handler.exchange(true)) {
+    FlightRecorder* recorder = g_recorder.load(std::memory_order_acquire);
+    if (recorder != nullptr) {
+      char path[640];
+      std::size_t len = 0;
+      while (g_dump_prefix[len] != '\0' && len < sizeof(path) - 72) {
+        path[len] = g_dump_prefix[len];
+        ++len;
+      }
+      len += util::sigsafe_format_u64(
+          path + len, 20, static_cast<std::uint64_t>(::getpid()));
+      path[len++] = '-';
+      len += util::sigsafe_format_u64(path + len, 20,
+                                      static_cast<std::uint64_t>(sig));
+      path[len++] = '-';
+      timespec ts{};
+      ::clock_gettime(CLOCK_REALTIME, &ts);
+      len += util::sigsafe_format_u64(
+          path + len, 20, static_cast<std::uint64_t>(ts.tv_sec));
+      const char suffix[] = ".json";
+      for (std::size_t i = 0; i < sizeof(suffix); ++i) path[len + i] = suffix[i];
+      const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        recorder->dump(fd, sig);
+        ::close(fd);
+      }
+    }
+  }
+  // Re-raise with the default disposition so the process dies with the
+  // original signal (exit status, core dump behavior all preserved).
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(sig, &dfl, nullptr);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_fatal_handler(FlightRecorder* recorder,
+                           const std::string& dump_dir) {
+  ::mkdir(dump_dir.c_str(), 0755);  // EEXIST is fine
+  std::string prefix = dump_dir + "/flightdump-";
+  if (prefix.size() >= sizeof(g_dump_prefix)) {
+    prefix = "flightdump-";  // pathological dir length: fall back to cwd
+  }
+  std::memcpy(g_dump_prefix, prefix.c_str(), prefix.size() + 1);
+  g_in_handler.store(false, std::memory_order_relaxed);
+  g_recorder.store(recorder, std::memory_order_release);
+  if (!g_installed) {
+    struct sigaction sa{};
+    sa.sa_handler = cava_fatal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
+      ::sigaction(kFatalSignals[i], &sa, &g_previous[i]);
+    }
+    g_installed = true;
+  }
+}
+
+void uninstall_fatal_handler() {
+  if (g_installed) {
+    for (std::size_t i = 0; i < kNumFatalSignals; ++i) {
+      ::sigaction(kFatalSignals[i], &g_previous[i], nullptr);
+    }
+    g_installed = false;
+  }
+  g_recorder.store(nullptr, std::memory_order_release);
+  g_in_handler.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace cava::obs

@@ -1,0 +1,159 @@
+// Crash flight recorder: the last N engine events, always on, dumpable from
+// a fatal-signal handler.
+//
+// The recorder is a fixed-capacity lock-free ring of small POD records
+// (tick summaries, churn batches, placement timings, checkpoint submissions,
+// exporter runs, invariant failures). record() is wait-free — one atomic
+// fetch_add to claim a slot plus relaxed stores of the payload — so the
+// engine can call it on every tick at zero contention; when the ring wraps,
+// the oldest records are overwritten and counted as dropped (surfaced in the
+// metrics registry by the exporter, never silently capped).
+//
+// Alongside the ring the recorder carries a last-known EngineStatus
+// (tick, config fingerprint, active VMs, energy) published by the engine at
+// each tick boundary. Every field is an individual atomic guarded by a
+// version counter, so a reader — including a signal handler interrupting the
+// publisher mid-update — either observes a consistent snapshot or reports it
+// torn; there is no locking and no undefined behavior.
+//
+// install_fatal_handler() arms SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT to dump
+// ring + status + build info as JSON ("cava-flightdump-v1") to a timestamped
+// flightdump-<pid>-<sig>-<secs>.json in a directory chosen at install time,
+// then restores the default disposition and re-raises — the process still
+// dies with the original signal, it just explains itself first. The dump
+// path uses only async-signal-safe calls (open/write/clock_gettime) via
+// util::SigsafeWriter. Uncaught C++ exceptions reach the same handler
+// through std::terminate -> abort -> SIGABRT.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cava::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kTick = 0,        ///< a=period, b=active_servers, c=energy_joules
+  kChurn = 1,       ///< a=period, b=arrivals, c=departures
+  kPlace = 2,       ///< a=period, b=place_wall_ns, c=migrated_vms
+  kCheckpoint = 3,  ///< a=period, b=encode_wall_ns, c=payload_bytes
+  kExport = 4,      ///< a=exports_so_far, b=write_wall_ns, c=failures
+  kInvariant = 5,   ///< a/b/c caller-defined context
+  kCrash = 6,       ///< a=chaos kill index, b=period (chaos harness)
+  kMetric = 7,      ///< a/b/c caller-defined metric delta
+};
+
+/// Human-readable kind label ("tick", "churn", ...).
+const char* to_string(FlightEventKind kind);
+
+/// One ring record as read back by snapshot(). seq is the global 1-based
+/// record number (gaps never occur; missing leading seqs were overwritten).
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;  ///< steady-clock timestamp of record()
+  FlightEventKind kind = FlightEventKind::kTick;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Last-known engine state, published at tick boundaries; every word is
+  /// read individually by the crash handler.
+  struct EngineStatus {
+    std::uint64_t tick = 0;
+    std::uint64_t total_periods = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t active_vms = 0;
+    std::uint64_t last_checkpoint_period = kNoCheckpoint;
+    double total_energy_joules = 0.0;
+
+    static constexpr std::uint64_t kNoCheckpoint = ~0ULL;
+  };
+
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Wait-free append; callable from any thread.
+  void record(FlightEventKind kind, double a = 0.0, double b = 0.0,
+              double c = 0.0);
+
+  /// Stash a short invariant-failure message (truncated to ~200 bytes) and
+  /// append a kInvariant record. The message appears in the next dump.
+  void note_invariant(const char* message);
+
+  /// Publish the engine status (single writer expected; tick thread).
+  void publish_status(const EngineStatus& status);
+  /// Read the last published status. Sets *torn when the publisher raced
+  /// every retry (the caller still gets the best-effort words).
+  EngineStatus status(bool* torn = nullptr) const;
+
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Records overwritten by ring wrap (recorded - capacity, floored at 0).
+  std::uint64_t dropped() const;
+
+  /// Ordered copy of the currently valid window, oldest first. Records torn
+  /// by a concurrent writer are skipped. Not async-signal-safe (allocates).
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Write the "cava-flightdump-v1" JSON document to `fd` using only
+  /// async-signal-safe calls. `signal` annotates the dump (0 = requested,
+  /// not a crash).
+  void dump(int fd, int signal = 0) const;
+  /// Cold-path convenience: open/trunc `path` and dump into it. Returns
+  /// false when the file cannot be opened.
+  bool dump_to_file(const std::string& path, int signal = 0) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = never written / in progress
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<double> a{0.0};
+    std::atomic<double> b{0.0};
+    std::atomic<double> c{0.0};
+  };
+
+  /// Validated read of the slot expected to hold record `seq`; false when
+  /// overwritten or mid-write.
+  bool read_slot(std::uint64_t seq, FlightEvent* out) const;
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< records ever claimed
+
+  // Seqlock-style status block (all-atomic, so torn reads are detected, not
+  // undefined).
+  std::atomic<std::uint64_t> status_version_{0};
+  std::atomic<std::uint64_t> st_tick_{0};
+  std::atomic<std::uint64_t> st_total_periods_{0};
+  std::atomic<std::uint64_t> st_fingerprint_{0};
+  std::atomic<std::uint64_t> st_active_vms_{0};
+  std::atomic<std::uint64_t> st_last_checkpoint_{EngineStatus::kNoCheckpoint};
+  std::atomic<double> st_energy_{0.0};
+
+  std::atomic<bool> has_invariant_{false};
+  char invariant_msg_[200] = {};
+};
+
+/// Arm the fatal-signal handler to dump `recorder` into `dump_dir`
+/// (created if missing) before re-raising. One recorder at a time; a second
+/// install replaces the first. Not itself async-signal-safe.
+void install_fatal_handler(FlightRecorder* recorder,
+                           const std::string& dump_dir);
+/// Restore the previous dispositions and detach the recorder.
+void uninstall_fatal_handler();
+
+}  // namespace cava::obs

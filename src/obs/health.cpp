@@ -1,0 +1,177 @@
+#include "obs/health.h"
+
+#include <algorithm>
+
+namespace cava::obs {
+
+SloTracker::SloTracker() : SloTracker(Config{}) {}
+
+SloTracker::SloTracker(const Config& config) {
+  place_.threshold_ns = config.place_threshold_ns;
+  checkpoint_.threshold_ns = config.checkpoint_threshold_ns;
+  ingest_.threshold_ns = config.ingest_threshold_ns;
+  drift_.threshold = config.drift_threshold;
+}
+
+void SloTracker::observe_channel(Channel& channel, double ns) {
+  channel.hist.observe(ns);
+  if (channel.threshold_ns > 0.0 && ns > channel.threshold_ns) {
+    ++channel.breaches;
+  }
+}
+
+void SloTracker::observe_place(double ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observe_channel(place_, ns);
+}
+
+void SloTracker::observe_checkpoint(double ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observe_channel(checkpoint_, ns);
+}
+
+void SloTracker::observe_ingest(double ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observe_channel(ingest_, ns);
+}
+
+void SloTracker::observe_drift(double mean_abs_drift) {
+  if (!(mean_abs_drift >= 0.0)) mean_abs_drift = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++drift_.ticks;
+  drift_.last = mean_abs_drift;
+  drift_sum_ += mean_abs_drift;
+  drift_.mean = drift_sum_ / static_cast<double>(drift_.ticks);
+  drift_.max = std::max(drift_.max, mean_abs_drift);
+  if (drift_.threshold > 0.0 && mean_abs_drift > drift_.threshold) {
+    ++drift_.anomalies;
+  }
+}
+
+SloTracker::LatencyStats SloTracker::stats_of(const Channel& channel) {
+  LatencyStats out;
+  out.count = channel.hist.count;
+  out.mean = channel.hist.mean();
+  out.p50 = channel.hist.quantile(0.50);
+  out.p95 = channel.hist.quantile(0.95);
+  out.p99 = channel.hist.quantile(0.99);
+  out.max = channel.hist.max;
+  out.threshold_ns = channel.threshold_ns;
+  out.breaches = channel.breaches;
+  return out;
+}
+
+SloTracker::Snapshot SloTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  out.place = stats_of(place_);
+  out.checkpoint = stats_of(checkpoint_);
+  out.ingest = stats_of(ingest_);
+  out.drift = drift_;
+  return out;
+}
+
+namespace {
+
+util::Json latency_json(const SloTracker::LatencyStats& s) {
+  util::Json j = util::Json::object();
+  j["count"] = static_cast<double>(s.count);
+  j["mean_ns"] = s.mean;
+  j["p50_ns"] = s.p50;
+  j["p95_ns"] = s.p95;
+  j["p99_ns"] = s.p99;
+  j["max_ns"] = s.max;
+  j["threshold_ns"] = s.threshold_ns;
+  j["breaches"] = static_cast<double>(s.breaches);
+  return j;
+}
+
+util::Json drift_json(const SloTracker::DriftStats& s) {
+  util::Json j = util::Json::object();
+  j["ticks"] = static_cast<double>(s.ticks);
+  j["last"] = s.last;
+  j["mean"] = s.mean;
+  j["max"] = s.max;
+  j["threshold"] = s.threshold;
+  j["anomalies"] = static_cast<double>(s.anomalies);
+  return j;
+}
+
+}  // namespace
+
+util::Json SloTracker::to_json(const Snapshot& snapshot) {
+  util::Json j = util::Json::object();
+  j["place"] = latency_json(snapshot.place);
+  j["checkpoint"] = latency_json(snapshot.checkpoint);
+  j["ingest"] = latency_json(snapshot.ingest);
+  j["drift"] = drift_json(snapshot.drift);
+  return j;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (int i = 60; i >= 0; i -= 4) out.push_back(digits[(v >> i) & 0xf]);
+  return out;
+}
+
+util::Json heartbeat_json(const HealthSnapshot& health,
+                          const SloTracker::Snapshot* slo,
+                          const FlightStats* flight,
+                          const ExporterSelfStats* exporter) {
+  util::Json j = util::Json::object();
+  j["schema"] = std::string("cava-heartbeat-v1");
+  j["tick"] = static_cast<double>(health.tick);
+  j["total_periods"] = static_cast<double>(health.total_periods);
+  j["fingerprint"] = hex_u64(health.fingerprint);
+  j["active_vms"] = static_cast<double>(health.active_vms);
+  j["active_servers"] = static_cast<double>(health.active_servers);
+  j["energy_joules"] = health.total_energy_joules;
+
+  util::Json ck = util::Json::object();
+  ck["enabled"] = health.checkpoint_enabled;
+  ck["last_period"] = static_cast<double>(health.last_checkpoint_period);
+  ck["age_periods"] = static_cast<double>(health.checkpoint_age_periods);
+  ck["writes"] = static_cast<double>(health.checkpoint_writes);
+  ck["failures"] = static_cast<double>(health.checkpoint_failures);
+  if (!health.checkpoint_last_error.empty()) {
+    ck["last_error"] = health.checkpoint_last_error;
+  }
+  j["checkpoint"] = std::move(ck);
+
+  util::Json churn = util::Json::object();
+  churn["arrivals"] = static_cast<double>(health.churn_arrivals);
+  churn["departures"] = static_cast<double>(health.churn_departures);
+  churn["backlog"] = static_cast<double>(health.churn_backlog);
+  j["churn"] = std::move(churn);
+
+  util::Json faults = util::Json::object();
+  faults["server_crashes"] = static_cast<double>(health.server_crashes);
+  faults["unplaced_vm_seconds"] = health.unplaced_vm_seconds;
+  j["faults"] = std::move(faults);
+
+  util::Json degraded = util::Json::object();
+  degraded["checkpoint"] = health.degraded_checkpoint;
+  degraded["capacity"] = health.degraded_capacity;
+  degraded["crashes"] = health.degraded_crashes;
+  j["degraded"] = std::move(degraded);
+
+  if (slo != nullptr) j["slo"] = SloTracker::to_json(*slo);
+  if (flight != nullptr) {
+    util::Json f = util::Json::object();
+    f["capacity"] = static_cast<double>(flight->capacity);
+    f["recorded"] = static_cast<double>(flight->recorded);
+    f["dropped"] = static_cast<double>(flight->dropped);
+    j["flight"] = std::move(f);
+  }
+  if (exporter != nullptr) {
+    util::Json e = util::Json::object();
+    e["exports"] = static_cast<double>(exporter->exports);
+    e["write_failures"] = static_cast<double>(exporter->write_failures);
+    e["last_write_ns"] = exporter->last_write_ns;
+    j["exporter"] = std::move(e);
+  }
+  return j;
+}
+
+}  // namespace cava::obs

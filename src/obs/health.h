@@ -1,0 +1,163 @@
+// Service health: SLO latency/drift tracking and the heartbeat document.
+//
+// SloTracker accumulates the per-tick latencies the allocation service has
+// promised bounds on (placement decide, checkpoint encode+submit,
+// correlation ingest) into log2-bucket histograms (HistogramSnapshot) with
+// interpolated p50/p95/p99, counting threshold breaches as they happen. It
+// also tracks prediction drift — the per-period mean |predicted - actual|
+// utilization reference (sim::drift_of) — and counts anomaly periods where
+// drift exceeds its threshold, the live signal that placements are being
+// sized from stale demand.
+//
+// The tracker is mutex-guarded: the engine thread observes, the telemetry
+// exporter snapshots from its own thread. Observation is a few dozen ns on
+// an uncontended mutex and happens at most a handful of times per tick, so
+// no sharding is needed (contrast MetricsRegistry, which serves per-sample
+// hot paths).
+//
+// HealthSnapshot is the driver-assembled "how is the service doing" record
+// behind heartbeat_json() — schema "cava-heartbeat-v1", written atomically
+// by the TelemetryExporter so a scrape never sees a torn file.
+#pragma once
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cava::obs {
+
+class SloTracker {
+ public:
+  struct Config {
+    /// Per-tick wall-clock budgets; a breach increments the counter but
+    /// never throttles the engine (telemetry observes, it does not steer).
+    double place_threshold_ns = 250e6;
+    double checkpoint_threshold_ns = 500e6;
+    double ingest_threshold_ns = 250e6;
+    /// Mean |predicted - actual| cores per active VM above which a period
+    /// counts as a prediction anomaly.
+    double drift_threshold = 0.25;
+  };
+
+  struct LatencyStats {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+    double threshold_ns = 0.0;
+    std::uint64_t breaches = 0;
+  };
+
+  struct DriftStats {
+    std::uint64_t ticks = 0;
+    double last = 0.0;
+    double mean = 0.0;  ///< mean of the per-period means
+    double max = 0.0;
+    double threshold = 0.0;
+    std::uint64_t anomalies = 0;
+  };
+
+  struct Snapshot {
+    LatencyStats place;
+    LatencyStats checkpoint;
+    LatencyStats ingest;
+    DriftStats drift;
+  };
+
+  SloTracker();  ///< default-Config tracker
+  explicit SloTracker(const Config& config);
+
+  // Engine/driver-side observations (thread-safe).
+  void observe_place(double ns);
+  void observe_checkpoint(double ns);
+  void observe_ingest(double ns);
+  void observe_drift(double mean_abs_drift);
+
+  /// Consistent cross-channel view (exporter-side; thread-safe).
+  Snapshot snapshot() const;
+
+  /// {"place": {...}, "checkpoint": {...}, "ingest": {...}, "drift": {...}}
+  static util::Json to_json(const Snapshot& snapshot);
+
+ private:
+  struct Channel {
+    HistogramSnapshot hist;
+    double threshold_ns = 0.0;
+    std::uint64_t breaches = 0;
+  };
+
+  void observe_channel(Channel& channel, double ns);
+  static LatencyStats stats_of(const Channel& channel);
+
+  mutable std::mutex mu_;
+  Channel place_;
+  Channel checkpoint_;
+  Channel ingest_;
+  DriftStats drift_;
+  double drift_sum_ = 0.0;
+};
+
+/// Driver-assembled service state behind one heartbeat. Plain data; the
+/// exporter serializes whatever the driver last published.
+struct HealthSnapshot {
+  std::uint64_t tick = 0;
+  std::uint64_t total_periods = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t active_vms = 0;
+  std::uint64_t active_servers = 0;  ///< of the most recent placement
+  double total_energy_joules = 0.0;
+
+  bool checkpoint_enabled = false;
+  std::int64_t last_checkpoint_period = -1;  ///< -1 = none yet
+  std::uint64_t checkpoint_age_periods = 0;  ///< ticks since the last one
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::string checkpoint_last_error;
+
+  std::uint64_t churn_arrivals = 0;
+  std::uint64_t churn_departures = 0;
+  /// Scripted events not yet applied (sim::ChurnSpec::events_remaining).
+  std::uint64_t churn_backlog = 0;
+
+  std::uint64_t server_crashes = 0;
+  double unplaced_vm_seconds = 0.0;
+
+  // Degraded-mode flags: sticky summaries a dashboard can alert on without
+  // interpreting counters.
+  bool degraded_checkpoint = false;  ///< any checkpoint write failed
+  bool degraded_capacity = false;    ///< VMs spent time unplaced
+  bool degraded_crashes = false;     ///< server crash faults fired
+};
+
+/// Exporter self-observation embedded in the heartbeat (and the registry).
+struct ExporterSelfStats {
+  std::uint64_t exports = 0;
+  std::uint64_t write_failures = 0;
+  double last_write_ns = 0.0;
+};
+
+/// Flight-recorder occupancy embedded in the heartbeat.
+struct FlightStats {
+  std::uint64_t capacity = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Render "cava-heartbeat-v1". Null sections are omitted (e.g. a heartbeat
+/// without SLO tracking has no "slo" key). The fingerprint is emitted as a
+/// hex string — util::Json numbers are doubles and cannot hold a u64.
+util::Json heartbeat_json(const HealthSnapshot& health,
+                          const SloTracker::Snapshot* slo = nullptr,
+                          const FlightStats* flight = nullptr,
+                          const ExporterSelfStats* exporter = nullptr);
+
+/// "0x" + 16 hex digits, the fingerprint spelling shared by heartbeat and
+/// flight dump.
+std::string hex_u64(std::uint64_t v);
+
+}  // namespace cava::obs

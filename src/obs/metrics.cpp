@@ -66,22 +66,32 @@ const char* to_string(MetricsLevel level) {
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  // Rank of the q-th observation (1-based, nearest-rank definition).
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
-  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
-  std::uint64_t seen = 0;
+  // Continuous rank of the q-th observation in [0, count].
+  const double rank = q * static_cast<double>(count);
+  double seen = 0.0;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets[b];
-    if (seen >= target) {
+    const auto in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket > 0.0 && seen + in_bucket >= rank) {
       // Bucket 0 covers [0, 1); bucket b >= 1 covers [2^(b-1), 2^b).
+      // Interpolate linearly through the bucket, assuming its observations
+      // are uniformly spread over the range.
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
       const double hi = std::ldexp(1.0, static_cast<int>(b));
-      const double mid = b == 0 ? 0.5 : std::sqrt(lo * hi);
-      return std::clamp(mid, min, max);
+      const double pos = std::clamp((rank - seen) / in_bucket, 0.0, 1.0);
+      return std::clamp(lo + pos * (hi - lo), min, max);
     }
+    seen += in_bucket;
   }
   return max;
+}
+
+void HistogramSnapshot::observe(double value) {
+  if (!(value >= 0.0)) value = 0.0;
+  ++buckets[bucket_of(value)];
+  min = count == 0 ? value : std::min(min, value);
+  max = count == 0 ? value : std::max(max, value);
+  ++count;
+  sum += value;
 }
 
 util::Json MetricsSnapshot::to_json() const {

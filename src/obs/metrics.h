@@ -57,10 +57,16 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, kNumBuckets> buckets{};
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
-  /// Quantile estimate (q in [0, 1]) from the bucket layout: the geometric
-  /// midpoint of the bucket holding the q-th observation, clamped to
-  /// [min, max]. Exact enough for "p95 placement latency" style reporting.
+  /// Quantile estimate (q in [0, 1]) from the bucket layout: linear
+  /// interpolation inside the bucket holding the q-th observation (the
+  /// observations in a bucket are assumed uniformly spread over its range —
+  /// the Prometheus histogram_quantile convention), clamped to [min, max].
+  /// Exact for uniform samples; never off by more than one bucket width.
   double quantile(double q) const;
+  /// Single-owner accumulation: record one value directly into this
+  /// snapshot (negatives clamp to 0). Used by accumulators that do not need
+  /// the registry's thread sharding, e.g. obs::SloTracker.
+  void observe(double value);
 };
 
 /// Point-in-time merge of every shard, taken by MetricsRegistry::snapshot().

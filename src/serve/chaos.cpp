@@ -60,6 +60,17 @@ ChaosReport run_chaos(const EngineFactory& factory,
       ++next_kill;
       ++report.kills;
       const std::size_t at = engine->period();
+      if (options.flight != nullptr) {
+        // Record the kill before destroying the engine, then dump — the same
+        // ring-then-die ordering the fatal signal handler follows.
+        options.flight->record(obs::FlightEventKind::kCrash,
+                               static_cast<double>(report.kills),
+                               static_cast<double>(at));
+        if (!options.flightdump_path.empty() &&
+            options.flight->dump_to_file(options.flightdump_path)) {
+          ++report.flight_dumps;
+        }
+      }
       // SIGKILL-equivalent: every byte of in-memory state is gone.
       engine.reset();
       ++restores;

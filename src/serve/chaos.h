@@ -13,8 +13,15 @@
 //     completed-but-unpersisted periods;
 //   * optionally the primary snapshot file is corrupted before a restore
 //     (torn-write simulation), forcing fallback to the rotated copy.
+//
+// With a FlightRecorder attached (ChaosOptions::flight), every kill lands a
+// kCrash event in the ring and — when `flightdump_path` is set — dumps the
+// ring to disk before the engine is destroyed, mirroring what the fatal
+// signal handler would do in a real crash. Tests then assert the dump is
+// parseable and consistent with the snapshot the resume used.
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "serve/engine.h"
 
 #include <cstdint>
@@ -37,6 +44,13 @@ struct ChaosOptions {
   /// Corrupt the primary snapshot (flip one byte) before every Nth restore,
   /// exercising the rotated-copy fallback. 0 disables.
   std::size_t corrupt_every_nth_restore = 0;
+  /// Optional flight recorder: each kill records a kCrash event (a = kill
+  /// index, b = period the kill landed at) and, with `flightdump_path` set,
+  /// writes a "cava-flightdump-v1" document there before the engine dies.
+  /// Must outlive run_chaos. The factory decides whether the engines it
+  /// builds also feed this recorder (EngineOptions::flight).
+  obs::FlightRecorder* flight = nullptr;
+  std::string flightdump_path;
 };
 
 struct ChaosReport {
@@ -52,6 +66,8 @@ struct ChaosReport {
   std::size_t fallback_restores = 0;
   std::size_t churn_arrivals = 0;
   std::size_t churn_departures = 0;
+  /// Flight dumps successfully written at kill points.
+  std::size_t flight_dumps = 0;
 };
 
 /// Builds a fresh engine over the (caller-owned, immutable) run inputs.

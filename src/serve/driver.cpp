@@ -3,18 +3,66 @@
 #include <memory>
 #include <optional>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/scoped_timer.h"
 #include "serve/checkpoint.h"
 
 namespace cava::serve {
+
+namespace {
+
+/// RAII disarm of the fatal-signal dump handler: every exit path of
+/// run_serve (including exceptions) must restore the previous dispositions,
+/// or a later crash would dump into a recorder that no longer exists.
+struct FatalHandlerGuard {
+  bool armed = false;
+  ~FatalHandlerGuard() {
+    if (armed) obs::uninstall_fatal_handler();
+  }
+};
+
+}  // namespace
 
 ServeReport run_serve(const sim::SimConfig& config,
                       const trace::TraceSet& traces,
                       const sim::ChurnSpec& churn, const ServeOptions& serve,
                       const sim::RunOptions& run) {
+  const bool telemetry = !serve.telemetry_dir.empty();
+
+  // Telemetry plane (null when off — the engine then never reads a clock or
+  // touches a ring on their behalf).
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::SloTracker> slo;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry;
+  FatalHandlerGuard handler_guard;
+  if (telemetry) {
+    flight = std::make_unique<obs::FlightRecorder>(serve.flight_capacity);
+    slo = std::make_unique<obs::SloTracker>(serve.slo);
+    if (run.metrics == nullptr) {
+      // The exporter needs a registry to render metrics.prom from; when the
+      // caller did not pass one (--metrics below "full"), own a private one.
+      owned_registry = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (serve.install_fatal_handler) {
+      obs::install_fatal_handler(flight.get(), serve.telemetry_dir);
+      handler_guard.armed = true;
+    }
+  }
+  obs::MetricsRegistry* registry =
+      run.metrics != nullptr ? run.metrics : owned_registry.get();
+
   EngineOptions engine_options;
   engine_options.total_periods = serve.total_periods;
   engine_options.migration_budget = serve.migration_budget;
-  AllocationEngine engine(config, traces, churn, engine_options, run);
+  engine_options.slo = slo.get();
+  engine_options.flight = flight.get();
+  // RunOptions carries a reference member; rebuild it to splice in the
+  // telemetry-owned registry when the caller had none.
+  sim::RunOptions effective_run{run.policy,  run.static_vf, run.recorder,
+                                registry,    run.trace,     run.provenance};
+  AllocationEngine engine(config, traces, churn, engine_options,
+                          effective_run);
 
   const bool checkpointing =
       !serve.checkpoint_path.empty() && serve.checkpoint_every > 0;
@@ -40,18 +88,75 @@ ServeReport run_serve(const sim::SimConfig& config,
     writer = std::make_unique<CheckpointWriter>(wo);
   }
 
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (telemetry) {
+    obs::TelemetryExporter::Options xo;
+    xo.dir = serve.telemetry_dir;
+    xo.interval_ms = serve.telemetry_every_ms;
+    exporter = std::make_unique<obs::TelemetryExporter>(
+        xo, registry, slo.get(), flight.get());
+  }
+
+  std::int64_t last_checkpoint_period = -1;
+  // One heartbeat record, assembled from engine + writer counters. Called
+  // after each tick and once more at shutdown (post-drain).
+  const auto make_health = [&]() {
+    obs::HealthSnapshot health;
+    health.tick = engine.period();
+    health.total_periods = engine.total_periods();
+    health.fingerprint = engine.config_fingerprint();
+    health.active_vms = engine.active_vms();
+    health.active_servers = engine.last_active_servers();
+    health.total_energy_joules = engine.total_energy_joules();
+    health.checkpoint_enabled = checkpointing;
+    health.last_checkpoint_period = last_checkpoint_period;
+    health.checkpoint_age_periods =
+        last_checkpoint_period < 0
+            ? engine.period() - report.start_period
+            : engine.period() -
+                  static_cast<std::size_t>(last_checkpoint_period);
+    if (writer != nullptr) {
+      health.checkpoint_writes = writer->writes_completed();
+      health.checkpoint_failures = writer->writes_failed();
+      health.checkpoint_last_error = writer->last_error();
+    }
+    health.churn_arrivals = engine.churn_arrivals();
+    health.churn_departures = engine.churn_departures();
+    health.churn_backlog = engine.churn_backlog();
+    health.server_crashes = engine.server_crashes();
+    health.unplaced_vm_seconds = engine.unplaced_vm_seconds();
+    health.degraded_checkpoint = health.checkpoint_failures > 0;
+    health.degraded_capacity = health.unplaced_vm_seconds > 0.0;
+    health.degraded_crashes = health.server_crashes > 0;
+    return health;
+  };
   while (!engine.done()) {
     engine.tick();
     if (checkpointing && (engine.period() % serve.checkpoint_every == 0 ||
                           engine.done())) {
+      obs::ScopedTimer checkpoint_timer(nullptr, 0, slo != nullptr);
       Snapshot snapshot;
       snapshot.config_fingerprint = engine.config_fingerprint();
       snapshot.next_period = engine.period();
       snapshot.payload = engine.save_state();
+      const auto payload_bytes = static_cast<double>(snapshot.payload.size());
       // The writer owns its copy of the bytes; the placement loop keeps
       // running while the disk write (and any retries) happen off-thread.
       writer->submit(encode_snapshot(snapshot));
+      const double checkpoint_ns = checkpoint_timer.stop();
+      last_checkpoint_period = static_cast<std::int64_t>(engine.period());
+      if (slo != nullptr) slo->observe_checkpoint(checkpoint_ns);
+      if (flight != nullptr) {
+        flight->record(obs::FlightEventKind::kCheckpoint,
+                       static_cast<double>(engine.period()), checkpoint_ns,
+                       payload_bytes);
+        obs::FlightRecorder::EngineStatus st = flight->status();
+        st.last_checkpoint_period = static_cast<std::uint64_t>(
+            last_checkpoint_period);
+        flight->publish_status(st);
+      }
     }
+    if (exporter != nullptr) exporter->publish(make_health());
   }
 
   if (writer != nullptr) {
@@ -59,6 +164,14 @@ ServeReport run_serve(const sim::SimConfig& config,
     report.checkpoint_writes = writer->writes_completed();
     report.checkpoint_failures = writer->writes_failed();
     report.checkpoint_last_error = writer->last_error();
+  }
+  if (exporter != nullptr) {
+    // Final publish with the writer drained, so the last heartbeat carries
+    // the final checkpoint counters; stop() performs the closing export.
+    exporter->publish(make_health());
+    exporter->stop();
+    report.telemetry_exports = exporter->exports();
+    report.telemetry_write_failures = exporter->write_failures();
   }
   report.result = engine.result();
   report.periods_run = engine.period() - report.start_period;

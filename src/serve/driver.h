@@ -4,8 +4,16 @@
 // allocator needs: resume-from-snapshot at startup, periodic checkpoints
 // through the background CheckpointWriter (retry + backoff on I/O failure,
 // rotation to `<path>.1`), and service counters for the final report.
+//
+// With `telemetry_dir` set the driver additionally stands up the live
+// telemetry plane (DESIGN.md §16): an always-on flight recorder with the
+// fatal-signal dump handler armed, an SLO tracker fed by the engine, and a
+// background TelemetryExporter publishing heartbeat.json + metrics.prom on
+// `telemetry_every_ms` cadence. Unset (the default), none of it exists and
+// every output is byte-identical to a telemetry-free build.
 #pragma once
 
+#include "obs/health.h"
 #include "serve/engine.h"
 
 #include <cstdint>
@@ -29,6 +37,19 @@ struct ServeOptions {
   /// I/O failure handling of the checkpoint writer.
   std::size_t checkpoint_max_attempts = 3;
   std::size_t checkpoint_backoff_ms = 20;
+
+  /// Telemetry output directory (heartbeat.json, metrics.prom and
+  /// flightdump-*.json land here). Empty = telemetry plane off.
+  std::string telemetry_dir;
+  /// Exporter cadence in milliseconds.
+  std::size_t telemetry_every_ms = 1000;
+  /// SLO thresholds for the tracker (used only when telemetry is on).
+  obs::SloTracker::Config slo;
+  /// Flight-recorder ring capacity (rounded up to a power of two).
+  std::size_t flight_capacity = 4096;
+  /// Arm the SIGSEGV/SIGABRT/... dump handler. Tests that crash on purpose
+  /// under a harness (e.g. gtest death tests) may want it off.
+  bool install_fatal_handler = true;
 };
 
 struct ServeReport {
@@ -43,6 +64,9 @@ struct ServeReport {
   std::size_t checkpoint_failures = 0;
   /// Last checkpoint-writer error ("" when none).
   std::string checkpoint_last_error;
+  /// Telemetry-plane self stats (zero when telemetry was off).
+  std::size_t telemetry_exports = 0;
+  std::size_t telemetry_write_failures = 0;
 };
 
 /// Run the allocation service to completion. `traces` and the members of

@@ -12,7 +12,10 @@
 #include "alloc/sharded.h"
 #include "alloc/structure_aware.h"
 #include "alloc/validate.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/scoped_timer.h"
+#include "sim/drift.h"
 #include "util/binio.h"
 #include "util/thread_pool.h"
 
@@ -286,6 +289,8 @@ void AllocationEngine::apply_churn(std::size_t p) {
   if (events.empty()) return;
   const std::uint64_t start =
       trace_ != nullptr ? obs::TraceSession::now_ns() : 0;
+  std::size_t arrived = 0;
+  std::size_t departed = 0;
   for (const sim::ChurnEvent& e : events) {
     if (e.arrive) {
       active_[e.vm] = 1;
@@ -295,12 +300,20 @@ void AllocationEngine::apply_churn(std::size_t p) {
       predictors_[e.vm] = predictor_prototype_->clone_fresh();
       has_history_[e.vm] = 0;
       ++arrivals_;
+      ++arrived;
       if (metrics_ != nullptr) metrics_->add(ids_->churn_arrivals);
     } else {
       active_[e.vm] = 0;
       ++departures_;
+      ++departed;
       if (metrics_ != nullptr) metrics_->add(ids_->churn_departures);
     }
+  }
+  if (options_.flight != nullptr) {
+    options_.flight->record(obs::FlightEventKind::kChurn,
+                            static_cast<double>(p),
+                            static_cast<double>(arrived),
+                            static_cast<double>(departed));
   }
   if (trace_ != nullptr) {
     trace_->complete(tev_->churn, start, obs::TraceSession::now_ns(), 2,
@@ -322,7 +335,10 @@ void AllocationEngine::tick() {
   const std::size_t n = n_;
   const std::size_t num_servers = num_servers_;
   const std::size_t samples_per_period = samples_per_period_;
-  const bool observing = recorder_ != nullptr || metrics_ != nullptr;
+  obs::SloTracker* slo = options_.slo;
+  obs::FlightRecorder* flight = options_.flight;
+  const bool observing =
+      recorder_ != nullptr || metrics_ != nullptr || slo != nullptr;
 
   apply_churn(p);
   std::vector<std::size_t> active_list;
@@ -461,6 +477,7 @@ void AllocationEngine::tick() {
   obs::ScopedTimer place_timer(metrics_, ids_->placement_ns, observing);
   const alloc::Placement dense_placement = policy_->place(demands, ctx);
   const double place_ns = place_timer.stop();
+  if (slo != nullptr) slo->observe_place(place_ns);
 #if defined(CAVA_PLACEMENT_CHECKS) || !defined(NDEBUG)
   alloc::validate_placement_or_throw(dense_placement, demands, fleet_,
                                      {/*strict_capacity=*/false});
@@ -541,6 +558,10 @@ void AllocationEngine::tick() {
     result_.total_migrated_cores += moves.migrated_cores;
   }
   prev_placement_ = placement;
+  if (flight != nullptr) {
+    flight->record(obs::FlightEventKind::kPlace, static_cast<double>(p),
+                   place_ns, static_cast<double>(record.migrated_vms));
+  }
 
   // ---- Static v/f decision per server (universe ids, full matrix). ----
   std::vector<double> static_f(num_servers);
@@ -689,9 +710,11 @@ void AllocationEngine::tick() {
   // index in one build at the period wrap-up below.
   const bool feed = !sparse_ && !(cumulative && p == 0);
   std::size_t feed_cursor = 0;
+  double tick_ingest_ns = 0.0;
   const auto flush_feed = [&](std::size_t upto) {
     if (!feed || upto <= feed_cursor) return;
-    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns);
+    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns,
+                                  metrics_ != nullptr || slo != nullptr);
     const std::size_t count = upto - feed_cursor;
     obs::TraceSpan ingest_span(trace_, tev_->ingest,
                                static_cast<double>(count));
@@ -701,6 +724,7 @@ void AllocationEngine::tick() {
     fed_matrix.add_block(window, count, samples_per_period);
     fed_moments.add_block(window, count, samples_per_period);
     feed_cursor = upto;
+    tick_ingest_ns += ingest_timer.stop();
   };
   double freq_weighted_time = 0.0;
   double active_time = 0.0;
@@ -917,29 +941,61 @@ void AllocationEngine::tick() {
   }
 
   // Observed references feed the predictors of *active* VMs; statistics
-  // roll over.
+  // roll over. With SLO tracking on, the realized references double as the
+  // drift baseline: |what UPDATE predicted - what the window actually did|.
+  std::vector<double> drift_predicted;
+  std::vector<double> drift_actual;
+  if (slo != nullptr) {
+    drift_predicted.reserve(active_list.size());
+    drift_actual.reserve(active_list.size());
+  }
   for (std::size_t i : active_list) {
     const trace::TimeSeries window =
         traces[i].series.slice(first, samples_per_period);
-    predictors_[i]->observe(
-        trace::reference_of(window.samples(), config_.reference));
+    const double actual =
+        trace::reference_of(window.samples(), config_.reference);
+    predictors_[i]->observe(actual);
     has_history_[i] = 1;
+    if (slo != nullptr) {
+      drift_predicted.push_back(demand_by_vm[i]);
+      drift_actual.push_back(actual);
+    }
+  }
+  if (slo != nullptr) {
+    slo->observe_drift(sim::drift_of(drift_predicted, drift_actual).mean_abs);
   }
   if (sparse_) {
     // Roll the correlation state over: this period's staged block becomes
     // the next tick's index (the sparse analogue of the matrix swap).
     // Unconditional, so a checkpoint taken after any tick carries it.
-    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns);
+    obs::ScopedTimer ingest_timer(metrics_, ids_->corr_ingest_ns,
+                                  metrics_ != nullptr || slo != nullptr);
     obs::TraceSpan ingest_span(trace_, tev_->ingest,
                                static_cast<double>(samples_per_period));
     prev_index_ = corr::SparseCostIndex::build(
         period_block, n, samples_per_period, samples_per_period,
         config_.reference, config_.sparse_index, index_pool_.get());
+    tick_ingest_ns += ingest_timer.stop();
   } else if (!cumulative) {
     std::swap(prev_matrix_, curr_matrix_);
     std::swap(prev_moments_, curr_moments_);
   }
+  if (slo != nullptr) slo->observe_ingest(tick_ingest_ns);
   ++period_;
+  if (flight != nullptr) {
+    flight->record(obs::FlightEventKind::kTick, static_cast<double>(p),
+                   static_cast<double>(rec.active_servers),
+                   rec.energy_joules);
+    // Preserve the checkpoint field: the driver owns it and publishes from
+    // the same thread right after submitting a snapshot.
+    obs::FlightRecorder::EngineStatus st = flight->status();
+    st.tick = period_;
+    st.total_periods = total_periods_;
+    st.fingerprint = fingerprint_;
+    st.active_vms = active_list.size();
+    st.total_energy_joules = result_.total_energy_joules;
+    flight->publish_status(st);
+  }
 }
 
 sim::SimResult AllocationEngine::result() const {

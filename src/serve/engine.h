@@ -46,6 +46,11 @@ namespace cava::util {
 class ThreadPool;
 }  // namespace cava::util
 
+namespace cava::obs {
+class FlightRecorder;
+class SloTracker;
+}  // namespace cava::obs
+
 namespace cava::serve {
 
 struct EngineOptions {
@@ -54,6 +59,11 @@ struct EngineOptions {
   /// Max planned VM moves per period (alloc::apply_migration_budget);
   /// kUnlimited disables clamping entirely (bit-identical to batch).
   std::size_t migration_budget = kUnlimited;
+  /// Optional telemetry plane (DESIGN.md §16). Null = off: no clock reads,
+  /// no ring writes, output byte-identical to an unobserved engine. Both
+  /// must outlive the engine.
+  obs::SloTracker* slo = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 
   static constexpr std::size_t kUnlimited =
       std::numeric_limits<std::size_t>::max();
@@ -101,6 +111,19 @@ class AllocationEngine {
   /// first). Universe-indexed; departed VMs are unassigned.
   const std::optional<alloc::Placement>& last_placement() const {
     return prev_placement_;
+  }
+
+  // --- Cheap service-health accessors (no result() copy; heartbeat path).
+  double total_energy_joules() const { return result_.total_energy_joules; }
+  std::size_t server_crashes() const { return result_.server_crashes; }
+  double unplaced_vm_seconds() const { return result_.unplaced_vm_seconds; }
+  /// Active servers of the most recent completed period (0 before any).
+  std::size_t last_active_servers() const {
+    return result_.periods.empty() ? 0 : result_.periods.back().active_servers;
+  }
+  /// Scripted churn events not yet applied at the current period.
+  std::size_t churn_backlog() const {
+    return churn_.events_remaining(period_);
   }
 
   /// Hash of everything that must match for a snapshot to be resumable:

@@ -84,6 +84,13 @@ std::span<const ChurnEvent> ChurnSpec::events_at(std::size_t period) const {
           static_cast<std::size_t>(hi - lo)};
 }
 
+std::size_t ChurnSpec::events_remaining(std::size_t period) const {
+  const auto lo = std::lower_bound(
+      events.begin(), events.end(), period,
+      [](const ChurnEvent& e, std::size_t p) { return e.period < p; });
+  return static_cast<std::size_t>(events.end() - lo);
+}
+
 ChurnSpec ChurnSpec::parse_json(const util::Json& doc, std::size_t num_vms) {
   if (!doc.is_object()) fail("script root must be an object");
   ChurnSpec spec;

@@ -75,6 +75,10 @@ struct ChurnSpec {
   /// every spec produced by parse_json/synthetic/validate'd input).
   std::span<const ChurnEvent> events_at(std::size_t period) const;
 
+  /// Events scheduled at `period` or later — the service heartbeat's "churn
+  /// backlog" gauge. O(log n) over the sorted script.
+  std::size_t events_remaining(std::size_t period) const;
+
   /// Parse a churn script:
   ///   {"initially_inactive": [4, 5],
   ///    "events": [{"period": 3, "vm": 4, "kind": "arrive"},

@@ -1,0 +1,26 @@
+#include "sim/drift.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cava::sim {
+
+DriftSample drift_of(std::span<const double> predicted,
+                     std::span<const double> actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument(
+        "drift_of: predicted and actual vectors differ in length");
+  }
+  DriftSample out;
+  if (predicted.empty()) return out;
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = std::abs(predicted[i] - actual[i]);
+    total += d;
+    out.max_abs = std::max(out.max_abs, d);
+  }
+  out.mean_abs = total / static_cast<double>(predicted.size());
+  return out;
+}
+
+}  // namespace cava::sim

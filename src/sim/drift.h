@@ -1,0 +1,27 @@
+// Prediction-drift accounting for the UPDATE phase (DESIGN.md §16).
+//
+// Each period the engine predicts a per-VM utilization reference (Eqn. 1
+// input) and later observes the realized reference of the same window. The
+// drift between the two vectors is the live health signal for the predictor:
+// sustained growth means the workload moved away from its history and the
+// placements are being sized from stale demand. The SLO tracker thresholds
+// the per-period mean absolute drift and counts anomalies.
+#pragma once
+
+#include <span>
+
+namespace cava::sim {
+
+/// Per-period drift summary between predicted and realized references.
+struct DriftSample {
+  double mean_abs = 0.0;  ///< mean |predicted - actual| over the VMs
+  double max_abs = 0.0;   ///< worst single VM
+};
+
+/// Compute the drift of one period. `predicted` and `actual` are parallel
+/// per-VM vectors (active VMs only); an empty pair yields zeros. Throws
+/// std::invalid_argument when the lengths disagree.
+DriftSample drift_of(std::span<const double> predicted,
+                     std::span<const double> actual);
+
+}  // namespace cava::sim

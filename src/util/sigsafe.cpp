@@ -1,0 +1,146 @@
+#include "util/sigsafe.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+
+namespace cava::util {
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing a crash handler can do about a failing fd
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void SigsafeWriter::flush() {
+  if (len_ == 0) return;
+  write_all(fd_, buf_, len_);
+  len_ = 0;
+}
+
+void SigsafeWriter::raw(const char* data, std::size_t len) {
+  if (len >= sizeof(buf_)) {  // oversized payload: bypass the buffer
+    flush();
+    write_all(fd_, data, len);
+    return;
+  }
+  if (len_ + len > sizeof(buf_)) flush();
+  for (std::size_t i = 0; i < len; ++i) buf_[len_ + i] = data[i];
+  len_ += len;
+}
+
+void SigsafeWriter::str(const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  raw(s, n);
+}
+
+void SigsafeWriter::ch(char c) { raw(&c, 1); }
+
+std::size_t sigsafe_format_u64(char* out, std::size_t cap, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  if (n > cap) return 0;
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void SigsafeWriter::u64(std::uint64_t v) {
+  char tmp[20];
+  const std::size_t n = sigsafe_format_u64(tmp, sizeof(tmp), v);
+  raw(tmp, n);
+}
+
+void SigsafeWriter::i64(std::int64_t v) {
+  if (v < 0) {
+    ch('-');
+    // Negate via unsigned arithmetic so INT64_MIN does not overflow.
+    u64(~static_cast<std::uint64_t>(v) + 1);
+  } else {
+    u64(static_cast<std::uint64_t>(v));
+  }
+}
+
+void SigsafeWriter::hex64(std::uint64_t v) {
+  static const char digits[] = "0123456789abcdef";
+  char tmp[18];
+  tmp[0] = '0';
+  tmp[1] = 'x';
+  for (int i = 0; i < 16; ++i) {
+    tmp[2 + i] = digits[(v >> (60 - 4 * i)) & 0xf];
+  }
+  raw(tmp, sizeof(tmp));
+}
+
+void SigsafeWriter::f64(double v, int decimals) {
+  if (std::isnan(v) || std::isinf(v)) {
+    ch('0');
+    return;
+  }
+  if (decimals < 0) decimals = 0;
+  if (decimals > 9) decimals = 9;
+  if (v < 0) {
+    ch('-');
+    v = -v;
+  }
+  // Clamp just under the u64-representable ceiling; telemetry values
+  // (nanoseconds, joules, counts) never approach it in practice.
+  constexpr double kMax = 9.2e18;
+  if (v > kMax) v = kMax;
+  std::uint64_t scale = 1;
+  for (int i = 0; i < decimals; ++i) scale *= 10;
+  const double scaled = v * static_cast<double>(scale) + 0.5;
+  std::uint64_t fixed;
+  if (scaled > kMax) {
+    fixed = static_cast<std::uint64_t>(v) * scale;  // keep the integer part
+  } else {
+    fixed = static_cast<std::uint64_t>(scaled);
+  }
+  u64(fixed / scale);
+  if (decimals > 0) {
+    ch('.');
+    std::uint64_t frac = fixed % scale;
+    char tmp[9];
+    for (int i = decimals - 1; i >= 0; --i) {
+      tmp[i] = static_cast<char>('0' + frac % 10);
+      frac /= 10;
+    }
+    raw(tmp, static_cast<std::size_t>(decimals));
+  }
+}
+
+void SigsafeWriter::json_str(const char* s) {
+  ch('"');
+  for (std::size_t i = 0; s[i] != '\0'; ++i) {
+    const char c = s[i];
+    if (c == '"' || c == '\\') {
+      ch('\\');
+      ch(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char digits[] = "0123456789abcdef";
+      char esc[6] = {'\\', 'u', '0', '0', digits[(c >> 4) & 0xf],
+                     digits[c & 0xf]};
+      raw(esc, sizeof(esc));
+    } else {
+      ch(c);
+    }
+  }
+  ch('"');
+}
+
+}  // namespace cava::util

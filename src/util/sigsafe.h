@@ -1,0 +1,58 @@
+// Async-signal-safe formatting onto a file descriptor.
+//
+// A fatal-signal handler (obs::install_fatal_handler) may only call the
+// small POSIX async-signal-safe set — write(2), open(2), clock_gettime(2) —
+// so none of iostreams, snprintf or malloc are available to it. SigsafeWriter
+// is the formatting layer those handlers use: a fixed stack buffer flushed
+// with raw write(2) calls (EINTR-retried), plus integer/hex/fixed-point
+// renderers built from integer arithmetic only. No allocation, no locks, no
+// errno-dependent libc formatting.
+//
+// The same renderers back the standalone sigsafe_format_u64 helper, used to
+// assemble dump file names inside the handler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cava::util {
+
+/// Buffered async-signal-safe writer over an open fd. The caller owns the
+/// fd; destruction flushes but does not close. All methods are safe to call
+/// from a signal handler.
+class SigsafeWriter {
+ public:
+  explicit SigsafeWriter(int fd) : fd_(fd) {}
+  ~SigsafeWriter() { flush(); }
+
+  SigsafeWriter(const SigsafeWriter&) = delete;
+  SigsafeWriter& operator=(const SigsafeWriter&) = delete;
+
+  void raw(const char* data, std::size_t len);
+  void str(const char* s);  ///< NUL-terminated
+  void ch(char c);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// "0x" + 16 lowercase hex digits (fixed width, leading zeros kept).
+  void hex64(std::uint64_t v);
+  /// Fixed-point decimal with `decimals` fractional digits (0..9). NaN and
+  /// infinities render as 0 (the writer's only consumer is JSON, which has
+  /// no spelling for them); magnitudes beyond ~9.2e18 clamp.
+  void f64(double v, int decimals = 6);
+  /// JSON string literal: quotes + minimal escaping of ", \ and control
+  /// bytes (\u00XX).
+  void json_str(const char* s);
+
+  void flush();
+
+ private:
+  int fd_;
+  std::size_t len_ = 0;
+  char buf_[512];
+};
+
+/// Render `v` in decimal into `out` (no NUL); returns digits written, 0 when
+/// `cap` is too small. Handler-side building block for file names.
+std::size_t sigsafe_format_u64(char* out, std::size_t cap, std::uint64_t v);
+
+}  // namespace cava::util

@@ -1,0 +1,179 @@
+// Telemetry-plane concurrency, for the TSAN sanitizer job (ctest -L
+// concurrency via the obs-concurrency label): a publisher thread hammering
+// publish()/record()/observe_*() while the exporter renders and writes must
+// be race-free, and every heartbeat file must be internally consistent —
+// tick and fingerprint always from one publication, never a torn mixture.
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "util/json.h"
+
+namespace {
+
+using cava::obs::FlightEventKind;
+using cava::obs::FlightRecorder;
+using cava::obs::HealthSnapshot;
+using cava::obs::MetricsRegistry;
+using cava::obs::SloTracker;
+using cava::obs::TelemetryExporter;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ExporterConcurrency, PublisherVsExporterIsRaceFree) {
+  const std::string dir = temp_dir("conc_basic");
+  MetricsRegistry registry;
+  const MetricsRegistry::Id ticks = registry.counter("ticks");
+  SloTracker slo;
+  FlightRecorder flight(128);
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 1;  // exporter spins as fast as it can
+  TelemetryExporter exporter(options, &registry, &slo, &flight);
+
+  constexpr std::uint64_t kTicks = 2000;
+  std::thread publisher([&] {
+    for (std::uint64_t t = 1; t <= kTicks; ++t) {
+      registry.add(ticks);
+      slo.observe_place(100.0 + static_cast<double>(t));
+      slo.observe_drift(0.01);
+      flight.record(FlightEventKind::kTick, static_cast<double>(t));
+      FlightRecorder::EngineStatus st;
+      st.tick = t;
+      st.fingerprint = 0xabcd0000ULL + t;  // fingerprint tied to tick
+      flight.publish_status(st);
+      HealthSnapshot health;
+      health.tick = t;
+      health.fingerprint = 0xabcd0000ULL + t;
+      exporter.publish(health);
+    }
+  });
+  publisher.join();
+  exporter.stop();
+
+  EXPECT_GE(exporter.exports(), 1u);
+  EXPECT_EQ(exporter.write_failures(), 0u);
+  // Post-stop files reflect the final publication.
+  const cava::util::Json heartbeat =
+      cava::util::Json::parse(read_all(exporter.heartbeat_path()));
+  EXPECT_EQ(heartbeat.find("tick")->as_number(), kTicks);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExporterConcurrency, HeartbeatTickAndFingerprintNeverTear) {
+  // A reader thread re-parses the heartbeat file while the publisher runs;
+  // every parse must show fingerprint == base + tick (one publication),
+  // proving the publish() slot swap and the atomic rename both hold.
+  const std::string dir = temp_dir("conc_consistent");
+  constexpr std::uint64_t kBase = 0x1000000ULL;
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 1;
+  TelemetryExporter exporter(options, nullptr, nullptr, nullptr);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> parses{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string text = read_all(dir + "/heartbeat.json");
+      if (text.empty()) continue;
+      cava::util::Json doc;
+      try {
+        doc = cava::util::Json::parse(text);
+      } catch (const std::exception&) {
+        // A torn (half-written) file would fail to parse: atomic rename
+        // makes this impossible.
+        torn.fetch_add(1);
+        continue;
+      }
+      parses.fetch_add(1);
+      const auto tick =
+          static_cast<std::uint64_t>(doc.find("tick")->as_number());
+      std::uint64_t fp = 0;
+      const std::string hex = doc.find("fingerprint")->as_string();
+      for (std::size_t i = 2; i < hex.size(); ++i) {
+        fp = fp * 16 + static_cast<std::uint64_t>(
+                           hex[i] <= '9' ? hex[i] - '0' : hex[i] - 'a' + 10);
+      }
+      // tick 0 is the pre-first-publish default snapshot (the cadence can
+      // fire before publish()); anything else must be one publication.
+      const std::uint64_t want = tick == 0 ? 0 : kBase + tick;
+      if (fp != want) torn.fetch_add(1);
+    }
+  });
+  for (std::uint64_t t = 1; t <= 3000; ++t) {
+    HealthSnapshot health;
+    health.tick = t;
+    health.fingerprint = kBase + t;
+    exporter.publish(health);
+  }
+  exporter.stop();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(parses.load(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExporterConcurrency, ManyWritersIntoOneFlightRecorder) {
+  // The engine, driver and chaos harness may all record concurrently; the
+  // ring and the status seqlock must stay consistent under that load while
+  // an exporter snapshots them.
+  const std::string dir = temp_dir("conc_flight");
+  FlightRecorder flight(64);
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 1;
+  TelemetryExporter exporter(options, nullptr, nullptr, &flight);
+  exporter.publish(HealthSnapshot{});
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&flight, w] {
+      for (int i = 0; i < 3000; ++i) {
+        flight.record(FlightEventKind::kMetric, w, i, w * 1000.0 + i);
+        if (w == 0) {
+          FlightRecorder::EngineStatus st;
+          st.tick = static_cast<std::uint64_t>(i);
+          flight.publish_status(st);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  exporter.stop();
+
+  // The four writers' records plus the exporter's own kExport records.
+  EXPECT_GE(flight.recorded(), 4u * 3000u);
+  EXPECT_EQ(flight.dropped(), flight.recorded() - flight.capacity());
+  bool is_torn = false;
+  flight.status(&is_torn);
+  EXPECT_FALSE(is_torn);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// TelemetryExporter and Prometheus-rendering tests: text-exposition shape,
+// name sanitization, atomic file publication, the final-export-on-stop
+// guarantee, and the exporter's self-observation (its own exports and
+// failures land in the registry it renders — no silent telemetry loss).
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "util/json.h"
+
+namespace {
+
+using cava::obs::FlightRecorder;
+using cava::obs::HealthSnapshot;
+using cava::obs::MetricsRegistry;
+using cava::obs::MetricsSnapshot;
+using cava::obs::SloTracker;
+using cava::obs::TelemetryExporter;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(RenderPrometheus, CountersGaugesAndTypes) {
+  MetricsRegistry registry;
+  registry.add(registry.counter("periods"), 12);
+  registry.set(registry.gauge("active vms"), 7.5);  // space -> underscore
+  const std::string text = cava::obs::render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE cava_periods_total counter\n"));
+  EXPECT_TRUE(contains(text, "cava_periods_total 12\n"));
+  EXPECT_TRUE(contains(text, "# TYPE cava_active_vms gauge\n"));
+  EXPECT_TRUE(contains(text, "cava_active_vms 7.5\n"));
+  // Every line is either a comment or `name value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (char c : line.substr(0, space)) {
+      ASSERT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name char in: " << line;
+    }
+  }
+}
+
+TEST(RenderPrometheus, HistogramIsCumulativeWithInf) {
+  MetricsRegistry registry;
+  const MetricsRegistry::Id h = registry.histogram("place_ns");
+  registry.observe(h, 0.5);  // bucket 0: < 1
+  registry.observe(h, 3.0);  // bucket 2: [2, 4)
+  registry.observe(h, 3.5);
+  const std::string text = cava::obs::render_prometheus(registry.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE cava_place_ns histogram\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_bucket{le=\"2\"} 1\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_bucket{le=\"4\"} 3\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_count 3\n"));
+  EXPECT_TRUE(contains(text, "cava_place_ns_sum 7\n"));
+  // Buckets above the highest non-empty one are elided (no le="8" line).
+  EXPECT_FALSE(contains(text, "le=\"8\""));
+}
+
+TEST(RenderPrometheus, EmptySnapshotIsEmptyText) {
+  EXPECT_EQ(cava::obs::render_prometheus(MetricsSnapshot{}), "");
+}
+
+TEST(TelemetryExporter, ExportNowWritesBothFiles) {
+  const std::string dir = temp_dir("exp_basic");
+  MetricsRegistry registry;
+  registry.add(registry.counter("ticks"), 5);
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 60000;  // cadence far away: we drive exports by hand
+  TelemetryExporter exporter(options, &registry, nullptr, nullptr);
+
+  HealthSnapshot health;
+  health.tick = 3;
+  health.fingerprint = 0x1234ULL;
+  exporter.publish(health);
+  exporter.export_now();
+
+  const cava::util::Json heartbeat =
+      cava::util::Json::parse(read_all(exporter.heartbeat_path()));
+  EXPECT_EQ(heartbeat.find("tick")->as_number(), 3);
+  EXPECT_EQ(heartbeat.find("fingerprint")->as_string(),
+            "0x0000000000001234");
+  EXPECT_TRUE(
+      contains(read_all(exporter.metrics_path()), "cava_ticks_total 5\n"));
+  EXPECT_GE(exporter.exports(), 1u);
+  EXPECT_EQ(exporter.write_failures(), 0u);
+  exporter.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryExporter, StopPerformsFinalExport) {
+  const std::string dir = temp_dir("exp_stop");
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 60000;  // a run shorter than one cadence
+  {
+    TelemetryExporter exporter(options, nullptr, nullptr, nullptr);
+    HealthSnapshot health;
+    health.tick = 9;
+    exporter.publish(health);
+    exporter.stop();
+    EXPECT_GE(exporter.exports(), 1u);
+  }
+  const cava::util::Json heartbeat = cava::util::Json::parse(
+      read_all(dir + "/heartbeat.json"));
+  EXPECT_EQ(heartbeat.find("tick")->as_number(), 9);
+  // No registry attached: the prom file still exists and says why.
+  EXPECT_TRUE(contains(read_all(dir + "/metrics.prom"), "no metrics"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryExporter, SelfStatsFeedBackIntoRegistryAndHeartbeat) {
+  const std::string dir = temp_dir("exp_self");
+  MetricsRegistry registry;
+  FlightRecorder flight(16);
+  flight.record(cava::obs::FlightEventKind::kTick);
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 60000;
+  TelemetryExporter exporter(options, &registry, nullptr, &flight);
+  exporter.publish(HealthSnapshot{});
+  exporter.export_now();
+  exporter.export_now();
+
+  // The second export's files see the first export's self-stats.
+  const cava::util::Json heartbeat =
+      cava::util::Json::parse(read_all(exporter.heartbeat_path()));
+  ASSERT_NE(heartbeat.find("exporter"), nullptr);
+  EXPECT_GE(heartbeat.find("exporter")->find("exports")->as_number(), 1);
+  ASSERT_NE(heartbeat.find("flight"), nullptr);
+  // Our kTick plus the exporter's own kExport records.
+  EXPECT_GE(heartbeat.find("flight")->find("recorded")->as_number(), 1);
+  const std::string prom = read_all(exporter.metrics_path());
+  EXPECT_TRUE(contains(prom, "cava_telemetry_exports_total"));
+  EXPECT_TRUE(contains(prom, "cava_flight_recorded_records "));
+  EXPECT_TRUE(contains(prom, "cava_flight_dropped_records 0\n"));
+  EXPECT_TRUE(contains(prom, "cava_telemetry_write_ns"));
+  exporter.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryExporter, SloSectionRendersWhenAttached) {
+  const std::string dir = temp_dir("exp_slo");
+  SloTracker slo;
+  slo.observe_place(100.0);
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 60000;
+  TelemetryExporter exporter(options, nullptr, &slo, nullptr);
+  exporter.publish(HealthSnapshot{});
+  exporter.export_now();
+  const cava::util::Json heartbeat =
+      cava::util::Json::parse(read_all(exporter.heartbeat_path()));
+  ASSERT_NE(heartbeat.find("slo"), nullptr);
+  EXPECT_EQ(
+      heartbeat.find("slo")->find("place")->find("count")->as_number(), 1);
+  exporter.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryExporter, BackgroundCadencePublishesWithoutManualExports) {
+  const std::string dir = temp_dir("exp_bg");
+  TelemetryExporter::Options options;
+  options.dir = dir;
+  options.interval_ms = 5;
+  TelemetryExporter exporter(options, nullptr, nullptr, nullptr);
+  HealthSnapshot health;
+  health.tick = 1;
+  exporter.publish(health);
+  // Wait for the worker to fire at least once (bounded, not timing-exact).
+  for (int i = 0; i < 400 && exporter.exports() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(exporter.exports(), 1u);
+  exporter.stop();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/heartbeat.json"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryExporter, UnwritableDirCountsFailuresInsteadOfThrowing) {
+  TelemetryExporter::Options options;
+  options.dir = "/proc/cava-no-such-dir";  // mkdir fails, writes fail
+  options.interval_ms = 60000;
+  TelemetryExporter exporter(options, nullptr, nullptr, nullptr);
+  exporter.publish(HealthSnapshot{});
+  exporter.export_now();
+  EXPECT_GE(exporter.write_failures(), 1u);
+  exporter.stop();  // must not throw either
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// FlightRecorder unit tests: ring ordering and wrap accounting, seqlock
+// status round trips, the invariant stash, and the "cava-flightdump-v1"
+// document — which must parse with the repo's own strict JSON parser even
+// though it is rendered by the async-signal-safe integer formatter.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using cava::obs::FlightEvent;
+using cava::obs::FlightEventKind;
+using cava::obs::FlightRecorder;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(8).capacity(), 8u);
+  EXPECT_EQ(FlightRecorder(100).capacity(), 128u);
+  EXPECT_EQ(FlightRecorder(4096).capacity(), 4096u);
+}
+
+TEST(FlightRecorder, RecordsComeBackInOrder) {
+  FlightRecorder rec(16);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(FlightEventKind::kTick, i, i * 10, i * 100);
+  }
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(events[i].kind, FlightEventKind::kTick);
+    EXPECT_EQ(events[i].a, i);
+    EXPECT_EQ(events[i].b, i * 10);
+    EXPECT_EQ(events[i].c, i * 100);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorder, WrapKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.record(FlightEventKind::kPlace, i);
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);  // 20 recorded - 8 capacity
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The window is the newest 8, oldest first.
+  EXPECT_EQ(events.front().a, 12);
+  EXPECT_EQ(events.back().a, 19);
+}
+
+TEST(FlightRecorder, StatusRoundTrips) {
+  FlightRecorder rec(8);
+  bool torn = true;
+  // Before any publish: all defaults, not torn.
+  FlightRecorder::EngineStatus st = rec.status(&torn);
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(st.tick, 0u);
+  EXPECT_EQ(st.last_checkpoint_period,
+            FlightRecorder::EngineStatus::kNoCheckpoint);
+
+  st.tick = 41;
+  st.total_periods = 100;
+  st.fingerprint = 0x1122334455667788ULL;
+  st.active_vms = 12;
+  st.last_checkpoint_period = 40;
+  st.total_energy_joules = 123.5;
+  rec.publish_status(st);
+
+  const FlightRecorder::EngineStatus got = rec.status(&torn);
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(got.tick, 41u);
+  EXPECT_EQ(got.total_periods, 100u);
+  EXPECT_EQ(got.fingerprint, 0x1122334455667788ULL);
+  EXPECT_EQ(got.active_vms, 12u);
+  EXPECT_EQ(got.last_checkpoint_period, 40u);
+  EXPECT_EQ(got.total_energy_joules, 123.5);
+}
+
+TEST(FlightRecorder, InvariantMessageIsStashedAndTruncated) {
+  FlightRecorder rec(8);
+  rec.note_invariant("active mask / placement size mismatch");
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kInvariant);
+
+  // An oversized message truncates instead of overflowing; the dump must
+  // still be valid JSON.
+  const std::string big(1000, 'x');
+  rec.note_invariant(big.c_str());
+  const std::string path = temp_path("fr_invariant.json");
+  ASSERT_TRUE(rec.dump_to_file(path));
+  const cava::util::Json doc = cava::util::Json::parse_file(path);
+  ASSERT_NE(doc.find("invariant"), nullptr);
+  EXPECT_LT(doc.find("invariant")->as_string().size(), 300u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpParsesWithStrictJsonParser) {
+  FlightRecorder rec(16);
+  rec.record(FlightEventKind::kTick, 1, 2, 3.25);
+  rec.record(FlightEventKind::kChurn, 1, 4, 5);
+  FlightRecorder::EngineStatus st;
+  st.tick = 2;
+  st.total_periods = 10;
+  st.fingerprint = 0xfeedface12345678ULL;
+  st.active_vms = 3;
+  st.total_energy_joules = 42.125;
+  rec.publish_status(st);
+
+  const std::string path = temp_path("fr_dump.json");
+  ASSERT_TRUE(rec.dump_to_file(path, SIGABRT));
+  const cava::util::Json doc = cava::util::Json::parse_file(path);
+
+  EXPECT_EQ(doc.find("schema")->as_string(), "cava-flightdump-v1");
+  EXPECT_EQ(doc.find("signal")->as_number(), SIGABRT);
+  const cava::util::Json* engine = doc.find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_TRUE(engine->find("published")->as_bool());
+  EXPECT_FALSE(engine->find("torn")->as_bool());
+  EXPECT_EQ(engine->find("tick")->as_number(), 2);
+  EXPECT_EQ(engine->find("fingerprint")->as_string(), "0xfeedface12345678");
+  EXPECT_EQ(engine->find("last_checkpoint_period")->as_number(), -1);
+  EXPECT_EQ(engine->find("energy_joules")->as_number(), 42.125);
+  const cava::util::Json* ring = doc.find("ring");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->find("capacity")->as_number(), 16);
+  EXPECT_EQ(ring->find("recorded")->as_number(), 2);
+  EXPECT_EQ(ring->find("dropped")->as_number(), 0);
+  ASSERT_EQ(ring->find("events")->size(), 2u);
+  EXPECT_EQ(ring->find("events")->at(0).find("kind")->as_string(), "tick");
+  EXPECT_EQ(ring->find("events")->at(1).find("kind")->as_string(), "churn");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, EmptyDumpIsStillValidJson) {
+  FlightRecorder rec(8);
+  const std::string path = temp_path("fr_empty.json");
+  ASSERT_TRUE(rec.dump_to_file(path));
+  const cava::util::Json doc = cava::util::Json::parse_file(path);
+  EXPECT_FALSE(doc.find("engine")->find("published")->as_bool());
+  EXPECT_EQ(doc.find("ring")->find("events")->size(), 0u);
+  EXPECT_EQ(doc.find("signal")->as_number(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpToUnwritablePathReturnsFalse) {
+  FlightRecorder rec(8);
+  EXPECT_FALSE(rec.dump_to_file("/no/such/dir/dump.json"));
+}
+
+TEST(FlightRecorder, KindLabelsAreStable) {
+  using cava::obs::to_string;
+  EXPECT_STREQ(to_string(FlightEventKind::kTick), "tick");
+  EXPECT_STREQ(to_string(FlightEventKind::kChurn), "churn");
+  EXPECT_STREQ(to_string(FlightEventKind::kPlace), "place");
+  EXPECT_STREQ(to_string(FlightEventKind::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(to_string(FlightEventKind::kExport), "export");
+  EXPECT_STREQ(to_string(FlightEventKind::kInvariant), "invariant");
+  EXPECT_STREQ(to_string(FlightEventKind::kCrash), "crash");
+  EXPECT_STREQ(to_string(FlightEventKind::kMetric), "metric");
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornSnapshots) {
+  FlightRecorder rec(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Payload encodes the writer, so a mixed-up slot is detectable:
+        // a == b / 1000 must always hold.
+        const double a = t;
+        rec.record(FlightEventKind::kMetric, a, a * 1000.0, a);
+      }
+    });
+  }
+  std::thread reader([&rec] {
+    for (int i = 0; i < 200; ++i) {
+      for (const FlightEvent& e : rec.snapshot()) {
+        ASSERT_EQ(e.a * 1000.0, e.b);
+        ASSERT_EQ(e.a, e.c);
+      }
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.dropped(), rec.recorded() - rec.capacity());
+}
+
+TEST(FatalHandler, InstallUninstallRestoresDisposition) {
+  // Install points SIGABRT (among others) at the dump handler; uninstall
+  // must restore whatever was there before, so repeated serve runs in one
+  // process do not leak handler state.
+  struct sigaction before {};
+  ASSERT_EQ(sigaction(SIGSEGV, nullptr, &before), 0);
+  FlightRecorder rec(8);
+  cava::obs::install_fatal_handler(&rec, ::testing::TempDir());
+  struct sigaction during {};
+  ASSERT_EQ(sigaction(SIGSEGV, nullptr, &during), 0);
+  EXPECT_NE(during.sa_handler, before.sa_handler);
+  cava::obs::uninstall_fatal_handler();
+  struct sigaction after {};
+  ASSERT_EQ(sigaction(SIGSEGV, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, before.sa_handler);
+}
+
+TEST(FatalHandlerDeath, SigabrtProducesParseableDump) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "fr_death").string();
+  std::filesystem::remove_all(dir);
+  EXPECT_DEATH(
+      {
+        static FlightRecorder rec(32);
+        rec.record(FlightEventKind::kTick, 9);
+        FlightRecorder::EngineStatus st;
+        st.tick = 9;
+        st.fingerprint = 0xabcdULL;
+        rec.publish_status(st);
+        cava::obs::install_fatal_handler(&rec, dir);
+        std::abort();
+      },
+      "");
+  // The dying child left exactly one dump in the directory.
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(entry.path());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].filename().string().find("flightdump-"),
+            std::string::npos);
+  const cava::util::Json doc =
+      cava::util::Json::parse_file(dumps[0].string());
+  EXPECT_EQ(doc.find("schema")->as_string(), "cava-flightdump-v1");
+  EXPECT_EQ(doc.find("signal")->as_number(), SIGABRT);
+  EXPECT_EQ(doc.find("engine")->find("tick")->as_number(), 9);
+  EXPECT_EQ(doc.find("engine")->find("fingerprint")->as_string(),
+            "0x000000000000abcd");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

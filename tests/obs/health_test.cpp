@@ -1,0 +1,159 @@
+// SloTracker and heartbeat-document tests: latency channels with threshold
+// breach counting, drift anomaly accounting, and the "cava-heartbeat-v1"
+// schema the exporter publishes (section presence, fingerprint spelling).
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+using cava::obs::ExporterSelfStats;
+using cava::obs::FlightStats;
+using cava::obs::HealthSnapshot;
+using cava::obs::SloTracker;
+
+TEST(SloTracker, LatencyChannelsAccumulateIndependently) {
+  SloTracker slo;
+  slo.observe_place(100.0);
+  slo.observe_place(200.0);
+  slo.observe_checkpoint(5000.0);
+  const SloTracker::Snapshot snap = slo.snapshot();
+  EXPECT_EQ(snap.place.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.place.mean, 150.0);
+  EXPECT_EQ(snap.place.max, 200.0);
+  EXPECT_EQ(snap.checkpoint.count, 1u);
+  EXPECT_EQ(snap.ingest.count, 0u);
+}
+
+TEST(SloTracker, BreachesCountOnlyAboveThreshold) {
+  SloTracker::Config config;
+  config.place_threshold_ns = 1000.0;
+  SloTracker slo(config);
+  slo.observe_place(999.0);
+  slo.observe_place(1000.0);  // at threshold: not a breach
+  slo.observe_place(1001.0);
+  slo.observe_place(5000.0);
+  const SloTracker::Snapshot snap = slo.snapshot();
+  EXPECT_EQ(snap.place.count, 4u);
+  EXPECT_EQ(snap.place.breaches, 2u);
+  EXPECT_EQ(snap.place.threshold_ns, 1000.0);
+}
+
+TEST(SloTracker, QuantilesAreOrderedAndClamped) {
+  SloTracker slo;
+  for (int i = 1; i <= 1000; ++i) slo.observe_ingest(i);
+  const SloTracker::LatencyStats s = slo.snapshot().ingest;
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // Interpolated p50 of uniform 1..1000 lands near the true median.
+  EXPECT_NEAR(s.p50, 500.0, 32.0);
+}
+
+TEST(SloTracker, DriftTracksMeanMaxAndAnomalies) {
+  SloTracker::Config config;
+  config.drift_threshold = 0.5;
+  SloTracker slo(config);
+  slo.observe_drift(0.2);
+  slo.observe_drift(0.8);  // anomaly
+  slo.observe_drift(0.6);  // anomaly
+  const SloTracker::DriftStats d = slo.snapshot().drift;
+  EXPECT_EQ(d.ticks, 3u);
+  EXPECT_DOUBLE_EQ(d.last, 0.6);
+  EXPECT_NEAR(d.mean, (0.2 + 0.8 + 0.6) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.max, 0.8);
+  EXPECT_EQ(d.anomalies, 2u);
+}
+
+TEST(SloTracker, NegativeDriftClampsToZero) {
+  SloTracker slo;
+  slo.observe_drift(-1.0);
+  const SloTracker::DriftStats d = slo.snapshot().drift;
+  EXPECT_EQ(d.ticks, 1u);
+  EXPECT_EQ(d.last, 0.0);
+  EXPECT_EQ(d.anomalies, 0u);
+}
+
+TEST(SloTracker, SnapshotJsonCarriesEveryChannel) {
+  SloTracker slo;
+  slo.observe_place(10.0);
+  slo.observe_drift(0.1);
+  const cava::util::Json j = SloTracker::to_json(slo.snapshot());
+  for (const char* key : {"place", "checkpoint", "ingest", "drift"}) {
+    ASSERT_NE(j.find(key), nullptr) << key;
+  }
+  EXPECT_EQ(j.find("place")->find("count")->as_number(), 1);
+  EXPECT_EQ(j.find("drift")->find("ticks")->as_number(), 1);
+  // Serialized + reparsed stays intact (no NaN leakage).
+  EXPECT_NO_THROW(cava::util::Json::parse(j.dump()));
+}
+
+TEST(HexU64, FixedWidthLowercase) {
+  EXPECT_EQ(cava::obs::hex_u64(0), "0x0000000000000000");
+  EXPECT_EQ(cava::obs::hex_u64(0xABCDEF), "0x0000000000abcdef");
+  EXPECT_EQ(cava::obs::hex_u64(~0ULL), "0xffffffffffffffff");
+}
+
+TEST(Heartbeat, CoreSchemaAndFingerprintSpelling) {
+  HealthSnapshot health;
+  health.tick = 7;
+  health.total_periods = 20;
+  health.fingerprint = 0x00ff00ff00ff00ffULL;
+  health.active_vms = 5;
+  health.active_servers = 2;
+  health.total_energy_joules = 99.5;
+  health.churn_backlog = 3;
+  const cava::util::Json j = cava::obs::heartbeat_json(health);
+  EXPECT_EQ(j.find("schema")->as_string(), "cava-heartbeat-v1");
+  EXPECT_EQ(j.find("tick")->as_number(), 7);
+  EXPECT_EQ(j.find("fingerprint")->as_string(), "0x00ff00ff00ff00ff");
+  EXPECT_EQ(j.find("churn")->find("backlog")->as_number(), 3);
+  EXPECT_EQ(j.find("checkpoint")->find("last_period")->as_number(), -1);
+  // Optional sections absent when their sources are null.
+  EXPECT_EQ(j.find("slo"), nullptr);
+  EXPECT_EQ(j.find("flight"), nullptr);
+  EXPECT_EQ(j.find("exporter"), nullptr);
+  EXPECT_NO_THROW(cava::util::Json::parse(j.dump(2)));
+}
+
+TEST(Heartbeat, OptionalSectionsAppearWhenProvided) {
+  HealthSnapshot health;
+  SloTracker slo;
+  slo.observe_place(1.0);
+  const SloTracker::Snapshot slo_snap = slo.snapshot();
+  FlightStats flight{64, 100, 36};
+  ExporterSelfStats self{12, 1, 2500.0};
+  const cava::util::Json j =
+      cava::obs::heartbeat_json(health, &slo_snap, &flight, &self);
+  ASSERT_NE(j.find("slo"), nullptr);
+  EXPECT_EQ(j.find("slo")->find("place")->find("count")->as_number(), 1);
+  ASSERT_NE(j.find("flight"), nullptr);
+  EXPECT_EQ(j.find("flight")->find("dropped")->as_number(), 36);
+  ASSERT_NE(j.find("exporter"), nullptr);
+  EXPECT_EQ(j.find("exporter")->find("write_failures")->as_number(), 1);
+}
+
+TEST(Heartbeat, DegradedFlagsAndCheckpointError) {
+  HealthSnapshot health;
+  health.checkpoint_enabled = true;
+  health.last_checkpoint_period = 40;
+  health.checkpoint_age_periods = 2;
+  health.checkpoint_failures = 3;
+  health.checkpoint_last_error = "disk full";
+  health.degraded_checkpoint = true;
+  health.degraded_crashes = true;
+  const cava::util::Json j = cava::obs::heartbeat_json(health);
+  EXPECT_TRUE(j.find("checkpoint")->find("enabled")->as_bool());
+  EXPECT_EQ(j.find("checkpoint")->find("last_period")->as_number(), 40);
+  EXPECT_EQ(j.find("checkpoint")->find("last_error")->as_string(),
+            "disk full");
+  EXPECT_TRUE(j.find("degraded")->find("checkpoint")->as_bool());
+  EXPECT_FALSE(j.find("degraded")->find("capacity")->as_bool());
+  EXPECT_TRUE(j.find("degraded")->find("crashes")->as_bool());
+}
+
+}  // namespace

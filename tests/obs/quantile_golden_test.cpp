@@ -1,0 +1,109 @@
+// Golden tests for HistogramSnapshot::quantile's linear interpolation
+// (Prometheus histogram_quantile convention): exact answers for uniform
+// fills, monotonicity, clamping, and the single-sample / empty edge cases
+// that the old nearest-bucket-upper-bound estimator got wrong by up to a
+// full bucket width.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using cava::obs::HistogramSnapshot;
+
+HistogramSnapshot fill(const std::vector<double>& values) {
+  HistogramSnapshot h;
+  for (double v : values) h.observe(v);
+  return h;
+}
+
+TEST(QuantileGolden, EmptyHistogramIsZero) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(QuantileGolden, SingleValueReturnsThatValue) {
+  // One sample of 100 lives in bucket [64, 128); interpolation must clamp
+  // to the observed max, not report the bucket boundary.
+  const HistogramSnapshot h = fill({100.0});
+  EXPECT_EQ(h.quantile(0.0), 100.0);
+  EXPECT_EQ(h.quantile(0.5), 100.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(QuantileGolden, UniformFillInterpolatesNearExactRank) {
+  // 1..1000 uniformly: true p50 = 500. The log2 buckets spread 489 of the
+  // samples over [512, 1024); linear interpolation lands within a couple of
+  // percent of exact — the old estimator answered 1024 (the bucket bound).
+  HistogramSnapshot h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i);
+  EXPECT_NEAR(h.quantile(0.50), 500.0, 32.0);
+  EXPECT_NEAR(h.quantile(0.95), 950.0, 32.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 32.0);
+}
+
+TEST(QuantileGolden, ExactWithinOneBucket) {
+  // All mass in [64, 128): quantiles interpolate linearly across the bucket.
+  HistogramSnapshot h;
+  h.count = 100;
+  h.sum = 9600.0;
+  h.min = 64.0;
+  h.max = 128.0;
+  h.buckets[7] = 100;  // bucket 7 = [64, 128)
+  EXPECT_NEAR(h.quantile(0.25), 64.0 + 0.25 * 64.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.50), 64.0 + 0.50 * 64.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.75), 64.0 + 0.75 * 64.0, 1.0);
+}
+
+TEST(QuantileGolden, MonotonicInQ) {
+  HistogramSnapshot h;
+  for (int i = 0; i < 500; ++i) h.observe(1.5 * i);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(QuantileGolden, ClampedToObservedRange) {
+  const HistogramSnapshot h = fill({10.0, 11.0, 12.0});
+  EXPECT_GE(h.quantile(0.01), 10.0);
+  EXPECT_LE(h.quantile(0.999), 12.0);
+  EXPECT_EQ(h.quantile(-0.5), 10.0);  // out-of-range q clamps
+  EXPECT_EQ(h.quantile(1.5), 12.0);
+}
+
+TEST(QuantileGolden, SubUnitValuesUseBucketZero) {
+  // Bucket 0 holds [0, 1); interpolation inside it stays within range.
+  const HistogramSnapshot h = fill({0.1, 0.2, 0.9});
+  EXPECT_GE(h.quantile(0.5), 0.1);
+  EXPECT_LE(h.quantile(0.5), 0.9);
+}
+
+TEST(QuantileGolden, ObserveTracksCountSumMinMax) {
+  HistogramSnapshot h;
+  h.observe(5.0);
+  h.observe(3.0);
+  h.observe(-2.0);  // clamps to 0
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 8.0);
+  EXPECT_EQ(h.min, 0.0);
+  EXPECT_EQ(h.max, 5.0);
+}
+
+TEST(QuantileGolden, RegistryPercentileSummaryUsesInterpolation) {
+  // End-to-end through MetricsRegistry::snapshot() + to_json: the exported
+  // p50 reflects interpolation, not a bucket upper bound.
+  cava::obs::MetricsRegistry registry;
+  const auto id = registry.histogram("latency");
+  for (int i = 1; i <= 1000; ++i) registry.observe(id, i);
+  const cava::obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_NEAR(snap.histograms[0].second.quantile(0.5), 500.0, 32.0);
+}
+
+}  // namespace

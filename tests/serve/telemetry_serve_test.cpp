@@ -1,0 +1,287 @@
+// The telemetry plane through serve::run_serve: heartbeat/Prometheus files
+// appear and parse, the heartbeat agrees with the final report, results are
+// bit-identical with telemetry on vs off (observe, never steer), and the
+// chaos harness dumps the flight ring at kill points.
+#include "serve/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "alloc/correlation_aware.h"
+#include "dvfs/vf_policy.h"
+#include "obs/flight_recorder.h"
+#include "serve/chaos.h"
+#include "sim/churn.h"
+#include "trace/synthesis.h"
+#include "util/json.h"
+
+namespace cava::serve {
+namespace {
+
+trace::TraceSet tiny_traces() {
+  trace::DatacenterTraceConfig cfg;
+  cfg.num_vms = 6;
+  cfg.num_groups = 3;
+  cfg.day_seconds = 3600.0;
+  cfg.coarse_dt = 300.0;
+  cfg.fine_dt = 10.0;
+  cfg.seed = 7;
+  return trace::generate_datacenter_traces(cfg);
+}
+
+sim::SimConfig tiny_config() {
+  sim::SimConfig cfg;
+  cfg.max_servers = 6;
+  cfg.period_seconds = 300.0;
+  return cfg;
+}
+
+sim::ChurnSpec tiny_churn(std::size_t num_vms, std::size_t periods) {
+  sim::SyntheticChurnConfig cfg;
+  cfg.num_vms = num_vms;
+  cfg.num_periods = periods;
+  cfg.arrival_prob = 0.1;
+  cfg.departure_prob = 0.1;
+  cfg.seed = 11;
+  return sim::ChurnSpec::synthetic(cfg);
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Serve options with the telemetry plane on. The fatal handler stays off:
+/// gtest's own death-test machinery must keep SIGABRT.
+ServeOptions telemetry_options(const std::string& dir) {
+  ServeOptions serve;
+  serve.total_periods = 30;
+  serve.telemetry_dir = dir;
+  serve.telemetry_every_ms = 3600 * 1000;  // only the tick-driven exports
+  serve.install_fatal_handler = false;
+  return serve;
+}
+
+TEST(TelemetryServe, HeartbeatAndMetricsFilesAppearAndParse) {
+  const trace::TraceSet traces = tiny_traces();
+  const std::string dir = temp_dir("tserve_basic");
+  const ServeOptions serve = telemetry_options(dir);
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  const sim::RunOptions run{policy, &vf};
+  const ServeReport report = run_serve(
+      tiny_config(), traces, tiny_churn(traces.size(), 30), serve, run);
+
+  EXPECT_GE(report.telemetry_exports, 1u);
+  EXPECT_EQ(report.telemetry_write_failures, 0u);
+
+  const util::Json heartbeat =
+      util::Json::parse(read_all(dir + "/heartbeat.json"));
+  EXPECT_EQ(heartbeat.find("schema")->as_string(), "cava-heartbeat-v1");
+  // The final (post-drain) heartbeat describes the completed run.
+  EXPECT_EQ(heartbeat.find("tick")->as_number(), 30);
+  EXPECT_EQ(heartbeat.find("total_periods")->as_number(), 30);
+  EXPECT_EQ(heartbeat.find("churn")->find("arrivals")->as_number(),
+            static_cast<double>(report.churn_arrivals));
+  EXPECT_EQ(heartbeat.find("churn")->find("backlog")->as_number(), 0);
+  ASSERT_NE(heartbeat.find("slo"), nullptr);
+  EXPECT_EQ(
+      heartbeat.find("slo")->find("place")->find("count")->as_number(), 30);
+  ASSERT_NE(heartbeat.find("flight"), nullptr);
+  EXPECT_GT(heartbeat.find("flight")->find("recorded")->as_number(), 0);
+
+  const std::string prom = read_all(dir + "/metrics.prom");
+  EXPECT_NE(prom.find("cava_telemetry_exports_total"), std::string::npos);
+  EXPECT_NE(prom.find("cava_flight_recorded_records"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryServe, ResultsAreBitIdenticalWithTelemetryOnAndOff) {
+  const trace::TraceSet traces = tiny_traces();
+  const sim::ChurnSpec churn = tiny_churn(traces.size(), 30);
+
+  ServeOptions off;
+  off.total_periods = 30;
+  alloc::CorrelationAwarePlacement policy_off;
+  dvfs::CorrelationAwareVf vf_off;
+  const sim::RunOptions run_off{policy_off, &vf_off};
+  const ServeReport r_off =
+      run_serve(tiny_config(), traces, churn, off, run_off);
+
+  const std::string dir = temp_dir("tserve_identity");
+  const ServeOptions on = telemetry_options(dir);
+  alloc::CorrelationAwarePlacement policy_on;
+  dvfs::CorrelationAwareVf vf_on;
+  const sim::RunOptions run_on{policy_on, &vf_on};
+  const ServeReport r_on =
+      run_serve(tiny_config(), traces, churn, on, run_on);
+
+  EXPECT_EQ(r_off.result.total_energy_joules, r_on.result.total_energy_joules);
+  EXPECT_EQ(r_off.result.total_migrated_vms, r_on.result.total_migrated_vms);
+  EXPECT_EQ(r_off.result.mean_active_servers, r_on.result.mean_active_servers);
+  ASSERT_EQ(r_off.result.periods.size(), r_on.result.periods.size());
+  for (std::size_t p = 0; p < r_off.result.periods.size(); ++p) {
+    EXPECT_EQ(r_off.result.periods[p].energy_joules,
+              r_on.result.periods[p].energy_joules)
+        << "period " << p;
+  }
+  EXPECT_EQ(r_off.telemetry_exports, 0u);  // off really is off
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryServe, HeartbeatTracksCheckpointProgress) {
+  const trace::TraceSet traces = tiny_traces();
+  const std::string dir = temp_dir("tserve_ckpt");
+  const std::string snap =
+      (std::filesystem::path(::testing::TempDir()) / "tserve_ckpt.snap")
+          .string();
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+
+  ServeOptions serve = telemetry_options(dir);
+  serve.checkpoint_path = snap;
+  serve.checkpoint_every = 10;
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  const sim::RunOptions run{policy, &vf};
+  const ServeReport report = run_serve(
+      tiny_config(), traces, tiny_churn(traces.size(), 30), serve, run);
+
+  const util::Json heartbeat =
+      util::Json::parse(read_all(dir + "/heartbeat.json"));
+  const util::Json* ck = heartbeat.find("checkpoint");
+  ASSERT_NE(ck, nullptr);
+  EXPECT_TRUE(ck->find("enabled")->as_bool());
+  EXPECT_EQ(ck->find("last_period")->as_number(), 30);
+  EXPECT_EQ(ck->find("age_periods")->as_number(), 0);
+  EXPECT_EQ(ck->find("writes")->as_number(),
+            static_cast<double>(report.checkpoint_writes));
+  EXPECT_EQ(ck->find("failures")->as_number(), 0);
+  EXPECT_FALSE(
+      heartbeat.find("degraded")->find("checkpoint")->as_bool());
+  // Checkpoint latencies reached the SLO tracker.
+  EXPECT_GT(
+      heartbeat.find("slo")->find("checkpoint")->find("count")->as_number(),
+      0);
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TelemetryServe, ChaosKillsDumpTheFlightRing) {
+  const trace::TraceSet traces = tiny_traces();
+  const sim::SimConfig config = tiny_config();
+  const sim::ChurnSpec churn = tiny_churn(traces.size(), 40);
+  const std::string snap =
+      (std::filesystem::path(::testing::TempDir()) / "tserve_chaos.snap")
+          .string();
+  const std::string dump =
+      (std::filesystem::path(::testing::TempDir()) / "tserve_chaos_dump.json")
+          .string();
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+  std::remove(dump.c_str());
+
+  obs::FlightRecorder flight(256);
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  EngineOptions engine_options;
+  engine_options.total_periods = 40;
+  engine_options.flight = &flight;
+  const sim::RunOptions run{policy, &vf};
+  const EngineFactory factory = [&] {
+    return std::make_unique<AllocationEngine>(config, traces, churn,
+                                              engine_options, run);
+  };
+
+  ChaosOptions chaos;
+  chaos.snapshot_path = snap;
+  chaos.checkpoint_every = 5;
+  chaos.kill_periods = {7, 23};
+  chaos.flight = &flight;
+  chaos.flightdump_path = dump;
+  const ChaosReport report = run_chaos(factory, chaos);
+
+  EXPECT_EQ(report.kills, 2u);
+  EXPECT_EQ(report.flight_dumps, 2u);
+  const util::Json doc = util::Json::parse_file(dump);
+  EXPECT_EQ(doc.find("schema")->as_string(), "cava-flightdump-v1");
+  EXPECT_EQ(doc.find("signal")->as_number(), 0);  // requested, not a crash
+  // The ring saw engine ticks and both chaos kills.
+  const util::Json* events = doc.find("ring")->find("events");
+  bool saw_crash = false;
+  bool saw_tick = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const std::string kind = events->at(i).find("kind")->as_string();
+    saw_crash |= kind == "crash";
+    saw_tick |= kind == "tick";
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_tick);
+  std::remove(snap.c_str());
+  std::remove((snap + ".1").c_str());
+  std::remove(dump.c_str());
+}
+
+TEST(TelemetryServe, EngineStatusPublicationMatchesFingerprint) {
+  const trace::TraceSet traces = tiny_traces();
+  const sim::SimConfig config = tiny_config();
+  const sim::ChurnSpec churn = sim::ChurnSpec::none();
+
+  obs::FlightRecorder flight(64);
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  EngineOptions engine_options;
+  engine_options.total_periods = 5;
+  engine_options.flight = &flight;
+  const sim::RunOptions run{policy, &vf};
+  AllocationEngine engine(config, traces, churn, engine_options, run);
+  engine.run_to_completion();
+
+  bool torn = false;
+  const obs::FlightRecorder::EngineStatus st = flight.status(&torn);
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(st.tick, 5u);
+  EXPECT_EQ(st.total_periods, 5u);
+  EXPECT_EQ(st.fingerprint, engine.config_fingerprint());
+  EXPECT_EQ(st.active_vms, engine.active_vms());
+  EXPECT_EQ(st.total_energy_joules, engine.total_energy_joules());
+}
+
+TEST(TelemetryServe, SloObservationsMatchTickCounts) {
+  const trace::TraceSet traces = tiny_traces();
+  obs::SloTracker slo;
+  alloc::CorrelationAwarePlacement policy;
+  dvfs::CorrelationAwareVf vf;
+  EngineOptions engine_options;
+  engine_options.total_periods = 8;
+  engine_options.slo = &slo;
+  const sim::RunOptions run{policy, &vf};
+  AllocationEngine engine(tiny_config(), traces, sim::ChurnSpec::none(),
+                          engine_options, run);
+  engine.run_to_completion();
+
+  const obs::SloTracker::Snapshot snap = slo.snapshot();
+  EXPECT_EQ(snap.place.count, 8u);
+  EXPECT_EQ(snap.ingest.count, 8u);
+  EXPECT_EQ(snap.drift.ticks, 8u);
+  EXPECT_GT(snap.place.max, 0.0);
+}
+
+}  // namespace
+}  // namespace cava::serve

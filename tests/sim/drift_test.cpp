@@ -1,0 +1,40 @@
+// sim::drift_of — the predicted-vs-actual utilization comparison feeding the
+// SLO tracker's prediction-drift anomaly counter.
+#include "sim/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+TEST(Drift, ZeroWhenPredictionIsPerfect) {
+  const std::vector<double> v{0.1, 0.5, 0.9};
+  const cava::sim::DriftSample d = cava::sim::drift_of(v, v);
+  EXPECT_EQ(d.mean_abs, 0.0);
+  EXPECT_EQ(d.max_abs, 0.0);
+}
+
+TEST(Drift, MeanAndMaxOfAbsoluteErrors) {
+  const std::vector<double> predicted{1.0, 2.0, 3.0};
+  const std::vector<double> actual{1.5, 2.0, 1.0};
+  const cava::sim::DriftSample d = cava::sim::drift_of(predicted, actual);
+  EXPECT_NEAR(d.mean_abs, (0.5 + 0.0 + 2.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.max_abs, 2.0);
+}
+
+TEST(Drift, EmptyInputsAreZeroNotNan) {
+  const std::vector<double> none;
+  const cava::sim::DriftSample d = cava::sim::drift_of(none, none);
+  EXPECT_EQ(d.mean_abs, 0.0);
+  EXPECT_EQ(d.max_abs, 0.0);
+}
+
+TEST(Drift, LengthMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(cava::sim::drift_of(a, b), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Crash-consistency contract of util::atomic_write_file, which every CLI
+// output (--json-out, --metrics-out, --trace-out, --provenance-out) and the
+// telemetry exporter's heartbeat/metrics files now ride on: a reader — or a
+// process killed mid-write — observes either the complete old file or the
+// complete new one, never a torn mixture.
+#include "util/binio.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A payload large enough that a partial write(2) is physically possible,
+/// filled with a version marker so generations are distinguishable.
+std::string payload(char marker) {
+  std::string s(1 << 20, marker);
+  s.front() = 'S';
+  s.back() = 'E';
+  return s;
+}
+
+bool is_complete(const std::string& bytes) {
+  if (bytes.size() != (1u << 20)) return false;
+  if (bytes.front() != 'S' || bytes.back() != 'E') return false;
+  for (std::size_t i = 1; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] != bytes[1]) return false;
+  }
+  return true;
+}
+
+TEST(AtomicWriteKill, StringOverloadRoundTrips) {
+  const std::string path = temp_path("aw_string.bin");
+  cava::util::atomic_write_file(path, std::string("hello"));
+  EXPECT_EQ(read_all(path), "hello");
+  // Overwrite replaces wholesale.
+  cava::util::atomic_write_file(path, std::string("bye"));
+  EXPECT_EQ(read_all(path), "bye");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteKill, UnwritableDirectoryThrowsIoError) {
+  EXPECT_THROW(
+      cava::util::atomic_write_file("/no/such/dir/out.bin", std::string("x")),
+      cava::util::IoError);
+}
+
+TEST(AtomicWriteKill, KillMidWriteLeavesOldOrNewNeverTorn) {
+  const std::string path = temp_path("aw_kill.bin");
+  std::remove(path.c_str());
+  cava::util::atomic_write_file(path, payload('a'));
+
+  // Child rewrites the file as fast as it can, alternating generations;
+  // parent SIGKILLs it at an arbitrary moment. Repeat to vary the kill
+  // point across the open/write/fsync/rename window.
+  for (int round = 0; round < 8; ++round) {
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      for (std::uint64_t i = 0;; ++i) {
+        cava::util::atomic_write_file(path,
+                                      payload(i % 2 == 0 ? 'b' : 'c'));
+      }
+    }
+    ::usleep(5000 + 7000 * round);
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    const std::string bytes = read_all(path);
+    EXPECT_TRUE(is_complete(bytes))
+        << "round " << round << ": torn file of " << bytes.size()
+        << " bytes";
+  }
+  std::remove(path.c_str());
+  // Orphaned temp files are acceptable debris; the *target* path is what
+  // the contract protects. Clean any up so TempDir stays tidy.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("aw_kill.bin.tmp", 0) == 0) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// SigsafeWriter renders the crash flight dump from inside a signal handler,
+// so its integer-only formatting must agree with the libc formatting the
+// rest of the codebase uses — these tests pin that agreement down, plus the
+// buffer-boundary and non-finite edge cases JSON output depends on.
+#include "util/sigsafe.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using cava::util::SigsafeWriter;
+using cava::util::sigsafe_format_u64;
+
+/// Run `fn` against a writer over a temp file and return the bytes written.
+std::string render(const std::function<void(SigsafeWriter&)>& fn) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "sigsafe_out.txt")
+          .string();
+  FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  {
+    SigsafeWriter w(fileno(f));
+    fn(w);
+    w.flush();
+  }
+  std::fclose(f);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  std::remove(path.c_str());
+  return out.str();
+}
+
+TEST(SigsafeWriter, UnsignedDecimal) {
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.u64(0); }), "0");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.u64(42); }), "42");
+  EXPECT_EQ(render([](SigsafeWriter& w) {
+              w.u64(std::numeric_limits<std::uint64_t>::max());
+            }),
+            "18446744073709551615");
+}
+
+TEST(SigsafeWriter, SignedDecimalIncludingInt64Min) {
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.i64(-1); }), "-1");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.i64(7); }), "7");
+  // INT64_MIN cannot be negated in signed arithmetic; the writer must still
+  // print it exactly.
+  EXPECT_EQ(render([](SigsafeWriter& w) {
+              w.i64(std::numeric_limits<std::int64_t>::min());
+            }),
+            "-9223372036854775808");
+}
+
+TEST(SigsafeWriter, HexIsFixedWidth) {
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.hex64(0); }),
+            "0x0000000000000000");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.hex64(0xdeadbeefULL); }),
+            "0x00000000deadbeef");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.hex64(~0ULL); }),
+            "0xffffffffffffffff");
+}
+
+TEST(SigsafeWriter, FixedPointMatchesPrintf) {
+  for (double v : {0.0, 1.0, 3.141592, 12345.678901, 0.000001, 999.5}) {
+    char expect[64];
+    std::snprintf(expect, sizeof(expect), "%.6f", v);
+    EXPECT_EQ(render([v](SigsafeWriter& w) { w.f64(v, 6); }), expect)
+        << "v=" << v;
+  }
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.f64(-2.5, 2); }), "-2.50");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.f64(1.75, 0); }), "2");
+}
+
+TEST(SigsafeWriter, NonFiniteRendersAsZero) {
+  // JSON has no spelling for NaN/Inf; the dump must stay parseable.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(render([nan](SigsafeWriter& w) { w.f64(nan, 3); }), "0");
+  EXPECT_EQ(render([inf](SigsafeWriter& w) { w.f64(inf, 3); }), "0");
+  EXPECT_EQ(render([inf](SigsafeWriter& w) { w.f64(-inf, 3); }), "0");
+}
+
+TEST(SigsafeWriter, JsonStringEscaping) {
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.json_str("plain"); }),
+            "\"plain\"");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.json_str("a\"b\\c"); }),
+            "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(render([](SigsafeWriter& w) { w.json_str("x\ny"); }),
+            "\"x\\u000ay\"");
+}
+
+TEST(SigsafeWriter, FlushesAcrossBufferBoundary) {
+  // Write far more than the 512-byte stack buffer in small pieces; nothing
+  // may be lost or reordered.
+  std::string expect;
+  const std::string got = render([&expect](SigsafeWriter& w) {
+    for (int i = 0; i < 500; ++i) {
+      w.str("ab");
+      w.u64(static_cast<std::uint64_t>(i));
+      expect += "ab" + std::to_string(i);
+    }
+  });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(SigsafeFormatU64, FormatsIntoCallerBuffer) {
+  char buf[24];
+  EXPECT_EQ(sigsafe_format_u64(buf, sizeof(buf), 0), 1u);
+  EXPECT_EQ(buf[0], '0');
+  EXPECT_EQ(sigsafe_format_u64(buf, sizeof(buf), 90210), 5u);
+  EXPECT_EQ(std::string(buf, 5), "90210");
+  // Too-small capacity refuses rather than truncating digits.
+  EXPECT_EQ(sigsafe_format_u64(buf, 3, 123456), 0u);
+}
+
+}  // namespace

@@ -34,11 +34,16 @@
 //   cava_datacenter --serve --policy proposed --periods 500
 //                   --churn synthetic:arrive=0.05,depart=0.05
 //                   --checkpoint snap.cava --checkpoint-every 10 --resume
+//
+//   # same service with the live telemetry plane: heartbeat + Prometheus
+//   # metrics every second, crash flight dumps on fatal signals
+//   cava_datacenter --serve --policy proposed --periods 500
+//                   --checkpoint snap.cava --telemetry-out telemetry/
 #include <cstdint>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -63,6 +68,7 @@
 #include "sim/report.h"
 #include "sim/sweep.h"
 #include "trace/synthesis.h"
+#include "util/binio.h"
 #include "util/error.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -152,6 +158,14 @@ Service mode (single policy; see DESIGN.md "The allocation service loop"):
                       mismatched snapshots are a data error, exit 3)
   --migration-budget N  max planned VM moves per period (excess moves are
                       reverted, largest-demand first kept) [unlimited]
+  --telemetry-out DIR live telemetry plane (DESIGN.md #16): heartbeat.json +
+                      metrics.prom published to DIR on a background cadence
+                      (atomic renames, never torn), SLO latency/drift
+                      tracking, and an always-on crash flight recorder that
+                      dumps its ring to DIR/flightdump-*.json on SIGSEGV/
+                      SIGABRT/...; unset = telemetry fully off (outputs
+                      byte-identical)
+  --telemetry-every MS  exporter cadence in milliseconds [1000]
 
 Fault injection (deterministic; see sim/fault.h for the model):
   --faults SPEC       "none" or comma-separated key=value list, keys:
@@ -440,6 +454,20 @@ sim::ChurnSpec parse_churn_flag(const std::string& spec, std::size_t num_vms,
   return sim::ChurnSpec::load_json(spec, num_vms);
 }
 
+/// Atomic-rename write for every CLI output file (--json-out, --metrics-out,
+/// --trace-out, --provenance-out): a killed process leaves either the old
+/// file or the new one, never a torn half-write. I/O failures become exit 5.
+void write_output_file(const std::string& path, const std::string& bytes,
+                       const char* flag) {
+  try {
+    util::atomic_write_file(path, bytes);
+  } catch (const util::IoError& e) {
+    throw util::CliError(util::ErrorCategory::kIo,
+                         std::string("cannot write ") + flag + " file: " +
+                             e.what());
+  }
+}
+
 /// The --serve path: one policy, online churn, periodic checkpoints.
 int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
                    const trace::TraceSet& traces, const std::string& which,
@@ -473,6 +501,20 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
   if (serve_options.resume && serve_options.checkpoint_path.empty()) {
     throw util::CliError(util::ErrorCategory::kConfig,
                          "--resume needs --checkpoint FILE");
+  }
+  serve_options.telemetry_dir = flags.get_string("telemetry-out", "");
+  if (flags.has("telemetry-every")) {
+    if (serve_options.telemetry_dir.empty()) {
+      throw util::CliError(util::ErrorCategory::kConfig,
+                           "--telemetry-every needs --telemetry-out DIR");
+    }
+    const long ms = flags.get_int("telemetry-every", 1000);
+    if (ms < 1) {
+      throw util::CliError(util::ErrorCategory::kConfig,
+                           "--telemetry-every must be >= 1 ms, got " +
+                               std::to_string(ms));
+    }
+    serve_options.telemetry_every_ms = static_cast<std::size_t>(ms);
   }
 
   // The churn horizon: explicit --periods, else the trace's full periods.
@@ -524,6 +566,11 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
                 report.checkpoint_last_error.c_str(),
                 serve_options.checkpoint_path.c_str());
   }
+  if (!serve_options.telemetry_dir.empty()) {
+    std::printf("telemetry: %zu exports, %zu write failures -> %s\n",
+                report.telemetry_exports, report.telemetry_write_failures,
+                serve_options.telemetry_dir.c_str());
+  }
 
   if (flags.has("json-out")) {
     util::Json j = util::Json::object();
@@ -536,12 +583,10 @@ int run_serve_mode(const util::FlagParser& flags, const sim::SimConfig& cfg,
     j["serve"]["budget_reverted_moves"] = report.budget_reverted_moves;
     j["serve"]["checkpoint_writes"] = report.checkpoint_writes;
     j["serve"]["checkpoint_failures"] = report.checkpoint_failures;
-    std::ofstream out(flags.get_string("json-out", ""));
-    if (!out) {
-      throw util::CliError(util::ErrorCategory::kIo,
-                           "cannot open --json-out file");
-    }
-    out << j.dump(2) << '\n';
+    j["serve"]["telemetry_exports"] = report.telemetry_exports;
+    j["serve"]["telemetry_write_failures"] = report.telemetry_write_failures;
+    write_output_file(flags.get_string("json-out", ""), j.dump(2) + "\n",
+                      "--json-out");
   }
   return 0;
 }
@@ -559,7 +604,8 @@ int run_main(int argc, char** argv) {
              "predictor", "migration-joules", "threads", "strict-sweep",
              "faults", "fault-seed", "metrics-level", "metrics-out",
              "json-out", "serve", "periods", "churn", "checkpoint",
-             "checkpoint-every", "resume", "migration-budget", "help"});
+             "checkpoint-every", "resume", "migration-budget",
+             "telemetry-out", "telemetry-every", "help"});
         return parsed;
       });
   if (flags.get_bool("help")) {
@@ -713,7 +759,7 @@ int run_main(int argc, char** argv) {
   }
   for (const char* serve_only :
        {"periods", "churn", "checkpoint", "checkpoint-every", "resume",
-        "migration-budget"}) {
+        "migration-budget", "telemetry-out", "telemetry-every"}) {
     if (flags.has(serve_only)) {
       throw util::CliError(
           util::ErrorCategory::kConfig,
@@ -851,18 +897,15 @@ int run_main(int argc, char** argv) {
     }
     if (flags.has("metrics-out")) {
       const std::string path = flags.get_string("metrics-out", "");
-      std::ofstream out(path);
-      if (!out) {
-        throw util::CliError(util::ErrorCategory::kIo,
-                             "cannot open --metrics-out file");
-      }
       const bool csv =
           path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+      std::ostringstream out;
       if (csv) {
         sim::telemetry_export_csv(telemetry, out);
       } else {
         out << sim::telemetry_export_json(telemetry).dump(2) << '\n';
       }
+      write_output_file(path, out.str(), "--metrics-out");
     }
   } else if (flags.has("metrics-out")) {
     throw util::CliError(util::ErrorCategory::kConfig,
@@ -884,12 +927,9 @@ int run_main(int argc, char** argv) {
           {record.telemetry->trace.get(), "run:" + record.label});
     }
     const std::string path = flags.get_string("trace-out", "");
-    std::ofstream out(path);
-    if (!out) {
-      throw util::CliError(util::ErrorCategory::kIo,
-                           "cannot open --trace-out file");
-    }
+    std::ostringstream out;
     obs::write_chrome_trace(processes, out);
+    write_output_file(path, out.str(), "--trace-out");
     std::size_t events = sweep_trace.stats().events;
     std::uint64_t dropped = sweep_trace.stats().dropped;
     for (std::size_t i = 1; i < processes.size(); ++i) {
@@ -903,11 +943,7 @@ int run_main(int argc, char** argv) {
 
   if (flags.has("provenance-out")) {
     const std::string path = flags.get_string("provenance-out", "");
-    std::ofstream out(path);
-    if (!out) {
-      throw util::CliError(util::ErrorCategory::kIo,
-                           "cannot open --provenance-out file");
-    }
+    std::ostringstream out;
     for (const auto& record : records) {
       if (!record.ok() || record.telemetry == nullptr ||
           record.telemetry->provenance == nullptr) {
@@ -915,6 +951,7 @@ int run_main(int argc, char** argv) {
       }
       record.telemetry->provenance->write_jsonl(out, record.label);
     }
+    write_output_file(path, out.str(), "--provenance-out");
   }
 
   if (explain.has_value()) {
@@ -934,12 +971,8 @@ int run_main(int argc, char** argv) {
     util::Json runs = util::Json::array();
     for (const auto& r : results) runs.push_back(sim::to_json(r));
     j["runs"] = std::move(runs);
-    std::ofstream out(flags.get_string("json-out", ""));
-    if (!out) {
-      throw util::CliError(util::ErrorCategory::kIo,
-                           "cannot open --json-out file");
-    }
-    out << j.dump(2) << '\n';
+    write_output_file(flags.get_string("json-out", ""), j.dump(2) + "\n",
+                      "--json-out");
   }
   return 0;
 }
